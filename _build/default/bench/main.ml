@@ -1,0 +1,185 @@
+(* The benchmark harness: regenerates every table/figure of the
+   paper's evaluation (Section 6) at bench scale, then times the core
+   operations with Bechamel.
+
+   Scale: figures average over Exp_common.default_scale runs per point
+   (the paper uses 1000-3000); pass runs=N on the command line or use
+   `probsub fig <id> --runs N` for paper-scale sweeps. The shapes are
+   stable from a few dozen runs. *)
+
+open Probsub_core
+open Probsub_workload
+open Probsub_experiments
+
+let seed = 42
+
+let regenerate_figures ~runs () =
+  let scale = { Exp_common.runs } in
+  print_endline "=================================================";
+  print_endline " Paper figure regeneration (Ouksel et al., 2006)";
+  print_endline "=================================================";
+  Printf.printf "(averaging %d runs per point; paper uses 1000-3000)\n\n" runs;
+  let f6, f7 = Fig_covering.run ~scale ~seed () in
+  Exp_common.print_stdout f6;
+  Exp_common.print_stdout f7;
+  let f8, f9, f10 = Fig_noncover.run ~scale ~seed () in
+  Exp_common.print_stdout f8;
+  Exp_common.print_stdout f9;
+  Exp_common.print_stdout f10;
+  let f11, f12 = Fig_extreme.run ~scale ~seed () in
+  Exp_common.print_stdout f11;
+  Exp_common.print_stdout f12;
+  let n = if runs >= 1000 then 5000 else 2000 in
+  let f13, f14 = Fig_comparison.run ~n ~seed () in
+  Exp_common.print_stdout f13;
+  Exp_common.print_stdout f14;
+  let rows, prop5 = Exp_chain.run ~scale ~seed () in
+  Exp_common.print_stdout prop5;
+  List.iter
+    (fun r ->
+      Printf.printf "  delta=%-8g analytic=%.4f measured=%.4f reach=%.2f\n"
+        r.Exp_chain.delta r.Exp_chain.analytic r.Exp_chain.measured
+        r.Exp_chain.mean_reach)
+    rows;
+  print_newline ();
+  Exp_ablation.print (Exp_ablation.run ~scale ~seed ());
+  print_newline ();
+  Exp_matching.print (Exp_matching.run ~seed ());
+  print_newline ();
+  Exp_traffic.print (Exp_traffic.run ~seed ());
+  print_newline ();
+  Exp_merging.print (Exp_merging.run ~seed ());
+  print_newline ();
+  Exp_scaling.print (Exp_scaling.run ~scale ~seed ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one test per table/figure ingredient. *)
+
+let micro_tests () =
+  let open Bechamel in
+  let rng = Prng.of_int seed in
+  (* Fixed instances so each run times the same work. *)
+  let table3_s = Subscription.of_bounds [ (830, 870); (1003, 1006) ] in
+  let table3_set =
+    [|
+      Subscription.of_bounds [ (820, 850); (1001, 1007) ];
+      Subscription.of_bounds [ (840, 880); (1002, 1009) ];
+    |]
+  in
+  let covering = Scenario.redundant_covering rng ~m:10 ~k:100 in
+  let noncover = Scenario.non_cover rng ~m:10 ~k:100 in
+  let extreme = Scenario.extreme_non_cover rng ~m:5 ~k:50 ~gap_fraction:0.01 in
+  let covering_table =
+    Conflict_table.build ~s:covering.Scenario.s covering.Scenario.set
+  in
+  let covered_box = Subscription.of_bounds [ (10, 20); (10, 20) ] in
+  let covered_set =
+    [|
+      Subscription.of_bounds [ (0, 15); (0, 99) ];
+      Subscription.of_bounds [ (14, 99); (0, 99) ];
+    |]
+  in
+  let engine_cfg = Engine.config ~delta:1e-6 ~max_iterations:2000 () in
+  let stream = Scenario.comparison_stream rng ~m:10 ~n:200 in
+  let store =
+    Subscription_store.create
+      ~policy:(Subscription_store.Group_policy engine_cfg) ~arity:10
+      ~seed:7 ()
+  in
+  List.iter (fun s -> ignore (Subscription_store.add store s)) stream;
+  let pub =
+    Scenario.random_matching_publication rng (List.hd stream)
+  in
+  let stage f = Staged.stage f in
+  [
+    Test.make ~name:"table5: conflict table build (k=2, m=2)"
+      (stage (fun () ->
+           ignore (Conflict_table.build ~s:table3_s table3_set)));
+    Test.make ~name:"fig6: conflict table build (k=100, m=10)"
+      (stage (fun () ->
+           ignore
+             (Conflict_table.build ~s:covering.Scenario.s
+                covering.Scenario.set)));
+    Test.make ~name:"fig6: MCS reduction (k=100, m=10)"
+      (stage (fun () -> ignore (Mcs.run covering_table)));
+    Test.make ~name:"fig7: Algorithm 2 rho/d (k=100, m=10)"
+      (stage (fun () ->
+           ignore (Rho.log10_d (Rho.estimate covering_table) ~delta:1e-10)));
+    Test.make ~name:"fig10: engine check, non-cover (k=100, m=10)"
+      (stage (fun () ->
+           ignore
+             (Engine.check ~config:engine_cfg ~rng noncover.Scenario.s
+                noncover.Scenario.set)));
+    Test.make ~name:"fig11: engine check, extreme 1% gap (k=50, m=5)"
+      (stage (fun () ->
+           ignore
+             (Engine.check ~config:engine_cfg ~rng extreme.Scenario.s
+                extreme.Scenario.set)));
+    Test.make ~name:"fig11: single RSPC trial batch (d=100)"
+      (stage (fun () ->
+           ignore
+             (Rspc.run ~rng ~d:100 ~s:extreme.Scenario.s
+                extreme.Scenario.set)));
+    Test.make ~name:"ext: RSPC 50k trials, sequential (covered input)"
+      (stage (fun () ->
+           ignore
+             (Rspc.run ~rng ~d:50_000 ~s:covered_box
+                covered_set)));
+    Test.make ~name:"ext: RSPC 50k trials, parallel domains (covered input)"
+      (stage (fun () ->
+           ignore
+             (Rspc_parallel.run ~rng ~d:50_000 ~s:covered_box
+                covered_set)));
+    Test.make ~name:"fig13: pairwise coverage scan (k=100, m=10)"
+      (stage (fun () ->
+           ignore (Pairwise.find_coverer covering.Scenario.s covering.Scenario.set)));
+    Test.make ~name:"fig13/14: group-store add+remove (|active|~60)"
+      (stage (fun () ->
+           let id, _ =
+             Subscription_store.add store (List.hd stream)
+           in
+           ignore (Subscription_store.remove store id)));
+    Test.make ~name:"alg5: match publication (200 subs)"
+      (stage (fun () -> ignore (Subscription_store.match_publication store pub)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let tests = micro_tests () in
+  print_endline "=================================================";
+  print_endline " Micro-benchmarks (Bechamel, ns per run)";
+  print_endline "=================================================";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg [ instance ]
+          (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+      in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false
+          ~predictors:[| Measure.run |]
+      in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> Printf.printf "%-55s %12.1f ns/run\n" name ns
+          | Some _ | None -> Printf.printf "%-55s (no estimate)\n" name)
+        analyzed)
+    tests
+
+let () =
+  let runs =
+    if Array.length Sys.argv > 1 then
+      match int_of_string_opt Sys.argv.(1) with
+      | Some r when r > 0 -> r
+      | Some _ | None -> Exp_common.default_scale.Exp_common.runs
+    else Exp_common.default_scale.Exp_common.runs
+  in
+  regenerate_figures ~runs ();
+  run_micro ()

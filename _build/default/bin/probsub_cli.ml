@@ -1,0 +1,451 @@
+(* probsub — command-line driver for the probabilistic subsumption
+   library: run any paper experiment at a chosen scale, print the
+   worked examples, or exercise the chain model. *)
+
+open Cmdliner
+open Probsub_core
+open Probsub_experiments
+
+let seed_arg =
+  let doc = "Random seed (experiments are fully deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let runs_arg =
+  let doc =
+    "Runs averaged per parameter point. The paper uses 1000 (Figs. 6-10) \
+     and 3000 (Figs. 11-12); the default keeps the full sweep fast."
+  in
+  Arg.(value & opt int 40 & info [ "runs" ] ~docv:"N" ~doc)
+
+let scale_of runs = { Exp_common.runs }
+
+(* ------------------------------------------------------------------ *)
+(* fig command *)
+
+let known_figures =
+  [ "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
+    "fig14"; "prop5"; "ablation"; "matching"; "traffic"; "merging"; "scaling"; "all" ]
+
+let run_figures ids seed runs =
+  let scale = scale_of runs in
+  let want id = List.mem "all" ids || List.mem id ids in
+  if want "fig6" || want "fig7" then begin
+    let f6, f7 = Fig_covering.run ~scale ~seed () in
+    if want "fig6" then Exp_common.print_stdout f6;
+    if want "fig7" then Exp_common.print_stdout f7
+  end;
+  if want "fig8" || want "fig9" || want "fig10" then begin
+    let f8, f9, f10 = Fig_noncover.run ~scale ~seed () in
+    if want "fig8" then Exp_common.print_stdout f8;
+    if want "fig9" then Exp_common.print_stdout f9;
+    if want "fig10" then Exp_common.print_stdout f10
+  end;
+  if want "fig11" || want "fig12" then begin
+    let f11, f12 = Fig_extreme.run ~scale ~seed () in
+    if want "fig11" then Exp_common.print_stdout f11;
+    if want "fig12" then Exp_common.print_stdout f12
+  end;
+  if want "fig13" || want "fig14" then begin
+    let n = if runs >= 1000 then 5000 else 2000 in
+    let f13, f14 = Fig_comparison.run ~n ~seed () in
+    if want "fig13" then Exp_common.print_stdout f13;
+    if want "fig14" then Exp_common.print_stdout f14
+  end;
+  if want "prop5" then begin
+    let _, fig = Exp_chain.run ~scale ~seed () in
+    Exp_common.print_stdout fig
+  end;
+  if want "ablation" then Exp_ablation.print (Exp_ablation.run ~scale ~seed ());
+  if want "matching" then Exp_matching.print (Exp_matching.run ~seed ());
+  if want "traffic" then Exp_traffic.print (Exp_traffic.run ~seed ());
+  if want "merging" then Exp_merging.print (Exp_merging.run ~seed ());
+  if want "scaling" then
+    Exp_scaling.print (Exp_scaling.run ~scale ~seed ())
+
+let fig_cmd =
+  let ids =
+    let doc =
+      Printf.sprintf "Experiments to run: %s."
+        (String.concat ", " known_figures)
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run ids seed runs =
+    match List.find_opt (fun id -> not (List.mem id known_figures)) ids with
+    | Some bad -> `Error (false, Printf.sprintf "unknown experiment %S" bad)
+    | None ->
+        run_figures ids seed runs;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Regenerate the paper's tables and figures")
+    Term.(ret (const run $ ids $ seed_arg $ runs_arg))
+
+(* ------------------------------------------------------------------ *)
+(* demo command: the paper's worked examples *)
+
+let demo_cover () =
+  let sub = Subscription.of_bounds in
+  let s = sub [ (830, 870); (1003, 1006) ] in
+  let s1 = sub [ (820, 850); (1001, 1007) ] in
+  let s2 = sub [ (840, 880); (1002, 1009) ] in
+  Format.printf "Table 3 example: s = %a@." Subscription.pp s;
+  Format.printf "  s1 = %a@.  s2 = %a@." Subscription.pp s1 Subscription.pp s2;
+  Format.printf "  s1 covers s: %b; s2 covers s: %b@."
+    (Subscription.covers_sub s1 s)
+    (Subscription.covers_sub s2 s);
+  let report = Engine.check ~rng:(Prng.of_int 1) s [| s1; s2 |] in
+  (match report.Engine.verdict with
+  | Engine.Covered_probably ->
+      Format.printf
+        "  engine: probabilistic YES after %d iterations (d = %d, error <= %g)@."
+        report.Engine.iterations report.Engine.d_used
+        (Option.value ~default:Float.nan report.Engine.achieved_delta)
+  | Engine.Covered_pairwise i -> Format.printf "  engine: covered by s%d@." (i + 1)
+  | Engine.Not_covered _ -> Format.printf "  engine: not covered@.");
+  Format.printf "  exact oracle: covered = %b@." (Exact.covered s [| s1; s2 |])
+
+let demo_table () =
+  let sub = Subscription.of_bounds in
+  let s = sub [ (830, 870); (1003, 1006) ] in
+  let s1 = sub [ (820, 850); (1001, 1007) ] in
+  let s2 = sub [ (840, 880); (1002, 1009) ] in
+  let s3 = sub [ (810, 890); (1004, 1005) ] in
+  let t = Conflict_table.build ~s [| s1; s2; s3 |] in
+  Format.printf "Conflict table (Tables 5 and 8):@.%a@." Conflict_table.pp t;
+  let result = Mcs.run t in
+  Format.printf "MCS keeps rows: %s (removed: %s)@."
+    (String.concat ", "
+       (List.map (fun i -> Printf.sprintf "s%d" (i + 1)) result.Mcs.kept))
+    (String.concat ", "
+       (List.map (fun i -> Printf.sprintf "s%d" (i + 1)) result.Mcs.removed))
+
+let demo_noncover () =
+  let sub = Subscription.of_bounds in
+  let s = sub [ (830, 890); (1003, 1006) ] in
+  let s1 = sub [ (820, 850); (1002, 1009) ] in
+  let s2 = sub [ (840, 870); (1001, 1007) ] in
+  Format.printf "Table 6 example (non-cover):@.";
+  let report = Engine.check ~rng:(Prng.of_int 1) s [| s1; s2 |] in
+  (match report.Engine.verdict with
+  | Engine.Not_covered (Engine.Polyhedron w) ->
+      Format.printf "  polyhedron witness: %a@." Subscription.pp
+        w.Witness.region
+  | Engine.Not_covered (Engine.Point p) ->
+      Format.printf "  point witness: (%d, %d)@." p.(0) p.(1)
+  | Engine.Not_covered Engine.Empty_set ->
+      Format.printf "  no candidates at all@."
+  | Engine.Covered_pairwise _ | Engine.Covered_probably ->
+      Format.printf "  unexpectedly covered?!@.")
+
+let demo_cmd =
+  let what =
+    let doc = "Which demo: cover, table, or noncover." in
+    Arg.(value & pos 0 (enum [ ("cover", `Cover); ("table", `Table); ("noncover", `Noncover) ]) `Cover
+         & info [] ~docv:"DEMO" ~doc)
+  in
+  let run = function
+    | `Cover -> demo_cover ()
+    | `Table -> demo_table ()
+    | `Noncover -> demo_noncover ()
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Print the paper's worked examples (Tables 3-8)")
+    Term.(const run $ what)
+
+(* ------------------------------------------------------------------ *)
+(* chain command *)
+
+let chain_cmd =
+  let brokers =
+    Arg.(value & opt int 10 & info [ "brokers" ] ~docv:"N" ~doc:"Chain length.")
+  in
+  let rho =
+    Arg.(value & opt float 0.1
+         & info [ "rho" ] ~docv:"P" ~doc:"Per-broker publication probability.")
+  in
+  let run brokers rho seed runs =
+    let rows, fig =
+      Exp_chain.run ~scale:(scale_of runs) ~n_brokers:brokers ~rho ~seed ()
+    in
+    Exp_common.print_stdout fig;
+    List.iter
+      (fun r ->
+        Printf.printf
+          "delta=%-8g analytic=%.4f measured=%.4f mean-reach=%.2f/%d\n"
+          r.Exp_chain.delta r.Exp_chain.analytic r.Exp_chain.measured
+          r.Exp_chain.mean_reach brokers)
+      rows
+  in
+  Cmd.v
+    (Cmd.info "chain" ~doc:"Proposition 5 chain-propagation experiment")
+    Term.(const run $ brokers $ rho $ seed_arg $ runs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check / match commands: typed schemas + the sublang text format *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_schema path =
+  match Sublang.parse_schema (read_file path) with
+  | Ok codec -> Ok codec
+  | Error e -> Error (Printf.sprintf "schema %s: %s" path e)
+
+let load_set codec path =
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let rec parse acc n = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest -> (
+        match Sublang.parse_subscription codec line with
+        | Ok sub -> parse (sub :: acc) (n + 1) rest
+        | Error e -> Error (Printf.sprintf "%s, line %d: %s" path n e))
+  in
+  parse [] 1 lines
+
+let schema_arg =
+  let doc = "Schema file (lines of 'name : int[lo,hi] | enum(..) | flag | minutes')." in
+  Arg.(required & opt (some file) None & info [ "schema" ] ~docv:"FILE" ~doc)
+
+let set_arg =
+  let doc = "File with one subscription per line (sublang syntax)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SET" ~doc)
+
+let delta_arg =
+  Arg.(value & opt float 1e-6
+       & info [ "delta" ] ~docv:"P" ~doc:"Acceptable error probability.")
+
+let check_cmd =
+  let sub_arg =
+    let doc = "The subscription to test, e.g. 'size in [17,19] & brand = X'." in
+    Arg.(required & opt (some string) None & info [ "sub" ] ~docv:"EXPR" ~doc)
+  in
+  let probes_arg =
+    let doc =
+      "Also try the deterministic witness-guided probes before the random \
+       search (sound extension)."
+    in
+    Arg.(value & flag & info [ "probes" ] ~doc)
+  in
+  let run schema sub_text set_path delta probes seed =
+    let ( let* ) = Result.bind in
+    match
+      let* codec = load_schema schema in
+      let* sub =
+        Result.map_error
+          (Printf.sprintf "--sub: %s")
+          (Sublang.parse_subscription codec sub_text)
+      in
+      let* set = load_set codec set_path in
+      Ok (codec, sub, set)
+    with
+    | Error e -> `Error (false, e)
+    | Ok (codec, sub, set) ->
+        let config = Engine.config ~delta ~use_probes:probes () in
+        let report = Engine.check ~config ~rng:(Prng.of_int seed) sub set in
+        Format.printf "subscription: %a@." (Domain_codec.pp_subscription codec) sub;
+        Format.printf "against %d existing subscription(s), delta = %g@."
+          (Array.length set) delta;
+        (match report.Engine.verdict with
+        | Engine.Covered_pairwise i ->
+            Format.printf
+              "VERDICT: covered (deterministic) by line %d: %a@." (i + 1)
+              (Domain_codec.pp_subscription codec)
+              set.(i)
+        | Engine.Covered_probably ->
+            Format.printf
+              "VERDICT: covered by the union (probabilistic; %d trials, error \
+               <= %g)@."
+              report.Engine.iterations
+              (Option.value ~default:Float.nan report.Engine.achieved_delta)
+        | Engine.Not_covered (Engine.Point p) ->
+            Format.printf "VERDICT: not covered; witness publication:@.  %a@."
+              Publication.pp (Publication.point p)
+        | Engine.Not_covered (Engine.Polyhedron w) ->
+            Format.printf "VERDICT: not covered; witness region:@.  %a@."
+              (Domain_codec.pp_subscription codec)
+              w.Witness.region
+        | Engine.Not_covered Engine.Empty_set ->
+            Format.printf
+              "VERDICT: not covered (no candidate could contribute)@.");
+        Format.printf
+          "pipeline: k %d -> %d after MCS; theoretical log10(d) = %s@."
+          report.Engine.k_initial report.Engine.k_reduced
+          (match report.Engine.log10_d with
+          | Some l -> Printf.sprintf "%.2f" l
+          | None -> "n/a");
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check whether a subscription is covered by a set (group subsumption)")
+    Term.(
+      ret
+        (const run $ schema_arg $ sub_arg $ set_arg $ delta_arg $ probes_arg
+        $ seed_arg))
+
+let match_cmd =
+  let pub_arg =
+    let doc = "The publication, e.g. 'bid = 1036, size = 19, brand = X, ...'." in
+    Arg.(required & opt (some string) None & info [ "pub" ] ~docv:"EXPR" ~doc)
+  in
+  let run schema pub_text set_path =
+    let ( let* ) = Result.bind in
+    match
+      let* codec = load_schema schema in
+      let* pub =
+        Result.map_error
+          (Printf.sprintf "--pub: %s")
+          (Sublang.parse_publication codec pub_text)
+      in
+      let* set = load_set codec set_path in
+      Ok (codec, pub, set)
+    with
+    | Error e -> `Error (false, e)
+    | Ok (codec, pub, set) ->
+        let matcher = Counting_matcher.create ~arity:(Domain_codec.arity codec) () in
+        Array.iteri (fun i sub -> Counting_matcher.add matcher ~id:(i + 1) sub) set;
+        let hits = Counting_matcher.match_publication matcher pub in
+        Format.printf "publication matches %d of %d subscription(s)@."
+          (List.length hits) (Array.length set);
+        List.iter
+          (fun line ->
+            Format.printf "  line %d: %a@." line
+              (Domain_codec.pp_subscription codec)
+              set.(line - 1))
+          hits;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "match"
+       ~doc:"Match a publication against a subscription file (counting matcher)")
+    Term.(ret (const run $ schema_arg $ pub_arg $ set_arg))
+
+(* ------------------------------------------------------------------ *)
+(* trace commands *)
+
+let topology_conv =
+  let parse s =
+    let make name n =
+      match name with
+      | "chain" -> Ok (Probsub_broker.Topology.chain n)
+      | "ring" -> Ok (Probsub_broker.Topology.ring n)
+      | "star" -> Ok (Probsub_broker.Topology.star n)
+      | "mesh" -> Ok (Probsub_broker.Topology.full_mesh n)
+      | "grid" ->
+          let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+          Ok (Probsub_broker.Topology.grid ~width:side ~height:side)
+      | _ -> Error (`Msg (Printf.sprintf "unknown topology %S" name))
+    in
+    match String.split_on_char ':' s with
+    | [ name ] -> make name 8
+    | [ name; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 1 -> make name n
+        | _ -> Error (`Msg "topology size must be an integer > 1"))
+    | _ -> Error (`Msg "expected NAME or NAME:SIZE")
+  in
+  Arg.conv
+    (parse, fun ppf t -> Format.fprintf ppf "topology(%d)" (Probsub_broker.Topology.size t))
+
+let policy_conv =
+  Arg.enum
+    [
+      ("flooding", Subscription_store.No_coverage);
+      ("pairwise", Subscription_store.Pairwise_policy);
+      ("group", Subscription_store.Group_policy (Engine.config ~delta:1e-6 ()));
+    ]
+
+let trace_generate_cmd =
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let duration =
+    Arg.(value & opt float 100.0
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated duration.")
+  in
+  let brokers =
+    Arg.(value & opt int 8 & info [ "brokers" ] ~docv:"N" ~doc:"Broker count.")
+  in
+  let m =
+    Arg.(value & opt int 5 & info [ "attributes" ] ~docv:"M" ~doc:"Attributes.")
+  in
+  let run out duration brokers m seed =
+    let params =
+      { Probsub_broker.Trace.default_params with duration; brokers; m }
+    in
+    let trace = Probsub_broker.Trace.generate ~params (Prng.of_int seed) in
+    Probsub_broker.Trace.save trace ~path:out;
+    let subs, unsubs, pubs = Probsub_broker.Trace.stats trace in
+    Printf.printf "wrote %s: %d subscribes, %d unsubscribes, %d publishes\n"
+      out subs unsubs pubs
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a workload trace file")
+    Term.(const run $ out $ duration $ brokers $ m $ seed_arg)
+
+let trace_replay_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let topo =
+    Arg.(value & opt topology_conv (Probsub_broker.Topology.chain 8)
+         & info [ "topology" ] ~docv:"NAME[:SIZE]"
+             ~doc:"chain, ring, star, mesh or grid, e.g. ring:12.")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Subscription_store.Pairwise_policy
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"flooding, pairwise or group.")
+  in
+  let run file topo policy seed =
+    match Probsub_broker.Trace.load ~path:file with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+    | Ok trace ->
+        let arity =
+          match
+            List.find_map
+              (function
+                | Probsub_broker.Trace.Subscribe { sub; _ } ->
+                    Some (Subscription.arity sub)
+                | Probsub_broker.Trace.Publish { pub; _ } ->
+                    Some (Publication.arity pub)
+                | Probsub_broker.Trace.Unsubscribe _ -> None)
+              trace
+          with
+          | Some a -> a
+          | None -> 1
+        in
+        let net =
+          Probsub_broker.Network.create ~policy ~topology:topo ~arity ~seed ()
+        in
+        Probsub_broker.Trace.replay net trace;
+        let m = Probsub_broker.Network.metrics net in
+        Format.printf "%a@." Probsub_broker.Metrics.pp m;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a trace file against a simulated network")
+    Term.(ret (const run $ file $ topo $ policy $ seed_arg))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Generate and replay workload traces")
+    [ trace_generate_cmd; trace_replay_cmd ]
+
+let main =
+  Cmd.group
+    (Cmd.info "probsub" ~version:"1.0.0"
+       ~doc:
+         "Probabilistic subsumption checking for content-based \
+          publish/subscribe (Ouksel et al., Middleware 2006)")
+    [ fig_cmd; demo_cmd; chain_cmd; check_cmd; match_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

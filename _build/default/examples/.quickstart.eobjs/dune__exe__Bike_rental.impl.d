@@ -1,0 +1,1 @@
+examples/bike_rental.ml: Engine Format Interval List Prng Probsub_core Publication Subscription Subscription_store

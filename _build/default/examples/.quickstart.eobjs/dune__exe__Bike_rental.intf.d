@@ -1,0 +1,1 @@
+examples/bike_rental.mli:

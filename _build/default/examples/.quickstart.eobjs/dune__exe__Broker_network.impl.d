@@ -1,0 +1,1 @@
+examples/broker_network.ml: Broker_node Engine Format Interval List Metrics Network Printf Prng Probsub_broker Probsub_core Publication String Subscription Subscription_store Topology

@@ -1,0 +1,1 @@
+examples/chain_loss.ml: Array Chain_model Engine Exact Format List Metrics Network Prng Probsub_broker Probsub_core Probsub_workload Publication Scenario Subscription_store Topology

@@ -1,0 +1,1 @@
+examples/grid_discovery.ml: Engine Format Interval List Prng Probsub_core Publication Subscription Subscription_store

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Engine Float Format List Option Pairwise Prng Probsub_core Publication String Subscription Subscription_store Witness

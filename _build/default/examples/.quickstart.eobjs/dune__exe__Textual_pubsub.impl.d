@@ -1,0 +1,1 @@
+examples/textual_pubsub.ml: Array Counting_matcher Domain_codec Engine Float Format List Option Prng Probsub_core Publication Sublang Witness

@@ -1,0 +1,154 @@
+(* The paper's Section 3 motivating scenario: a sensor-enriched bicycle
+   rental system. Rental posts publish bike availability; users'
+   profiles and context generate volatile subscriptions. The example
+   reproduces Table 1 literally, then scales the scenario up to show
+   what group coverage saves on a realistic subscription population.
+
+   Attribute encoding (5 attributes, as in Table 1):
+     0: bID   — bike identifier, categories as id ranges
+     1: size  — frame size in inches
+     2: brand — brands as small integers (X = 1, Y = 2, * = full range)
+     3: rpID  — rental post identifier; areas are id ranges
+     4: date  — minutes since an epoch
+
+   Run with: dune exec examples/bike_rental.exe *)
+
+open Probsub_core
+
+let minutes ~day ~hour ~min = (day * 24 * 60) + (hour * 60) + min
+
+(* Friday March 31, 2006 is day 0 of our little epoch. *)
+let table1_s1 =
+  (* "lady mountain bike size 19'', brand X, Friday evening, near home" *)
+  Subscription.of_list
+    [
+      Interval.make ~lo:1000 ~hi:1999;
+      Interval.point 19;
+      Interval.point 1;
+      Interval.make ~lo:820 ~hi:840;
+      Interval.make ~lo:(minutes ~day:0 ~hour:16 ~min:0)
+        ~hi:(minutes ~day:0 ~hour:20 ~min:0);
+    ]
+
+let table1_s2 =
+  (* "bike size 17-19, any brand, close vicinity, lunch break" *)
+  Subscription.of_list
+    [
+      Interval.make ~lo:1 ~hi:1999;
+      Interval.make ~lo:17 ~hi:19;
+      Interval.full;
+      Interval.make ~lo:10 ~hi:12;
+      Interval.make ~lo:(minutes ~day:0 ~hour:12 ~min:0)
+        ~hi:(minutes ~day:0 ~hour:14 ~min:0);
+    ]
+
+let table1_p1 =
+  Publication.of_list
+    [ 1036; 19; 1; 825; minutes ~day:0 ~hour:18 ~min:23 ]
+
+let table1_p2 =
+  Publication.of_list
+    [ 1035; 17; 2; 11; minutes ~day:0 ~hour:12 ~min:23 ]
+
+let table1 () =
+  Format.printf "--- Table 1: the paper's example, literally ---@.";
+  Format.printf "p1 matches s1: %b (expected true)@."
+    (Publication.matches table1_s1 table1_p1);
+  Format.printf "p2 matches s2: %b (expected true)@."
+    (Publication.matches table1_s2 table1_p2);
+  Format.printf "p1 matches s2: %b (expected false)@."
+    (Publication.matches table1_s2 table1_p1);
+  Format.printf "p2 matches s1: %b (expected false)@.@."
+    (Publication.matches table1_s1 table1_p2)
+
+(* A population of users around a few city areas. User interests
+   cluster (popular sizes, popular areas, rush hours), which is what
+   makes group coverage effective. *)
+let random_subscription rng =
+  let area = Prng.int rng 3 in
+  let category = Prng.int rng 2 in
+  let size_lo = 16 + Prng.int rng 4 in
+  (* Interests cluster: three canonical daily windows (lunch, evening,
+     all day), a couple of bike categories, three hot-spot areas. *)
+  let day = Prng.int rng 3 in
+  let window_lo, window_hi =
+    match Prng.int rng 3 with
+    | 0 -> (minutes ~day ~hour:12 ~min:0, minutes ~day ~hour:14 ~min:0)
+    | 1 -> (minutes ~day ~hour:16 ~min:0, minutes ~day ~hour:20 ~min:0)
+    | _ -> (minutes ~day ~hour:8 ~min:0, minutes ~day ~hour:20 ~min:30)
+  in
+  Subscription.of_list
+    [
+      (* A bike category: a contiguous id block, possibly broad. *)
+      Interval.make ~lo:(category * 1000)
+        ~hi:((category * 1000) + 500 + Prng.int rng 499);
+      Interval.make ~lo:size_lo ~hi:(size_lo + Prng.int rng 3);
+      (if Prng.float rng < 0.6 then Interval.full
+       else Interval.point (1 + Prng.int rng 2));
+      (* Area around one of three hot spots. *)
+      Interval.make ~lo:(area * 300) ~hi:((area * 300) + 100 + Prng.int rng 199);
+      Interval.make ~lo:(window_lo + Prng.int rng 30)
+        ~hi:(window_hi - Prng.int rng 30);
+    ]
+
+let random_bike_publication rng =
+  Publication.of_list
+    [
+      Prng.int rng 2000;
+      16 + Prng.int rng 6;
+      1 + Prng.int rng 3;
+      Prng.int rng 1000;
+      Prng.int rng (7 * 24 * 60);
+    ]
+
+let fleet_simulation () =
+  Format.printf "--- City-scale run: 800 volatile subscriptions ---@.";
+  let rng = Prng.of_int 31415 in
+  let config = Engine.config ~delta:1e-6 ~max_iterations:1000 () in
+  let store policy = Subscription_store.create ~policy ~arity:5 ~seed:9 () in
+  let pairwise = store Subscription_store.Pairwise_policy in
+  let group = store (Subscription_store.Group_policy config) in
+  let keys = ref [] in
+  for i = 1 to 800 do
+    let sub = random_subscription rng in
+    ignore (Subscription_store.add pairwise sub);
+    let id, _ = Subscription_store.add group sub in
+    keys := id :: !keys;
+    (* Context churn: occasionally a user rents a bike or moves, so an
+       old subscription is cancelled (possibly promoting parked ones). *)
+    if i mod 7 = 0 then begin
+      match !keys with
+      | old :: rest when Prng.float rng < 0.6 ->
+          keys := rest;
+          ignore (Subscription_store.remove group old)
+      | _ -> ()
+    end
+  done;
+  Format.printf "pairwise policy: %d active / %d covered@."
+    (Subscription_store.active_count pairwise)
+    (Subscription_store.covered_count pairwise);
+  Format.printf "group policy:    %d active / %d covered (after churn)@."
+    (Subscription_store.active_count group)
+    (Subscription_store.covered_count group);
+  let stats = Subscription_store.stats group in
+  Format.printf
+    "group store: %d added, %d parked on arrival, %d removed, %d promoted@."
+    stats.Subscription_store.added stats.Subscription_store.dropped_covered
+    stats.Subscription_store.removed stats.Subscription_store.promoted;
+  (* Rental posts detect available bikes: publications. *)
+  let delivered = ref 0 and missed = ref 0 in
+  for _ = 1 to 2000 do
+    let p = random_bike_publication rng in
+    let hits = Subscription_store.match_publication group p in
+    let truth = Subscription_store.match_publication_exhaustive group p in
+    delivered := !delivered + List.length hits;
+    missed := !missed + (List.length truth - List.length hits)
+  done;
+  Format.printf
+    "2000 availability publications: %d notifications delivered, %d lost to \
+     probabilistic covering@."
+    !delivered !missed
+
+let () =
+  table1 ();
+  fleet_simulation ()

@@ -1,0 +1,133 @@
+(* The paper's Figure 1 walk-through: nine brokers, two subscribers,
+   two publishers, reverse path forwarding with subscription covering.
+
+       B2          S1--B1
+         \          /
+          B3 ------+
+          |
+          B4 ---- B5--P2
+         /  \
+    B6--+    B7 ---- B8
+    |        |  \
+    S2       B9  (B8)
+             |
+             P1
+
+   s2 ⊑ s1: when S2 subscribes after S1, broker B4 forwards s2 to B3
+   but withholds it from B5 and B7 (it already sent them the covering
+   s1). Publication n1 (matches s2, hence s1) from P1 at B9 reaches
+   both subscribers; n2 (matches s1 only) from P2 at B5 reaches S1
+   only.
+
+   Run with: dune exec examples/broker_network.exe *)
+
+open Probsub_core
+open Probsub_broker
+
+(* Paper broker Bi = node i-1. *)
+let b n = n - 1
+
+let () =
+  let topology = Topology.fig1 in
+  Format.printf "Fig. 1 network: %d brokers, diameter %d@." (Topology.size topology)
+    (Topology.diameter topology);
+  let net =
+    Network.create ~policy:Subscription_store.Pairwise_policy ~topology
+      ~arity:2 ~seed:3 ()
+  in
+  (* Two-attribute content space; s1 strictly contains s2. *)
+  let s1 = Subscription.of_bounds [ (0, 100); (0, 100) ] in
+  let s2 = Subscription.of_bounds [ (20, 40); (20, 40) ] in
+
+  (* S1 subscribes at B1 and the subscription floods. *)
+  let _k1 = Network.subscribe net ~broker:(b 1) ~client:1 s1 in
+  Network.run net;
+  let after_s1 = (Network.metrics net).Metrics.subscribe_msgs in
+  Format.printf "s1 flooded with %d subscribe messages (8 links x 1)@." after_s1;
+
+  (* S2 subscribes at B6: covering must prune the flood. *)
+  let _k2 = Network.subscribe net ~broker:(b 6) ~client:2 s2 in
+  Network.run net;
+  let m = Network.metrics net in
+  Format.printf "s2 propagated with %d more subscribe messages@."
+    (m.Metrics.subscribe_msgs - after_s1);
+  Format.printf "covering suppressed %d forwards@."
+    m.Metrics.suppressed_subscriptions;
+  let b4 = Network.broker net (b 4) in
+  Format.printf "B4 -> B5: %d active, %d suppressed (s2 covered by s1)@."
+    (Broker_node.active_towards b4 ~neighbor:(b 5))
+    (Broker_node.suppressed_towards b4 ~neighbor:(b 5))
+  ;
+  Format.printf "B4 -> B3: %d active (s2 forwarded towards S1's side)@."
+    (Broker_node.active_towards b4 ~neighbor:(b 3));
+
+  (* P1 publishes n1 at B9; it matches s2 (and therefore s1). *)
+  let n1 = Publication.of_list [ 30; 30 ] in
+  ignore (Network.publish net ~broker:(b 9) n1);
+  Network.run net;
+  let deliveries kind =
+    List.filter_map
+      (fun n ->
+        if n.Network.pub_id = kind then
+          Some (Printf.sprintf "S%d@B%d" n.Network.client (n.Network.broker + 1))
+        else None)
+      (Network.notifications net)
+  in
+  Format.printf "n1 (matches s2 and s1) delivered to: %s@."
+    (String.concat ", " (deliveries 0));
+
+  (* P2 publishes n2 at B5; it matches s1 but not s2. *)
+  let n2 = Publication.of_list [ 80; 80 ] in
+  ignore (Network.publish net ~broker:(b 5) n2);
+  Network.run net;
+  Format.printf "n2 (matches s1 only)   delivered to: %s@."
+    (String.concat ", " (deliveries 1));
+
+  let m = Network.metrics net in
+  Format.printf "totals: %d subscribe, %d publish messages, %d notifications@."
+    m.Metrics.subscribe_msgs m.Metrics.publish_msgs m.Metrics.notifications;
+
+  (* The same walk-through under the probabilistic group policy, on a
+     bigger random network, to show the traffic difference. *)
+  Format.printf "@.--- 30-broker random network, 200 subscriptions ---@.";
+  let rng = Prng.of_int 99 in
+  let topo = Topology.random_connected rng ~n:30 ~extra_edges:10 in
+  let run_policy name policy =
+    let net = Network.create ~policy ~topology:topo ~arity:3 ~seed:5 () in
+    let wrng = Prng.of_int 123 in
+    for i = 1 to 200 do
+      let sub =
+        Subscription.of_list
+          (List.init 3 (fun _ ->
+               let lo = Prng.int wrng 500 in
+               Interval.make ~lo ~hi:(lo + 100 + Prng.int wrng 400)))
+      in
+      ignore (Network.subscribe net ~broker:(i mod 30) ~client:i sub)
+    done;
+    Network.run net;
+    (* A burst of publications to measure delivery. *)
+    let lost = ref 0 and delivered = ref 0 in
+    for _ = 1 to 100 do
+      let p =
+        Publication.of_list (List.init 3 (fun _ -> Prng.int wrng 1000))
+      in
+      let expected = List.length (Network.expected_recipients net p) in
+      let before = (Network.metrics net).Metrics.notifications in
+      ignore (Network.publish net ~broker:(Prng.int wrng 30) p);
+      Network.run net;
+      let got = (Network.metrics net).Metrics.notifications - before in
+      delivered := !delivered + got;
+      lost := !lost + (expected - got)
+    done;
+    let m = Network.metrics net in
+    Format.printf
+      "%-10s subscribe msgs: %5d (suppressed %5d)  publish msgs: %5d  \
+       delivered: %d  lost: %d@."
+      name m.Metrics.subscribe_msgs m.Metrics.suppressed_subscriptions
+      m.Metrics.publish_msgs !delivered !lost
+  in
+  run_policy "flooding" Subscription_store.No_coverage;
+  run_policy "pairwise" Subscription_store.Pairwise_policy;
+  run_policy "group"
+    (Subscription_store.Group_policy
+       (Engine.config ~delta:1e-6 ~max_iterations:500 ()))

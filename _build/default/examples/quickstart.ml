@@ -1,0 +1,66 @@
+(* Quickstart: the probabilistic subsumption API in five minutes.
+   Run with: dune exec examples/quickstart.exe *)
+
+open Probsub_core
+
+let () =
+  (* 1. Subscriptions are conjunctions of range predicates — boxes over
+     integer attributes. Here: two attributes (price cents, quantity). *)
+  let s1 = Subscription.of_bounds [ (1000, 5000); (1, 100) ] in
+  let s2 = Subscription.of_bounds [ (4000, 9000); (1, 120) ] in
+  let s = Subscription.of_bounds [ (2000, 8000); (10, 90) ] in
+  Format.printf "s  = %a@." Subscription.pp s;
+  Format.printf "s1 = %a@.s2 = %a@." Subscription.pp s1 Subscription.pp s2;
+
+  (* 2. Pairwise covering — what Siena-style systems can do — fails
+     here: neither s1 nor s2 alone covers s. *)
+  (match Pairwise.find_coverer s [| s1; s2 |] with
+  | Some i -> Format.printf "pairwise: covered by s%d@." (i + 1)
+  | None -> Format.printf "pairwise: no single subscription covers s@.");
+
+  (* 3. The probabilistic engine answers the *group* coverage question:
+     is s inside the union s1 ∪ s2? Definite NOs are always correct;
+     YES carries an error bound delta. *)
+  let rng = Prng.of_int 2006 in
+  let config = Engine.config ~delta:1e-9 () in
+  let report = Engine.check ~config ~rng s [| s1; s2 |] in
+  (match report.Engine.verdict with
+  | Engine.Covered_probably ->
+      Format.printf
+        "engine: covered by the union (%d trials, error <= %.2g)@."
+        report.Engine.iterations
+        (Option.value ~default:Float.nan report.Engine.achieved_delta)
+  | Engine.Covered_pairwise i ->
+      Format.printf "engine: covered by s%d alone@." (i + 1)
+  | Engine.Not_covered (Engine.Point p) ->
+      Format.printf "engine: NOT covered, witness point (%d, %d)@." p.(0) p.(1)
+  | Engine.Not_covered (Engine.Polyhedron w) ->
+      Format.printf "engine: NOT covered, witness box %a@." Subscription.pp
+        w.Witness.region
+  | Engine.Not_covered Engine.Empty_set ->
+      Format.printf "engine: NOT covered (no candidates)@.");
+
+  (* 4. A store applies the check on every arrival: covered
+     subscriptions are parked, active ones would be propagated. *)
+  let store =
+    Subscription_store.create
+      ~policy:(Subscription_store.Group_policy config) ~arity:2 ~seed:1 ()
+  in
+  let _id1, _ = Subscription_store.add store s1 in
+  let _id2, _ = Subscription_store.add store s2 in
+  let _id3, placement = Subscription_store.add store s in
+  (match placement with
+  | Subscription_store.Covered by ->
+      Format.printf "store: s parked as covered (coverers: %s)@."
+        (String.concat ", " (List.map string_of_int by))
+  | Subscription_store.Active -> Format.printf "store: s stays active@.");
+  Format.printf "store: %d active / %d covered@."
+    (Subscription_store.active_count store)
+    (Subscription_store.covered_count store);
+
+  (* 5. Publications are points; matching uses Algorithm 5 (active set
+     first, covered set only on a hit). *)
+  let p = Publication.of_list [ 4500; 50 ] in
+  let hits = Subscription_store.match_publication store p in
+  Format.printf "publication %a matches %d subscription(s)@." Publication.pp p
+    (List.length hits)

@@ -1,0 +1,100 @@
+(* End-to-end tour of the typed/textual layer: a schema, subscriptions
+   and publications written as text (the same syntax the `probsub
+   check` and `probsub match` commands accept), the counting matcher
+   for fast matching, and the probabilistic engine deciding group
+   coverage over the parsed set.
+
+   Run with: dune exec examples/textual_pubsub.exe *)
+
+open Probsub_core
+
+let schema_text =
+  {|# stock ticker schema
+symbol : enum(ACME, GLOBEX, INITECH, HOOLI)
+price  : int[0, 100000]      # cents
+volume : int[0, 1000000]
+urgent : flag
+stamp  : minutes
+|}
+
+let subscription_texts =
+  [
+    "symbol = ACME & price <= 50000";
+    "symbol = ACME & price in [20000, 80000] & volume >= 1000";
+    "symbol = GLOBEX & urgent = true";
+    "price <= 10000";
+    "symbol = ACME & price in [10000, 45000] & stamp >= 2006-03-31T00:00";
+  ]
+
+let publication_texts =
+  [
+    "symbol = ACME, price = 42000, volume = 5000, urgent = false, \
+     stamp = 2006-03-31T14:30";
+    "symbol = GLOBEX, price = 99000, volume = 10, urgent = true, \
+     stamp = 2006-04-01T09:00";
+    "symbol = HOOLI, price = 5000, volume = 777, urgent = false, \
+     stamp = 2006-04-02T11:11";
+  ]
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline e;
+      exit 1
+
+let () =
+  let codec = or_die (Sublang.parse_schema schema_text) in
+  Format.printf "schema: %d typed attributes@." (Domain_codec.arity codec);
+
+  (* Parse the subscription set and index it in the counting matcher. *)
+  let subs =
+    List.map (fun s -> or_die (Sublang.parse_subscription codec s))
+      subscription_texts
+  in
+  let matcher = Counting_matcher.create ~arity:(Domain_codec.arity codec) () in
+  List.iteri (fun i sub -> Counting_matcher.add matcher ~id:i sub) subs;
+
+  (* Match the publications. *)
+  List.iter
+    (fun text ->
+      let pub = or_die (Sublang.parse_publication codec text) in
+      let hits = Counting_matcher.match_publication matcher pub in
+      Format.printf "@.publication: %s@." text;
+      if hits = [] then Format.printf "  -> no subscriber@."
+      else
+        List.iter
+          (fun i ->
+            Format.printf "  -> %a@."
+              (Domain_codec.pp_subscription codec)
+              (List.nth subs i))
+          hits)
+    publication_texts;
+
+  (* Group subsumption over the textual set: is a narrower ACME
+     subscription redundant given the set? *)
+  let candidate =
+    or_die
+      (Sublang.parse_subscription codec
+         "symbol = ACME & price in [30000, 48000]")
+  in
+  let report =
+    Engine.check
+      ~config:(Engine.config ~delta:1e-9 ())
+      ~rng:(Prng.of_int 7) candidate (Array.of_list subs)
+  in
+  Format.printf "@.is %s redundant?@."
+    (Sublang.subscription_to_string codec candidate);
+  (match report.Engine.verdict with
+  | Engine.Covered_pairwise i ->
+      Format.printf "  yes - already covered by #%d alone@." i
+  | Engine.Covered_probably ->
+      Format.printf "  yes - covered by the union (error <= %g)@."
+        (Option.value ~default:Float.nan report.Engine.achieved_delta)
+  | Engine.Not_covered (Engine.Point p) ->
+      Format.printf "  no - e.g. nobody covers %a@." Publication.pp
+        (Publication.point p)
+  | Engine.Not_covered (Engine.Polyhedron w) ->
+      Format.printf "  no - the region %s is uncovered@."
+        (Sublang.subscription_to_string codec w.Witness.region)
+  | Engine.Not_covered Engine.Empty_set ->
+      Format.printf "  no - nothing overlaps it@.")

@@ -1,0 +1,1 @@
+lib/broker/broker_node.ml: Hashtbl Int64 List Message Prng Probsub_core Subscription Subscription_store Topology

@@ -1,0 +1,1 @@
+lib/broker/broker_node.mli: Message Probsub_core Subscription_store Topology

@@ -1,0 +1,1 @@
+lib/broker/chain_model.ml: Engine Prng Probsub_core Probsub_workload

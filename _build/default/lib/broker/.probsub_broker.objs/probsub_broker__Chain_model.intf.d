@@ -1,0 +1,1 @@
+lib/broker/chain_model.mli: Prng Probsub_core

@@ -1,0 +1,1 @@
+lib/broker/event_queue.mli:

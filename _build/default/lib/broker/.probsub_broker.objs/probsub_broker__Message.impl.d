@@ -1,0 +1,1 @@
+lib/broker/message.ml: Format Probsub_core Topology

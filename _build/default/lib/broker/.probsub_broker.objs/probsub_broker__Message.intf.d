@@ -1,0 +1,1 @@
+lib/broker/message.mli: Format Probsub_core Topology

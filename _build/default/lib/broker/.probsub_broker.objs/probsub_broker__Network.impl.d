@@ -1,0 +1,1 @@
+lib/broker/network.ml: Array Broker_node Event_queue Hashtbl List Message Metrics Probsub_core Publication Subscription Subscription_store Topology

@@ -1,0 +1,1 @@
+lib/broker/network.mli: Broker_node Metrics Probsub_core Publication Subscription Subscription_store Topology

@@ -1,0 +1,1 @@
+lib/broker/topology.ml: Array Format Hashtbl Int List Prng Probsub_core Queue

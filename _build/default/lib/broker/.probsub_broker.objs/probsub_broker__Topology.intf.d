@@ -1,0 +1,1 @@
+lib/broker/topology.mli: Format Probsub_core

@@ -1,0 +1,1 @@
+lib/broker/trace.ml: Array Buffer Float Fun Hashtbl Interval List Network Option Printf Prng Probsub_core Probsub_workload Publication String Subscription

@@ -1,0 +1,1 @@
+lib/broker/trace.mli: Network Prng Probsub_core Publication Subscription

@@ -1,0 +1,247 @@
+open Probsub_core
+
+type action =
+  | Forward of { to_ : Topology.broker; payload : Message.payload }
+  | Notify of { client : int; key : int; pub_id : int }
+
+(* Coverage-checked set of subscriptions offered towards one
+   neighbour, with the network-wide key <-> store-id correspondence. *)
+type peer_state = {
+  store : Subscription_store.t;
+  key_to_id : (int, Subscription_store.id) Hashtbl.t;
+  id_to_key : (Subscription_store.id, int) Hashtbl.t;
+}
+
+type t = {
+  id : Topology.broker;
+  neighbors : Topology.broker list;
+  use_advertisements : bool;
+  routing : Subscription_store.t;  (* the received table of Algorithm 5 *)
+  r_key_to_id : (int, Subscription_store.id) Hashtbl.t;
+  r_id_to_key : (Subscription_store.id, int) Hashtbl.t;
+  r_origin : (Subscription_store.id, Message.origin) Hashtbl.t;
+  peers : (Topology.broker, peer_state) Hashtbl.t;
+  ads : (int, Subscription.t * Message.origin) Hashtbl.t;
+  seen_pubs : (int, unit) Hashtbl.t;
+}
+
+let create ?(use_advertisements = false) ~id ~neighbors ~policy ~arity ~seed
+    () =
+  let rng = Prng.of_int (seed + (id * 7919)) in
+  let fresh_store () =
+    Subscription_store.create ~policy ~arity
+      ~seed:(Int64.to_int (Prng.bits64 rng) land 0x3FFFFFFF)
+      ()
+  in
+  let peers = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace peers n
+        {
+          store = fresh_store ();
+          key_to_id = Hashtbl.create 32;
+          id_to_key = Hashtbl.create 32;
+        })
+    neighbors;
+  {
+    id;
+    neighbors;
+    use_advertisements;
+    routing = fresh_store ();
+    r_key_to_id = Hashtbl.create 64;
+    r_id_to_key = Hashtbl.create 64;
+    r_origin = Hashtbl.create 64;
+    peers;
+    ads = Hashtbl.create 16;
+    seen_pubs = Hashtbl.create 64;
+  }
+
+let id t = t.id
+let knows_subscription t ~key = Hashtbl.mem t.r_key_to_id key
+let knows_advertisement t ~key = Hashtbl.mem t.ads key
+let routing_table_size t = Subscription_store.size t.routing
+
+let peer t neighbor =
+  match Hashtbl.find_opt t.peers neighbor with
+  | Some p -> p
+  | None -> invalid_arg "Broker_node: not a neighbour"
+
+let active_towards t ~neighbor =
+  Subscription_store.active_count (peer t neighbor).store
+
+let suppressed_towards t ~neighbor =
+  Subscription_store.covered_count (peer t neighbor).store
+
+let out_neighbors t ~origin =
+  List.filter
+    (fun n ->
+      match origin with Message.Link l -> l <> n | Message.Client _ -> true)
+    t.neighbors
+
+(* In advertisement mode a subscription is only worth sending towards
+   [neighbor] if some advertisement that arrived over that link
+   intersects it: publications matching the subscription can only come
+   from that direction if a publisher there declared overlapping
+   content. *)
+let neighbor_advertises t ~neighbor sub =
+  (not t.use_advertisements)
+  || Hashtbl.fold
+       (fun _ (adv, origin) found ->
+         found
+         || match origin with
+            | Message.Link l ->
+                l = neighbor && Subscription.intersects adv sub
+            | Message.Client _ -> false)
+       t.ads false
+
+(* Offer one subscription towards one neighbour: the per-neighbour
+   store decides (by policy) whether it actually crosses the link. *)
+let offer_to_peer t ~neighbor ~key ~sub =
+  let p = peer t neighbor in
+  if Hashtbl.mem p.key_to_id key then []
+  else begin
+    let pid, placement = Subscription_store.add p.store sub in
+    Hashtbl.replace p.key_to_id key pid;
+    Hashtbl.replace p.id_to_key pid key;
+    match placement with
+    | Subscription_store.Active ->
+        [ Forward { to_ = neighbor; payload = Message.Subscribe { key; sub } } ]
+    | Subscription_store.Covered _ -> []
+  end
+
+let handle_subscribe t ~origin ~key ~sub =
+  if knows_subscription t ~key then []
+  else begin
+    let rid, _ = Subscription_store.add t.routing sub in
+    Hashtbl.replace t.r_key_to_id key rid;
+    Hashtbl.replace t.r_id_to_key rid key;
+    Hashtbl.replace t.r_origin rid origin;
+    List.concat_map
+      (fun n ->
+        if neighbor_advertises t ~neighbor:n sub then
+          offer_to_peer t ~neighbor:n ~key ~sub
+        else [])
+      (out_neighbors t ~origin)
+  end
+
+let handle_unsubscribe t ~origin ~key =
+  match Hashtbl.find_opt t.r_key_to_id key with
+  | None -> []
+  | Some rid ->
+      ignore (Subscription_store.remove t.routing rid);
+      Hashtbl.remove t.r_key_to_id key;
+      Hashtbl.remove t.r_id_to_key rid;
+      Hashtbl.remove t.r_origin rid;
+      List.concat_map
+        (fun n ->
+          let p = peer t n in
+          match Hashtbl.find_opt p.key_to_id key with
+          | None -> []
+          | Some pid ->
+              let was_active = Subscription_store.is_active p.store pid in
+              let promoted = Subscription_store.remove p.store pid in
+              Hashtbl.remove p.key_to_id key;
+              Hashtbl.remove p.id_to_key pid;
+              let unsub_forward =
+                if was_active then
+                  [ Forward { to_ = n; payload = Message.Unsubscribe { key } } ]
+                else []
+              in
+              (* §5: subscriptions this one was covering towards n are
+                 promoted and must now actually be sent. *)
+              let promotions =
+                List.map
+                  (fun pid' ->
+                    let key' = Hashtbl.find p.id_to_key pid' in
+                    let sub' = Subscription_store.find p.store pid' in
+                    Forward
+                      {
+                        to_ = n;
+                        payload = Message.Subscribe { key = key'; sub = sub' };
+                      })
+                  promoted
+              in
+              unsub_forward @ promotions)
+        (out_neighbors t ~origin)
+
+let handle_advertise t ~origin ~key ~adv =
+  if knows_advertisement t ~key then []
+  else begin
+    Hashtbl.replace t.ads key (adv, origin);
+    (* Flood the advertisement itself. *)
+    let floods =
+      List.map
+        (fun n ->
+          Forward { to_ = n; payload = Message.Advertise { key; adv } })
+        (out_neighbors t ~origin)
+    in
+    (* A new route towards a publisher opened: subscriptions pending on
+       an intersecting advertisement must now be offered that way. *)
+    let back_offers =
+      match origin with
+      | Message.Client _ -> []
+      | Message.Link l ->
+          Hashtbl.fold
+            (fun rid sub_origin acc ->
+              let key' = Hashtbl.find t.r_id_to_key rid in
+              let sub = Subscription_store.find t.routing rid in
+              let towards_origin =
+                match sub_origin with
+                | Message.Link l' -> l' = l
+                | Message.Client _ -> false
+              in
+              if
+                t.use_advertisements && (not towards_origin)
+                && Subscription.intersects adv sub
+              then offer_to_peer t ~neighbor:l ~key:key' ~sub @ acc
+              else acc)
+            t.r_origin []
+    in
+    floods @ back_offers
+  end
+
+let handle_unadvertise t ~origin ~key =
+  if not (knows_advertisement t ~key) then []
+  else begin
+    Hashtbl.remove t.ads key;
+    List.map
+      (fun n -> Forward { to_ = n; payload = Message.Unadvertise { key } })
+      (out_neighbors t ~origin)
+  end
+
+let handle_publish t ~origin ~pub_id ~pub =
+  if Hashtbl.mem t.seen_pubs pub_id then []
+  else begin
+    Hashtbl.replace t.seen_pubs pub_id ();
+    let hits = Subscription_store.match_publication t.routing pub in
+    let notifications = ref [] in
+    let links = ref [] in
+    List.iter
+      (fun rid ->
+        let key = Hashtbl.find t.r_id_to_key rid in
+        match Hashtbl.find t.r_origin rid with
+        | Message.Client c ->
+            notifications := Notify { client = c; key; pub_id } :: !notifications
+        | Message.Link b -> if not (List.mem b !links) then links := b :: !links)
+      hits;
+    let forwards =
+      List.filter_map
+        (fun b ->
+          let came_from =
+            match origin with Message.Link l -> l = b | Message.Client _ -> false
+          in
+          if came_from then None
+          else
+            Some (Forward { to_ = b; payload = Message.Publish { id = pub_id; pub } }))
+        (List.rev !links)
+    in
+    List.rev !notifications @ forwards
+  end
+
+let handle t ~origin payload =
+  match payload with
+  | Message.Subscribe { key; sub } -> handle_subscribe t ~origin ~key ~sub
+  | Message.Unsubscribe { key } -> handle_unsubscribe t ~origin ~key
+  | Message.Advertise { key; adv } -> handle_advertise t ~origin ~key ~adv
+  | Message.Unadvertise { key } -> handle_unadvertise t ~origin ~key
+  | Message.Publish { id; pub } -> handle_publish t ~origin ~pub_id:id ~pub

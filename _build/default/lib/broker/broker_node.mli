@@ -1,0 +1,73 @@
+(** A single broker implementing covering-based reverse path forwarding
+    (§2), with the coverage policy applied {e per outgoing neighbour}:
+    a subscription is forwarded to neighbour [N] unless the set of
+    subscriptions already sent to [N] covers it — exactly the paper's
+    Fig. 1 walk-through, where B4 withholds [s2] from B5/B7 (it sent
+    them the covering [s1]) but still forwards it to B3 ([s1] came {e
+    from} B3).
+
+    The broker is a pure-ish state machine: {!handle} consumes a
+    message and returns the actions the network layer must perform
+    (forwards and client notifications). This keeps brokers
+    independently testable without a simulator. *)
+
+open Probsub_core
+
+type t
+
+type action =
+  | Forward of { to_ : Topology.broker; payload : Message.payload }
+  | Notify of { client : int; key : int; pub_id : int }
+      (** Deliver publication [pub_id] to a local [client] whose
+          subscription [key] matched. *)
+
+val create :
+  ?use_advertisements:bool -> id:Topology.broker ->
+  neighbors:Topology.broker list -> policy:Subscription_store.policy ->
+  arity:int -> seed:int -> unit -> t
+(** One coverage-checking store per outgoing neighbour plus a local
+    routing store (the received table of Algorithm 5). With
+    [use_advertisements] (default false), subscriptions are only
+    forwarded towards neighbours from which an intersecting
+    advertisement arrived — Siena-style advertisement routing; when a
+    new advertisement opens a route, pending subscriptions are offered
+    along it retroactively. *)
+
+val id : t -> Topology.broker
+
+val handle : t -> origin:Message.origin -> Message.payload -> action list
+(** Process one message:
+
+    - [Subscribe]: record in the routing table (duplicates from other
+      paths are dropped); for each neighbour other than the origin,
+      forward unless that neighbour's sent-set covers the subscription.
+    - [Unsubscribe]: drop from the routing table; per neighbour, an
+      unsubscribe forward is emitted only if the subscription had
+      actually been sent there, and any subscriptions whose cover it
+      provided are promoted — i.e. (re)sent (§5).
+    - [Advertise]: record and flood; in advertisement mode, offer
+      intersecting known subscriptions towards the link it came from.
+    - [Unadvertise]: drop and flood. Subscriptions already routed along
+      the perished path are left in place (they are harmless and will
+      age out with their own unsubscriptions).
+    - [Publish]: match against the routing table (Algorithm 5
+      two-level matching); notify matching local clients and forward
+      towards every neighbour that sent a matching subscription,
+      except the link it arrived on. Duplicate publication ids are
+      dropped. *)
+
+val knows_subscription : t -> key:int -> bool
+(** True when [key] is in the routing table. *)
+
+val knows_advertisement : t -> key:int -> bool
+
+val routing_table_size : t -> int
+(** Live entries in the routing table. *)
+
+val active_towards : t -> neighbor:Topology.broker -> int
+(** Subscriptions actually sent (active) towards a neighbour — the
+    per-link subscription state whose growth the covering machinery
+    bounds. @raise Invalid_argument for a non-neighbour. *)
+
+val suppressed_towards : t -> neighbor:Topology.broker -> int
+(** Subscriptions withheld from a neighbour by covering. *)

@@ -1,0 +1,75 @@
+open Probsub_core
+
+let analytic ~n ~rho ~per_check_error =
+  if n < 1 then invalid_arg "Chain_model.analytic: n < 1";
+  if not (rho >= 0.0 && rho <= 1.0) then
+    invalid_arg "Chain_model.analytic: rho outside [0, 1]";
+  if not (per_check_error >= 0.0 && per_check_error <= 1.0) then
+    invalid_arg "Chain_model.analytic: error outside [0, 1]";
+  let factor = (1.0 -. rho) *. (1.0 -. per_check_error) in
+  let sum = ref 0.0 in
+  let pow = ref 1.0 in
+  for _ = 1 to n do
+    sum := !sum +. (rho *. !pow);
+    pow := !pow *. factor
+  done;
+  !sum
+
+let analytic_rspc ~n ~rho ~rho_w ~d =
+  analytic ~n ~rho ~per_check_error:((1.0 -. rho_w) ** float_of_int d)
+
+type result = {
+  trials : int;
+  delivered : int;
+  no_publication : int;
+  measured : float;
+  analytic : float;
+  mean_reach : float;
+}
+
+let simulate ?(stagger_min = 1.0) ?(stagger_spread = 10) rng ~n_brokers ~rho ~m
+    ~k ~gap_fraction ~delta ~trials =
+  if trials < 1 then invalid_arg "Chain_model.simulate: trials < 1";
+  let config = Engine.config ~delta () in
+  let delivered = ref 0 in
+  let no_publication = ref 0 in
+  let total_reach = ref 0 in
+  for _ = 1 to trials do
+    let instance =
+      Probsub_workload.Scenario.extreme_non_cover ~stagger_min ~stagger_spread
+        rng ~m ~k ~gap_fraction
+    in
+    (* Walk the chain: broker i forwards to i+1 unless its (independent)
+       probabilistic check claims the set covers s. *)
+    let reach = ref 1 in
+    let stopped = ref false in
+    while (not !stopped) && !reach < n_brokers do
+      let report =
+        Engine.check ~config ~rng instance.Probsub_workload.Scenario.s
+          instance.Probsub_workload.Scenario.set
+      in
+      if Engine.is_covered report.Engine.verdict then stopped := true
+      else incr reach
+    done;
+    total_reach := !total_reach + !reach;
+    (* The publication appears at the first broker that draws heads. *)
+    let publisher = ref 0 in
+    (try
+       for i = 1 to n_brokers do
+         if Prng.float rng < rho then begin
+           publisher := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !publisher = 0 then incr no_publication
+    else if !publisher <= !reach then incr delivered
+  done;
+  {
+    trials;
+    delivered = !delivered;
+    no_publication = !no_publication;
+    measured = float_of_int !delivered /. float_of_int trials;
+    analytic = analytic ~n:n_brokers ~rho ~per_check_error:delta;
+    mean_reach = float_of_int !total_reach /. float_of_int trials;
+  }

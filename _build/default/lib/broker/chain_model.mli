@@ -1,0 +1,45 @@
+(** Proposition 5: subscription propagation along a broker chain.
+
+    A new subscription [s], erroneously coverable with per-check error
+    [δ' = (1 − ρw)^d], propagates down a chain of [n] brokers; a
+    matching publication (matching [s] but no existing subscription)
+    appears at broker [Bi] with probability [ρ(1 − ρ)^(i-1)]. Equation 2
+    gives the probability the publication is found:
+
+    [P = Σ_{i=1..n} ρ · ((1 − ρ)(1 − (1 − ρw)^d))^(i-1)]
+
+    {!analytic} evaluates the bound; {!simulate} Monte-Carlos the
+    actual process, re-running the real engine check at every hop on a
+    fresh extreme-non-cover instance, so the measured curve includes
+    everything the bound abstracts away (MCS, fast paths, the ρw
+    estimate). *)
+
+open Probsub_core
+
+val analytic : n:int -> rho:float -> per_check_error:float -> float
+(** Equation 2 with [δ' = per_check_error].
+    @raise Invalid_argument unless [n >= 1], [0 <= rho <= 1] and
+    [0 <= per_check_error <= 1]. *)
+
+val analytic_rspc : n:int -> rho:float -> rho_w:float -> d:int -> float
+(** Equation 2 with [δ' = (1 − rho_w)^d]. *)
+
+type result = {
+  trials : int;
+  delivered : int;  (** Trials where the publication was found. *)
+  no_publication : int;  (** Trials where no broker drew the publication. *)
+  measured : float;  (** delivered / trials. *)
+  analytic : float;  (** Equation 2 with the configured parameters. *)
+  mean_reach : float;  (** Average number of brokers the subscription reached. *)
+}
+
+val simulate :
+  ?stagger_min:float -> ?stagger_spread:int -> Prng.t -> n_brokers:int ->
+  rho:float -> m:int -> k:int -> gap_fraction:float -> delta:float ->
+  trials:int -> result
+(** Each trial: draw a Scenario 2.c instance (true non-cover with
+    [ρw ≈ gap_fraction]); walk the chain, re-checking coverage with the
+    engine at every hop (an erroneous probabilistic YES stops
+    propagation); draw the publication's broker with per-broker
+    probability [rho]; the trial succeeds when the publication lands at
+    a broker the subscription reached. *)

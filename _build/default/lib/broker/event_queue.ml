@@ -1,0 +1,81 @@
+type 'a cell = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let cell_before a b =
+  a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
+
+let grow q =
+  let cap = Array.length q.heap in
+  if q.len >= cap then begin
+    let dummy = q.heap.(0) in
+    let fresh = Array.make (max 16 (2 * cap)) dummy in
+    Array.blit q.heap 0 fresh 0 q.len;
+    q.heap <- fresh
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cell_before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.len && cell_before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.len && cell_before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q ~time payload =
+  if Float.is_nan time || time < 0.0 then
+    invalid_arg "Event_queue.push: bad time";
+  let cell = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.len = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 cell;
+  grow q;
+  q.heap.(q.len) <- cell;
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.heap.(0) <- q.heap.(q.len);
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.len = 0 then None else Some q.heap.(0).time
+let size q = q.len
+let is_empty q = q.len = 0
+
+let drain q ~f =
+  let rec loop () =
+    match pop q with
+    | None -> ()
+    | Some (time, payload) ->
+        f ~time payload;
+        loop ()
+  in
+  loop ()

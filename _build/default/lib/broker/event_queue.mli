@@ -1,0 +1,25 @@
+(** Priority queue of timestamped events — the heart of the
+    discrete-event simulator. A binary min-heap ordered by [(time,
+    sequence)]: ties in time are delivered in insertion order, which
+    keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** [push q ~time e] schedules [e] at [time].
+    @raise Invalid_argument if [time] is negative or NaN. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, if any. *)
+
+val peek_time : 'a t -> float option
+(** Earliest scheduled time without removing the event. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val drain : 'a t -> f:(time:float -> 'a -> unit) -> unit
+(** Pop everything in order, applying [f]. Events pushed by [f] itself
+    are processed too (the usual simulation loop). *)

@@ -1,0 +1,24 @@
+(** Messages exchanged in the broker network. *)
+
+type origin =
+  | Client of int  (** A locally connected client, by client id. *)
+  | Link of Topology.broker  (** A neighbouring broker. *)
+
+type payload =
+  | Subscribe of { key : int; sub : Probsub_core.Subscription.t }
+      (** [key] identifies the subscription network-wide so duplicate
+          arrivals over different paths can be suppressed. *)
+  | Unsubscribe of { key : int }
+  | Advertise of { key : int; adv : Probsub_core.Subscription.t }
+      (** A publisher's declaration of the content box it will publish
+          into; floods the network so subscriptions can be routed
+          toward matching publishers only (Siena-style, §2's "brokers
+          that are potential publishers"). *)
+  | Unadvertise of { key : int }
+  | Publish of { id : int; pub : Probsub_core.Publication.t }
+      (** [id] identifies the publication network-wide (duplicate
+          suppression on cyclic topologies). *)
+
+val origin_equal : origin -> origin -> bool
+val pp_origin : Format.formatter -> origin -> unit
+val pp_payload : Format.formatter -> payload -> unit

@@ -1,0 +1,40 @@
+type t = {
+  mutable subscribe_msgs : int;
+  mutable unsubscribe_msgs : int;
+  mutable advertise_msgs : int;
+  mutable publish_msgs : int;
+  mutable notifications : int;
+  mutable suppressed_subscriptions : int;
+  mutable duplicate_drops : int;
+}
+
+let create () =
+  {
+    subscribe_msgs = 0;
+    unsubscribe_msgs = 0;
+    advertise_msgs = 0;
+    publish_msgs = 0;
+    notifications = 0;
+    suppressed_subscriptions = 0;
+    duplicate_drops = 0;
+  }
+
+let reset t =
+  t.subscribe_msgs <- 0;
+  t.unsubscribe_msgs <- 0;
+  t.advertise_msgs <- 0;
+  t.publish_msgs <- 0;
+  t.notifications <- 0;
+  t.suppressed_subscriptions <- 0;
+  t.duplicate_drops <- 0
+
+let total_messages t =
+  t.subscribe_msgs + t.unsubscribe_msgs + t.advertise_msgs + t.publish_msgs
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>subscribe msgs:  %d@,unsubscribe msgs: %d@,advertise msgs:  %d@,\
+     publish msgs:    %d@,notifications:   %d@,suppressed subs: %d@,\
+     duplicate drops: %d@]"
+    t.subscribe_msgs t.unsubscribe_msgs t.advertise_msgs t.publish_msgs
+    t.notifications t.suppressed_subscriptions t.duplicate_drops

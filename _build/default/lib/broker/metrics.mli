@@ -1,0 +1,23 @@
+(** Network-wide traffic counters. Subscription traffic is the quantity
+    the paper's covering machinery reduces; publication losses are the
+    price of an erroneous probabilistic cover (Proposition 5). *)
+
+type t = {
+  mutable subscribe_msgs : int;  (** Subscribe messages over links. *)
+  mutable unsubscribe_msgs : int;
+  mutable advertise_msgs : int;
+      (** Advertise/unadvertise messages over links. *)
+  mutable publish_msgs : int;  (** Publish messages over links. *)
+  mutable notifications : int;  (** Client deliveries. *)
+  mutable suppressed_subscriptions : int;
+      (** Subscribe forwards withheld because of a covering decision. *)
+  mutable duplicate_drops : int;
+      (** Messages dropped by duplicate suppression (cyclic routes). *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val total_messages : t -> int
+(** Link messages of all kinds (notifications excluded). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,191 @@
+open Probsub_core
+
+type notification = {
+  time : float;
+  broker : Topology.broker;
+  client : int;
+  sub_key : int;
+  pub_id : int;
+}
+
+type event = {
+  dst : Topology.broker;
+  origin : Message.origin;
+  payload : Message.payload;
+}
+
+type t = {
+  topology : Topology.t;
+  brokers : Broker_node.t array;
+  queue : event Event_queue.t;
+  metrics : Metrics.t;
+  link_latency : float;
+  mutable clock : float;
+  mutable next_sub_key : int;
+  mutable next_adv_key : int;
+  mutable next_pub_id : int;
+  mutable notifications : notification list; (* newest first *)
+  (* key -> (broker, client, sub); removed on unsubscribe. *)
+  client_subs : (int, Topology.broker * int * Subscription.t) Hashtbl.t;
+}
+
+let create ?(policy = Subscription_store.Pairwise_policy) ?(link_latency = 1.0)
+    ?(use_advertisements = false) ~topology ~arity ~seed () =
+  if not (link_latency > 0.0) then
+    invalid_arg "Network.create: latency must be positive";
+  let brokers =
+    Array.init (Topology.size topology) (fun id ->
+        Broker_node.create ~use_advertisements ~id
+          ~neighbors:(Topology.neighbors topology id)
+          ~policy ~arity ~seed ())
+  in
+  {
+    topology;
+    brokers;
+    queue = Event_queue.create ();
+    metrics = Metrics.create ();
+    link_latency;
+    clock = 0.0;
+    next_sub_key = 0;
+    next_adv_key = 0;
+    next_pub_id = 0;
+    notifications = [];
+    client_subs = Hashtbl.create 64;
+  }
+
+let topology t = t.topology
+let now t = t.clock
+let metrics t = t.metrics
+
+let broker t b =
+  if b < 0 || b >= Array.length t.brokers then
+    invalid_arg "Network.broker: unknown broker";
+  t.brokers.(b)
+
+let count_link_message t payload =
+  match payload with
+  | Message.Subscribe _ ->
+      t.metrics.Metrics.subscribe_msgs <- t.metrics.Metrics.subscribe_msgs + 1
+  | Message.Unsubscribe _ ->
+      t.metrics.Metrics.unsubscribe_msgs <-
+        t.metrics.Metrics.unsubscribe_msgs + 1
+  | Message.Advertise _ | Message.Unadvertise _ ->
+      t.metrics.Metrics.advertise_msgs <- t.metrics.Metrics.advertise_msgs + 1
+  | Message.Publish _ ->
+      t.metrics.Metrics.publish_msgs <- t.metrics.Metrics.publish_msgs + 1
+
+let schedule t ~time event = Event_queue.push t.queue ~time event
+
+let apply_actions t ~time ~at actions =
+  List.iter
+    (fun action ->
+      match action with
+      | Broker_node.Forward { to_; payload } ->
+          count_link_message t payload;
+          schedule t ~time:(time +. t.link_latency)
+            { dst = to_; origin = Message.Link at; payload }
+      | Broker_node.Notify { client; key; pub_id } ->
+          t.metrics.Metrics.notifications <-
+            t.metrics.Metrics.notifications + 1;
+          t.notifications <-
+            { time; broker = at; client; sub_key = key; pub_id }
+            :: t.notifications)
+    actions
+
+(* Track coverage suppressions: a Subscribe processed at a broker with
+   f out-neighbours that emits s < f subscribe forwards withheld f - s
+   of them (duplicates emit nothing and are counted separately). *)
+let process t ~time event =
+  t.clock <- time;
+  let node = t.brokers.(event.dst) in
+  let duplicate =
+    match event.payload with
+    | Message.Subscribe { key; _ } -> Broker_node.knows_subscription node ~key
+    | Message.Publish _ | Message.Unsubscribe _ | Message.Advertise _
+    | Message.Unadvertise _ ->
+        false
+  in
+  let actions = Broker_node.handle node ~origin:event.origin event.payload in
+  (match event.payload with
+  | Message.Subscribe _ when duplicate ->
+      t.metrics.Metrics.duplicate_drops <- t.metrics.Metrics.duplicate_drops + 1
+  | Message.Subscribe _ ->
+      let out =
+        List.length
+          (List.filter
+             (fun n ->
+               match event.origin with
+               | Message.Link l -> l <> n
+               | Message.Client _ -> true)
+             (Topology.neighbors t.topology event.dst))
+      in
+      let sent =
+        List.length
+          (List.filter
+             (function
+               | Broker_node.Forward { payload = Message.Subscribe _; _ } -> true
+               | Broker_node.Forward _ | Broker_node.Notify _ -> false)
+             actions)
+      in
+      t.metrics.Metrics.suppressed_subscriptions <-
+        t.metrics.Metrics.suppressed_subscriptions + (out - sent)
+  | Message.Unsubscribe _ | Message.Publish _ | Message.Advertise _
+  | Message.Unadvertise _ ->
+      ());
+  apply_actions t ~time ~at:event.dst actions
+
+let run t = Event_queue.drain t.queue ~f:(fun ~time e -> process t ~time e)
+
+let subscribe t ~broker:b ~client sub =
+  ignore (broker t b);
+  let key = t.next_sub_key in
+  t.next_sub_key <- key + 1;
+  Hashtbl.replace t.client_subs key (b, client, sub);
+  schedule t ~time:t.clock
+    { dst = b; origin = Message.Client client; payload = Message.Subscribe { key; sub } };
+  key
+
+let unsubscribe t ~broker:b ~key =
+  (match Hashtbl.find_opt t.client_subs key with
+  | Some (home, client, _) when home = b ->
+      Hashtbl.remove t.client_subs key;
+      schedule t ~time:t.clock
+        { dst = b; origin = Message.Client client; payload = Message.Unsubscribe { key } }
+  | Some _ -> invalid_arg "Network.unsubscribe: key issued at another broker"
+  | None -> invalid_arg "Network.unsubscribe: unknown key")
+
+let advertise t ~broker:b ~client adv =
+  ignore (broker t b);
+  let key = t.next_adv_key in
+  t.next_adv_key <- key + 1;
+  schedule t ~time:t.clock
+    { dst = b; origin = Message.Client client; payload = Message.Advertise { key; adv } };
+  key
+
+let unadvertise t ~broker:b ~client ~key =
+  ignore (broker t b);
+  schedule t ~time:t.clock
+    { dst = b; origin = Message.Client client; payload = Message.Unadvertise { key } }
+
+let publish t ~broker:b pub =
+  ignore (broker t b);
+  let id = t.next_pub_id in
+  t.next_pub_id <- id + 1;
+  schedule t ~time:t.clock
+    { dst = b; origin = Message.Client (-1); payload = Message.Publish { id; pub } };
+  id
+
+let notifications t = List.rev t.notifications
+
+let expected_recipients t pub =
+  Hashtbl.fold
+    (fun key (b, client, sub) acc ->
+      if Publication.matches sub pub then (b, client, key) :: acc else acc)
+    t.client_subs []
+  |> List.sort compare
+
+let client_subscriptions t =
+  Hashtbl.fold
+    (fun key (b, client, sub) acc -> (b, client, key, sub) :: acc)
+    t.client_subs []
+  |> List.sort compare

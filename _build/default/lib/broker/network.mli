@@ -1,0 +1,74 @@
+(** The discrete-event broker-network simulator.
+
+    Wraps a {!Topology.t} worth of {!Broker_node.t}s around an
+    {!Event_queue.t}: every link traversal costs [link_latency]
+    simulated time; actions returned by a broker are scheduled as
+    future deliveries. Client operations ({!subscribe}, {!publish},
+    {!unsubscribe}) enqueue at the current simulation time; {!run}
+    drains the queue to quiescence.
+
+    The network also tracks ground truth: which client subscriptions
+    {e should} match each publication, so experiments can quantify the
+    deliveries lost to erroneous probabilistic covering (§5). *)
+
+open Probsub_core
+
+type t
+
+type notification = {
+  time : float;
+  broker : Topology.broker;
+  client : int;
+  sub_key : int;
+  pub_id : int;
+}
+
+val create :
+  ?policy:Subscription_store.policy -> ?link_latency:float ->
+  ?use_advertisements:bool -> topology:Topology.t -> arity:int -> seed:int ->
+  unit -> t
+(** @raise Invalid_argument if the latency is not positive. Default
+    policy: pairwise; default latency 1.0. With [use_advertisements]
+    (default false), subscriptions are routed only towards brokers
+    whose publishers advertised intersecting content (Siena-style);
+    publishers must then {!advertise} before their publications can be
+    routed beyond subscribers' own brokers. *)
+
+val topology : t -> Topology.t
+val now : t -> float
+val metrics : t -> Metrics.t
+val broker : t -> Topology.broker -> Broker_node.t
+(** Direct access for white-box assertions in tests. *)
+
+val subscribe :
+  t -> broker:Topology.broker -> client:int -> Subscription.t -> int
+(** Issue a subscription at a broker's local client; returns its
+    network-wide key. Takes effect as the queue drains. *)
+
+val unsubscribe : t -> broker:Topology.broker -> key:int -> unit
+(** Cancel a subscription previously issued at that broker.
+    @raise Invalid_argument if [key] was not issued there. *)
+
+val advertise :
+  t -> broker:Topology.broker -> client:int -> Subscription.t -> int
+(** Declare a publisher's content box at its broker; returns the
+    advertisement key. Only meaningful with [use_advertisements]. *)
+
+val unadvertise : t -> broker:Topology.broker -> client:int -> key:int -> unit
+
+val publish : t -> broker:Topology.broker -> Publication.t -> int
+(** Publish at a broker; returns the publication id. *)
+
+val run : t -> unit
+(** Drain all scheduled events (to quiescence). *)
+
+val notifications : t -> notification list
+(** All client deliveries so far, in delivery order. *)
+
+val expected_recipients : t -> Publication.t -> (Topology.broker * int * int) list
+(** Ground truth: [(broker, client, sub_key)] for every live client
+    subscription matching the publication — what a loss-free system
+    would deliver. *)
+
+val client_subscriptions : t -> (Topology.broker * int * int * Subscription.t) list
+(** All live client subscriptions as [(broker, client, key, sub)]. *)

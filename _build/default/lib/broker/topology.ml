@@ -1,0 +1,164 @@
+open Probsub_core
+
+type broker = int
+type t = { adj : int list array }
+
+let size t = Array.length t.adj
+
+let neighbors t b =
+  if b < 0 || b >= size t then invalid_arg "Topology.neighbors: broker";
+  t.adj.(b)
+
+let edges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun u ns -> List.iter (fun v -> if u < v then acc := (u, v) :: !acc) ns)
+    t.adj;
+  List.sort compare !acc
+
+let are_linked t u v =
+  u >= 0 && u < size t && List.mem v t.adj.(u)
+
+let of_edges ~size:n es =
+  if n <= 0 then invalid_arg "Topology.of_edges: size <= 0";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Topology.of_edges: self-loop";
+      if u < 0 || v < 0 || u >= n || v >= n then
+        invalid_arg "Topology.of_edges: endpoint out of range";
+      if not (List.mem v adj.(u)) then begin
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v)
+      end)
+    es;
+  Array.iteri (fun i ns -> adj.(i) <- List.sort Int.compare ns) adj;
+  { adj }
+
+let chain n =
+  if n <= 0 then invalid_arg "Topology.chain: n <= 0";
+  of_edges ~size:n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Topology.ring: n < 3";
+  of_edges ~size:n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 2 then invalid_arg "Topology.star: n < 2";
+  of_edges ~size:n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let full_mesh n =
+  if n < 2 then invalid_arg "Topology.full_mesh: n < 2";
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  of_edges ~size:n !es
+
+let balanced_tree ~branching ~depth =
+  if branching <= 0 || depth < 0 then invalid_arg "Topology.balanced_tree";
+  (* Nodes numbered breadth-first; node i's children are
+     branching*i + 1 .. branching*i + branching while they exist.
+     Total nodes of a perfect tree: sum of branching^i for i <= depth. *)
+  let n =
+    let rec total i acc pow =
+      if i > depth then acc else total (i + 1) (acc + pow) (pow * branching)
+    in
+    total 0 0 1
+  in
+  let es = ref [] in
+  for i = 0 to n - 1 do
+    for c = 1 to branching do
+      let child = (branching * i) + c in
+      if child < n then es := (i, child) :: !es
+    done
+  done;
+  of_edges ~size:n !es
+
+let grid ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Topology.grid";
+  let id x y = (y * width) + x in
+  let es = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if x + 1 < width then es := (id x y, id (x + 1) y) :: !es;
+      if y + 1 < height then es := (id x y, id x (y + 1)) :: !es
+    done
+  done;
+  of_edges ~size:(width * height) !es
+
+let random_connected rng ~n ~extra_edges =
+  if n <= 0 then invalid_arg "Topology.random_connected: n <= 0";
+  (* Random spanning tree: attach each new node to a uniformly chosen
+     existing one. *)
+  let es = ref [] in
+  for v = 1 to n - 1 do
+    es := (Prng.int rng v, v) :: !es
+  done;
+  let have = Hashtbl.create 16 in
+  List.iter (fun (u, v) -> Hashtbl.replace have (min u v, max u v) ()) !es;
+  let added = ref 0 in
+  let guard = ref 0 in
+  while !added < extra_edges && !guard < 100 * (extra_edges + 1) do
+    incr guard;
+    let u = Prng.int rng n and v = Prng.int rng n in
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem have key) then begin
+      Hashtbl.replace have key ();
+      es := (u, v) :: !es;
+      incr added
+    end
+  done;
+  of_edges ~size:n !es
+
+let fig1 =
+  (* Paper broker Bi is node i-1. *)
+  of_edges ~size:9
+    [ (0, 2); (1, 2); (2, 3); (3, 4); (3, 5); (3, 6); (6, 8); (6, 7) ]
+
+let bfs t src =
+  let n = size t in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.push v q
+        end)
+      t.adj.(u)
+  done;
+  (dist, parent)
+
+let is_connected t =
+  let dist, _ = bfs t 0 in
+  Array.for_all (fun d -> d >= 0) dist
+
+let shortest_path t ~src ~dst =
+  if src < 0 || src >= size t || dst < 0 || dst >= size t then
+    invalid_arg "Topology.shortest_path: broker";
+  let dist, parent = bfs t src in
+  if dist.(dst) < 0 then raise Not_found;
+  let rec build v acc = if v = src then src :: acc else build parent.(v) (v :: acc) in
+  build dst []
+
+let diameter t =
+  let best = ref 0 in
+  for src = 0 to size t - 1 do
+    let dist, _ = bfs t src in
+    Array.iter (fun d -> if d > !best then best := d) dist
+  done;
+  !best
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph with %d brokers:@," (size t);
+  List.iter (fun (u, v) -> Format.fprintf ppf "  %d -- %d@," u v) (edges t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,63 @@
+(** Broker-network topologies: undirected connected graphs of broker
+    identifiers [0 .. size - 1]. The simulator is topology-agnostic
+    (§3: "we are not assuming an underlying network topology"); these
+    builders cover the shapes used in the experiments plus the paper's
+    Fig. 1 example network. *)
+
+type t
+
+type broker = int
+
+val size : t -> int
+val neighbors : t -> broker -> broker list
+(** Sorted ascending. @raise Invalid_argument for an unknown broker. *)
+
+val edges : t -> (broker * broker) list
+(** Each undirected edge once, as [(min, max)], sorted. *)
+
+val are_linked : t -> broker -> broker -> bool
+val is_connected : t -> bool
+
+val of_edges : size:int -> (broker * broker) list -> t
+(** @raise Invalid_argument on self-loops, out-of-range endpoints or
+    [size <= 0]. Duplicate edges collapse. *)
+
+val chain : int -> t
+(** [0 - 1 - 2 - ... - (n-1)] — Proposition 5's setting.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val ring : int -> t
+(** A chain plus the closing edge. Requires [n >= 3]. *)
+
+val star : int -> t
+(** Broker 0 linked to everyone else. Requires [n >= 2]. *)
+
+val full_mesh : int -> t
+(** Every pair linked. Requires [n >= 2]. *)
+
+val balanced_tree : branching:int -> depth:int -> t
+(** Rooted at 0. [depth 0] is a single node.
+    @raise Invalid_argument if [branching <= 0 || depth < 0]. *)
+
+val grid : width:int -> height:int -> t
+(** 4-neighbour mesh, row-major numbering. *)
+
+val random_connected : Probsub_core.Prng.t -> n:int -> extra_edges:int -> t
+(** A random spanning tree (guaranteeing connectivity) plus
+    [extra_edges] additional random non-duplicate edges. *)
+
+val fig1 : t
+(** The paper's Fig. 1 nine-broker example (0-based ids: paper's B1 is
+    broker 0). Edges: B1-B3, B2-B3, B3-B4, B4-B5, B4-B6, B4-B7, B7-B9,
+    B7-B8. The B8 attachment is not fully legible in the paper; hanging
+    it off B7 matches the drawn delivery trees. *)
+
+val shortest_path : t -> src:broker -> dst:broker -> broker list
+(** BFS path including both end points.
+    @raise Not_found if unreachable (cannot happen on connected
+    graphs). *)
+
+val diameter : t -> int
+(** Longest shortest path, in hops. *)
+
+val pp : Format.formatter -> t -> unit

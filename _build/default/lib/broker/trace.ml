@@ -1,0 +1,268 @@
+open Probsub_core
+
+type event =
+  | Subscribe of {
+      time : float;
+      broker : int;
+      client : int;
+      sub : Subscription.t;
+    }
+  | Unsubscribe of { time : float; broker : int; sub_ref : int }
+  | Publish of { time : float; broker : int; pub : Publication.t }
+
+type t = event list
+
+type params = {
+  duration : float;
+  subscribe_rate : float;
+  unsubscribe_rate : float;
+  publish_rate : float;
+  brokers : int;
+  m : int;
+  match_bias : float;
+}
+
+let default_params =
+  {
+    duration = 100.0;
+    subscribe_rate = 2.0;
+    unsubscribe_rate = 0.01;
+    publish_rate = 10.0;
+    brokers = 8;
+    m = 5;
+    match_bias = 0.5;
+  }
+
+let time_of = function
+  | Subscribe { time; _ } | Unsubscribe { time; _ } | Publish { time; _ } ->
+      time
+
+(* Competing exponential clocks: at each step the soonest of the three
+   processes fires. Unsubscription intensity scales with the number of
+   live subscriptions. *)
+let generate ?(params = default_params) rng =
+  let p = params in
+  if p.brokers < 1 || p.m < 1 then invalid_arg "Trace.generate: bad params";
+  let events = ref [] in
+  (* (trace index, broker, subscription) of live subscriptions. *)
+  let live = ref [] in
+  let sub_count = ref 0 in
+  let domain_hi = Probsub_workload.Scenario.domain_width - 1 in
+  let next_sub_body () =
+    match Probsub_workload.Scenario.comparison_stream rng ~m:p.m ~n:1 with
+    | [ s ] -> s
+    | _ -> assert false
+  in
+  let draw rate =
+    if rate <= 0.0 then infinity else Probsub_workload.Dist.exponential rng ~rate
+  in
+  let clock = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    let unsub_rate = p.unsubscribe_rate *. float_of_int (List.length !live) in
+    let dt_sub = draw p.subscribe_rate in
+    let dt_unsub = draw unsub_rate in
+    let dt_pub = draw p.publish_rate in
+    let dt = Float.min dt_sub (Float.min dt_unsub dt_pub) in
+    clock := !clock +. dt;
+    if !clock > p.duration || dt = infinity then continue := false
+    else begin
+      let broker = Prng.int rng p.brokers in
+      if dt = dt_sub then begin
+        let sub = next_sub_body () in
+        events :=
+          Subscribe { time = !clock; broker; client = !sub_count; sub }
+          :: !events;
+        live := (!sub_count, broker, sub) :: !live;
+        incr sub_count
+      end
+      else if dt = dt_unsub then begin
+        match !live with
+        | [] -> ()
+        | _ ->
+            let n = List.length !live in
+            let victim = List.nth !live (Prng.int rng n) in
+            let sub_ref, home, _ = victim in
+            live := List.filter (fun (r, _, _) -> r <> sub_ref) !live;
+            events :=
+              Unsubscribe { time = !clock; broker = home; sub_ref } :: !events
+      end
+      else begin
+        let pub =
+          match !live with
+          | _ :: _ when Prng.float rng < p.match_bias ->
+              let n = List.length !live in
+              let _, _, target = List.nth !live (Prng.int rng n) in
+              Probsub_workload.Scenario.random_matching_publication rng target
+          | _ ->
+              Publication.point
+                (Array.init p.m (fun _ -> Prng.int_in rng ~lo:0 ~hi:domain_hi))
+        in
+        events := Publish { time = !clock; broker; pub } :: !events
+      end
+    end
+  done;
+  List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* Text format *)
+
+let render_interval r =
+  Printf.sprintf "%d:%d" (Interval.lo r) (Interval.hi r)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# probsub trace v1\n";
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Subscribe { time; broker; client; sub } ->
+          Buffer.add_string buf
+            (Printf.sprintf "SUB %.6f %d %d %s" time broker client
+               (String.concat " "
+                  (List.map render_interval
+                     (Array.to_list (Subscription.ranges sub)))))
+      | Unsubscribe { time; broker; sub_ref } ->
+          Buffer.add_string buf
+            (Printf.sprintf "UNSUB %.6f %d %d" time broker sub_ref)
+      | Publish { time; broker; pub } -> (
+          match pub with
+          | Publication.Point values ->
+              Buffer.add_string buf
+                (Printf.sprintf "PUB %.6f %d %s" time broker
+                   (String.concat " "
+                      (List.map string_of_int (Array.to_list values))))
+          | Publication.Box _ ->
+              invalid_arg "Trace.to_string: box publications not supported"));
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let of_string contents =
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  let parse_interval word =
+    match String.split_on_char ':' word with
+    | [ lo; hi ] -> (
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some lo, Some hi when lo <= hi -> Interval.make ~lo ~hi
+        | _ -> fail "bad interval %S" word)
+    | _ -> fail "bad interval %S" word
+  in
+  let parse_line lineno line =
+    match
+      String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+    with
+    | "SUB" :: time :: broker :: client :: ranges ->
+        let time = float_of_string_opt time
+        and broker = int_of_string_opt broker
+        and client = int_of_string_opt client in
+        (match (time, broker, client, ranges) with
+        | Some time, Some broker, Some client, _ :: _ ->
+            Subscribe
+              {
+                time;
+                broker;
+                client;
+                sub = Subscription.of_list (List.map parse_interval ranges);
+              }
+        | _ -> fail "line %d: bad SUB" lineno)
+    | [ "UNSUB"; time; broker; sub_ref ] -> (
+        match
+          (float_of_string_opt time, int_of_string_opt broker,
+           int_of_string_opt sub_ref)
+        with
+        | Some time, Some broker, Some sub_ref ->
+            Unsubscribe { time; broker; sub_ref }
+        | _ -> fail "line %d: bad UNSUB" lineno)
+    | "PUB" :: time :: broker :: values ->
+        let time = float_of_string_opt time
+        and broker = int_of_string_opt broker in
+        let values = List.map int_of_string_opt values in
+        (match (time, broker) with
+        | Some time, Some broker when values <> [] && List.for_all Option.is_some values ->
+            Publish
+              {
+                time;
+                broker;
+                pub =
+                  Publication.point
+                    (Array.of_list (List.map Option.get values));
+              }
+        | _ -> fail "line %d: bad PUB" lineno)
+    | verb :: _ -> fail "line %d: unknown verb %S" lineno verb
+    | [] -> fail "line %d: empty" lineno
+  in
+  match
+    let events =
+      String.split_on_char '\n' contents
+      |> List.mapi (fun i l -> (i + 1, String.trim l))
+      |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+      |> List.map (fun (i, l) -> parse_line i l)
+    in
+    (* Validation: monotone time, consistent arity, valid refs. *)
+    let arity = ref None in
+    let check_arity n =
+      match !arity with
+      | None -> arity := Some n
+      | Some a -> if a <> n then fail "inconsistent arity (%d vs %d)" a n
+    in
+    let subs_seen = ref 0 in
+    let last = ref neg_infinity in
+    List.iter
+      (fun ev ->
+        let t = time_of ev in
+        if t < !last then fail "events out of order at t=%f" t;
+        last := t;
+        match ev with
+        | Subscribe { sub; _ } ->
+            check_arity (Subscription.arity sub);
+            incr subs_seen
+        | Unsubscribe { sub_ref; _ } ->
+            if sub_ref < 0 || sub_ref >= !subs_seen then
+              fail "UNSUB ref %d out of range" sub_ref
+        | Publish { pub; _ } -> check_arity (Publication.arity pub))
+      events;
+    events
+  with
+  | events -> Ok events
+  | exception Bad msg -> Error msg
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let replay net t =
+  (* Trace subscription index -> network key. *)
+  let keys = Hashtbl.create 64 in
+  let next_ref = ref 0 in
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Subscribe { broker; client; sub; _ } ->
+          let key = Network.subscribe net ~broker ~client sub in
+          Hashtbl.replace keys !next_ref key;
+          incr next_ref
+      | Unsubscribe { broker; sub_ref; _ } -> (
+          match Hashtbl.find_opt keys sub_ref with
+          | Some key -> Network.unsubscribe net ~broker ~key
+          | None -> invalid_arg "Trace.replay: dangling sub_ref")
+      | Publish { broker; pub; _ } -> ignore (Network.publish net ~broker pub));
+      Network.run net)
+    t
+
+let stats t =
+  List.fold_left
+    (fun (s, u, p) -> function
+      | Subscribe _ -> (s + 1, u, p)
+      | Unsubscribe _ -> (s, u + 1, p)
+      | Publish _ -> (s, u, p + 1))
+    (0, 0, 0) t

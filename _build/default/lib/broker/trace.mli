@@ -1,0 +1,69 @@
+(** Recorded workload traces: generate, save, load, replay.
+
+    A trace is a time-ordered script of client operations — the
+    subscribe/publish pattern of §2 — that can be saved to a text file
+    and replayed against any {!Probsub_broker.Network.t}, making
+    cross-policy comparisons run the {e exact same} workload and
+    letting experiments be archived with their inputs.
+
+    File format (one event per line, [#] comments):
+    {v
+      SUB   <time> <broker> <client> <lo>:<hi> <lo>:<hi> ...
+      UNSUB <time> <broker> <ref>     # ref = 0-based index of the SUB line
+      PUB   <time> <broker> <v> <v> ...
+    v} *)
+
+open Probsub_core
+
+type event =
+  | Subscribe of {
+      time : float;
+      broker : int;
+      client : int;
+      sub : Subscription.t;
+    }
+  | Unsubscribe of { time : float; broker : int; sub_ref : int }
+      (** [sub_ref] indexes the trace's Subscribe events, in order. *)
+  | Publish of { time : float; broker : int; pub : Publication.t }
+
+type t = event list
+(** Events in non-decreasing time order (validated on load/replay). *)
+
+type params = {
+  duration : float;  (** Simulated seconds. *)
+  subscribe_rate : float;  (** Poisson arrivals per second. *)
+  unsubscribe_rate : float;
+      (** Per live subscription; 0 disables churn. *)
+  publish_rate : float;
+  brokers : int;  (** Operations spread uniformly over brokers. *)
+  m : int;  (** Attributes (comparison-stream workload). *)
+  match_bias : float;
+      (** Fraction of publications drawn inside a live subscription
+          (the rest are uniform over the domain). *)
+}
+
+val default_params : params
+(** 100 s, 2 sub/s, 0.01 unsub/s each, 10 pub/s, 8 brokers, m = 5,
+    bias 0.5. *)
+
+val generate : ?params:params -> Prng.t -> t
+(** An open workload over the §6.4 comparison subscription
+    distribution. Deterministic per generator state. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Parse the file format; validates ordering, arity consistency and
+    [sub_ref] targets. *)
+
+val save : t -> path:string -> unit
+val load : path:string -> (t, string) result
+
+val replay : Network.t -> t -> unit
+(** Run the trace to completion: events are injected in trace order,
+    draining the network to quiescence between events (timestamps
+    define the script order; the network keeps its own hop-based
+    clock). @raise Invalid_argument on arity mismatch with the network,
+    an out-of-range broker, or a dangling [sub_ref]. *)
+
+val stats : t -> int * int * int
+(** (subscribes, unsubscribes, publishes). *)

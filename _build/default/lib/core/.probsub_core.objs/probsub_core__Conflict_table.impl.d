@@ -1,0 +1,1 @@
+lib/core/conflict_table.ml: Array Format Interval Subscription

@@ -1,0 +1,1 @@
+lib/core/conflict_table.mli: Format Interval Subscription

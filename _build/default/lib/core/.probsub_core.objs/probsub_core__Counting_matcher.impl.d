@@ -1,0 +1,1 @@
+lib/core/counting_matcher.ml: Array Hashtbl Int Interval Interval_index List Option Publication Subscription

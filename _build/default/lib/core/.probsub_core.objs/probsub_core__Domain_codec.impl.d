@@ -1,0 +1,1 @@
+lib/core/domain_codec.ml: Array Char Format Hashtbl Interval List Printf Publication String Subscription

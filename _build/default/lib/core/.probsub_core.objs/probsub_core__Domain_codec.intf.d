@@ -1,0 +1,1 @@
+lib/core/domain_codec.mli: Format Interval Publication Subscription

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Conflict_table Fast_decision List Mcs Probes Publication Rho Rspc Witness

@@ -1,0 +1,1 @@
+lib/core/fast_decision.ml: Conflict_table Witness

@@ -1,0 +1,1 @@
+lib/core/fast_decision.mli: Conflict_table Witness

@@ -1,0 +1,1 @@
+lib/core/interval_index.mli: Interval

@@ -1,0 +1,1 @@
+lib/core/mcs.ml: Array Conflict_table Interval List

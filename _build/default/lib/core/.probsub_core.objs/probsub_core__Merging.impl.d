@@ -1,0 +1,1 @@
+lib/core/merging.ml: Array Interval List Subscription

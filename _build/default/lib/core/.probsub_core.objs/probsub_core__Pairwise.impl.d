@@ -1,0 +1,1 @@
+lib/core/pairwise.ml: Array Subscription

@@ -1,0 +1,1 @@
+lib/core/poset.ml: Hashtbl Int List Subscription

@@ -1,0 +1,1 @@
+lib/core/poset.mli: Subscription

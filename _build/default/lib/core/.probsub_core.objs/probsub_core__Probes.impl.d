@@ -1,0 +1,1 @@
+lib/core/probes.ml: Array Conflict_table Hashtbl Int Interval List Subscription Witness

@@ -1,0 +1,1 @@
+lib/core/probes.mli: Conflict_table

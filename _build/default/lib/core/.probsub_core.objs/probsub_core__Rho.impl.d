@@ -1,0 +1,1 @@
+lib/core/rho.ml: Conflict_table Float Interval Subscription

@@ -1,0 +1,1 @@
+lib/core/rho.mli: Conflict_table

@@ -1,0 +1,1 @@
+lib/core/rspc.ml: Array Prng Subscription

@@ -1,0 +1,1 @@
+lib/core/rspc.mli: Prng Subscription

@@ -1,0 +1,1 @@
+lib/core/rspc_parallel.ml: Array Atomic Domain Prng Rspc

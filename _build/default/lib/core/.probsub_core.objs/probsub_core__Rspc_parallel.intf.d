@@ -1,0 +1,1 @@
+lib/core/rspc_parallel.mli: Prng Rspc Subscription

@@ -1,0 +1,1 @@
+lib/core/sublang.ml: Buffer Domain_codec Format Interval List Printf Result String Subscription

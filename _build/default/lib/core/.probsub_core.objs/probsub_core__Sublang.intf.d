@@ -1,0 +1,1 @@
+lib/core/sublang.mli: Domain_codec Publication Subscription

@@ -1,0 +1,1 @@
+lib/core/subscription.ml: Array Format Int Interval List Printf

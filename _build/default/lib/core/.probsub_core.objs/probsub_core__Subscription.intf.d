@@ -1,0 +1,1 @@
+lib/core/subscription.mli: Format Interval

@@ -1,0 +1,1 @@
+lib/core/subscription_store.ml: Array Engine Float Hashtbl Int List Mcs Option Pairwise Prng Publication Subscription

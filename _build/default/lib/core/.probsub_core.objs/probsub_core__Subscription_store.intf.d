@@ -1,0 +1,1 @@
+lib/core/subscription_store.mli: Engine Publication Subscription

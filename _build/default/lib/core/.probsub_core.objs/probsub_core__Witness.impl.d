@@ -1,0 +1,1 @@
+lib/core/witness.ml: Array Conflict_table Int Interval List Subscription

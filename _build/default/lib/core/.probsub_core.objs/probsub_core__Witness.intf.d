@@ -1,0 +1,1 @@
+lib/core/witness.mli: Conflict_table Subscription

@@ -1,0 +1,116 @@
+type side = Low | High
+type cell = Undefined | Defined of { side : side; bound : int }
+
+type t = {
+  s : Subscription.t;
+  subs : Subscription.t array;
+  cells : cell array array; (* k rows, 2m columns; column 2j = Low, 2j+1 = High *)
+  counts : int array; (* t_i per row *)
+}
+
+let column ~attr ~side = (2 * attr) + match side with Low -> 0 | High -> 1
+
+let build ~s subs =
+  let m = Subscription.arity s in
+  Array.iter
+    (fun si ->
+      if Subscription.arity si <> m then
+        invalid_arg "Conflict_table.build: arity mismatch")
+    subs;
+  let k = Array.length subs in
+  let cells = Array.make_matrix k (2 * m) Undefined in
+  let counts = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let si = subs.(i) in
+    for j = 0 to m - 1 do
+      let rs = Subscription.range s j and ri = Subscription.range si j in
+      (* s ∧ (x_j < lo_i^j) is satisfiable iff s reaches below si's lower
+         bound on attribute j. *)
+      if Interval.lo rs < Interval.lo ri then begin
+        cells.(i).(column ~attr:j ~side:Low) <-
+          Defined { side = Low; bound = Interval.lo ri };
+        counts.(i) <- counts.(i) + 1
+      end;
+      if Interval.hi rs > Interval.hi ri then begin
+        cells.(i).(column ~attr:j ~side:High) <-
+          Defined { side = High; bound = Interval.hi ri };
+        counts.(i) <- counts.(i) + 1
+      end
+    done
+  done;
+  { s; subs; cells; counts }
+
+let s t = t.s
+let subs t = t.subs
+let rows t = Array.length t.subs
+let arity t = Subscription.arity t.s
+
+let cell t ~row ~attr ~side =
+  if row < 0 || row >= rows t then invalid_arg "Conflict_table.cell: row";
+  if attr < 0 || attr >= arity t then invalid_arg "Conflict_table.cell: attr";
+  t.cells.(row).(column ~attr ~side)
+
+let defined_count t ~row =
+  if row < 0 || row >= rows t then
+    invalid_arg "Conflict_table.defined_count: row";
+  t.counts.(row)
+
+let row_all_undefined t ~row = defined_count t ~row = 0
+let row_all_defined t ~row = defined_count t ~row = 2 * arity t
+
+let strip t ~row ~attr ~side =
+  match cell t ~row ~attr ~side with
+  | Undefined -> None
+  | Defined { side; bound } -> (
+      let rs = Subscription.range t.s attr in
+      match side with
+      | Low ->
+          (* points of s with x < bound: [s.lo, min (s.hi, bound - 1)] *)
+          Interval.make_opt ~lo:(Interval.lo rs)
+            ~hi:(min (Interval.hi rs) (bound - 1))
+      | High ->
+          Interval.make_opt
+            ~lo:(max (Interval.lo rs) (bound + 1))
+            ~hi:(Interval.hi rs))
+
+let cells_conflict t ~row1 ~attr1 ~side1 ~row2 ~attr2 ~side2 =
+  if row1 = row2 || attr1 <> attr2 then false
+  else
+    match
+      (strip t ~row:row1 ~attr:attr1 ~side:side1,
+       strip t ~row:row2 ~attr:attr2 ~side:side2)
+    with
+    | Some a, Some b -> not (Interval.intersects a b)
+    | None, _ | _, None -> false
+
+let fold_defined t ~row ~init ~f =
+  if row < 0 || row >= rows t then
+    invalid_arg "Conflict_table.fold_defined: row";
+  let acc = ref init in
+  for attr = 0 to arity t - 1 do
+    (match t.cells.(row).(column ~attr ~side:Low) with
+    | Defined { bound; _ } -> acc := f !acc ~attr ~side:Low ~bound
+    | Undefined -> ());
+    match t.cells.(row).(column ~attr ~side:High) with
+    | Defined { bound; _ } -> acc := f !acc ~attr ~side:High ~bound
+    | Undefined -> ()
+  done;
+  !acc
+
+let pp ppf t =
+  let m = arity t in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "s = %a@," Subscription.pp t.s;
+  for i = 0 to rows t - 1 do
+    Format.fprintf ppf "s%d:" (i + 1);
+    for j = 0 to m - 1 do
+      (match t.cells.(i).(column ~attr:j ~side:Low) with
+      | Undefined -> Format.fprintf ppf " x%d:undef" j
+      | Defined { bound; _ } -> Format.fprintf ppf " x%d<%d" j bound);
+      match t.cells.(i).(column ~attr:j ~side:High) with
+      | Undefined -> Format.fprintf ppf " x%d:undef" j
+      | Defined { bound; _ } -> Format.fprintf ppf " x%d>%d" j bound
+    done;
+    if i < rows t - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,79 @@
+(** Conflict tables (Definition 2).
+
+    A conflict table [T] relates a tested subscription [s] to a set
+    [S = {s1, ..., sk}]. [T] has one row per [si] and, per attribute [j],
+    two columns: the negation of the lower-bound predicate
+    [not (x_j >= lo_i^j) = x_j < lo_i^j] and the negation of the
+    upper-bound predicate [x_j > hi_i^j]. A cell is {e defined} iff the
+    corresponding negation is satisfiable together with [s] —
+    geometrically, iff [si] leaves a strip of [s] uncovered on that side
+    of attribute [j]. Construction costs O(m·k).
+
+    Restricted to [s], a defined cell denotes a sub-interval of [s]'s
+    range on its attribute ({!strip}); two cells on the same attribute
+    {e conflict} (Definition 5) exactly when those strips are disjoint —
+    a [x_j < a] cell can only conflict with a [x_j > b] cell. *)
+
+type side =
+  | Low   (** Negated lower bound: [x_j < lo_i^j]. *)
+  | High  (** Negated upper bound: [x_j > hi_i^j]. *)
+
+type cell =
+  | Undefined
+  | Defined of { side : side; bound : int }
+      (** [bound] is the original predicate bound of [si]: the negation
+          is [x < bound] for {!Low} and [x > bound] for {!High}. *)
+
+type t
+(** An immutable conflict table for one subsumption question. *)
+
+val build : s:Subscription.t -> Subscription.t array -> t
+(** [build ~s subs] constructs the table relating [s] to [subs] in
+    O(m·k). @raise Invalid_argument on an arity mismatch. *)
+
+val s : t -> Subscription.t
+(** The tested subscription. *)
+
+val subs : t -> Subscription.t array
+(** The row subscriptions, in row order (not copied — treat as
+    read-only). *)
+
+val rows : t -> int
+(** [k], the number of subscriptions. *)
+
+val arity : t -> int
+(** [m], the number of attributes (the table has [2m] columns). *)
+
+val cell : t -> row:int -> attr:int -> side:side -> cell
+(** Cell accessor. @raise Invalid_argument out of bounds. *)
+
+val defined_count : t -> row:int -> int
+(** [t_i]: the number of defined cells in a row, precomputed at build
+    time (O(1) lookup). *)
+
+val row_all_undefined : t -> row:int -> bool
+(** Corollary 1 test: true iff [si] covers [s] pairwise. *)
+
+val row_all_defined : t -> row:int -> bool
+(** Corollary 2 test: true iff [s] covers [si] on every attribute. *)
+
+val strip : t -> row:int -> attr:int -> side:side -> Interval.t option
+(** [strip] is the portion of [s]'s range on [attr] selected by the
+    cell's negated predicate: [None] when the cell is undefined, and the
+    non-empty interval [s ∧ ¬s_i^j] projected on [attr] otherwise. *)
+
+val cells_conflict :
+  t -> row1:int -> attr1:int -> side1:side -> row2:int -> attr2:int ->
+  side2:side -> bool
+(** Definition 5: two defined cells of distinct rows conflict iff
+    [s ∧ T1 ∧ T2] is unsatisfiable, i.e. they constrain the same
+    attribute and their strips are disjoint. Returns [false] if either
+    cell is undefined or the rows coincide. *)
+
+val fold_defined :
+  t -> row:int -> init:'a -> f:('a -> attr:int -> side:side -> bound:int -> 'a)
+  -> 'a
+(** Folds over the defined cells of a row in column order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the table in the style of the paper's Table 5. *)

@@ -1,0 +1,89 @@
+type t = {
+  arity : int;
+  subs : (int, Subscription.t) Hashtbl.t;
+  (* Per-subscription number of constrained attributes; subscriptions
+     constraining nothing match every publication. *)
+  constrained : (int, int) Hashtbl.t;
+  mutable indexes : Interval_index.t array;
+  dirty : bool array;
+}
+
+let create ~arity () =
+  if arity < 1 then invalid_arg "Counting_matcher.create: arity < 1";
+  {
+    arity;
+    subs = Hashtbl.create 64;
+    constrained = Hashtbl.create 64;
+    indexes = Array.make arity Interval_index.empty;
+    dirty = Array.make arity true;
+  }
+
+let arity t = t.arity
+let size t = Hashtbl.length t.subs
+let mem t ~id = Hashtbl.mem t.subs id
+
+let add t ~id sub =
+  if Subscription.arity sub <> t.arity then
+    invalid_arg "Counting_matcher.add: arity mismatch";
+  if Hashtbl.mem t.subs id then
+    invalid_arg "Counting_matcher.add: duplicate id";
+  Hashtbl.replace t.subs id sub;
+  let constrained = Subscription.constrained sub in
+  Hashtbl.replace t.constrained id (List.length constrained);
+  List.iter (fun attr -> t.dirty.(attr) <- true) constrained
+
+let remove t ~id =
+  match Hashtbl.find_opt t.subs id with
+  | None -> raise Not_found
+  | Some sub ->
+      Hashtbl.remove t.subs id;
+      Hashtbl.remove t.constrained id;
+      List.iter (fun attr -> t.dirty.(attr) <- true) (Subscription.constrained sub)
+
+let rebuild_attr t attr =
+  let entries =
+    Hashtbl.fold
+      (fun id sub acc ->
+        let range = Subscription.range sub attr in
+        if Interval.is_full range then acc else (id, range) :: acc)
+      t.subs []
+  in
+  t.indexes.(attr) <- Interval_index.build entries;
+  t.dirty.(attr) <- false
+
+let rebuild t =
+  for attr = 0 to t.arity - 1 do
+    if t.dirty.(attr) then rebuild_attr t attr
+  done
+
+let match_point t p =
+  if Array.length p <> t.arity then
+    invalid_arg "Counting_matcher.match_point: arity mismatch";
+  rebuild t;
+  let counts = Hashtbl.create 32 in
+  for attr = 0 to t.arity - 1 do
+    Interval_index.iter_stab t.indexes.(attr) p.(attr) ~f:(fun id ->
+        Hashtbl.replace counts id
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+  done;
+  (* A subscription matches when every constrained attribute was hit;
+     fully unconstrained subscriptions match by definition. *)
+  Hashtbl.fold
+    (fun id wanted acc ->
+      if wanted = 0 then id :: acc
+      else
+        match Hashtbl.find_opt counts id with
+        | Some got when got = wanted -> id :: acc
+        | Some _ | None -> acc)
+    t.constrained []
+  |> List.sort Int.compare
+
+let match_publication t pub =
+  match pub with
+  | Publication.Point values -> match_point t values
+  | Publication.Box _ ->
+      Hashtbl.fold
+        (fun id sub acc ->
+          if Publication.matches sub pub then id :: acc else acc)
+        t.subs []
+      |> List.sort Int.compare

@@ -1,0 +1,272 @@
+type spec =
+  | Int_range of { lo : int; hi : int }
+  | Enum of string list
+  | Flag
+  | Minutes
+
+type field = { name : string; spec : spec; index : int }
+
+type t = {
+  by_order : field array;
+  by_name : (string, field) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Calendar arithmetic: days since 2000-03-01 via the standard
+   civil-date algorithm (era = 400-year cycle), shifted to a
+   2000-01-01 epoch. Proleptic Gregorian. *)
+
+let days_from_civil ~y ~m ~d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe
+
+let epoch_days = days_from_civil ~y:2000 ~m:1 ~d:1
+
+let civil_from_days days =
+  let z = days + 719468 (* days_from_civil is anchored at 0000-03-01 *) in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+(* days_from_civil is anchored so that day 0 = 0000-03-01; align the
+   reverse direction with the same anchor. *)
+let days_to_civil days = civil_from_days (days - 719468)
+
+let bad_timestamp s =
+  invalid_arg (Printf.sprintf "Domain_codec: malformed timestamp %S" s)
+
+let parse_int s ~from ~len =
+  let stop = from + len in
+  if stop > String.length s then raise Exit;
+  let v = ref 0 in
+  for i = from to stop - 1 do
+    match s.[i] with
+    | '0' .. '9' -> v := (!v * 10) + (Char.code s.[i] - Char.code '0')
+    | _ -> raise Exit
+  done;
+  !v
+
+let minutes_of_timestamp s =
+  try
+    let expect i c = if s.[i] <> c then raise Exit in
+    let y = parse_int s ~from:0 ~len:4 in
+    expect 4 '-';
+    let mo = parse_int s ~from:5 ~len:2 in
+    expect 7 '-';
+    let d = parse_int s ~from:8 ~len:2 in
+    let hh, mm =
+      if String.length s = 10 then (0, 0)
+      else begin
+        expect 10 'T';
+        let hh = parse_int s ~from:11 ~len:2 in
+        expect 13 ':';
+        let mm = parse_int s ~from:14 ~len:2 in
+        if String.length s <> 16 then raise Exit;
+        (hh, mm)
+      end
+    in
+    if mo < 1 || mo > 12 || d < 1 || d > 31 || hh > 23 || mm > 59 then
+      raise Exit;
+    let days = days_from_civil ~y ~m:mo ~d - epoch_days in
+    (days * 24 * 60) + (hh * 60) + mm
+  with Exit | Invalid_argument _ -> bad_timestamp s
+
+let timestamp_of_minutes total =
+  let days = if total >= 0 then total / 1440 else (total - 1439) / 1440 in
+  let rest = total - (days * 1440) in
+  let y, m, d = days_to_civil (days + epoch_days) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d" y m d (rest / 60) (rest mod 60)
+
+(* ------------------------------------------------------------------ *)
+
+let spec_domain = function
+  | Int_range { lo; hi } -> Interval.make ~lo ~hi
+  | Enum symbols -> Interval.make ~lo:0 ~hi:(List.length symbols - 1)
+  | Flag -> Interval.make ~lo:0 ~hi:1
+  | Minutes ->
+      (* 2000-01-01 .. 2199-12-31, minute granularity. *)
+      Interval.make ~lo:0 ~hi:(200 * 366 * 24 * 60)
+
+let validate_spec name = function
+  | Int_range { lo; hi } ->
+      if lo > hi then
+        invalid_arg
+          (Printf.sprintf "Domain_codec.make: field %s has lo > hi" name)
+  | Enum [] ->
+      invalid_arg (Printf.sprintf "Domain_codec.make: field %s: empty enum" name)
+  | Enum symbols ->
+      if List.length (List.sort_uniq String.compare symbols) <> List.length symbols
+      then
+        invalid_arg
+          (Printf.sprintf "Domain_codec.make: field %s: duplicate symbols" name)
+  | Flag | Minutes -> ()
+
+let make fields =
+  if fields = [] then invalid_arg "Domain_codec.make: no fields";
+  let by_name = Hashtbl.create 16 in
+  let by_order =
+    Array.of_list
+      (List.mapi
+         (fun index (name, spec) ->
+           if name = "" then invalid_arg "Domain_codec.make: empty field name";
+           validate_spec name spec;
+           if Hashtbl.mem by_name name then
+             invalid_arg
+               (Printf.sprintf "Domain_codec.make: duplicate field %s" name);
+           let f = { name; spec; index } in
+           Hashtbl.replace by_name name f;
+           f)
+         fields)
+  in
+  { by_order; by_name }
+
+let arity t = Array.length t.by_order
+let fields t = Array.to_list t.by_order |> List.map (fun f -> (f.name, f.spec))
+
+let field t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let field_index t name = (field t name).index
+let domain t name = spec_domain (field t name).spec
+
+type value = Int of int | Sym of string | Bool of bool | Time of string
+
+let type_error field expected =
+  invalid_arg
+    (Printf.sprintf "Domain_codec: field %s expects a %s value" field expected)
+
+let encode_field f value =
+  match (f.spec, value) with
+  | Int_range { lo; hi }, Int v ->
+      if v < lo || v > hi then
+        invalid_arg
+          (Printf.sprintf "Domain_codec: %d outside %s's range [%d, %d]" v
+             f.name lo hi);
+      v
+  | Enum symbols, Sym s -> (
+      let rec find i = function
+        | [] -> raise Not_found
+        | x :: rest -> if String.equal x s then i else find (i + 1) rest
+      in
+      try find 0 symbols with Not_found -> raise Not_found)
+  | Flag, Bool b -> if b then 1 else 0
+  | Minutes, Time s -> minutes_of_timestamp s
+  | Int_range _, (Sym _ | Bool _ | Time _) -> type_error f.name "integer"
+  | Enum _, (Int _ | Bool _ | Time _) -> type_error f.name "symbol"
+  | Flag, (Int _ | Sym _ | Time _) -> type_error f.name "boolean"
+  | Minutes, (Int _ | Sym _ | Bool _) -> type_error f.name "timestamp"
+
+let encode t ~field:name value = encode_field (field t name) value
+
+let decode t ~field:name code =
+  let f = field t name in
+  if not (Interval.mem code (spec_domain f.spec)) then
+    invalid_arg
+      (Printf.sprintf "Domain_codec.decode: %d outside %s's domain" code f.name);
+  match f.spec with
+  | Int_range _ -> Int code
+  | Enum symbols -> Sym (List.nth symbols code)
+  | Flag -> Bool (code = 1)
+  | Minutes -> Time (timestamp_of_minutes code)
+
+type constr =
+  | Any
+  | Eq of value
+  | Between of value * value
+  | At_least of value
+  | At_most of value
+
+let constr_interval f constr =
+  let dom = spec_domain f.spec in
+  match constr with
+  | Any -> dom
+  | Eq v -> Interval.point (encode_field f v)
+  | Between (a, b) ->
+      let lo = encode_field f a and hi = encode_field f b in
+      if lo > hi then
+        invalid_arg
+          (Printf.sprintf "Domain_codec: inverted bounds on field %s" f.name);
+      Interval.make ~lo ~hi
+  | At_least v -> Interval.make ~lo:(encode_field f v) ~hi:(Interval.hi dom)
+  | At_most v -> Interval.make ~lo:(Interval.lo dom) ~hi:(encode_field f v)
+
+let subscription t constraints =
+  let ranges = Array.map (fun f -> spec_domain f.spec) t.by_order in
+  List.iter
+    (fun (name, constr) ->
+      let f = field t name in
+      let range = constr_interval f constr in
+      match Interval.inter ranges.(f.index) range with
+      | Some r -> ranges.(f.index) <- r
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Domain_codec.subscription: empty constraint on field %s" name))
+    constraints;
+  Subscription.make ranges
+
+let publication t values =
+  let point = Array.make (arity t) min_int in
+  let seen = Array.make (arity t) false in
+  List.iter
+    (fun (name, value) ->
+      let f = field t name in
+      if seen.(f.index) then
+        invalid_arg
+          (Printf.sprintf "Domain_codec.publication: field %s given twice" name);
+      seen.(f.index) <- true;
+      point.(f.index) <- encode_field f value)
+    values;
+  Array.iteri
+    (fun i given ->
+      if not given then
+        invalid_arg
+          (Printf.sprintf "Domain_codec.publication: field %s missing"
+             t.by_order.(i).name))
+    seen;
+  Publication.point point
+
+let pp_value ppf = function
+  | Int v -> Format.pp_print_int ppf v
+  | Sym s -> Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b
+  | Time s -> Format.pp_print_string ppf s
+
+let pp_subscription t ppf sub =
+  if Subscription.arity sub <> arity t then
+    invalid_arg "Domain_codec.pp_subscription: arity mismatch";
+  Format.fprintf ppf "@[<hv>{";
+  let first = ref true in
+  Array.iter
+    (fun f ->
+      let range = Subscription.range sub f.index in
+      let dom = spec_domain f.spec in
+      if not (Interval.equal range dom || Interval.is_full range) then begin
+        if not !first then Format.fprintf ppf ";@ ";
+        first := false;
+        let lo = max (Interval.lo range) (Interval.lo dom) in
+        let hi = min (Interval.hi range) (Interval.hi dom) in
+        if lo = hi then
+          Format.fprintf ppf "%s = %a" f.name pp_value (decode t ~field:f.name lo)
+        else
+          Format.fprintf ppf "%s in [%a, %a]" f.name pp_value
+            (decode t ~field:f.name lo)
+            pp_value
+            (decode t ~field:f.name hi)
+      end)
+    t.by_order;
+  if !first then Format.fprintf ppf "*";
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,84 @@
+(** Typed attribute domains over the integer subscription model.
+
+    The paper's data model (§3) assumes every attribute value is drawn
+    from an {e ordered finite set} and works with integer ranges; real
+    applications have brands, domain names, timestamps and booleans
+    (Tables 1 and 2). A codec maps a named, typed schema onto the
+    integer model so that subscriptions and publications can be written
+    in application terms and still flow through the unmodified
+    subsumption machinery:
+
+    - integers map to themselves (within declared bounds);
+    - enumerations map to their declaration order — a {e contiguous}
+      run of symbols is a range, so "sizes 17 to 19" works; a
+      non-contiguous symbol set is not one conjunction and is rejected
+      (split it into several subscriptions, as the model demands);
+    - booleans map to 0/1;
+    - timestamps ("YYYY-MM-DD" or "YYYY-MM-DDThh:mm") map to minutes
+      since 2000-01-01 00:00 (proleptic Gregorian). *)
+
+type spec =
+  | Int_range of { lo : int; hi : int }  (** Bounded integer domain. *)
+  | Enum of string list  (** Ordered symbols; must be non-empty, distinct. *)
+  | Flag  (** Boolean. *)
+  | Minutes  (** Timestamps at minute granularity from 2000-01-01. *)
+
+type t
+(** An immutable schema of named, typed attributes. *)
+
+val make : (string * spec) list -> t
+(** @raise Invalid_argument on duplicate/empty field names, an empty or
+    duplicated enum, or an inverted integer range. *)
+
+val arity : t -> int
+val fields : t -> (string * spec) list
+(** In declaration order. *)
+
+val field_index : t -> string -> int
+(** @raise Not_found for unknown fields. *)
+
+val domain : t -> string -> Interval.t
+(** The full integer range of one field's domain. *)
+
+type value =
+  | Int of int
+  | Sym of string
+  | Bool of bool
+  | Time of string  (** "YYYY-MM-DD" or "YYYY-MM-DDThh:mm". *)
+
+val encode : t -> field:string -> value -> int
+(** @raise Not_found for unknown fields or enum symbols;
+    @raise Invalid_argument for type mismatches, out-of-range integers
+    or malformed timestamps. *)
+
+val decode : t -> field:string -> int -> value
+(** Inverse of {!encode} (timestamps decode to the canonical
+    "YYYY-MM-DDThh:mm" form). @raise Invalid_argument when the integer
+    is outside the field's domain. *)
+
+type constr =
+  | Any  (** The field's whole domain. *)
+  | Eq of value
+  | Between of value * value  (** Inclusive. *)
+  | At_least of value
+  | At_most of value
+
+val subscription : t -> (string * constr) list -> Subscription.t
+(** Unlisted fields are unconstrained ({!Any}). Listing a field twice
+    intersects the constraints.
+    @raise Invalid_argument if some intersection is empty or a bound
+    pair is inverted; @raise Not_found on unknown fields/symbols. *)
+
+val publication : t -> (string * value) list -> Publication.t
+(** Every field must be given exactly once (publications are points,
+    Definition 6). @raise Invalid_argument otherwise. *)
+
+val pp_subscription : t -> Format.formatter -> Subscription.t -> unit
+(** Renders ranges back in application terms (enum symbols, timestamps). *)
+
+(** Timestamp helpers (exposed for tests and workload generators). *)
+
+val minutes_of_timestamp : string -> int
+(** @raise Invalid_argument on malformed input. *)
+
+val timestamp_of_minutes : int -> string

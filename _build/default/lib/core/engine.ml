@@ -1,0 +1,164 @@
+type config = {
+  delta : float;
+  use_fast_decisions : bool;
+  use_mcs : bool;
+  use_probes : bool;
+  max_iterations : int;
+}
+
+let default_config =
+  {
+    delta = 1e-6;
+    use_fast_decisions = true;
+    use_mcs = true;
+    use_probes = false;
+    max_iterations = 100_000;
+  }
+
+let config ?(delta = default_config.delta)
+    ?(use_fast_decisions = default_config.use_fast_decisions)
+    ?(use_mcs = default_config.use_mcs)
+    ?(use_probes = default_config.use_probes)
+    ?(max_iterations = default_config.max_iterations) () =
+  if not (delta > 0.0 && delta < 1.0) then
+    invalid_arg "Engine.config: delta must lie in (0, 1)";
+  if max_iterations < 1 then
+    invalid_arg "Engine.config: max_iterations must be >= 1";
+  { delta; use_fast_decisions; use_mcs; use_probes; max_iterations }
+
+type reason =
+  | Empty_set
+  | Polyhedron of Witness.polyhedron
+  | Point of int array
+
+type verdict =
+  | Covered_pairwise of int
+  | Covered_probably
+  | Not_covered of reason
+
+type report = {
+  verdict : verdict;
+  k_initial : int;
+  k_reduced : int;
+  mcs : Mcs.result option;
+  rho : Rho.estimate option;
+  log10_d : float option;
+  d_used : int;
+  iterations : int;
+  achieved_delta : float option;
+}
+
+let is_covered = function
+  | Covered_pairwise _ | Covered_probably -> true
+  | Not_covered _ -> false
+
+let base_report ~verdict ~k_initial ~k_reduced =
+  {
+    verdict;
+    k_initial;
+    k_reduced;
+    mcs = None;
+    rho = None;
+    log10_d = None;
+    d_used = 0;
+    iterations = 0;
+    achieved_delta = None;
+  }
+
+let check ?(config = default_config) ~rng s subs =
+  let k_initial = Array.length subs in
+  if k_initial = 0 then
+    base_report ~verdict:(Not_covered Empty_set) ~k_initial ~k_reduced:0
+  else begin
+    let table = Conflict_table.build ~s subs in
+    let fast =
+      if config.use_fast_decisions then Fast_decision.decide table
+      else Fast_decision.Unknown
+    in
+    match fast with
+    | Fast_decision.Covered_pairwise row ->
+        base_report ~verdict:(Covered_pairwise row) ~k_initial
+          ~k_reduced:k_initial
+    | Fast_decision.Not_covered_witness w ->
+        base_report ~verdict:(Not_covered (Polyhedron w)) ~k_initial
+          ~k_reduced:k_initial
+    | Fast_decision.Unknown ->
+        let mcs_result, reduced_table, reduced_subs =
+          if config.use_mcs then begin
+            let result = Mcs.run table in
+            let reduced = Mcs.reduced_subs table result in
+            if List.length result.Mcs.kept = k_initial then
+              (Some result, table, subs)
+            else (Some result, Conflict_table.build ~s reduced, reduced)
+          end
+          else (None, table, subs)
+        in
+        let k_reduced = Array.length reduced_subs in
+        if k_reduced = 0 then
+          {
+            (base_report ~verdict:(Not_covered Empty_set) ~k_initial
+               ~k_reduced)
+            with mcs = mcs_result;
+          }
+        else begin
+          match
+            if config.use_probes then Probes.try_probes reduced_table else None
+          with
+          | Some p ->
+              {
+                (base_report ~verdict:(Not_covered (Point p)) ~k_initial
+                   ~k_reduced)
+                with mcs = mcs_result;
+              }
+          | None ->
+          let rho_estimate = Rho.estimate reduced_table in
+          let log10_d = Rho.log10_d rho_estimate ~delta:config.delta in
+          let d_used =
+            Rho.d_capped rho_estimate ~delta:config.delta
+              ~cap:config.max_iterations
+          in
+          let run = Rspc.run ~rng ~d:d_used ~s reduced_subs in
+          let verdict =
+            match run.Rspc.outcome with
+            | Rspc.Not_covered p -> Not_covered (Point p)
+            | Rspc.Probably_covered -> Covered_probably
+          in
+          let achieved_delta =
+            let r = Rho.rho rho_estimate in
+            if r >= 1.0 then 0.0
+            else exp (float_of_int d_used *. log1p (-.r))
+          in
+          {
+            verdict;
+            k_initial;
+            k_reduced;
+            mcs = mcs_result;
+            rho = Some rho_estimate;
+            log10_d = Some log10_d;
+            d_used;
+            iterations = run.Rspc.iterations;
+            achieved_delta = Some achieved_delta;
+          }
+        end
+  end
+
+let check_publication ?config ~rng pub subs =
+  check ?config ~rng (Publication.to_sub pub) subs
+
+let theoretical_log10_d ?(use_mcs = true) ~delta s subs =
+  if Array.length subs = 0 then neg_infinity
+  else begin
+    let table = Conflict_table.build ~s subs in
+    let table =
+      if not use_mcs then Some table
+      else begin
+        let result = Mcs.run table in
+        let reduced = Mcs.reduced_subs table result in
+        if Array.length reduced = 0 then None
+        else Some (Conflict_table.build ~s reduced)
+      end
+    in
+    match table with
+    | None -> neg_infinity
+    | Some table -> Rho.log10_d (Rho.estimate table) ~delta
+  end

@@ -1,0 +1,113 @@
+(* Carve [box \ cut] into disjoint boxes, slicing attribute by
+   attribute: for each axis, split off the parts of the remaining box
+   strictly below and strictly above [cut]'s range, then continue with
+   the middle slab. The slabs are disjoint by construction and their
+   union is exactly box \ cut. *)
+let subtract box cut =
+  let m = Subscription.arity box in
+  if Subscription.arity cut <> m then
+    invalid_arg "Exact.subtract: arity mismatch";
+  if not (Subscription.intersects box cut) then [ box ]
+  else begin
+    let pieces = ref [] in
+    let current = Subscription.ranges box in
+    for j = 0 to m - 1 do
+      let bj = current.(j) and cj = Subscription.range cut j in
+      (match
+         Interval.make_opt ~lo:(Interval.lo bj)
+           ~hi:(min (Interval.hi bj) (Interval.lo cj - 1))
+       with
+      | Some below ->
+          let piece = Array.copy current in
+          piece.(j) <- below;
+          pieces := Subscription.make piece :: !pieces
+      | None -> ());
+      (match
+         Interval.make_opt
+           ~lo:(max (Interval.lo bj) (Interval.hi cj + 1))
+           ~hi:(Interval.hi bj)
+       with
+      | Some above ->
+          let piece = Array.copy current in
+          piece.(j) <- above;
+          pieces := Subscription.make piece :: !pieces
+      | None -> ());
+      match Interval.inter bj cj with
+      | Some middle -> current.(j) <- middle
+      | None -> assert false (* box and cut intersect on every axis *)
+    done;
+    !pieces
+  end
+
+(* Prefer the cut that swallows the largest share of the box; this
+   shrinks the recursion tree dramatically on overlapping workloads. *)
+let best_cut box subs =
+  let best = ref None in
+  List.iter
+    (fun si ->
+      match Subscription.inter box si with
+      | None -> ()
+      | Some overlap ->
+          let gain = Subscription.log10_size overlap in
+          (match !best with
+          | Some (_, best_gain) when best_gain >= gain -> ()
+          | _ -> best := Some (si, gain)))
+    subs;
+  Option.map fst !best
+
+let covered_fuel ~fuel s subs =
+  let m = Subscription.arity s in
+  Array.iter
+    (fun si ->
+      if Subscription.arity si <> m then
+        invalid_arg "Exact: arity mismatch")
+    subs;
+  let fuel = ref fuel in
+  let exception Out_of_fuel in
+  let exception Witness_box of Subscription.t in
+  let rec go box subs =
+    if !fuel <= 0 then raise Out_of_fuel;
+    decr fuel;
+    match best_cut box subs with
+    | None -> raise (Witness_box box)
+    | Some cut ->
+        if Subscription.covers_sub cut box then ()
+        else begin
+          let rest = List.filter (fun si -> si != cut) subs in
+          let rest = List.filter (fun si -> Subscription.intersects si box) rest in
+          List.iter (fun piece -> go piece rest) (subtract box cut)
+        end
+  in
+  match go s (Array.to_list subs) with
+  | () -> Some true
+  | exception Witness_box _ -> Some false
+  | exception Out_of_fuel -> None
+
+let covered s subs =
+  match covered_fuel ~fuel:max_int s subs with
+  | Some answer -> answer
+  | None -> assert false
+
+let find_witness s subs =
+  let m = Subscription.arity s in
+  Array.iter
+    (fun si ->
+      if Subscription.arity si <> m then
+        invalid_arg "Exact.find_witness: arity mismatch")
+    subs;
+  let exception Witness_box of Subscription.t in
+  let rec go box subs =
+    match best_cut box subs with
+    | None -> raise (Witness_box box)
+    | Some cut ->
+        if Subscription.covers_sub cut box then ()
+        else begin
+          let rest = List.filter (fun si -> si != cut) subs in
+          let rest = List.filter (fun si -> Subscription.intersects si box) rest in
+          List.iter (fun piece -> go piece rest) (subtract box cut)
+        end
+  in
+  match go s (Array.to_list subs) with
+  | () -> None
+  | exception Witness_box box ->
+      Some (Array.map Interval.lo (Subscription.ranges box))

@@ -1,0 +1,27 @@
+(** Exact (deterministic) group-coverage oracle.
+
+    Decides [s ⊑ s1 ∨ ... ∨ sk] exactly by recursive box subtraction:
+    pick a subscription intersecting the current box, carve the box into
+    the at-most-[2m] sub-boxes outside it, and recurse. The problem is
+    co-NP complete, so this is exponential in the worst case — it exists
+    as the ground truth for tests and for counting the false decisions
+    of Fig. 12, not as a production algorithm. Keep [k] and [m] small
+    (tests use k ≤ 60, m ≤ 6) or rely on {!covered_fuel}. *)
+
+val covered : Subscription.t -> Subscription.t array -> bool
+(** [covered s subs] is true iff the union of [subs] covers [s].
+    @raise Invalid_argument on an arity mismatch. *)
+
+val covered_fuel :
+  fuel:int -> Subscription.t -> Subscription.t array -> bool option
+(** Like {!covered} but gives up with [None] after expanding [fuel]
+    boxes, so callers can bound the exponential blow-up. *)
+
+val find_witness : Subscription.t -> Subscription.t array -> int array option
+(** [find_witness s subs] returns a concrete point of [s] outside every
+    subscription when coverage fails, [None] when [s] is covered. *)
+
+val subtract : Subscription.t -> Subscription.t -> Subscription.t list
+(** [subtract box cut] partitions [box \ cut] into at most [2m]
+    pairwise-disjoint boxes (empty list when [cut] covers [box]).
+    Exposed for the property tests of the subtraction invariants. *)

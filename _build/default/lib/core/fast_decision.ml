@@ -1,0 +1,31 @@
+type decision =
+  | Covered_pairwise of int
+  | Not_covered_witness of Witness.polyhedron
+  | Unknown
+
+let covering_rows t =
+  let acc = ref [] in
+  for row = Conflict_table.rows t - 1 downto 0 do
+    if Conflict_table.row_all_undefined t ~row then acc := row :: !acc
+  done;
+  !acc
+
+let covered_rows t =
+  let acc = ref [] in
+  for row = Conflict_table.rows t - 1 downto 0 do
+    if Conflict_table.row_all_defined t ~row then acc := row :: !acc
+  done;
+  !acc
+
+let decide t =
+  match covering_rows t with
+  | row :: _ -> Covered_pairwise row
+  | [] ->
+      if Witness.corollary3_holds t then
+        match Witness.find_polyhedron t with
+        | Some w -> Not_covered_witness w
+        | None ->
+            (* Corollary 3 guarantees the greedy succeeds; reaching here
+               would be a bug, but degrade gracefully rather than abort. *)
+            Unknown
+      else Unknown

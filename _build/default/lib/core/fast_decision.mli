@@ -1,0 +1,34 @@
+(** Fast deterministic decisions from sufficient conditions (§4.3).
+
+    Before any probabilistic work, three cheap checks can settle the
+    coverage question outright:
+
+    + {b Pairwise subsumption} (Corollary 1): a conflict-table row with
+      no defined cells means that single subscription covers [s] — a
+      definite YES in O(m·k).
+    + {b Polyhedron witness} (Corollary 3): if, after sorting rows by
+      defined-cell count, [t_{i_j} >= j] holds for every position, a
+      polyhedron witness exists — a definite NO.
+    + {b Empty minimized cover set}: if MCS removes every candidate, no
+      subset can jointly cover [s] — a definite NO (checked by the
+      engine after running MCS; not here). *)
+
+type decision =
+  | Covered_pairwise of int
+      (** Row index of a subscription that singly covers [s]. *)
+  | Not_covered_witness of Witness.polyhedron
+      (** Corollary 3 fired and the greedy produced a verified witness. *)
+  | Unknown  (** Neither sufficient condition applies. *)
+
+val decide : Conflict_table.t -> decision
+(** [decide t] applies checks 1 and 2 in order. A table with zero rows
+    yields [Not_covered_witness] with region [s] itself. *)
+
+val covering_rows : Conflict_table.t -> int list
+(** All rows that singly cover [s] (Corollary 1), ascending — used by
+    the pairwise baseline and the store. *)
+
+val covered_rows : Conflict_table.t -> int list
+(** All rows [si] that [s] covers (Corollary 2: every cell defined),
+    ascending — candidates for reverse pruning when a new subscription
+    swallows old ones. *)

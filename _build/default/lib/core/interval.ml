@@ -1,0 +1,42 @@
+type t = { lo : int; hi : int }
+
+(* Sentinels stay well inside the int range so that [width] and interval
+   arithmetic never overflow even when combining two sentinels. *)
+let unbounded_lo = -(1 lsl 40)
+let unbounded_hi = 1 lsl 40
+
+let make ~lo ~hi =
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: lo %d > hi %d" lo hi);
+  { lo; hi }
+
+let make_opt ~lo ~hi = if lo > hi then None else Some { lo; hi }
+let point v = { lo = v; hi = v }
+let full = { lo = unbounded_lo; hi = unbounded_hi }
+let is_full t = t.lo = unbounded_lo && t.hi = unbounded_hi
+let lo t = t.lo
+let hi t = t.hi
+let width t = t.hi - t.lo + 1
+let log10_width t = log10 (float_of_int (width t))
+let mem v t = t.lo <= v && v <= t.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let intersects a b = a.lo <= b.hi && b.lo <= a.hi
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+let before a b = a.hi < b.lo
+let shift t n = { lo = t.lo + n; hi = t.hi + n }
+let clamp t ~within = inter t within
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c
+
+let pp ppf t =
+  if is_full t then Format.fprintf ppf "[*]"
+  else Format.fprintf ppf "[%d, %d]" t.lo t.hi
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,75 @@
+(** Inclusive integer intervals [{!lo}, {!hi}].
+
+    Intervals are the atomic building block of the subscription model:
+    every simple predicate of the paper constrains one attribute to a
+    range [lo <= x_j <= hi] (Definition 1). Attribute domains are ordered
+    finite sets, so integer end points are fully general. *)
+
+type t = private { lo : int; hi : int }
+(** An inclusive, non-empty interval. The invariant [lo <= hi] is
+    enforced by the constructors; empty ranges are represented by
+    [option] at the operation level, never by an inverted interval. *)
+
+val unbounded_lo : int
+(** Sentinel used for "no lower bound". Far from [min_int] so that
+    width computations never overflow. *)
+
+val unbounded_hi : int
+(** Sentinel used for "no upper bound". *)
+
+val make : lo:int -> hi:int -> t
+(** [make ~lo ~hi] builds the interval [lo, hi].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val make_opt : lo:int -> hi:int -> t option
+(** Like {!make} but returns [None] for an empty range. *)
+
+val point : int -> t
+(** [point v] is the degenerate interval [v, v]. *)
+
+val full : t
+(** The whole (sentinel-bounded) attribute domain: an attribute that the
+    subscription leaves unconstrained. *)
+
+val is_full : t -> bool
+(** [is_full t] holds when both end points are the unbounded sentinels. *)
+
+val lo : t -> int
+val hi : t -> int
+
+val width : t -> int
+(** [width t] is the number of integer points, [hi - lo + 1]. *)
+
+val log10_width : t -> float
+(** [log10_width t] is [log10 (width t)] computed without overflow; used
+    for the log-space size arithmetic of {!Rho}. *)
+
+val mem : int -> t -> bool
+(** [mem v t] tests [lo <= v <= hi]. *)
+
+val subset : t -> t -> bool
+(** [subset a b] holds when every point of [a] lies in [b]. *)
+
+val intersects : t -> t -> bool
+(** [intersects a b] holds when [a] and [b] share at least one point. *)
+
+val inter : t -> t -> t option
+(** [inter a b] is the common part of [a] and [b], if non-empty. *)
+
+val hull : t -> t -> t
+(** [hull a b] is the smallest interval containing both [a] and [b]. *)
+
+val before : t -> t -> bool
+(** [before a b] holds when [a] lies entirely below [b] ([a.hi < b.lo]). *)
+
+val shift : t -> int -> t
+(** [shift t n] translates both end points by [n]. *)
+
+val clamp : t -> within:t -> t option
+(** [clamp t ~within] is [inter t within]; a readability alias for
+    restricting a range to a domain. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

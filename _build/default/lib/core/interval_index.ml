@@ -1,0 +1,111 @@
+(* Classic centered interval tree. Each node stores the intervals
+   crossing its center twice: sorted by lo ascending (scanned for
+   queries left of the center) and by hi descending (for queries right
+   of it). Intervals entirely left/right of the center go to the
+   subtrees. Query cost O(log n + answers). *)
+
+type node = {
+  center : int;
+  by_lo : (int * Interval.t) array; (* crossing, sorted by lo asc *)
+  by_hi : (int * Interval.t) array; (* crossing, sorted by hi desc *)
+  left : node option;
+  right : node option;
+}
+
+type t = { root : node option; size : int }
+
+let empty = { root = None; size = 0 }
+let size t = t.size
+
+let rec build_node entries =
+  match entries with
+  | [] -> None
+  | _ ->
+      (* Median of the interval midpoints keeps the tree balanced for
+         the workloads we care about. *)
+      let mids =
+        List.map
+          (fun (_, r) -> (Interval.lo r + Interval.hi r) / 2)
+          entries
+        |> List.sort Int.compare |> Array.of_list
+      in
+      let center = mids.(Array.length mids / 2) in
+      let crossing, left_of, right_of =
+        List.fold_left
+          (fun (c, l, r) ((_, range) as e) ->
+            if Interval.hi range < center then (c, e :: l, r)
+            else if Interval.lo range > center then (c, l, e :: r)
+            else (e :: c, l, r))
+          ([], [], []) entries
+      in
+      let by_lo = Array.of_list crossing in
+      Array.sort (fun (_, a) (_, b) -> Int.compare (Interval.lo a) (Interval.lo b)) by_lo;
+      let by_hi = Array.of_list crossing in
+      Array.sort (fun (_, a) (_, b) -> Int.compare (Interval.hi b) (Interval.hi a)) by_hi;
+      Some
+        {
+          center;
+          by_lo;
+          by_hi;
+          left = build_node left_of;
+          right = build_node right_of;
+        }
+
+let build entries = { root = build_node entries; size = List.length entries }
+
+let iter_stab t v ~f =
+  let rec visit = function
+    | None -> ()
+    | Some node ->
+        if v < node.center then begin
+          (* Crossing intervals sorted by lo: report while lo <= v. *)
+          let arr = node.by_lo in
+          let n = Array.length arr in
+          let i = ref 0 in
+          while
+            !i < n
+            &&
+            let id, range = arr.(!i) in
+            if Interval.lo range <= v then begin
+              f id;
+              true
+            end
+            else false
+          do
+            incr i
+          done;
+          visit node.left
+        end
+        else if v > node.center then begin
+          let arr = node.by_hi in
+          let n = Array.length arr in
+          let i = ref 0 in
+          while
+            !i < n
+            &&
+            let id, range = arr.(!i) in
+            if Interval.hi range >= v then begin
+              f id;
+              true
+            end
+            else false
+          do
+            incr i
+          done;
+          visit node.right
+        end
+        else
+          (* v = center: every crossing interval contains it. *)
+          Array.iter (fun (id, _) -> f id) node.by_lo
+  in
+  visit t.root
+
+let stab t v =
+  let acc = ref [] in
+  iter_stab t v ~f:(fun id -> acc := id :: !acc);
+  !acc
+
+let count_stab t v =
+  let n = ref 0 in
+  iter_stab t v ~f:(fun _ -> incr n);
+  !n

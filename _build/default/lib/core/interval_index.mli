@@ -1,0 +1,31 @@
+(** Centered interval tree: stabbing queries over a set of integer
+    intervals.
+
+    Supports the per-attribute lookups of the counting matcher
+    ({!Counting_matcher}): given a publication value [v], enumerate the
+    identifiers of every stored interval containing [v] in
+    O(log n + answers). The tree is static; {!build} constructs it from
+    a snapshot in O(n log n). Mutating callers keep a dirty flag and
+    rebuild lazily — subscription tables change far more slowly than
+    publications arrive (§1), so amortized rebuilds are the right
+    trade-off and keep the structure simple and obviously correct. *)
+
+type t
+
+val build : (int * Interval.t) list -> t
+(** [build entries] indexes [(id, interval)] pairs. Ids need not be
+    distinct (a subscription may contribute several intervals on one
+    attribute in extensions); all entries are reported. *)
+
+val empty : t
+val size : t -> int
+
+val stab : t -> int -> int list
+(** [stab t v] lists the ids of all intervals containing [v], in
+    unspecified order. *)
+
+val iter_stab : t -> int -> f:(int -> unit) -> unit
+(** Allocation-light variant of {!stab} for the matcher's hot path. *)
+
+val count_stab : t -> int -> int
+(** Number of intervals containing [v]. *)

@@ -1,0 +1,153 @@
+type result = {
+  kept : int list;
+  removed : int list;
+  sweeps : int;
+  removed_conflict_free : int;
+  removed_row_count : int;
+}
+
+(* Reference O(m·k) per-row definition, used by tests and as
+   documentation of what the optimized sweep computes. *)
+let conflict_free_count t ~alive ~row =
+  let k = Conflict_table.rows t in
+  let count = ref 0 in
+  let cell_is_conflict_free ~attr ~side =
+    let conflicting = ref false in
+    for other = 0 to k - 1 do
+      if alive.(other) && other <> row && not !conflicting then
+        List.iter
+          (fun side2 ->
+            if
+              Conflict_table.cells_conflict t ~row1:row ~attr1:attr ~side1:side
+                ~row2:other ~attr2:attr ~side2
+            then conflicting := true)
+          [ Conflict_table.Low; Conflict_table.High ]
+    done;
+    not !conflicting
+  in
+  Conflict_table.fold_defined t ~row ~init:()
+    ~f:(fun () ~attr ~side ~bound:_ ->
+      if cell_is_conflict_free ~attr ~side then incr count);
+  !count
+
+(* Per-attribute extrema of live strips. A Low cell's strip is a prefix
+   [s.lo, ub]; a High cell's strip is a suffix [lb, s.hi]. Cells
+   conflict iff ub < lb, so a Low cell is conflict-free iff the largest
+   lb among *other* live rows is <= its ub, and dually for High cells.
+   Keeping the top two extrema lets us exclude the row's own cell. *)
+type extrema = {
+  mutable max1_lb : int;
+  mutable max1_row : int;
+  mutable max2_lb : int;
+  mutable min1_ub : int;
+  mutable min1_row : int;
+  mutable min2_ub : int;
+}
+
+let fresh_extrema () =
+  {
+    max1_lb = min_int;
+    max1_row = -1;
+    max2_lb = min_int;
+    min1_ub = max_int;
+    min1_row = -1;
+    min2_ub = max_int;
+  }
+
+let note_high e ~row ~lb =
+  if lb > e.max1_lb then begin
+    e.max2_lb <- e.max1_lb;
+    e.max1_lb <- lb;
+    e.max1_row <- row
+  end
+  else if lb > e.max2_lb then e.max2_lb <- lb
+
+let note_low e ~row ~ub =
+  if ub < e.min1_ub then begin
+    e.min2_ub <- e.min1_ub;
+    e.min1_ub <- ub;
+    e.min1_row <- row
+  end
+  else if ub < e.min2_ub then e.min2_ub <- ub
+
+let max_lb_excluding e row = if e.max1_row = row then e.max2_lb else e.max1_lb
+let min_ub_excluding e row = if e.min1_row = row then e.min2_ub else e.min1_ub
+
+let run t =
+  let k = Conflict_table.rows t in
+  let m = Conflict_table.arity t in
+  let alive = Array.make k true in
+  let alive_count = ref k in
+  let removed = ref [] in
+  let removed_conflict_free = ref 0 in
+  let removed_row_count = ref 0 in
+  let sweeps = ref 0 in
+  let strip_bounds row attr side =
+    match Conflict_table.strip t ~row ~attr ~side with
+    | None -> None
+    | Some s -> Some (Interval.lo s, Interval.hi s)
+  in
+  let changed = ref true in
+  while !changed && !alive_count > 0 do
+    changed := false;
+    incr sweeps;
+    (* Pass 1: per-attribute extrema over live rows. *)
+    let stats = Array.init m (fun _ -> fresh_extrema ()) in
+    for row = 0 to k - 1 do
+      if alive.(row) then
+        for attr = 0 to m - 1 do
+          (match strip_bounds row attr Conflict_table.Low with
+          | Some (_, ub) -> note_low stats.(attr) ~row ~ub
+          | None -> ());
+          match strip_bounds row attr Conflict_table.High with
+          | Some (lb, _) -> note_high stats.(attr) ~row ~lb
+          | None -> ()
+        done
+    done;
+    (* Pass 2: remove redundant rows. Extrema are from the sweep start,
+       which is conservative (a removal only makes more cells
+       conflict-free); the outer fixpoint loop picks up the rest. *)
+    for row = 0 to k - 1 do
+      if alive.(row) then begin
+        let has_conflict_free = ref false in
+        for attr = 0 to m - 1 do
+          if not !has_conflict_free then begin
+            (match strip_bounds row attr Conflict_table.Low with
+            | Some (_, ub) ->
+                if max_lb_excluding stats.(attr) row <= ub then
+                  has_conflict_free := true
+            | None -> ());
+            match strip_bounds row attr Conflict_table.High with
+            | Some (lb, _) ->
+                if min_ub_excluding stats.(attr) row >= lb then
+                  has_conflict_free := true
+            | None -> ()
+          end
+        done;
+        let ti = Conflict_table.defined_count t ~row in
+        if !has_conflict_free || ti >= !alive_count then begin
+          alive.(row) <- false;
+          decr alive_count;
+          removed := row :: !removed;
+          if !has_conflict_free then incr removed_conflict_free
+          else incr removed_row_count;
+          changed := true
+        end
+      end
+    done
+  done;
+  let kept = ref [] in
+  for row = k - 1 downto 0 do
+    if alive.(row) then kept := row :: !kept
+  done;
+  {
+    kept = !kept;
+    removed = List.rev !removed;
+    sweeps = !sweeps;
+    removed_conflict_free = !removed_conflict_free;
+    removed_row_count = !removed_row_count;
+  }
+
+let reduced_subs t result =
+  let subs = Conflict_table.subs t in
+  Array.of_list (List.map (fun row -> subs.(row)) result.kept)

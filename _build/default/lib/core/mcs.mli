@@ -1,0 +1,41 @@
+(** Minimized Cover Set (Algorithm 3, Proposition 4).
+
+    MCS shrinks the subscription set against which [s] must be checked
+    to a non-reducible core, without changing the answer to the group
+    coverage question. A row [i] is redundant and removed when
+
+    - [fc_i >= 1]: some defined cell of the row is {e conflict-free}
+      (conflicts with no defined cell of any other live row) — any
+      witness avoiding the other rows can be extended through that cell,
+      so row [i] can never be the reason [s] is covered; or
+    - [t_i >= k]: the row has at least as many defined cells as there
+      are live rows, so a cell of row [i] always survives the at-most-one
+      conflict each other row can impose.
+
+    Removals repeat until a fixpoint. The paper bounds the cost by
+    O(m²k³); this implementation exploits that conflicts only occur
+    between a [x_j < a] cell and a [x_j > b] cell of the same attribute,
+    reducing a sweep to O(m·k) via per-attribute top-2 extrema, i.e.
+    O(m·k²) total in the worst case.
+
+    (The paper's Algorithm 3 line 7 reads "fci >= 0"; that is a typo for
+    [fci >= 1] — Proposition 4 and the worked example both use >= 1.) *)
+
+type result = {
+  kept : int list;  (** Surviving row indices, ascending. *)
+  removed : int list;  (** Removed row indices, in removal order. *)
+  sweeps : int;  (** Number of repeat-until passes executed. *)
+  removed_conflict_free : int;  (** Removals triggered by [fc_i >= 1]. *)
+  removed_row_count : int;  (** Removals triggered by [t_i >= k]. *)
+}
+
+val run : Conflict_table.t -> result
+(** [run t] computes the minimized cover set of the table's rows. *)
+
+val reduced_subs : Conflict_table.t -> result -> Subscription.t array
+(** The surviving subscriptions, in row order. *)
+
+val conflict_free_count : Conflict_table.t -> alive:bool array -> row:int -> int
+(** [fc_i] for one row, counting conflicts only against [alive] rows —
+    the O(m·k) reference definition, exposed for tests that validate the
+    optimized sweep against it. *)

@@ -1,0 +1,76 @@
+let perfect_merge a b =
+  if Subscription.arity a <> Subscription.arity b then
+    invalid_arg "Merging.perfect_merge: arity mismatch";
+  if Subscription.covers_sub a b then Some a
+  else if Subscription.covers_sub b a then Some b
+  else begin
+    let m = Subscription.arity a in
+    (* Find the single differing attribute, if any. *)
+    let differing = ref [] in
+    for j = m - 1 downto 0 do
+      if not (Interval.equal (Subscription.range a j) (Subscription.range b j))
+      then differing := j :: !differing
+    done;
+    match !differing with
+    | [ j ] ->
+        let ra = Subscription.range a j and rb = Subscription.range b j in
+        (* The union of two intervals is an interval iff they overlap or
+           are adjacent (gap of zero integers between them). *)
+        let touching =
+          Interval.intersects ra rb
+          || Interval.hi ra + 1 = Interval.lo rb
+          || Interval.hi rb + 1 = Interval.lo ra
+        in
+        if touching then begin
+          let ranges = Subscription.ranges a in
+          ranges.(j) <- Interval.hull ra rb;
+          Some (Subscription.make ranges)
+        end
+        else None
+    | _ -> None
+  end
+
+let hull_merge = Subscription.hull
+
+(* log10 |hull \ (a ∪ b)| via inclusion-exclusion on exact counts held
+   as floats: |hull| - |a| - |b| + |a ∩ b|. Differences of big floats
+   lose precision for huge volumes, which is acceptable for a
+   diagnostic metric. *)
+let false_positive_log10_volume a b =
+  let hull = Subscription.hull a b in
+  let vol s = Subscription.size s in
+  let inter_vol =
+    match Subscription.inter a b with None -> 0.0 | Some i -> vol i
+  in
+  let excess = vol hull -. vol a -. vol b +. inter_vol in
+  if excess <= 0.5 then neg_infinity else log10 excess
+
+let greedy_reduce subs =
+  let arr = ref (Array.of_list subs) in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let n = Array.length !arr in
+    let merged = ref None in
+    (try
+       for i = 0 to n - 1 do
+         for j = i + 1 to n - 1 do
+           match perfect_merge !arr.(i) !arr.(j) with
+           | Some u ->
+               merged := Some (i, j, u);
+               raise Exit
+           | None -> ()
+         done
+       done
+     with Exit -> ());
+    match !merged with
+    | None -> ()
+    | Some (i, j, u) ->
+        let keep = ref [] in
+        Array.iteri
+          (fun idx s -> if idx <> i && idx <> j then keep := s :: !keep)
+          !arr;
+        arr := Array.of_list (u :: List.rev !keep);
+        progress := true
+  done;
+  Array.to_list !arr

@@ -1,0 +1,35 @@
+(** Subscription merging — the complementary reduction from the related
+    work (Crespo et al., Li et al. [8,9] in the paper).
+
+    Merging replaces two subscriptions by one broader one. A {e perfect}
+    merge loses nothing: it exists exactly when the two boxes differ on
+    at most one attribute and their union is itself a box on that
+    attribute (adjacent or overlapping ranges). Imperfect merges take
+    the hull and accept false positives — the trade-off the paper
+    contrasts with its (false-negative-bounded) probabilistic covering.
+
+    This module exists as a baseline/extension; the paper's algorithms
+    never merge. *)
+
+val perfect_merge :
+  Subscription.t -> Subscription.t -> Subscription.t option
+(** [perfect_merge a b] is the exact union box when it exists: [a] and
+    [b] agree on all attributes but at most one, where their ranges
+    overlap or are adjacent. Covering pairs ([a ⊑ b] or [b ⊑ a]) merge
+    to the larger one. *)
+
+val hull_merge : Subscription.t -> Subscription.t -> Subscription.t
+(** The smallest box containing both — always succeeds, may
+    over-approximate. *)
+
+val false_positive_log10_volume :
+  Subscription.t -> Subscription.t -> float
+(** [log10] of the number of points the hull adds beyond the exact
+    union — the over-subscription cost of an imperfect merge
+    ([neg_infinity] when the merge is perfect). *)
+
+val greedy_reduce : Subscription.t list -> Subscription.t list
+(** Repeatedly applies {!perfect_merge} to any mergeable pair until a
+    fixpoint; the result represents exactly the same point set. Order
+    O(n³) worst case — intended for broker-side batches, not huge
+    stores. *)

@@ -1,0 +1,22 @@
+let find_coverer s subs =
+  let k = Array.length subs in
+  let rec loop i =
+    if i >= k then None
+    else if Subscription.covers_sub subs.(i) s then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let coverers s subs =
+  let acc = ref [] in
+  for i = Array.length subs - 1 downto 0 do
+    if Subscription.covers_sub subs.(i) s then acc := i :: !acc
+  done;
+  !acc
+
+let covered_by_new s subs =
+  let acc = ref [] in
+  for i = Array.length subs - 1 downto 0 do
+    if Subscription.covers_sub s subs.(i) then acc := i :: !acc
+  done;
+  !acc

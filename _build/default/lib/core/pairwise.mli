@@ -1,0 +1,18 @@
+(** Pairwise covering — the deterministic baseline used by Siena-style
+    systems and by the paper's §6.4 comparison.
+
+    Pairwise covering only detects [s ⊑ si] for a single [si]; it can
+    never recognize group coverage, which is exactly the gap RSPC
+    closes. *)
+
+val find_coverer : Subscription.t -> Subscription.t array -> int option
+(** [find_coverer s subs] is the index of the first subscription that
+    singly covers [s], if any. O(m·k). *)
+
+val coverers : Subscription.t -> Subscription.t array -> int list
+(** All indices of subscriptions singly covering [s], ascending. *)
+
+val covered_by_new : Subscription.t -> Subscription.t array -> int list
+(** [covered_by_new s subs] lists the indices of existing subscriptions
+    that the {e new} subscription [s] covers — the reverse direction,
+    used to prune a store when a broader subscription arrives. *)

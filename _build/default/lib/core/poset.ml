@@ -1,0 +1,187 @@
+(* Covering DAG. Each node keeps its direct coverers (preds) and
+   directly covered nodes (succs). Equal subscriptions chain oldest
+   first, which keeps the graph acyclic. After removals the edge set
+   can contain a few transitively implied edges; roots and coverage
+   queries stay exact. *)
+
+type id = int
+
+type node = {
+  sub : Subscription.t;
+  mutable preds : id list;
+  mutable succs : id list;
+}
+
+type t = {
+  arity : int;
+  nodes : (id, node) Hashtbl.t;
+  mutable next : id;
+}
+
+let create ~arity () =
+  if arity < 1 then invalid_arg "Poset.create: arity < 1";
+  { arity; nodes = Hashtbl.create 64; next = 0 }
+
+let arity t = t.arity
+let size t = Hashtbl.length t.nodes
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> raise Not_found
+
+let find t id = (node t id).sub
+
+let sorted_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort Int.compare
+
+let root_ids t =
+  List.filter (fun id -> (node t id).preds = []) (sorted_ids t)
+
+let roots t = List.map (fun id -> (id, (node t id).sub)) (root_ids t)
+let is_root t id = (node t id).preds = []
+
+let iter t ~f = List.iter (fun id -> f id (node t id).sub) (sorted_ids t)
+
+(* All nodes covering [s], found by descending from the roots: a node
+   whose subscription does not cover [s] cannot have a descendant that
+   does (descendants are subsets). *)
+let coverers t s =
+  let seen = Hashtbl.create 16 in
+  let hits = ref [] in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      let n = node t id in
+      if Subscription.covers_sub n.sub s then begin
+        hits := id :: !hits;
+        List.iter visit n.succs
+      end
+    end
+  in
+  List.iter visit (root_ids t);
+  !hits
+
+(* Immediate coverers: coverers none of whose direct children also
+   cover [s]. *)
+let immediate_coverers t s =
+  let all = coverers t s in
+  List.filter
+    (fun id ->
+      not
+        (List.exists
+           (fun child -> List.mem child all)
+           (node t id).succs))
+    all
+
+(* Maximal nodes strictly covered by [s]: descend while the node
+   intersects [s]; stop descending at the first covered node on each
+   branch (its descendants are covered through it anyway). *)
+let immediate_covered t s =
+  let seen = Hashtbl.create 16 in
+  let hits = ref [] in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      let n = node t id in
+      if Subscription.covers_sub s n.sub && not (Subscription.equal s n.sub)
+      then hits := id :: !hits
+      else if Subscription.intersects s n.sub then List.iter visit n.succs
+    end
+  in
+  List.iter visit (root_ids t);
+  (* Keep only covering-maximal hits: drop any hit reachable from
+     another hit via a strictly-covering ancestor also in the set. *)
+  let hit_list = !hits in
+  List.filter
+    (fun id ->
+      not
+        (List.exists
+           (fun other ->
+             other <> id
+             && Subscription.covers_sub (node t other).sub (node t id).sub
+             && not (Subscription.equal (node t other).sub (node t id).sub))
+           hit_list))
+    hit_list
+
+let link t ~parent ~child =
+  let p = node t parent and c = node t child in
+  if not (List.mem child p.succs) then p.succs <- child :: p.succs;
+  if not (List.mem parent c.preds) then c.preds <- parent :: c.preds
+
+let unlink t ~parent ~child =
+  let p = node t parent and c = node t child in
+  p.succs <- List.filter (fun x -> x <> child) p.succs;
+  c.preds <- List.filter (fun x -> x <> parent) c.preds
+
+let add t s =
+  if Subscription.arity s <> t.arity then
+    invalid_arg "Poset.add: arity mismatch";
+  let id = t.next in
+  t.next <- id + 1;
+  let parents = immediate_coverers t s in
+  let children = immediate_covered t s in
+  Hashtbl.replace t.nodes id { sub = s; preds = []; succs = [] };
+  (* The new node slots between its parents and children; direct
+     parent->child edges become transitive and are removed. *)
+  List.iter
+    (fun parent ->
+      List.iter
+        (fun child ->
+          if List.mem child (node t parent).succs then
+            unlink t ~parent ~child)
+        children)
+    parents;
+  List.iter (fun parent -> link t ~parent ~child:id) parents;
+  List.iter (fun child -> link t ~parent:id ~child) children;
+  id
+
+let remove t id =
+  let n = node t id in
+  (* Snapshot before unlinking: unlink rewrites these lists. *)
+  let parents = n.preds and children = n.succs in
+  List.iter (fun parent -> unlink t ~parent ~child:id) parents;
+  List.iter (fun child -> unlink t ~parent:id ~child) children;
+  (* Reconnect around the hole; transitivity of covering guarantees
+     the edges are valid. *)
+  List.iter
+    (fun parent -> List.iter (fun child -> link t ~parent ~child) children)
+    parents;
+  Hashtbl.remove t.nodes id
+
+let covered_by_some_root t s =
+  (* If anything covers s, the root above it does too. *)
+  List.exists (fun id -> Subscription.covers_sub (node t id).sub s) (root_ids t)
+
+let covers t a b =
+  ignore (node t b);
+  let seen = Hashtbl.create 16 in
+  let rec reach id =
+    id = b
+    || (not (Hashtbl.mem seen id))
+       && begin
+            Hashtbl.replace seen id ();
+            List.exists reach (node t id).succs
+          end
+  in
+  reach a
+
+let validate t =
+  let ok = ref true in
+  Hashtbl.iter
+    (fun id n ->
+      if List.mem id n.preds || List.mem id n.succs then ok := false;
+      List.iter
+        (fun child ->
+          let c = node t child in
+          if not (Subscription.covers_sub n.sub c.sub) then ok := false;
+          if not (List.mem id c.preds) then ok := false)
+        n.succs;
+      List.iter
+        (fun parent ->
+          let p = node t parent in
+          if not (Subscription.covers_sub p.sub n.sub) then ok := false;
+          if not (List.mem id p.succs) then ok := false)
+        n.preds)
+    t.nodes;
+  !ok

@@ -1,0 +1,57 @@
+(** A covering poset of subscriptions — the data structure Siena-class
+    systems maintain for {e pairwise} covering (the paper's §7:
+    "existing deterministic algorithms ... use pair-wise comparisons").
+
+    Subscriptions are partially ordered by [covers_sub]; the poset
+    keeps only the {e direct} covering edges, so the roots (maximal
+    elements) are exactly the subscriptions a broker must propagate —
+    everything else is pairwise-covered by some root. Compared to the
+    flat {!Subscription_store} scan, insertion walks down from the
+    roots and only explores covered regions, which is sub-linear on
+    nested workloads.
+
+    Duplicates (equal subscriptions) are permitted and stack on one
+    node. All operations are deterministic. This is a baseline
+    substrate: the probabilistic machinery strictly subsumes what it
+    can prune, which the ablation/comparison experiments quantify. *)
+
+type t
+type id = int
+
+val create : arity:int -> unit -> t
+val arity : t -> int
+val size : t -> int
+(** Number of live subscriptions (duplicates counted). *)
+
+val add : t -> Subscription.t -> id
+(** Insert; O(edges explored). @raise Invalid_argument on arity
+    mismatch. *)
+
+val remove : t -> id -> unit
+(** Delete and reconnect predecessors to successors.
+    @raise Not_found for unknown ids. *)
+
+val find : t -> id -> Subscription.t
+(** @raise Not_found. *)
+
+val roots : t -> (id * Subscription.t) list
+(** Maximal elements (not covered by any other), ascending id — what a
+    Siena broker forwards. *)
+
+val is_root : t -> id -> bool
+(** @raise Not_found. *)
+
+val covered_by_some_root : t -> Subscription.t -> bool
+(** Pairwise coverage test against the stored set, walking only the
+    roots: true iff some stored subscription covers the argument. *)
+
+val covers : t -> id -> id -> bool
+(** Reachability in the covering DAG: does the first subscription
+    (transitively) cover the second? @raise Not_found. *)
+
+val iter : t -> f:(id -> Subscription.t -> unit) -> unit
+(** All live nodes, ascending id. *)
+
+val validate : t -> bool
+(** Structural invariants (edges are real coverings, no self edges,
+    roots have no predecessors); for tests. *)

@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed = { state = seed }
+let of_int seed = create ~seed:(Int64.of_int seed)
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  (* A second mix decorrelates the child stream from the parent's next
+     outputs even for adjacent seeds. *)
+  { state = mix seed }
+
+(* Rejection sampling over the top bits keeps the draw exactly uniform
+   for any bound, not just powers of two. *)
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  if n land (n - 1) = 0 then mask land (n - 1)
+  else
+    let bucket = max_int / n * n in
+    let rec draw v = if v < bucket then v mod n else draw (Int64.to_int (Int64.shift_right_logical (bits64 t) 2)) in
+    draw mask
+
+let int_in t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let in_interval t r = int_in t ~lo:(Interval.lo r) ~hi:(Interval.hi r)
+
+let float t =
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bits *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0

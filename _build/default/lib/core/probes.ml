@@ -1,0 +1,76 @@
+(* Per attribute, the distinct uncovered strips of s (the restricted
+   negated predicates), capped so the probe budget stays small. Both
+   ends of the width ordering matter: a narrow strip is the likely
+   minimal witness, while a wide strip's boundary hugs the edge of the
+   subscription that produced it — exactly where an uncovered gap
+   hides when many staggered narrow strips exist. *)
+let strips_per_end = 8
+
+let distinct_strips t ~attr =
+  let k = Conflict_table.rows t in
+  let acc = ref [] in
+  for row = 0 to k - 1 do
+    List.iter
+      (fun side ->
+        match Conflict_table.strip t ~row ~attr ~side with
+        | None -> ()
+        | Some strip ->
+            if not (List.exists (Interval.equal strip) !acc) then
+              acc := strip :: !acc)
+      [ Conflict_table.Low; Conflict_table.High ]
+  done;
+  let sorted =
+    List.sort (fun a b -> Int.compare (Interval.width a) (Interval.width b)) !acc
+  in
+  let n = List.length sorted in
+  if n <= 2 * strips_per_end then sorted
+  else
+    List.filteri (fun i _ -> i < strips_per_end || i >= n - strips_per_end) sorted
+
+let centre r = (Interval.lo r + Interval.hi r) / 2
+
+let candidate_points t =
+  if Conflict_table.rows t = 0 then []
+  else begin
+    let s = Conflict_table.s t in
+    let m = Conflict_table.arity t in
+    let strips = Array.init m (fun attr -> distinct_strips t ~attr) in
+    let s_centre = Array.init m (fun a -> centre (Subscription.range s a)) in
+    (* The min-strip product box: Algorithm 2's minimal-witness guess. *)
+    let min_strip attr =
+      match strips.(attr) with [] -> Subscription.range s attr | x :: _ -> x
+    in
+    let product_centre = Array.init m (fun a -> centre (min_strip a)) in
+    let product_corner = Array.init m (fun a -> Interval.lo (min_strip a)) in
+    (* Per strip: its boundary points and centre on that attribute,
+       with s's centre elsewhere — a witness hiding in one attribute's
+       uncovered range is found regardless of the other attributes. *)
+    let per_strip =
+      List.concat_map
+        (fun attr ->
+          List.concat_map
+            (fun strip ->
+              List.map
+                (fun v ->
+                  let p = Array.copy s_centre in
+                  p.(attr) <- v;
+                  p)
+                [ Interval.lo strip; centre strip; Interval.hi strip ])
+            strips.(attr))
+        (List.init m (fun a -> a))
+    in
+    let all = product_centre :: product_corner :: per_strip in
+    (* Deduplicate while keeping order. *)
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun p ->
+        if Hashtbl.mem seen p then false
+        else begin
+          Hashtbl.replace seen p ();
+          true
+        end)
+      all
+  end
+
+let try_probes t =
+  List.find_opt (fun p -> Witness.is_point_witness t p) (candidate_points t)

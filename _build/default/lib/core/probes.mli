@@ -1,0 +1,25 @@
+(** Witness-guided deterministic probes — a sound extension of the
+    paper's "introduced optimizations" (§4, §6.5).
+
+    Algorithm 2 already identifies, per attribute, the narrowest strip
+    of [s] some subscription leaves uncovered; the product of those
+    strips is the best guess at a minimal polyhedron witness. Before
+    spending random RSPC trials, it is free to {e test} a handful of
+    deterministic points derived from that structure: if any is a point
+    witness the answer is a definite NO; if none is, nothing is lost —
+    the probes are extra evidence only, so the Eq. 1 error bound of the
+    subsequent RSPC run is untouched.
+
+    Probe set (bounded by ~3·16·m + 2 points):
+    + the centre and lower corner of the min-strip product box;
+    + for each attribute and each of its (up to 16 narrowest) distinct
+      strips, the strip's boundary points and centre on that attribute
+      combined with [s]'s centre elsewhere — a gap confined to one
+      attribute is found no matter how the others are covered. *)
+
+val candidate_points : Conflict_table.t -> int array list
+(** Deduplicated probe points, all inside [s]. Empty when the table has
+    no rows. *)
+
+val try_probes : Conflict_table.t -> int array option
+(** First probe that is a point witness (Definition 4), if any. *)

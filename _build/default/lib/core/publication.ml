@@ -1,0 +1,37 @@
+type t = Point of int array | Box of Subscription.t
+
+let point values =
+  if Array.length values = 0 then invalid_arg "Publication.point: empty";
+  Point (Array.copy values)
+
+let of_list values = point (Array.of_list values)
+let box s = Box s
+
+let arity = function
+  | Point values -> Array.length values
+  | Box s -> Subscription.arity s
+
+let matches s = function
+  | Point values -> Subscription.covers_point s values
+  | Box b -> Subscription.covers_sub s b
+
+let to_sub = function
+  | Point values -> Subscription.make (Array.map Interval.point values)
+  | Box s -> s
+
+let equal a b =
+  match (a, b) with
+  | Point xs, Point ys -> Array.length xs = Array.length ys && xs = ys
+  | Box x, Box y -> Subscription.equal x y
+  | Point _, Box _ | Box _, Point _ -> false
+
+let pp ppf = function
+  | Point values ->
+      Format.fprintf ppf "@[<h>(%a)@]"
+        (Format.pp_print_array
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           Format.pp_print_int)
+        values
+  | Box s -> Format.fprintf ppf "box %a" Subscription.pp s
+
+let to_string p = Format.asprintf "%a" pp p

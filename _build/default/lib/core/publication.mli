@@ -1,0 +1,41 @@
+(** Publications (Definition 6).
+
+    A publication is normally a point in the attribute space — one value
+    per attribute. Following the paper's §1 remark that imprecise data
+    sources publish small boxes ("we consider publications also as convex
+    polyhedra"), a publication can alternatively be a box; a box
+    publication matches a subscription when the subscription covers the
+    whole box. *)
+
+type t =
+  | Point of int array  (** Exact publication: one value per attribute. *)
+  | Box of Subscription.t
+      (** Imprecise publication: a small hyper-rectangle of possible
+          values. *)
+
+val point : int array -> t
+(** [point values] builds an exact publication. The array is copied.
+    @raise Invalid_argument on an empty array. *)
+
+val of_list : int list -> t
+(** [of_list values] is [point (Array.of_list values)]. *)
+
+val box : Subscription.t -> t
+(** [box s] builds an imprecise publication spanning [s]. *)
+
+val arity : t -> int
+(** Number of attributes. *)
+
+val matches : Subscription.t -> t -> bool
+(** [matches s p] tests whether subscription [s] matches publication
+    [p]: point membership for {!Point}, whole-box coverage for {!Box}.
+    Cost O(m). @raise Invalid_argument on an arity mismatch. *)
+
+val to_sub : t -> Subscription.t
+(** [to_sub p] views [p] as a (possibly degenerate) rectangle, which is
+    how the probabilistic subsumption machinery treats publications when
+    deciding whether a set of subscriptions covers one. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,60 @@
+type estimate = {
+  log10_witness_size : float;
+  log10_s_size : float;
+  log10_rho : float;
+}
+
+(* Algorithm 2: I(sw) is approximated per attribute by the minimum,
+   over all defined cells on that attribute, of the width of the strip
+   of s the cell leaves uncovered; attributes with no defined cell
+   contribute s's full width. *)
+let estimate t =
+  let s = Conflict_table.s t in
+  let m = Conflict_table.arity t in
+  let k = Conflict_table.rows t in
+  let log10_s_size = Subscription.log10_size s in
+  let log10_witness_size = ref 0.0 in
+  for attr = 0 to m - 1 do
+    let min_width = ref (Interval.width (Subscription.range s attr)) in
+    for row = 0 to k - 1 do
+      let consider side =
+        match Conflict_table.strip t ~row ~attr ~side with
+        | None -> ()
+        | Some strip -> min_width := min !min_width (Interval.width strip)
+      in
+      consider Conflict_table.Low;
+      consider Conflict_table.High
+    done;
+    log10_witness_size :=
+      !log10_witness_size +. log10 (float_of_int !min_width)
+  done;
+  let log10_witness_size = !log10_witness_size in
+  {
+    log10_witness_size;
+    log10_s_size;
+    log10_rho = min 0.0 (log10_witness_size -. log10_s_size);
+  }
+
+let rho e = 10.0 ** e.log10_rho
+
+let check_delta delta =
+  if not (delta > 0.0 && delta < 1.0) then
+    invalid_arg "Rho: delta must lie in (0, 1)"
+
+let d_of_rho ~rho ~delta =
+  check_delta delta;
+  if rho >= 1.0 then 1.0
+  else if rho <= 0.0 then infinity
+  else Float.ceil (log delta /. log1p (-.rho))
+
+let log10_d e ~delta =
+  check_delta delta;
+  let r = rho e in
+  if r > 1e-12 then log10 (d_of_rho ~rho:r ~delta)
+  else
+    (* d ≈ -ln δ / ρ for tiny ρ; both factors handled in log space. *)
+    log10 (-.log delta) -. e.log10_rho
+
+let d_capped e ~delta ~cap =
+  let d = d_of_rho ~rho:(rho e) ~delta in
+  if d <= float_of_int cap then max 1 (int_of_float d) else cap

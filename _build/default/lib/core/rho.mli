@@ -1,0 +1,43 @@
+(** Witness probability ρw and iteration bound d (Algorithm 2, Eq. 1).
+
+    RSPC answers a probabilistic YES with error at most
+    [δ = (1 − ρw)^d], where ρw is the probability that a uniform point
+    of [s] is a point witness. A lower bound on ρw follows from the size
+    of the smallest polyhedron witness, approximated by multiplying the
+    minimum uncovered strip width per attribute over all rows of the
+    conflict table (Algorithm 2). Inverting Eq. 1 then yields the number
+    of trials [d] needed for a target δ — computable in polynomial time
+    {e before} running RSPC.
+
+    Sizes such as [I(s)] overflow machine integers for moderate [m], so
+    everything is carried in log10 space; [d] itself can reach 10^50+
+    (paper Figs. 7 and 9 plot [log10 d] up to ~55), hence {!log10_d}. *)
+
+type estimate = {
+  log10_witness_size : float;  (** log10 I(sw), smallest-witness proxy. *)
+  log10_s_size : float;        (** log10 I(s). *)
+  log10_rho : float;           (** log10 ρw = the difference. *)
+}
+
+val estimate : Conflict_table.t -> estimate
+(** [estimate t] runs Algorithm 2 on the conflict table. With zero rows
+    the witness is all of [s], giving ρw = 1. *)
+
+val rho : estimate -> float
+(** ρw as a float; underflows to 0. for very small values — prefer
+    [log10_rho] in arithmetic. *)
+
+val d_of_rho : rho:float -> delta:float -> float
+(** [d_of_rho ~rho ~delta] inverts Eq. 1: the least number of
+    independent trials such that [(1 − rho)^d <= delta]. Returns
+    [infinity] when [rho = 0.] and [1.] when [rho >= 1.].
+    @raise Invalid_argument unless [0 < delta < 1]. *)
+
+val log10_d : estimate -> delta:float -> float
+(** [log10_d e ~delta] is [log10 (d_of_rho ...)], computed stably even
+    when ρw underflows: for small ρ,
+    [d ≈ -ln δ / ρ], so [log10 d ≈ log10 (-ln δ) − log10 ρ]. *)
+
+val d_capped : estimate -> delta:float -> cap:int -> int
+(** [d_capped e ~delta ~cap] is the concrete trial budget handed to
+    RSPC: [min d cap], at least 1. *)

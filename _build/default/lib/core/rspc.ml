@@ -1,0 +1,25 @@
+type outcome = Not_covered of int array | Probably_covered
+type run = { outcome : outcome; iterations : int }
+
+let random_point ~rng s =
+  Array.init (Subscription.arity s) (fun j ->
+      Prng.in_interval rng (Subscription.range s j))
+
+let escapes p subs =
+  Array.for_all (fun si -> not (Subscription.covers_point si p)) subs
+
+let run ~rng ~d ~s subs =
+  if d < 0 then invalid_arg "Rspc.run: negative trial budget";
+  Array.iter
+    (fun si ->
+      if Subscription.arity si <> Subscription.arity s then
+        invalid_arg "Rspc.run: arity mismatch")
+    subs;
+  let rec loop i =
+    if i >= d then { outcome = Probably_covered; iterations = d }
+    else
+      let p = random_point ~rng s in
+      if escapes p subs then { outcome = Not_covered p; iterations = i + 1 }
+      else loop (i + 1)
+  in
+  loop 0

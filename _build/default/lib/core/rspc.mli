@@ -1,0 +1,34 @@
+(** Random Simple Predicates Cover — the Monte-Carlo core (Algorithm 1).
+
+    RSPC draws up to [d] uniform points inside the tested subscription
+    [s]. A point escaping every subscription of the set is a point
+    witness: the answer is a definite NO. If all [d] draws land inside
+    the union, RSPC answers a probabilistic YES whose error is bounded
+    by [(1 − ρw)^d] (Proposition 1). Each trial costs O(m·(k+1)). *)
+
+type outcome =
+  | Not_covered of int array
+      (** A point witness was found; the array is the witness point. *)
+  | Probably_covered
+      (** No witness in the trial budget: YES with error ≤ (1−ρw)^d. *)
+
+type run = {
+  outcome : outcome;
+  iterations : int;
+      (** Trials actually performed — [<= d] because a witness stops the
+          loop early (this is the "actual iterations" of Figs. 10/11). *)
+}
+
+val run :
+  rng:Prng.t -> d:int -> s:Subscription.t -> Subscription.t array -> run
+(** [run ~rng ~d ~s subs] executes Algorithm 1. [d = 0] answers
+    [Probably_covered] in zero iterations (the MCS-emptied case).
+    @raise Invalid_argument if [d < 0] or on an arity mismatch. *)
+
+val random_point : rng:Prng.t -> Subscription.t -> int array
+(** [random_point ~rng s] draws a uniform point of the box [s] —
+    independent uniform draws per attribute (exposed for tests and for
+    the matcher's sampling diagnostics). *)
+
+val escapes : int array -> Subscription.t array -> bool
+(** [escapes p subs] is true when [p] lies in none of [subs]. *)

@@ -1,0 +1,55 @@
+let recommended_domains () =
+  min 8 (max 1 (Domain.recommended_domain_count () - 1))
+
+(* Don't spin up domains for trivially small budgets: spawning costs
+   more than a few hundred O(m·k) membership tests. *)
+let min_parallel_budget = 2048
+
+let run ?(domains = recommended_domains ()) ~rng ~d ~s subs =
+  if domains < 1 then invalid_arg "Rspc_parallel.run: domains < 1";
+  if d < 0 then invalid_arg "Rspc_parallel.run: negative trial budget";
+  if domains = 1 || d < min_parallel_budget then Rspc.run ~rng ~d ~s subs
+  else begin
+    let found : int array option Atomic.t = Atomic.make None in
+    let total_iterations = Atomic.make 0 in
+    let chunk = (d + domains - 1) / domains in
+    let rngs = Array.init domains (fun _ -> Prng.split rng) in
+    let worker index () =
+      let rng = rngs.(index) in
+      let budget = min chunk (max 0 (d - (index * chunk))) in
+      let performed = ref 0 in
+      (try
+         for _ = 1 to budget do
+           if Atomic.get found <> None then raise Exit;
+           incr performed;
+           let p = Rspc.random_point ~rng s in
+           if Rspc.escapes p subs then begin
+             (* First writer wins; losers keep their witness to
+                themselves (any witness proves non-coverage). *)
+             ignore (Atomic.compare_and_set found None (Some p));
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (* Atomic add via CAS loop (no fetch_and_add on int Atomic in
+         every stdlib version we target). *)
+      let rec bump () =
+        let cur = Atomic.get total_iterations in
+        if not (Atomic.compare_and_set total_iterations cur (cur + !performed))
+        then bump ()
+      in
+      bump ()
+    in
+    let spawned =
+      Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join spawned;
+    match Atomic.get found with
+    | Some p ->
+        { Rspc.outcome = Rspc.Not_covered p;
+          iterations = Atomic.get total_iterations }
+    | None ->
+        { Rspc.outcome = Rspc.Probably_covered;
+          iterations = Atomic.get total_iterations }
+  end

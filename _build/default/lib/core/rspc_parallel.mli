@@ -1,0 +1,30 @@
+(** Multicore RSPC: Algorithm 1's trials fanned out over OCaml 5
+    domains.
+
+    The trials are independent by construction (Proposition 1 relies on
+    it), so the budget [d] splits into per-domain chunks, each drawing
+    from an independent {!Prng.split} of the caller's generator. A
+    shared flag stops all domains as soon as any of them finds a point
+    witness.
+
+    Semantics versus {!Rspc.run}:
+    - soundness is identical — a [Not_covered] answer always carries a
+      verified point witness, and a covered input can never produce one;
+    - the error bound of a [Probably_covered] answer is the same
+      [(1 − ρw)^d] (every one of the [d] trials was performed unless a
+      witness was found);
+    - the {e specific} witness point and the [iterations] count depend
+      on domain scheduling, so they are not bit-reproducible run to run
+      (the sequential engine remains the default everywhere determinism
+      matters). *)
+
+val recommended_domains : unit -> int
+(** [max 1 (cpu count - 1)], capped at 8. *)
+
+val run :
+  ?domains:int -> rng:Prng.t -> d:int -> s:Subscription.t ->
+  Subscription.t array -> Rspc.run
+(** [run ~domains ~rng ~d ~s subs] behaves like {!Rspc.run}; [domains =
+    1] (or [d] small) falls back to the sequential code path.
+    [iterations] reports the total trials actually executed across
+    domains. @raise Invalid_argument if [domains < 1] or [d < 0]. *)

@@ -1,0 +1,278 @@
+(* Hand-rolled lexer/parser: the grammar is tiny and error messages
+   matter more than parser-generator ceremony. *)
+
+type token =
+  | Ident of string  (* field names, bare symbols, timestamps *)
+  | Number of int
+  | Quoted of string
+  | Eq
+  | Ge
+  | Le
+  | And
+  | In
+  | Star
+  | Lbracket
+  | Rbracket
+  | Comma
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' | '.' -> true
+  | _ -> false
+
+(* Idents are permissive enough to swallow timestamps
+   ("2006-03-31T16:00") and negative numbers are handled in the
+   numeric branch. *)
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let pos = ref 0 in
+  while !pos < n do
+    let c = input.[!pos] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '&' ->
+        emit And;
+        incr pos
+    | '*' ->
+        emit Star;
+        incr pos
+    | '[' ->
+        emit Lbracket;
+        incr pos
+    | ']' ->
+        emit Rbracket;
+        incr pos
+    | ',' ->
+        emit Comma;
+        incr pos
+    | '=' ->
+        emit Eq;
+        incr pos
+    | '>' ->
+        if !pos + 1 < n && input.[!pos + 1] = '=' then begin
+          emit Ge;
+          pos := !pos + 2
+        end
+        else fail "at offset %d: expected >=" !pos
+    | '<' ->
+        if !pos + 1 < n && input.[!pos + 1] = '=' then begin
+          emit Le;
+          pos := !pos + 2
+        end
+        else fail "at offset %d: expected <=" !pos
+    | '"' ->
+        let start = !pos + 1 in
+        let stop = ref start in
+        while !stop < n && input.[!stop] <> '"' do
+          incr stop
+        done;
+        if !stop >= n then fail "unterminated string at offset %d" !pos;
+        emit (Quoted (String.sub input start (!stop - start)));
+        pos := !stop + 1
+    | '-' | '0' .. '9' ->
+        (* Could be a number or a timestamp (2006-03-31...). Scan the
+           full ident-ish run and decide. *)
+        let start = !pos in
+        incr pos;
+        while !pos < n && is_ident_char input.[!pos] do
+          incr pos
+        done;
+        let word = String.sub input start (!pos - start) in
+        (match int_of_string_opt word with
+        | Some v -> emit (Number v)
+        | None -> emit (Ident word))
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let start = !pos in
+        while !pos < n && is_ident_char input.[!pos] do
+          incr pos
+        done;
+        let word = String.sub input start (!pos - start) in
+        (match String.lowercase_ascii word with
+        | "and" -> emit And
+        | "in" -> emit In
+        | "true" -> emit (Ident "true")
+        | "false" -> emit (Ident "false")
+        | _ -> emit (Ident word))
+    | _ -> fail "unexpected character %C at offset %d" c !pos)
+  done;
+  List.rev !tokens
+
+(* Interpret a token as a typed value for a given field. *)
+let value_of_token codec ~field token =
+  let spec =
+    match List.assoc_opt field (Domain_codec.fields codec) with
+    | Some s -> s
+    | None -> fail "unknown field %s" field
+  in
+  match (spec, token) with
+  | Domain_codec.Int_range _, Number v -> Domain_codec.Int v
+  | Domain_codec.Enum _, (Ident s | Quoted s) -> Domain_codec.Sym s
+  | Domain_codec.Enum _, Number v -> Domain_codec.Sym (string_of_int v)
+  | Domain_codec.Flag, Ident "true" -> Domain_codec.Bool true
+  | Domain_codec.Flag, Ident "false" -> Domain_codec.Bool false
+  | Domain_codec.Minutes, (Ident s | Quoted s) -> Domain_codec.Time s
+  | Domain_codec.Int_range _, _ -> fail "field %s expects an integer" field
+  | Domain_codec.Enum _, _ -> fail "field %s expects a symbol" field
+  | Domain_codec.Flag, _ -> fail "field %s expects true or false" field
+  | Domain_codec.Minutes, _ -> fail "field %s expects a timestamp" field
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number v -> Printf.sprintf "number %d" v
+  | Quoted s -> Printf.sprintf "string %S" s
+  | Eq -> "'='"
+  | Ge -> "'>='"
+  | Le -> "'<='"
+  | And -> "'&'"
+  | In -> "'in'"
+  | Star -> "'*'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Comma -> "','"
+
+let parse_atoms codec tokens =
+  (* atom ::= field (= | >= | <=) value | field in [v, v] | field = * *)
+  let rec atom acc tokens =
+    match tokens with
+    | Ident field :: Eq :: Star :: rest ->
+        next ((field, Domain_codec.Any) :: acc) rest
+    | Ident field :: Eq :: v :: rest ->
+        next ((field, Domain_codec.Eq (value_of_token codec ~field v)) :: acc) rest
+    | Ident field :: Ge :: v :: rest ->
+        next
+          ((field, Domain_codec.At_least (value_of_token codec ~field v)) :: acc)
+          rest
+    | Ident field :: Le :: v :: rest ->
+        next
+          ((field, Domain_codec.At_most (value_of_token codec ~field v)) :: acc)
+          rest
+    | Ident field :: In :: Lbracket :: a :: Comma :: b :: Rbracket :: rest ->
+        let lo = value_of_token codec ~field a in
+        let hi = value_of_token codec ~field b in
+        next ((field, Domain_codec.Between (lo, hi)) :: acc) rest
+    | Ident field :: t :: _ ->
+        fail "after field %s: unexpected %s" field (describe t)
+    | t :: _ -> fail "expected a field name, found %s" (describe t)
+    | [] -> fail "expected a constraint"
+  and next acc = function
+    | [] -> List.rev acc
+    | And :: rest -> atom acc rest
+    | t :: _ -> fail "expected '&' or end of input, found %s" (describe t)
+  in
+  atom [] tokens
+
+let parse_subscription codec input =
+  match
+    match tokenize input with
+    | [ Star ] | [] -> Ok (Domain_codec.subscription codec [])
+    | tokens -> Ok (Domain_codec.subscription codec (parse_atoms codec tokens))
+  with
+  | ok -> ok
+  | exception Error msg -> Result.Error msg
+  | exception Invalid_argument msg -> Result.Error msg
+  | exception Not_found -> Result.Error "unknown field or symbol"
+
+let parse_publication codec input =
+  let rec fields acc = function
+    | [] -> List.rev acc
+    | Comma :: rest -> fields acc rest
+    | Ident field :: Eq :: v :: rest ->
+        fields ((field, value_of_token codec ~field v) :: acc) rest
+    | t :: _ -> fail "expected field = value, found %s" (describe t)
+  in
+  match Domain_codec.publication codec (fields [] (tokenize input)) with
+  | pub -> Ok pub
+  | exception Error msg -> Result.Error msg
+  | exception Invalid_argument msg -> Result.Error msg
+  | exception Not_found -> Result.Error "unknown field or symbol"
+
+(* Schema files: "name : spec" lines. *)
+let parse_schema_line line =
+  match String.index_opt line ':' with
+  | None -> fail "expected 'name : spec' in %S" line
+  | Some i ->
+      let name = String.trim (String.sub line 0 i) in
+      let spec =
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      let parsed =
+        if spec = "flag" then Domain_codec.Flag
+        else if spec = "minutes" then Domain_codec.Minutes
+        else if String.length spec > 4 && String.sub spec 0 4 = "int[" then begin
+          match
+            String.sub spec 4 (String.length spec - 5) |> String.split_on_char ','
+          with
+          | [ lo; hi ] when spec.[String.length spec - 1] = ']' -> (
+              match
+                ( int_of_string_opt (String.trim lo),
+                  int_of_string_opt (String.trim hi) )
+              with
+              | Some lo, Some hi -> Domain_codec.Int_range { lo; hi }
+              | _ -> fail "bad int bounds in %S" line)
+          | _ -> fail "expected int[lo, hi] in %S" line
+        end
+        else if String.length spec > 5 && String.sub spec 0 5 = "enum(" then begin
+          if spec.[String.length spec - 1] <> ')' then
+            fail "unterminated enum in %S" line;
+          let body = String.sub spec 5 (String.length spec - 6) in
+          Domain_codec.Enum
+            (List.map String.trim (String.split_on_char ',' body))
+        end
+        else fail "unknown spec %S (want int[lo,hi], enum(...), flag, minutes)" spec
+      in
+      (name, parsed)
+
+let parse_schema contents =
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let lines =
+    String.split_on_char '\n' contents
+    |> List.map (fun l -> String.trim (strip_comment l))
+    |> List.filter (fun l -> l <> "")
+  in
+  match Domain_codec.make (List.map parse_schema_line lines) with
+  | codec -> Ok codec
+  | exception Error msg -> Result.Error msg
+  | exception Invalid_argument msg -> Result.Error msg
+
+let subscription_to_string codec sub =
+  (* Render via the codec's printer, then normalize to the grammar. *)
+  let buf = Buffer.create 64 in
+  let first = ref true in
+  List.iteri
+    (fun index (name, _spec) ->
+      let range = Subscription.range sub index in
+      let dom = Domain_codec.domain codec name in
+      if not (Interval.equal range dom || Interval.is_full range) then begin
+        if not !first then Buffer.add_string buf " & ";
+        first := false;
+        let value v =
+          match Domain_codec.decode codec ~field:name v with
+          | Domain_codec.Int i -> string_of_int i
+          | Domain_codec.Sym s -> s
+          | Domain_codec.Bool b -> string_of_bool b
+          | Domain_codec.Time t -> t
+        in
+        let lo = max (Interval.lo range) (Interval.lo dom) in
+        let hi = min (Interval.hi range) (Interval.hi dom) in
+        if lo = hi then
+          Buffer.add_string buf (Printf.sprintf "%s = %s" name (value lo))
+        else if lo = Interval.lo dom then
+          Buffer.add_string buf (Printf.sprintf "%s <= %s" name (value hi))
+        else if hi = Interval.hi dom then
+          Buffer.add_string buf (Printf.sprintf "%s >= %s" name (value lo))
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "%s in [%s, %s]" name (value lo) (value hi))
+      end)
+    (Domain_codec.fields codec);
+  if !first then "*" else Buffer.contents buf

@@ -1,0 +1,39 @@
+(** A small textual language for subscriptions and publications, used
+    by the CLI and by file-based workloads. Parsing is against a
+    {!Domain_codec} schema, so fields are typed.
+
+    Subscription grammar (case-insensitive keywords):
+    {v
+      sub    ::= atom ( ('&' | 'and') atom )*  |  '*'
+      atom   ::= field '=' value
+               | field ('>=' | '<=') value
+               | field 'in' '[' value ',' value ']'
+               | field '=' '*'
+      value  ::= integer | symbol | 'true' | 'false' | timestamp
+                 | '"' characters '"'
+    v}
+    e.g. ["size in [17, 19] & brand = X & date >= 2006-03-31T12:00"].
+
+    Publication grammar: a comma-separated list of [field = value]
+    covering every field, e.g. ["bid = 1036, size = 19, brand = X"].
+
+    Schema files (one field per line, [#] comments):
+    {v
+      bid   : int[1, 1999]
+      brand : enum(X, Y, Z)
+      fast  : flag
+      date  : minutes
+    v} *)
+
+val parse_subscription :
+  Domain_codec.t -> string -> (Subscription.t, string) result
+(** Human-readable error messages with positions. *)
+
+val parse_publication :
+  Domain_codec.t -> string -> (Publication.t, string) result
+
+val parse_schema : string -> (Domain_codec.t, string) result
+(** Parses the schema-file format above (the whole file contents). *)
+
+val subscription_to_string : Domain_codec.t -> Subscription.t -> string
+(** Round-trips through {!parse_subscription}. *)

@@ -1,0 +1,98 @@
+type t = Interval.t array
+
+let make ranges =
+  if Array.length ranges = 0 then
+    invalid_arg "Subscription.make: empty attribute list";
+  Array.copy ranges
+
+let of_list ranges = make (Array.of_list ranges)
+
+let of_bounds bounds =
+  of_list (List.map (fun (lo, hi) -> Interval.make ~lo ~hi) bounds)
+
+let arity = Array.length
+
+let range s j =
+  if j < 0 || j >= Array.length s then
+    invalid_arg (Printf.sprintf "Subscription.range: attribute %d" j);
+  s.(j)
+
+let ranges = Array.copy
+
+let constrained s =
+  let rec loop j acc =
+    if j < 0 then acc
+    else loop (j - 1) (if Interval.is_full s.(j) then acc else j :: acc)
+  in
+  loop (Array.length s - 1) []
+
+let check_arity name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "Subscription.%s: arity %d vs %d" name (Array.length a)
+         (Array.length b))
+
+let covers_point s p =
+  check_arity "covers_point" s p;
+  let rec loop j =
+    j >= Array.length s || (Interval.mem p.(j) s.(j) && loop (j + 1))
+  in
+  loop 0
+
+let covers_sub outer inner =
+  check_arity "covers_sub" outer inner;
+  let rec loop j =
+    j >= Array.length outer
+    || (Interval.subset inner.(j) outer.(j) && loop (j + 1))
+  in
+  loop 0
+
+let intersects a b =
+  check_arity "intersects" a b;
+  let rec loop j =
+    j >= Array.length a || (Interval.intersects a.(j) b.(j) && loop (j + 1))
+  in
+  loop 0
+
+let inter a b =
+  check_arity "inter" a b;
+  let out = Array.make (Array.length a) Interval.full in
+  let rec loop j =
+    if j >= Array.length a then Some out
+    else
+      match Interval.inter a.(j) b.(j) with
+      | None -> None
+      | Some r ->
+          out.(j) <- r;
+          loop (j + 1)
+  in
+  loop 0
+
+let hull a b =
+  check_arity "hull" a b;
+  Array.init (Array.length a) (fun j -> Interval.hull a.(j) b.(j))
+
+let log10_size s =
+  Array.fold_left (fun acc r -> acc +. Interval.log10_width r) 0.0 s
+
+let size s = 10.0 ** log10_size s
+let equal a b = Array.length a = Array.length b && Array.for_all2 Interval.equal a b
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec loop j =
+      if j >= Array.length a then 0
+      else match Interval.compare a.(j) b.(j) with 0 -> loop (j + 1) | c -> c
+    in
+    loop 0
+
+let pp ppf s =
+  Format.fprintf ppf "@[<h>{%a}@]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf r -> Interval.pp ppf r))
+    s
+
+let to_string s = Format.asprintf "%a" pp s

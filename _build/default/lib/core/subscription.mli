@@ -1,0 +1,69 @@
+(** Subscriptions: conjunctions of range predicates (Definition 1).
+
+    A subscription over a schema of [m] attributes is an axis-aligned
+    hyper-rectangle: one inclusive interval per attribute. Attributes a
+    subscriber does not care about carry the {!Interval.full} range, which
+    encodes the paper's [(-inf, +inf)] bounds, so every subscription in a
+    store constrains the same [m] attributes (the paper's simplifying
+    assumption [m1 = ... = mk = m]). *)
+
+type t
+(** An immutable subscription. *)
+
+val make : Interval.t array -> t
+(** [make ranges] builds a subscription from one interval per attribute.
+    The array is copied. @raise Invalid_argument on an empty array. *)
+
+val of_list : Interval.t list -> t
+(** [of_list ranges] is [make (Array.of_list ranges)]. *)
+
+val of_bounds : (int * int) list -> t
+(** [of_bounds [(lo1, hi1); ...]] is a convenience constructor.
+    @raise Invalid_argument if some [lo > hi]. *)
+
+val arity : t -> int
+(** [arity s] is [m], the number of attributes of the schema. *)
+
+val range : t -> int -> Interval.t
+(** [range s j] is the constraint on attribute [j] (0-based).
+    @raise Invalid_argument if [j] is out of bounds. *)
+
+val ranges : t -> Interval.t array
+(** [ranges s] is a fresh copy of all per-attribute constraints. *)
+
+val constrained : t -> int list
+(** [constrained s] lists the attributes whose range is not
+    {!Interval.full}, in increasing order. *)
+
+val covers_point : t -> int array -> bool
+(** [covers_point s p] tests whether the point [p] satisfies every
+    predicate of [s]. @raise Invalid_argument on an arity mismatch. *)
+
+val covers_sub : t -> t -> bool
+(** [covers_sub outer inner] is the deterministic pairwise check
+    [inner ⊑ outer]: every range of [inner] is a subset of the
+    corresponding range of [outer]. *)
+
+val intersects : t -> t -> bool
+(** [intersects a b] holds when the two rectangles share a point. *)
+
+val inter : t -> t -> t option
+(** [inter a b] is the rectangle [a ∩ b], if non-empty. *)
+
+val hull : t -> t -> t
+(** [hull a b] is the smallest rectangle containing [a ∪ b]; used by the
+    merging baseline. *)
+
+val log10_size : t -> float
+(** [log10_size s] is [log10 I(s)] where [I(s)] is the number of integer
+    points inside [s] — computed in log-space because [I(s)] overflows
+    machine integers already for moderate [m] (see DESIGN §3). *)
+
+val size : t -> float
+(** [size s] is [I(s)] as a float; [infinity] when it exceeds the float
+    range. Prefer {!log10_size} for arithmetic. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

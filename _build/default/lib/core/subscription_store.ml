@@ -1,0 +1,353 @@
+type id = int
+
+type policy =
+  | No_coverage
+  | Pairwise_policy
+  | Group_policy of Engine.config
+
+type placement = Active | Covered of id list
+
+type entry = {
+  sub : Subscription.t;
+  mutable state : placement;
+  expires_at : float; (* infinity = no lease *)
+}
+
+type stats = {
+  added : int;
+  dropped_covered : int;
+  removed : int;
+  promoted : int;
+  active_scans : int;
+  covered_scans : int;
+}
+
+type t = {
+  policy : policy;
+  arity : int;
+  rng : Prng.t;
+  entries : (id, entry) Hashtbl.t;
+  (* Algorithm 5's multi-level optimization: active coverer ->
+     covered subscriptions recorded under it. A publication only tests
+     the children of the active subscriptions it matched. *)
+  children : (id, id list) Hashtbl.t;
+  mutable next_id : id;
+  mutable added : int;
+  mutable dropped_covered : int;
+  mutable removed_count : int;
+  mutable promoted_count : int;
+  mutable active_scans : int;
+  mutable covered_scans : int;
+}
+
+let create ?(policy = Group_policy Engine.default_config) ~arity ~seed () =
+  if arity < 1 then invalid_arg "Subscription_store.create: arity < 1";
+  {
+    policy;
+    arity;
+    rng = Prng.of_int seed;
+    entries = Hashtbl.create 64;
+    children = Hashtbl.create 64;
+    next_id = 0;
+    added = 0;
+    dropped_covered = 0;
+    removed_count = 0;
+    promoted_count = 0;
+    active_scans = 0;
+    covered_scans = 0;
+  }
+
+let policy t = t.policy
+let arity t = t.arity
+let size t = Hashtbl.length t.entries
+
+let fold_entries t ~init ~f =
+  (* Ascending-id iteration keeps results deterministic. *)
+  let ids =
+    Hashtbl.fold (fun id _ acc -> id :: acc) t.entries []
+    |> List.sort Int.compare
+  in
+  List.fold_left (fun acc id -> f acc id (Hashtbl.find t.entries id)) init ids
+
+let active t =
+  fold_entries t ~init:[] ~f:(fun acc id e ->
+      match e.state with Active -> (id, e.sub) :: acc | Covered _ -> acc)
+  |> List.rev
+
+let covered t =
+  fold_entries t ~init:[] ~f:(fun acc id e ->
+      match e.state with
+      | Active -> acc
+      | Covered by -> (id, e.sub, by) :: acc)
+  |> List.rev
+
+let active_count t =
+  fold_entries t ~init:0 ~f:(fun n _ e ->
+      match e.state with Active -> n + 1 | Covered _ -> n)
+
+let covered_count t = size t - active_count t
+
+let find t id =
+  match Hashtbl.find_opt t.entries id with
+  | Some e -> e.sub
+  | None -> raise Not_found
+
+let is_active t id =
+  match Hashtbl.find_opt t.entries id with
+  | Some e -> (match e.state with Active -> true | Covered _ -> false)
+  | None -> raise Not_found
+
+let active_arrays t =
+  let pairs = active t in
+  ( Array.of_list (List.map fst pairs),
+    Array.of_list (List.map snd pairs) )
+
+let link_child t ~coverer ~child =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.children coverer) in
+  if not (List.mem child cur) then
+    Hashtbl.replace t.children coverer (child :: cur)
+
+let unlink_child t ~coverer ~child =
+  match Hashtbl.find_opt t.children coverer with
+  | None -> ()
+  | Some l -> (
+      match List.filter (fun c -> c <> child) l with
+      | [] -> Hashtbl.remove t.children coverer
+      | l' -> Hashtbl.replace t.children coverer l')
+
+(* Classify a subscription against the current active set according to
+   the store policy. *)
+let classify t s =
+  match t.policy with
+  | No_coverage -> Active
+  | Pairwise_policy -> (
+      let ids, subs = active_arrays t in
+      match Pairwise.find_coverer s subs with
+      | Some i -> Covered [ ids.(i) ]
+      | None -> Active)
+  | Group_policy config -> (
+      let ids, subs = active_arrays t in
+      let report = Engine.check ~config ~rng:t.rng s subs in
+      match report.Engine.verdict with
+      | Engine.Covered_pairwise row -> Covered [ ids.(row) ]
+      | Engine.Covered_probably ->
+          (* Record the MCS-reduced candidate set as coverers: exactly
+             the subscriptions whose joint cover classified [s]. *)
+          let coverers =
+            match report.Engine.mcs with
+            | Some m -> List.map (fun row -> ids.(row)) m.Mcs.kept
+            | None -> Array.to_list ids
+          in
+          Covered coverers
+      | Engine.Not_covered _ -> Active)
+
+let insert t s ~expires_at =
+  if Subscription.arity s <> t.arity then
+    invalid_arg "Subscription_store.add: arity mismatch";
+  if Float.is_nan expires_at then
+    invalid_arg "Subscription_store.add_with_expiry: NaN lease";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let state = classify t s in
+  Hashtbl.replace t.entries id { sub = s; state; expires_at };
+  t.added <- t.added + 1;
+  (match state with
+  | Covered by ->
+      t.dropped_covered <- t.dropped_covered + 1;
+      List.iter (fun coverer -> link_child t ~coverer ~child:id) by
+  | Active -> ());
+  (id, state)
+
+let add t s = insert t s ~expires_at:infinity
+let add_with_expiry t s ~expires_at = insert t s ~expires_at
+
+let expiry t id =
+  match Hashtbl.find_opt t.entries id with
+  | Some e -> e.expires_at
+  | None -> raise Not_found
+
+let remove t id =
+  let e =
+    match Hashtbl.find_opt t.entries id with
+    | Some e -> e
+    | None -> raise Not_found
+  in
+  Hashtbl.remove t.entries id;
+  t.removed_count <- t.removed_count + 1;
+  match e.state with
+  | Covered by ->
+      List.iter (fun coverer -> unlink_child t ~coverer ~child:id) by;
+      []
+  | Active ->
+      Hashtbl.remove t.children id;
+      (* §5: covered subscriptions that relied on the departed coverer
+         must be re-checked and promoted if no longer covered. *)
+      let orphans =
+        fold_entries t ~init:[] ~f:(fun acc oid oe ->
+            match oe.state with
+            | Covered by when List.mem id by -> (oid, oe, by) :: acc
+            | Covered _ | Active -> acc)
+        |> List.rev
+      in
+      let promoted =
+        List.filter_map
+          (fun (oid, oe, old_by) ->
+            List.iter (fun coverer -> unlink_child t ~coverer ~child:oid) old_by;
+            match classify t oe.sub with
+            | Active ->
+                oe.state <- Active;
+                t.promoted_count <- t.promoted_count + 1;
+                Some oid
+            | Covered by ->
+                oe.state <- Covered by;
+                List.iter (fun coverer -> link_child t ~coverer ~child:oid) by;
+                None)
+          orphans
+      in
+      promoted
+
+let expire t ~now =
+  let expired =
+    fold_entries t ~init:[] ~f:(fun acc id e ->
+        if e.expires_at <= now then (id, e) :: acc else acc)
+    |> List.rev
+  in
+  List.iter
+    (fun (id, e) ->
+      Hashtbl.remove t.entries id;
+      t.removed_count <- t.removed_count + 1;
+      match e.state with
+      | Covered by ->
+          List.iter (fun coverer -> unlink_child t ~coverer ~child:id) by
+      | Active -> Hashtbl.remove t.children id)
+    expired;
+  let expired_active =
+    List.filter_map
+      (fun (id, e) ->
+        match e.state with Active -> Some id | Covered _ -> None)
+      expired
+  in
+  let promoted =
+    if expired_active = [] then []
+    else
+      fold_entries t ~init:[] ~f:(fun acc oid oe ->
+          match oe.state with
+          | Covered by when List.exists (fun id -> List.mem id by) expired_active
+            ->
+              (oid, oe, by) :: acc
+          | Covered _ | Active -> acc)
+      |> List.rev
+      |> List.filter_map (fun (oid, oe, old_by) ->
+             List.iter
+               (fun coverer -> unlink_child t ~coverer ~child:oid)
+               old_by;
+             match classify t oe.sub with
+             | Active ->
+                 oe.state <- Active;
+                 t.promoted_count <- t.promoted_count + 1;
+                 Some oid
+             | Covered by ->
+                 oe.state <- Covered by;
+                 List.iter
+                   (fun coverer -> link_child t ~coverer ~child:oid)
+                   by;
+                 None)
+  in
+  (List.map fst expired, promoted)
+
+let match_publication t p =
+  let hits = ref [] in
+  let matched_actives = ref [] in
+  fold_entries t ~init:() ~f:(fun () id e ->
+      match e.state with
+      | Active ->
+          t.active_scans <- t.active_scans + 1;
+          if Publication.matches e.sub p then begin
+            matched_actives := id :: !matched_actives;
+            hits := id :: !hits
+          end
+      | Covered _ -> ());
+  (* Multi-level descent: only the covered subscriptions recorded under
+     a matched coverer can match (a point in a covered subscription
+     lies in one of its coverers). *)
+  let tested = Hashtbl.create 16 in
+  List.iter
+    (fun coverer ->
+      List.iter
+        (fun child ->
+          if not (Hashtbl.mem tested child) then begin
+            Hashtbl.replace tested child ();
+            t.covered_scans <- t.covered_scans + 1;
+            let e = Hashtbl.find t.entries child in
+            if Publication.matches e.sub p then hits := child :: !hits
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt t.children coverer)))
+    !matched_actives;
+  List.sort Int.compare !hits
+
+let match_publication_exhaustive t p =
+  fold_entries t ~init:[] ~f:(fun acc id e ->
+      if Publication.matches e.sub p then id :: acc else acc)
+  |> List.sort Int.compare
+
+let validate t =
+  let ok = ref true in
+  (* Coverer references point at live, active entries; under the
+     pairwise policy the recorded coverer really covers. *)
+  Hashtbl.iter
+    (fun _id e ->
+      match e.state with
+      | Active -> ()
+      | Covered by ->
+          if by = [] then ok := false;
+          List.iter
+            (fun c ->
+              match Hashtbl.find_opt t.entries c with
+              | Some ce ->
+                  (match ce.state with
+                  | Active -> ()
+                  | Covered _ -> ok := false);
+                  (match t.policy with
+                  | Pairwise_policy ->
+                      if not (Subscription.covers_sub ce.sub e.sub) then
+                        ok := false
+                  | No_coverage | Group_policy _ -> ())
+              | None -> ok := false)
+            by)
+    t.entries;
+  (* The children index is exactly the inverse of the covered-by
+     relation. *)
+  Hashtbl.iter
+    (fun coverer kids ->
+      List.iter
+        (fun kid ->
+          match Hashtbl.find_opt t.entries kid with
+          | Some { state = Covered by; _ } ->
+              if not (List.mem coverer by) then ok := false
+          | Some { state = Active; _ } | None -> ok := false)
+        kids)
+    t.children;
+  Hashtbl.iter
+    (fun id e ->
+      match e.state with
+      | Covered by ->
+          List.iter
+            (fun c ->
+              let kids =
+                Option.value ~default:[] (Hashtbl.find_opt t.children c)
+              in
+              if not (List.mem id kids) then ok := false)
+            by
+      | Active -> ())
+    t.entries;
+  !ok
+
+let stats t =
+  {
+    added = t.added;
+    dropped_covered = t.dropped_covered;
+    removed = t.removed_count;
+    promoted = t.promoted_count;
+    active_scans = t.active_scans;
+    covered_scans = t.covered_scans;
+  }

@@ -1,0 +1,123 @@
+(** Subscription store: active/covered sets, coverage policies,
+    publication matching (Algorithm 5), unsubscription promotion (§5).
+
+    A store keeps two sets: the {e active} set [S] of uncovered
+    subscriptions — the only ones a broker propagates — and the
+    {e covered} (passive) set [SS] of subscriptions subsumed by the
+    active set, each remembering which active subscriptions cover it.
+    The coverage policy decides where an arriving subscription lands:
+
+    - {!No_coverage}: everything is active (flooding baseline);
+    - {!Pairwise_policy}: covered iff a single active subscription
+      covers it (Siena-style deterministic baseline);
+    - {!Group_policy}: covered iff the engine's probabilistic group
+      check says so (the paper's contribution) — with error ≤ δ a
+      subscription can be wrongly classified as covered.
+
+    Matching follows Algorithm 5: a publication is tested against the
+    active set first; only when some active subscription matches can a
+    covered one match, so the covered set is scanned only on a hit. *)
+
+type id = int
+(** Store-assigned subscription identifier, unique per store. *)
+
+type policy =
+  | No_coverage
+  | Pairwise_policy
+  | Group_policy of Engine.config
+
+type placement =
+  | Active
+  | Covered of id list
+      (** The ids of the active subscriptions recorded as coverers: the
+          single coverer under pairwise, the MCS-reduced candidate set
+          under group coverage. *)
+
+type t
+(** A mutable store. *)
+
+val create : ?policy:policy -> arity:int -> seed:int -> unit -> t
+(** [create ~arity ~seed ()] builds an empty store for subscriptions
+    with [arity] attributes. [seed] drives the engine's RSPC draws
+    (group policy only). Default policy: [Group_policy
+    Engine.default_config]. *)
+
+val policy : t -> policy
+val arity : t -> int
+val size : t -> int
+(** Total live subscriptions (active + covered). *)
+
+val active_count : t -> int
+val covered_count : t -> int
+
+val add : t -> Subscription.t -> id * placement
+(** [add t s] inserts [s] and reports where it landed.
+    @raise Invalid_argument on an arity mismatch. *)
+
+val add_with_expiry : t -> Subscription.t -> expires_at:float -> id * placement
+(** Like {!add} but the subscription carries a lease: it is removed by
+    the first {!expire} call with [now >= expires_at]. §5 proposes
+    expiration as the broker-friendly alternative to explicit
+    unsubscription forwarding. @raise Invalid_argument if [expires_at]
+    is NaN. *)
+
+val expiry : t -> id -> float
+(** [infinity] for unleased subscriptions. @raise Not_found. *)
+
+val expire : t -> now:float -> id list * id list
+(** [expire t ~now] removes every subscription whose lease has run out
+    and re-checks coverage for the covered subscriptions that depended
+    on the departed ones. Returns [(expired, promoted)]. Promotions
+    never resurrect a subscription that is itself expired at [now]. *)
+
+val remove : t -> id -> id list
+(** [remove t id] deletes a subscription. When an {e active}
+    subscription leaves, every covered subscription that recorded it as
+    a coverer is re-checked against the remaining active set and
+    promoted to active if no longer covered (§5's replacement rule).
+    Returns the promoted ids. Removing a covered subscription promotes
+    nothing. @raise Not_found on an unknown id. *)
+
+val find : t -> id -> Subscription.t
+(** @raise Not_found on an unknown id. *)
+
+val is_active : t -> id -> bool
+(** @raise Not_found on an unknown id. *)
+
+val active : t -> (id * Subscription.t) list
+(** Active subscriptions, ascending id. *)
+
+val covered : t -> (id * Subscription.t * id list) list
+(** Covered subscriptions with their recorded coverers, ascending id. *)
+
+val match_publication : t -> Publication.t -> id list
+(** Algorithm 5 with its multi-level optimization: ids of all matching
+    subscriptions (active and covered), ascending. Only the covered
+    subscriptions recorded under a {e matched} coverer are tested — a
+    point inside a (correctly) covered subscription necessarily lies
+    inside one of its coverers. Under {!Group_policy} a {e wrongly}
+    covered subscription can be missed (its recorded "coverers" do not
+    actually cover it) — the δ-bounded loss mode Proposition 5
+    analyzes. *)
+
+val match_publication_exhaustive : t -> Publication.t -> id list
+(** Ground truth: match against {e every} live subscription, bypassing
+    the two-level structure; used to quantify losses. *)
+
+type stats = {
+  added : int;
+  dropped_covered : int;  (** Arrivals classified as covered. *)
+  removed : int;
+  promoted : int;
+  active_scans : int;  (** Subscriptions touched in active-set scans. *)
+  covered_scans : int;  (** Subscriptions touched in covered-set scans. *)
+}
+
+val stats : t -> stats
+(** Monotone counters since creation. *)
+
+val validate : t -> bool
+(** Structural invariants, for tests: coverer references are live and
+    active, the multi-level child index is the exact inverse of the
+    covered-by relation, and (pairwise policy) every recorded coverer
+    really covers its child. *)

@@ -1,0 +1,90 @@
+type polyhedron = {
+  region : Subscription.t;
+  picks : (int * int * Conflict_table.side) list;
+}
+
+let verify t w =
+  let s = Conflict_table.s t in
+  Subscription.covers_sub s w.region
+  && Array.for_all
+       (fun si -> not (Subscription.intersects si w.region))
+       (Conflict_table.subs t)
+
+(* Greedy construction from the Corollary 3 proof: keep a running box
+   (initially s); for each row, shrink the box by one of the row's
+   negated predicates, preferring the cell that leaves the box largest
+   on its attribute. Each cell touches a single attribute, so the
+   region stays an axis-aligned box throughout. *)
+let find_polyhedron t =
+  let k = Conflict_table.rows t in
+  let s = Conflict_table.s t in
+  if k = 0 then
+    Some { region = s; picks = [] }
+  else begin
+    let order = Array.init k (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        Int.compare
+          (Conflict_table.defined_count t ~row:a)
+          (Conflict_table.defined_count t ~row:b))
+      order;
+    let region = Subscription.ranges s in
+    let picks = ref [] in
+    let ok = ref true in
+    Array.iter
+      (fun row ->
+        if !ok then begin
+          (* Pick the defined cell whose strip keeps the current region
+             widest; skip cells that would empty it. *)
+          let best = ref None in
+          let consider ~attr ~side =
+            match Conflict_table.strip t ~row ~attr ~side with
+            | None -> ()
+            | Some strip -> (
+                match Interval.inter strip region.(attr) with
+                | None -> ()
+                | Some cut ->
+                    let w = Interval.width cut in
+                    (match !best with
+                    | Some (_, _, _, best_w) when best_w >= w -> ()
+                    | _ -> best := Some (attr, side, cut, w)))
+          in
+          for attr = 0 to Conflict_table.arity t - 1 do
+            consider ~attr ~side:Conflict_table.Low;
+            consider ~attr ~side:Conflict_table.High
+          done;
+          match !best with
+          | None -> ok := false
+          | Some (attr, side, cut, _) ->
+              region.(attr) <- cut;
+              picks := (row, attr, side) :: !picks
+        end)
+      order;
+    if not !ok then None
+    else
+      let w = { region = Subscription.make region; picks = List.rev !picks } in
+      (* The greedy is sound by construction; the explicit check guards
+         against regressions. *)
+      assert (verify t w);
+      Some w
+  end
+
+let corollary3_holds t =
+  let k = Conflict_table.rows t in
+  if k = 0 then true
+  else begin
+    let counts =
+      Array.init k (fun row -> Conflict_table.defined_count t ~row)
+    in
+    Array.sort Int.compare counts;
+    let rec loop j = j >= k || (counts.(j) >= j + 1 && loop (j + 1)) in
+    loop 0
+  end
+
+let point_of w = Array.map Interval.lo (Subscription.ranges w.region)
+
+let is_point_witness t p =
+  Subscription.covers_point (Conflict_table.s t) p
+  && Array.for_all
+       (fun si -> not (Subscription.covers_point si p))
+       (Conflict_table.subs t)

@@ -1,0 +1,41 @@
+(** Witnesses to non-coverage (Definitions 3 and 4).
+
+    A {e polyhedron witness} picks one defined conflict-table cell per
+    row such that [s] conjoined with all the picked negations is
+    satisfiable: the resulting box lies inside [s] but escapes every
+    [si]. A {e point witness} is any point of such a box. *)
+
+type polyhedron = {
+  region : Subscription.t;
+      (** The witness box: contained in [s], disjoint from every [si]. *)
+  picks : (int * int * Conflict_table.side) list;
+      (** The chosen cell per row as [(row, attr, side)] triples. *)
+}
+
+val find_polyhedron : Conflict_table.t -> polyhedron option
+(** [find_polyhedron t] runs the greedy construction from the proof of
+    Corollary 3: rows are visited in ascending order of defined-entry
+    count [t_i]; for each row we pick a defined cell whose strip still
+    intersects the region built so far. The greedy is {e sound} (a
+    returned box is always a real witness, verified on return) but not
+    complete — [None] does not prove coverage. Under the Corollary 3
+    precondition (sorted [t_{i_j} >= j]) it always succeeds. Returns
+    [None] when some row has no defined cells (that row covers [s]
+    pairwise, so no witness exists at all). *)
+
+val corollary3_holds : Conflict_table.t -> bool
+(** The O(k log k) sufficient condition of Corollary 3: after sorting
+    the rows by defined-cell count, [t_{i_j} >= j] for every position
+    [j] (1-based). When true, [s] is definitely not covered. *)
+
+val point_of : polyhedron -> int array
+(** The lower corner of the witness box — a concrete point witness. *)
+
+val verify : Conflict_table.t -> polyhedron -> bool
+(** [verify t w] re-checks from first principles that [w.region] lies
+    inside [s] and intersects no [si]; used by tests and by
+    {!find_polyhedron}'s internal sanity assertion. *)
+
+val is_point_witness : Conflict_table.t -> int array -> bool
+(** [is_point_witness t p] tests Definition 4 directly: [p] satisfies
+    [s] and no [si]. O(m·k). *)

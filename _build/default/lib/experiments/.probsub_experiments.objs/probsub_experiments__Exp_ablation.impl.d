@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Engine Exp_common List Printf Prng Probsub_core Probsub_workload Scenario Unix

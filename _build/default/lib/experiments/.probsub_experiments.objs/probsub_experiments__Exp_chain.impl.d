@@ -1,0 +1,1 @@
+lib/experiments/exp_chain.ml: Chain_model Exp_common List Printf Prng Probsub_broker Probsub_core

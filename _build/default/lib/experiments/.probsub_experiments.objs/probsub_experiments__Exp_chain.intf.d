@@ -1,0 +1,1 @@
+lib/experiments/exp_chain.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/exp_matching.ml: Array Engine List Printf Prng Probsub_core Probsub_workload Publication Scenario Schema Subscription Subscription_store

@@ -1,0 +1,1 @@
+lib/experiments/exp_merging.ml: Engine List Merging Printf Prng Probsub_core Probsub_workload Scenario Subscription_store

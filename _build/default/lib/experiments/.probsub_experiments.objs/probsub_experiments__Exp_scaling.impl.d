@@ -1,0 +1,1 @@
+lib/experiments/exp_scaling.ml: Engine Exp_common Float List Printf Prng Probsub_core Probsub_workload Scenario Unix

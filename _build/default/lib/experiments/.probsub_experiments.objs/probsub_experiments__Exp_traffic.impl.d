@@ -1,0 +1,1 @@
+lib/experiments/exp_traffic.ml: Array Engine Interval List Metrics Network Printf Prng Probsub_broker Probsub_core Publication Subscription Subscription_store Topology

@@ -1,0 +1,1 @@
+lib/experiments/fig_comparison.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/fig_covering.ml: Array Conflict_table Engine Exp_common List Mcs Printf Prng Probsub_core Probsub_workload Scenario

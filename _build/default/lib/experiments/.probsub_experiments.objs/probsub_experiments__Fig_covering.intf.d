@@ -1,0 +1,1 @@
+lib/experiments/fig_covering.mli: Exp_common

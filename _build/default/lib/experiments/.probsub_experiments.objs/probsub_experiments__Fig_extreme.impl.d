@@ -1,0 +1,1 @@
+lib/experiments/fig_extreme.ml: Engine Exp_common List Printf Prng Probsub_core Probsub_workload Scenario

@@ -1,0 +1,1 @@
+lib/experiments/fig_noncover.ml: Conflict_table Engine Exp_common Float List Mcs Printf Prng Probsub_core Probsub_workload Scenario

@@ -1,0 +1,92 @@
+open Probsub_core
+open Probsub_workload
+
+type config_kind = Full | With_probes | No_fast | No_mcs | Rspc_only
+
+type row = {
+  scenario : string;
+  kind : config_kind;
+  mean_micros : float;
+  mean_iterations : float;
+  mean_k_reduced : float;
+  correct : int;
+  runs : int;
+}
+
+let kind_label = function
+  | Full -> "full"
+  | With_probes -> "probes"
+  | No_fast -> "no-fast"
+  | No_mcs -> "no-mcs"
+  | Rspc_only -> "rspc-only"
+
+let config_of ~delta = function
+  | Full -> Engine.config ~delta ()
+  | With_probes -> Engine.config ~delta ~use_probes:true ()
+  | No_fast -> Engine.config ~delta ~use_fast_decisions:false ()
+  | No_mcs -> Engine.config ~delta ~use_mcs:false ()
+  | Rspc_only ->
+      Engine.config ~delta ~use_mcs:false ~use_fast_decisions:false ()
+
+let delta = 1e-6
+
+let run ?(scale = Exp_common.default_scale) ~seed () =
+  let runs = max scale.Exp_common.runs 20 in
+  let scenarios =
+    [
+      ( "pairwise-1.a",
+        fun rng -> Scenario.pairwise_covering rng ~m:10 ~k:100 );
+      ( "redundant-covering",
+        fun rng -> Scenario.redundant_covering rng ~m:10 ~k:100 );
+      ("no-intersect-2.a", fun rng -> Scenario.no_intersection rng ~m:10 ~k:100);
+      ("non-cover", fun rng -> Scenario.non_cover rng ~m:10 ~k:100);
+      ( "extreme-1%",
+        fun rng -> Scenario.extreme_non_cover rng ~m:5 ~k:50 ~gap_fraction:0.01
+      );
+    ]
+  in
+  List.concat_map
+    (fun (name, gen) ->
+      List.map
+        (fun kind ->
+          let rng = Prng.of_int seed in
+          let config = config_of ~delta kind in
+          let total_time = ref 0.0 in
+          let total_iters = ref 0 in
+          let total_k = ref 0 in
+          let correct = ref 0 in
+          for _ = 1 to runs do
+            let inst = gen rng in
+            let t0 = Unix.gettimeofday () in
+            let report =
+              Engine.check ~config ~rng inst.Scenario.s inst.Scenario.set
+            in
+            total_time := !total_time +. (Unix.gettimeofday () -. t0);
+            total_iters := !total_iters + report.Engine.iterations;
+            total_k := !total_k + report.Engine.k_reduced;
+            if Engine.is_covered report.Engine.verdict = inst.Scenario.covered
+            then incr correct
+          done;
+          let f = float_of_int runs in
+          {
+            scenario = name;
+            kind;
+            mean_micros = !total_time *. 1e6 /. f;
+            mean_iterations = float_of_int !total_iters /. f;
+            mean_k_reduced = float_of_int !total_k /. f;
+            correct = !correct;
+            runs;
+          })
+        [ Full; With_probes; No_fast; No_mcs; Rspc_only ])
+    scenarios
+
+let print rows =
+  Printf.printf "== ablation: engine stages (delta=%g) ==\n" delta;
+  Printf.printf "%-20s %-10s %12s %12s %10s %10s\n" "scenario" "config"
+    "mean us" "mean iters" "k-reduced" "correct";
+  List.iter
+    (fun r ->
+      Printf.printf "%-20s %-10s %12.1f %12.2f %10.1f %6d/%d\n" r.scenario
+        (kind_label r.kind) r.mean_micros r.mean_iterations r.mean_k_reduced
+        r.correct r.runs)
+    rows

@@ -1,0 +1,62 @@
+open Probsub_core
+open Probsub_broker
+
+type row = {
+  delta : float;
+  analytic : float;
+  measured : float;
+  mean_reach : float;
+}
+
+let deltas = [ 0.5; 0.2; 0.05; 0.01; 0.001 ]
+
+let run ?(scale = Exp_common.default_scale) ?(n_brokers = 10) ?(rho = 0.1)
+    ~seed () =
+  let trials = 25 * scale.Exp_common.runs in
+  let rows =
+    List.map
+      (fun delta ->
+        let rng = Prng.of_int (seed + int_of_float (1000.0 *. delta)) in
+        let result =
+          Chain_model.simulate rng ~n_brokers ~rho ~m:5 ~k:20
+            ~gap_fraction:0.02 ~delta ~trials
+        in
+        {
+          delta;
+          analytic = result.Chain_model.analytic;
+          measured = result.Chain_model.measured;
+          mean_reach = result.Chain_model.mean_reach;
+        })
+      deltas
+  in
+  let ceiling = Chain_model.analytic ~n:n_brokers ~rho ~per_check_error:0.0 in
+  let figure =
+    {
+      Exp_common.id = "prop5";
+      title =
+        Printf.sprintf
+          "Eq. 2: P(find publication) on a %d-broker chain (rho=%g, %d \
+           trials/point)"
+          n_brokers rho trials;
+      xlabel = "-log10(delta)";
+      ylabel = "P(publication found)";
+      series =
+        [
+          {
+            Exp_common.label = "analytic (Eq. 2)";
+            points =
+              List.map (fun r -> (-.log10 r.delta, r.analytic)) rows;
+          };
+          {
+            Exp_common.label = "measured";
+            points =
+              List.map (fun r -> (-.log10 r.delta, r.measured)) rows;
+          };
+          {
+            Exp_common.label = "loss-free ceiling";
+            points = List.map (fun r -> (-.log10 r.delta, ceiling)) rows;
+          };
+        ];
+    }
+  in
+  (rows, figure)

@@ -1,0 +1,26 @@
+(** Proposition 5 / Equation 2 — delivery probability after an
+    erroneous cover along a broker chain (§5).
+
+    For each per-check error δ we plot the Eq. 2 analytic bound against
+    a Monte-Carlo simulation of the real pipeline (fresh extreme
+    non-cover instance per trial, engine check at every hop). A third
+    series gives the loss-free ceiling (per-check error 0), i.e. the
+    probability the publication exists at all. The measured curve
+    should track the bound closely when the ρw estimate is accurate
+    (the simulation uses stagger bounds [1.0, 1.2] for that reason). *)
+
+type row = {
+  delta : float;
+  analytic : float;  (** Eq. 2 with per-check error δ. *)
+  measured : float;
+  mean_reach : float;  (** Brokers reached by the subscription, of n. *)
+}
+
+val run :
+  ?scale:Exp_common.scale -> ?n_brokers:int -> ?rho:float -> seed:int ->
+  unit -> row list * Exp_common.figure
+(** Defaults: 10 brokers, ρ = 0.1 per broker, k = 20 existing
+    subscriptions over m = 5 attributes, 2% gap. Trials per δ:
+    [25 * scale.runs]. *)
+
+val deltas : float list

@@ -1,0 +1,71 @@
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  id : string;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+}
+
+let print ppf fig =
+  let xs =
+    List.sort_uniq compare
+      (List.concat_map (fun s -> List.map fst s.points) fig.series)
+  in
+  Format.fprintf ppf "@[<v>== %s: %s ==@," fig.id fig.title;
+  Format.fprintf ppf "   (x = %s, y = %s)@," fig.xlabel fig.ylabel;
+  let cell s x =
+    match List.assoc_opt x s.points with
+    | Some y when Float.is_nan y -> "-"
+    | Some y -> Printf.sprintf "%.4g" y
+    | None -> "-"
+  in
+  let headers = fig.xlabel :: List.map (fun s -> s.label) fig.series in
+  let rows =
+    List.map
+      (fun x ->
+        Printf.sprintf "%.4g" x :: List.map (fun s -> cell s x) fig.series)
+      xs
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let print_row cells =
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i in
+        Format.fprintf ppf "%s%s  " c (String.make (w - String.length c) ' '))
+      cells;
+    Format.fprintf ppf "@,"
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  Format.fprintf ppf "@]"
+
+let print_stdout fig =
+  print Format.std_formatter fig;
+  Format.pp_print_newline Format.std_formatter ()
+
+type scale = { runs : int }
+
+let default_scale = { runs = 40 }
+
+let mean = function
+  | [] -> Float.nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let mean_finite l =
+  match List.filter Float.is_finite l with [] -> Float.nan | l -> mean l
+
+let paper_ks = [ 10; 40; 70; 100; 130; 160; 190; 220; 250; 280; 310 ]
+let paper_ms = [ 10; 15; 20 ]
+
+let gap_fractions =
+  [ 0.005; 0.010; 0.015; 0.020; 0.025; 0.030; 0.035; 0.040; 0.045 ]

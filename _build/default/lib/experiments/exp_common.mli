@@ -1,0 +1,46 @@
+(** Shared experiment plumbing: result tables and their rendering.
+
+    Every experiment produces a {!figure}: named series of (x, y)
+    points. The printer renders the matrix the paper's plot would show,
+    one row per x value and one column per series, so bench output can
+    be compared against the paper figure by eye or diffed across
+    runs. *)
+
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  id : string;  (** e.g. "fig6". *)
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+}
+
+val print : Format.formatter -> figure -> unit
+(** Aligned-column rendering; [nan] cells print as ["-"]. *)
+
+val print_stdout : figure -> unit
+
+type scale = { runs : int }
+(** How many runs to average per parameter point. The paper uses 1000
+    (Figs. 6-10) and 3000 (Figs. 11-12); the default bench scale is
+    smaller so the whole suite stays fast — pass a bigger [runs] to
+    match the paper exactly. *)
+
+val default_scale : scale
+
+val mean : float list -> float
+(** Arithmetic mean; [nan] on empty input. *)
+
+val mean_finite : float list -> float
+(** Mean of the finite values only (experiments average log-space
+    quantities that can be [-inf] when a candidate set is empty). *)
+
+val paper_ks : int list
+(** k = 10, 40, ..., 310 (Figs. 6-10). *)
+
+val paper_ms : int list
+(** m = 10, 15, 20. *)
+
+val gap_fractions : float list
+(** 0.005 to 0.045 in steps of 0.005 (Figs. 11-12). *)

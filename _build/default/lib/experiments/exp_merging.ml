@@ -1,0 +1,55 @@
+open Probsub_core
+open Probsub_workload
+
+type row = {
+  arrived : int;
+  raw : int;
+  pairwise : int;
+  group : int;
+  merged : int;
+}
+
+let run ?(n = 600) ?(checkpoint_every = 150) ?(m = 6) ~seed () =
+  let rng = Prng.of_int seed in
+  let stream = Scenario.comparison_stream rng ~m ~n in
+  let pairwise =
+    Subscription_store.create ~policy:Subscription_store.Pairwise_policy
+      ~arity:m ~seed ()
+  in
+  let group =
+    Subscription_store.create
+      ~policy:
+        (Subscription_store.Group_policy
+           (Engine.config ~delta:1e-6 ~max_iterations:1000 ()))
+      ~arity:m ~seed ()
+  in
+  let rows = ref [] in
+  List.iteri
+    (fun i sub ->
+      ignore (Subscription_store.add pairwise sub);
+      ignore (Subscription_store.add group sub);
+      let arrived = i + 1 in
+      if arrived mod checkpoint_every = 0 || arrived = n then begin
+        let actives = List.map snd (Subscription_store.active pairwise) in
+        rows :=
+          {
+            arrived;
+            raw = arrived;
+            pairwise = Subscription_store.active_count pairwise;
+            group = Subscription_store.active_count group;
+            merged = List.length (Merging.greedy_reduce actives);
+          }
+          :: !rows
+      end)
+    stream;
+  List.rev !rows
+
+let print rows =
+  Printf.printf "== merging: set sizes under the three reducers ==\n";
+  Printf.printf "%9s %6s %9s %7s %14s\n" "arrived" "raw" "pairwise" "group"
+    "perfect-merge";
+  List.iter
+    (fun r ->
+      Printf.printf "%9d %6d %9d %7d %14d\n" r.arrived r.raw r.pairwise
+        r.group r.merged)
+    rows

@@ -1,0 +1,24 @@
+(** Subscription merging vs covering (related work [8, 9]).
+
+    Merging replaces several subscriptions with one; {e perfect} merges
+    lose nothing, imperfect merges accept false positives. The paper's
+    covering approach is orthogonal: it never rewrites subscriptions,
+    it just refuses to propagate redundant ones. This experiment feeds
+    the §6.4 comparison stream to all three reducers and compares the
+    resulting set sizes, plus the exact-representation cost of merging
+    (how much smaller a perfectly-merged active set could be). *)
+
+type row = {
+  arrived : int;
+  raw : int;  (** Flooding: everything kept. *)
+  pairwise : int;  (** Active set under pairwise covering. *)
+  group : int;  (** Active set under probabilistic group covering. *)
+  merged : int;  (** Perfect-merge compaction of the pairwise active set. *)
+}
+
+val run :
+  ?n:int -> ?checkpoint_every:int -> ?m:int -> seed:int -> unit -> row list
+(** Defaults: n = 600 arrivals, checkpoints every 150, m = 6. Perfect
+    merging is O(n³) per checkpoint, hence the smaller default scale. *)
+
+val print : row list -> unit

@@ -1,0 +1,73 @@
+open Probsub_core
+open Probsub_workload
+
+type row = {
+  scenario : string;
+  k : int;
+  m : int;
+  mean_micros : float;
+  mean_iterations : float;
+  normalized_ns : float;
+}
+
+let ks = [ 50; 100; 200; 400 ]
+let ms = [ 5; 10; 20 ]
+
+let run ?(scale = Exp_common.default_scale) ~seed () =
+  let runs = max 10 (scale.Exp_common.runs / 2) in
+  (* Cap trials so covered instances measure pipeline cost, not the
+     theoretical d blow-up. *)
+  let config = Engine.config ~delta:1e-6 ~max_iterations:2000 () in
+  let scenarios =
+    [
+      ( "covering-1.b",
+        fun rng ~m ~k -> Scenario.redundant_covering rng ~m ~k );
+      ( "extreme-2.c",
+        fun rng ~m ~k -> Scenario.extreme_non_cover rng ~m ~k ~gap_fraction:0.01
+      );
+    ]
+  in
+  List.concat_map
+    (fun (name, gen) ->
+      List.concat_map
+        (fun m ->
+          List.map
+            (fun k ->
+              let rng = Prng.of_int (seed + k + (31 * m)) in
+              let total_time = ref 0.0 in
+              let total_iters = ref 0 in
+              for _ = 1 to runs do
+                let inst = gen rng ~m ~k in
+                let t0 = Unix.gettimeofday () in
+                let report =
+                  Engine.check ~config ~rng inst.Scenario.s inst.Scenario.set
+                in
+                total_time := !total_time +. (Unix.gettimeofday () -. t0);
+                total_iters := !total_iters + report.Engine.iterations
+              done;
+              let f = float_of_int runs in
+              let mean_micros = !total_time *. 1e6 /. f in
+              let mean_iterations = float_of_int !total_iters /. f in
+              {
+                scenario = name;
+                k;
+                m;
+                mean_micros;
+                mean_iterations;
+                normalized_ns =
+                  1000.0 *. mean_micros
+                  /. (float_of_int (k * m) *. Float.max 1.0 mean_iterations);
+              })
+            ks)
+        ms)
+    scenarios
+
+let print rows =
+  Printf.printf "== scaling: engine cost vs the O(k*m*d) budget ==\n";
+  Printf.printf "%-14s %5s %4s %12s %12s %18s\n" "scenario" "k" "m" "mean us"
+    "mean iters" "ns per k*m*trial";
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %5d %4d %12.1f %12.1f %18.3f\n" r.scenario r.k r.m
+        r.mean_micros r.mean_iterations r.normalized_ns)
+    rows

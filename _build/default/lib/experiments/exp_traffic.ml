@@ -1,0 +1,92 @@
+open Probsub_core
+open Probsub_broker
+
+type row = {
+  topology : string;
+  policy : string;
+  brokers : int;
+  diameter : int;
+  subscribe_msgs : int;
+  suppressed : int;
+  publish_msgs : int;
+  delivered : int;
+  lost : int;
+}
+
+let topologies rng =
+  [
+    ("chain-16", Topology.chain 16);
+    ("ring-16", Topology.ring 16);
+    ("star-16", Topology.star 16);
+    ("tree-2x3", Topology.balanced_tree ~branching:2 ~depth:3);
+    ("grid-4x4", Topology.grid ~width:4 ~height:4);
+    ("random-16", Topology.random_connected rng ~n:16 ~extra_edges:6);
+  ]
+
+let policies =
+  [
+    ("flooding", Subscription_store.No_coverage);
+    ("pair-wise", Subscription_store.Pairwise_policy);
+    ( "group",
+      Subscription_store.Group_policy
+        (Engine.config ~delta:1e-6 ~max_iterations:1000 ()) );
+  ]
+
+let run ?(subs = 120) ?(pubs = 60) ?(m = 3) ~seed () =
+  let topo_rng = Prng.of_int (seed + 1) in
+  let shapes = topologies topo_rng in
+  List.concat_map
+    (fun (topo_name, topo) ->
+      List.map
+        (fun (policy_name, policy) ->
+          let net = Network.create ~policy ~topology:topo ~arity:m ~seed () in
+          let rng = Prng.of_int (seed + 7) in
+          let n_brokers = Topology.size topo in
+          for i = 1 to subs do
+            let sub =
+              Subscription.of_list
+                (List.init m (fun _ ->
+                     let lo = Prng.int rng 600 in
+                     Interval.make ~lo ~hi:(lo + 100 + Prng.int rng 300)))
+            in
+            ignore (Network.subscribe net ~broker:(i mod n_brokers) ~client:i sub)
+          done;
+          Network.run net;
+          let delivered = ref 0 and lost = ref 0 in
+          for _ = 1 to pubs do
+            let p =
+              Publication.point (Array.init m (fun _ -> Prng.int rng 1000))
+            in
+            let expected = List.length (Network.expected_recipients net p) in
+            let before = (Network.metrics net).Metrics.notifications in
+            ignore (Network.publish net ~broker:(Prng.int rng n_brokers) p);
+            Network.run net;
+            let got = (Network.metrics net).Metrics.notifications - before in
+            delivered := !delivered + got;
+            lost := !lost + (expected - got)
+          done;
+          let metrics = Network.metrics net in
+          {
+            topology = topo_name;
+            policy = policy_name;
+            brokers = n_brokers;
+            diameter = Topology.diameter topo;
+            subscribe_msgs = metrics.Metrics.subscribe_msgs;
+            suppressed = metrics.Metrics.suppressed_subscriptions;
+            publish_msgs = metrics.Metrics.publish_msgs;
+            delivered = !delivered;
+            lost = !lost;
+          })
+        policies)
+    shapes
+
+let print rows =
+  Printf.printf "== traffic: topology x coverage policy ==\n";
+  Printf.printf "%-11s %-10s %4s %9s %10s %8s %10s %6s\n" "topology" "policy"
+    "diam" "sub msgs" "suppressed" "pub msgs" "delivered" "lost";
+  List.iter
+    (fun r ->
+      Printf.printf "%-11s %-10s %4d %9d %10d %8d %10d %6d\n" r.topology
+        r.policy r.diameter r.subscribe_msgs r.suppressed r.publish_msgs
+        r.delivered r.lost)
+    rows

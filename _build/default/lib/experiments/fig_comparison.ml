@@ -1,0 +1,65 @@
+open Probsub_core
+open Probsub_workload
+
+let delta = 1e-6
+
+let run ?(n = 5000) ?(checkpoint_every = 250) ?(max_iterations = 1500) ~seed
+    () =
+  let size_series = ref [] in
+  let ratio_series = ref [] in
+  List.iter
+    (fun m ->
+      let rng = Prng.of_int (seed + (31 * m)) in
+      let stream = Scenario.comparison_stream rng ~m ~n in
+      let group_config = Engine.config ~delta ~max_iterations () in
+      let pairwise =
+        Subscription_store.create ~policy:Subscription_store.Pairwise_policy
+          ~arity:m ~seed:(seed + 1) ()
+      in
+      let group =
+        Subscription_store.create
+          ~policy:(Subscription_store.Group_policy group_config) ~arity:m
+          ~seed:(seed + 2) ()
+      in
+      let pw_points = ref [] and gr_points = ref [] and ratio_points = ref [] in
+      List.iteri
+        (fun i sub ->
+          ignore (Subscription_store.add pairwise sub);
+          ignore (Subscription_store.add group sub);
+          let arrived = i + 1 in
+          if arrived mod checkpoint_every = 0 || arrived = n then begin
+            let pw = Subscription_store.active_count pairwise in
+            let gr = Subscription_store.active_count group in
+            let x = float_of_int arrived in
+            pw_points := (x, float_of_int pw) :: !pw_points;
+            gr_points := (x, float_of_int gr) :: !gr_points;
+            ratio_points := (x, float_of_int gr /. float_of_int pw) :: !ratio_points
+          end)
+        stream;
+      size_series :=
+        { Exp_common.label = Printf.sprintf "m=%d, group" m;
+          points = List.rev !gr_points }
+        :: { Exp_common.label = Printf.sprintf "m=%d, pair-wise" m;
+             points = List.rev !pw_points }
+        :: !size_series;
+      ratio_series :=
+        { Exp_common.label = Printf.sprintf "m=%d" m;
+          points = List.rev !ratio_points }
+        :: !ratio_series)
+    Exp_common.paper_ms;
+  ( {
+      Exp_common.id = "fig13";
+      title =
+        Printf.sprintf "Active subscription set growth (%d arrivals, delta=%g)"
+          n delta;
+      xlabel = "subscriptions received";
+      ylabel = "active set size";
+      series = List.rev !size_series;
+    },
+    {
+      Exp_common.id = "fig14";
+      title = "Group/pairwise active-set size ratio";
+      xlabel = "subscriptions received";
+      ylabel = "size ratio";
+      series = List.rev !ratio_series;
+    } )

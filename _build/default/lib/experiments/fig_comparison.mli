@@ -1,0 +1,22 @@
+(** Figures 13 and 14 — group vs pairwise coverage on a realistic
+    stream (§6.4).
+
+    A single stream of [n] incoming subscriptions (Zipf attribute
+    popularity, Pareto centres, normal widths; δ = 1e-6) is fed to two
+    stores: one with the deterministic pairwise policy, one with the
+    probabilistic group policy. Fig. 13 plots the active-set growth;
+    Fig. 14 the group/pairwise size ratio.
+
+    Expected shape (paper, n = 5000): group retains < 10% of arrivals
+    for m = 10/15 and ~33% for m = 20; the ratio starts near 1, falls
+    to 0.4-0.8 and stabilizes. *)
+
+val run :
+  ?n:int -> ?checkpoint_every:int -> ?max_iterations:int -> seed:int ->
+  unit -> Exp_common.figure * Exp_common.figure
+(** [(fig13, fig14)]. Defaults: [n = 5000], checkpoints every 250,
+    RSPC capped at 1500 trials per check (the cap only matters for
+    instances whose theoretical d explodes; the achieved error is then
+    (1-ρw)^1500 instead of 1e-6). *)
+
+val delta : float

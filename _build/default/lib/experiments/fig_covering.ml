@@ -1,0 +1,73 @@
+open Probsub_core
+open Probsub_workload
+
+let delta = 1e-10
+
+let run ?(scale = Exp_common.default_scale) ~seed () =
+  let reduction_series = ref [] in
+  let d_series = ref [] in
+  List.iter
+    (fun m ->
+      let rng = Prng.of_int (seed + m) in
+      let red_points = ref [] in
+      let d_plain = ref [] in
+      let d_mcs = ref [] in
+      List.iter
+        (fun k ->
+          let reductions = ref [] in
+          let log_d_plain = ref [] in
+          let log_d_mcs = ref [] in
+          for _ = 1 to scale.Exp_common.runs do
+            let inst = Scenario.redundant_covering rng ~m ~k in
+            let table = Conflict_table.build ~s:inst.Scenario.s inst.Scenario.set in
+            let result = Mcs.run table in
+            let redundant_total = ref 0 and redundant_removed = ref 0 in
+            Array.iter
+              (fun r -> if r then incr redundant_total)
+              inst.Scenario.redundant;
+            List.iter
+              (fun i -> if inst.Scenario.redundant.(i) then incr redundant_removed)
+              result.Mcs.removed;
+            if !redundant_total > 0 then
+              reductions :=
+                (float_of_int !redundant_removed /. float_of_int !redundant_total)
+                :: !reductions;
+            log_d_plain :=
+              Engine.theoretical_log10_d ~use_mcs:false ~delta inst.Scenario.s
+                inst.Scenario.set
+              :: !log_d_plain;
+            log_d_mcs :=
+              Engine.theoretical_log10_d ~use_mcs:true ~delta inst.Scenario.s
+                inst.Scenario.set
+              :: !log_d_mcs
+          done;
+          let x = float_of_int k in
+          red_points := (x, Exp_common.mean !reductions) :: !red_points;
+          d_plain := (x, Exp_common.mean_finite !log_d_plain) :: !d_plain;
+          d_mcs := (x, Exp_common.mean_finite !log_d_mcs) :: !d_mcs)
+        Exp_common.paper_ks;
+      reduction_series :=
+        { Exp_common.label = Printf.sprintf "m=%d" m;
+          points = List.rev !red_points }
+        :: !reduction_series;
+      d_series :=
+        { Exp_common.label = Printf.sprintf "m=%d,MCS" m;
+          points = List.rev !d_mcs }
+        :: { Exp_common.label = Printf.sprintf "m=%d" m;
+             points = List.rev !d_plain }
+        :: !d_series)
+    Exp_common.paper_ms;
+  ( {
+      Exp_common.id = "fig6";
+      title = "Redundant subscription reduction (redundant covering)";
+      xlabel = "k";
+      ylabel = "fraction of redundant subs removed by MCS";
+      series = List.rev !reduction_series;
+    },
+    {
+      Exp_common.id = "fig7";
+      title = "Theoretical iterations, redundant covering (delta=1e-10)";
+      xlabel = "k";
+      ylabel = "log10(d)";
+      series = List.rev !d_series;
+    } )

@@ -1,0 +1,18 @@
+(** Figures 6 and 7 — the redundant covering scenario (§6.1).
+
+    Setup: scenario 1.b instances with k = 10..310, m = 10/15/20,
+    δ = 1e-10. Fig. 6 plots the fraction of redundant subscriptions MCS
+    removes; Fig. 7 the theoretical log10 d from Algorithm 2, with and
+    without MCS.
+
+    Expected shape (paper): reduction between ~0.7 and 1.0; log10 d in
+    the tens without MCS, collapsing to practical values (< 5) with
+    MCS. *)
+
+val run : ?scale:Exp_common.scale -> seed:int -> unit ->
+  Exp_common.figure * Exp_common.figure
+(** [(fig6, fig7)]. One instance per run; results averaged over
+    [scale.runs] instances per (m, k) point. *)
+
+val delta : float
+(** The error probability used throughout (1e-10, as in the paper). *)

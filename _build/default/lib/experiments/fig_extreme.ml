@@ -1,0 +1,58 @@
+open Probsub_core
+open Probsub_workload
+
+let deltas = [ 1e-3; 1e-6; 1e-10 ]
+let k = 50
+let m = 5
+
+let run ?(scale = Exp_common.default_scale) ~seed () =
+  let runs = max (5 * scale.Exp_common.runs) 200 in
+  let iter_series = ref [] in
+  let false_series = ref [] in
+  List.iter
+    (fun delta ->
+      let rng = Prng.of_int (seed + int_of_float (-.log10 delta)) in
+      let config = Engine.config ~delta () in
+      let iter_points = ref [] in
+      let false_points = ref [] in
+      List.iter
+        (fun gap ->
+          let iters = ref [] in
+          let false_count = ref 0 in
+          for _ = 1 to runs do
+            let inst = Scenario.extreme_non_cover rng ~m ~k ~gap_fraction:gap in
+            let report =
+              Engine.check ~config ~rng inst.Scenario.s inst.Scenario.set
+            in
+            iters := float_of_int report.Engine.iterations :: !iters;
+            if Engine.is_covered report.Engine.verdict then incr false_count
+          done;
+          let x = 100.0 *. gap in
+          iter_points := (x, Exp_common.mean !iters) :: !iter_points;
+          false_points :=
+            (x, float_of_int !false_count *. 3000.0 /. float_of_int runs)
+            :: !false_points)
+        Exp_common.gap_fractions;
+      let label = Printf.sprintf "error=%g" delta in
+      iter_series :=
+        { Exp_common.label; points = List.rev !iter_points } :: !iter_series;
+      false_series :=
+        { Exp_common.label; points = List.rev !false_points } :: !false_series)
+    deltas;
+  ( {
+      Exp_common.id = "fig11";
+      title =
+        Printf.sprintf
+          "Actual iterations, extreme non-cover (k=%d, m=%d, %d runs/point)" k
+          m runs;
+      xlabel = "gap size (%)";
+      ylabel = "mean iterations";
+      series = List.rev !iter_series;
+    },
+    {
+      Exp_common.id = "fig12";
+      title = "False decisions, extreme non-cover (normalized to 3000 runs)";
+      xlabel = "gap size (%)";
+      ylabel = "false decisions / 3000 runs";
+      series = List.rev !false_series;
+    } )

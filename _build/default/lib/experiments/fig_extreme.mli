@@ -1,0 +1,21 @@
+(** Figures 11 and 12 — the extreme non-cover scenario (§6.3).
+
+    Setup: scenario 2.c with k = 50, m = 5; the gap over attribute 0
+    sweeps 0.5%..4.5% of the range; δ ∈ {1e-3, 1e-6, 1e-10};
+    the paper uses 3000 runs per point.
+
+    - Fig. 11: mean actual RSPC iterations — roughly 1/gap-fraction and
+      nearly independent of δ (the witness-hit time is geometric in the
+      true ρw, which δ does not change).
+    - Fig. 12: the number of false decisions (probabilistic YES on a
+      real non-cover), reported {e normalized to 3000 runs} so any
+      [scale] compares directly against the paper. Grows with δ,
+      shrinks with the gap; ~0 for δ ≤ 1e-6 with gaps ≥ 1%. *)
+
+val run :
+  ?scale:Exp_common.scale -> seed:int -> unit ->
+  Exp_common.figure * Exp_common.figure
+(** [(fig11, fig12)]. Uses [max (5 * scale.runs) 200] runs per point
+    (false decisions are rare events). *)
+
+val deltas : float list

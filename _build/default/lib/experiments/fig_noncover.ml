@@ -1,0 +1,98 @@
+open Probsub_core
+open Probsub_workload
+
+let delta = 1e-10
+
+let run ?(scale = Exp_common.default_scale) ~seed () =
+  let reduction_series = ref [] in
+  let d_series = ref [] in
+  let iter_series = ref [] in
+  let full_config = Engine.config ~delta () in
+  let plain_config =
+    Engine.config ~delta ~use_mcs:false ~use_fast_decisions:false
+      ~max_iterations:100_000 ()
+  in
+  List.iter
+    (fun m ->
+      let rng = Prng.of_int (seed + (1000 * m)) in
+      let red_points = ref [] in
+      let d_plain = ref [] and d_mcs = ref [] in
+      let it_plain = ref [] and it_mcs = ref [] in
+      List.iter
+        (fun k ->
+          let reductions = ref [] in
+          let log_d_plain = ref [] and log_d_mcs = ref [] in
+          let iters_plain = ref [] and iters_mcs = ref [] in
+          for _ = 1 to scale.Exp_common.runs do
+            let inst = Scenario.non_cover rng ~m ~k in
+            let table = Conflict_table.build ~s:inst.Scenario.s inst.Scenario.set in
+            let result = Mcs.run table in
+            reductions :=
+              (float_of_int (List.length result.Mcs.removed) /. float_of_int k)
+              :: !reductions;
+            log_d_plain :=
+              Engine.theoretical_log10_d ~use_mcs:false ~delta inst.Scenario.s
+                inst.Scenario.set
+              :: !log_d_plain;
+            (* An emptied candidate set needs no probabilistic trials;
+               plot it as log10(1) = 0 like the paper's Fig. 9. *)
+            let with_mcs =
+              Engine.theoretical_log10_d ~use_mcs:true ~delta inst.Scenario.s
+                inst.Scenario.set
+            in
+            log_d_mcs :=
+              (if Float.is_finite with_mcs then with_mcs else 0.0)
+              :: !log_d_mcs;
+            let report_full =
+              Engine.check ~config:full_config ~rng inst.Scenario.s
+                inst.Scenario.set
+            in
+            let report_plain =
+              Engine.check ~config:plain_config ~rng inst.Scenario.s
+                inst.Scenario.set
+            in
+            iters_mcs := float_of_int report_full.Engine.iterations :: !iters_mcs;
+            iters_plain :=
+              float_of_int report_plain.Engine.iterations :: !iters_plain
+          done;
+          let x = float_of_int k in
+          red_points := (x, Exp_common.mean !reductions) :: !red_points;
+          d_plain := (x, Exp_common.mean_finite !log_d_plain) :: !d_plain;
+          d_mcs := (x, Exp_common.mean_finite !log_d_mcs) :: !d_mcs;
+          it_plain := (x, Exp_common.mean !iters_plain) :: !it_plain;
+          it_mcs := (x, Exp_common.mean !iters_mcs) :: !it_mcs)
+        Exp_common.paper_ks;
+      let label suffix = Printf.sprintf "m=%d%s" m suffix in
+      reduction_series :=
+        { Exp_common.label = label ""; points = List.rev !red_points }
+        :: !reduction_series;
+      d_series :=
+        { Exp_common.label = label ",MCS"; points = List.rev !d_mcs }
+        :: { Exp_common.label = label ""; points = List.rev !d_plain }
+        :: !d_series;
+      iter_series :=
+        { Exp_common.label = label ",MCS"; points = List.rev !it_mcs }
+        :: { Exp_common.label = label ""; points = List.rev !it_plain }
+        :: !iter_series)
+    Exp_common.paper_ms;
+  ( {
+      Exp_common.id = "fig8";
+      title = "Subscription set reduction (non-cover scenario)";
+      xlabel = "k";
+      ylabel = "fraction of (redundant) subs removed by MCS";
+      series = List.rev !reduction_series;
+    },
+    {
+      Exp_common.id = "fig9";
+      title = "Theoretical iterations, non-cover (delta=1e-10)";
+      xlabel = "k";
+      ylabel = "log10(d)";
+      series = List.rev !d_series;
+    },
+    {
+      Exp_common.id = "fig10";
+      title = "Actual RSPC iterations, non-cover";
+      xlabel = "k";
+      ylabel = "mean iterations to answer";
+      series = List.rev !iter_series;
+    } )

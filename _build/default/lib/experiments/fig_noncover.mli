@@ -1,0 +1,21 @@
+(** Figures 8, 9 and 10 — the non-cover scenario (§6.2).
+
+    Setup: scenario 2.b instances (gap on attribute 0, so [s] is never
+    covered and the entire set is redundant), k = 10..310,
+    m = 10/15/20, δ = 1e-10.
+
+    - Fig. 8: fraction of the (all-redundant) set removed by MCS —
+      paper: 0.88..1.0, and our one-sided construction sits at the
+      asymptote ~1.0 (see EXPERIMENTS.md).
+    - Fig. 9: theoretical log10 d with and without MCS.
+    - Fig. 10: {e actual} RSPC iterations with and without MCS —
+      with MCS usually 0 (the reduced set is empty, a deterministic
+      NO), without MCS a handful (the uncovered volume is large, so a
+      witness is found almost immediately). *)
+
+val run :
+  ?scale:Exp_common.scale -> seed:int -> unit ->
+  Exp_common.figure * Exp_common.figure * Exp_common.figure
+(** [(fig8, fig9, fig10)]. *)
+
+val delta : float

@@ -1,0 +1,1 @@
+lib/workload/dist.ml: Array Float Prng Probsub_core

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Dist Float Interval List Printf Prng Probsub_core Publication Subscription

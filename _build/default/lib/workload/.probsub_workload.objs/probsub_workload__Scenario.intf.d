@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Prng Probsub_core Publication Subscription

@@ -1,0 +1,1 @@
+lib/workload/schema.ml: Array Format Interval Prng Probsub_core Subscription

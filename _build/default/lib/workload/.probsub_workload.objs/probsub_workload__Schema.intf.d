@@ -1,0 +1,1 @@
+lib/workload/schema.mli: Format Interval Prng Probsub_core Subscription

@@ -1,0 +1,62 @@
+open Probsub_core
+
+type sampler = Prng.t -> int
+
+let zipf ~n ~skew =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  if skew <= 0.0 then invalid_arg "Dist.zipf: skew must be positive";
+  (* Cumulative weights; binary search per draw. *)
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (r + 1)) skew);
+    cdf.(r) <- !total
+  done;
+  let total = !total in
+  fun rng ->
+    let u = Prng.float rng *. total in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+    in
+    search 0 (n - 1)
+
+let pareto rng ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then
+    invalid_arg "Dist.pareto: parameters must be positive";
+  let u = 1.0 -. Prng.float rng in
+  (* u in (0, 1]; inverse CDF. *)
+  scale /. Float.pow u (1.0 /. shape)
+
+let normal rng ~mean ~stddev =
+  if stddev < 0.0 then invalid_arg "Dist.normal: negative stddev";
+  (* Box–Muller; one draw per call keeps the stream layout simple. *)
+  let u1 = 1.0 -. Prng.float rng in
+  let u2 = Prng.float rng in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let normal_int rng ~mean ~stddev ~min:lo ~max:hi =
+  if lo > hi then invalid_arg "Dist.normal_int: min > max";
+  let v = int_of_float (Float.round (normal rng ~mean ~stddev)) in
+  if v < lo then lo else if v > hi then hi else v
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be positive";
+  -.log (1.0 -. Prng.float rng) /. rate
+
+let bernoulli rng ~p = Prng.float rng < p
+
+let pick rng arr =
+  if Array.length arr = 0 then invalid_arg "Dist.pick: empty array";
+  arr.(Prng.int rng (Array.length arr))
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

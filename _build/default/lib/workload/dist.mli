@@ -1,0 +1,44 @@
+(** Random distributions for workload generation (§6.4).
+
+    The comparison scenario models subscription popularity with power
+    laws: attribute selection follows a Zipf distribution (skew 2.0),
+    range centres a Pareto distribution (skew 1.0) and range sizes a
+    normal distribution — "considered good approximations of
+    popularity". All samplers draw from a caller-supplied
+    {!Probsub_core.Prng.t} for reproducibility. *)
+
+type sampler = Probsub_core.Prng.t -> int
+(** A sampler producing an integer per draw. *)
+
+val zipf : n:int -> skew:float -> sampler
+(** [zipf ~n ~skew] samples ranks in [0, n-1] with
+    [P(r) ∝ 1/(r+1)^skew]. The CDF is precomputed once, draws are
+    O(log n). @raise Invalid_argument if [n <= 0] or [skew <= 0]. *)
+
+val pareto : Probsub_core.Prng.t -> scale:float -> shape:float -> float
+(** Pareto(scale, shape) via inverse transform: values >= [scale],
+    heavy upper tail; smaller [shape] (the paper's "skew") means a
+    heavier tail. @raise Invalid_argument on non-positive parameters. *)
+
+val normal : Probsub_core.Prng.t -> mean:float -> stddev:float -> float
+(** Gaussian via Box–Muller. [stddev >= 0]. *)
+
+val normal_int :
+  Probsub_core.Prng.t -> mean:float -> stddev:float -> min:int -> max:int ->
+  int
+(** A rounded normal draw clamped to [min, max] — the paper's "range
+    sizes are generated with a normal distribution" needs positive
+    integer widths. @raise Invalid_argument if [min > max]. *)
+
+val exponential : Probsub_core.Prng.t -> rate:float -> float
+(** Exponential inter-arrival times for the simulator's open workloads.
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val bernoulli : Probsub_core.Prng.t -> p:float -> bool
+(** True with probability [p]. *)
+
+val pick : Probsub_core.Prng.t -> 'a array -> 'a
+(** Uniform choice. @raise Invalid_argument on an empty array. *)
+
+val shuffle : Probsub_core.Prng.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

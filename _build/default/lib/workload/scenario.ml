@@ -1,0 +1,318 @@
+open Probsub_core
+
+type instance = {
+  s : Subscription.t;
+  set : Subscription.t array;
+  redundant : bool array;
+  covered : bool;
+}
+
+let domain_width = 1000
+let s_lo = 250
+let s_hi = 749
+let iv lo hi = Interval.make ~lo ~hi
+
+(* The tested subscription: [250, 749] on every attribute. *)
+let tested_subscription m =
+  Subscription.make (Array.make m (iv s_lo s_hi))
+
+(* A range covering [s_lo, s_hi] with a little random slack so that
+   generated subscriptions are not all structurally identical. *)
+let covering_range rng =
+  iv (s_lo - 1 - Prng.int rng 20) (s_hi + 1 + Prng.int rng 20)
+
+(* A strict sub-range of s on one attribute, wide enough to overlap
+   substantially ([width >= 50]) but never the whole of s. *)
+let cutting_range rng =
+  let width = 50 + Prng.int rng 300 in
+  let lo = Prng.int_in rng ~lo:(s_lo + 1) ~hi:(s_hi - width) in
+  iv lo (lo + width - 1)
+
+(* A one-sided partial cover of s on one attribute: a prefix
+   [<= s_lo, y] or a suffix [x, >= s_hi]. Which side is canonical is a
+   function of the attribute, with a small deviation rate: rows cutting
+   the same attribute on the same side produce same-side conflict-table
+   cells, which never conflict with each other, so MCS can recognize
+   the redundancy; deviants introduce the occasional conflict that
+   keeps the reduction below 100% (the Fig. 6 dips). *)
+let one_sided_cut rng ~attr ~deviate_p =
+  let canonical_suffix = attr mod 2 = 0 in
+  let suffix =
+    if Prng.float rng < deviate_p then not canonical_suffix
+    else canonical_suffix
+  in
+  let split = Prng.int_in rng ~lo:(s_lo + 50) ~hi:(s_hi - 50) in
+  if suffix then iv split (s_hi + 1 + Prng.int rng 20)
+  else iv (s_lo - 1 - Prng.int rng 20) split
+
+let check_mk ~m ~k ~min_k name =
+  if m < 1 then invalid_arg (name ^ ": m < 1");
+  if k < min_k then
+    invalid_arg (Printf.sprintf "%s: k = %d < %d" name k min_k)
+
+(* ------------------------------------------------------------------ *)
+(* 1.a Pairwise covering *)
+
+let pairwise_covering rng ~m ~k =
+  check_mk ~m ~k ~min_k:1 "Scenario.pairwise_covering";
+  let s = tested_subscription m in
+  let coverer_at = Prng.int rng k in
+  let sub i =
+    if i = coverer_at then
+      Subscription.make (Array.init m (fun _ -> covering_range rng))
+    else begin
+      (* Random partial overlap: cut one or two attributes. *)
+      let ranges = Array.init m (fun _ -> covering_range rng) in
+      let cuts = 1 + Prng.int rng 2 in
+      for _ = 1 to cuts do
+        ranges.(Prng.int rng m) <- cutting_range rng
+      done;
+      Subscription.make ranges
+    end
+  in
+  {
+    s;
+    set = Array.init k sub;
+    redundant = Array.init k (fun i -> i <> coverer_at);
+    covered = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 1.b Redundant covering: 20% core slabs + 80% partial covers *)
+
+let core_slabs rng ~m ~count =
+  (* Overlapping slabs along attribute 0 that jointly (but never
+     singly) cover s. *)
+  let width = s_hi - s_lo + 1 in
+  let step = width / count in
+  Array.init count (fun i ->
+      let lo = if i = 0 then s_lo - 1 - Prng.int rng 10 else s_lo + (i * step) - 1 - Prng.int rng 10 in
+      let hi =
+        if i = count - 1 then s_hi + 1 + Prng.int rng 10
+        else s_lo + ((i + 1) * step) + Prng.int rng 10
+      in
+      let ranges = Array.init m (fun _ -> covering_range rng) in
+      ranges.(0) <- iv lo hi;
+      Subscription.make ranges)
+
+let redundant_covering rng ~m ~k =
+  check_mk ~m ~k ~min_k:5 "Scenario.redundant_covering";
+  let s = tested_subscription m in
+  let core_count = max 2 (k / 5) in
+  let core = core_slabs rng ~m ~count:core_count in
+  let partial _ =
+    let ranges = Array.init m (fun _ -> covering_range rng) in
+    let cuts = 1 + Prng.int rng 2 in
+    for _ = 1 to cuts do
+      let attr = Prng.int rng m in
+      ranges.(attr) <- one_sided_cut rng ~attr ~deviate_p:0.03
+    done;
+    Subscription.make ranges
+  in
+  let set =
+    Array.init k (fun i ->
+        if i < core_count then core.(i) else partial i)
+  in
+  {
+    s;
+    set;
+    redundant = Array.init k (fun i -> i >= core_count);
+    covered = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 2.a No intersection *)
+
+let no_intersection rng ~m ~k =
+  check_mk ~m ~k ~min_k:1 "Scenario.no_intersection";
+  let s = tested_subscription m in
+  let sub _ =
+    let ranges =
+      Array.init m (fun _ ->
+          let width = 20 + Prng.int rng 200 in
+          let lo = Prng.int rng (domain_width - width) in
+          iv lo (lo + width - 1))
+    in
+    (* Force disjointness on one random attribute: place the range
+       entirely below or above s there. *)
+    let attr = Prng.int rng m in
+    let below = Prng.bool rng in
+    let width = 20 + Prng.int rng 150 in
+    ranges.(attr) <-
+      (if below then
+         let hi = Prng.int_in rng ~lo:width ~hi:(s_lo - 1) in
+         iv (hi - width + 1) hi
+       else
+         let lo = Prng.int_in rng ~lo:(s_hi + 1) ~hi:(domain_width - width) in
+         iv lo (lo + width - 1));
+    Subscription.make ranges
+  in
+  {
+    s;
+    set = Array.init k sub;
+    redundant = Array.make k true;
+    covered = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 2.b Non-cover: every subscription avoids a small gap on attribute 0 *)
+
+let non_cover rng ~m ~k =
+  check_mk ~m ~k ~min_k:1 "Scenario.non_cover";
+  let s = tested_subscription m in
+  (* Gap of 1% of the domain, centred in s's attribute-0 range. *)
+  let gap_width = domain_width / 100 in
+  let gap_lo = ((s_lo + s_hi) / 2) - (gap_width / 2) in
+  let gap_hi = gap_lo + gap_width - 1 in
+  let sub _ =
+    let ranges = Array.init m (fun _ -> covering_range rng) in
+    (* Each row spans its whole side of the gap on attribute 0. The
+       resulting cells (strip [gap, s_hi] on the low side, [s_lo, gap]
+       on the high side) overlap across sides, hence never conflict —
+       MCS recognizes every row as redundant, which is the Fig. 8-10
+       behaviour ("the whole set is actually redundant"). *)
+    let below = Prng.bool rng in
+    ranges.(0) <-
+      (if below then iv (s_lo - 1 - Prng.int rng 10) (gap_lo - 1)
+       else iv (gap_hi + 1) (s_hi + 1 + Prng.int rng 10));
+    (* Sparse random coverage on the other attributes ("the values over
+       the other attributes are generated randomly"): each subscription
+       covers only a small cell of s, so without MCS a point witness is
+       found within a few draws (Fig. 10's flat low curves). The
+       attribute-0 cells stay conflict-free whatever happens here, so
+       MCS still removes every row. *)
+    for attr = 1 to m - 1 do
+      if Prng.float rng < 0.75 then ranges.(attr) <- cutting_range rng
+    done;
+    Subscription.make ranges
+  in
+  {
+    s;
+    set = Array.init k sub;
+    redundant = Array.make k true;
+    covered = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 2.c Extreme non-cover *)
+
+let extreme_non_cover ?(stagger_min = 1.0) ?(stagger_spread = 110) rng ~m ~k
+    ~gap_fraction =
+  check_mk ~m ~k ~min_k:4 "Scenario.extreme_non_cover";
+  if not (gap_fraction > 0.0 && gap_fraction < 0.5) then
+    invalid_arg "Scenario.extreme_non_cover: gap_fraction outside (0, 0.5)";
+  if not (stagger_min >= 1.0 && stagger_spread >= 0) then
+    invalid_arg "Scenario.extreme_non_cover: bad stagger bounds";
+  let s = tested_subscription m in
+  let width = s_hi - s_lo + 1 in
+  let gap_width = max 1 (int_of_float (Float.round (gap_fraction *. float_of_int width))) in
+  let gap_lo = ((s_lo + s_hi) / 2) - (gap_width / 2) in
+  let gap_hi = gap_lo + gap_width - 1 in
+  (* Staggered offsets in [stagger_min * gap, stagger_min * gap +
+     stagger_spread]: Algorithm 2's smallest strip is the smallest
+     offset, so the ρw estimate overshoots the true gap fraction by an
+     additive margin of roughly stagger_spread/k. The margin matters
+     relatively more for narrow gaps, which is what makes the Fig. 12
+     false-decision counts decrease with the gap size. *)
+  let stagger () =
+    let lo = int_of_float (Float.round (stagger_min *. float_of_int gap_width)) in
+    lo + Prng.int rng (stagger_spread + 1)
+  in
+  let full_other_attrs () =
+    Array.init m (fun j -> if j = 0 then iv 0 0 else covering_range rng)
+  in
+  let sub i =
+    let ranges = full_other_attrs () in
+    ranges.(0) <-
+      (if i = 0 then
+         (* Full low side: guarantees coverage of [s_lo, gap_lo - 1]. *)
+         iv (s_lo - 1 - Prng.int rng 5) (gap_lo - 1)
+       else if i = 1 then
+         (* Full high side. *)
+         iv (gap_hi + 1) (s_hi + 1 + Prng.int rng 5)
+       else if i mod 2 = 0 then
+         (* Staggered low side: the short prefix strip [s_lo, a-1]
+            conflicts with high strips, keeping MCS honest. *)
+         let a = min (gap_lo - 2) (s_lo + stagger ()) in
+         iv a (gap_lo - 1)
+       else
+         (* Staggered high side, stopping short of s's right edge. *)
+         let b = max (gap_hi + 2) (s_hi - stagger ()) in
+         iv (gap_hi + 1) b);
+    Subscription.make ranges
+  in
+  {
+    s;
+    set = Array.init k sub;
+    redundant = Array.make k true;
+    covered = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Comparison stream (§6.4) *)
+
+type comparison_params = {
+  attrs_per_sub_min : int;
+  attrs_per_sub_max : int;
+  zipf_skew : float;
+  pareto_shape : float;
+  centre_scale : float;
+  width_mean : float;
+  width_stddev : float;
+}
+
+let default_comparison =
+  {
+    attrs_per_sub_min = 2;
+    attrs_per_sub_max = 5;
+    zipf_skew = 2.0;
+    pareto_shape = 1.0;
+    centre_scale = 60.0;
+    width_mean = 320.0;
+    width_stddev = 160.0;
+  }
+
+let comparison_stream ?(params = default_comparison) rng ~m ~n =
+  if m < 1 then invalid_arg "Scenario.comparison_stream: m < 1";
+  if n < 0 then invalid_arg "Scenario.comparison_stream: n < 0";
+  let zipf = Dist.zipf ~n:m ~skew:params.zipf_skew in
+  let gen_sub () =
+    let ranges = Array.make m Interval.full in
+    let wanted =
+      min m
+        (Prng.int_in rng ~lo:params.attrs_per_sub_min
+           ~hi:params.attrs_per_sub_max)
+    in
+    let constrained = ref 0 in
+    (* Zipf draws with rejection of duplicates; popular attributes end
+       up constrained by most subscriptions. *)
+    let guard = ref 0 in
+    while !constrained < wanted && !guard < 50 * m do
+      incr guard;
+      let attr = zipf rng in
+      if Interval.is_full ranges.(attr) then begin
+        incr constrained;
+        (* Pareto-clustered centre: interests concentrate near the low
+           end of the domain. *)
+        let raw = Dist.pareto rng ~scale:1.0 ~shape:params.pareto_shape in
+        let centre =
+          min (domain_width - 1)
+            (int_of_float ((raw -. 1.0) *. params.centre_scale))
+        in
+        let width =
+          Dist.normal_int rng ~mean:params.width_mean
+            ~stddev:params.width_stddev ~min:10 ~max:(domain_width - 1)
+        in
+        let lo = max 0 (centre - (width / 2)) in
+        let hi = min (domain_width - 1) (lo + width - 1) in
+        ranges.(attr) <- iv lo hi
+      end
+    done;
+    Subscription.make ranges
+  in
+  List.init n (fun _ -> gen_sub ())
+
+let random_matching_publication rng s =
+  Publication.point
+    (Array.init (Subscription.arity s) (fun j ->
+         Prng.in_interval rng (Subscription.range s j)))

@@ -1,0 +1,89 @@
+(** Subscription-generation scenarios of the evaluation (§6).
+
+    Each generator produces a {!instance}: a tested subscription [s], a
+    set [S] and ground truth known {e by construction} (no oracle call
+    needed at experiment scale). The common space is [m] attributes with
+    domain [0, 999]; [s] spans [250, 749] on every attribute (existing
+    subscriptions may stick out of the domain — the paper's
+    [(-inf, +inf)] bounds make that harmless).
+
+    - {b 1.a pairwise covering}: some single [si] covers [s].
+    - {b 1.b redundant covering}: the first ~20% of [S] jointly cover
+      [s] (slabs along attribute 0, full coverage elsewhere); the
+      remaining ~80% only partly cover [s] and are redundant.
+    - {b 2.a no intersection}: no [si] intersects [s].
+    - {b 2.b non-cover}: every [si] avoids a small gap on attribute 0,
+      so [s] is never covered and the whole set is redundant.
+    - {b 2.c extreme non-cover}: [S] covers [s] entirely except a
+      narrow gap of a configurable fraction of attribute 0; staggered
+      ranges around the gap keep MCS from trivializing the instance, so
+      RSPC must genuinely hunt for the gap.
+    - {b comparison}: an open stream with Zipf(2.0) attribute
+      popularity, Pareto(1.0) range centres and normally distributed
+      range widths (§6.4). *)
+
+open Probsub_core
+
+type instance = {
+  s : Subscription.t;  (** The tested subscription. *)
+  set : Subscription.t array;  (** The existing set [S]. *)
+  redundant : bool array;
+      (** Per-row flag: generated as redundant (removable without
+          changing the answer). Same length as [set]. *)
+  covered : bool;  (** Ground truth of [s ⊑ ∨ S], by construction. *)
+}
+
+val domain_width : int
+(** Width of each attribute domain (1000). *)
+
+val pairwise_covering : Prng.t -> m:int -> k:int -> instance
+(** Scenario 1.a. @raise Invalid_argument if [m < 1 || k < 1]. *)
+
+val redundant_covering : Prng.t -> m:int -> k:int -> instance
+(** Scenario 1.b. Requires [k >= 5] so the 20% core has >= 2 slabs.
+    @raise Invalid_argument otherwise. *)
+
+val no_intersection : Prng.t -> m:int -> k:int -> instance
+(** Scenario 2.a. *)
+
+val non_cover : Prng.t -> m:int -> k:int -> instance
+(** Scenario 2.b: 1%-of-domain gap on attribute 0. *)
+
+val extreme_non_cover :
+  ?stagger_min:float -> ?stagger_spread:int -> Prng.t -> m:int -> k:int ->
+  gap_fraction:float -> instance
+(** Scenario 2.c. [gap_fraction] is the uncovered share of attribute
+    0's range (the paper sweeps 0.005 to 0.045). The staggered ranges
+    around the gap have offsets drawn from
+    [stagger_min * gap, stagger_min * gap + stagger_spread] (defaults
+    1.0 and 110): they keep MCS from discarding the instance and
+    control how much Algorithm 2's ρw estimate overshoots the true
+    witness probability — an additive margin that bites relatively
+    harder on narrow gaps, reproducing Fig. 12's decay. Requires
+    [k >= 4]. @raise Invalid_argument if the fraction is outside
+    (0, 0.5), [stagger_min < 1] or [stagger_spread < 0]. *)
+
+type comparison_params = {
+  attrs_per_sub_min : int;  (** Constrained attributes, lower bound. *)
+  attrs_per_sub_max : int;
+  zipf_skew : float;  (** Attribute popularity (paper: 2.0). *)
+  pareto_shape : float;  (** Range-centre skew (paper: 1.0). *)
+  centre_scale : float;  (** Domain units per Pareto unit: smaller
+                             values cluster interests harder. *)
+  width_mean : float;  (** Mean range width (domain units). *)
+  width_stddev : float;
+}
+
+val default_comparison : comparison_params
+
+val comparison_stream :
+  ?params:comparison_params -> Prng.t -> m:int -> n:int ->
+  Subscription.t list
+(** Scenario (1-2): [n] incoming subscriptions over [m] attributes,
+    popularity-skewed as in §6.4. Unconstrained attributes carry the
+    full range. *)
+
+val random_matching_publication :
+  Prng.t -> Subscription.t -> Publication.t
+(** A publication drawn uniformly inside a subscription — used by the
+    broker experiments to create matchable traffic. *)

@@ -1,0 +1,39 @@
+open Probsub_core
+
+type t = Interval.t array
+
+let make domains =
+  if Array.length domains = 0 then invalid_arg "Schema.make: empty";
+  Array.copy domains
+
+let uniform ~arity ~lo ~hi =
+  if arity < 1 then invalid_arg "Schema.uniform: arity < 1";
+  make (Array.make arity (Interval.make ~lo ~hi))
+
+let arity = Array.length
+
+let domain t j =
+  if j < 0 || j >= Array.length t then invalid_arg "Schema.domain: attribute";
+  t.(j)
+
+let space t = Subscription.make (Array.copy t)
+
+let random_point rng t = Array.map (fun d -> Prng.in_interval rng d) t
+
+let random_box rng t ~min_width ~max_width =
+  if min_width < 1 || min_width > max_width then
+    invalid_arg "Schema.random_box: bad width bounds";
+  Subscription.make
+    (Array.map
+       (fun d ->
+         let w = min (Interval.width d) (Prng.int_in rng ~lo:min_width ~hi:max_width) in
+         let lo = Prng.int_in rng ~lo:(Interval.lo d) ~hi:(Interval.hi d - w + 1) in
+         Interval.make ~lo ~hi:(lo + w - 1))
+       t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>schema(%a)@]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Interval.pp)
+    t

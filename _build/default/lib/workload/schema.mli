@@ -1,0 +1,33 @@
+(** Attribute schemas: the finite ordered domains subscriptions range
+    over (§3: "attribute values are elements from (ordered) finite
+    sets"). A schema fixes [m] and one domain interval per attribute;
+    generators draw subscriptions and publications inside it. *)
+
+open Probsub_core
+
+type t
+
+val make : Interval.t array -> t
+(** One domain per attribute. @raise Invalid_argument on empty. *)
+
+val uniform : arity:int -> lo:int -> hi:int -> t
+(** [uniform ~arity ~lo ~hi] gives every attribute the domain
+    [lo, hi]. *)
+
+val arity : t -> int
+val domain : t -> int -> Interval.t
+
+val space : t -> Subscription.t
+(** The whole attribute space as a subscription (every domain in
+    full). *)
+
+val random_point : Prng.t -> t -> int array
+(** A uniform point of the space — a random publication. *)
+
+val random_box : Prng.t -> t -> min_width:int -> max_width:int -> Subscription.t
+(** A random box: per attribute, a width drawn uniformly from
+    [min_width, max_width] (clamped to the domain) placed uniformly
+    inside the domain. @raise Invalid_argument if
+    [min_width < 1 || min_width > max_width]. *)
+
+val pp : Format.formatter -> t -> unit

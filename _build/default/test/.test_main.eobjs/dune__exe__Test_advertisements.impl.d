@@ -1,0 +1,1 @@
+test/test_advertisements.ml: Alcotest Broker_node List Metrics Network Printf Prng Probsub_broker Probsub_core Publication Subscription Subscription_store Topology

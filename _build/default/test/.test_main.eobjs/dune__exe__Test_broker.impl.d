@@ -1,0 +1,1 @@
+test/test_broker.ml: Alcotest Broker_node Chain_model Float List Metrics Network Printf Prng Probsub_broker Probsub_core Publication Subscription Subscription_store Topology

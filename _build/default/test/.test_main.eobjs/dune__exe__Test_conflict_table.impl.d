@@ -1,0 +1,1 @@
+test/test_conflict_table.ml: Alcotest Array Conflict_table Interval List Option Probsub_core Subscription

@@ -1,0 +1,1 @@
+test/test_counting_matcher.ml: Alcotest Array Counting_matcher Hashtbl Int Interval List Prng Probsub_core Publication Subscription

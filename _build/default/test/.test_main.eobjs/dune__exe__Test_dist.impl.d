@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dist Float Int Printf Prng Probsub_core Probsub_workload

@@ -1,0 +1,1 @@
+test/test_domain_codec.ml: Alcotest Domain_codec Format Interval List Probsub_core Publication Subscription

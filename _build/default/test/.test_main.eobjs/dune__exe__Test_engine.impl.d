@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Exact Interval List Prng Probsub_core Publication Subscription Witness

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Event_queue Float List Option Probsub_broker Probsub_core

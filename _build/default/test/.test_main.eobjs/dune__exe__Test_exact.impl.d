@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Exact Interval List Option Prng Probsub_core Rspc Subscription

@@ -1,0 +1,1 @@
+test/test_fast_decision.ml: Alcotest Array Conflict_table Fast_decision Probsub_core Subscription Witness

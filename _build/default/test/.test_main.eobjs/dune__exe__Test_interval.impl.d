@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Interval Option Probsub_core

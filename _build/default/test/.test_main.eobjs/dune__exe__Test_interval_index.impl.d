@@ -1,0 +1,1 @@
+test/test_interval_index.ml: Alcotest Int Interval Interval_index List Prng Probsub_core

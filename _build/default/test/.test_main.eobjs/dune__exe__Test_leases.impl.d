@@ -1,0 +1,1 @@
+test/test_leases.ml: Alcotest Engine Float Int List Probsub_core Publication Subscription Subscription_store

@@ -1,0 +1,1 @@
+test/test_mcs.ml: Alcotest Array Conflict_table Exact Interval List Mcs Prng Probsub_core Subscription

@@ -1,0 +1,1 @@
+test/test_merging.ml: Alcotest List Merging Option Probsub_core Subscription

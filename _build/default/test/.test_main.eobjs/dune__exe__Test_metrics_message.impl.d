@@ -1,0 +1,1 @@
+test/test_metrics_message.ml: Alcotest Format List Message Metrics Network Probsub_broker Probsub_core Publication String Subscription Topology

@@ -1,0 +1,1 @@
+test/test_pairwise.ml: Alcotest Exact Pairwise Probsub_core Subscription

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Array Conflict_table Engine Exact Interval List Mcs Pairwise Prng Probsub_core Publication Subscription

@@ -1,0 +1,1 @@
+test/test_poset.ml: Alcotest Hashtbl Int List Poset Prng Probsub_core Subscription

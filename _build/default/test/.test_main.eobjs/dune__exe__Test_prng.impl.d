@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Interval Prng Probsub_core

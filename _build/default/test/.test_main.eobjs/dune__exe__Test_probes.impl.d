@@ -1,0 +1,1 @@
+test/test_probes.ml: Alcotest Array Conflict_table Engine Exact Interval List Option Prng Probes Probsub_core Probsub_workload Subscription Witness

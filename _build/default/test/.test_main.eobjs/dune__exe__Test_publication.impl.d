@@ -1,0 +1,1 @@
+test/test_publication.ml: Alcotest Array Probsub_core Publication Subscription

@@ -1,0 +1,1 @@
+test/test_rho.ml: Alcotest Array Conflict_table List Printf Probsub_core Rho Subscription

@@ -1,0 +1,1 @@
+test/test_rspc.ml: Alcotest Float Printf Prng Probsub_core Rho Rspc Subscription

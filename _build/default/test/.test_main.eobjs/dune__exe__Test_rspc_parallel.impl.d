@@ -1,0 +1,1 @@
+test/test_rspc_parallel.ml: Alcotest List Printf Prng Probsub_core Rspc Rspc_parallel Subscription

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Exact Float Interval List Option Pairwise Printf Prng Probsub_core Probsub_workload Publication Rspc Scenario Subscription

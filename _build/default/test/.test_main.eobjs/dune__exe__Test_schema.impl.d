@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Interval Prng Probsub_core Probsub_workload Schema Subscription

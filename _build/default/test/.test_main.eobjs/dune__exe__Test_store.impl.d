@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Engine List Printf Prng Probsub_core Publication Subscription Subscription_store

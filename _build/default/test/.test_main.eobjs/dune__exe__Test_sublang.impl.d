@@ -1,0 +1,1 @@
+test/test_sublang.ml: Alcotest Char Domain_codec Interval List Printf Prng Probsub_core Publication Result String Sublang Subscription

@@ -1,0 +1,1 @@
+test/test_subscription.ml: Alcotest Array Interval List Option Probsub_core Subscription

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest List Probsub_broker Probsub_core Topology

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Fun List Network Prng Probsub_broker Probsub_core Subscription_store Sys Topology Trace

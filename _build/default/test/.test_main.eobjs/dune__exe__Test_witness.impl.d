@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Array Conflict_table Option Probsub_core Subscription Witness

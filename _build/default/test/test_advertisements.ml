@@ -1,0 +1,203 @@
+open Probsub_core
+open Probsub_broker
+
+let sub = Subscription.of_bounds
+
+let make_net topology =
+  Network.create ~policy:Subscription_store.Pairwise_policy
+    ~use_advertisements:true ~topology ~arity:2 ~seed:13 ()
+
+let test_subscription_held_without_ads () =
+  (* In advertisement mode a subscription stays at its broker until a
+     publisher announces intersecting content. *)
+  let net = make_net (Topology.chain 4) in
+  ignore (Network.subscribe net ~broker:0 ~client:1 (sub [ (0, 9); (0, 9) ]));
+  Network.run net;
+  Alcotest.(check int) "no subscribe traffic" 0
+    (Network.metrics net).Metrics.subscribe_msgs;
+  Alcotest.(check bool) "neighbour does not know it" false
+    (Broker_node.knows_subscription (Network.broker net 1) ~key:0)
+
+let test_ad_first_then_subscribe () =
+  let net = make_net (Topology.chain 4) in
+  (* Publisher at the far end declares the box it publishes into. *)
+  ignore (Network.advertise net ~broker:3 ~client:9 (sub [ (0, 50); (0, 50) ]));
+  Network.run net;
+  Alcotest.(check int) "ad flooded over 3 links" 3
+    (Network.metrics net).Metrics.advertise_msgs;
+  (* Now a subscriber: the subscription is routed toward the publisher. *)
+  ignore (Network.subscribe net ~broker:0 ~client:1 (sub [ (0, 9); (0, 9) ]));
+  Network.run net;
+  Alcotest.(check int) "subscription follows the ad path" 3
+    (Network.metrics net).Metrics.subscribe_msgs;
+  ignore (Network.publish net ~broker:3 (Publication.of_list [ 5; 5 ]));
+  Network.run net;
+  Alcotest.(check int) "delivered" 1
+    (List.length (Network.notifications net))
+
+let test_subscribe_first_then_ad () =
+  (* The retroactive path: a subscription waits; a later advertisement
+     opens the route and the pending subscription is offered along it. *)
+  let net = make_net (Topology.chain 4) in
+  ignore (Network.subscribe net ~broker:0 ~client:1 (sub [ (0, 9); (0, 9) ]));
+  Network.run net;
+  Alcotest.(check int) "held back" 0
+    (Network.metrics net).Metrics.subscribe_msgs;
+  ignore (Network.advertise net ~broker:3 ~client:9 (sub [ (0, 50); (0, 50) ]));
+  Network.run net;
+  Alcotest.(check int) "subscription released by the ad" 3
+    (Network.metrics net).Metrics.subscribe_msgs;
+  ignore (Network.publish net ~broker:3 (Publication.of_list [ 5; 5 ]));
+  Network.run net;
+  Alcotest.(check int) "delivered after late ad" 1
+    (List.length (Network.notifications net))
+
+let test_non_intersecting_ad_opens_nothing () =
+  let net = make_net (Topology.chain 3) in
+  ignore (Network.subscribe net ~broker:0 ~client:1 (sub [ (0, 9); (0, 9) ]));
+  ignore (Network.advertise net ~broker:2 ~client:9 (sub [ (50, 90); (50, 90) ]));
+  Network.run net;
+  Alcotest.(check int) "disjoint ad releases nothing" 0
+    (Network.metrics net).Metrics.subscribe_msgs
+
+let test_directional_routing () =
+  (* A star: the subscription must go only towards the advertising
+     leaf, not to the silent ones. *)
+  let net = make_net (Topology.star 5) in
+  ignore (Network.advertise net ~broker:3 ~client:9 (sub [ (0, 99); (0, 99) ]));
+  Network.run net;
+  ignore (Network.subscribe net ~broker:1 ~client:1 (sub [ (0, 9); (0, 9) ]));
+  Network.run net;
+  (* Path: leaf 1 -> hub 0 -> leaf 3. Two subscribe messages. *)
+  Alcotest.(check int) "only the advertised direction" 2
+    (Network.metrics net).Metrics.subscribe_msgs;
+  Alcotest.(check bool) "advertising leaf knows it" true
+    (Broker_node.knows_subscription (Network.broker net 3) ~key:0);
+  Alcotest.(check bool) "silent leaf does not" false
+    (Broker_node.knows_subscription (Network.broker net 2) ~key:0)
+
+let test_covering_still_applies () =
+  (* Advertisement routing composes with covering: the second (covered)
+     subscription is still suppressed. *)
+  let net = make_net (Topology.chain 3) in
+  ignore (Network.advertise net ~broker:2 ~client:9 (sub [ (0, 99); (0, 99) ]));
+  Network.run net;
+  ignore (Network.subscribe net ~broker:0 ~client:1 (sub [ (0, 50); (0, 50) ]));
+  Network.run net;
+  let first = (Network.metrics net).Metrics.subscribe_msgs in
+  ignore (Network.subscribe net ~broker:0 ~client:2 (sub [ (10, 20); (10, 20) ]));
+  Network.run net;
+  Alcotest.(check int) "covered subscription suppressed" first
+    (Network.metrics net).Metrics.subscribe_msgs
+
+let test_unadvertise_floods () =
+  let net = make_net (Topology.chain 3) in
+  let key = Network.advertise net ~broker:2 ~client:9 (sub [ (0, 99); (0, 99) ]) in
+  Network.run net;
+  Alcotest.(check bool) "ad known remotely" true
+    (Broker_node.knows_advertisement (Network.broker net 0) ~key);
+  Network.unadvertise net ~broker:2 ~client:9 ~key;
+  Network.run net;
+  Alcotest.(check bool) "ad withdrawn remotely" false
+    (Broker_node.knows_advertisement (Network.broker net 0) ~key)
+
+let test_ads_reduce_traffic_on_tree () =
+  (* A wide tree with one publisher region: advertisement routing
+     should touch far fewer links than flooding. *)
+  let topo = Topology.balanced_tree ~branching:3 ~depth:3 (* 40 nodes *) in
+  let run_mode use_advertisements =
+    let net =
+      Network.create ~policy:Subscription_store.Pairwise_policy
+        ~use_advertisements ~topology:topo ~arity:2 ~seed:3 ()
+    in
+    if use_advertisements then begin
+      ignore (Network.advertise net ~broker:39 ~client:9 (sub [ (0, 99); (0, 99) ]));
+      Network.run net
+    end;
+    let rng = Prng.of_int 5 in
+    for i = 1 to 30 do
+      let lo1 = Prng.int rng 50 and lo2 = Prng.int rng 50 in
+      ignore
+        (Network.subscribe net ~broker:(i mod 40) ~client:i
+           (sub [ (lo1, lo1 + 10); (lo2, lo2 + 10) ]))
+    done;
+    Network.run net;
+    (* Publications from the publisher must still reach everyone
+       expected. *)
+    let lost = ref 0 in
+    for _ = 1 to 20 do
+      let p = Publication.of_list [ Prng.int rng 60; Prng.int rng 60 ] in
+      let expected = List.length (Network.expected_recipients net p) in
+      let before = (Network.metrics net).Metrics.notifications in
+      ignore (Network.publish net ~broker:39 p);
+      Network.run net;
+      lost := !lost + expected - ((Network.metrics net).Metrics.notifications - before)
+    done;
+    ((Network.metrics net).Metrics.subscribe_msgs, !lost)
+  in
+  let flood_msgs, flood_lost = run_mode false in
+  let ad_msgs, ad_lost = run_mode true in
+  Alcotest.(check int) "flooding is lossless" 0 flood_lost;
+  Alcotest.(check int) "advertised routing is lossless" 0 ad_lost;
+  Alcotest.(check bool)
+    (Printf.sprintf "ads reduce subscription traffic (%d -> %d)" flood_msgs
+       ad_msgs)
+    true
+    (ad_msgs < flood_msgs / 2)
+
+let test_randomized_ads_lossless () =
+  (* Random topologies, random advertised regions covering the whole
+     publication space between them: advertisement routing must remain
+     lossless under the pairwise policy. *)
+  let rng = Prng.of_int 61 in
+  for _ = 1 to 8 do
+    let topo = Topology.random_connected rng ~n:10 ~extra_edges:3 in
+    let net =
+      Network.create ~policy:Subscription_store.Pairwise_policy
+        ~use_advertisements:true ~topology:topo ~arity:2 ~seed:2 ()
+    in
+    (* Publishers split the space into advertised halves. *)
+    let pub_a = Prng.int rng 10 and pub_b = Prng.int rng 10 in
+    ignore (Network.advertise net ~broker:pub_a ~client:90 (sub [ (0, 49); (0, 99) ]));
+    ignore (Network.advertise net ~broker:pub_b ~client:91 (sub [ (50, 99); (0, 99) ]));
+    Network.run net;
+    for i = 1 to 25 do
+      let lo1 = Prng.int rng 80 and lo2 = Prng.int rng 80 in
+      ignore
+        (Network.subscribe net ~broker:(i mod 10) ~client:i
+           (sub [ (lo1, lo1 + 3 + Prng.int rng 19); (lo2, lo2 + 3 + Prng.int rng 19) ]))
+    done;
+    Network.run net;
+    for _ = 1 to 30 do
+      let x = Prng.int rng 100 in
+      let p = Publication.of_list [ x; Prng.int rng 100 ] in
+      (* Publishers publish inside their own advertisement — the
+         advertisement contract routing correctness relies on. *)
+      let home = if x <= 49 then pub_a else pub_b in
+      let expected = List.length (Network.expected_recipients net p) in
+      let before = (Network.metrics net).Metrics.notifications in
+      ignore (Network.publish net ~broker:home p);
+      Network.run net;
+      let got = (Network.metrics net).Metrics.notifications - before in
+      Alcotest.(check int) "advertised routing is lossless" expected got
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "held without ads" `Quick
+      test_subscription_held_without_ads;
+    Alcotest.test_case "ad then subscribe" `Quick test_ad_first_then_subscribe;
+    Alcotest.test_case "subscribe then ad (retroactive)" `Quick
+      test_subscribe_first_then_ad;
+    Alcotest.test_case "disjoint ads open nothing" `Quick
+      test_non_intersecting_ad_opens_nothing;
+    Alcotest.test_case "directional routing" `Quick test_directional_routing;
+    Alcotest.test_case "composes with covering" `Quick
+      test_covering_still_applies;
+    Alcotest.test_case "unadvertise floods" `Quick test_unadvertise_floods;
+    Alcotest.test_case "traffic reduction on a tree" `Quick
+      test_ads_reduce_traffic_on_tree;
+    Alcotest.test_case "randomized lossless routing" `Slow
+      test_randomized_ads_lossless;
+  ]

@@ -1,0 +1,152 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+
+let table s subs = Conflict_table.build ~s (Array.of_list subs)
+
+let test_dimensions () =
+  let t =
+    table (sub [ (0, 9); (0, 9) ]) [ sub [ (0, 9); (0, 9) ]; sub [ (1, 2); (3, 4) ] ]
+  in
+  Alcotest.(check int) "rows" 2 (Conflict_table.rows t);
+  Alcotest.(check int) "arity" 2 (Conflict_table.arity t)
+
+let test_definitions () =
+  (* s = [0,9]; si = [3,7]: both negations satisfiable on the attribute. *)
+  let t = table (sub [ (0, 9) ]) [ sub [ (3, 7) ] ] in
+  (match Conflict_table.cell t ~row:0 ~attr:0 ~side:Conflict_table.Low with
+  | Conflict_table.Defined { bound; side } ->
+      Alcotest.(check int) "low bound" 3 bound;
+      Alcotest.(check bool) "low side" true (side = Conflict_table.Low)
+  | Conflict_table.Undefined -> Alcotest.fail "low cell should be defined");
+  (match Conflict_table.cell t ~row:0 ~attr:0 ~side:Conflict_table.High with
+  | Conflict_table.Defined { bound; _ } ->
+      Alcotest.(check int) "high bound" 7 bound
+  | Conflict_table.Undefined -> Alcotest.fail "high cell should be defined");
+  Alcotest.(check int) "t_i = 2" 2 (Conflict_table.defined_count t ~row:0)
+
+let test_undefined_when_covering () =
+  (* si ⊇ s on the attribute: neither negation intersects s. *)
+  let t = table (sub [ (3, 7) ]) [ sub [ (0, 9) ] ] in
+  Alcotest.(check int) "no defined cells" 0
+    (Conflict_table.defined_count t ~row:0);
+  Alcotest.(check bool) "row all undefined" true
+    (Conflict_table.row_all_undefined t ~row:0)
+
+let test_row_all_defined () =
+  (* s strictly contains si on both attributes -> all 4 cells defined. *)
+  let t = table (sub [ (0, 9); (0, 9) ]) [ sub [ (3, 4); (5, 6) ] ] in
+  Alcotest.(check bool) "all defined" true
+    (Conflict_table.row_all_defined t ~row:0);
+  Alcotest.(check int) "count 2m" 4 (Conflict_table.defined_count t ~row:0)
+
+let test_boundary_equality () =
+  (* Shared boundary: s.lo = si.lo means the low negation is NOT
+     satisfiable inside s. *)
+  let t = table (sub [ (3, 9) ]) [ sub [ (3, 7) ] ] in
+  (match Conflict_table.cell t ~row:0 ~attr:0 ~side:Conflict_table.Low with
+  | Conflict_table.Undefined -> ()
+  | Conflict_table.Defined _ -> Alcotest.fail "equal low bounds: undefined");
+  match Conflict_table.cell t ~row:0 ~attr:0 ~side:Conflict_table.High with
+  | Conflict_table.Defined { bound; _ } -> Alcotest.(check int) "hi" 7 bound
+  | Conflict_table.Undefined -> Alcotest.fail "high should be defined"
+
+let test_strip () =
+  let t = table (sub [ (0, 9) ]) [ sub [ (3, 7) ] ] in
+  (match Conflict_table.strip t ~row:0 ~attr:0 ~side:Conflict_table.Low with
+  | Some r ->
+      Alcotest.(check int) "low strip lo" 0 (Interval.lo r);
+      Alcotest.(check int) "low strip hi" 2 (Interval.hi r)
+  | None -> Alcotest.fail "low strip exists");
+  (match Conflict_table.strip t ~row:0 ~attr:0 ~side:Conflict_table.High with
+  | Some r ->
+      Alcotest.(check int) "high strip lo" 8 (Interval.lo r);
+      Alcotest.(check int) "high strip hi" 9 (Interval.hi r)
+  | None -> Alcotest.fail "high strip exists");
+  let t' = table (sub [ (3, 9) ]) [ sub [ (3, 7) ] ] in
+  Alcotest.(check bool) "undefined cell has no strip" true
+    (Option.is_none
+       (Conflict_table.strip t' ~row:0 ~attr:0 ~side:Conflict_table.Low))
+
+let test_conflicts () =
+  (* Two subscriptions splitting s in the middle with a gap: their
+     opposite-side cells conflict when strips are disjoint. *)
+  let s = sub [ (0, 9); (0, 9) ] in
+  let left = sub [ (0, 3); (0, 9) ] in
+  let right = sub [ (6, 9); (0, 9) ] in
+  let t = table s [ left; right ] in
+  (* left's defined cell: x0 > 3 (strip [4,9]); right's: x0 < 6 (strip [0,5]).
+     Strips overlap on [4,5] -> no conflict. *)
+  Alcotest.(check bool) "overlapping strips do not conflict" false
+    (Conflict_table.cells_conflict t ~row1:0 ~attr1:0 ~side1:Conflict_table.High
+       ~row2:1 ~attr2:0 ~side2:Conflict_table.Low);
+  (* Shrink right to start at 4: x0 < 4 (strip [0,3]) vs x0 > 3 ([4,9])
+     are disjoint -> conflict. *)
+  let t2 = table s [ left; sub [ (4, 9); (0, 9) ] ] in
+  Alcotest.(check bool) "disjoint strips conflict" true
+    (Conflict_table.cells_conflict t2 ~row1:0 ~attr1:0
+       ~side1:Conflict_table.High ~row2:1 ~attr2:0 ~side2:Conflict_table.Low);
+  (* Same row never conflicts with itself; different attributes never
+     conflict. *)
+  Alcotest.(check bool) "same row" false
+    (Conflict_table.cells_conflict t2 ~row1:0 ~attr1:0
+       ~side1:Conflict_table.High ~row2:0 ~attr2:0 ~side2:Conflict_table.Low);
+  Alcotest.(check bool) "different attributes" false
+    (Conflict_table.cells_conflict t2 ~row1:0 ~attr1:0
+       ~side1:Conflict_table.High ~row2:1 ~attr2:1 ~side2:Conflict_table.Low)
+
+let test_fold_defined () =
+  let t = table (sub [ (0, 9); (0, 9) ]) [ sub [ (3, 4); (0, 9) ] ] in
+  let cells =
+    Conflict_table.fold_defined t ~row:0 ~init:[]
+      ~f:(fun acc ~attr ~side ~bound -> (attr, side, bound) :: acc)
+  in
+  Alcotest.(check int) "two defined cells" 2 (List.length cells);
+  Alcotest.(check bool) "contains low cell" true
+    (List.mem (0, Conflict_table.Low, 3) cells);
+  Alcotest.(check bool) "contains high cell" true
+    (List.mem (0, Conflict_table.High, 4) cells)
+
+let test_arity_mismatch () =
+  Alcotest.check_raises "mismatch rejected"
+    (Invalid_argument "Conflict_table.build: arity mismatch") (fun () ->
+      ignore (table (sub [ (0, 9) ]) [ sub [ (0, 9); (0, 9) ] ]))
+
+let test_zero_rows () =
+  let t = table (sub [ (0, 9) ]) [] in
+  Alcotest.(check int) "no rows" 0 (Conflict_table.rows t)
+
+let test_build_cost_shape () =
+  (* Construction touches each (row, attribute) pair once; a moderately
+     large table must build quickly and report exact counts. *)
+  let m = 20 and k = 300 in
+  let s = Subscription.of_list (List.init m (fun _ -> Interval.make ~lo:0 ~hi:999)) in
+  let subs =
+    List.init k (fun i ->
+        Subscription.of_list
+          (List.init m (fun j -> Interval.make ~lo:(i mod 3) ~hi:(900 + ((i + j) mod 100)))))
+  in
+  let t = table s subs in
+  Alcotest.(check int) "rows" k (Conflict_table.rows t);
+  let total = ref 0 in
+  for row = 0 to k - 1 do
+    total := !total + Conflict_table.defined_count t ~row
+  done;
+  Alcotest.(check bool) "counts bounded by 2mk" true (!total <= 2 * m * k)
+
+let suite =
+  [
+    Alcotest.test_case "dimensions" `Quick test_dimensions;
+    Alcotest.test_case "cell definitions" `Quick test_definitions;
+    Alcotest.test_case "covering row is undefined" `Quick
+      test_undefined_when_covering;
+    Alcotest.test_case "contained row is all defined" `Quick
+      test_row_all_defined;
+    Alcotest.test_case "boundary equality" `Quick test_boundary_equality;
+    Alcotest.test_case "strips" `Quick test_strip;
+    Alcotest.test_case "conflicts (Definition 5)" `Quick test_conflicts;
+    Alcotest.test_case "fold over defined cells" `Quick test_fold_defined;
+    Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+    Alcotest.test_case "empty set" `Quick test_zero_rows;
+    Alcotest.test_case "large table" `Quick test_build_cost_shape;
+  ]

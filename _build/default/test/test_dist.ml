@@ -1,0 +1,126 @@
+open Probsub_core
+open Probsub_workload
+
+let test_zipf_bounds () =
+  let sample = Dist.zipf ~n:10 ~skew:2.0 in
+  let rng = Prng.of_int 1 in
+  for _ = 1 to 5_000 do
+    let r = sample rng in
+    Alcotest.(check bool) "rank in range" true (r >= 0 && r < 10)
+  done;
+  Alcotest.check_raises "n validated"
+    (Invalid_argument "Dist.zipf: n must be positive") (fun () ->
+      ignore (Dist.zipf ~n:0 ~skew:2.0 : Dist.sampler));
+  Alcotest.check_raises "skew validated"
+    (Invalid_argument "Dist.zipf: skew must be positive") (fun () ->
+      ignore (Dist.zipf ~n:5 ~skew:0.0 : Dist.sampler))
+
+let test_zipf_skew () =
+  (* With skew 2.0, rank 0 carries 1/zeta-ish mass: P(0)/P(1) = 4. *)
+  let sample = Dist.zipf ~n:20 ~skew:2.0 in
+  let rng = Prng.of_int 2 in
+  let counts = Array.make 20 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let r = sample rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let ratio = float_of_int counts.(0) /. float_of_int counts.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "P(0)/P(1) = %.2f near 4" ratio)
+    true
+    (ratio > 3.3 && ratio < 4.8);
+  Alcotest.(check bool) "monotone head" true
+    (counts.(0) > counts.(1) && counts.(1) > counts.(2))
+
+let test_pareto () =
+  let rng = Prng.of_int 3 in
+  let above2 = ref 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    let v = Dist.pareto rng ~scale:1.0 ~shape:1.0 in
+    Alcotest.(check bool) "at least scale" true (v >= 1.0);
+    if v > 2.0 then incr above2
+  done;
+  (* P(X > 2) = 1/2 for shape 1. *)
+  let p = float_of_int !above2 /. float_of_int draws in
+  Alcotest.(check bool)
+    (Printf.sprintf "tail mass %.3f near 0.5" p)
+    true
+    (Float.abs (p -. 0.5) < 0.02);
+  Alcotest.check_raises "parameters validated"
+    (Invalid_argument "Dist.pareto: parameters must be positive") (fun () ->
+      ignore (Dist.pareto rng ~scale:0.0 ~shape:1.0))
+
+let test_normal () =
+  let rng = Prng.of_int 4 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Dist.normal rng ~mean:10.0 ~stddev:3.0 in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 10" true (Float.abs (mean -. 10.0) < 0.1);
+  Alcotest.(check bool) "stddev near 3" true
+    (Float.abs (sqrt var -. 3.0) < 0.1)
+
+let test_normal_int_clamps () =
+  let rng = Prng.of_int 5 in
+  for _ = 1 to 5_000 do
+    let v = Dist.normal_int rng ~mean:5.0 ~stddev:20.0 ~min:0 ~max:10 in
+    Alcotest.(check bool) "clamped" true (v >= 0 && v <= 10)
+  done;
+  Alcotest.check_raises "bounds validated"
+    (Invalid_argument "Dist.normal_int: min > max") (fun () ->
+      ignore (Dist.normal_int rng ~mean:0.0 ~stddev:1.0 ~min:5 ~max:4))
+
+let test_exponential () =
+  let rng = Prng.of_int 6 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Dist.exponential rng ~rate:2.0 in
+    Alcotest.(check bool) "non-negative" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_bernoulli () =
+  let rng = Prng.of_int 7 in
+  let hits = ref 0 in
+  for _ = 1 to 50_000 do
+    if Dist.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. 50_000.0 in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (p -. 0.3) < 0.02)
+
+let test_pick_shuffle () =
+  let rng = Prng.of_int 8 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "pick from array" true
+      (Array.mem (Dist.pick rng arr) arr)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Dist.pick: empty array")
+    (fun () -> ignore (Dist.pick rng [||]));
+  let big = Array.init 100 (fun i -> i) in
+  let copy = Array.copy big in
+  Dist.shuffle rng copy;
+  Array.sort Int.compare copy;
+  Alcotest.(check bool) "shuffle is a permutation" true (copy = big)
+
+let suite =
+  [
+    Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+    Alcotest.test_case "zipf skew" `Slow test_zipf_skew;
+    Alcotest.test_case "pareto tail" `Slow test_pareto;
+    Alcotest.test_case "normal moments" `Slow test_normal;
+    Alcotest.test_case "normal_int clamps" `Quick test_normal_int_clamps;
+    Alcotest.test_case "exponential mean" `Slow test_exponential;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli;
+    Alcotest.test_case "pick and shuffle" `Quick test_pick_shuffle;
+  ]

@@ -1,0 +1,187 @@
+open Probsub_core
+
+let codec () =
+  Domain_codec.make
+    [
+      ("bid", Domain_codec.Int_range { lo = 1; hi = 1999 });
+      ("size", Domain_codec.Int_range { lo = 14; hi = 24 });
+      ("brand", Domain_codec.Enum [ "X"; "Y"; "Z" ]);
+      ("electric", Domain_codec.Flag);
+      ("date", Domain_codec.Minutes);
+    ]
+
+let test_make_validation () =
+  Alcotest.check_raises "duplicate field"
+    (Invalid_argument "Domain_codec.make: duplicate field a") (fun () ->
+      ignore (Domain_codec.make [ ("a", Domain_codec.Flag); ("a", Domain_codec.Flag) ]));
+  Alcotest.check_raises "empty enum"
+    (Invalid_argument "Domain_codec.make: field e: empty enum") (fun () ->
+      ignore (Domain_codec.make [ ("e", Domain_codec.Enum []) ]));
+  Alcotest.check_raises "duplicate symbols"
+    (Invalid_argument "Domain_codec.make: field e: duplicate symbols")
+    (fun () ->
+      ignore (Domain_codec.make [ ("e", Domain_codec.Enum [ "a"; "a" ]) ]));
+  Alcotest.check_raises "inverted range"
+    (Invalid_argument "Domain_codec.make: field i has lo > hi") (fun () ->
+      ignore (Domain_codec.make [ ("i", Domain_codec.Int_range { lo = 2; hi = 1 }) ]))
+
+let test_fields () =
+  let c = codec () in
+  Alcotest.(check int) "arity" 5 (Domain_codec.arity c);
+  Alcotest.(check int) "index of brand" 2 (Domain_codec.field_index c "brand");
+  Alcotest.check_raises "unknown field" Not_found (fun () ->
+      ignore (Domain_codec.field_index c "nope"))
+
+let test_encode_decode () =
+  let c = codec () in
+  Alcotest.(check int) "int identity" 42
+    (Domain_codec.encode c ~field:"bid" (Domain_codec.Int 42));
+  Alcotest.(check int) "enum order" 1
+    (Domain_codec.encode c ~field:"brand" (Domain_codec.Sym "Y"));
+  Alcotest.(check int) "flag" 1
+    (Domain_codec.encode c ~field:"electric" (Domain_codec.Bool true));
+  (match Domain_codec.decode c ~field:"brand" 2 with
+  | Domain_codec.Sym "Z" -> ()
+  | _ -> Alcotest.fail "decode brand");
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Domain_codec: 0 outside bid's range [1, 1999]")
+    (fun () -> ignore (Domain_codec.encode c ~field:"bid" (Domain_codec.Int 0)));
+  Alcotest.check_raises "unknown symbol" Not_found (fun () ->
+      ignore (Domain_codec.encode c ~field:"brand" (Domain_codec.Sym "Q")));
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Domain_codec: field bid expects a integer value")
+    (fun () ->
+      ignore (Domain_codec.encode c ~field:"bid" (Domain_codec.Sym "X")))
+
+let test_timestamps () =
+  (* Epoch and basic arithmetic. *)
+  Alcotest.(check int) "epoch" 0
+    (Domain_codec.minutes_of_timestamp "2000-01-01T00:00");
+  Alcotest.(check int) "next day" 1440
+    (Domain_codec.minutes_of_timestamp "2000-01-02");
+  Alcotest.(check int) "leap day 2000"
+    ((31 + 28) * 1440)
+    (Domain_codec.minutes_of_timestamp "2000-02-29");
+  (* Round trips across years, month ends and leap boundaries. *)
+  List.iter
+    (fun ts ->
+      Alcotest.(check string) "round trip" ts
+        (Domain_codec.timestamp_of_minutes
+           (Domain_codec.minutes_of_timestamp ts)))
+    [
+      "2000-01-01T00:00";
+      "2000-02-29T23:59";
+      "2004-02-29T12:00";
+      "2006-03-31T16:00";
+      "2019-12-31T23:59";
+      "2100-03-01T00:00";
+    ];
+  (* A known interval: the paper's Table 1 window is 4 hours. *)
+  let lo = Domain_codec.minutes_of_timestamp "2006-03-31T16:00" in
+  let hi = Domain_codec.minutes_of_timestamp "2006-03-31T20:00" in
+  Alcotest.(check int) "window width" 240 (hi - lo);
+  Alcotest.check_raises "garbage rejected"
+    (Invalid_argument "Domain_codec: malformed timestamp \"yesterday\"")
+    (fun () -> ignore (Domain_codec.minutes_of_timestamp "yesterday"));
+  Alcotest.check_raises "bad month"
+    (Invalid_argument "Domain_codec: malformed timestamp \"2006-13-01\"")
+    (fun () -> ignore (Domain_codec.minutes_of_timestamp "2006-13-01"))
+
+let test_subscription_builder () =
+  let c = codec () in
+  let sub =
+    Domain_codec.subscription c
+      [
+        ("size", Domain_codec.Between (Domain_codec.Int 17, Domain_codec.Int 19));
+        ("brand", Domain_codec.Eq (Domain_codec.Sym "X"));
+        ("bid", Domain_codec.At_least (Domain_codec.Int 1000));
+      ]
+  in
+  let p values = Domain_codec.publication c values in
+  let pub ~bid ~size ~brand ~electric ~date =
+    p
+      [
+        ("bid", Domain_codec.Int bid);
+        ("size", Domain_codec.Int size);
+        ("brand", Domain_codec.Sym brand);
+        ("electric", Domain_codec.Bool electric);
+        ("date", Domain_codec.Time date);
+      ]
+  in
+  Alcotest.(check bool) "inside" true
+    (Publication.matches sub
+       (pub ~bid:1036 ~size:19 ~brand:"X" ~electric:false ~date:"2006-03-31"));
+  Alcotest.(check bool) "wrong brand" false
+    (Publication.matches sub
+       (pub ~bid:1036 ~size:19 ~brand:"Y" ~electric:false ~date:"2006-03-31"));
+  Alcotest.(check bool) "bid too small" false
+    (Publication.matches sub
+       (pub ~bid:999 ~size:19 ~brand:"X" ~electric:false ~date:"2006-03-31"))
+
+let test_subscription_intersects_repeats () =
+  let c = codec () in
+  let sub =
+    Domain_codec.subscription c
+      [
+        ("size", Domain_codec.At_least (Domain_codec.Int 17));
+        ("size", Domain_codec.At_most (Domain_codec.Int 19));
+      ]
+  in
+  Alcotest.(check bool) "intersection applied" true
+    (Interval.equal
+       (Subscription.range sub (Domain_codec.field_index c "size"))
+       (Interval.make ~lo:17 ~hi:19));
+  Alcotest.check_raises "empty intersection"
+    (Invalid_argument "Domain_codec.subscription: empty constraint on field size")
+    (fun () ->
+      ignore
+        (Domain_codec.subscription c
+           [
+             ("size", Domain_codec.At_least (Domain_codec.Int 20));
+             ("size", Domain_codec.At_most (Domain_codec.Int 15));
+           ]))
+
+let test_publication_validation () =
+  let c = codec () in
+  Alcotest.check_raises "missing field"
+    (Invalid_argument "Domain_codec.publication: field date missing") (fun () ->
+      ignore
+        (Domain_codec.publication c
+           [
+             ("bid", Domain_codec.Int 1);
+             ("size", Domain_codec.Int 17);
+             ("brand", Domain_codec.Sym "X");
+             ("electric", Domain_codec.Bool false);
+           ]));
+  Alcotest.check_raises "duplicate field"
+    (Invalid_argument "Domain_codec.publication: field bid given twice")
+    (fun () ->
+      ignore
+        (Domain_codec.publication c
+           [ ("bid", Domain_codec.Int 1); ("bid", Domain_codec.Int 2) ]))
+
+let test_pp () =
+  let c = codec () in
+  let sub =
+    Domain_codec.subscription c
+      [ ("brand", Domain_codec.Eq (Domain_codec.Sym "Y")) ]
+  in
+  let rendered = Format.asprintf "%a" (Domain_codec.pp_subscription c) sub in
+  Alcotest.(check string) "symbolic rendering" "{brand = Y}" rendered;
+  let all = Domain_codec.subscription c [] in
+  Alcotest.(check string) "unconstrained renders star" "{*}"
+    (Format.asprintf "%a" (Domain_codec.pp_subscription c) all)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "field lookup" `Quick test_fields;
+    Alcotest.test_case "encode/decode" `Quick test_encode_decode;
+    Alcotest.test_case "timestamps" `Quick test_timestamps;
+    Alcotest.test_case "subscription builder" `Quick test_subscription_builder;
+    Alcotest.test_case "repeated constraints intersect" `Quick
+      test_subscription_intersects_repeats;
+    Alcotest.test_case "publication validation" `Quick
+      test_publication_validation;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,122 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+
+let test_subtract_basic () =
+  let box = sub [ (0, 9); (0, 9) ] in
+  let cut = sub [ (3, 6); (3, 6) ] in
+  let pieces = Exact.subtract box cut in
+  (* 100 points minus the 16-point cut = 84 points across pieces. *)
+  let total =
+    List.fold_left (fun acc p -> acc +. Subscription.size p) 0.0 pieces
+  in
+  Alcotest.(check (float 1e-6)) "piece volumes sum to difference" 84.0 total;
+  (* Pieces are pairwise disjoint and avoid the cut. *)
+  List.iteri
+    (fun i a ->
+      Alcotest.(check bool) "piece avoids cut" false
+        (Subscription.intersects a cut);
+      List.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool) "pieces disjoint" false
+              (Subscription.intersects a b))
+        pieces)
+    pieces
+
+let test_subtract_disjoint () =
+  let box = sub [ (0, 9) ] in
+  let cut = sub [ (20, 30) ] in
+  match Exact.subtract box cut with
+  | [ only ] -> Alcotest.(check bool) "box unchanged" true (Subscription.equal only box)
+  | _ -> Alcotest.fail "disjoint cut leaves the box intact"
+
+let test_subtract_covering () =
+  let box = sub [ (2, 5) ] in
+  let cut = sub [ (0, 9) ] in
+  Alcotest.(check int) "nothing left" 0 (List.length (Exact.subtract box cut))
+
+let test_covered_simple () =
+  let s = sub [ (0, 9) ] in
+  Alcotest.(check bool) "exact split cover" true
+    (Exact.covered s [| sub [ (0, 4) ]; sub [ (5, 9) ] |]);
+  Alcotest.(check bool) "gap detected" false
+    (Exact.covered s [| sub [ (0, 4) ]; sub [ (6, 9) ] |]);
+  Alcotest.(check bool) "empty set never covers" false (Exact.covered s [||])
+
+let test_covered_paper_example () =
+  let s = sub [ (830, 870); (1003, 1006) ] in
+  let s1 = sub [ (820, 850); (1001, 1007) ] in
+  let s2 = sub [ (840, 880); (1002, 1009) ] in
+  Alcotest.(check bool) "Table 3 covered" true (Exact.covered s [| s1; s2 |])
+
+let test_witness_agrees () =
+  let s = sub [ (0, 9); (0, 9) ] in
+  let subs = [| sub [ (0, 9); (0, 8) ] |] in
+  (match Exact.find_witness s subs with
+  | Some p ->
+      Alcotest.(check bool) "witness in s" true (Subscription.covers_point s p);
+      Alcotest.(check bool) "witness escapes" true (Rspc.escapes p subs)
+  | None -> Alcotest.fail "row 9 is uncovered");
+  Alcotest.(check bool) "covered -> no witness" true
+    (Option.is_none (Exact.find_witness s [| sub [ (0, 9); (0, 9) ] |]))
+
+let test_fuel () =
+  let s = sub [ (0, 9); (0, 9) ] in
+  let subs = [| sub [ (0, 4); (0, 9) ]; sub [ (5, 9); (0, 9) ] |] in
+  (match Exact.covered_fuel ~fuel:1 s subs with
+  | None -> ()
+  | Some _ -> Alcotest.fail "one unit of fuel cannot finish this");
+  match Exact.covered_fuel ~fuel:1_000 s subs with
+  | Some true -> ()
+  | Some false -> Alcotest.fail "set covers s"
+  | None -> Alcotest.fail "1000 boxes suffice"
+
+let test_against_sampling () =
+  (* Randomized cross-check: the oracle's verdict must agree with dense
+     point sampling. *)
+  let rng = Prng.of_int 123 in
+  for _ = 1 to 30 do
+    let s =
+      Subscription.of_list
+        (List.init 2 (fun _ ->
+             let lo = Prng.int rng 10 in
+             Interval.make ~lo ~hi:(lo + 5 + Prng.int rng 10)))
+    in
+    let subs =
+      Array.init 5 (fun _ ->
+          Subscription.of_list
+            (List.init 2 (fun _ ->
+                 let lo = Prng.int rng 20 in
+                 Interval.make ~lo ~hi:(lo + 3 + Prng.int rng 15))))
+    in
+    let verdict = Exact.covered s subs in
+    (* Exhaustively scan all points of s (small by construction). *)
+    let all_inside = ref true in
+    let r0 = Subscription.range s 0 and r1 = Subscription.range s 1 in
+    for x = Interval.lo r0 to Interval.hi r0 do
+      for y = Interval.lo r1 to Interval.hi r1 do
+        if Rspc.escapes [| x; y |] subs then all_inside := false
+      done
+    done;
+    Alcotest.(check bool) "oracle agrees with exhaustive scan" !all_inside
+      verdict
+  done
+
+let test_arity_mismatch () =
+  Alcotest.check_raises "mismatch rejected"
+    (Invalid_argument "Exact: arity mismatch") (fun () ->
+      ignore (Exact.covered (sub [ (0, 1) ]) [| sub [ (0, 1); (0, 1) ] |]))
+
+let suite =
+  [
+    Alcotest.test_case "subtract partitions" `Quick test_subtract_basic;
+    Alcotest.test_case "subtract disjoint" `Quick test_subtract_disjoint;
+    Alcotest.test_case "subtract covering" `Quick test_subtract_covering;
+    Alcotest.test_case "simple covers" `Quick test_covered_simple;
+    Alcotest.test_case "paper example" `Quick test_covered_paper_example;
+    Alcotest.test_case "witness extraction" `Quick test_witness_agrees;
+    Alcotest.test_case "fuel bound" `Quick test_fuel;
+    Alcotest.test_case "agrees with exhaustive scan" `Slow test_against_sampling;
+    Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+  ]

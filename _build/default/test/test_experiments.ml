@@ -1,0 +1,219 @@
+(* Smoke and shape tests for the experiment harness: tiny scales, but
+   asserting the qualitative properties the paper's figures show. *)
+
+open Probsub_experiments
+
+let scale = { Exp_common.runs = 4 }
+let seed = 7
+
+let series fig label =
+  match
+    List.find_opt (fun s -> s.Exp_common.label = label) fig.Exp_common.series
+  with
+  | Some s -> s.Exp_common.points
+  | None ->
+      Alcotest.failf "series %s missing from %s" label fig.Exp_common.id
+
+let mean_y points = Exp_common.mean (List.map snd points)
+
+let test_fig6_7 () =
+  let f6, f7 = Fig_covering.run ~scale ~seed () in
+  Alcotest.(check int) "fig6 has three series" 3
+    (List.length f6.Exp_common.series);
+  (* Reduction stays high. *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (_, y) ->
+          Alcotest.(check bool) "reduction in [0.3, 1]" true
+            (y >= 0.3 && y <= 1.0))
+        s.Exp_common.points)
+    f6.Exp_common.series;
+  (* MCS shrinks the theoretical d dramatically. *)
+  let plain = mean_y (series f7 "m=10") in
+  let mcs = mean_y (series f7 "m=10,MCS") in
+  Alcotest.(check bool)
+    (Printf.sprintf "log10 d: %.1f plain vs %.1f with MCS" plain mcs)
+    true (mcs < plain -. 1.0)
+
+let test_fig8_9_10 () =
+  let f8, f9, f10 = Fig_noncover.run ~scale ~seed () in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (_, y) ->
+          Alcotest.(check bool) "full reduction" true (y >= 0.95))
+        s.Exp_common.points)
+    f8.Exp_common.series;
+  let d_plain = mean_y (series f9 "m=10") in
+  let d_mcs = mean_y (series f9 "m=10,MCS") in
+  Alcotest.(check bool) "theoretical d collapses" true (d_mcs <= 0.01);
+  Alcotest.(check bool) "plain d is astronomical" true (d_plain > 5.0);
+  let it_mcs = mean_y (series f10 "m=10,MCS") in
+  let it_plain = mean_y (series f10 "m=10") in
+  Alcotest.(check bool) "with MCS: zero iterations" true (it_mcs < 0.5);
+  Alcotest.(check bool) "without MCS: a handful" true
+    (it_plain >= 1.0 && it_plain < 20.0)
+
+let test_fig11_12 () =
+  let f11, f12 = Fig_extreme.run ~scale:{ Exp_common.runs = 10 } ~seed () in
+  (* Iterations fall with the gap, roughly as 1/gap. *)
+  let pts = series f11 "error=1e-06" in
+  let first = List.assoc 0.5 pts and last = List.assoc 4.5 pts in
+  Alcotest.(check bool)
+    (Printf.sprintf "iterations fall: %.0f at 0.5%% vs %.0f at 4.5%%" first last)
+    true
+    (first > 2.0 *. last);
+  Alcotest.(check bool) "magnitudes in the paper's band" true
+    (first > 60.0 && first < 400.0 && last > 5.0 && last < 60.0);
+  (* False decisions: none for the tightest error bound at coarse gaps. *)
+  let strict = series f12 "error=1e-10" in
+  let late = List.filter (fun (x, _) -> x >= 2.0) strict in
+  Alcotest.(check bool) "delta=1e-10 makes no coarse-gap mistakes" true
+    (List.for_all (fun (_, y) -> y = 0.0) late)
+
+let test_fig13_14 () =
+  let f13, f14 = Fig_comparison.run ~n:400 ~checkpoint_every:100 ~seed () in
+  (* Group always at most pairwise. *)
+  let pw = series f13 "m=10, pair-wise" and gr = series f13 "m=10, group" in
+  List.iter2
+    (fun (x, p) (x', g) ->
+      Alcotest.(check (float 1e-9)) "aligned checkpoints" x x';
+      Alcotest.(check bool) "group <= pairwise" true (g <= p))
+    pw gr;
+  (* Ratios below 1 by the end of the stream. *)
+  let ratio = series f14 "m=10" in
+  let _, final = List.nth ratio (List.length ratio - 1) in
+  Alcotest.(check bool) "final ratio < 1" true (final < 1.0)
+
+let test_chain () =
+  let rows, fig = Exp_chain.run ~scale ~seed () in
+  Alcotest.(check int) "one row per delta" (List.length Exp_chain.deltas)
+    (List.length rows);
+  Alcotest.(check int) "three series" 3 (List.length fig.Exp_common.series);
+  (* The delivery probability grows as delta shrinks. *)
+  let sorted = List.sort (fun a b -> compare b.Exp_chain.delta a.Exp_chain.delta) rows in
+  let analytic = List.map (fun r -> r.Exp_chain.analytic) sorted in
+  Alcotest.(check bool) "analytic monotone in -delta" true
+    (List.sort compare analytic = analytic)
+
+let test_ablation () =
+  let rows = Exp_ablation.run ~scale ~seed () in
+  Alcotest.(check int) "5 scenarios x 5 configs" 25 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s always correct" r.Exp_ablation.scenario
+           (Exp_ablation.kind_label r.Exp_ablation.kind))
+        true
+        (r.Exp_ablation.correct = r.Exp_ablation.runs))
+    rows;
+  (* MCS slashes the iteration count on the covering scenario. *)
+  let find kind =
+    List.find
+      (fun r ->
+        r.Exp_ablation.scenario = "redundant-covering"
+        && r.Exp_ablation.kind = kind)
+      rows
+  in
+  Alcotest.(check bool) "MCS reduces iterations" true
+    ((find Exp_ablation.Full).Exp_ablation.mean_iterations
+    < (find Exp_ablation.No_mcs).Exp_ablation.mean_iterations /. 2.0)
+
+let test_matching () =
+  let rows = Exp_matching.run ~subs:300 ~pubs:100 ~seed () in
+  Alcotest.(check int) "three policies" 3 (List.length rows);
+  let get name = List.find (fun r -> r.Exp_matching.policy = name) rows in
+  let flooding = get "flooding" and group = get "group" in
+  Alcotest.(check int) "flooding keeps everything active" 300
+    flooding.Exp_matching.active_size;
+  Alcotest.(check bool) "group parks a share" true
+    (group.Exp_matching.covered_size > 0);
+  Alcotest.(check bool) "Algorithm 5 touches fewer subscriptions" true
+    (group.Exp_matching.scans_per_pub < flooding.Exp_matching.scans_per_pub);
+  Alcotest.(check int) "all policies deliver the same matches"
+    flooding.Exp_matching.matched group.Exp_matching.matched
+
+let test_traffic () =
+  let rows = Exp_traffic.run ~subs:40 ~pubs:15 ~seed () in
+  Alcotest.(check int) "6 topologies x 3 policies" 18 (List.length rows);
+  (* Deterministic policies never lose; covering never increases
+     subscription traffic relative to flooding on the same shape. *)
+  List.iter
+    (fun r ->
+      if r.Exp_traffic.policy <> "group" then
+        Alcotest.(check int)
+          (r.Exp_traffic.topology ^ "/" ^ r.Exp_traffic.policy ^ " lossless")
+          0 r.Exp_traffic.lost)
+    rows;
+  let find topo policy =
+    List.find
+      (fun r -> r.Exp_traffic.topology = topo && r.Exp_traffic.policy = policy)
+      rows
+  in
+  List.iter
+    (fun topo ->
+      let flood = find topo "flooding" and group = find topo "group" in
+      Alcotest.(check bool)
+        (topo ^ ": group does not exceed flooding traffic")
+        true
+        (group.Exp_traffic.subscribe_msgs <= flood.Exp_traffic.subscribe_msgs))
+    [ "chain-16"; "ring-16"; "star-16"; "tree-2x3"; "grid-4x4"; "random-16" ]
+
+let test_merging_exp () =
+  let rows = Exp_merging.run ~n:150 ~checkpoint_every:75 ~seed () in
+  Alcotest.(check int) "two checkpoints" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "pairwise <= raw" true
+        (r.Exp_merging.pairwise <= r.Exp_merging.raw);
+      Alcotest.(check bool) "group <= pairwise" true
+        (r.Exp_merging.group <= r.Exp_merging.pairwise);
+      Alcotest.(check bool) "perfect merge <= pairwise" true
+        (r.Exp_merging.merged <= r.Exp_merging.pairwise))
+    rows
+
+let test_scaling () =
+  let rows = Exp_scaling.run ~scale ~seed () in
+  Alcotest.(check int) "2 scenarios x 3 m x 4 k" 24 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "positive cost" true (r.Exp_scaling.mean_micros > 0.0);
+      Alcotest.(check bool) "normalized cost sane (< 1 ms/unit)" true
+        (r.Exp_scaling.normalized_ns < 1_000_000.0))
+    rows
+
+let test_print_figure () =
+  let fig =
+    {
+      Exp_common.id = "t";
+      title = "t";
+      xlabel = "x";
+      ylabel = "y";
+      series =
+        [
+          { Exp_common.label = "a"; points = [ (1.0, 2.0); (2.0, Float.nan) ] };
+          { Exp_common.label = "b"; points = [ (1.0, 3.0) ] };
+        ];
+    }
+  in
+  let out = Format.asprintf "%a" Exp_common.print fig in
+  Alcotest.(check bool) "renders headers" true
+    (String.length out > 0
+    && String.index_opt out 'a' <> None
+    && String.index_opt out 'b' <> None)
+
+let suite =
+  [
+    Alcotest.test_case "figs 6-7 shapes" `Slow test_fig6_7;
+    Alcotest.test_case "figs 8-10 shapes" `Slow test_fig8_9_10;
+    Alcotest.test_case "figs 11-12 shapes" `Slow test_fig11_12;
+    Alcotest.test_case "figs 13-14 shapes" `Slow test_fig13_14;
+    Alcotest.test_case "prop 5 chain" `Slow test_chain;
+    Alcotest.test_case "ablation" `Slow test_ablation;
+    Alcotest.test_case "matching" `Slow test_matching;
+    Alcotest.test_case "traffic" `Slow test_traffic;
+    Alcotest.test_case "merging experiment" `Slow test_merging_exp;
+    Alcotest.test_case "scaling" `Slow test_scaling;
+    Alcotest.test_case "figure rendering" `Quick test_print_figure;
+  ]

@@ -1,0 +1,68 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+let table s subs = Conflict_table.build ~s (Array.of_list subs)
+
+let test_pairwise_yes () =
+  let t = table (sub [ (2, 5); (2, 5) ]) [ sub [ (10, 20); (0, 9) ]; sub [ (0, 9); (0, 9) ] ] in
+  match Fast_decision.decide t with
+  | Fast_decision.Covered_pairwise 1 -> ()
+  | Fast_decision.Covered_pairwise i -> Alcotest.failf "wrong row %d" i
+  | _ -> Alcotest.fail "expected a pairwise YES"
+
+let test_first_coverer_reported () =
+  (* Several coverers: the lowest row index is returned (Algorithm 4
+     scans in order). *)
+  let t =
+    table (sub [ (2, 5) ]) [ sub [ (0, 9) ]; sub [ (1, 8) ]; sub [ (2, 5) ] ]
+  in
+  (match Fast_decision.decide t with
+  | Fast_decision.Covered_pairwise 0 -> ()
+  | _ -> Alcotest.fail "first coverer expected");
+  Alcotest.(check (list int)) "all coverers listed" [ 0; 1; 2 ]
+    (Fast_decision.covering_rows t)
+
+let test_polyhedron_no () =
+  let t = table (sub [ (0, 9) ]) [ sub [ (0, 4) ] ] in
+  match Fast_decision.decide t with
+  | Fast_decision.Not_covered_witness w ->
+      Alcotest.(check bool) "verified witness" true (Witness.verify t w)
+  | _ -> Alcotest.fail "Corollary 3 should fire"
+
+let test_unknown_on_group_cover () =
+  let t =
+    table
+      (sub [ (830, 870); (1003, 1006) ])
+      [ sub [ (820, 850); (1001, 1007) ]; sub [ (840, 880); (1002, 1009) ] ]
+  in
+  match Fast_decision.decide t with
+  | Fast_decision.Unknown -> ()
+  | _ -> Alcotest.fail "group cover is undecidable by the fast paths"
+
+let test_covered_rows () =
+  (* Corollary 2 direction: rows s strictly contains. *)
+  let t =
+    table (sub [ (0, 99); (0, 99) ])
+      [ sub [ (10, 20); (10, 20) ]; sub [ (0, 99); (0, 99) ]; sub [ (5, 95); (5, 95) ] ]
+  in
+  Alcotest.(check (list int)) "strictly inside rows" [ 0; 2 ]
+    (Fast_decision.covered_rows t)
+
+let test_empty_table () =
+  let t = table (sub [ (0, 9) ]) [] in
+  match Fast_decision.decide t with
+  | Fast_decision.Not_covered_witness w ->
+      Alcotest.(check bool) "s itself is the witness" true
+        (Subscription.equal w.Witness.region (sub [ (0, 9) ]))
+  | _ -> Alcotest.fail "empty set: trivially not covered"
+
+let suite =
+  [
+    Alcotest.test_case "pairwise YES" `Quick test_pairwise_yes;
+    Alcotest.test_case "first coverer wins" `Quick test_first_coverer_reported;
+    Alcotest.test_case "polyhedron NO" `Quick test_polyhedron_no;
+    Alcotest.test_case "group cover -> Unknown" `Quick
+      test_unknown_on_group_cover;
+    Alcotest.test_case "covered rows (Cor. 2)" `Quick test_covered_rows;
+    Alcotest.test_case "empty table" `Quick test_empty_table;
+  ]

@@ -1,0 +1,111 @@
+open Probsub_core
+
+let iv lo hi = Interval.make ~lo ~hi
+
+let test_make () =
+  let r = iv 3 7 in
+  Alcotest.(check int) "lo" 3 (Interval.lo r);
+  Alcotest.(check int) "hi" 7 (Interval.hi r);
+  Alcotest.(check int) "width counts points" 5 (Interval.width r);
+  Alcotest.check_raises "inverted bounds rejected"
+    (Invalid_argument "Interval.make: lo 5 > hi 4") (fun () ->
+      ignore (Interval.make ~lo:5 ~hi:4))
+
+let test_make_opt () =
+  Alcotest.(check bool) "non-empty" true
+    (Option.is_some (Interval.make_opt ~lo:0 ~hi:0));
+  Alcotest.(check bool) "empty" true
+    (Option.is_none (Interval.make_opt ~lo:1 ~hi:0))
+
+let test_point () =
+  let r = Interval.point 9 in
+  Alcotest.(check int) "width 1" 1 (Interval.width r);
+  Alcotest.(check bool) "mem" true (Interval.mem 9 r);
+  Alcotest.(check bool) "not mem" false (Interval.mem 8 r)
+
+let test_full () =
+  Alcotest.(check bool) "full is full" true (Interval.is_full Interval.full);
+  Alcotest.(check bool) "others are not" false (Interval.is_full (iv 0 10));
+  Alcotest.(check bool) "every small value inside" true
+    (Interval.mem 123456 Interval.full);
+  (* Sentinel arithmetic must not overflow. *)
+  let w = Interval.width Interval.full in
+  Alcotest.(check bool) "full width positive" true (w > 0)
+
+let test_mem_subset () =
+  let a = iv 2 5 and b = iv 0 10 in
+  Alcotest.(check bool) "a ⊆ b" true (Interval.subset a b);
+  Alcotest.(check bool) "b ⊄ a" false (Interval.subset b a);
+  Alcotest.(check bool) "a ⊆ a" true (Interval.subset a a);
+  Alcotest.(check bool) "boundary in" true (Interval.mem 5 a);
+  Alcotest.(check bool) "boundary out" false (Interval.mem 6 a)
+
+let test_inter () =
+  let a = iv 0 5 and b = iv 3 9 in
+  (match Interval.inter a b with
+  | Some r ->
+      Alcotest.(check int) "inter lo" 3 (Interval.lo r);
+      Alcotest.(check int) "inter hi" 5 (Interval.hi r)
+  | None -> Alcotest.fail "expected overlap");
+  Alcotest.(check bool) "disjoint" true
+    (Option.is_none (Interval.inter (iv 0 2) (iv 3 4)));
+  (* Touching at a single shared point. *)
+  match Interval.inter (iv 0 3) (iv 3 5) with
+  | Some r -> Alcotest.(check int) "single point" 1 (Interval.width r)
+  | None -> Alcotest.fail "touching intervals intersect"
+
+let test_intersects_before () =
+  Alcotest.(check bool) "overlap" true (Interval.intersects (iv 0 5) (iv 5 9));
+  Alcotest.(check bool) "gap" false (Interval.intersects (iv 0 4) (iv 5 9));
+  Alcotest.(check bool) "before" true (Interval.before (iv 0 4) (iv 5 9));
+  Alcotest.(check bool) "not before" false (Interval.before (iv 0 5) (iv 5 9))
+
+let test_hull_shift () =
+  let h = Interval.hull (iv 0 2) (iv 8 9) in
+  Alcotest.(check int) "hull lo" 0 (Interval.lo h);
+  Alcotest.(check int) "hull hi" 9 (Interval.hi h);
+  let s = Interval.shift (iv 1 4) 10 in
+  Alcotest.(check int) "shift lo" 11 (Interval.lo s);
+  Alcotest.(check int) "shift hi" 14 (Interval.hi s)
+
+let test_clamp () =
+  (match Interval.clamp (iv 0 100) ~within:(iv 10 20) with
+  | Some r -> Alcotest.(check bool) "clamped" true (Interval.equal r (iv 10 20))
+  | None -> Alcotest.fail "non-empty clamp");
+  Alcotest.(check bool) "clamp to nothing" true
+    (Option.is_none (Interval.clamp (iv 0 5) ~within:(iv 6 9)))
+
+let test_compare_equal () =
+  Alcotest.(check bool) "equal" true (Interval.equal (iv 1 2) (iv 1 2));
+  Alcotest.(check bool) "not equal" false (Interval.equal (iv 1 2) (iv 1 3));
+  Alcotest.(check bool) "ordered by lo" true (Interval.compare (iv 0 9) (iv 1 2) < 0);
+  Alcotest.(check bool) "ties broken by hi" true
+    (Interval.compare (iv 0 2) (iv 0 9) < 0);
+  Alcotest.(check int) "reflexive" 0 (Interval.compare (iv 4 5) (iv 4 5))
+
+let test_log10_width () =
+  Alcotest.(check (float 1e-9)) "width 10 -> 1.0" 1.0
+    (Interval.log10_width (iv 1 10));
+  Alcotest.(check (float 1e-9)) "width 1 -> 0.0" 0.0
+    (Interval.log10_width (Interval.point 5))
+
+let test_pp () =
+  Alcotest.(check string) "render" "[3, 7]" (Interval.to_string (iv 3 7));
+  Alcotest.(check string) "full renders star" "[*]"
+    (Interval.to_string Interval.full)
+
+let suite =
+  [
+    Alcotest.test_case "make and width" `Quick test_make;
+    Alcotest.test_case "make_opt" `Quick test_make_opt;
+    Alcotest.test_case "point" `Quick test_point;
+    Alcotest.test_case "full sentinel" `Quick test_full;
+    Alcotest.test_case "mem and subset" `Quick test_mem_subset;
+    Alcotest.test_case "intersection" `Quick test_inter;
+    Alcotest.test_case "intersects / before" `Quick test_intersects_before;
+    Alcotest.test_case "hull and shift" `Quick test_hull_shift;
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "compare and equal" `Quick test_compare_equal;
+    Alcotest.test_case "log10 width" `Quick test_log10_width;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

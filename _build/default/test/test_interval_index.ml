@@ -1,0 +1,76 @@
+open Probsub_core
+
+let iv lo hi = Interval.make ~lo ~hi
+
+let test_empty () =
+  Alcotest.(check (list int)) "nothing stabs empty" []
+    (Interval_index.stab Interval_index.empty 5);
+  Alcotest.(check int) "size" 0 (Interval_index.size Interval_index.empty)
+
+let test_basic () =
+  let t = Interval_index.build [ (1, iv 0 10); (2, iv 5 15); (3, iv 20 30) ] in
+  Alcotest.(check int) "size" 3 (Interval_index.size t);
+  Alcotest.(check (list int)) "stab 7" [ 1; 2 ]
+    (List.sort Int.compare (Interval_index.stab t 7));
+  Alcotest.(check (list int)) "stab 0" [ 1 ] (Interval_index.stab t 0);
+  Alcotest.(check (list int)) "stab 25" [ 3 ] (Interval_index.stab t 25);
+  Alcotest.(check (list int)) "stab 17" [] (Interval_index.stab t 17);
+  Alcotest.(check int) "count 7" 2 (Interval_index.count_stab t 7)
+
+let test_boundaries () =
+  let t = Interval_index.build [ (1, iv 5 10) ] in
+  Alcotest.(check (list int)) "lo boundary" [ 1 ] (Interval_index.stab t 5);
+  Alcotest.(check (list int)) "hi boundary" [ 1 ] (Interval_index.stab t 10);
+  Alcotest.(check (list int)) "below" [] (Interval_index.stab t 4);
+  Alcotest.(check (list int)) "above" [] (Interval_index.stab t 11)
+
+let test_duplicates_and_points () =
+  let t =
+    Interval_index.build [ (1, iv 3 3); (1, iv 5 5); (2, iv 0 9) ]
+  in
+  Alcotest.(check (list int)) "point interval" [ 1; 2 ]
+    (List.sort Int.compare (Interval_index.stab t 3));
+  Alcotest.(check (list int)) "same id twice, distinct ranges" [ 1; 2 ]
+    (List.sort Int.compare (Interval_index.stab t 5))
+
+let test_against_naive () =
+  let rng = Prng.of_int 17 in
+  for _ = 1 to 30 do
+    let n = 1 + Prng.int rng 200 in
+    let entries =
+      List.init n (fun i ->
+          let lo = Prng.int rng 1000 in
+          (i, iv lo (lo + Prng.int rng 200)))
+    in
+    let t = Interval_index.build entries in
+    for _ = 1 to 50 do
+      let v = Prng.int rng 1300 in
+      let naive =
+        List.filter_map
+          (fun (id, r) -> if Interval.mem v r then Some id else None)
+          entries
+        |> List.sort Int.compare
+      in
+      Alcotest.(check (list int)) "matches naive scan" naive
+        (List.sort Int.compare (Interval_index.stab t v))
+    done
+  done
+
+let test_nested_intervals () =
+  (* Deep nesting stresses the crossing lists. *)
+  let entries = List.init 100 (fun i -> (i, iv i (199 - i))) in
+  let t = Interval_index.build entries in
+  Alcotest.(check int) "all nested contain the middle" 100
+    (Interval_index.count_stab t 100);
+  Alcotest.(check int) "outermost only" 1 (Interval_index.count_stab t 0);
+  Alcotest.(check int) "half at 50" 51 (Interval_index.count_stab t 50)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "basic stabbing" `Quick test_basic;
+    Alcotest.test_case "boundaries inclusive" `Quick test_boundaries;
+    Alcotest.test_case "duplicates and points" `Quick test_duplicates_and_points;
+    Alcotest.test_case "randomized vs naive" `Quick test_against_naive;
+    Alcotest.test_case "nested intervals" `Quick test_nested_intervals;
+  ]

@@ -1,0 +1,120 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+
+let make () =
+  Subscription_store.create
+    ~policy:(Subscription_store.Group_policy Engine.default_config) ~arity:2
+    ~seed:19 ()
+
+let test_basic_expiry () =
+  let t = make () in
+  let id1, _ = Subscription_store.add_with_expiry t (sub [ (0, 9); (0, 9) ]) ~expires_at:10.0 in
+  let id2, _ = Subscription_store.add t (sub [ (50, 59); (0, 9) ]) in
+  Alcotest.(check (float 1e-9)) "lease recorded" 10.0 (Subscription_store.expiry t id1);
+  Alcotest.(check bool) "no lease = infinity" true
+    (Subscription_store.expiry t id2 = infinity);
+  let expired, promoted = Subscription_store.expire t ~now:5.0 in
+  Alcotest.(check (list int)) "nothing yet" [] expired;
+  Alcotest.(check (list int)) "no promotions" [] promoted;
+  let expired, _ = Subscription_store.expire t ~now:10.0 in
+  Alcotest.(check (list int)) "boundary inclusive" [ id1 ] expired;
+  Alcotest.(check int) "one left" 1 (Subscription_store.size t)
+
+let test_expiry_promotes_covered () =
+  let t = make () in
+  let big, _ =
+    Subscription_store.add_with_expiry t (sub [ (0, 99); (0, 99) ]) ~expires_at:100.0
+  in
+  let small, placement = Subscription_store.add t (sub [ (10, 20); (10, 20) ]) in
+  (match placement with
+  | Subscription_store.Covered _ -> ()
+  | Subscription_store.Active -> Alcotest.fail "small one should be covered");
+  let expired, promoted = Subscription_store.expire t ~now:100.0 in
+  Alcotest.(check (list int)) "big one expired" [ big ] expired;
+  Alcotest.(check (list int)) "small one promoted" [ small ] promoted;
+  Alcotest.(check bool) "now active" true (Subscription_store.is_active t small)
+
+let test_expired_covered_promotes_nothing () =
+  let t = make () in
+  let _big, _ = Subscription_store.add t (sub [ (0, 99); (0, 99) ]) in
+  let small, _ =
+    Subscription_store.add_with_expiry t (sub [ (10, 20); (10, 20) ]) ~expires_at:1.0
+  in
+  let expired, promoted = Subscription_store.expire t ~now:2.0 in
+  Alcotest.(check (list int)) "covered one expired" [ small ] expired;
+  Alcotest.(check (list int)) "no promotions" [] promoted
+
+let test_simultaneous_expiry_no_resurrection () =
+  (* The coverer and the covered expire together: the covered one must
+     not come back as a promotion. *)
+  let t = make () in
+  let big, _ =
+    Subscription_store.add_with_expiry t (sub [ (0, 99); (0, 99) ]) ~expires_at:10.0
+  in
+  let small, _ =
+    Subscription_store.add_with_expiry t (sub [ (10, 20); (10, 20) ]) ~expires_at:10.0
+  in
+  let expired, promoted = Subscription_store.expire t ~now:10.0 in
+  Alcotest.(check (list int)) "both expired" [ big; small ]
+    (List.sort Int.compare expired);
+  Alcotest.(check (list int)) "nobody promoted" [] promoted;
+  Alcotest.(check int) "store empty" 0 (Subscription_store.size t)
+
+let test_cover_chain_partial_expiry () =
+  (* Two coverers, one expires: the covered subscription stays covered
+     by the survivor, no promotion. *)
+  let t = make () in
+  let _a, _ =
+    Subscription_store.add_with_expiry t (sub [ (0, 50); (0, 99) ]) ~expires_at:5.0
+  in
+  let _b, _ = Subscription_store.add t (sub [ (0, 60); (0, 99) ]) in
+  let small, _ = Subscription_store.add t (sub [ (10, 20); (10, 20) ]) in
+  Alcotest.(check bool) "covered initially" false
+    (Subscription_store.is_active t small);
+  let _, promoted = Subscription_store.expire t ~now:5.0 in
+  Alcotest.(check (list int)) "still covered by the survivor" [] promoted;
+  Alcotest.(check bool) "remains covered" false
+    (Subscription_store.is_active t small)
+
+let test_matching_respects_expiry () =
+  let t = make () in
+  let _id, _ =
+    Subscription_store.add_with_expiry t (sub [ (0, 9); (0, 9) ]) ~expires_at:1.0
+  in
+  ignore (Subscription_store.expire t ~now:2.0);
+  Alcotest.(check (list int)) "expired subscriptions never match" []
+    (Subscription_store.match_publication t (Publication.of_list [ 5; 5 ]))
+
+let test_nan_rejected () =
+  let t = make () in
+  Alcotest.check_raises "NaN lease"
+    (Invalid_argument "Subscription_store.add_with_expiry: NaN lease")
+    (fun () ->
+      ignore
+        (Subscription_store.add_with_expiry t (sub [ (0, 1); (0, 1) ])
+           ~expires_at:Float.nan))
+
+let test_stats_count_expiry () =
+  let t = make () in
+  let _ = Subscription_store.add_with_expiry t (sub [ (0, 9); (0, 9) ]) ~expires_at:1.0 in
+  ignore (Subscription_store.expire t ~now:1.0);
+  Alcotest.(check int) "expiry counts as removal" 1
+    (Subscription_store.stats t).Subscription_store.removed
+
+let suite =
+  [
+    Alcotest.test_case "basic expiry" `Quick test_basic_expiry;
+    Alcotest.test_case "expiry promotes covered" `Quick
+      test_expiry_promotes_covered;
+    Alcotest.test_case "expired covered promotes nothing" `Quick
+      test_expired_covered_promotes_nothing;
+    Alcotest.test_case "no resurrection" `Quick
+      test_simultaneous_expiry_no_resurrection;
+    Alcotest.test_case "partial cover expiry" `Quick
+      test_cover_chain_partial_expiry;
+    Alcotest.test_case "matching respects expiry" `Quick
+      test_matching_respects_expiry;
+    Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+    Alcotest.test_case "stats" `Quick test_stats_count_expiry;
+  ]

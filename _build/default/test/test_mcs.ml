@@ -1,0 +1,186 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+let table s subs = Conflict_table.build ~s (Array.of_list subs)
+
+let run_mcs s subs = Mcs.run (table s subs)
+
+let test_non_intersecting_removed () =
+  (* A subscription disjoint from s is pure noise; MCS must drop it. *)
+  let s = sub [ (0, 9); (0, 9) ] in
+  let noise = sub [ (100, 110); (100, 110) ] in
+  let half = sub [ (0, 9); (0, 4) ] in
+  let result = run_mcs s [ half; noise ] in
+  Alcotest.(check bool) "noise removed" true (List.mem 1 result.Mcs.removed)
+
+let test_duplicate_strips_removed () =
+  (* Fig. 4 shape: a row whose defined cells conflict with nobody is
+     redundant. Covered by test_paper_examples too; here with a row
+     that covers the same part of s as another. *)
+  let s = sub [ (0, 99); (0, 99) ] in
+  let a = sub [ (0, 49); (0, 99) ] in
+  let b = sub [ (40, 99); (0, 99) ] in
+  (* c leaves strips only on x1, conflicting with nothing on x0. *)
+  let c = sub [ (0, 99); (10, 90) ] in
+  let result = run_mcs s [ a; b; c ] in
+  Alcotest.(check (list int)) "c removed" [ 2 ] result.Mcs.removed;
+  Alcotest.(check (list int)) "a,b kept" [ 0; 1 ] result.Mcs.kept
+
+let test_row_count_rule () =
+  (* Two nested rows on one attribute: every cell of each row conflicts
+     with the other row, so the conflict-free rule never fires, but
+     t_i = 2 >= k = 2 removes both via the row-count rule. *)
+  let s = sub [ (0, 99) ] in
+  let a = sub [ (20, 79) ] (* cells x0<20, x0>79 *) in
+  let b = sub [ (40, 59) ] (* cells x0<40, x0>59 *) in
+  let result = run_mcs s [ a; b ] in
+  Alcotest.(check (list int)) "both dropped" [] result.Mcs.kept;
+  Alcotest.(check int) "accounted as row-count removals" 2
+    result.Mcs.removed_row_count;
+  Alcotest.(check int) "no conflict-free removals" 0
+    result.Mcs.removed_conflict_free;
+  (* A single candidate is removed too (t_i >= k = 1 or conflict-free,
+     whichever the sweep sees first). *)
+  let single = run_mcs (sub [ (0, 9) ]) [ sub [ (0, 4) ] ] in
+  Alcotest.(check (list int)) "single candidate dropped" [ 0 ]
+    single.Mcs.removed
+
+let test_preserves_answer_covered () =
+  (* MCS must never change the coverage answer. Covered case with
+     redundancy. *)
+  let s = sub [ (0, 99); (0, 99) ] in
+  let core = [ sub [ (0, 59); (0, 99) ]; sub [ (50, 99); (0, 99) ] ] in
+  let redundant =
+    [ sub [ (20, 80); (20, 80) ]; sub [ (0, 99); (0, 49) ]; sub [ (300, 400); (0, 99) ] ]
+  in
+  let all = core @ redundant in
+  let t = table s all in
+  let result = Mcs.run t in
+  let reduced = Mcs.reduced_subs t result in
+  Alcotest.(check bool) "original covered" true
+    (Exact.covered s (Array.of_list all));
+  Alcotest.(check bool) "reduced still covered" true (Exact.covered s reduced)
+
+let test_preserves_answer_non_covered () =
+  let s = sub [ (0, 99); (0, 99) ] in
+  let subs =
+    [
+      sub [ (0, 49); (0, 99) ];
+      sub [ (50, 98); (0, 99) ] (* leaves x0 = 99 uncovered *);
+      sub [ (0, 99); (40, 60) ];
+    ]
+  in
+  let t = table s subs in
+  let result = Mcs.run t in
+  let reduced = Mcs.reduced_subs t result in
+  Alcotest.(check bool) "original not covered" false
+    (Exact.covered s (Array.of_list subs));
+  Alcotest.(check bool) "reduced not covered" false (Exact.covered s reduced)
+
+let test_empty_result_on_scenario_2a () =
+  (* No-intersection scenario (2.a): every row is conflict-free, the
+     minimized set is empty after one sweep. *)
+  let s = sub [ (0, 9); (0, 9) ] in
+  let subs =
+    [ sub [ (50, 60); (0, 9) ]; sub [ (0, 9); (70, 80) ]; sub [ (20, 30); (20, 30) ] ]
+  in
+  let result = run_mcs s subs in
+  Alcotest.(check (list int)) "all removed" [] result.Mcs.kept;
+  Alcotest.(check bool) "few sweeps" true (result.Mcs.sweeps <= 2)
+
+let test_keeps_tight_cover () =
+  (* A minimal two-piece cover has mutually conflicting strips; MCS
+     must keep both. *)
+  let s = sub [ (10, 20) ] in
+  let left = sub [ (0, 15) ] and right = sub [ (14, 99) ] in
+  let result = run_mcs s [ left; right ] in
+  Alcotest.(check (list int)) "both kept" [ 0; 1 ] result.Mcs.kept
+
+let test_conflict_free_count_reference () =
+  (* The optimized sweep agrees with the O(m*k) reference definition on
+     a batch of structured cases. *)
+  let s = sub [ (0, 99); (0, 99); (0, 99) ] in
+  let subs =
+    [
+      sub [ (0, 49); (0, 99); (0, 99) ];
+      sub [ (45, 99); (0, 99); (0, 99) ];
+      sub [ (0, 99); (0, 30); (0, 99) ];
+      sub [ (0, 99); (25, 99); (5, 95) ];
+      sub [ (10, 90); (10, 90); (10, 90) ];
+    ]
+  in
+  let t = table s subs in
+  let alive = Array.make (List.length subs) true in
+  (* Recompute what the sweep would decide row by row, from the
+     reference; rows with fc >= 1 here must be removed by Mcs.run's
+     first sweeps (possibly later, since removals cascade). *)
+  let reference_redundant =
+    List.filteri
+      (fun row _ -> Mcs.conflict_free_count t ~alive ~row >= 1)
+      subs
+    |> List.length
+  in
+  let result = Mcs.run t in
+  Alcotest.(check bool)
+    "every reference-redundant row eventually removed" true
+    (List.length result.Mcs.removed >= reference_redundant)
+
+let test_fixpoint_cascades () =
+  (* Removing one row can unlock another: b conflicts only with noise
+     row c; once c goes, b becomes conflict-free and goes too. *)
+  let s = sub [ (0, 99) ] in
+  let a = sub [ (0, 60) ] in
+  (* a: strip x0 > 60 = [61,99] *)
+  let b = sub [ (30, 99) ] in
+  (* b: strip x0 < 30 = [0,29]; conflicts with a's strip. *)
+  let result = run_mcs s [ a; b ] in
+  (* Both have 1 defined entry, k = 2: no removal by row count; each
+     conflicts with the other so no conflict-free entries; both kept. *)
+  Alcotest.(check (list int)) "mutually conflicting pair kept" [ 0; 1 ]
+    result.Mcs.kept
+
+let test_large_random_consistency () =
+  (* On random sets, the reduced set answer must match the full set
+     answer (checked by the exact oracle at small scale). *)
+  let rng = Prng.of_int 99 in
+  for _ = 1 to 50 do
+    let s =
+      Subscription.of_list
+        (List.init 3 (fun _ ->
+             let lo = Prng.int rng 50 in
+             Interval.make ~lo ~hi:(lo + 10 + Prng.int rng 30)))
+    in
+    let subs =
+      Array.init 8 (fun _ ->
+          Subscription.of_list
+            (List.init 3 (fun _ ->
+                 let lo = Prng.int rng 70 in
+                 Interval.make ~lo ~hi:(lo + 5 + Prng.int rng 40))))
+    in
+    let t = Conflict_table.build ~s subs in
+    let reduced = Mcs.reduced_subs t (Mcs.run t) in
+    Alcotest.(check bool) "MCS preserves the answer"
+      (Exact.covered s subs)
+      (Exact.covered s reduced)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "non-intersecting removed" `Quick
+      test_non_intersecting_removed;
+    Alcotest.test_case "conflict-free rows removed" `Quick
+      test_duplicate_strips_removed;
+    Alcotest.test_case "row-count rule" `Quick test_row_count_rule;
+    Alcotest.test_case "answer preserved (covered)" `Quick
+      test_preserves_answer_covered;
+    Alcotest.test_case "answer preserved (non-covered)" `Quick
+      test_preserves_answer_non_covered;
+    Alcotest.test_case "scenario 2.a empties the set" `Quick
+      test_empty_result_on_scenario_2a;
+    Alcotest.test_case "tight cover kept" `Quick test_keeps_tight_cover;
+    Alcotest.test_case "reference fc agreement" `Quick
+      test_conflict_free_count_reference;
+    Alcotest.test_case "mutual conflicts kept" `Quick test_fixpoint_cascades;
+    Alcotest.test_case "random consistency vs oracle" `Slow
+      test_large_random_consistency;
+  ]

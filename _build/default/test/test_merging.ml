@@ -1,0 +1,104 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+
+let test_perfect_merge_adjacent () =
+  let a = sub [ (0, 4); (0, 9) ] and b = sub [ (5, 9); (0, 9) ] in
+  match Merging.perfect_merge a b with
+  | Some u ->
+      Alcotest.(check bool) "union box" true
+        (Subscription.equal u (sub [ (0, 9); (0, 9) ]))
+  | None -> Alcotest.fail "adjacent ranges merge"
+
+let test_perfect_merge_overlapping () =
+  let a = sub [ (0, 6); (0, 9) ] and b = sub [ (4, 9); (0, 9) ] in
+  match Merging.perfect_merge a b with
+  | Some u ->
+      Alcotest.(check bool) "union box" true
+        (Subscription.equal u (sub [ (0, 9); (0, 9) ]))
+  | None -> Alcotest.fail "overlapping ranges merge"
+
+let test_perfect_merge_gap_fails () =
+  let a = sub [ (0, 3); (0, 9) ] and b = sub [ (5, 9); (0, 9) ] in
+  Alcotest.(check bool) "gap blocks merge" true
+    (Option.is_none (Merging.perfect_merge a b))
+
+let test_perfect_merge_two_attrs_fail () =
+  let a = sub [ (0, 4); (0, 4) ] and b = sub [ (5, 9); (5, 9) ] in
+  Alcotest.(check bool) "two differing attributes block merge" true
+    (Option.is_none (Merging.perfect_merge a b))
+
+let test_perfect_merge_covering () =
+  let big = sub [ (0, 9); (0, 9) ] and small = sub [ (2, 3); (2, 3) ] in
+  (match Merging.perfect_merge big small with
+  | Some u -> Alcotest.(check bool) "covering merge = big" true (Subscription.equal u big)
+  | None -> Alcotest.fail "covering pairs always merge");
+  match Merging.perfect_merge small big with
+  | Some u -> Alcotest.(check bool) "symmetric" true (Subscription.equal u big)
+  | None -> Alcotest.fail "covering pairs always merge"
+
+let test_merge_preserves_point_set () =
+  (* Every point is in a or b iff it is in the merge. *)
+  let a = sub [ (0, 6); (2, 5) ] and b = sub [ (4, 9); (2, 5) ] in
+  match Merging.perfect_merge a b with
+  | None -> Alcotest.fail "should merge"
+  | Some u ->
+      for x = -1 to 10 do
+        for y = 1 to 6 do
+          let p = [| x; y |] in
+          Alcotest.(check bool) "same point set"
+            (Subscription.covers_point a p || Subscription.covers_point b p)
+            (Subscription.covers_point u p)
+        done
+      done
+
+let test_hull_and_fp_volume () =
+  let a = sub [ (0, 1); (0, 1) ] and b = sub [ (3, 4); (3, 4) ] in
+  let h = Merging.hull_merge a b in
+  Alcotest.(check bool) "hull" true
+    (Subscription.equal h (sub [ (0, 4); (0, 4) ]));
+  (* Hull has 25 points, a and b have 4 each, disjoint -> 17 extra. *)
+  Alcotest.(check (float 1e-6)) "false-positive volume" (log10 17.0)
+    (Merging.false_positive_log10_volume a b);
+  (* A perfect merge has no excess. *)
+  let c = sub [ (0, 4); (0, 1) ] and d = sub [ (0, 4); (2, 3) ] in
+  Alcotest.(check bool) "perfect merge: -inf" true
+    (Merging.false_positive_log10_volume c d = neg_infinity)
+
+let test_greedy_reduce () =
+  (* Four quadrant tiles merge down to one box (via two row merges). *)
+  let tiles =
+    [
+      sub [ (0, 4); (0, 4) ];
+      sub [ (5, 9); (0, 4) ];
+      sub [ (0, 4); (5, 9) ];
+      sub [ (5, 9); (5, 9) ];
+    ]
+  in
+  match Merging.greedy_reduce tiles with
+  | [ only ] ->
+      Alcotest.(check bool) "single box" true
+        (Subscription.equal only (sub [ (0, 9); (0, 9) ]))
+  | l -> Alcotest.failf "expected 1 box, got %d" (List.length l)
+
+let test_greedy_reduce_fixpoint () =
+  let unmergeable =
+    [ sub [ (0, 1); (0, 1) ]; sub [ (5, 6); (5, 6) ]; sub [ (10, 11); (0, 1) ] ]
+  in
+  Alcotest.(check int) "nothing merges" 3
+    (List.length (Merging.greedy_reduce unmergeable))
+
+let suite =
+  [
+    Alcotest.test_case "adjacent merge" `Quick test_perfect_merge_adjacent;
+    Alcotest.test_case "overlapping merge" `Quick test_perfect_merge_overlapping;
+    Alcotest.test_case "gap blocks merge" `Quick test_perfect_merge_gap_fails;
+    Alcotest.test_case "two attributes block merge" `Quick
+      test_perfect_merge_two_attrs_fail;
+    Alcotest.test_case "covering merge" `Quick test_perfect_merge_covering;
+    Alcotest.test_case "point set preserved" `Quick
+      test_merge_preserves_point_set;
+    Alcotest.test_case "hull and FP volume" `Quick test_hull_and_fp_volume;
+    Alcotest.test_case "greedy reduce" `Quick test_greedy_reduce;
+    Alcotest.test_case "greedy fixpoint" `Quick test_greedy_reduce_fixpoint;
+  ]

@@ -1,0 +1,79 @@
+open Probsub_core
+open Probsub_broker
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "starts empty" 0 (Metrics.total_messages m);
+  m.Metrics.subscribe_msgs <- 3;
+  m.Metrics.unsubscribe_msgs <- 1;
+  m.Metrics.advertise_msgs <- 2;
+  m.Metrics.publish_msgs <- 5;
+  m.Metrics.notifications <- 7;
+  Alcotest.(check int) "total counts link messages only" 11
+    (Metrics.total_messages m);
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.total_messages m);
+  Alcotest.(check int) "reset notifications too" 0 m.Metrics.notifications
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  loop 0
+
+let test_metrics_pp () =
+  let m = Metrics.create () in
+  m.Metrics.subscribe_msgs <- 42;
+  let rendered = Format.asprintf "%a" Metrics.pp m in
+  Alcotest.(check bool) "renders the counter" true
+    (contains_substring rendered "42")
+
+let test_origin_equal () =
+  Alcotest.(check bool) "clients" true
+    (Message.origin_equal (Message.Client 1) (Message.Client 1));
+  Alcotest.(check bool) "links" true
+    (Message.origin_equal (Message.Link 2) (Message.Link 2));
+  Alcotest.(check bool) "client vs link" false
+    (Message.origin_equal (Message.Client 2) (Message.Link 2));
+  Alcotest.(check bool) "different clients" false
+    (Message.origin_equal (Message.Client 1) (Message.Client 2))
+
+let test_payload_pp () =
+  let sub = Subscription.of_bounds [ (0, 9) ] in
+  let renders p = Format.asprintf "%a" Message.pp_payload p in
+  Alcotest.(check bool) "subscribe renders key" true
+    (String.length (renders (Message.Subscribe { key = 7; sub })) > 0);
+  Alcotest.(check string) "unsubscribe" "unsubscribe #3"
+    (renders (Message.Unsubscribe { key = 3 }));
+  Alcotest.(check string) "unadvertise" "unadvertise #4"
+    (renders (Message.Unadvertise { key = 4 }))
+
+let test_network_introspection () =
+  let net =
+    Network.create ~topology:(Topology.chain 3) ~arity:1 ~seed:1 ()
+  in
+  let sub = Subscription.of_bounds [ (0, 9) ] in
+  let key = Network.subscribe net ~broker:1 ~client:5 sub in
+  Network.run net;
+  Alcotest.(check (list (pair (pair int int) (pair int bool))))
+    "client subscriptions listed"
+    [ ((1, 5), (key, true)) ]
+    (List.map
+       (fun (b, c, k, s) -> ((b, c), (k, Subscription.equal s sub)))
+       (Network.client_subscriptions net));
+  Alcotest.(check (list (triple int int int))) "expected recipients"
+    [ (1, 5, key) ]
+    (Network.expected_recipients net (Publication.of_list [ 4 ]));
+  Alcotest.(check (list (triple int int int))) "no recipient outside"
+    []
+    (Network.expected_recipients net (Publication.of_list [ 40 ]));
+  Alcotest.(check bool) "clock advanced" true (Network.now net >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+    Alcotest.test_case "metrics rendering" `Quick test_metrics_pp;
+    Alcotest.test_case "origin equality" `Quick test_origin_equal;
+    Alcotest.test_case "payload rendering" `Quick test_payload_pp;
+    Alcotest.test_case "network introspection" `Quick
+      test_network_introspection;
+  ]

@@ -1,0 +1,42 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+
+let test_find_coverer () =
+  let s = sub [ (2, 5); (2, 5) ] in
+  Alcotest.(check (option int)) "found" (Some 1)
+    (Pairwise.find_coverer s [| sub [ (9, 9); (9, 9) ]; sub [ (0, 9); (0, 9) ] |]);
+  Alcotest.(check (option int)) "not found" None
+    (Pairwise.find_coverer s [| sub [ (0, 3); (0, 9) ]; sub [ (4, 9); (0, 9) ] |]);
+  Alcotest.(check (option int)) "empty set" None (Pairwise.find_coverer s [||]);
+  (* Exact equality counts as covering. *)
+  Alcotest.(check (option int)) "self cover" (Some 0)
+    (Pairwise.find_coverer s [| s |])
+
+let test_coverers_all () =
+  let s = sub [ (2, 5) ] in
+  Alcotest.(check (list int)) "all of them" [ 0; 2 ]
+    (Pairwise.coverers s [| sub [ (0, 9) ]; sub [ (3, 9) ]; sub [ (2, 5) ] |])
+
+let test_covered_by_new () =
+  let s = sub [ (0, 9) ] in
+  Alcotest.(check (list int)) "reverse direction" [ 1 ]
+    (Pairwise.covered_by_new s [| sub [ (0, 10) ]; sub [ (2, 3) ] |])
+
+let test_group_blindness () =
+  (* The defining limitation: pairwise cannot see union coverage. *)
+  let s = sub [ (830, 870); (1003, 1006) ] in
+  let set =
+    [| sub [ (820, 850); (1001, 1007) ]; sub [ (840, 880); (1002, 1009) ] |]
+  in
+  Alcotest.(check (option int)) "pairwise blind" None
+    (Pairwise.find_coverer s set);
+  Alcotest.(check bool) "but the union covers" true (Exact.covered s set)
+
+let suite =
+  [
+    Alcotest.test_case "find coverer" `Quick test_find_coverer;
+    Alcotest.test_case "all coverers" `Quick test_coverers_all;
+    Alcotest.test_case "reverse pruning" `Quick test_covered_by_new;
+    Alcotest.test_case "group blindness" `Quick test_group_blindness;
+  ]

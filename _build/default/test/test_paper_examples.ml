@@ -1,0 +1,151 @@
+(* The paper's worked examples, transcribed literally:
+   - Table 3 / Fig. 2: s ⊑ s1 ∨ s2 although neither covers s alone.
+   - Table 5: the conflict table for that example.
+   - Table 6 / Fig. 3: a non-cover with polyhedron witness x1 > 870.
+   - Table 7/8 / Fig. 4: conflict-free entries make s3 redundant, MCS
+     keeps exactly {s1, s2}. *)
+
+open Probsub_core
+
+let sub = Subscription.of_bounds
+
+(* Table 3 *)
+let s_t3 = sub [ (830, 870); (1003, 1006) ]
+let s1_t3 = sub [ (820, 850); (1001, 1007) ]
+let s2_t3 = sub [ (840, 880); (1002, 1009) ]
+
+(* Table 6 *)
+let s_t6 = sub [ (830, 890); (1003, 1006) ]
+let s1_t6 = sub [ (820, 850); (1002, 1009) ]
+let s2_t6 = sub [ (840, 870); (1001, 1007) ]
+
+(* Table 7 — the paper's rendering of s3's x2 range is OCR-garbled
+   ("[100, 10054]"); Table 8's conflict cells (x2 < 1004, x2 > 1005)
+   pin it down to [1004, 1005]. *)
+let s3_t7 = sub [ (810, 890); (1004, 1005) ]
+
+let rng () = Prng.of_int 42
+
+let check_covered () =
+  let report = Engine.check ~rng:(rng ()) s_t3 [| s1_t3; s2_t3 |] in
+  Alcotest.(check bool)
+    "s is (probabilistically) covered by {s1, s2}" true
+    (Engine.is_covered report.Engine.verdict);
+  Alcotest.(check bool)
+    "exact oracle agrees" true
+    (Exact.covered s_t3 [| s1_t3; s2_t3 |])
+
+let check_no_single_coverer () =
+  Alcotest.(check bool) "s1 alone does not cover s" false
+    (Subscription.covers_sub s1_t3 s_t3);
+  Alcotest.(check bool) "s2 alone does not cover s" false
+    (Subscription.covers_sub s2_t3 s_t3);
+  Alcotest.(check (option int))
+    "pairwise baseline finds no coverer" None
+    (Pairwise.find_coverer s_t3 [| s1_t3; s2_t3 |])
+
+(* Table 5: row s1 has exactly one defined cell, x1 > 850; row s2 has
+   exactly one defined cell, x1 < 840. *)
+let check_conflict_table () =
+  let t = Conflict_table.build ~s:s_t3 [| s1_t3; s2_t3 |] in
+  Alcotest.(check int) "t_1 = 1" 1 (Conflict_table.defined_count t ~row:0);
+  Alcotest.(check int) "t_2 = 1" 1 (Conflict_table.defined_count t ~row:1);
+  (match Conflict_table.cell t ~row:0 ~attr:0 ~side:Conflict_table.High with
+  | Conflict_table.Defined { bound; _ } ->
+      Alcotest.(check int) "s1's defined cell is x1 > 850" 850 bound
+  | Conflict_table.Undefined -> Alcotest.fail "expected x1 > 850 defined");
+  (match Conflict_table.cell t ~row:1 ~attr:0 ~side:Conflict_table.Low with
+  | Conflict_table.Defined { bound; _ } ->
+      Alcotest.(check int) "s2's defined cell is x1 < 840" 840 bound
+  | Conflict_table.Undefined -> Alcotest.fail "expected x1 < 840 defined");
+  List.iter
+    (fun (row, attr, side, label) ->
+      match Conflict_table.cell t ~row ~attr ~side with
+      | Conflict_table.Undefined -> ()
+      | Conflict_table.Defined _ -> Alcotest.failf "%s should be undefined" label)
+    [
+      (0, 0, Conflict_table.Low, "T_1 x1<low");
+      (0, 1, Conflict_table.Low, "T_1 x2<low");
+      (0, 1, Conflict_table.High, "T_1 x2>high");
+      (1, 0, Conflict_table.High, "T_2 x1>high");
+      (1, 1, Conflict_table.Low, "T_2 x2<low");
+      (1, 1, Conflict_table.High, "T_2 x2>high");
+    ];
+  (* The two defined cells conflict: x1 < 840 and x1 > 850 cannot both
+     hold inside s. *)
+  Alcotest.(check bool) "x1<840 conflicts with x1>850" true
+    (Conflict_table.cells_conflict t ~row1:0 ~attr1:0
+       ~side1:Conflict_table.High ~row2:1 ~attr2:0 ~side2:Conflict_table.Low)
+
+(* Table 6 / Fig. 3: the strip x1 ∈ [871, 890] of s is a polyhedron
+   witness; the subsumption does not hold. *)
+let check_non_cover () =
+  let report = Engine.check ~rng:(rng ()) s_t6 [| s1_t6; s2_t6 |] in
+  (match report.Engine.verdict with
+  | Engine.Not_covered _ -> ()
+  | Engine.Covered_pairwise _ | Engine.Covered_probably ->
+      Alcotest.fail "expected non-cover");
+  Alcotest.(check bool) "exact oracle agrees" false
+    (Exact.covered s_t6 [| s1_t6; s2_t6 |]);
+  match Exact.find_witness s_t6 [| s1_t6; s2_t6 |] with
+  | None -> Alcotest.fail "oracle must produce a witness"
+  | Some p ->
+      Alcotest.(check bool) "witness point lies in the x1 > 870 strip" true
+        (p.(0) > 870)
+
+(* Table 8 / Fig. 4: s3's two defined cells (x2 < 1004, x2 > 1005) are
+   conflict-free, so MCS removes s3 and keeps exactly {s1, s2}. *)
+let check_mcs_example () =
+  let t = Conflict_table.build ~s:s_t3 [| s1_t3; s2_t3; s3_t7 |] in
+  Alcotest.(check int) "t_3 = 2" 2 (Conflict_table.defined_count t ~row:2);
+  let alive = [| true; true; true |] in
+  Alcotest.(check int) "fc_3 = 2" 2
+    (Mcs.conflict_free_count t ~alive ~row:2);
+  Alcotest.(check int) "fc_1 = 0" 0
+    (Mcs.conflict_free_count t ~alive ~row:0);
+  Alcotest.(check int) "fc_2 = 0" 0
+    (Mcs.conflict_free_count t ~alive ~row:1);
+  let result = Mcs.run t in
+  Alcotest.(check (list int)) "MCS keeps {s1, s2}" [ 0; 1 ] result.Mcs.kept;
+  Alcotest.(check (list int)) "MCS removes s3" [ 2 ] result.Mcs.removed
+
+(* Bike-rental publications of Table 1: p1 matches s1, p2 matches s2
+   (using the paper's attribute encoding; dates become epoch minutes). *)
+let check_table1 () =
+  let date y m d hh mm = ((((y * 12) + m) * 31 + d) * 24 + hh) * 60 + mm in
+  let star = (Interval.lo Interval.full, Interval.hi Interval.full) in
+  let s1 =
+    sub
+      [
+        (1000, 1999); (19, 19); (1, 1) (* brand X = 1 *); (820, 840);
+        (date 2006 3 31 16 0, date 2006 3 31 20 0);
+      ]
+  in
+  let s2 =
+    sub
+      [
+        (1, 1999); (17, 19); star; (10, 12);
+        (date 2006 3 31 12 0, date 2006 3 31 14 0);
+      ]
+  in
+  let p1 = Publication.of_list [ 1036; 19; 1; 825; date 2006 3 31 18 23 ] in
+  let p2 = Publication.of_list [ 1035; 17; 2; 11; date 2006 3 31 12 23 ] in
+  Alcotest.(check bool) "p1 matches s1" true (Publication.matches s1 p1);
+  Alcotest.(check bool) "p2 matches s2" true (Publication.matches s2 p2);
+  Alcotest.(check bool) "p1 does not match s2" false
+    (Publication.matches s2 p1);
+  Alcotest.(check bool) "p2 does not match s1" false
+    (Publication.matches s1 p2)
+
+let suite =
+  [
+    Alcotest.test_case "Table 3: group cover detected" `Quick check_covered;
+    Alcotest.test_case "Table 3: no single coverer" `Quick
+      check_no_single_coverer;
+    Alcotest.test_case "Table 5: conflict table content" `Quick
+      check_conflict_table;
+    Alcotest.test_case "Table 6: non-cover detected" `Quick check_non_cover;
+    Alcotest.test_case "Tables 7-8: MCS removes conflict-free row" `Quick
+      check_mcs_example;
+    Alcotest.test_case "Table 1: bike-rental matching" `Quick check_table1;
+  ]

@@ -1,0 +1,158 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+
+let test_basic_order () =
+  let t = Poset.create ~arity:2 () in
+  let big = Poset.add t (sub [ (0, 99); (0, 99) ]) in
+  let mid = Poset.add t (sub [ (10, 50); (10, 50) ]) in
+  let small = Poset.add t (sub [ (20, 30); (20, 30) ]) in
+  Alcotest.(check int) "three nodes" 3 (Poset.size t);
+  Alcotest.(check (list int)) "single root" [ big ]
+    (List.map fst (Poset.roots t));
+  Alcotest.(check bool) "big covers small transitively" true
+    (Poset.covers t big small);
+  Alcotest.(check bool) "mid covers small" true (Poset.covers t mid small);
+  Alcotest.(check bool) "small does not cover mid" false
+    (Poset.covers t small mid);
+  Alcotest.(check bool) "valid" true (Poset.validate t)
+
+let test_insert_between () =
+  (* Insert the middle element last: the direct big->small edge must be
+     replaced by big->mid->small. *)
+  let t = Poset.create ~arity:1 () in
+  let big = Poset.add t (sub [ (0, 99) ]) in
+  let small = Poset.add t (sub [ (40, 60) ]) in
+  let mid = Poset.add t (sub [ (20, 80) ]) in
+  Alcotest.(check bool) "valid" true (Poset.validate t);
+  Alcotest.(check (list int)) "one root" [ big ] (List.map fst (Poset.roots t));
+  Alcotest.(check bool) "big -> mid -> small" true
+    (Poset.covers t big mid && Poset.covers t mid small)
+
+let test_incomparable_roots () =
+  let t = Poset.create ~arity:1 () in
+  let a = Poset.add t (sub [ (0, 10) ]) in
+  let b = Poset.add t (sub [ (20, 30) ]) in
+  let c = Poset.add t (sub [ (5, 25) ]) (* overlaps both, covers neither *) in
+  Alcotest.(check (list int)) "three roots" [ a; b; c ]
+    (List.map fst (Poset.roots t));
+  Alcotest.(check bool) "no covering" false (Poset.covers t a b);
+  Alcotest.(check bool) "valid" true (Poset.validate t)
+
+let test_duplicates_chain () =
+  let t = Poset.create ~arity:1 () in
+  let first = Poset.add t (sub [ (0, 10) ]) in
+  let second = Poset.add t (sub [ (0, 10) ]) in
+  Alcotest.(check (list int)) "older duplicate is the root" [ first ]
+    (List.map fst (Poset.roots t));
+  Alcotest.(check bool) "chained" true (Poset.covers t first second);
+  Alcotest.(check bool) "acyclic" false (Poset.covers t second first);
+  Alcotest.(check bool) "valid" true (Poset.validate t)
+
+let test_remove_reconnects () =
+  let t = Poset.create ~arity:1 () in
+  let big = Poset.add t (sub [ (0, 99) ]) in
+  let mid = Poset.add t (sub [ (20, 80) ]) in
+  let small = Poset.add t (sub [ (40, 60) ]) in
+  Poset.remove t mid;
+  Alcotest.(check int) "two left" 2 (Poset.size t);
+  Alcotest.(check bool) "valid" true (Poset.validate t);
+  Alcotest.(check bool) "big still covers small" true
+    (Poset.covers t big small);
+  Alcotest.(check (list int)) "root survives" [ big ]
+    (List.map fst (Poset.roots t));
+  Alcotest.check_raises "mid is gone" Not_found (fun () ->
+      ignore (Poset.find t mid))
+
+let test_remove_root_promotes () =
+  let t = Poset.create ~arity:1 () in
+  let big = Poset.add t (sub [ (0, 99) ]) in
+  let a = Poset.add t (sub [ (10, 40) ]) in
+  let b = Poset.add t (sub [ (50, 90) ]) in
+  Poset.remove t big;
+  Alcotest.(check (list int)) "children become roots" [ a; b ]
+    (List.map fst (Poset.roots t));
+  Alcotest.(check bool) "valid" true (Poset.validate t)
+
+let test_covered_by_some_root () =
+  let t = Poset.create ~arity:2 () in
+  let _ = Poset.add t (sub [ (0, 50); (0, 99) ]) in
+  let _ = Poset.add t (sub [ (40, 99); (0, 50) ]) in
+  Alcotest.(check bool) "inside the first" true
+    (Poset.covered_by_some_root t (sub [ (10, 20); (10, 90) ]));
+  Alcotest.(check bool) "group-covered only: poset says no" false
+    (Poset.covered_by_some_root t (sub [ (30, 60); (10, 40) ]));
+  Alcotest.(check bool) "outside everything" false
+    (Poset.covered_by_some_root t (sub [ (60, 99); (60, 99) ]))
+
+let test_against_flat_scan () =
+  (* Randomized: the poset's roots and coverage answers must agree with
+     a naive flat implementation under interleaved add/remove. *)
+  let rng = Prng.of_int 99 in
+  let t = Poset.create ~arity:2 () in
+  let flat = Hashtbl.create 32 in
+  for _ = 1 to 300 do
+    if Prng.float rng < 0.7 || Hashtbl.length flat = 0 then begin
+      let lo1 = Prng.int rng 30 and lo2 = Prng.int rng 30 in
+      let w1 = 1 + Prng.int rng 40 and w2 = 1 + Prng.int rng 40 in
+      let s = sub [ (lo1, lo1 + w1); (lo2, lo2 + w2) ] in
+      let id = Poset.add t s in
+      Hashtbl.replace flat id s
+    end
+    else begin
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) flat [] in
+      let id = List.nth ids (Prng.int rng (List.length ids)) in
+      Hashtbl.remove flat id;
+      Poset.remove t id
+    end;
+    Alcotest.(check bool) "invariants hold" true (Poset.validate t);
+    Alcotest.(check int) "sizes agree" (Hashtbl.length flat) (Poset.size t);
+    (* Coverage probe. *)
+    let lo1 = Prng.int rng 40 and lo2 = Prng.int rng 40 in
+    let probe = sub [ (lo1, lo1 + 1 + Prng.int rng 20); (lo2, lo2 + 1 + Prng.int rng 20) ] in
+    let naive =
+      Hashtbl.fold
+        (fun _ s acc -> acc || Subscription.covers_sub s probe)
+        flat false
+    in
+    Alcotest.(check bool) "coverage agrees with naive scan" naive
+      (Poset.covered_by_some_root t probe);
+    (* Roots = elements not covered by any distinct other (older
+       duplicates win). *)
+    let naive_roots =
+      Hashtbl.fold
+        (fun id s acc ->
+          let covered =
+            Hashtbl.fold
+              (fun id' s' c ->
+                c
+                || (id' <> id
+                   && Subscription.covers_sub s' s
+                   && (not (Subscription.equal s' s) || id' < id)))
+              flat false
+          in
+          if covered then acc else id :: acc)
+        flat []
+      |> List.sort Int.compare
+    in
+    Alcotest.(check (list int)) "roots agree with naive scan" naive_roots
+      (List.map fst (Poset.roots t))
+  done
+
+let test_arity_guard () =
+  let t = Poset.create ~arity:2 () in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Poset.add: arity mismatch")
+    (fun () -> ignore (Poset.add t (sub [ (0, 1) ])))
+
+let suite =
+  [
+    Alcotest.test_case "basic order" `Quick test_basic_order;
+    Alcotest.test_case "insert between" `Quick test_insert_between;
+    Alcotest.test_case "incomparable roots" `Quick test_incomparable_roots;
+    Alcotest.test_case "duplicates chain" `Quick test_duplicates_chain;
+    Alcotest.test_case "remove reconnects" `Quick test_remove_reconnects;
+    Alcotest.test_case "remove root" `Quick test_remove_root_promotes;
+    Alcotest.test_case "root coverage query" `Quick test_covered_by_some_root;
+    Alcotest.test_case "randomized vs flat scan" `Slow test_against_flat_scan;
+    Alcotest.test_case "arity guard" `Quick test_arity_guard;
+  ]

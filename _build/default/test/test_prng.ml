@@ -1,0 +1,120 @@
+open Probsub_core
+
+let test_determinism () =
+  let a = Prng.of_int 7 and b = Prng.of_int 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Prng.bits64 a)
+      (Prng.bits64 b)
+  done;
+  let c = Prng.of_int 8 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 c then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_copy () =
+  let a = Prng.of_int 3 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a)
+    (Prng.bits64 b)
+
+let test_split () =
+  let a = Prng.of_int 3 in
+  let b = Prng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.bits64 a = Prng.bits64 b then incr matches
+  done;
+  Alcotest.(check int) "split streams do not coincide" 0 !matches
+
+let test_int_bounds () =
+  let rng = Prng.of_int 11 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 10 in
+    Alcotest.(check bool) "0 <= v < 10" true (v >= 0 && v < 10)
+  done;
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Prng.of_int 5 in
+  let n = 10 and draws = 100_000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let v = Prng.int rng n in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int n in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      if dev > 0.05 then
+        Alcotest.failf "bucket %d deviates %.1f%% from uniform" i (dev *. 100.))
+    counts
+
+let test_int_in () =
+  let rng = Prng.of_int 13 in
+  for _ = 1 to 1_000 do
+    let v = Prng.int_in rng ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "within inclusive range" true (v >= -5 && v <= 5)
+  done;
+  (* Degenerate range. *)
+  Alcotest.(check int) "single-point range" 42 (Prng.int_in rng ~lo:42 ~hi:42);
+  Alcotest.check_raises "inverted" (Invalid_argument "Prng.int_in: lo > hi")
+    (fun () -> ignore (Prng.int_in rng ~lo:1 ~hi:0))
+
+let test_in_interval () =
+  let rng = Prng.of_int 17 in
+  let r = Interval.make ~lo:100 ~hi:110 in
+  for _ = 1 to 1_000 do
+    Alcotest.(check bool) "in interval" true
+      (Interval.mem (Prng.in_interval rng r) r)
+  done
+
+let test_float () =
+  let rng = Prng.of_int 19 in
+  let sum = ref 0.0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let f = Prng.float rng in
+    Alcotest.(check bool) "[0,1)" true (f >= 0.0 && f < 1.0);
+    sum := !sum +. f
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_bool () =
+  let rng = Prng.of_int 23 in
+  let trues = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Prng.bool rng then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "fair coin" true (Float.abs (ratio -. 0.5) < 0.01)
+
+let test_large_bound () =
+  let rng = Prng.of_int 29 in
+  (* Interval sentinels imply bounds near 2^41; draws must stay exact. *)
+  let r = Interval.full in
+  for _ = 1 to 1_000 do
+    Alcotest.(check bool) "full-domain draw in range" true
+      (Interval.mem (Prng.in_interval rng r) r)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "split independence" `Quick test_split;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "int_in inclusive" `Quick test_int_in;
+    Alcotest.test_case "interval draws" `Quick test_in_interval;
+    Alcotest.test_case "float range and mean" `Quick test_float;
+    Alcotest.test_case "bool fairness" `Quick test_bool;
+    Alcotest.test_case "large bounds" `Quick test_large_bound;
+  ]

@@ -1,0 +1,125 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+let table s subs = Conflict_table.build ~s (Array.of_list subs)
+
+let test_all_candidates_in_s () =
+  let rng = Prng.of_int 3 in
+  for _ = 1 to 50 do
+    let s =
+      Subscription.of_list
+        (List.init 3 (fun _ ->
+             let lo = Prng.int rng 20 in
+             Interval.make ~lo ~hi:(lo + 5 + Prng.int rng 20)))
+    in
+    let subs =
+      Array.init 6 (fun _ ->
+          Subscription.of_list
+            (List.init 3 (fun _ ->
+                 let lo = Prng.int rng 30 in
+                 Interval.make ~lo ~hi:(lo + 5 + Prng.int rng 25))))
+    in
+    let t = Conflict_table.build ~s subs in
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "probe inside s" true
+          (Subscription.covers_point s p))
+      (Probes.candidate_points t)
+  done
+
+let test_probe_finds_the_gap () =
+  (* An extreme-non-cover style instance: the minimal strips point
+     straight into the gap, so the probes settle it deterministically. *)
+  let rng = Prng.of_int 4 in
+  let inst =
+    Probsub_workload.Scenario.extreme_non_cover rng ~m:5 ~k:50
+      ~gap_fraction:0.01 ~stagger_spread:0
+  in
+  let t =
+    Conflict_table.build ~s:inst.Probsub_workload.Scenario.s
+      inst.Probsub_workload.Scenario.set
+  in
+  match Probes.try_probes t with
+  | Some p ->
+      Alcotest.(check bool) "probe is a real witness" true
+        (Witness.is_point_witness t p)
+  | None -> Alcotest.fail "the min-strip probe must land in the gap"
+
+let test_probe_sound_on_covered () =
+  (* Covered instances: probes must find nothing. *)
+  let t =
+    table
+      (sub [ (830, 870); (1003, 1006) ])
+      [ sub [ (820, 850); (1001, 1007) ]; sub [ (840, 880); (1002, 1009) ] ]
+  in
+  Alcotest.(check bool) "no witness exists, none claimed" true
+    (Option.is_none (Probes.try_probes t))
+
+let test_empty_table () =
+  Alcotest.(check (list (array int))) "no rows, no probes" []
+    (Probes.candidate_points (table (sub [ (0, 9) ]) []))
+
+let test_engine_with_probes () =
+  (* The engine's probe stage answers a definite NO with zero RSPC
+     iterations on the probe-friendly instance. *)
+  let rng = Prng.of_int 5 in
+  let inst =
+    Probsub_workload.Scenario.extreme_non_cover rng ~m:5 ~k:50
+      ~gap_fraction:0.01 ~stagger_spread:0
+  in
+  let config = Engine.config ~use_probes:true () in
+  let report =
+    Engine.check ~config ~rng inst.Probsub_workload.Scenario.s
+      inst.Probsub_workload.Scenario.set
+  in
+  (match report.Engine.verdict with
+  | Engine.Not_covered (Engine.Point _) -> ()
+  | _ -> Alcotest.fail "probe stage must answer NO");
+  Alcotest.(check int) "zero random trials" 0 report.Engine.iterations;
+  (* Without probes the same instance costs ~1/rho ~ 100 trials. *)
+  let plain =
+    Engine.check ~config:(Engine.config ()) ~rng
+      inst.Probsub_workload.Scenario.s inst.Probsub_workload.Scenario.set
+  in
+  Alcotest.(check bool) "probes save the random search" true
+    (plain.Engine.iterations > 10)
+
+let test_engine_probes_never_flip_yes () =
+  (* qcheck-style randomized soundness: enabling probes never turns a
+     covered instance into a NO incorrectly. *)
+  let rng = Prng.of_int 6 in
+  for _ = 1 to 60 do
+    let s =
+      Subscription.of_list
+        (List.init 2 (fun _ ->
+             let lo = Prng.int rng 15 in
+             Interval.make ~lo ~hi:(lo + 4 + Prng.int rng 12)))
+    in
+    let subs =
+      Array.init 5 (fun _ ->
+          Subscription.of_list
+            (List.init 2 (fun _ ->
+                 let lo = Prng.int rng 20 in
+                 Interval.make ~lo ~hi:(lo + 4 + Prng.int rng 18))))
+    in
+    let config = Engine.config ~use_probes:true () in
+    let report = Engine.check ~config ~rng s subs in
+    match report.Engine.verdict with
+    | Engine.Not_covered _ ->
+        Alcotest.(check bool) "probe NO is sound" false (Exact.covered s subs)
+    | Engine.Covered_pairwise _ | Engine.Covered_probably -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "candidates stay inside s" `Quick
+      test_all_candidates_in_s;
+    Alcotest.test_case "probes find an aligned gap" `Quick
+      test_probe_finds_the_gap;
+    Alcotest.test_case "sound on covered instances" `Quick
+      test_probe_sound_on_covered;
+    Alcotest.test_case "empty table" `Quick test_empty_table;
+    Alcotest.test_case "engine probe stage" `Quick test_engine_with_probes;
+    Alcotest.test_case "probes never flip to YES wrongly" `Quick
+      test_engine_probes_never_flip_yes;
+  ]

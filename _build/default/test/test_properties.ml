@@ -1,0 +1,444 @@
+(* Property-based tests (qcheck) for the core invariants:
+   soundness of every definite answer, MCS answer preservation,
+   subtraction partition laws, and the algebra of intervals/boxes. *)
+
+open Probsub_core
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let interval_gen ~max_lo ~max_width =
+  QCheck.Gen.(
+    let* lo = int_bound max_lo in
+    let* w = int_bound max_width in
+    return (Interval.make ~lo ~hi:(lo + w)))
+
+let subscription_gen ~arity ~max_lo ~max_width =
+  QCheck.Gen.(
+    let* ranges =
+      list_repeat arity (interval_gen ~max_lo ~max_width)
+    in
+    return (Subscription.of_list ranges))
+
+(* A subsumption problem instance: tested subscription s plus a set,
+   sized so the exact oracle stays fast. *)
+let problem_gen =
+  QCheck.Gen.(
+    let* arity = int_range 1 3 in
+    let* s = subscription_gen ~arity ~max_lo:15 ~max_width:15 in
+    let* k = int_range 0 7 in
+    let* subs = list_repeat k (subscription_gen ~arity ~max_lo:20 ~max_width:20) in
+    return (s, Array.of_list subs))
+
+let problem_arb =
+  QCheck.make problem_gen ~print:(fun (s, subs) ->
+      Format.asprintf "s = %a; S = [%a]" Subscription.pp s
+        (Format.pp_print_array
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Subscription.pp)
+        subs)
+
+let interval_pair_arb =
+  QCheck.make
+    QCheck.Gen.(
+      let* a = interval_gen ~max_lo:30 ~max_width:20 in
+      let* b = interval_gen ~max_lo:30 ~max_width:20 in
+      return (a, b))
+    ~print:(fun (a, b) ->
+      Printf.sprintf "%s, %s" (Interval.to_string a) (Interval.to_string b))
+
+let box_pair_arb =
+  QCheck.make
+    QCheck.Gen.(
+      let* arity = int_range 1 3 in
+      let* a = subscription_gen ~arity ~max_lo:12 ~max_width:8 in
+      let* b = subscription_gen ~arity ~max_lo:12 ~max_width:8 in
+      return (a, b))
+    ~print:(fun (a, b) ->
+      Format.asprintf "%a, %a" Subscription.pp a Subscription.pp b)
+
+let count = 300
+
+(* ------------------------------------------------------------------ *)
+(* Interval algebra *)
+
+let prop_inter_commutative =
+  QCheck.Test.make ~count ~name:"interval intersection commutes"
+    interval_pair_arb (fun (a, b) ->
+      match (Interval.inter a b, Interval.inter b a) with
+      | None, None -> true
+      | Some x, Some y -> Interval.equal x y
+      | Some _, None | None, Some _ -> false)
+
+let prop_inter_subset =
+  QCheck.Test.make ~count ~name:"intersection contained in both"
+    interval_pair_arb (fun (a, b) ->
+      match Interval.inter a b with
+      | None -> not (Interval.intersects a b)
+      | Some i -> Interval.subset i a && Interval.subset i b)
+
+let prop_hull_contains =
+  QCheck.Test.make ~count ~name:"hull contains both" interval_pair_arb
+    (fun (a, b) ->
+      let h = Interval.hull a b in
+      Interval.subset a h && Interval.subset b h)
+
+let prop_subset_mem =
+  QCheck.Test.make ~count ~name:"subset agrees with membership"
+    interval_pair_arb (fun (a, b) ->
+      let pointwise = ref true in
+      for v = Interval.lo a to Interval.hi a do
+        if not (Interval.mem v b) then pointwise := false
+      done;
+      Interval.subset a b = !pointwise)
+
+(* ------------------------------------------------------------------ *)
+(* Box algebra *)
+
+let sample_points (s : Subscription.t) =
+  (* Corners plus centre: enough to falsify box predicates. *)
+  let m = Subscription.arity s in
+  let lo = Array.init m (fun j -> Interval.lo (Subscription.range s j)) in
+  let hi = Array.init m (fun j -> Interval.hi (Subscription.range s j)) in
+  let mid = Array.init m (fun j -> (lo.(j) + hi.(j)) / 2) in
+  [ lo; hi; mid ]
+
+let prop_covers_sub_pointwise =
+  QCheck.Test.make ~count ~name:"covers_sub implies pointwise coverage"
+    box_pair_arb (fun (a, b) ->
+      (not (Subscription.covers_sub a b))
+      || List.for_all (fun p -> Subscription.covers_point a p) (sample_points b))
+
+let prop_box_inter =
+  QCheck.Test.make ~count ~name:"box intersection is pointwise and"
+    box_pair_arb (fun (a, b) ->
+      match Subscription.inter a b with
+      | None -> not (Subscription.intersects a b)
+      | Some i ->
+          List.for_all
+            (fun p ->
+              Subscription.covers_point a p && Subscription.covers_point b p)
+            (sample_points i))
+
+(* ------------------------------------------------------------------ *)
+(* Conflict table *)
+
+let prop_cell_definition =
+  QCheck.Test.make ~count ~name:"cell defined iff strip non-empty"
+    problem_arb (fun (s, subs) ->
+      let t = Conflict_table.build ~s subs in
+      let ok = ref true in
+      for row = 0 to Conflict_table.rows t - 1 do
+        for attr = 0 to Conflict_table.arity t - 1 do
+          List.iter
+            (fun side ->
+              let defined =
+                match Conflict_table.cell t ~row ~attr ~side with
+                | Conflict_table.Defined _ -> true
+                | Conflict_table.Undefined -> false
+              in
+              let has_strip =
+                Option.is_some (Conflict_table.strip t ~row ~attr ~side)
+              in
+              if defined <> has_strip then ok := false)
+            [ Conflict_table.Low; Conflict_table.High ]
+        done
+      done;
+      !ok)
+
+let prop_corollary1 =
+  QCheck.Test.make ~count ~name:"Corollary 1: all-undefined row = coverer"
+    problem_arb (fun (s, subs) ->
+      let t = Conflict_table.build ~s subs in
+      let ok = ref true in
+      for row = 0 to Conflict_table.rows t - 1 do
+        let undef = Conflict_table.row_all_undefined t ~row in
+        let covers = Subscription.covers_sub subs.(row) s in
+        if undef <> covers then ok := false
+      done;
+      !ok)
+
+let prop_corollary2 =
+  QCheck.Test.make ~count ~name:"Corollary 2: all-defined row = covered by s"
+    problem_arb (fun (s, subs) ->
+      let t = Conflict_table.build ~s subs in
+      let ok = ref true in
+      for row = 0 to Conflict_table.rows t - 1 do
+        if Conflict_table.row_all_defined t ~row then begin
+          (* All negations satisfiable: s strictly sticks out beyond si
+             on every side, hence s covers si's intersection pattern on
+             every attribute boundary. *)
+          let m = Subscription.arity s in
+          for j = 0 to m - 1 do
+            let rs = Subscription.range s j
+            and ri = Subscription.range subs.(row) j in
+            if
+              not
+                (Interval.lo rs < Interval.lo ri
+                && Interval.hi rs > Interval.hi ri)
+            then ok := false
+          done
+        end
+      done;
+      !ok)
+
+let prop_corollary3_sound =
+  QCheck.Test.make ~count ~name:"Corollary 3 implies real non-cover"
+    problem_arb (fun (s, subs) ->
+      let t = Conflict_table.build ~s subs in
+      (not (Witness.corollary3_holds t)) || not (Exact.covered s subs))
+
+(* ------------------------------------------------------------------ *)
+(* Witness *)
+
+let prop_polyhedron_sound =
+  QCheck.Test.make ~count ~name:"greedy polyhedron witness verified"
+    problem_arb (fun (s, subs) ->
+      let t = Conflict_table.build ~s subs in
+      match Witness.find_polyhedron t with
+      | None -> true
+      | Some w ->
+          Witness.verify t w
+          && Witness.is_point_witness t (Witness.point_of w)
+          && not (Exact.covered s subs))
+
+(* ------------------------------------------------------------------ *)
+(* MCS *)
+
+let prop_mcs_preserves_answer =
+  QCheck.Test.make ~count ~name:"MCS preserves exact answer" problem_arb
+    (fun (s, subs) ->
+      let t = Conflict_table.build ~s subs in
+      let reduced = Mcs.reduced_subs t (Mcs.run t) in
+      Exact.covered s subs = Exact.covered s reduced)
+
+let prop_mcs_monotone =
+  QCheck.Test.make ~count ~name:"MCS output is a subset" problem_arb
+    (fun (s, subs) ->
+      let t = Conflict_table.build ~s subs in
+      let r = Mcs.run t in
+      List.length r.Mcs.kept + List.length r.Mcs.removed = Array.length subs
+      && List.for_all (fun i -> i >= 0 && i < Array.length subs) r.Mcs.kept)
+
+(* ------------------------------------------------------------------ *)
+(* Exact oracle *)
+
+let prop_subtract_partition =
+  QCheck.Test.make ~count ~name:"subtract partitions box minus cut"
+    box_pair_arb (fun (box, cut) ->
+      let pieces = Exact.subtract box cut in
+      (* Volume law. *)
+      let vol s = Subscription.size s in
+      let inter_vol =
+        match Subscription.inter box cut with None -> 0.0 | Some i -> vol i
+      in
+      let sum = List.fold_left (fun acc p -> acc +. vol p) 0.0 pieces in
+      let expected = vol box -. inter_vol in
+      Float.abs (sum -. expected) < 1e-6
+      (* Disjointness and containment. *)
+      && List.for_all
+           (fun p ->
+             Subscription.covers_sub box p
+             && not (Subscription.intersects p cut))
+           pieces)
+
+let prop_exact_vs_witness =
+  QCheck.Test.make ~count ~name:"oracle witness consistency" problem_arb
+    (fun (s, subs) ->
+      match Exact.find_witness s subs with
+      | Some p ->
+          Subscription.covers_point s p
+          && Rspc.escapes p subs
+          && not (Exact.covered s subs)
+      | None -> Exact.covered s subs)
+
+(* ------------------------------------------------------------------ *)
+(* Engine end-to-end soundness *)
+
+let prop_engine_definite_sound =
+  QCheck.Test.make ~count ~name:"engine definite answers match oracle"
+    problem_arb (fun (s, subs) ->
+      let rng = Prng.of_int 2024 in
+      let r = Engine.check ~rng s subs in
+      match r.Engine.verdict with
+      | Engine.Not_covered _ -> not (Exact.covered s subs)
+      | Engine.Covered_pairwise i -> Subscription.covers_sub subs.(i) s
+      | Engine.Covered_probably ->
+          (* Allowed to be wrong with prob <= delta; with default 1e-6
+             and 300 cases a failure here indicates a real bug. *)
+          Exact.covered s subs)
+
+let prop_engine_ablation_consistent =
+  QCheck.Test.make ~count:150
+    ~name:"engine verdict stable across optimization toggles" problem_arb
+    (fun (s, subs) ->
+      let run cfg = Engine.check ~config:cfg ~rng:(Prng.of_int 7) s subs in
+      let truth = Exact.covered s subs in
+      List.for_all
+        (fun cfg ->
+          let r = run cfg in
+          match r.Engine.verdict with
+          | Engine.Not_covered _ -> not truth
+          | Engine.Covered_pairwise _ | Engine.Covered_probably -> truth)
+        [
+          Engine.config ();
+          Engine.config ~use_mcs:false ();
+          Engine.config ~use_fast_decisions:false ();
+          Engine.config ~use_mcs:false ~use_fast_decisions:false ();
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Merging *)
+
+let prop_perfect_merge_exact =
+  QCheck.Test.make ~count ~name:"perfect merge preserves the point set"
+    box_pair_arb (fun (a, b) ->
+      match Merging.perfect_merge a b with
+      | None -> true
+      | Some u ->
+          List.for_all
+            (fun p ->
+              Subscription.covers_point u p
+              = (Subscription.covers_point a p || Subscription.covers_point b p))
+            (sample_points a @ sample_points b @ sample_points u))
+
+(* ------------------------------------------------------------------ *)
+(* Calendar arithmetic *)
+
+let prop_calendar_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"timestamp minutes round-trip"
+    QCheck.(make Gen.(int_bound (105_000_000)))
+    (fun minutes ->
+      Domain_codec.minutes_of_timestamp (Domain_codec.timestamp_of_minutes minutes)
+      = minutes)
+
+let prop_calendar_monotone =
+  QCheck.Test.make ~count:500 ~name:"timestamps order like their minutes"
+    QCheck.(pair (make Gen.(int_bound 105_000_000)) (make Gen.(int_bound 105_000_000)))
+    (fun (a, b) ->
+      let ta = Domain_codec.timestamp_of_minutes a in
+      let tb = Domain_codec.timestamp_of_minutes b in
+      (compare a b <= 0) = (String.compare ta tb <= 0))
+
+(* ------------------------------------------------------------------ *)
+(* Store: multi-level matching is exact under deterministic policies *)
+
+let store_script_gen =
+  QCheck.Gen.(
+    let* ops =
+      list_size (int_range 5 40)
+        (let* kind = int_bound 9 in
+         let* s = subscription_gen ~arity:2 ~max_lo:25 ~max_width:20 in
+         return (kind, s))
+    in
+    let* probes = list_size (int_range 3 10) (pair (int_bound 50) (int_bound 50)) in
+    return (ops, probes))
+
+let prop_store_multilevel_exact =
+  QCheck.Test.make ~count:150
+    ~name:"pairwise store: multilevel matching equals exhaustive"
+    (QCheck.make store_script_gen)
+    (fun (ops, probes) ->
+      let store =
+        Subscription_store.create ~policy:Subscription_store.Pairwise_policy
+          ~arity:2 ~seed:5 ()
+      in
+      let live = ref [] in
+      List.iter
+        (fun (kind, s) ->
+          if kind < 7 || !live = [] then begin
+            let id, _ = Subscription_store.add store s in
+            live := id :: !live
+          end
+          else begin
+            match !live with
+            | id :: rest ->
+                live := rest;
+                ignore (Subscription_store.remove store id)
+            | [] -> ()
+          end)
+        ops;
+      List.for_all
+        (fun (x, y) ->
+          let p = Publication.of_list [ x; y ] in
+          Subscription_store.match_publication store p
+          = Subscription_store.match_publication_exhaustive store p)
+        probes)
+
+let prop_store_invariants =
+  QCheck.Test.make ~count:120
+    ~name:"store invariants survive add/remove/expire churn"
+    (QCheck.make store_script_gen)
+    (fun (ops, probes) ->
+      ignore probes;
+      let store =
+        Subscription_store.create ~policy:Subscription_store.Pairwise_policy
+          ~arity:2 ~seed:11 ()
+      in
+      let live = ref [] in
+      let clock = ref 0.0 in
+      List.for_all
+        (fun (kind, s) ->
+          clock := !clock +. 1.0;
+          (if kind <= 5 then begin
+             let id, _ =
+               if kind mod 2 = 0 then Subscription_store.add store s
+               else
+                 Subscription_store.add_with_expiry store s
+                   ~expires_at:(!clock +. float_of_int (kind * 3))
+             in
+             live := id :: !live
+           end
+           else if kind <= 7 then
+             match !live with
+             | id :: rest ->
+                 live := rest;
+                 (* The id may already have expired; that is fine. *)
+                 (try ignore (Subscription_store.remove store id)
+                  with Not_found -> ())
+             | [] -> ()
+           else ignore (Subscription_store.expire store ~now:!clock));
+          Subscription_store.validate store)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Poset agrees with the flat pairwise baseline *)
+
+let prop_poset_coverage =
+  QCheck.Test.make ~count:200 ~name:"poset coverage equals flat pairwise scan"
+    problem_arb
+    (fun (s, subs) ->
+      QCheck.assume (Array.length subs > 0);
+      let arity = Subscription.arity s in
+      let poset = Poset.create ~arity () in
+      Array.iter (fun si -> ignore (Poset.add poset si)) subs;
+      Poset.covered_by_some_root poset s
+      = Option.is_some (Pairwise.find_coverer s subs))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_calendar_roundtrip;
+      prop_calendar_monotone;
+      prop_store_multilevel_exact;
+      prop_store_invariants;
+      prop_poset_coverage;
+      prop_inter_commutative;
+      prop_inter_subset;
+      prop_hull_contains;
+      prop_subset_mem;
+      prop_covers_sub_pointwise;
+      prop_box_inter;
+      prop_cell_definition;
+      prop_corollary1;
+      prop_corollary2;
+      prop_corollary3_sound;
+      prop_polyhedron_sound;
+      prop_mcs_preserves_answer;
+      prop_mcs_monotone;
+      prop_subtract_partition;
+      prop_exact_vs_witness;
+      prop_engine_definite_sound;
+      prop_engine_ablation_consistent;
+      prop_perfect_merge_exact;
+    ]

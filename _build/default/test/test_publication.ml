@@ -1,0 +1,68 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+
+let test_point () =
+  let p = Publication.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "arity" 3 (Publication.arity p);
+  let s = sub [ (0, 5); (0, 5); (0, 5) ] in
+  Alcotest.(check bool) "matches" true (Publication.matches s p);
+  let s' = sub [ (0, 5); (0, 5); (4, 5) ] in
+  Alcotest.(check bool) "no match" false (Publication.matches s' p)
+
+let test_point_copies () =
+  let values = [| 1; 2 |] in
+  let p = Publication.point values in
+  values.(0) <- 99;
+  let s = sub [ (1, 1); (2, 2) ] in
+  Alcotest.(check bool) "constructor copied values" true
+    (Publication.matches s p)
+
+let test_box () =
+  let b = Publication.box (sub [ (2, 4); (2, 4) ]) in
+  let covering = sub [ (0, 10); (0, 10) ] in
+  let partial = sub [ (3, 10); (0, 10) ] in
+  Alcotest.(check bool) "box inside matches" true
+    (Publication.matches covering b);
+  Alcotest.(check bool) "partially overlapping box does not" false
+    (Publication.matches partial b)
+
+let test_to_sub () =
+  let p = Publication.of_list [ 7; 9 ] in
+  let s = Publication.to_sub p in
+  Alcotest.(check bool) "degenerate box" true
+    (Subscription.equal s (sub [ (7, 7); (9, 9) ]));
+  let original = sub [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "box publication keeps its box" true
+    (Subscription.equal (Publication.to_sub (Publication.box original)) original)
+
+let test_equal () =
+  Alcotest.(check bool) "points equal" true
+    (Publication.equal (Publication.of_list [ 1; 2 ]) (Publication.of_list [ 1; 2 ]));
+  Alcotest.(check bool) "points differ" false
+    (Publication.equal (Publication.of_list [ 1; 2 ]) (Publication.of_list [ 1; 3 ]));
+  Alcotest.(check bool) "point <> box" false
+    (Publication.equal
+       (Publication.of_list [ 1; 1 ])
+       (Publication.box (sub [ (1, 1); (1, 1) ])))
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty point" (Invalid_argument "Publication.point: empty")
+    (fun () -> ignore (Publication.point [||]))
+
+let test_pp () =
+  Alcotest.(check string) "point" "(1, 2)"
+    (Publication.to_string (Publication.of_list [ 1; 2 ]));
+  Alcotest.(check string) "box" "box {[0, 1]}"
+    (Publication.to_string (Publication.box (sub [ (0, 1) ])))
+
+let suite =
+  [
+    Alcotest.test_case "point matching" `Quick test_point;
+    Alcotest.test_case "defensive copy" `Quick test_point_copies;
+    Alcotest.test_case "box matching" `Quick test_box;
+    Alcotest.test_case "view as subscription" `Quick test_to_sub;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,112 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+let table s subs = Conflict_table.build ~s (Array.of_list subs)
+
+let test_empty_set_rho_one () =
+  let t = table (sub [ (0, 9) ]) [] in
+  let e = Rho.estimate t in
+  Alcotest.(check (float 1e-9)) "rho = 1" 1.0 (Rho.rho e);
+  Alcotest.(check (float 1e-9)) "log10 rho = 0" 0.0 e.Rho.log10_rho
+
+let test_half_cover () =
+  (* s = [0,99]; s1 covers [0,49]: the uncovered strip is half of s. *)
+  let t = table (sub [ (0, 99) ]) [ sub [ (0, 49) ] ] in
+  let e = Rho.estimate t in
+  Alcotest.(check (float 1e-9)) "rho = 0.5" 0.5 (Rho.rho e)
+
+let test_gap_fraction () =
+  (* s = [0,999]^2; the set covers everything except a 1% strip on x0.
+     Algorithm 2's estimate is strip/s = 10/1000 on x0 and full on x1. *)
+  let s = sub [ (0, 999); (0, 999) ] in
+  let t = table s [ sub [ (0, 989); (0, 999) ] ] in
+  let e = Rho.estimate t in
+  Alcotest.(check (float 1e-9)) "rho = 0.01" 0.01 (Rho.rho e)
+
+let test_min_over_rows () =
+  (* Two rows leave different strips on x0; Algorithm 2 takes the
+     minimum width. *)
+  let s = sub [ (0, 99) ] in
+  let t = table s [ sub [ (0, 49) ]; sub [ (0, 89) ] ] in
+  let e = Rho.estimate t in
+  Alcotest.(check (float 1e-9)) "min strip = 10/100" 0.1 (Rho.rho e)
+
+let test_d_of_rho () =
+  Alcotest.(check (float 1e-9)) "rho = 1 -> d = 1" 1.0
+    (Rho.d_of_rho ~rho:1.0 ~delta:1e-6);
+  Alcotest.(check bool) "rho = 0 -> d infinite" true
+    (Rho.d_of_rho ~rho:0.0 ~delta:1e-6 = infinity);
+  (* (1 - 0.5)^d <= 1e-6 -> d = 20. *)
+  Alcotest.(check (float 1e-9)) "half rho" 20.0
+    (Rho.d_of_rho ~rho:0.5 ~delta:1e-6);
+  (* d grows as delta shrinks. *)
+  Alcotest.(check bool) "monotone in delta" true
+    (Rho.d_of_rho ~rho:0.01 ~delta:1e-10 > Rho.d_of_rho ~rho:0.01 ~delta:1e-3);
+  (* d shrinks as rho grows. *)
+  Alcotest.(check bool) "monotone in rho" true
+    (Rho.d_of_rho ~rho:0.2 ~delta:1e-6 < Rho.d_of_rho ~rho:0.01 ~delta:1e-6);
+  Alcotest.check_raises "delta validated"
+    (Invalid_argument "Rho: delta must lie in (0, 1)") (fun () ->
+      ignore (Rho.d_of_rho ~rho:0.5 ~delta:0.0))
+
+let test_error_bound_identity () =
+  (* By construction (1 - rho)^d <= delta at the returned d. *)
+  List.iter
+    (fun (rho, delta) ->
+      let d = Rho.d_of_rho ~rho ~delta in
+      let err = (1.0 -. rho) ** d in
+      Alcotest.(check bool)
+        (Printf.sprintf "bound met for rho=%g delta=%g" rho delta)
+        true
+        (err <= delta *. 1.0000001))
+    [ (0.5, 1e-3); (0.1, 1e-6); (0.01, 1e-10); (0.9, 1e-2) ]
+
+let test_log10_d_stability () =
+  (* Deep in the underflow regime the log-space path must still give a
+     finite, large answer: rho = 10^-40, delta = 1e-10. *)
+  let e =
+    {
+      Rho.log10_witness_size = 0.0;
+      log10_s_size = 40.0;
+      log10_rho = -40.0;
+    }
+  in
+  let l = Rho.log10_d e ~delta:1e-10 in
+  (* d ~ -ln(1e-10) * 10^40 = 23.03 * 10^40 -> log10 d ~ 41.36 *)
+  Alcotest.(check (float 0.01)) "log-space d" 41.3623 l
+
+let test_log10_d_agreement () =
+  (* In the comfortable regime both computation paths agree. *)
+  let t = table (sub [ (0, 99) ]) [ sub [ (0, 49) ] ] in
+  let e = Rho.estimate t in
+  let direct = log10 (Rho.d_of_rho ~rho:(Rho.rho e) ~delta:1e-6) in
+  Alcotest.(check (float 1e-6)) "paths agree" direct (Rho.log10_d e ~delta:1e-6)
+
+let test_d_capped () =
+  let t = table (sub [ (0, 99) ]) [ sub [ (0, 49) ] ] in
+  let e = Rho.estimate t in
+  Alcotest.(check int) "uncapped" 20 (Rho.d_capped e ~delta:1e-6 ~cap:1000);
+  Alcotest.(check int) "capped" 5 (Rho.d_capped e ~delta:1e-6 ~cap:5);
+  Alcotest.(check bool) "at least one" true
+    (Rho.d_capped e ~delta:0.9999 ~cap:1000 >= 1)
+
+let test_rho_never_above_one () =
+  (* Row with no defined cells (covering row): Algorithm 2's strip
+     minima stay within s, so log10_rho <= 0 by clamping. *)
+  let t = table (sub [ (2, 5) ]) [ sub [ (0, 9) ] ] in
+  let e = Rho.estimate t in
+  Alcotest.(check bool) "rho <= 1" true (Rho.rho e <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "empty set: rho = 1" `Quick test_empty_set_rho_one;
+    Alcotest.test_case "half cover" `Quick test_half_cover;
+    Alcotest.test_case "gap fraction" `Quick test_gap_fraction;
+    Alcotest.test_case "minimum over rows" `Quick test_min_over_rows;
+    Alcotest.test_case "d inversion (Eq. 1)" `Quick test_d_of_rho;
+    Alcotest.test_case "error bound identity" `Quick test_error_bound_identity;
+    Alcotest.test_case "log-space stability" `Quick test_log10_d_stability;
+    Alcotest.test_case "log paths agree" `Quick test_log10_d_agreement;
+    Alcotest.test_case "capped budget" `Quick test_d_capped;
+    Alcotest.test_case "rho clamped to 1" `Quick test_rho_never_above_one;
+  ]

@@ -1,0 +1,81 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+
+let test_sequential_fallback () =
+  (* domains = 1 must be bit-identical to the sequential runner. *)
+  let s = sub [ (0, 999) ] in
+  let subs = [| sub [ (0, 899) ] |] in
+  let a = Rspc_parallel.run ~domains:1 ~rng:(Prng.of_int 3) ~d:5000 ~s subs in
+  let b = Rspc.run ~rng:(Prng.of_int 3) ~d:5000 ~s subs in
+  Alcotest.(check int) "same iterations" b.Rspc.iterations a.Rspc.iterations;
+  Alcotest.(check bool) "same outcome kind" true
+    (match (a.Rspc.outcome, b.Rspc.outcome) with
+    | Rspc.Not_covered x, Rspc.Not_covered y -> x = y
+    | Rspc.Probably_covered, Rspc.Probably_covered -> true
+    | _ -> false)
+
+let test_covered_never_lies () =
+  (* A truly covered s cannot yield a witness, whatever the schedule. *)
+  let s = sub [ (10, 20); (10, 20) ] in
+  let subs = [| sub [ (0, 15); (0, 99) ]; sub [ (14, 99); (0, 99) ] |] in
+  for seed = 1 to 5 do
+    let run =
+      Rspc_parallel.run ~domains:4 ~rng:(Prng.of_int seed) ~d:10_000 ~s subs
+    in
+    (match run.Rspc.outcome with
+    | Rspc.Probably_covered -> ()
+    | Rspc.Not_covered _ -> Alcotest.fail "covered input produced a witness");
+    Alcotest.(check int) "full budget spent" 10_000 run.Rspc.iterations
+  done
+
+let test_witness_is_sound () =
+  (* Any NO must come with a verified witness point. *)
+  let s = sub [ (0, 999); (0, 999) ] in
+  let subs = [| sub [ (0, 899); (0, 999) ] |] in
+  for seed = 1 to 5 do
+    let run =
+      Rspc_parallel.run ~domains:4 ~rng:(Prng.of_int seed) ~d:50_000 ~s subs
+    in
+    match run.Rspc.outcome with
+    | Rspc.Not_covered p ->
+        Alcotest.(check bool) "inside s" true (Subscription.covers_point s p);
+        Alcotest.(check bool) "escapes the set" true (Rspc.escapes p subs);
+        Alcotest.(check bool) "stopped early" true
+          (run.Rspc.iterations < 50_000)
+    | Rspc.Probably_covered ->
+        (* 10% uncovered, 50k trials: astronomically unlikely. *)
+        Alcotest.fail "witness must be found"
+  done
+
+let test_budget_split_covers_d () =
+  (* Uneven splits: total trials on a covered instance must equal d
+     exactly for every domain count. *)
+  let s = sub [ (0, 9) ] in
+  let subs = [| sub [ (0, 9) ] |] in
+  List.iter
+    (fun domains ->
+      let run =
+        Rspc_parallel.run ~domains ~rng:(Prng.of_int 1) ~d:9_973 ~s subs
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "d honoured with %d domains" domains)
+        9_973 run.Rspc.iterations)
+    [ 2; 3; 4; 7 ]
+
+let test_validation () =
+  let s = sub [ (0, 9) ] in
+  Alcotest.check_raises "domains validated"
+    (Invalid_argument "Rspc_parallel.run: domains < 1") (fun () ->
+      ignore (Rspc_parallel.run ~domains:0 ~rng:(Prng.of_int 1) ~d:1 ~s [||]));
+  Alcotest.(check bool) "recommendation positive" true
+    (Rspc_parallel.recommended_domains () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "sequential fallback" `Quick test_sequential_fallback;
+    Alcotest.test_case "covered never lies" `Slow test_covered_never_lies;
+    Alcotest.test_case "witnesses are sound" `Slow test_witness_is_sound;
+    Alcotest.test_case "budget split exact" `Quick test_budget_split_covers_d;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

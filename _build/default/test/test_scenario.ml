@@ -1,0 +1,153 @@
+open Probsub_core
+open Probsub_workload
+
+let rng () = Prng.of_int 77
+
+(* Every constructed instance must match its declared ground truth;
+   the exact oracle verifies at small scale. *)
+let check_truth inst =
+  Alcotest.(check bool) "constructed truth holds" inst.Scenario.covered
+    (Exact.covered inst.Scenario.s inst.Scenario.set)
+
+let test_pairwise_covering () =
+  let rng = rng () in
+  for _ = 1 to 10 do
+    let inst = Scenario.pairwise_covering rng ~m:3 ~k:6 in
+    Alcotest.(check bool) "some single coverer exists" true
+      (Option.is_some (Pairwise.find_coverer inst.Scenario.s inst.Scenario.set));
+    check_truth inst
+  done
+
+let test_redundant_covering () =
+  let rng = rng () in
+  for _ = 1 to 10 do
+    let inst = Scenario.redundant_covering rng ~m:3 ~k:10 in
+    Alcotest.(check bool) "no single coverer" true
+      (Option.is_none (Pairwise.find_coverer inst.Scenario.s inst.Scenario.set));
+    check_truth inst;
+    (* The declared core (non-redundant prefix) covers s by itself. *)
+    let core =
+      Array.of_list
+        (List.filteri
+           (fun i _ -> not inst.Scenario.redundant.(i))
+           (Array.to_list inst.Scenario.set))
+    in
+    Alcotest.(check bool) "core alone covers" true
+      (Exact.covered inst.Scenario.s core)
+  done
+
+let test_no_intersection () =
+  let rng = rng () in
+  for _ = 1 to 10 do
+    let inst = Scenario.no_intersection rng ~m:4 ~k:12 in
+    Array.iter
+      (fun si ->
+        Alcotest.(check bool) "disjoint from s" false
+          (Subscription.intersects si inst.Scenario.s))
+      inst.Scenario.set;
+    Alcotest.(check bool) "not covered" false inst.Scenario.covered
+  done
+
+let test_non_cover () =
+  let rng = rng () in
+  for _ = 1 to 10 do
+    let inst = Scenario.non_cover rng ~m:3 ~k:15 in
+    check_truth inst;
+    Array.iter
+      (fun si ->
+        Alcotest.(check bool) "every sub intersects s" true
+          (Subscription.intersects si inst.Scenario.s))
+      inst.Scenario.set
+  done
+
+let test_extreme_non_cover () =
+  let rng = Prng.of_int 78 in
+  List.iter
+    (fun gap ->
+      let inst = Scenario.extreme_non_cover rng ~m:3 ~k:12 ~gap_fraction:gap in
+      Alcotest.(check bool) "never covered" false inst.Scenario.covered;
+      Alcotest.(check bool) "oracle agrees" false
+        (Exact.covered inst.Scenario.s inst.Scenario.set);
+      (* The uncovered region is (approximately) the declared gap: the
+         witness fraction from dense sampling must be close. *)
+      let s = inst.Scenario.s in
+      let samples = 20_000 in
+      let witnesses = ref 0 in
+      for _ = 1 to samples do
+        let p = Rspc.random_point ~rng s in
+        if Rspc.escapes p inst.Scenario.set then incr witnesses
+      done;
+      let measured = float_of_int !witnesses /. float_of_int samples in
+      Alcotest.(check bool)
+        (Printf.sprintf "witness fraction %.4f near gap %.4f" measured gap)
+        true
+        (* The gap rounds to whole integers of a 500-wide range, so
+           allow generous tolerance at the narrow end. *)
+        (Float.abs (measured -. gap) < (0.3 *. gap) +. 0.002))
+    [ 0.005; 0.02; 0.045 ];
+  Alcotest.check_raises "gap validated"
+    (Invalid_argument "Scenario.extreme_non_cover: gap_fraction outside (0, 0.5)")
+    (fun () ->
+      ignore (Scenario.extreme_non_cover rng ~m:3 ~k:12 ~gap_fraction:0.9))
+
+let test_comparison_stream () =
+  let rng = rng () in
+  let subs = Scenario.comparison_stream rng ~m:10 ~n:200 in
+  Alcotest.(check int) "stream length" 200 (List.length subs);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "arity" 10 (Subscription.arity s);
+      let constrained = Subscription.constrained s in
+      Alcotest.(check bool) "at least one constraint" true
+        (List.length constrained >= 1);
+      List.iter
+        (fun j ->
+          let r = Subscription.range s j in
+          Alcotest.(check bool) "in domain" true
+            (Interval.lo r >= 0
+            && Interval.hi r < Scenario.domain_width))
+        constrained)
+    subs;
+  (* Zipf popularity: attribute 0 must be constrained far more often
+     than attribute 9. *)
+  let count attr =
+    List.length
+      (List.filter (fun s -> List.mem attr (Subscription.constrained s)) subs)
+  in
+  Alcotest.(check bool) "popular attribute dominates" true
+    (count 0 > 3 * max 1 (count 9))
+
+let test_determinism () =
+  let a = Scenario.non_cover (Prng.of_int 5) ~m:3 ~k:10 in
+  let b = Scenario.non_cover (Prng.of_int 5) ~m:3 ~k:10 in
+  Alcotest.(check bool) "same seed, same instance" true
+    (Array.for_all2 Subscription.equal a.Scenario.set b.Scenario.set)
+
+let test_matching_publication () =
+  let rng = rng () in
+  let s = Subscription.of_bounds [ (10, 20); (30, 40) ] in
+  for _ = 1 to 200 do
+    let p = Scenario.random_matching_publication rng s in
+    Alcotest.(check bool) "publication matches" true (Publication.matches s p)
+  done
+
+let test_parameter_validation () =
+  Alcotest.check_raises "k too small for redundant covering"
+    (Invalid_argument "Scenario.redundant_covering: k = 3 < 5") (fun () ->
+      ignore (Scenario.redundant_covering (rng ()) ~m:3 ~k:3));
+  Alcotest.check_raises "m validated"
+    (Invalid_argument "Scenario.non_cover: m < 1") (fun () ->
+      ignore (Scenario.non_cover (rng ()) ~m:0 ~k:10))
+
+let suite =
+  [
+    Alcotest.test_case "1.a pairwise covering" `Quick test_pairwise_covering;
+    Alcotest.test_case "1.b redundant covering" `Quick test_redundant_covering;
+    Alcotest.test_case "2.a no intersection" `Quick test_no_intersection;
+    Alcotest.test_case "2.b non-cover" `Quick test_non_cover;
+    Alcotest.test_case "2.c extreme non-cover" `Slow test_extreme_non_cover;
+    Alcotest.test_case "comparison stream" `Quick test_comparison_stream;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "matching publications" `Quick test_matching_publication;
+    Alcotest.test_case "parameter validation" `Quick test_parameter_validation;
+  ]

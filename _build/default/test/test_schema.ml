@@ -1,0 +1,61 @@
+open Probsub_core
+open Probsub_workload
+
+let test_uniform () =
+  let s = Schema.uniform ~arity:3 ~lo:0 ~hi:99 in
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check bool) "domain" true
+    (Interval.equal (Schema.domain s 1) (Interval.make ~lo:0 ~hi:99));
+  Alcotest.check_raises "arity validated"
+    (Invalid_argument "Schema.uniform: arity < 1") (fun () ->
+      ignore (Schema.uniform ~arity:0 ~lo:0 ~hi:1))
+
+let test_space () =
+  let s = Schema.uniform ~arity:2 ~lo:5 ~hi:10 in
+  let space = Schema.space s in
+  Alcotest.(check bool) "space is the domain box" true
+    (Subscription.equal space (Subscription.of_bounds [ (5, 10); (5, 10) ]))
+
+let test_random_point () =
+  let s = Schema.uniform ~arity:4 ~lo:(-10) ~hi:10 in
+  let rng = Prng.of_int 1 in
+  for _ = 1 to 1_000 do
+    let p = Schema.random_point rng s in
+    Alcotest.(check bool) "point in space" true
+      (Subscription.covers_point (Schema.space s) p)
+  done
+
+let test_random_box () =
+  let s = Schema.uniform ~arity:3 ~lo:0 ~hi:99 in
+  let rng = Prng.of_int 2 in
+  for _ = 1 to 1_000 do
+    let box = Schema.random_box rng s ~min_width:5 ~max_width:20 in
+    Alcotest.(check bool) "box inside space" true
+      (Subscription.covers_sub (Schema.space s) box);
+    for j = 0 to 2 do
+      let w = Interval.width (Subscription.range box j) in
+      Alcotest.(check bool) "width respected" true (w >= 5 && w <= 20)
+    done
+  done;
+  Alcotest.check_raises "width bounds validated"
+    (Invalid_argument "Schema.random_box: bad width bounds") (fun () ->
+      ignore (Schema.random_box rng s ~min_width:0 ~max_width:5))
+
+let test_random_box_clamps_to_domain () =
+  (* Asking for boxes wider than the domain clamps to the domain. *)
+  let s = Schema.uniform ~arity:1 ~lo:0 ~hi:9 in
+  let rng = Prng.of_int 3 in
+  for _ = 1 to 100 do
+    let box = Schema.random_box rng s ~min_width:50 ~max_width:100 in
+    Alcotest.(check int) "clamped to domain" 10
+      (Interval.width (Subscription.range box 0))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "uniform schema" `Quick test_uniform;
+    Alcotest.test_case "space" `Quick test_space;
+    Alcotest.test_case "random points" `Quick test_random_point;
+    Alcotest.test_case "random boxes" `Quick test_random_box;
+    Alcotest.test_case "box clamping" `Quick test_random_box_clamps_to_domain;
+  ]

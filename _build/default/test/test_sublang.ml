@@ -1,0 +1,153 @@
+open Probsub_core
+
+let schema_text =
+  {|# bike rental schema
+bid   : int[1, 1999]
+size  : int[14, 24]
+brand : enum(X, Y, Z)
+fast  : flag
+date  : minutes
+|}
+
+let codec () =
+  match Sublang.parse_schema schema_text with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "schema did not parse: %s" e
+
+let parse_sub c s =
+  match Sublang.parse_subscription c s with
+  | Ok sub -> sub
+  | Error e -> Alcotest.failf "subscription %S did not parse: %s" s e
+
+let test_schema () =
+  let c = codec () in
+  Alcotest.(check int) "five fields" 5 (Domain_codec.arity c);
+  match Sublang.parse_schema "x : int[1, 2]\ny : what" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad spec must be rejected"
+
+let test_subscription_forms () =
+  let c = codec () in
+  let sub =
+    parse_sub c "size in [17, 19] & brand = X and bid >= 1000 & fast = true"
+  in
+  let range name =
+    Subscription.range sub (Domain_codec.field_index c name)
+  in
+  Alcotest.(check bool) "size range" true
+    (Interval.equal (range "size") (Interval.make ~lo:17 ~hi:19));
+  Alcotest.(check bool) "brand point" true
+    (Interval.equal (range "brand") (Interval.point 0));
+  Alcotest.(check int) "bid lower bound" 1000 (Interval.lo (range "bid"));
+  Alcotest.(check int) "bid upper = domain" 1999 (Interval.hi (range "bid"));
+  Alcotest.(check bool) "flag true" true
+    (Interval.equal (range "fast") (Interval.point 1))
+
+let test_star_and_wildcard_field () =
+  let c = codec () in
+  let all = parse_sub c "*" in
+  Alcotest.(check bool) "star has no constraints beyond domains" true
+    (Subscription.covers_sub all (parse_sub c "size = 17 & brand = Z"));
+  let explicit = parse_sub c "brand = * & size <= 18" in
+  Alcotest.(check bool) "field = * leaves domain" true
+    (Interval.equal
+       (Subscription.range explicit (Domain_codec.field_index c "brand"))
+       (Domain_codec.domain c "brand"))
+
+let test_timestamps_in_language () =
+  let c = codec () in
+  let sub = parse_sub c "date in [2006-03-31T16:00, 2006-03-31T20:00]" in
+  let r = Subscription.range sub (Domain_codec.field_index c "date") in
+  Alcotest.(check int) "four hours, inclusive end points" 241
+    (Interval.width r);
+  Alcotest.(check int) "lower bound decodes back" 240
+    (Interval.hi r - Interval.lo r)
+
+let test_publication () =
+  let c = codec () in
+  match
+    Sublang.parse_publication c
+      "bid = 1036, size = 19, brand = X, fast = false, date = 2006-03-31T18:23"
+  with
+  | Error e -> Alcotest.failf "publication did not parse: %s" e
+  | Ok pub ->
+      let sub = parse_sub c "size in [17,19] & brand = X" in
+      Alcotest.(check bool) "matches" true (Publication.matches sub pub)
+
+let test_errors () =
+  let c = codec () in
+  let is_error = function Result.Error _ -> true | Result.Ok _ -> false in
+  List.iter
+    (fun input ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" input)
+        true
+        (is_error (Sublang.parse_subscription c input)))
+    [
+      "nosuchfield = 3";
+      "size > 17" (* bare > is not in the grammar *);
+      "size in [17 19]";
+      "brand = Q";
+      "size = X";
+      "size in [19, 17]";
+      "size = 17 size = 18" (* missing connective *);
+      "fast = maybe";
+    ];
+  Alcotest.(check bool) "incomplete publication rejected" true
+    (is_error (Sublang.parse_publication c "bid = 3"))
+
+let test_round_trip () =
+  let c = codec () in
+  List.iter
+    (fun input ->
+      let sub = parse_sub c input in
+      let rendered = Sublang.subscription_to_string c sub in
+      let reparsed = parse_sub c rendered in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S -> %S round-trips" input rendered)
+        true
+        (Subscription.equal sub reparsed))
+    [
+      "size in [17, 19] & brand = X";
+      "bid >= 1000";
+      "size <= 16 & fast = true";
+      "*";
+      "date in [2006-03-31T16:00, 2006-03-31T20:00]";
+    ]
+
+let test_quoted_symbols () =
+  let c =
+    Domain_codec.make [ ("name", Domain_codec.Enum [ "alpha beta"; "x" ]) ]
+  in
+  match Sublang.parse_subscription c {|name = "alpha beta"|} with
+  | Ok sub ->
+      Alcotest.(check bool) "quoted symbol resolves" true
+        (Interval.equal (Subscription.range sub 0) (Interval.point 0))
+  | Error e -> Alcotest.failf "quoted symbol: %s" e
+
+let test_parser_never_crashes () =
+  (* Fuzz: arbitrary byte soup must yield Ok or Error, never raise. *)
+  let c = codec () in
+  let rng = Prng.of_int 911 in
+  for _ = 1 to 2000 do
+    let len = Prng.int rng 40 in
+    let garbage =
+      String.init len (fun _ -> Char.chr (32 + Prng.int rng 95))
+    in
+    (match Sublang.parse_subscription c garbage with
+    | Ok _ | Error _ -> ());
+    match Sublang.parse_publication c garbage with Ok _ | Error _ -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "schema parsing" `Quick test_schema;
+    Alcotest.test_case "subscription forms" `Quick test_subscription_forms;
+    Alcotest.test_case "stars" `Quick test_star_and_wildcard_field;
+    Alcotest.test_case "timestamps" `Quick test_timestamps_in_language;
+    Alcotest.test_case "publications" `Quick test_publication;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "round trips" `Quick test_round_trip;
+    Alcotest.test_case "quoted symbols" `Quick test_quoted_symbols;
+    Alcotest.test_case "parser fuzz" `Quick test_parser_never_crashes;
+  ]

@@ -1,0 +1,107 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+let iv lo hi = Interval.make ~lo ~hi
+
+let test_constructors () =
+  let s = sub [ (0, 10); (5, 5) ] in
+  Alcotest.(check int) "arity" 2 (Subscription.arity s);
+  Alcotest.(check bool) "range 0" true
+    (Interval.equal (Subscription.range s 0) (iv 0 10));
+  Alcotest.(check bool) "range 1" true
+    (Interval.equal (Subscription.range s 1) (iv 5 5));
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Subscription.make: empty attribute list") (fun () ->
+      ignore (Subscription.make [||]));
+  Alcotest.check_raises "out-of-range attribute"
+    (Invalid_argument "Subscription.range: attribute 2") (fun () ->
+      ignore (Subscription.range s 2))
+
+let test_make_copies () =
+  let ranges = [| iv 0 1; iv 2 3 |] in
+  let s = Subscription.make ranges in
+  ranges.(0) <- iv 100 200;
+  Alcotest.(check bool) "constructor copied its input" true
+    (Interval.equal (Subscription.range s 0) (iv 0 1));
+  let out = Subscription.ranges s in
+  out.(1) <- iv 7 8;
+  Alcotest.(check bool) "accessor copies too" true
+    (Interval.equal (Subscription.range s 1) (iv 2 3))
+
+let test_constrained () =
+  let s = Subscription.of_list [ Interval.full; iv 0 5; Interval.full ] in
+  Alcotest.(check (list int)) "only attr 1 constrained" [ 1 ]
+    (Subscription.constrained s)
+
+let test_covers_point () =
+  let s = sub [ (0, 10); (20, 30) ] in
+  Alcotest.(check bool) "inside" true (Subscription.covers_point s [| 5; 25 |]);
+  Alcotest.(check bool) "corner" true (Subscription.covers_point s [| 0; 30 |]);
+  Alcotest.(check bool) "outside one axis" false
+    (Subscription.covers_point s [| 11; 25 |]);
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Subscription.covers_point: arity 2 vs 3") (fun () ->
+      ignore (Subscription.covers_point s [| 1; 2; 3 |]))
+
+let test_covers_sub () =
+  let outer = sub [ (0, 10); (0, 10) ] in
+  let inner = sub [ (2, 8); (0, 10) ] in
+  Alcotest.(check bool) "inner covered" true
+    (Subscription.covers_sub outer inner);
+  Alcotest.(check bool) "outer not covered" false
+    (Subscription.covers_sub inner outer);
+  Alcotest.(check bool) "reflexive" true (Subscription.covers_sub outer outer)
+
+let test_intersects_inter () =
+  let a = sub [ (0, 5); (0, 5) ] and b = sub [ (5, 9); (3, 9) ] in
+  Alcotest.(check bool) "boxes intersect" true (Subscription.intersects a b);
+  (match Subscription.inter a b with
+  | Some i ->
+      Alcotest.(check bool) "intersection box" true
+        (Subscription.equal i (sub [ (5, 5); (3, 5) ]))
+  | None -> Alcotest.fail "expected intersection");
+  let c = sub [ (6, 9); (0, 5) ] in
+  Alcotest.(check bool) "disjoint on x" false (Subscription.intersects a c);
+  Alcotest.(check bool) "inter empty" true
+    (Option.is_none (Subscription.inter a c))
+
+let test_hull () =
+  let a = sub [ (0, 1); (0, 1) ] and b = sub [ (5, 6); (2, 3) ] in
+  Alcotest.(check bool) "hull spans both" true
+    (Subscription.equal (Subscription.hull a b) (sub [ (0, 6); (0, 3) ]))
+
+let test_sizes () =
+  let s = sub [ (1, 10); (1, 100) ] in
+  Alcotest.(check (float 1e-9)) "log10 size" 3.0 (Subscription.log10_size s);
+  Alcotest.(check (float 1e-6)) "size" 1000.0 (Subscription.size s);
+  (* A 20-attribute subscription overflows ints but not log-space. *)
+  let big = Subscription.of_list (List.init 20 (fun _ -> iv 1 1_000_000)) in
+  Alcotest.(check (float 1e-6)) "log-space survives" 120.0
+    (Subscription.log10_size big)
+
+let test_equal_compare () =
+  let a = sub [ (0, 1); (2, 3) ] in
+  let b = sub [ (0, 1); (2, 3) ] in
+  let c = sub [ (0, 1); (2, 4) ] in
+  Alcotest.(check bool) "structural equality" true (Subscription.equal a b);
+  Alcotest.(check bool) "inequality" false (Subscription.equal a c);
+  Alcotest.(check int) "compare equal" 0 (Subscription.compare a b);
+  Alcotest.(check bool) "compare orders" true (Subscription.compare a c < 0)
+
+let test_pp () =
+  let s = sub [ (0, 1) ] in
+  Alcotest.(check string) "render" "{[0, 1]}" (Subscription.to_string s)
+
+let suite =
+  [
+    Alcotest.test_case "constructors and accessors" `Quick test_constructors;
+    Alcotest.test_case "defensive copies" `Quick test_make_copies;
+    Alcotest.test_case "constrained attributes" `Quick test_constrained;
+    Alcotest.test_case "point coverage" `Quick test_covers_point;
+    Alcotest.test_case "pairwise coverage" `Quick test_covers_sub;
+    Alcotest.test_case "intersection" `Quick test_intersects_inter;
+    Alcotest.test_case "hull" `Quick test_hull;
+    Alcotest.test_case "sizes in log space" `Quick test_sizes;
+    Alcotest.test_case "equality and ordering" `Quick test_equal_compare;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

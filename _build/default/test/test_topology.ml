@@ -1,0 +1,91 @@
+open Probsub_broker
+
+let test_chain () =
+  let t = Topology.chain 5 in
+  Alcotest.(check int) "size" 5 (Topology.size t);
+  Alcotest.(check (list int)) "middle neighbours" [ 1; 3 ]
+    (Topology.neighbors t 2);
+  Alcotest.(check (list int)) "end neighbour" [ 1 ] (Topology.neighbors t 0);
+  Alcotest.(check bool) "connected" true (Topology.is_connected t);
+  Alcotest.(check int) "diameter" 4 (Topology.diameter t)
+
+let test_ring_star_mesh () =
+  let r = Topology.ring 5 in
+  Alcotest.(check (list int)) "ring closes" [ 1; 4 ] (Topology.neighbors r 0);
+  Alcotest.(check int) "ring diameter" 2 (Topology.diameter r);
+  let s = Topology.star 6 in
+  Alcotest.(check int) "hub degree" 5 (List.length (Topology.neighbors s 0));
+  Alcotest.(check int) "star diameter" 2 (Topology.diameter s);
+  let m = Topology.full_mesh 4 in
+  Alcotest.(check int) "mesh edges" 6 (List.length (Topology.edges m));
+  Alcotest.(check int) "mesh diameter" 1 (Topology.diameter m)
+
+let test_tree () =
+  let t = Topology.balanced_tree ~branching:2 ~depth:2 in
+  Alcotest.(check int) "1 + 2 + 4 nodes" 7 (Topology.size t);
+  Alcotest.(check (list int)) "root children" [ 1; 2 ] (Topology.neighbors t 0);
+  Alcotest.(check (list int)) "leaf parent" [ 2 ] (Topology.neighbors t 6);
+  Alcotest.(check bool) "connected" true (Topology.is_connected t);
+  let single = Topology.balanced_tree ~branching:3 ~depth:0 in
+  Alcotest.(check int) "depth 0" 1 (Topology.size single)
+
+let test_grid () =
+  let g = Topology.grid ~width:3 ~height:2 in
+  Alcotest.(check int) "size" 6 (Topology.size g);
+  Alcotest.(check (list int)) "corner" [ 1; 3 ] (Topology.neighbors g 0);
+  Alcotest.(check (list int)) "centre top" [ 0; 2; 4 ] (Topology.neighbors g 1);
+  Alcotest.(check bool) "connected" true (Topology.is_connected g)
+
+let test_random_connected () =
+  let rng = Probsub_core.Prng.of_int 4 in
+  for _ = 1 to 20 do
+    let t = Topology.random_connected rng ~n:25 ~extra_edges:10 in
+    Alcotest.(check bool) "connected" true (Topology.is_connected t);
+    Alcotest.(check int) "edge count" 34 (List.length (Topology.edges t))
+  done
+
+let test_fig1 () =
+  let t = Topology.fig1 in
+  Alcotest.(check int) "nine brokers" 9 (Topology.size t);
+  Alcotest.(check bool) "connected" true (Topology.is_connected t);
+  (* The delivery tree for n1: B9 -> B7 -> B4 -> B3 -> B1. *)
+  Alcotest.(check (list int)) "B9 to B1 path" [ 8; 6; 3; 2; 0 ]
+    (Topology.shortest_path t ~src:8 ~dst:0);
+  (* B4's neighbours are B3, B5, B6, B7. *)
+  Alcotest.(check (list int)) "B4 neighbours" [ 2; 4; 5; 6 ]
+    (Topology.neighbors t 3)
+
+let test_shortest_path () =
+  let t = Topology.chain 6 in
+  Alcotest.(check (list int)) "path" [ 1; 2; 3; 4 ]
+    (Topology.shortest_path t ~src:1 ~dst:4);
+  Alcotest.(check (list int)) "self path" [ 3 ]
+    (Topology.shortest_path t ~src:3 ~dst:3)
+
+let test_of_edges_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Topology.of_edges: self-loop")
+    (fun () -> ignore (Topology.of_edges ~size:3 [ (1, 1) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Topology.of_edges: endpoint out of range") (fun () ->
+      ignore (Topology.of_edges ~size:3 [ (0, 3) ]));
+  (* Duplicate edges collapse. *)
+  let t = Topology.of_edges ~size:3 [ (0, 1); (1, 0); (0, 1) ] in
+  Alcotest.(check int) "one edge" 1 (List.length (Topology.edges t))
+
+let test_are_linked () =
+  let t = Topology.chain 4 in
+  Alcotest.(check bool) "linked" true (Topology.are_linked t 1 2);
+  Alcotest.(check bool) "not linked" false (Topology.are_linked t 0 2)
+
+let suite =
+  [
+    Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "ring, star, mesh" `Quick test_ring_star_mesh;
+    Alcotest.test_case "balanced tree" `Quick test_tree;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "random connected" `Quick test_random_connected;
+    Alcotest.test_case "fig1 network" `Quick test_fig1;
+    Alcotest.test_case "shortest path" `Quick test_shortest_path;
+    Alcotest.test_case "edge validation" `Quick test_of_edges_validation;
+    Alcotest.test_case "are_linked" `Quick test_are_linked;
+  ]

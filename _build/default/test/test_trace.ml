@@ -1,0 +1,120 @@
+open Probsub_core
+open Probsub_broker
+
+let small_params =
+  {
+    Trace.duration = 30.0;
+    subscribe_rate = 1.0;
+    unsubscribe_rate = 0.02;
+    publish_rate = 4.0;
+    brokers = 5;
+    m = 3;
+    match_bias = 0.5;
+  }
+
+let test_generate_shape () =
+  let t = Trace.generate ~params:small_params (Prng.of_int 1) in
+  let subs, unsubs, pubs = Trace.stats t in
+  Alcotest.(check bool) "some of each" true (subs > 5 && pubs > 30);
+  Alcotest.(check bool) "unsubs bounded by subs" true (unsubs <= subs);
+  (* Monotone times. *)
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+        let time = function
+          | Trace.Subscribe { time; _ }
+          | Trace.Unsubscribe { time; _ }
+          | Trace.Publish { time; _ } ->
+              time
+        in
+        Alcotest.(check bool) "sorted" true (time a <= time b);
+        check_sorted rest
+    | _ -> ()
+  in
+  check_sorted t
+
+let test_determinism () =
+  let a = Trace.generate ~params:small_params (Prng.of_int 2) in
+  let b = Trace.generate ~params:small_params (Prng.of_int 2) in
+  Alcotest.(check string) "same seed, same trace" (Trace.to_string a)
+    (Trace.to_string b)
+
+let test_round_trip () =
+  let t = Trace.generate ~params:small_params (Prng.of_int 3) in
+  match Trace.of_string (Trace.to_string t) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok t' ->
+      Alcotest.(check string) "identical after reparse" (Trace.to_string t)
+        (Trace.to_string t')
+
+let test_file_round_trip () =
+  let t = Trace.generate ~params:small_params (Prng.of_int 4) in
+  let path = Filename.temp_file "probsub_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save t ~path;
+      match Trace.load ~path with
+      | Ok t' ->
+          Alcotest.(check string) "file round trip" (Trace.to_string t)
+            (Trace.to_string t')
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+let test_parse_errors () =
+  let is_error s =
+    match Trace.of_string s with Error _ -> true | Ok _ -> false
+  in
+  List.iter
+    (fun (label, text) ->
+      Alcotest.(check bool) label true (is_error text))
+    [
+      ("unknown verb", "FOO 1.0 0 0");
+      ("bad interval", "SUB 1.0 0 0 5:2");
+      ("dangling ref", "UNSUB 1.0 0 3");
+      ("out of order", "PUB 2.0 0 1 2 3\nPUB 1.0 0 1 2 3");
+      ("inconsistent arity", "SUB 1.0 0 0 1:2 3:4\nPUB 2.0 0 7");
+      ("empty publication", "PUB 1.0 0");
+    ]
+
+let test_replay_cross_policy () =
+  (* The same trace replayed under flooding and pairwise must deliver
+     the exact same notifications. *)
+  let t = Trace.generate ~params:small_params (Prng.of_int 5) in
+  let run policy =
+    let net =
+      Network.create ~policy ~topology:(Topology.ring 5) ~arity:3 ~seed:1 ()
+    in
+    Trace.replay net t;
+    List.map
+      (fun n -> (n.Network.broker, n.Network.client, n.Network.sub_key, n.Network.pub_id))
+      (Network.notifications net)
+    |> List.sort compare
+  in
+  let flood = run Subscription_store.No_coverage in
+  let pairwise = run Subscription_store.Pairwise_policy in
+  Alcotest.(check bool) "some deliveries happen" true (List.length flood > 0);
+  Alcotest.(check (list (pair (pair int int) (pair int int))))
+    "identical deliveries"
+    (List.map (fun (a, b, c, d) -> ((a, b), (c, d))) flood)
+    (List.map (fun (a, b, c, d) -> ((a, b), (c, d))) pairwise)
+
+let test_replay_arity_guard () =
+  let t = Trace.generate ~params:small_params (Prng.of_int 6) in
+  let net =
+    Network.create ~topology:(Topology.chain 5) ~arity:7 ~seed:1 ()
+  in
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       Trace.replay net t;
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "generation shape" `Quick test_generate_shape;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "string round trip" `Quick test_round_trip;
+    Alcotest.test_case "file round trip" `Quick test_file_round_trip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "cross-policy replay" `Quick test_replay_cross_policy;
+    Alcotest.test_case "replay arity guard" `Quick test_replay_arity_guard;
+  ]

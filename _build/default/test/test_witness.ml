@@ -1,0 +1,99 @@
+open Probsub_core
+
+let sub = Subscription.of_bounds
+let table s subs = Conflict_table.build ~s (Array.of_list subs)
+
+let test_empty_set () =
+  let s = sub [ (0, 9) ] in
+  let t = table s [] in
+  Alcotest.(check bool) "corollary 3 trivially holds" true
+    (Witness.corollary3_holds t);
+  match Witness.find_polyhedron t with
+  | Some w ->
+      Alcotest.(check bool) "witness is s itself" true
+        (Subscription.equal w.Witness.region s)
+  | None -> Alcotest.fail "empty set: s is its own witness"
+
+let test_simple_gap () =
+  (* s = [0,9]^2; one subscription covers only the left half. *)
+  let s = sub [ (0, 9); (0, 9) ] in
+  let t = table s [ sub [ (0, 4); (0, 9) ] ] in
+  Alcotest.(check bool) "corollary 3 holds" true (Witness.corollary3_holds t);
+  match Witness.find_polyhedron t with
+  | Some w ->
+      Alcotest.(check bool) "verified" true (Witness.verify t w);
+      let p = Witness.point_of w in
+      Alcotest.(check bool) "point witness" true (Witness.is_point_witness t p);
+      Alcotest.(check bool) "point in right strip" true (p.(0) >= 5)
+  | None -> Alcotest.fail "witness must exist"
+
+let test_covered_no_witness () =
+  (* One subscription covering s entirely: row all-undefined. *)
+  let s = sub [ (2, 5); (2, 5) ] in
+  let t = table s [ sub [ (0, 9); (0, 9) ] ] in
+  Alcotest.(check bool) "corollary 3 fails" false (Witness.corollary3_holds t);
+  Alcotest.(check bool) "no witness" true
+    (Option.is_none (Witness.find_polyhedron t))
+
+let test_group_cover_no_witness () =
+  (* The Table 3 example: group-covered, so the greedy must fail. *)
+  let s = sub [ (830, 870); (1003, 1006) ] in
+  let t =
+    table s [ sub [ (820, 850); (1001, 1007) ]; sub [ (840, 880); (1002, 1009) ] ]
+  in
+  Alcotest.(check bool) "corollary 3 fails" false (Witness.corollary3_holds t);
+  Alcotest.(check bool) "greedy finds nothing" true
+    (Option.is_none (Witness.find_polyhedron t))
+
+let test_corollary3_counts () =
+  (* Three rows with 1, 2, 3 defined entries: sorted t = [1;2;3] with
+     t_j >= j for 1-based j -> holds. *)
+  let s = sub [ (0, 99); (0, 99); (0, 99) ] in
+  let r1 = sub [ (0, 50); (0, 99); (0, 99) ] (* 1 defined *) in
+  let r2 = sub [ (0, 99); (10, 80); (0, 99) ] (* 2 defined *) in
+  let r3 = sub [ (5, 99); (0, 99); (10, 90) ] (* 3 defined *) in
+  let t = table s [ r1; r2; r3 ] in
+  Alcotest.(check int) "t1" 1 (Conflict_table.defined_count t ~row:0);
+  Alcotest.(check int) "t2" 2 (Conflict_table.defined_count t ~row:1);
+  Alcotest.(check int) "t3" 3 (Conflict_table.defined_count t ~row:2);
+  Alcotest.(check bool) "condition holds" true (Witness.corollary3_holds t);
+  match Witness.find_polyhedron t with
+  | Some w -> Alcotest.(check bool) "witness verified" true (Witness.verify t w)
+  | None -> Alcotest.fail "corollary 3 guarantees a witness"
+
+let test_corollary3_violated () =
+  (* Two rows each with one defined entry on the same attribute,
+     opposite sides, cutting s in half: sorted [1;1] and position 2
+     wants >= 2 -> condition fails. *)
+  let s = sub [ (0, 9) ] in
+  let t = table s [ sub [ (0, 4) ]; sub [ (5, 9) ] ] in
+  Alcotest.(check bool) "condition fails" false (Witness.corollary3_holds t)
+
+let test_is_point_witness () =
+  let s = sub [ (0, 9) ] in
+  let t = table s [ sub [ (0, 4) ] ] in
+  Alcotest.(check bool) "5 escapes" true (Witness.is_point_witness t [| 5 |]);
+  Alcotest.(check bool) "3 is covered" false (Witness.is_point_witness t [| 3 |]);
+  Alcotest.(check bool) "outside s is no witness" false
+    (Witness.is_point_witness t [| 100 |])
+
+let test_verify_rejects_bad_region () =
+  let s = sub [ (0, 9) ] in
+  let t = table s [ sub [ (0, 4) ] ] in
+  let bogus = { Witness.region = sub [ (0, 9) ]; picks = [] } in
+  Alcotest.(check bool) "region overlapping s1 rejected" false
+    (Witness.verify t bogus)
+
+let suite =
+  [
+    Alcotest.test_case "empty set" `Quick test_empty_set;
+    Alcotest.test_case "simple gap" `Quick test_simple_gap;
+    Alcotest.test_case "covered: no witness" `Quick test_covered_no_witness;
+    Alcotest.test_case "group cover: greedy fails" `Quick
+      test_group_cover_no_witness;
+    Alcotest.test_case "corollary 3 positive" `Quick test_corollary3_counts;
+    Alcotest.test_case "corollary 3 negative" `Quick test_corollary3_violated;
+    Alcotest.test_case "point witness predicate" `Quick test_is_point_witness;
+    Alcotest.test_case "verify rejects bad regions" `Quick
+      test_verify_rejects_bad_region;
+  ]
