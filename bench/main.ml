@@ -54,6 +54,130 @@ let regenerate_figures ~runs () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Flat-kernel benchmark: boxed vs packed RSPC inner loop on a fixed
+   k=1000, m=8 full-scan workload (disjoint set, every trial walks all
+   rows). Emits BENCH_rspc.json and asserts the packed trial performs
+   zero minor-heap allocation. *)
+
+let kernel_k = 1000
+let kernel_m = 8
+let kernel_d = 200_000
+
+let time_ns_per_op f n =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int n
+
+let alloc_words_per_op f n =
+  let before = Gc.minor_words () in
+  for _ = 1 to n do
+    f ()
+  done;
+  let after = Gc.minor_words () in
+  (after -. before) /. float_of_int n
+
+type kernel_result = {
+  op : string;
+  ns_per_op : float;
+  alloc_words_per_op : float;
+}
+
+let emit_json path results =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"rspc_kernels\",\n";
+  Printf.fprintf oc "  \"k\": %d,\n  \"m\": %d,\n  \"d\": %d,\n" kernel_k
+    kernel_m kernel_d;
+  Printf.fprintf oc "  \"ops\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"op\": %S, \"ns_per_op\": %.2f, \"alloc_words_per_op\": %.4f \
+         }%s\n"
+        r.op r.ns_per_op r.alloc_words_per_op
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run_kernels () =
+  print_endline "=================================================";
+  print_endline " Flat-kernel bench (boxed vs packed trial loop)";
+  print_endline "=================================================";
+  let rng = Prng.of_int seed in
+  let s = Subscription.of_bounds (List.init kernel_m (fun _ -> (0, 9999))) in
+  (* Near-cover rows: every row contains the drawn point on the first
+     m-1 attributes and misses on the last, so a trial reads all
+     k x m bound pairs — the regime where RSPC actually spends its
+     budget (rows that reject on attribute 0 are pruned away long
+     before the trial loop). *)
+  let subs =
+    Array.init kernel_k (fun i ->
+        Subscription.of_bounds
+          (List.init kernel_m (fun j ->
+               if j = kernel_m - 1 then (20_000 + i, 30_000 + i)
+               else (0, 9999))))
+  in
+  let packed = Flat.pack ~m:kernel_m subs in
+  let sbox = Flat.box_of_sub s in
+  let p = Array.make kernel_m 0 in
+  let boxed_trial () =
+    let q = Rspc.random_point ~rng s in
+    assert (Rspc.escapes q subs)
+  in
+  let flat_trial () =
+    Flat.random_point_into ~rng sbox p;
+    assert (Flat.escapes packed p)
+  in
+  (* Warm up both paths so one-time setup does not pollute Gc counts. *)
+  for _ = 1 to 1000 do
+    boxed_trial ();
+    flat_trial ()
+  done;
+  let boxed_alloc = alloc_words_per_op boxed_trial kernel_d in
+  let flat_alloc = alloc_words_per_op flat_trial kernel_d in
+  let boxed_ns = time_ns_per_op boxed_trial kernel_d in
+  let flat_ns = time_ns_per_op flat_trial kernel_d in
+  let speedup = boxed_ns /. flat_ns in
+  let results =
+    [
+      {
+        op = "escape_trial_boxed";
+        ns_per_op = boxed_ns;
+        alloc_words_per_op = boxed_alloc;
+      };
+      {
+        op = "escape_trial_flat";
+        ns_per_op = flat_ns;
+        alloc_words_per_op = flat_alloc;
+      };
+    ]
+  in
+  Printf.printf "k=%d m=%d trials=%d\n" kernel_k kernel_m kernel_d;
+  List.iter
+    (fun r ->
+      Printf.printf "%-24s %10.1f ns/trial  %8.4f words/trial\n" r.op
+        r.ns_per_op r.alloc_words_per_op)
+    results;
+  Printf.printf "speedup (boxed/flat): %.2fx\n" speedup;
+  emit_json "BENCH_rspc.json" results;
+  print_endline "wrote BENCH_rspc.json";
+  (* Acceptance gates: the packed trial must be allocation-free (any
+     real allocation is >= 1 word per trial; the slack only absorbs the
+     Gc probe's own boxed floats) and at least 2x the boxed path. *)
+  if flat_alloc >= 0.01 then begin
+    Printf.eprintf
+      "FAIL: flat trial allocates %.4f words/trial (expected 0)\n" flat_alloc;
+    exit 1
+  end;
+  if speedup < 2.0 then begin
+    Printf.eprintf "FAIL: flat speedup %.2fx < 2x over boxed path\n" speedup;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one test per table/figure ingredient. *)
 
 let micro_tests () =
@@ -174,12 +298,18 @@ let run_micro () =
     tests
 
 let () =
-  let runs =
-    if Array.length Sys.argv > 1 then
-      match int_of_string_opt Sys.argv.(1) with
-      | Some r when r > 0 -> r
-      | Some _ | None -> Exp_common.default_scale.Exp_common.runs
-    else Exp_common.default_scale.Exp_common.runs
-  in
-  regenerate_figures ~runs ();
-  run_micro ()
+  (* `main.exe kernels` runs only the fast flat-kernel bench; a numeric
+     argument sets the figure-regeneration run count. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "kernels" then run_kernels ()
+  else begin
+    let runs =
+      if Array.length Sys.argv > 1 then
+        match int_of_string_opt Sys.argv.(1) with
+        | Some r when r > 0 -> r
+        | Some _ | None -> Exp_common.default_scale.Exp_common.runs
+      else Exp_common.default_scale.Exp_common.runs
+    in
+    regenerate_figures ~runs ();
+    run_micro ();
+    run_kernels ()
+  end

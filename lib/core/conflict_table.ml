@@ -1,14 +1,38 @@
 type side = Low | High
 type cell = Undefined | Defined of { side : side; bound : int }
 
+(* Flat layout: instead of a [cell array array] of boxed variants, the
+   table keeps one byte of definedness and one int of bound per cell,
+   both indexed by [row * 2m + column]. Build allocates three flat
+   buffers total; the variant view is reconstructed on demand by
+   {!cell}. Column 2j = Low, 2j+1 = High. *)
 type t = {
   s : Subscription.t;
   subs : Subscription.t array;
-  cells : cell array array; (* k rows, 2m columns; column 2j = Low, 2j+1 = High *)
+  defined : Bytes.t; (* k * 2m definedness flags *)
+  bounds : int array; (* k * 2m predicate bounds *)
   counts : int array; (* t_i per row *)
 }
 
 let column ~attr ~side = (2 * attr) + match side with Low -> 0 | High -> 1
+
+let[@inline] index ~m ~row ~col = (row * 2 * m) + col
+
+let fill_row ~m ~defined ~bounds ~counts ~row ~slo ~shi ~rlo ~rhi ~attr =
+  (* s ∧ (x_j < lo_i^j) is satisfiable iff s reaches below si's lower
+     bound on attribute j. *)
+  if slo < rlo then begin
+    let c = index ~m ~row ~col:(2 * attr) in
+    Bytes.unsafe_set defined c '\001';
+    bounds.(c) <- rlo;
+    counts.(row) <- counts.(row) + 1
+  end;
+  if shi > rhi then begin
+    let c = index ~m ~row ~col:((2 * attr) + 1) in
+    Bytes.unsafe_set defined c '\001';
+    bounds.(c) <- rhi;
+    counts.(row) <- counts.(row) + 1
+  end
 
 let build ~s subs =
   let m = Subscription.arity s in
@@ -18,27 +42,38 @@ let build ~s subs =
         invalid_arg "Conflict_table.build: arity mismatch")
     subs;
   let k = Array.length subs in
-  let cells = Array.make_matrix k (2 * m) Undefined in
+  let defined = Bytes.make (k * 2 * m) '\000' in
+  let bounds = Array.make (k * 2 * m) 0 in
   let counts = Array.make k 0 in
   for i = 0 to k - 1 do
     let si = subs.(i) in
     for j = 0 to m - 1 do
       let rs = Subscription.range s j and ri = Subscription.range si j in
-      (* s ∧ (x_j < lo_i^j) is satisfiable iff s reaches below si's lower
-         bound on attribute j. *)
-      if Interval.lo rs < Interval.lo ri then begin
-        cells.(i).(column ~attr:j ~side:Low) <-
-          Defined { side = Low; bound = Interval.lo ri };
-        counts.(i) <- counts.(i) + 1
-      end;
-      if Interval.hi rs > Interval.hi ri then begin
-        cells.(i).(column ~attr:j ~side:High) <-
-          Defined { side = High; bound = Interval.hi ri };
-        counts.(i) <- counts.(i) + 1
-      end
+      fill_row ~m ~defined ~bounds ~counts ~row:i ~slo:(Interval.lo rs)
+        ~shi:(Interval.hi rs) ~rlo:(Interval.lo ri) ~rhi:(Interval.hi ri)
+        ~attr:j
     done
   done;
-  { s; subs; cells; counts }
+  { s; subs; defined; bounds; counts }
+
+let build_flat ~s ~subs packed =
+  let m = Subscription.arity s in
+  let k = Array.length subs in
+  if Flat.k packed <> k || Flat.m packed <> m then
+    invalid_arg "Conflict_table.build_flat: packed set does not match subs";
+  let defined = Bytes.make (k * 2 * m) '\000' in
+  let bounds = Array.make (k * 2 * m) 0 in
+  let counts = Array.make k 0 in
+  for j = 0 to m - 1 do
+    let rs = Subscription.range s j in
+    let slo = Interval.lo rs and shi = Interval.hi rs in
+    for i = 0 to k - 1 do
+      fill_row ~m ~defined ~bounds ~counts ~row:i ~slo ~shi
+        ~rlo:(Flat.lo packed ~row:i ~attr:j) ~rhi:(Flat.hi packed ~row:i ~attr:j)
+        ~attr:j
+    done
+  done;
+  { s; subs; defined; bounds; counts }
 
 let s t = t.s
 let subs t = t.subs
@@ -48,7 +83,9 @@ let arity t = Subscription.arity t.s
 let cell t ~row ~attr ~side =
   if row < 0 || row >= rows t then invalid_arg "Conflict_table.cell: row";
   if attr < 0 || attr >= arity t then invalid_arg "Conflict_table.cell: attr";
-  t.cells.(row).(column ~attr ~side)
+  let c = index ~m:(arity t) ~row ~col:(column ~attr ~side) in
+  if Bytes.get t.defined c = '\000' then Undefined
+  else Defined { side; bound = t.bounds.(c) }
 
 let defined_count t ~row =
   if row < 0 || row >= rows t then
@@ -86,14 +123,15 @@ let cells_conflict t ~row1 ~attr1 ~side1 ~row2 ~attr2 ~side2 =
 let fold_defined t ~row ~init ~f =
   if row < 0 || row >= rows t then
     invalid_arg "Conflict_table.fold_defined: row";
+  let m = arity t in
   let acc = ref init in
-  for attr = 0 to arity t - 1 do
-    (match t.cells.(row).(column ~attr ~side:Low) with
-    | Defined { bound; _ } -> acc := f !acc ~attr ~side:Low ~bound
-    | Undefined -> ());
-    match t.cells.(row).(column ~attr ~side:High) with
-    | Defined { bound; _ } -> acc := f !acc ~attr ~side:High ~bound
-    | Undefined -> ()
+  for attr = 0 to m - 1 do
+    let clo = index ~m ~row ~col:(2 * attr) in
+    if Bytes.get t.defined clo <> '\000' then
+      acc := f !acc ~attr ~side:Low ~bound:t.bounds.(clo);
+    let chi = clo + 1 in
+    if Bytes.get t.defined chi <> '\000' then
+      acc := f !acc ~attr ~side:High ~bound:t.bounds.(chi)
   done;
   !acc
 
@@ -104,10 +142,10 @@ let pp ppf t =
   for i = 0 to rows t - 1 do
     Format.fprintf ppf "s%d:" (i + 1);
     for j = 0 to m - 1 do
-      (match t.cells.(i).(column ~attr:j ~side:Low) with
+      (match cell t ~row:i ~attr:j ~side:Low with
       | Undefined -> Format.fprintf ppf " x%d:undef" j
       | Defined { bound; _ } -> Format.fprintf ppf " x%d<%d" j bound);
-      match t.cells.(i).(column ~attr:j ~side:High) with
+      match cell t ~row:i ~attr:j ~side:High with
       | Undefined -> Format.fprintf ppf " x%d:undef" j
       | Defined { bound; _ } -> Format.fprintf ppf " x%d>%d" j bound
     done;

@@ -29,7 +29,18 @@ type t
 
 val build : s:Subscription.t -> Subscription.t array -> t
 (** [build ~s subs] constructs the table relating [s] to [subs] in
-    O(m·k). @raise Invalid_argument on an arity mismatch. *)
+    O(m·k). The table stores cells as flat definedness/bound planes
+    (three buffers total, no per-cell boxing); {!cell} reconstructs
+    the variant view on demand.
+    @raise Invalid_argument on an arity mismatch. *)
+
+val build_flat : s:Subscription.t -> subs:Subscription.t array -> Flat.t -> t
+(** [build_flat ~s ~subs packed] is {!build} reading the bounds from an
+    already-packed {!Flat.t} instead of the boxed subscriptions —
+    [packed] must be [Flat.pack] of [subs] (the engine reuses its
+    pruning pack here). [subs] is retained for {!subs}/{!s} accessors.
+    @raise Invalid_argument when [packed] and [subs] disagree on [k] or
+    [m]. *)
 
 val s : t -> Subscription.t
 (** The tested subscription. *)

@@ -6,6 +6,9 @@ type t = {
   constrained : (int, int) Hashtbl.t;
   mutable indexes : Interval_index.t array;
   dirty : bool array;
+  (* Box publications scan a flat pack of the whole set instead of
+     chasing boxed intervals; rebuilt lazily after any mutation. *)
+  mutable flat : (int array * Flat.t) option;
 }
 
 let create ~arity () =
@@ -16,6 +19,7 @@ let create ~arity () =
     constrained = Hashtbl.create 64;
     indexes = Array.make arity Interval_index.empty;
     dirty = Array.make arity true;
+    flat = None;
   }
 
 let arity t = t.arity
@@ -30,7 +34,8 @@ let add t ~id sub =
   Hashtbl.replace t.subs id sub;
   let constrained = Subscription.constrained sub in
   Hashtbl.replace t.constrained id (List.length constrained);
-  List.iter (fun attr -> t.dirty.(attr) <- true) constrained
+  List.iter (fun attr -> t.dirty.(attr) <- true) constrained;
+  t.flat <- None
 
 let remove t ~id =
   match Hashtbl.find_opt t.subs id with
@@ -38,7 +43,9 @@ let remove t ~id =
   | Some sub ->
       Hashtbl.remove t.subs id;
       Hashtbl.remove t.constrained id;
-      List.iter (fun attr -> t.dirty.(attr) <- true) (Subscription.constrained sub)
+      List.iter (fun attr -> t.dirty.(attr) <- true)
+        (Subscription.constrained sub);
+      t.flat <- None
 
 let rebuild_attr t attr =
   let entries =
@@ -78,12 +85,32 @@ let match_point t p =
     t.constrained []
   |> List.sort Int.compare
 
+let flat_pack t =
+  match t.flat with
+  | Some pack -> pack
+  | None ->
+      let ids =
+        Hashtbl.fold (fun id _ acc -> id :: acc) t.subs []
+        |> List.sort Int.compare |> Array.of_list
+      in
+      let subs = Array.map (fun id -> Hashtbl.find t.subs id) ids in
+      let pack = (ids, Flat.pack ~m:t.arity subs) in
+      t.flat <- Some pack;
+      pack
+
 let match_publication t pub =
   match pub with
   | Publication.Point values -> match_point t values
-  | Publication.Box _ ->
-      Hashtbl.fold
-        (fun id sub acc ->
-          if Publication.matches sub pub then id :: acc else acc)
-        t.subs []
-      |> List.sort Int.compare
+  | Publication.Box b ->
+      if Subscription.arity b <> t.arity then
+        invalid_arg "Counting_matcher.match_publication: arity mismatch";
+      (* Boxes need containment, not stabbing: a linear pass over the
+         packed bounds, in id order so the result is already sorted. *)
+      if Hashtbl.length t.subs = 0 then []
+      else begin
+        let ids, packed = flat_pack t in
+        let hits = ref [] in
+        Flat.iter_superset_rows packed (Flat.box_of_sub b) ~f:(fun row ->
+            hits := ids.(row) :: !hits);
+        List.rev !hits
+      end

@@ -37,8 +37,11 @@ val match_point : t -> int array -> int list
     @raise Invalid_argument on an arity mismatch. *)
 
 val match_publication : t -> Publication.t -> int list
-(** Point publications use the counting path; box publications fall
-    back to a linear scan (boxes need containment, not stabbing). *)
+(** Point publications use the counting path; box publications need
+    containment, not stabbing, and scan a lazily-rebuilt {!Flat} pack
+    of the whole set — a linear walk over packed bounds instead of a
+    hashtable traversal chasing boxed intervals.
+    @raise Invalid_argument on an arity mismatch (box publications). *)
 
 val rebuild : t -> unit
 (** Force all dirty indexes to rebuild now (e.g. before a latency

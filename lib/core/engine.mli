@@ -26,6 +26,12 @@ type config = {
           before spending random trials — a sound extension (default
           off to keep the measured behaviour aligned with the paper;
           see the ablation experiment for its effect). *)
+  use_pruning : bool;
+      (** Drop candidates that do not intersect [s] before MCS/RSPC
+          (sound: a non-intersecting subscription contains no point of
+          [s], so it cannot contribute to a cover or invalidate a
+          witness). Runs {e after} the fast decisions so Corollary 1/3
+          verdicts are identical with pruning on or off; default on. *)
   max_iterations : int;
       (** Hard cap on RSPC trials; the theoretical [d] can reach 10^50
           (Fig. 7), so covered instances must stop somewhere. When the
@@ -38,7 +44,8 @@ val default_config : config
 
 val config :
   ?delta:float -> ?use_fast_decisions:bool -> ?use_mcs:bool ->
-  ?use_probes:bool -> ?max_iterations:int -> unit -> config
+  ?use_probes:bool -> ?use_pruning:bool -> ?max_iterations:int -> unit ->
+  config
 (** {!default_config} with overrides.
     @raise Invalid_argument if [delta] is outside (0,1) or
     [max_iterations < 1]. *)
@@ -58,8 +65,16 @@ type verdict =
 type report = {
   verdict : verdict;
   k_initial : int;  (** |S| before any reduction. *)
-  k_reduced : int;  (** |S'| checked by RSPC (= k_initial if MCS off). *)
-  mcs : Mcs.result option;  (** MCS trace, when it ran. *)
+  k_pruned : int;
+      (** Candidates left after intersection pruning (= k_initial when
+          pruning is off or a fast decision fired first). *)
+  k_reduced : int;  (** |S'| checked by RSPC (= k_pruned if MCS off). *)
+  mcs : Mcs.result option;
+      (** MCS trace, when it ran — row indices remapped to positions in
+          the {e original} [subs] array, so [kept] translates directly
+          to store ids even when pruning dropped rows first. With
+          pruning on, the trace partitions the {e pruned} candidate
+          set; rows pruned away appear in neither list. *)
   rho : Rho.estimate option;
       (** ρw estimate on the reduced set, when the pipeline reached it. *)
   log10_d : float option;  (** Theoretical log10 d for δ, if computed. *)
@@ -73,17 +88,23 @@ val is_covered : verdict -> bool
 (** [true] on both YES verdicts. *)
 
 val check :
-  ?config:config -> rng:Prng.t -> Subscription.t -> Subscription.t array ->
-  report
+  ?config:config -> ?packed:Flat.t -> rng:Prng.t -> Subscription.t ->
+  Subscription.t array -> report
 (** [check ~rng s subs] answers whether [subs] jointly cover [s].
     Definite answers (NO, pairwise YES) are always correct;
     [Covered_probably] errs with probability at most
     [achieved_delta] (Proposition 1).
-    @raise Invalid_argument on an arity mismatch. *)
+
+    [?packed] must be [Flat.pack] of [subs]; callers that check many
+    subscriptions against a stable set (the subscription store) pass
+    their cached pack so the engine skips re-packing. Omitted, the
+    engine packs internally.
+    @raise Invalid_argument on an arity mismatch or when [packed]
+    disagrees with [subs]. *)
 
 val check_publication :
-  ?config:config -> rng:Prng.t -> Publication.t -> Subscription.t array ->
-  report
+  ?config:config -> ?packed:Flat.t -> rng:Prng.t -> Publication.t ->
+  Subscription.t array -> report
 (** The general subsumption question for a publication (§1 models
     imprecise publications as boxes too): is the publication's box
     covered by the subscription union? A point publication degenerates

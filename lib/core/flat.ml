@@ -1,0 +1,226 @@
+(* Structure-of-arrays subscription kernels.
+
+   A packed set stores all bounds of k subscriptions in ONE int array:
+   the lo plane occupies [0, k*m) and the hi plane [k*m, 2*k*m), both
+   in row-major order (bounds.(i*m + j) is subscription i's lower bound
+   on attribute j). The escape test of an RSPC trial then reads
+   consecutive machine ints instead of chasing
+   array -> Subscription.t -> Interval.t pointers, and a trial loop
+   that fills a preallocated point buffer allocates nothing. *)
+
+type t = { k : int; m : int; bounds : int array }
+
+type box = { bm : int; blo : int array; bhi : int array }
+
+let k t = t.k
+let m t = t.m
+let box_arity b = b.bm
+
+let pack ~m subs =
+  if m < 1 then invalid_arg "Flat.pack: arity < 1";
+  let k = Array.length subs in
+  let bounds = Array.make (2 * k * m) 0 in
+  let km = k * m in
+  for i = 0 to k - 1 do
+    let si = subs.(i) in
+    if Subscription.arity si <> m then invalid_arg "Flat.pack: arity mismatch";
+    let base = i * m in
+    for j = 0 to m - 1 do
+      let r = Subscription.range si j in
+      bounds.(base + j) <- Interval.lo r;
+      bounds.(km + base + j) <- Interval.hi r
+    done
+  done;
+  { k; m; bounds }
+
+let box_of_sub s =
+  let m = Subscription.arity s in
+  let blo = Array.make m 0 and bhi = Array.make m 0 in
+  for j = 0 to m - 1 do
+    let r = Subscription.range s j in
+    blo.(j) <- Interval.lo r;
+    bhi.(j) <- Interval.hi r
+  done;
+  { bm = m; blo; bhi }
+
+let lo t ~row ~attr =
+  if row < 0 || row >= t.k then invalid_arg "Flat.lo: row";
+  if attr < 0 || attr >= t.m then invalid_arg "Flat.lo: attr";
+  t.bounds.((row * t.m) + attr)
+
+let hi t ~row ~attr =
+  if row < 0 || row >= t.k then invalid_arg "Flat.hi: row";
+  if attr < 0 || attr >= t.m then invalid_arg "Flat.hi: attr";
+  t.bounds.((t.k * t.m) + (row * t.m) + attr)
+
+let row_sub t row =
+  if row < 0 || row >= t.k then invalid_arg "Flat.row_sub: row";
+  let base = row * t.m and km = t.k * t.m in
+  Subscription.make
+    (Array.init t.m (fun j ->
+         Interval.make ~lo:t.bounds.(base + j) ~hi:t.bounds.(km + base + j)))
+
+let gather t rows =
+  let k' = Array.length rows in
+  let m = t.m in
+  let km = t.k * m and km' = k' * m in
+  let bounds = Array.make (2 * km') 0 in
+  for i = 0 to k' - 1 do
+    let row = rows.(i) in
+    if row < 0 || row >= t.k then invalid_arg "Flat.gather: row";
+    Array.blit t.bounds (row * m) bounds (i * m) m;
+    Array.blit t.bounds (km + (row * m)) bounds (km' + (i * m)) m
+  done;
+  { k = k'; m; bounds }
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-free trial kernels *)
+
+let random_point_into ~rng box p =
+  if Array.length p <> box.bm then
+    invalid_arg "Flat.random_point_into: arity mismatch";
+  for j = 0 to box.bm - 1 do
+    Array.unsafe_set p j
+      (Prng.int_in rng ~lo:(Array.unsafe_get box.blo j)
+         ~hi:(Array.unsafe_get box.bhi j))
+  done
+
+(* The [int array] annotations matter: without them the function
+   let-generalizes to ['a array] and every [<=] compiles to a
+   [caml_lessequal] call — an order of magnitude slower than the
+   unboxed integer compare. *)
+let[@inline] covers_row_unsafe (bounds : int array) ~km ~base ~m
+    (p : int array) =
+  let j = ref 0 in
+  let inside = ref true in
+  while !inside && !j < m do
+    let v = Array.unsafe_get p !j in
+    inside :=
+      Array.unsafe_get bounds (base + !j) <= v
+      && v <= Array.unsafe_get bounds (km + base + !j);
+    incr j
+  done;
+  !inside
+
+let covers_row t ~row p =
+  if row < 0 || row >= t.k then invalid_arg "Flat.covers_row: row";
+  if Array.length p <> t.m then invalid_arg "Flat.covers_row: arity mismatch";
+  covers_row_unsafe t.bounds ~km:(t.k * t.m) ~base:(row * t.m) ~m:t.m p
+
+let escapes t p =
+  if Array.length p <> t.m then invalid_arg "Flat.escapes: arity mismatch";
+  let bounds = t.bounds and m = t.m in
+  let km = t.k * m in
+  let i = ref 0 in
+  let escaped = ref true in
+  while !escaped && !i < t.k do
+    if covers_row_unsafe bounds ~km ~base:(!i * m) ~m p then escaped := false;
+    incr i
+  done;
+  !escaped
+
+let iter_superset_rows t box ~f =
+  if box.bm <> t.m then
+    invalid_arg "Flat.iter_superset_rows: arity mismatch";
+  let bounds = t.bounds and m = t.m in
+  let km = t.k * m in
+  for row = 0 to t.k - 1 do
+    let base = row * m in
+    let j = ref 0 in
+    let covers = ref true in
+    while !covers && !j < m do
+      covers :=
+        Array.unsafe_get bounds (base + !j) <= Array.unsafe_get box.blo !j
+        && Array.unsafe_get box.bhi !j <= Array.unsafe_get bounds (km + base + !j);
+      incr j
+    done;
+    if !covers then f row
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Candidate pruning: rows intersecting a query box *)
+
+let default_crossover = 256
+
+let intersecting_scan t box =
+  let bounds = t.bounds and m = t.m in
+  let km = t.k * m in
+  let keep = Array.make t.k 0 in
+  let n = ref 0 in
+  for row = 0 to t.k - 1 do
+    let base = row * m in
+    let j = ref 0 in
+    let meets = ref true in
+    while !meets && !j < m do
+      (* [lo_i, hi_i] meets [blo_j, bhi_j] iff lo_i <= bhi_j && blo_j <= hi_i *)
+      meets :=
+        Array.unsafe_get bounds (base + !j) <= Array.unsafe_get box.bhi !j
+        && Array.unsafe_get box.blo !j <= Array.unsafe_get bounds (km + base + !j);
+      incr j
+    done;
+    if !meets then begin
+      keep.(!n) <- row;
+      incr n
+    end
+  done;
+  Array.sub keep 0 !n
+
+(* Per-attribute filtering through stabbing. A row interval [a, b]
+   intersects s's range [lo, hi] in exactly one of two disjoint ways:
+   it contains [lo] (a <= lo <= b), or it starts strictly inside
+   (lo < a <= hi). The first set is a stabbing query at [lo] on an
+   {!Interval_index} over the attribute's intervals; the second is a
+   binary-searched slice of the rows sorted by lower bound. Each
+   intersecting row is counted exactly once per attribute; rows
+   counted on all m attributes intersect the box. *)
+let intersecting_indexed t box =
+  let m = t.m and k = t.k in
+  let bounds = t.bounds in
+  let km = k * m in
+  let count = Array.make k 0 in
+  for j = 0 to m - 1 do
+    let slo = box.blo.(j) and shi = box.bhi.(j) in
+    let entries = ref [] in
+    for row = k - 1 downto 0 do
+      entries :=
+        ( row,
+          Interval.make ~lo:bounds.((row * m) + j)
+            ~hi:bounds.(km + (row * m) + j) )
+        :: !entries
+    done;
+    let index = Interval_index.build !entries in
+    Interval_index.iter_stab index slo ~f:(fun row ->
+        count.(row) <- count.(row) + 1);
+    (* Rows whose lower bound lies in (slo, shi]. *)
+    let by_lo = Array.init k (fun row -> bounds.((row * m) + j)) in
+    let order = Array.init k (fun row -> row) in
+    Array.sort (fun a b -> Int.compare by_lo.(a) by_lo.(b)) order;
+    (* First position with lo > slo. *)
+    let lower_bound target =
+      let a = ref 0 and b = ref k in
+      while !a < !b do
+        let mid = (!a + !b) / 2 in
+        if by_lo.(order.(mid)) > target then b := mid else a := mid + 1
+      done;
+      !a
+    in
+    let start = lower_bound slo and stop = lower_bound shi in
+    for pos = start to stop - 1 do
+      let row = order.(pos) in
+      count.(row) <- count.(row) + 1
+    done
+  done;
+  let keep = Array.make k 0 in
+  let n = ref 0 in
+  for row = 0 to k - 1 do
+    if count.(row) = m then begin
+      keep.(!n) <- row;
+      incr n
+    end
+  done;
+  Array.sub keep 0 !n
+
+let intersecting_rows ?(crossover = default_crossover) t box =
+  if box.bm <> t.m then invalid_arg "Flat.intersecting_rows: arity mismatch";
+  if t.k < crossover then intersecting_scan t box
+  else intersecting_indexed t box

@@ -1,0 +1,80 @@
+(** Flat, cache-friendly subscription kernels (structure-of-arrays).
+
+    The boxed model ([Subscription.t array] of [Interval.t] records)
+    costs two pointer indirections per bound on the RSPC hot path. A
+    {!t} packs an entire subscription set into a single [int array] in
+    SoA layout — the [lo] plane first, then the [hi] plane, each
+    [k × m] row-major — so the inner loop of Algorithm 1 is a linear
+    walk over machine integers. Combined with {!random_point_into}
+    filling a preallocated point buffer (and {!Prng}'s unboxed state),
+    one RSPC trial performs {e zero} minor-heap allocation; the bench
+    asserts this.
+
+    The candidate-pruning helpers implement the soundness argument of
+    DESIGN "Data layout & hot path": a subscription that does not
+    intersect the tested box [s] contains no point of [s], so dropping
+    it can change neither the group-coverage answer nor any witness. *)
+
+type t
+(** An immutable packed subscription set. Values are safe to share
+    read-only across domains. *)
+
+type box
+(** A packed tested subscription [s]: one [lo] and one [hi] array of
+    length [m]. *)
+
+val pack : m:int -> Subscription.t array -> t
+(** [pack ~m subs] packs the set ([k = Array.length subs] rows of [m]
+    attributes) in O(k·m). @raise Invalid_argument if [m < 1] or some
+    subscription has a different arity. *)
+
+val box_of_sub : Subscription.t -> box
+
+val k : t -> int
+(** Number of packed subscriptions. *)
+
+val m : t -> int
+(** Number of attributes per subscription. *)
+
+val box_arity : box -> int
+
+val lo : t -> row:int -> attr:int -> int
+val hi : t -> row:int -> attr:int -> int
+
+val row_sub : t -> int -> Subscription.t
+(** [row_sub t i] re-boxes row [i] (tests, error reporting). *)
+
+val gather : t -> int array -> t
+(** [gather t rows] packs the selected rows, preserving order — the
+    pruned or MCS-reduced candidate set without re-reading any boxed
+    subscription. @raise Invalid_argument on an out-of-range row. *)
+
+val random_point_into : rng:Prng.t -> box -> int array -> unit
+(** [random_point_into ~rng box p] overwrites [p] with a uniform point
+    of [box] — one {!Prng.int_in} draw per attribute, ascending, so the
+    stream matches {!Rspc.random_point} exactly. Allocation-free.
+    @raise Invalid_argument if [Array.length p <> box_arity box]. *)
+
+val covers_row : t -> row:int -> int array -> bool
+(** [covers_row t ~row p] tests whether packed row [row] contains [p];
+    agrees with [Subscription.covers_point] on the boxed original. *)
+
+val escapes : t -> int array -> bool
+(** [escapes t p] is true when [p] lies in none of the packed rows —
+    the flat equivalent of {!Rspc.escapes}, allocation-free. *)
+
+val iter_superset_rows : t -> box -> f:(int -> unit) -> unit
+(** [iter_superset_rows t box ~f] calls [f row] for every packed row
+    whose rectangle contains [box] (i.e. [Subscription.covers_sub row
+    box]) — the counting matcher's box-publication scan. *)
+
+val default_crossover : int
+(** Default [k] above which {!intersecting_rows} switches from the
+    plain scan to the per-attribute {!Interval_index} path. *)
+
+val intersecting_rows : ?crossover:int -> t -> box -> int array
+(** [intersecting_rows t box] lists (ascending) the rows whose
+    rectangle intersects [box]. Below [crossover] rows a plain O(k·m)
+    early-exit scan wins on constants; above it the per-attribute
+    stabbing path is used. Both paths return identical results.
+    @raise Invalid_argument on an arity mismatch. *)

@@ -1,43 +1,65 @@
-type t = { mutable state : int64 }
+(* Splitmix64 with the 64-bit state stored in an 8-byte buffer instead
+   of a boxed [int64] field. Classic ocamlopt unboxes the [Int64]
+   locals of [bits64]/[int] once the state load/store goes through
+   [Bytes.{get,set}_int64_ne], so a draw performs zero minor-heap
+   allocation — the property the RSPC trial loop depends on (the old
+   [{ mutable state : int64 }] representation re-boxed the state on
+   every step, ~12 words per draw). The output stream is bit-identical
+   to the boxed implementation. *)
+
+type t = Bytes.t
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let mix z =
+let[@inline] mix z =
   let open Int64 in
   let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create ~seed = { state = seed }
-let of_int seed = create ~seed:(Int64.of_int seed)
-let copy t = { state = t.state }
+let create ~seed =
+  let t = Bytes.create 8 in
+  Bytes.set_int64_ne t 0 seed;
+  t
 
-let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+let of_int seed = create ~seed:(Int64.of_int seed)
+let copy t = Bytes.sub t 0 8
+
+let[@inline] bits64 t =
+  let s = Int64.add (Bytes.get_int64_ne t 0) golden_gamma in
+  Bytes.set_int64_ne t 0 s;
+  mix s
 
 let split t =
   let seed = bits64 t in
   (* A second mix decorrelates the child stream from the parent's next
      outputs even for adjacent seeds. *)
-  { state = mix seed }
+  create ~seed:(mix seed)
+
+(* Top 62 bits of the next output as a non-negative native int. *)
+let[@inline] top62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 
 (* Rejection sampling over the top bits keeps the draw exactly uniform
-   for any bound, not just powers of two. *)
-let int t n =
+   for any bound, not just powers of two. The rejection loop is a local
+   [ref] (compiled to a mutable variable) rather than a recursive
+   closure so the function stays allocation-free. *)
+let[@inline] int t n =
   if n <= 0 then invalid_arg "Prng.int: bound must be positive";
-  let mask = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  if n land (n - 1) = 0 then mask land (n - 1)
-  else
+  if n land (n - 1) = 0 then top62 t land (n - 1)
+  else begin
     let bucket = max_int / n * n in
-    let rec draw v = if v < bucket then v mod n else draw (Int64.to_int (Int64.shift_right_logical (bits64 t) 2)) in
-    draw mask
+    let v = ref (top62 t) in
+    while !v >= bucket do
+      v := top62 t
+    done;
+    !v mod n
+  end
 
-let int_in t ~lo ~hi =
+let[@inline] int_in t ~lo ~hi =
   if lo > hi then invalid_arg "Prng.int_in: lo > hi";
   lo + int t (hi - lo + 1)
 
-let in_interval t r = int_in t ~lo:(Interval.lo r) ~hi:(Interval.hi r)
+let[@inline] in_interval t r = int_in t ~lo:(Interval.lo r) ~hi:(Interval.hi r)
 
 let float t =
   let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in

@@ -4,7 +4,11 @@
     seedable, splittable generator that is independent of the global
     [Random] state. Splitmix64 passes BigCrush, is trivially
     deterministic across platforms, and supports cheap stream splitting
-    for parallel workload generation. *)
+    for parallel workload generation.
+
+    The state lives in a raw byte buffer so that integer draws perform
+    {e zero} minor-heap allocation in native code — the RSPC trial loop
+    ({!Flat}, {!Rspc}) relies on this; the bench asserts it. *)
 
 type t
 (** A mutable generator state. *)

@@ -1,6 +1,10 @@
 type outcome = Not_covered of int array | Probably_covered
 type run = { outcome : outcome; iterations : int }
 
+(* Boxed reference kernels. The production trial loop below runs on the
+   packed {!Flat} representation; these stay as the readable spec the
+   property tests compare against. *)
+
 let random_point ~rng s =
   Array.init (Subscription.arity s) (fun j ->
       Prng.in_interval rng (Subscription.range s j))
@@ -8,18 +12,30 @@ let random_point ~rng s =
 let escapes p subs =
   Array.for_all (fun si -> not (Subscription.covers_point si p)) subs
 
-let run ~rng ~d ~s subs =
+let run_packed ~rng ~d ~sbox packed =
   if d < 0 then invalid_arg "Rspc.run: negative trial budget";
-  Array.iter
-    (fun si ->
-      if Subscription.arity si <> Subscription.arity s then
-        invalid_arg "Rspc.run: arity mismatch")
-    subs;
+  if Flat.m packed <> Flat.box_arity sbox then
+    invalid_arg "Rspc.run: arity mismatch";
+  (* One scratch point per run; a trial draws into it and scans the
+     packed planes — no allocation until a witness is copied out. *)
+  let p = Array.make (Flat.box_arity sbox) 0 in
   let rec loop i =
     if i >= d then { outcome = Probably_covered; iterations = d }
-    else
-      let p = random_point ~rng s in
-      if escapes p subs then { outcome = Not_covered p; iterations = i + 1 }
+    else begin
+      Flat.random_point_into ~rng sbox p;
+      if Flat.escapes packed p then
+        { outcome = Not_covered (Array.copy p); iterations = i + 1 }
       else loop (i + 1)
+    end
   in
   loop 0
+
+let run ~rng ~d ~s subs =
+  if d < 0 then invalid_arg "Rspc.run: negative trial budget";
+  let m = Subscription.arity s in
+  Array.iter
+    (fun si ->
+      if Subscription.arity si <> m then
+        invalid_arg "Rspc.run: arity mismatch")
+    subs;
+  run_packed ~rng ~d ~sbox:(Flat.box_of_sub s) (Flat.pack ~m subs)

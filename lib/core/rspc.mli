@@ -23,12 +23,28 @@ val run :
   rng:Prng.t -> d:int -> s:Subscription.t -> Subscription.t array -> run
 (** [run ~rng ~d ~s subs] executes Algorithm 1. [d = 0] answers
     [Probably_covered] in zero iterations (the MCS-emptied case).
+    Internally packs the set once ({!Flat.pack}) and runs the
+    allocation-free trial loop of {!run_packed}; the draw stream, the
+    witness and the iteration count are identical to the boxed
+    reference kernels below.
     @raise Invalid_argument if [d < 0] or on an arity mismatch. *)
+
+val run_packed : rng:Prng.t -> d:int -> sbox:Flat.box -> Flat.t -> run
+(** [run_packed ~rng ~d ~sbox packed] is {!run} on an already-packed
+    candidate set — the engine and the subscription store reuse their
+    cached {!Flat.t} here instead of re-packing per call. Each trial
+    fills one preallocated scratch point and scans the packed bound
+    planes: zero minor-heap allocation per trial (asserted by the
+    bench). @raise Invalid_argument if [d < 0] or the arities of
+    [sbox] and [packed] differ. *)
 
 val random_point : rng:Prng.t -> Subscription.t -> int array
 (** [random_point ~rng s] draws a uniform point of the box [s] —
-    independent uniform draws per attribute (exposed for tests and for
-    the matcher's sampling diagnostics). *)
+    independent uniform draws per attribute. This is the boxed
+    {e reference} kernel: the production loop uses
+    {!Flat.random_point_into} on the same draw stream (exposed for
+    tests and for the matcher's sampling diagnostics). *)
 
 val escapes : int array -> Subscription.t array -> bool
-(** [escapes p subs] is true when [p] lies in none of [subs]. *)
+(** [escapes p subs] is true when [p] lies in none of [subs] — the
+    boxed reference of {!Flat.escapes}. *)

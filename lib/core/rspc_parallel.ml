@@ -5,11 +5,26 @@ let recommended_domains () =
    more than a few hundred O(m·k) membership tests. *)
 let min_parallel_budget = 2048
 
+(* Polling the shared stop flag on every trial makes each iteration a
+   cross-domain cache-line read; once per [poll_mask + 1] trials keeps
+   the loop local while still stopping promptly after a witness. *)
+let poll_mask = 63
+
 let run ?(domains = recommended_domains ()) ~rng ~d ~s subs =
   if domains < 1 then invalid_arg "Rspc_parallel.run: domains < 1";
   if d < 0 then invalid_arg "Rspc_parallel.run: negative trial budget";
   if domains = 1 || d < min_parallel_budget then Rspc.run ~rng ~d ~s subs
   else begin
+    let m = Subscription.arity s in
+    Array.iter
+      (fun si ->
+        if Subscription.arity si <> m then
+          invalid_arg "Rspc_parallel.run: arity mismatch")
+      subs;
+    (* Packed once; the int-array planes are immutable after packing,
+       so all domains share them read-only. *)
+    let packed = Flat.pack ~m subs in
+    let sbox = Flat.box_of_sub s in
     let found : int array option Atomic.t = Atomic.make None in
     let total_iterations = Atomic.make 0 in
     let chunk = (d + domains - 1) / domains in
@@ -17,28 +32,23 @@ let run ?(domains = recommended_domains ()) ~rng ~d ~s subs =
     let worker index () =
       let rng = rngs.(index) in
       let budget = min chunk (max 0 (d - (index * chunk))) in
+      (* Per-domain scratch point: no sharing, no per-trial allocation. *)
+      let p = Array.make m 0 in
       let performed = ref 0 in
       (try
-         for _ = 1 to budget do
-           if Atomic.get found <> None then raise Exit;
+         for i = 0 to budget - 1 do
+           if i land poll_mask = 0 && Atomic.get found <> None then raise Exit;
            incr performed;
-           let p = Rspc.random_point ~rng s in
-           if Rspc.escapes p subs then begin
+           Flat.random_point_into ~rng sbox p;
+           if Flat.escapes packed p then begin
              (* First writer wins; losers keep their witness to
                 themselves (any witness proves non-coverage). *)
-             ignore (Atomic.compare_and_set found None (Some p));
+             ignore (Atomic.compare_and_set found None (Some (Array.copy p)));
              raise Exit
            end
          done
        with Exit -> ());
-      (* Atomic add via CAS loop (no fetch_and_add on int Atomic in
-         every stdlib version we target). *)
-      let rec bump () =
-        let cur = Atomic.get total_iterations in
-        if not (Atomic.compare_and_set total_iterations cur (cur + !performed))
-        then bump ()
-      in
-      bump ()
+      ignore (Atomic.fetch_and_add total_iterations !performed)
     in
     let spawned =
       Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))

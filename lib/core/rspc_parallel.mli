@@ -3,9 +3,12 @@
 
     The trials are independent by construction (Proposition 1 relies on
     it), so the budget [d] splits into per-domain chunks, each drawing
-    from an independent {!Prng.split} of the caller's generator. A
-    shared flag stops all domains as soon as any of them finds a point
-    witness.
+    from an independent {!Prng.split} of the caller's generator. The
+    candidate set is packed once ({!Flat.pack}) and shared read-only
+    across domains; every domain owns a scratch point buffer, so the
+    per-trial work allocates nothing. A shared flag stops all domains
+    as soon as any of them finds a point witness; it is polled every 64
+    trials to keep cross-domain cache traffic off the inner loop.
 
     Semantics versus {!Rspc.run}:
     - soundness is identical — a [Not_covered] answer always carries a

@@ -31,6 +31,19 @@ type t = {
      covered subscriptions recorded under it. A publication only tests
      the children of the active subscriptions it matched. *)
   children : (id, id list) Hashtbl.t;
+  (* Live ids in insertion order. Ids are assigned monotonically and
+     never reused, so the used prefix is always ascending — iteration
+     is O(k) with no per-call sort. Removed ids become tombstones
+     (absent from [entries]) and are compacted away lazily. *)
+  mutable order : id array;
+  mutable order_n : int;
+  mutable order_dead : int;
+  mutable active_n : int;
+  (* Cached snapshot of the active set (ids, boxed subs, packed
+     bounds), shared by every group/pairwise classification until an
+     active-set mutation invalidates it. *)
+  mutable active_cache : (id array * Subscription.t array) option;
+  mutable packed_cache : Flat.t option;
   mutable next_id : id;
   mutable added : int;
   mutable dropped_covered : int;
@@ -48,6 +61,12 @@ let create ?(policy = Group_policy Engine.default_config) ~arity ~seed () =
     rng = Prng.of_int seed;
     entries = Hashtbl.create 64;
     children = Hashtbl.create 64;
+    order = Array.make 64 0;
+    order_n = 0;
+    order_dead = 0;
+    active_n = 0;
+    active_cache = None;
+    packed_cache = None;
     next_id = 0;
     added = 0;
     dropped_covered = 0;
@@ -61,13 +80,46 @@ let policy t = t.policy
 let arity t = t.arity
 let size t = Hashtbl.length t.entries
 
+let invalidate_active t =
+  t.active_cache <- None;
+  t.packed_cache <- None
+
+let order_push t id =
+  if t.order_n = Array.length t.order then begin
+    let bigger = Array.make (2 * t.order_n) 0 in
+    Array.blit t.order 0 bigger 0 t.order_n;
+    t.order <- bigger
+  end;
+  t.order.(t.order_n) <- id;
+  t.order_n <- t.order_n + 1
+
+let order_compact t =
+  let n = ref 0 in
+  for i = 0 to t.order_n - 1 do
+    let id = t.order.(i) in
+    if Hashtbl.mem t.entries id then begin
+      t.order.(!n) <- id;
+      incr n
+    end
+  done;
+  t.order_n <- !n;
+  t.order_dead <- 0
+
+(* Called after an id leaves [entries]. *)
+let order_mark_dead t =
+  t.order_dead <- t.order_dead + 1;
+  if t.order_dead > t.order_n - t.order_dead then order_compact t
+
 let fold_entries t ~init ~f =
-  (* Ascending-id iteration keeps results deterministic. *)
-  let ids =
-    Hashtbl.fold (fun id _ acc -> id :: acc) t.entries []
-    |> List.sort Int.compare
-  in
-  List.fold_left (fun acc id -> f acc id (Hashtbl.find t.entries id)) init ids
+  (* Insertion order = ascending id: deterministic without sorting. *)
+  let acc = ref init in
+  for i = 0 to t.order_n - 1 do
+    let id = t.order.(i) in
+    match Hashtbl.find_opt t.entries id with
+    | Some e -> acc := f !acc id e
+    | None -> ()
+  done;
+  !acc
 
 let active t =
   fold_entries t ~init:[] ~f:(fun acc id e ->
@@ -81,10 +133,7 @@ let covered t =
       | Covered by -> (id, e.sub, by) :: acc)
   |> List.rev
 
-let active_count t =
-  fold_entries t ~init:0 ~f:(fun n _ e ->
-      match e.state with Active -> n + 1 | Covered _ -> n)
-
+let active_count t = t.active_n
 let covered_count t = size t - active_count t
 
 let find t id =
@@ -98,9 +147,25 @@ let is_active t id =
   | None -> raise Not_found
 
 let active_arrays t =
-  let pairs = active t in
-  ( Array.of_list (List.map fst pairs),
-    Array.of_list (List.map snd pairs) )
+  match t.active_cache with
+  | Some c -> c
+  | None ->
+      let pairs = active t in
+      let c =
+        ( Array.of_list (List.map fst pairs),
+          Array.of_list (List.map snd pairs) )
+      in
+      t.active_cache <- Some c;
+      c
+
+let active_packed t =
+  match t.packed_cache with
+  | Some p -> p
+  | None ->
+      let _, subs = active_arrays t in
+      let p = Flat.pack ~m:t.arity subs in
+      t.packed_cache <- Some p;
+      p
 
 let link_child t ~coverer ~child =
   let cur = Option.value ~default:[] (Hashtbl.find_opt t.children coverer) in
@@ -127,7 +192,8 @@ let classify t s =
       | None -> Active)
   | Group_policy config -> (
       let ids, subs = active_arrays t in
-      let report = Engine.check ~config ~rng:t.rng s subs in
+      let packed = active_packed t in
+      let report = Engine.check ~config ~packed ~rng:t.rng s subs in
       match report.Engine.verdict with
       | Engine.Covered_pairwise row -> Covered [ ids.(row) ]
       | Engine.Covered_probably ->
@@ -150,12 +216,17 @@ let insert t s ~expires_at =
   t.next_id <- id + 1;
   let state = classify t s in
   Hashtbl.replace t.entries id { sub = s; state; expires_at };
+  order_push t id;
   t.added <- t.added + 1;
   (match state with
   | Covered by ->
       t.dropped_covered <- t.dropped_covered + 1;
       List.iter (fun coverer -> link_child t ~coverer ~child:id) by
-  | Active -> ());
+  | Active ->
+      (* A covered arrival leaves the active set untouched, so the
+         cached snapshot stays valid — the common steady-state case. *)
+      t.active_n <- t.active_n + 1;
+      invalidate_active t);
   (id, state)
 
 let add t s = insert t s ~expires_at:infinity
@@ -166,6 +237,35 @@ let expiry t id =
   | Some e -> e.expires_at
   | None -> raise Not_found
 
+(* Re-check the covered subscriptions that recorded one of
+   [departed_active] as a coverer; promote those no longer covered.
+   Shared by {!remove} and {!expire} (§5's replacement rule). *)
+let reclassify_orphans t ~departed_active =
+  let orphans =
+    fold_entries t ~init:[] ~f:(fun acc oid oe ->
+        match oe.state with
+        | Covered by when List.exists (fun id -> List.mem id by) departed_active
+          ->
+            (oid, oe, by) :: acc
+        | Covered _ | Active -> acc)
+    |> List.rev
+  in
+  List.filter_map
+    (fun (oid, oe, old_by) ->
+      List.iter (fun coverer -> unlink_child t ~coverer ~child:oid) old_by;
+      match classify t oe.sub with
+      | Active ->
+          oe.state <- Active;
+          t.active_n <- t.active_n + 1;
+          invalidate_active t;
+          t.promoted_count <- t.promoted_count + 1;
+          Some oid
+      | Covered by ->
+          oe.state <- Covered by;
+          List.iter (fun coverer -> link_child t ~coverer ~child:oid) by;
+          None)
+    orphans
+
 let remove t id =
   let e =
     match Hashtbl.find_opt t.entries id with
@@ -173,38 +273,17 @@ let remove t id =
     | None -> raise Not_found
   in
   Hashtbl.remove t.entries id;
+  order_mark_dead t;
   t.removed_count <- t.removed_count + 1;
   match e.state with
   | Covered by ->
       List.iter (fun coverer -> unlink_child t ~coverer ~child:id) by;
       []
   | Active ->
+      t.active_n <- t.active_n - 1;
+      invalidate_active t;
       Hashtbl.remove t.children id;
-      (* §5: covered subscriptions that relied on the departed coverer
-         must be re-checked and promoted if no longer covered. *)
-      let orphans =
-        fold_entries t ~init:[] ~f:(fun acc oid oe ->
-            match oe.state with
-            | Covered by when List.mem id by -> (oid, oe, by) :: acc
-            | Covered _ | Active -> acc)
-        |> List.rev
-      in
-      let promoted =
-        List.filter_map
-          (fun (oid, oe, old_by) ->
-            List.iter (fun coverer -> unlink_child t ~coverer ~child:oid) old_by;
-            match classify t oe.sub with
-            | Active ->
-                oe.state <- Active;
-                t.promoted_count <- t.promoted_count + 1;
-                Some oid
-            | Covered by ->
-                oe.state <- Covered by;
-                List.iter (fun coverer -> link_child t ~coverer ~child:oid) by;
-                None)
-          orphans
-      in
-      promoted
+      reclassify_orphans t ~departed_active:[ id ]
 
 let expire t ~now =
   let expired =
@@ -215,11 +294,15 @@ let expire t ~now =
   List.iter
     (fun (id, e) ->
       Hashtbl.remove t.entries id;
+      order_mark_dead t;
       t.removed_count <- t.removed_count + 1;
       match e.state with
       | Covered by ->
           List.iter (fun coverer -> unlink_child t ~coverer ~child:id) by
-      | Active -> Hashtbl.remove t.children id)
+      | Active ->
+          t.active_n <- t.active_n - 1;
+          invalidate_active t;
+          Hashtbl.remove t.children id)
     expired;
   let expired_active =
     List.filter_map
@@ -229,29 +312,7 @@ let expire t ~now =
   in
   let promoted =
     if expired_active = [] then []
-    else
-      fold_entries t ~init:[] ~f:(fun acc oid oe ->
-          match oe.state with
-          | Covered by when List.exists (fun id -> List.mem id by) expired_active
-            ->
-              (oid, oe, by) :: acc
-          | Covered _ | Active -> acc)
-      |> List.rev
-      |> List.filter_map (fun (oid, oe, old_by) ->
-             List.iter
-               (fun coverer -> unlink_child t ~coverer ~child:oid)
-               old_by;
-             match classify t oe.sub with
-             | Active ->
-                 oe.state <- Active;
-                 t.promoted_count <- t.promoted_count + 1;
-                 Some oid
-             | Covered by ->
-                 oe.state <- Covered by;
-                 List.iter
-                   (fun coverer -> link_child t ~coverer ~child:oid)
-                   by;
-                 None)
+    else reclassify_orphans t ~departed_active:expired_active
   in
   (List.map fst expired, promoted)
 
@@ -340,6 +401,22 @@ let validate t =
             by
       | Active -> ())
     t.entries;
+  (* Maintained counters and order vector agree with ground truth. *)
+  let ground_active =
+    Hashtbl.fold
+      (fun _ e n -> match e.state with Active -> n + 1 | Covered _ -> n)
+      t.entries 0
+  in
+  if t.active_n <> ground_active then ok := false;
+  let seen = ref (-1) in
+  let live_in_order = ref 0 in
+  for i = 0 to t.order_n - 1 do
+    let id = t.order.(i) in
+    if id <= !seen then ok := false;
+    seen := id;
+    if Hashtbl.mem t.entries id then incr live_in_order
+  done;
+  if !live_in_order <> Hashtbl.length t.entries then ok := false;
   !ok
 
 let stats t =

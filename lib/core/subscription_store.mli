@@ -87,6 +87,17 @@ val is_active : t -> id -> bool
 val active : t -> (id * Subscription.t) list
 (** Active subscriptions, ascending id. *)
 
+val active_arrays : t -> id array * Subscription.t array
+(** The active set as parallel arrays (ascending id), cached across
+    calls and invalidated only when the active set itself changes — an
+    arriving subscription classified as covered reuses the snapshot.
+    Treat the arrays as read-only. *)
+
+val active_packed : t -> Flat.t
+(** The {!Flat} pack of {!active_arrays}, cached and invalidated on the
+    same schedule; the store hands it to {!Engine.check} so repeated
+    classifications against a stable active set never re-pack. *)
+
 val covered : t -> (id * Subscription.t * id list) list
 (** Covered subscriptions with their recorded coverers, ascending id. *)
 

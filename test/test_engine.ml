@@ -102,7 +102,12 @@ let test_ablation_no_mcs () =
       sub [ (500, 600); (500, 600) ];
     |]
   in
-  let config = Engine.config ~use_mcs:false ~use_fast_decisions:false () in
+  (* Pruning is toggled off too: it would drop the non-intersecting
+     third subscription on its own (see test_flat for that stage). *)
+  let config =
+    Engine.config ~use_mcs:false ~use_fast_decisions:false ~use_pruning:false
+      ()
+  in
   let r = Engine.check ~config ~rng:(rng ()) s subs in
   Alcotest.(check int) "set not reduced" 3 r.Engine.k_reduced;
   Alcotest.(check bool) "still covered" true (Engine.is_covered r.Engine.verdict);
