@@ -392,6 +392,23 @@ let trace_generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a workload trace file")
     Term.(const run $ out $ duration $ brokers $ m $ seed_arg)
 
+let crash_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ b; start; stop ] -> (
+        match
+          (int_of_string_opt b, float_of_string_opt start, float_of_string_opt stop)
+        with
+        | Some b, Some start, Some stop when b >= 0 && start >= 0.0 && stop > start
+          ->
+            Ok (b, start, stop)
+        | _ -> Error (`Msg "expected BROKER:START:STOP with 0 <= start < stop"))
+    | _ -> Error (`Msg "expected BROKER:START:STOP")
+  in
+  Arg.conv
+    ( parse,
+      fun ppf (b, start, stop) -> Format.fprintf ppf "%d:%g:%g" b start stop )
+
 let trace_replay_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
@@ -405,7 +422,40 @@ let trace_replay_cmd =
     Arg.(value & opt policy_conv Subscription_store.Pairwise_policy
          & info [ "policy" ] ~docv:"POLICY" ~doc:"flooding, pairwise or group.")
   in
-  let run file topo policy seed =
+  let drop =
+    Arg.(value & opt float 0.0
+         & info [ "drop" ] ~docv:"P" ~doc:"Per-hop loss probability.")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.0
+         & info [ "duplicate" ] ~docv:"P"
+             ~doc:"Per-hop duplication probability.")
+  in
+  let jitter =
+    Arg.(value & opt float 0.0
+         & info [ "jitter" ] ~docv:"SECONDS"
+             ~doc:"Extra per-hop latency, uniform over [0, JITTER].")
+  in
+  let fault_until =
+    Arg.(value & opt float infinity
+         & info [ "fault-until" ] ~docv:"TIME"
+             ~doc:"Stop injecting link faults at this simulated time.")
+  in
+  let crashes =
+    Arg.(value & opt_all crash_conv []
+         & info [ "crash" ] ~docv:"BROKER:START:STOP"
+             ~doc:"Crash a broker over a time window; repeatable. The \
+                   broker loses all soft state and recovers it from \
+                   lease refreshes (requires $(b,--lease)).")
+  in
+  let lease =
+    Arg.(value & opt (some float) None
+         & info [ "lease" ] ~docv:"TTL"
+             ~doc:"Enable lease-based recovery: subscriptions lease for \
+                   TTL seconds, refreshed every TTL/3, with an acked, \
+                   retransmitted control channel.")
+  in
+  let run file topo policy drop duplicate jitter fault_until crashes lease seed =
     match Probsub_broker.Trace.load ~path:file with
     | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
     | Ok trace ->
@@ -423,17 +473,43 @@ let trace_replay_cmd =
           | Some a -> a
           | None -> 1
         in
-        let net =
-          Probsub_broker.Network.create ~policy ~topology:topo ~arity ~seed ()
-        in
-        Probsub_broker.Trace.replay net trace;
-        let m = Probsub_broker.Network.metrics net in
-        Format.printf "%a@." Probsub_broker.Metrics.pp m;
-        `Ok ()
+        match
+          let fault_plan =
+            if drop = 0.0 && duplicate = 0.0 && jitter = 0.0 && crashes = []
+            then Probsub_broker.Fault_plan.zero
+            else
+              Probsub_broker.Fault_plan.create ~drop ~duplicate ~jitter
+                ~crashes ~active_until:fault_until ~seed ()
+          in
+          let recovery =
+            Option.map
+              (fun ttl ->
+                {
+                  Probsub_broker.Network.default_recovery with
+                  lease_ttl = ttl;
+                  refresh_interval = ttl /. 3.0;
+                })
+              lease
+          in
+          Probsub_broker.Network.create ~policy ~fault_plan ?recovery
+            ~topology:topo ~arity ~seed ()
+        with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | net ->
+            Probsub_broker.Trace.replay net trace;
+            let m = Probsub_broker.Network.metrics net in
+            Format.printf "%a@." Probsub_broker.Metrics.pp m;
+            `Ok ()
   in
   Cmd.v
-    (Cmd.info "replay" ~doc:"Replay a trace file against a simulated network")
-    Term.(ret (const run $ file $ topo $ policy $ seed_arg))
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a trace file against a simulated network, optionally \
+          injecting link faults and broker crashes")
+    Term.(
+      ret
+        (const run $ file $ topo $ policy $ drop $ duplicate $ jitter
+       $ fault_until $ crashes $ lease $ seed_arg))
 
 let trace_cmd =
   Cmd.group

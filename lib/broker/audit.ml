@@ -1,0 +1,106 @@
+type expectation = {
+  pub_id : int;
+  recipients : (Topology.broker * int * int) list; (* sorted, deduped *)
+}
+
+type t = { mutable expectations : expectation list (* newest first *) }
+
+type report = {
+  publications : int;
+  expected : int;
+  delivered : int;
+  missed : (int * (Topology.broker * int * int)) list;
+  spurious : (int * (Topology.broker * int * int)) list;
+  duplicates : (int * (Topology.broker * int * int)) list;
+}
+
+let create () = { expectations = [] }
+
+let expect t net ~pub_id pub =
+  if List.exists (fun e -> e.pub_id = pub_id) t.expectations then
+    invalid_arg "Audit.expect: publication already registered";
+  t.expectations <-
+    { pub_id; recipients = Network.expected_recipients net pub }
+    :: t.expectations
+
+(* Multiset difference and duplicate extraction over sorted lists. *)
+let rec diff xs ys =
+  match (xs, ys) with
+  | [], _ -> []
+  | xs, [] -> xs
+  | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c = 0 then diff xs' ys'
+      else if c < 0 then x :: diff xs' ys
+      else diff xs ys'
+
+let rec dups = function
+  | x :: (y :: _ as rest) -> if x = y then x :: dups rest else dups rest
+  | [ _ ] | [] -> []
+
+let report t net =
+  let actual_by_pub = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Network.notification) ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt actual_by_pub n.pub_id)
+      in
+      Hashtbl.replace actual_by_pub n.pub_id
+        ((n.broker, n.client, n.sub_key) :: prev))
+    (Network.notifications net);
+  let r =
+    List.fold_left
+      (fun acc e ->
+        let actual =
+          List.sort compare
+            (Option.value ~default:[] (Hashtbl.find_opt actual_by_pub e.pub_id))
+        in
+        let once = List.sort_uniq compare actual in
+        {
+          acc with
+          expected = acc.expected + List.length e.recipients;
+          delivered = acc.delivered + List.length actual;
+          missed =
+            List.map (fun d -> (e.pub_id, d)) (diff e.recipients once)
+            @ acc.missed;
+          spurious =
+            List.map (fun d -> (e.pub_id, d)) (diff once e.recipients)
+            @ acc.spurious;
+          duplicates =
+            List.map (fun d -> (e.pub_id, d)) (dups actual) @ acc.duplicates;
+        })
+      {
+        publications = List.length t.expectations;
+        expected = 0;
+        delivered = 0;
+        missed = [];
+        spurious = [];
+        duplicates = [];
+      }
+      (List.rev t.expectations)
+  in
+  {
+    r with
+    missed = List.sort compare r.missed;
+    spurious = List.sort compare r.spurious;
+    duplicates = List.sort compare r.duplicates;
+  }
+
+let is_clean r = r.missed = [] && r.spurious = [] && r.duplicates = []
+
+let pp ppf r =
+  let pp_entry ppf (pub_id, (b, c, k)) =
+    Format.fprintf ppf "pub %d -> broker %d client %d (sub #%d)" pub_id b c k
+  in
+  let pp_list name ppf = function
+    | [] -> ()
+    | l ->
+        Format.fprintf ppf "@,%s:@,  @[<v>%a@]" name
+          (Format.pp_print_list pp_entry)
+          l
+  in
+  Format.fprintf ppf
+    "@[<v>audited publications: %d@,expected deliveries:  %d@,\
+     actual deliveries:    %d%a%a%a@]"
+    r.publications r.expected r.delivered (pp_list "missed") r.missed
+    (pp_list "spurious") r.spurious (pp_list "duplicated") r.duplicates

@@ -1,0 +1,44 @@
+(** Delivery audit oracle.
+
+    Chaos tests need an answer to "did the network recover?" that does
+    not trust the network's own bookkeeping. The oracle snapshots
+    ground truth at publish time — {!Network.expected_recipients},
+    computed from live client subscriptions alone, independent of
+    routing state — and later compares it against the notifications the
+    simulation actually produced. After a fault era plus recovery
+    margin, a healthy network must deliver every probe exactly once to
+    exactly the expected recipients. *)
+
+type t
+
+type report = {
+  publications : int;  (** Audited publications. *)
+  expected : int;  (** Deliveries ground truth demands. *)
+  delivered : int;  (** Deliveries observed (duplicates included). *)
+  missed : (int * (Topology.broker * int * int)) list;
+      (** [(pub_id, (broker, client, sub_key))] owed but never
+          delivered. *)
+  spurious : (int * (Topology.broker * int * int)) list;
+      (** Delivered to a recipient ground truth does not name. *)
+  duplicates : (int * (Topology.broker * int * int)) list;
+      (** Extra copies beyond the first delivery, one entry each. *)
+}
+
+val create : unit -> t
+
+val expect : t -> Network.t -> pub_id:int -> Probsub_core.Publication.t -> unit
+(** Register a publication for auditing, snapshotting its expected
+    recipients {e now} — call at publish time, before running the
+    simulation, so ground truth reflects the subscriptions live at
+    publish. @raise Invalid_argument if [pub_id] was already
+    registered. *)
+
+val report : t -> Network.t -> report
+(** Compare registered expectations against
+    [Network.notifications net]. Notifications for unregistered
+    publications are ignored. *)
+
+val is_clean : report -> bool
+(** No missed, spurious, or duplicated deliveries. *)
+
+val pp : Format.formatter -> report -> unit

@@ -16,17 +16,29 @@ type t = {
   id : Topology.broker;
   neighbors : Topology.broker list;
   use_advertisements : bool;
-  routing : Subscription_store.t;  (* the received table of Algorithm 5 *)
+  lease_ttl : float option;
+  fresh_store : unit -> Subscription_store.t;
+  mutable routing : Subscription_store.t; (* the received table of Alg. 5 *)
   r_key_to_id : (int, Subscription_store.id) Hashtbl.t;
   r_id_to_key : (Subscription_store.id, int) Hashtbl.t;
   r_origin : (Subscription_store.id, Message.origin) Hashtbl.t;
+  (* Latest refresh epoch seen per key: a given epoch of a known key is
+     forwarded at most once, so lease-refresh waves terminate. *)
+  r_epoch : (int, int) Hashtbl.t;
   peers : (Topology.broker, peer_state) Hashtbl.t;
   ads : (int, Subscription.t * Message.origin) Hashtbl.t;
-  seen_pubs : (int, unit) Hashtbl.t;
+  seen_pubs : Dedup_window.t;
+  (* Scratch set for handle_publish's forward-link dedup; always empty
+     between calls. *)
+  link_mark : (int, unit) Hashtbl.t;
 }
 
-let create ?(use_advertisements = false) ~id ~neighbors ~policy ~arity ~seed
-    () =
+let create ?(use_advertisements = false) ?lease_ttl ?(dedup_capacity = 4096)
+    ~id ~neighbors ~policy ~arity ~seed () =
+  (match lease_ttl with
+  | Some ttl when not (ttl > 0.0) ->
+      invalid_arg "Broker_node.create: lease_ttl must be positive"
+  | Some _ | None -> ());
   let rng = Prng.of_int (seed + (id * 7919)) in
   let fresh_store () =
     Subscription_store.create ~policy ~arity
@@ -47,19 +59,47 @@ let create ?(use_advertisements = false) ~id ~neighbors ~policy ~arity ~seed
     id;
     neighbors;
     use_advertisements;
+    lease_ttl;
+    fresh_store;
     routing = fresh_store ();
     r_key_to_id = Hashtbl.create 64;
     r_id_to_key = Hashtbl.create 64;
     r_origin = Hashtbl.create 64;
+    r_epoch = Hashtbl.create 64;
     peers;
     ads = Hashtbl.create 16;
-    seen_pubs = Hashtbl.create 64;
+    seen_pubs = Dedup_window.create ~capacity:dedup_capacity;
+    link_mark = Hashtbl.create 8;
   }
 
 let id t = t.id
 let knows_subscription t ~key = Hashtbl.mem t.r_key_to_id key
+
+let subscription_epoch t ~key =
+  Option.value ~default:0 (Hashtbl.find_opt t.r_epoch key)
+
 let knows_advertisement t ~key = Hashtbl.mem t.ads key
 let routing_table_size t = Subscription_store.size t.routing
+
+(* Crash/restart: all soft state is lost; leases and refreshes
+   reinstall it. *)
+let reset t =
+  t.routing <- t.fresh_store ();
+  Hashtbl.reset t.r_key_to_id;
+  Hashtbl.reset t.r_id_to_key;
+  Hashtbl.reset t.r_origin;
+  Hashtbl.reset t.r_epoch;
+  List.iter
+    (fun n ->
+      Hashtbl.replace t.peers n
+        {
+          store = t.fresh_store ();
+          key_to_id = Hashtbl.create 32;
+          id_to_key = Hashtbl.create 32;
+        })
+    t.neighbors;
+  Hashtbl.reset t.ads;
+  Dedup_window.clear t.seen_pubs
 
 let peer t neighbor =
   match Hashtbl.find_opt t.peers neighbor with
@@ -72,10 +112,15 @@ let active_towards t ~neighbor =
 let suppressed_towards t ~neighbor =
   Subscription_store.covered_count (peer t neighbor).store
 
+let lease_end t ~now =
+  match t.lease_ttl with None -> infinity | Some ttl -> now +. ttl
+
 let out_neighbors t ~origin =
   List.filter
     (fun n ->
-      match origin with Message.Link l -> l <> n | Message.Client _ -> true)
+      match origin with
+      | Message.Link l -> l <> n
+      | Message.Client _ | Message.Publisher -> true)
     t.neighbors
 
 (* In advertisement mode a subscription is only worth sending towards
@@ -91,38 +136,78 @@ let neighbor_advertises t ~neighbor sub =
          || match origin with
             | Message.Link l ->
                 l = neighbor && Subscription.intersects adv sub
-            | Message.Client _ -> false)
+            | Message.Client _ | Message.Publisher -> false)
        t.ads false
 
 (* Offer one subscription towards one neighbour: the per-neighbour
    store decides (by policy) whether it actually crosses the link. *)
-let offer_to_peer t ~neighbor ~key ~sub =
+let offer_to_peer t ~now ~neighbor ~key ~sub ~epoch =
   let p = peer t neighbor in
   if Hashtbl.mem p.key_to_id key then []
   else begin
-    let pid, placement = Subscription_store.add p.store sub in
+    let pid, placement =
+      Subscription_store.add_with_expiry p.store sub
+        ~expires_at:(lease_end t ~now)
+    in
     Hashtbl.replace p.key_to_id key pid;
     Hashtbl.replace p.id_to_key pid key;
     match placement with
     | Subscription_store.Active ->
-        [ Forward { to_ = neighbor; payload = Message.Subscribe { key; sub } } ]
+        [ Forward
+            { to_ = neighbor; payload = Message.Subscribe { key; sub; epoch } };
+        ]
     | Subscription_store.Covered _ -> []
   end
 
-let handle_subscribe t ~origin ~key ~sub =
-  if knows_subscription t ~key then []
-  else begin
-    let rid, _ = Subscription_store.add t.routing sub in
-    Hashtbl.replace t.r_key_to_id key rid;
-    Hashtbl.replace t.r_id_to_key rid key;
-    Hashtbl.replace t.r_origin rid origin;
-    List.concat_map
-      (fun n ->
-        if neighbor_advertises t ~neighbor:n sub then
-          offer_to_peer t ~neighbor:n ~key ~sub
-        else [])
-      (out_neighbors t ~origin)
-  end
+let handle_subscribe t ~now ~origin ~key ~sub ~epoch =
+  match Hashtbl.find_opt t.r_key_to_id key with
+  | None ->
+      let rid, _ =
+        Subscription_store.add_with_expiry t.routing sub
+          ~expires_at:(lease_end t ~now)
+      in
+      Hashtbl.replace t.r_key_to_id key rid;
+      Hashtbl.replace t.r_id_to_key rid key;
+      Hashtbl.replace t.r_origin rid origin;
+      Hashtbl.replace t.r_epoch key epoch;
+      List.concat_map
+        (fun n ->
+          if neighbor_advertises t ~neighbor:n sub then
+            offer_to_peer t ~now ~neighbor:n ~key ~sub ~epoch
+          else [])
+        (out_neighbors t ~origin)
+  | Some rid ->
+      if epoch <= subscription_epoch t ~key then
+        (* Same epoch over another path, or a stale refresh: drop. *)
+        []
+      else begin
+        (* A fresh refresh wave: renew every lease this broker holds for
+           the key, repair per-peer state the neighbour may have lost,
+           and pass the wave down the dissemination tree. *)
+        Hashtbl.replace t.r_epoch key epoch;
+        Subscription_store.renew t.routing rid
+          ~expires_at:(lease_end t ~now);
+        List.concat_map
+          (fun n ->
+            let p = peer t n in
+            match Hashtbl.find_opt p.key_to_id key with
+            | Some pid ->
+                Subscription_store.renew p.store pid
+                  ~expires_at:(lease_end t ~now);
+                if Subscription_store.is_active p.store pid then
+                  [ Forward
+                      {
+                        to_ = n;
+                        payload = Message.Subscribe { key; sub; epoch };
+                      };
+                  ]
+                else []
+            | None ->
+                if neighbor_advertises t ~neighbor:n sub then
+                  offer_to_peer t ~now ~neighbor:n ~key ~sub ~epoch
+                else [])
+          (out_neighbors t ~origin)
+      end
 
 let handle_unsubscribe t ~origin ~key =
   match Hashtbl.find_opt t.r_key_to_id key with
@@ -132,6 +217,7 @@ let handle_unsubscribe t ~origin ~key =
       Hashtbl.remove t.r_key_to_id key;
       Hashtbl.remove t.r_id_to_key rid;
       Hashtbl.remove t.r_origin rid;
+      Hashtbl.remove t.r_epoch key;
       List.concat_map
         (fun n ->
           let p = peer t n in
@@ -157,14 +243,20 @@ let handle_unsubscribe t ~origin ~key =
                     Forward
                       {
                         to_ = n;
-                        payload = Message.Subscribe { key = key'; sub = sub' };
+                        payload =
+                          Message.Subscribe
+                            {
+                              key = key';
+                              sub = sub';
+                              epoch = subscription_epoch t ~key:key';
+                            };
                       })
                   promoted
               in
               unsub_forward @ promotions)
         (out_neighbors t ~origin)
 
-let handle_advertise t ~origin ~key ~adv =
+let handle_advertise t ~now ~origin ~key ~adv =
   if knows_advertisement t ~key then []
   else begin
     Hashtbl.replace t.ads key (adv, origin);
@@ -179,7 +271,7 @@ let handle_advertise t ~origin ~key ~adv =
        an intersecting advertisement must now be offered that way. *)
     let back_offers =
       match origin with
-      | Message.Client _ -> []
+      | Message.Client _ | Message.Publisher -> []
       | Message.Link l ->
           Hashtbl.fold
             (fun rid sub_origin acc ->
@@ -188,12 +280,15 @@ let handle_advertise t ~origin ~key ~adv =
               let towards_origin =
                 match sub_origin with
                 | Message.Link l' -> l' = l
-                | Message.Client _ -> false
+                | Message.Client _ | Message.Publisher -> false
               in
               if
                 t.use_advertisements && (not towards_origin)
                 && Subscription.intersects adv sub
-              then offer_to_peer t ~neighbor:l ~key:key' ~sub @ acc
+              then
+                offer_to_peer t ~now ~neighbor:l ~key:key' ~sub
+                  ~epoch:(subscription_epoch t ~key:key')
+                @ acc
               else acc)
             t.r_origin []
     in
@@ -210,38 +305,98 @@ let handle_unadvertise t ~origin ~key =
   end
 
 let handle_publish t ~origin ~pub_id ~pub =
-  if Hashtbl.mem t.seen_pubs pub_id then []
+  if Dedup_window.mem t.seen_pubs pub_id then []
   else begin
-    Hashtbl.replace t.seen_pubs pub_id ();
+    Dedup_window.add t.seen_pubs pub_id;
     let hits = Subscription_store.match_publication t.routing pub in
     let notifications = ref [] in
     let links = ref [] in
+    (* first-seen order, O(1) membership *)
     List.iter
       (fun rid ->
         let key = Hashtbl.find t.r_id_to_key rid in
         match Hashtbl.find t.r_origin rid with
         | Message.Client c ->
             notifications := Notify { client = c; key; pub_id } :: !notifications
-        | Message.Link b -> if not (List.mem b !links) then links := b :: !links)
+        | Message.Publisher -> ()
+        | Message.Link b ->
+            if not (Hashtbl.mem t.link_mark b) then begin
+              Hashtbl.replace t.link_mark b ();
+              links := b :: !links
+            end)
       hits;
     let forwards =
       List.filter_map
         (fun b ->
+          Hashtbl.remove t.link_mark b;
           let came_from =
-            match origin with Message.Link l -> l = b | Message.Client _ -> false
+            match origin with
+            | Message.Link l -> l = b
+            | Message.Client _ | Message.Publisher -> false
           in
           if came_from then None
           else
-            Some (Forward { to_ = b; payload = Message.Publish { id = pub_id; pub } }))
+            Some
+              (Forward { to_ = b; payload = Message.Publish { id = pub_id; pub } }))
         (List.rev !links)
     in
     List.rev !notifications @ forwards
   end
 
-let handle t ~origin payload =
+let handle t ~now ~origin payload =
   match payload with
-  | Message.Subscribe { key; sub } -> handle_subscribe t ~origin ~key ~sub
+  | Message.Subscribe { key; sub; epoch } ->
+      handle_subscribe t ~now ~origin ~key ~sub ~epoch
   | Message.Unsubscribe { key } -> handle_unsubscribe t ~origin ~key
-  | Message.Advertise { key; adv } -> handle_advertise t ~origin ~key ~adv
+  | Message.Advertise { key; adv } -> handle_advertise t ~now ~origin ~key ~adv
   | Message.Unadvertise { key } -> handle_unadvertise t ~origin ~key
   | Message.Publish { id; pub } -> handle_publish t ~origin ~pub_id:id ~pub
+  | Message.Ack _ -> [] (* link-layer; consumed by the network *)
+
+(* Reclaim every lease that has run out. Expired routing entries vanish
+   silently (the downstream copies expire on their own clocks); peer
+   entries promoted by an expiry must now actually cross the link, like
+   unsubscription promotions (§5). *)
+let sweep t ~now =
+  let expired_total = ref 0 in
+  let expired_routing, _ = Subscription_store.expire t.routing ~now in
+  List.iter
+    (fun rid ->
+      incr expired_total;
+      match Hashtbl.find_opt t.r_id_to_key rid with
+      | Some key ->
+          Hashtbl.remove t.r_key_to_id key;
+          Hashtbl.remove t.r_id_to_key rid;
+          Hashtbl.remove t.r_origin rid;
+          Hashtbl.remove t.r_epoch key
+      | None -> ())
+    expired_routing;
+  let actions =
+    List.concat_map
+      (fun n ->
+        let p = peer t n in
+        let expired, promoted = Subscription_store.expire p.store ~now in
+        List.iter
+          (fun pid ->
+            incr expired_total;
+            match Hashtbl.find_opt p.id_to_key pid with
+            | Some key ->
+                Hashtbl.remove p.key_to_id key;
+                Hashtbl.remove p.id_to_key pid
+            | None -> ())
+          expired;
+        List.map
+          (fun pid ->
+            let key = Hashtbl.find p.id_to_key pid in
+            let sub = Subscription_store.find p.store pid in
+            Forward
+              {
+                to_ = n;
+                payload =
+                  Message.Subscribe
+                    { key; sub; epoch = subscription_epoch t ~key };
+              })
+          promoted)
+      t.neighbors
+  in
+  (!expired_total, actions)

@@ -9,7 +9,14 @@
     The broker is a pure-ish state machine: {!handle} consumes a
     message and returns the actions the network layer must perform
     (forwards and client notifications). This keeps brokers
-    independently testable without a simulator. *)
+    independently testable without a simulator.
+
+    With a [lease_ttl], every installed subscription (routing table and
+    per-peer sent-sets) carries a lease; {!sweep} reclaims expired
+    entries and returns the promotion forwards — the self-healing that
+    repairs state stranded by lost [Unsubscribe]s. Refresh waves
+    (Subscribe messages with a higher epoch) renew leases and repair
+    neighbour state lost to crashes. *)
 
 open Probsub_core
 
@@ -22,25 +29,37 @@ type action =
           subscription [key] matched. *)
 
 val create :
-  ?use_advertisements:bool -> id:Topology.broker ->
-  neighbors:Topology.broker list -> policy:Subscription_store.policy ->
-  arity:int -> seed:int -> unit -> t
+  ?use_advertisements:bool -> ?lease_ttl:float -> ?dedup_capacity:int ->
+  id:Topology.broker -> neighbors:Topology.broker list ->
+  policy:Subscription_store.policy -> arity:int -> seed:int -> unit -> t
 (** One coverage-checking store per outgoing neighbour plus a local
     routing store (the received table of Algorithm 5). With
     [use_advertisements] (default false), subscriptions are only
     forwarded towards neighbours from which an intersecting
     advertisement arrived — Siena-style advertisement routing; when a
     new advertisement opens a route, pending subscriptions are offered
-    along it retroactively. *)
+    along it retroactively. [lease_ttl] (default: none) puts every
+    installed subscription on a lease of that many simulated seconds.
+    [dedup_capacity] (default 4096) bounds the publication-dedup
+    window, so arbitrarily long simulations use constant memory.
+    @raise Invalid_argument if [lease_ttl] is not positive. *)
 
 val id : t -> Topology.broker
 
-val handle : t -> origin:Message.origin -> Message.payload -> action list
-(** Process one message:
+val handle :
+  t -> now:float -> origin:Message.origin -> Message.payload -> action list
+(** Process one message at simulated time [now] (leases installed or
+    renewed by this message run [lease_ttl] from [now]):
 
-    - [Subscribe]: record in the routing table (duplicates from other
-      paths are dropped); for each neighbour other than the origin,
-      forward unless that neighbour's sent-set covers the subscription.
+    - [Subscribe], unknown key: record in the routing table; for each
+      neighbour other than the origin, forward unless that neighbour's
+      sent-set covers the subscription.
+    - [Subscribe], known key with a {e higher} epoch (a lease refresh):
+      renew every lease held for the key, re-offer it to neighbours
+      whose sent-set entry is missing (repairing crash loss), and
+      re-forward along links where it is active so the wave renews the
+      whole dissemination tree. A known key at the current epoch (the
+      same wave over another path) is dropped.
     - [Unsubscribe]: drop from the routing table; per neighbour, an
       unsubscribe forward is emitted only if the subscription had
       actually been sent there, and any subscriptions whose cover it
@@ -53,11 +72,29 @@ val handle : t -> origin:Message.origin -> Message.payload -> action list
     - [Publish]: match against the routing table (Algorithm 5
       two-level matching); notify matching local clients and forward
       towards every neighbour that sent a matching subscription,
-      except the link it arrived on. Duplicate publication ids are
-      dropped. *)
+      except the link it arrived on. Duplicate publication ids within
+      the dedup window are dropped.
+    - [Ack]: no-op — the network's reliable-channel layer consumes
+      acks before they reach a broker. *)
+
+val sweep : t -> now:float -> int * action list
+(** Expire every lease that ran out by [now], across the routing table
+    and all per-neighbour sent-sets. Returns the number of reclaimed
+    entries and the [Subscribe] forwards for peer-store promotions
+    (entries whose expired coverer was the only reason they never
+    crossed the link). *)
+
+val reset : t -> unit
+(** Forget all soft state — routing and peer tables, advertisements,
+    epochs, the publication dedup window. Models a crash/restart; the
+    lease/refresh machinery reinstalls live state. *)
 
 val knows_subscription : t -> key:int -> bool
 (** True when [key] is in the routing table. *)
+
+val subscription_epoch : t -> key:int -> int
+(** Latest refresh epoch seen for [key] (0 if unknown or never
+    refreshed). *)
 
 val knows_advertisement : t -> key:int -> bool
 

@@ -1,0 +1,38 @@
+type t = {
+  capacity : int;
+  ring : int array; (* ids in arrival order, oldest at [pos] once full *)
+  members : (int, unit) Hashtbl.t;
+  mutable pos : int;
+  mutable count : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Dedup_window.create: capacity < 1";
+  {
+    capacity;
+    ring = Array.make capacity 0;
+    members = Hashtbl.create (min capacity 1024);
+    pos = 0;
+    count = 0;
+  }
+
+let capacity t = t.capacity
+let size t = t.count
+let mem t id = Hashtbl.mem t.members id
+
+let add t id =
+  if not (mem t id) then begin
+    if t.count = t.capacity then begin
+      Hashtbl.remove t.members t.ring.(t.pos);
+      t.count <- t.count - 1
+    end;
+    t.ring.(t.pos) <- id;
+    t.pos <- (t.pos + 1) mod t.capacity;
+    t.count <- t.count + 1;
+    Hashtbl.replace t.members id ()
+  end
+
+let clear t =
+  Hashtbl.reset t.members;
+  t.pos <- 0;
+  t.count <- 0

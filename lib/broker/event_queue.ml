@@ -1,12 +1,27 @@
 type 'a cell = { time : float; seq : int; payload : 'a }
 
+type handle = int
+
 type 'a t = {
   mutable heap : 'a cell array;
   mutable len : int;
   mutable next_seq : int;
+  (* Cancellation is lazy: a cancelled cell stays in the heap (keyed by
+     its unique [seq]) until it reaches the top, where it is discarded.
+     [cancelable] holds the seqs of live cancelable cells, [cancelled]
+     the seqs waiting to be skimmed off. *)
+  cancelable : (int, unit) Hashtbl.t;
+  cancelled : (int, unit) Hashtbl.t;
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+let create () =
+  {
+    heap = [||];
+    len = 0;
+    next_seq = 0;
+    cancelable = Hashtbl.create 16;
+    cancelled = Hashtbl.create 16;
+  }
 
 let cell_before a b =
   a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
@@ -43,7 +58,7 @@ let rec sift_down q i =
     sift_down q !smallest
   end
 
-let push q ~time payload =
+let push_cell q ~time payload =
   if Float.is_nan time || time < 0.0 then
     invalid_arg "Event_queue.push: bad time";
   let cell = { time; seq = q.next_seq; payload } in
@@ -52,23 +67,56 @@ let push q ~time payload =
   grow q;
   q.heap.(q.len) <- cell;
   q.len <- q.len + 1;
-  sift_up q (q.len - 1)
+  sift_up q (q.len - 1);
+  cell.seq
+
+let push q ~time payload = ignore (push_cell q ~time payload)
+
+let push_cancelable q ~time payload =
+  let seq = push_cell q ~time payload in
+  Hashtbl.replace q.cancelable seq ();
+  seq
+
+let cancel q h =
+  if Hashtbl.mem q.cancelable h then begin
+    Hashtbl.remove q.cancelable h;
+    Hashtbl.replace q.cancelled h ();
+    true
+  end
+  else false
+
+let pop_top q =
+  let top = q.heap.(0) in
+  q.len <- q.len - 1;
+  if q.len > 0 then begin
+    q.heap.(0) <- q.heap.(q.len);
+    sift_down q 0
+  end;
+  top
+
+(* Discard cancelled cells sitting at the top of the heap. *)
+let rec skim q =
+  if q.len > 0 && Hashtbl.mem q.cancelled q.heap.(0).seq then begin
+    let top = pop_top q in
+    Hashtbl.remove q.cancelled top.seq;
+    skim q
+  end
 
 let pop q =
+  skim q;
   if q.len = 0 then None
   else begin
-    let top = q.heap.(0) in
-    q.len <- q.len - 1;
-    if q.len > 0 then begin
-      q.heap.(0) <- q.heap.(q.len);
-      sift_down q 0
-    end;
+    let top = pop_top q in
+    Hashtbl.remove q.cancelable top.seq;
     Some (top.time, top.payload)
   end
 
-let peek_time q = if q.len = 0 then None else Some q.heap.(0).time
-let size q = q.len
-let is_empty q = q.len = 0
+let peek_time q =
+  skim q;
+  if q.len = 0 then None else Some q.heap.(0).time
+
+let size q = q.len - Hashtbl.length q.cancelled
+let is_empty q = size q = 0
 
 let drain q ~f =
   let rec loop () =

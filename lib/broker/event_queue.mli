@@ -5,11 +5,25 @@
 
 type 'a t
 
+type handle
+(** Names a cancelable scheduled event (retransmission and lease
+    timers). Handles are never reused within a queue. *)
+
 val create : unit -> 'a t
 
 val push : 'a t -> time:float -> 'a -> unit
 (** [push q ~time e] schedules [e] at [time].
     @raise Invalid_argument if [time] is negative or NaN. *)
+
+val push_cancelable : 'a t -> time:float -> 'a -> handle
+(** Like {!push} but returns a handle the event can be cancelled by.
+    Cancellation is lazy: the slot is skimmed off when it surfaces, so
+    scheduling stays O(log n) and cancelling O(1). *)
+
+val cancel : 'a t -> handle -> bool
+(** [cancel q h] prevents the event named by [h] from ever being
+    popped. Returns false if it already fired or was already
+    cancelled. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event, if any. *)

@@ -1,0 +1,106 @@
+open Probsub_core
+
+type link_profile = { drop : float; duplicate : float; jitter : float }
+
+let perfect_link = { drop = 0.0; duplicate = 0.0; jitter = 0.0 }
+
+let check_profile ctx { drop; duplicate; jitter } =
+  let prob name p =
+    if Float.is_nan p || p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Fault_plan.%s: %s outside [0, 1]" ctx name)
+  in
+  prob "drop" drop;
+  prob "duplicate" duplicate;
+  if Float.is_nan jitter || jitter < 0.0 then
+    invalid_arg (Printf.sprintf "Fault_plan.%s: negative jitter" ctx)
+
+type t = {
+  default : link_profile;
+  links : (Topology.broker * Topology.broker, link_profile) Hashtbl.t;
+  crashes : (Topology.broker * float * float) list;
+  active_from : float;
+  active_until : float;
+  rng : Prng.t option; (* None: provably fault-free, draws nothing *)
+}
+
+let zero =
+  {
+    default = perfect_link;
+    links = Hashtbl.create 1;
+    crashes = [];
+    active_from = 0.0;
+    active_until = infinity;
+    rng = None;
+  }
+
+let create ?(drop = 0.0) ?(duplicate = 0.0) ?(jitter = 0.0) ?(links = [])
+    ?(crashes = []) ?(active_from = 0.0) ?(active_until = infinity) ~seed () =
+  let default = { drop; duplicate; jitter } in
+  check_profile "create" default;
+  List.iter (fun (_, p) -> check_profile "create" p) links;
+  List.iter
+    (fun (b, start, stop) ->
+      if b < 0 then invalid_arg "Fault_plan.create: negative broker";
+      if
+        Float.is_nan start || Float.is_nan stop || start < 0.0 || stop <= start
+      then invalid_arg "Fault_plan.create: bad crash window")
+    crashes;
+  if not (active_from >= 0.0 && active_until > active_from) then
+    invalid_arg "Fault_plan.create: bad active window";
+  let tbl = Hashtbl.create (max 8 (List.length links)) in
+  List.iter (fun (link, p) -> Hashtbl.replace tbl link p) links;
+  let faulty =
+    default <> perfect_link
+    || List.exists (fun (_, p) -> p <> perfect_link) links
+  in
+  {
+    default;
+    links = tbl;
+    crashes;
+    active_from;
+    active_until;
+    rng = (if faulty then Some (Prng.of_int seed) else None);
+  }
+
+let profile t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with
+  | Some p -> p
+  | None -> t.default
+
+(* One link traversal: the returned list holds one extra-latency offset
+   per delivered copy — [] is a loss, a second element is a duplicated
+   copy. Decisions consume the plan's own generator, so a run is
+   reproducible given the same sequence of transmissions. *)
+let transmit t ~src ~dst ~now =
+  match t.rng with
+  | None -> [ 0.0 ]
+  | Some rng ->
+      if now < t.active_from || now >= t.active_until then [ 0.0 ]
+      else begin
+        let p = profile t ~src ~dst in
+        let copy () =
+          if p.jitter > 0.0 then Prng.float rng *. p.jitter else 0.0
+        in
+        if p.drop > 0.0 && Prng.float rng < p.drop then []
+        else begin
+          let first = copy () in
+          if p.duplicate > 0.0 && Prng.float rng < p.duplicate then
+            [ first; copy () ]
+          else [ first ]
+        end
+      end
+
+let is_down t ~broker ~now =
+  List.exists
+    (fun (b, start, stop) -> b = broker && now >= start && now < stop)
+    t.crashes
+
+let crash_windows t = t.crashes
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>fault plan: drop %g, duplicate %g, jitter %g, %d link override(s), \
+     %d crash window(s), active [%g, %g)@]"
+    t.default.drop t.default.duplicate t.default.jitter
+    (Hashtbl.length t.links) (List.length t.crashes) t.active_from
+    t.active_until

@@ -1,0 +1,53 @@
+(** Deterministic, seeded fault model for the broker network.
+
+    A plan decides the fate of every link traversal — delivered,
+    dropped, duplicated, delayed by jitter — and declares broker crash
+    windows. All randomness comes from the plan's own generator, so a
+    simulation under faults is exactly reproducible from its seed.
+
+    Link faults apply only inside the plan's active window
+    [\[active_from, active_until)]; outside it every link is perfect.
+    A chaos experiment typically injects faults for a while, lets the
+    lease/refresh machinery repair the damage, then audits deliveries
+    ({!Audit}). Crash windows are independent of the active window. *)
+
+type link_profile = {
+  drop : float;  (** Per-traversal loss probability, in [0, 1]. *)
+  duplicate : float;  (** Probability a delivered copy is doubled. *)
+  jitter : float;  (** Extra latency is uniform over [0, jitter]. *)
+}
+
+val perfect_link : link_profile
+
+type t
+
+val zero : t
+(** The all-zeros plan: every traversal delivers exactly one copy with
+    zero jitter, nobody crashes, and {e no randomness is consumed} — a
+    network driven by [zero] is bit-identical to one with no fault layer
+    at all. *)
+
+val create :
+  ?drop:float -> ?duplicate:float -> ?jitter:float ->
+  ?links:((Topology.broker * Topology.broker) * link_profile) list ->
+  ?crashes:(Topology.broker * float * float) list ->
+  ?active_from:float -> ?active_until:float -> seed:int -> unit -> t
+(** [create ~seed ()] builds a plan. [drop]/[duplicate]/[jitter] set the
+    default profile for every directed link; [links] overrides specific
+    directed links [(src, dst)]. [crashes] lists [(broker, start, stop)]
+    windows during which the broker is down: events addressed to it are
+    discarded, and on restart it has lost all routing/peer soft state.
+    @raise Invalid_argument on probabilities outside [0, 1], negative
+    jitter, or malformed windows. *)
+
+val transmit :
+  t -> src:Topology.broker -> dst:Topology.broker -> now:float -> float list
+(** Decide one traversal: one extra-latency offset per delivered copy.
+    [[]] means the message is lost; a 2-element list means it is
+    duplicated. The plan's generator advances once per decision. *)
+
+val is_down : t -> broker:Topology.broker -> now:float -> bool
+
+val crash_windows : t -> (Topology.broker * float * float) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,28 +1,37 @@
-type origin = Client of int | Link of Topology.broker
+type origin = Client of int | Publisher | Link of Topology.broker
 
 type payload =
-  | Subscribe of { key : int; sub : Probsub_core.Subscription.t }
+  | Subscribe of { key : int; sub : Probsub_core.Subscription.t; epoch : int }
   | Unsubscribe of { key : int }
   | Advertise of { key : int; adv : Probsub_core.Subscription.t }
   | Unadvertise of { key : int }
   | Publish of { id : int; pub : Probsub_core.Publication.t }
+  | Ack of { seq : int }
 
 let origin_equal a b =
   match (a, b) with
   | Client x, Client y -> x = y
   | Link x, Link y -> x = y
-  | Client _, Link _ | Link _, Client _ -> false
+  | Publisher, Publisher -> true
+  | (Client _ | Publisher | Link _), _ -> false
+
+let is_control = function
+  | Subscribe _ | Unsubscribe _ | Advertise _ | Unadvertise _ -> true
+  | Publish _ | Ack _ -> false
 
 let pp_origin ppf = function
   | Client c -> Format.fprintf ppf "client %d" c
+  | Publisher -> Format.fprintf ppf "publisher"
   | Link b -> Format.fprintf ppf "broker %d" b
 
 let pp_payload ppf = function
-  | Subscribe { key; sub } ->
-      Format.fprintf ppf "subscribe #%d %a" key Probsub_core.Subscription.pp sub
+  | Subscribe { key; sub; epoch } ->
+      Format.fprintf ppf "subscribe #%d.%d %a" key epoch
+        Probsub_core.Subscription.pp sub
   | Unsubscribe { key } -> Format.fprintf ppf "unsubscribe #%d" key
   | Advertise { key; adv } ->
       Format.fprintf ppf "advertise #%d %a" key Probsub_core.Subscription.pp adv
   | Unadvertise { key } -> Format.fprintf ppf "unadvertise #%d" key
   | Publish { id; pub } ->
       Format.fprintf ppf "publish #%d %a" id Probsub_core.Publication.pp pub
+  | Ack { seq } -> Format.fprintf ppf "ack seq %d" seq

@@ -2,12 +2,17 @@
 
 type origin =
   | Client of int  (** A locally connected client, by client id. *)
+  | Publisher  (** A local publisher injecting a publication. *)
   | Link of Topology.broker  (** A neighbouring broker. *)
 
 type payload =
-  | Subscribe of { key : int; sub : Probsub_core.Subscription.t }
+  | Subscribe of { key : int; sub : Probsub_core.Subscription.t; epoch : int }
       (** [key] identifies the subscription network-wide so duplicate
-          arrivals over different paths can be suppressed. *)
+          arrivals over different paths can be suppressed. [epoch]
+          counts the home broker's lease refreshes: epoch 0 is the
+          initial installation, and a broker forwards a given epoch of a
+          known key at most once — refresh waves renew leases along the
+          dissemination tree without circulating forever. *)
   | Unsubscribe of { key : int }
   | Advertise of { key : int; adv : Probsub_core.Subscription.t }
       (** A publisher's declaration of the content box it will publish
@@ -18,7 +23,16 @@ type payload =
   | Publish of { id : int; pub : Probsub_core.Publication.t }
       (** [id] identifies the publication network-wide (duplicate
           suppression on cyclic topologies). *)
+  | Ack of { seq : int }
+      (** Link-level acknowledgement of the control message that
+          crossed this link with sequence number [seq]. Handled by the
+          network's reliable-channel layer; brokers never see it. *)
 
 val origin_equal : origin -> origin -> bool
+
+val is_control : payload -> bool
+(** Control-plane messages travel on the acked, retransmitted channel;
+    publications and acks themselves are best-effort. *)
+
 val pp_origin : Format.formatter -> origin -> unit
 val pp_payload : Format.formatter -> payload -> unit

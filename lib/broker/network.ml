@@ -8,18 +8,58 @@ type notification = {
   pub_id : int;
 }
 
-type event = {
-  dst : Topology.broker;
-  origin : Message.origin;
-  payload : Message.payload;
+type recovery = {
+  lease_ttl : float;
+  refresh_interval : float;
+  rto : float;
+  max_retries : int;
+}
+
+let default_recovery =
+  { lease_ttl = 30.0; refresh_interval = 10.0; rto = 4.0; max_retries = 6 }
+
+(* The simulator's event algebra, split over two queues. Deliver and
+   Retransmit are "real" work and live in [real_q]; [run] drains that
+   queue alone, so it terminates (retransmissions are capped and acks
+   settle). Refresh, Sweep, Crash and Restart are scheduled maintenance
+   — periodic or clock-driven — parked in [maint_q]; only [run_until]
+   advances through them, merging the two queues in time order. Without
+   the split, a refresh wave whose ack/retransmit tail outlasts the
+   refresh interval would re-arm itself forever and a draining run
+   would never go quiescent. *)
+type event =
+  | Deliver of {
+      dst : Topology.broker;
+      origin : Message.origin;
+      payload : Message.payload;
+      seq : int option; (* link sequence number on the acked channel *)
+    }
+  | Retransmit of int (* pending link seq whose ack timed out *)
+  | Refresh of int (* subscription key due for a lease refresh *)
+  | Sweep of Topology.broker (* periodic lease expiry at a broker *)
+  | Crash of Topology.broker
+  | Restart of Topology.broker
+
+(* An unacked control message on a link, awaiting retransmission. *)
+type pending_send = {
+  p_src : Topology.broker;
+  p_dst : Topology.broker;
+  p_payload : Message.payload;
+  mutable p_retries : int;
+  mutable p_rto : float;
+  mutable p_timer : Event_queue.handle;
 }
 
 type t = {
   topology : Topology.t;
   brokers : Broker_node.t array;
-  queue : event Event_queue.t;
+  real_q : event Event_queue.t;
+  maint_q : event Event_queue.t;
   metrics : Metrics.t;
   link_latency : float;
+  fault_plan : Fault_plan.t;
+  recovery : recovery option;
+  down : bool array;
   mutable clock : float;
   mutable next_sub_key : int;
   mutable next_adv_key : int;
@@ -27,31 +67,82 @@ type t = {
   mutable notifications : notification list; (* newest first *)
   (* key -> (broker, client, sub); removed on unsubscribe. *)
   client_subs : (int, Topology.broker * int * Subscription.t) Hashtbl.t;
+  mutable next_link_seq : int;
+  pending : (int, pending_send) Hashtbl.t;
+  (* Receiver-side (src, dst) link dedup of the acked channel. *)
+  link_seen : (Topology.broker * Topology.broker, Dedup_window.t) Hashtbl.t;
+  refresh_timers : (int, Event_queue.handle) Hashtbl.t;
+  next_epoch : (int, int) Hashtbl.t;
 }
 
+let push_real t ~time ev = Event_queue.push t.real_q ~time ev
+let push_maintenance t ~time ev = Event_queue.push t.maint_q ~time ev
+
+let push_retransmit t ~time seq =
+  Event_queue.push_cancelable t.real_q ~time (Retransmit seq)
+
+let cancel_retransmit t h = ignore (Event_queue.cancel t.real_q h)
+
 let create ?(policy = Subscription_store.Pairwise_policy) ?(link_latency = 1.0)
-    ?(use_advertisements = false) ~topology ~arity ~seed () =
+    ?(use_advertisements = false) ?(fault_plan = Fault_plan.zero) ?recovery
+    ?dedup_capacity ~topology ~arity ~seed () =
   if not (link_latency > 0.0) then
     invalid_arg "Network.create: latency must be positive";
+  (match recovery with
+  | Some r ->
+      if
+        not
+          (r.lease_ttl > 0.0
+          && r.refresh_interval > 0.0
+          && r.refresh_interval < r.lease_ttl
+          && r.rto > 0.0 && r.max_retries >= 0)
+      then invalid_arg "Network.create: bad recovery parameters"
+  | None -> ());
+  let lease_ttl = Option.map (fun r -> r.lease_ttl) recovery in
   let brokers =
     Array.init (Topology.size topology) (fun id ->
-        Broker_node.create ~use_advertisements ~id
+        Broker_node.create ~use_advertisements ?lease_ttl ?dedup_capacity ~id
           ~neighbors:(Topology.neighbors topology id)
           ~policy ~arity ~seed ())
   in
-  {
-    topology;
-    brokers;
-    queue = Event_queue.create ();
-    metrics = Metrics.create ();
-    link_latency;
-    clock = 0.0;
-    next_sub_key = 0;
-    next_adv_key = 0;
-    next_pub_id = 0;
-    notifications = [];
-    client_subs = Hashtbl.create 64;
-  }
+  let t =
+    {
+      topology;
+      brokers;
+      real_q = Event_queue.create ();
+      maint_q = Event_queue.create ();
+      metrics = Metrics.create ();
+      link_latency;
+      fault_plan;
+      recovery;
+      down = Array.make (Topology.size topology) false;
+      clock = 0.0;
+      next_sub_key = 0;
+      next_adv_key = 0;
+      next_pub_id = 0;
+      notifications = [];
+      client_subs = Hashtbl.create 64;
+      next_link_seq = 0;
+      pending = Hashtbl.create 64;
+      link_seen = Hashtbl.create 16;
+      refresh_timers = Hashtbl.create 64;
+      next_epoch = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun (b, start, stop) ->
+      if b >= Topology.size topology then
+        invalid_arg "Network.create: crash window names an unknown broker";
+      push_maintenance t ~time:start (Crash b);
+      push_maintenance t ~time:stop (Restart b))
+    (Fault_plan.crash_windows fault_plan);
+  (match recovery with
+  | Some r ->
+      Array.iteri
+        (fun b _ -> push_maintenance t ~time:r.refresh_interval (Sweep b))
+        brokers
+  | None -> ());
+  t
 
 let topology t = t.topology
 let now t = t.clock
@@ -61,6 +152,10 @@ let broker t b =
   if b < 0 || b >= Array.length t.brokers then
     invalid_arg "Network.broker: unknown broker";
   t.brokers.(b)
+
+let broker_down t b =
+  ignore (broker t b);
+  t.down.(b)
 
 let count_link_message t payload =
   match payload with
@@ -73,17 +168,56 @@ let count_link_message t payload =
       t.metrics.Metrics.advertise_msgs <- t.metrics.Metrics.advertise_msgs + 1
   | Message.Publish _ ->
       t.metrics.Metrics.publish_msgs <- t.metrics.Metrics.publish_msgs + 1
+  | Message.Ack _ ->
+      t.metrics.Metrics.ack_msgs <- t.metrics.Metrics.ack_msgs + 1
 
-let schedule t ~time event = Event_queue.push t.queue ~time event
+(* One fault-plan-mediated traversal of [src -> dst]: each returned
+   offset is a delivered copy; none means the message is lost. *)
+let transmit_link t ~time ~src ~dst ~payload ~seq =
+  match Fault_plan.transmit t.fault_plan ~src ~dst ~now:time with
+  | [] -> t.metrics.Metrics.dropped_msgs <- t.metrics.Metrics.dropped_msgs + 1
+  | offsets ->
+      List.iteri
+        (fun i offset ->
+          if i > 0 then
+            t.metrics.Metrics.duplicated_msgs <-
+              t.metrics.Metrics.duplicated_msgs + 1;
+          push_real t
+            ~time:(time +. t.link_latency +. offset)
+            (Deliver { dst; origin = Message.Link src; payload; seq }))
+        offsets
+
+(* Send one link message. Control messages on a recovery-enabled
+   network get a sequence number, an entry in the retransmission
+   buffer, and an ack timeout. *)
+let send_link t ~time ~src ~dst payload =
+  count_link_message t payload;
+  let seq =
+    match t.recovery with
+    | Some r when Message.is_control payload ->
+        let s = t.next_link_seq in
+        t.next_link_seq <- s + 1;
+        let timer = push_retransmit t ~time:(time +. r.rto) s in
+        Hashtbl.replace t.pending s
+          {
+            p_src = src;
+            p_dst = dst;
+            p_payload = payload;
+            p_retries = 0;
+            p_rto = r.rto;
+            p_timer = timer;
+          };
+        Some s
+    | Some _ | None -> None
+  in
+  transmit_link t ~time ~src ~dst ~payload ~seq
 
 let apply_actions t ~time ~at actions =
   List.iter
     (fun action ->
       match action with
       | Broker_node.Forward { to_; payload } ->
-          count_link_message t payload;
-          schedule t ~time:(time +. t.link_latency)
-            { dst = to_; origin = Message.Link at; payload }
+          send_link t ~time ~src:at ~dst:to_ payload
       | Broker_node.Notify { client; key; pub_id } ->
           t.metrics.Metrics.notifications <-
             t.metrics.Metrics.notifications + 1;
@@ -95,18 +229,19 @@ let apply_actions t ~time ~at actions =
 (* Track coverage suppressions: a Subscribe processed at a broker with
    f out-neighbours that emits s < f subscribe forwards withheld f - s
    of them (duplicates emit nothing and are counted separately). *)
-let process t ~time event =
-  t.clock <- time;
-  let node = t.brokers.(event.dst) in
+let process_broker t ~time ~dst ~origin ~payload =
+  let node = t.brokers.(dst) in
   let duplicate =
-    match event.payload with
-    | Message.Subscribe { key; _ } -> Broker_node.knows_subscription node ~key
+    match payload with
+    | Message.Subscribe { key; epoch; _ } ->
+        Broker_node.knows_subscription node ~key
+        && epoch <= Broker_node.subscription_epoch node ~key
     | Message.Publish _ | Message.Unsubscribe _ | Message.Advertise _
-    | Message.Unadvertise _ ->
+    | Message.Unadvertise _ | Message.Ack _ ->
         false
   in
-  let actions = Broker_node.handle node ~origin:event.origin event.payload in
-  (match event.payload with
+  let actions = Broker_node.handle node ~now:time ~origin payload in
+  (match payload with
   | Message.Subscribe _ when duplicate ->
       t.metrics.Metrics.duplicate_drops <- t.metrics.Metrics.duplicate_drops + 1
   | Message.Subscribe _ ->
@@ -114,10 +249,10 @@ let process t ~time event =
         List.length
           (List.filter
              (fun n ->
-               match event.origin with
+               match origin with
                | Message.Link l -> l <> n
-               | Message.Client _ -> true)
-             (Topology.neighbors t.topology event.dst))
+               | Message.Client _ | Message.Publisher -> true)
+             (Topology.neighbors t.topology dst))
       in
       let sent =
         List.length
@@ -130,49 +265,249 @@ let process t ~time event =
       t.metrics.Metrics.suppressed_subscriptions <-
         t.metrics.Metrics.suppressed_subscriptions + (out - sent)
   | Message.Unsubscribe _ | Message.Publish _ | Message.Advertise _
-  | Message.Unadvertise _ ->
+  | Message.Unadvertise _ | Message.Ack _ ->
       ());
-  apply_actions t ~time ~at:event.dst actions
+  apply_actions t ~time ~at:dst actions
 
-let run t = Event_queue.drain t.queue ~f:(fun ~time e -> process t ~time e)
+let handle_ack t seq =
+  match Hashtbl.find_opt t.pending seq with
+  | None -> () (* late duplicate ack *)
+  | Some p ->
+      Hashtbl.remove t.pending seq;
+      cancel_retransmit t p.p_timer
+
+let link_seen_window t ~src ~dst =
+  match Hashtbl.find_opt t.link_seen (src, dst) with
+  | Some w -> w
+  | None ->
+      let w = Dedup_window.create ~capacity:1024 in
+      Hashtbl.replace t.link_seen (src, dst) w;
+      w
+
+let process_deliver t ~time ~dst ~origin ~payload ~seq =
+  if t.down.(dst) then
+    (* A crashed broker discards everything addressed to it — and
+       cannot ack, so the sender's retransmissions keep trying. *)
+    t.metrics.Metrics.dropped_msgs <- t.metrics.Metrics.dropped_msgs + 1
+  else begin
+    let fresh =
+      match (seq, origin) with
+      | Some s, Message.Link src ->
+          (* Always re-ack: the previous ack may have been the lost
+             copy. Then dedup — retransmits and fault-injected
+             duplicates must not be processed twice. *)
+          send_link t ~time ~src:dst ~dst:src (Message.Ack { seq = s });
+          let win = link_seen_window t ~src ~dst in
+          if Dedup_window.mem win s then begin
+            t.metrics.Metrics.duplicate_drops <-
+              t.metrics.Metrics.duplicate_drops + 1;
+            false
+          end
+          else begin
+            Dedup_window.add win s;
+            true
+          end
+      | _ -> true
+    in
+    if fresh then
+      match payload with
+      | Message.Ack { seq = acked } -> handle_ack t acked
+      | _ -> process_broker t ~time ~dst ~origin ~payload
+  end
+
+(* Events generated during a draining [run] can be scheduled earlier
+   than maintenance the clock already passed; clamping keeps the clock
+   monotone. *)
+let process t ~time ev =
+  let time = Float.max time t.clock in
+  t.clock <- time;
+  match ev with
+  | Deliver { dst; origin; payload; seq } ->
+      process_deliver t ~time ~dst ~origin ~payload ~seq
+  | Retransmit seq -> (
+      match (Hashtbl.find_opt t.pending seq, t.recovery) with
+      | None, _ | _, None -> ()
+      | Some p, Some r ->
+          if p.p_retries >= r.max_retries then
+            (* Retry budget exhausted: give up; lease refresh (or
+               expiry) repairs whatever this message would have
+               installed (or removed). *)
+            Hashtbl.remove t.pending seq
+          else begin
+            p.p_retries <- p.p_retries + 1;
+            p.p_rto <- p.p_rto *. 2.0;
+            t.metrics.Metrics.retransmissions <-
+              t.metrics.Metrics.retransmissions + 1;
+            count_link_message t p.p_payload;
+            transmit_link t ~time ~src:p.p_src ~dst:p.p_dst
+              ~payload:p.p_payload ~seq:(Some seq);
+            p.p_timer <- push_retransmit t ~time:(time +. p.p_rto) seq
+          end)
+  | Refresh key -> (
+      match (Hashtbl.find_opt t.client_subs key, t.recovery) with
+      | Some (home, client, sub), Some r ->
+          let epoch =
+            Option.value ~default:1 (Hashtbl.find_opt t.next_epoch key)
+          in
+          Hashtbl.replace t.next_epoch key (epoch + 1);
+          t.metrics.Metrics.lease_renewals <-
+            t.metrics.Metrics.lease_renewals + 1;
+          push_real t ~time
+            (Deliver
+               {
+                 dst = home;
+                 origin = Message.Client client;
+                 payload = Message.Subscribe { key; sub; epoch };
+                 seq = None;
+               });
+          let h =
+            Event_queue.push_cancelable t.maint_q
+              ~time:(time +. r.refresh_interval)
+              (Refresh key)
+          in
+          Hashtbl.replace t.refresh_timers key h
+      | _ -> Hashtbl.remove t.refresh_timers key)
+  | Sweep b -> (
+      match t.recovery with
+      | None -> ()
+      | Some r ->
+          if not t.down.(b) then begin
+            let expired, actions = Broker_node.sweep t.brokers.(b) ~now:time in
+            t.metrics.Metrics.lease_expiries <-
+              t.metrics.Metrics.lease_expiries + expired;
+            apply_actions t ~time ~at:b actions
+          end;
+          push_maintenance t ~time:(time +. r.refresh_interval) (Sweep b))
+  | Crash b ->
+      t.down.(b) <- true;
+      t.metrics.Metrics.crashes <- t.metrics.Metrics.crashes + 1;
+      (* The broker's unacked send state dies with it. *)
+      let dead =
+        Hashtbl.fold
+          (fun s p acc -> if p.p_src = b then (s, p) :: acc else acc)
+          t.pending []
+      in
+      List.iter
+        (fun (s, p) ->
+          Hashtbl.remove t.pending s;
+          cancel_retransmit t p.p_timer)
+        dead
+  | Restart b ->
+      t.down.(b) <- false;
+      Broker_node.reset t.brokers.(b)
+
+let rec run t =
+  match Event_queue.pop t.real_q with
+  | None -> ()
+  | Some (time, ev) ->
+      process t ~time ev;
+      run t
+
+(* Merge the two queues in time order up to the bound; a time tie goes
+   to maintenance (a refresh fires before the deliveries it causes). *)
+let run_until t ~time =
+  if Float.is_nan time then invalid_arg "Network.run_until: NaN time";
+  let continue = ref true in
+  while !continue do
+    let next_real = Event_queue.peek_time t.real_q in
+    let next_maint = Event_queue.peek_time t.maint_q in
+    let pop_from q =
+      match Event_queue.pop q with
+      | Some (et, ev) -> process t ~time:et ev
+      | None -> assert false
+    in
+    match (next_real, next_maint) with
+    | Some r, Some m when r <= time && m <= time ->
+        pop_from (if m <= r then t.maint_q else t.real_q)
+    | Some r, _ when r <= time -> pop_from t.real_q
+    | _, Some m when m <= time -> pop_from t.maint_q
+    | _ -> continue := false
+  done;
+  if time > t.clock then t.clock <- time
 
 let subscribe t ~broker:b ~client sub =
   ignore (broker t b);
   let key = t.next_sub_key in
   t.next_sub_key <- key + 1;
   Hashtbl.replace t.client_subs key (b, client, sub);
-  schedule t ~time:t.clock
-    { dst = b; origin = Message.Client client; payload = Message.Subscribe { key; sub } };
+  push_real t ~time:t.clock
+    (Deliver
+       {
+         dst = b;
+         origin = Message.Client client;
+         payload = Message.Subscribe { key; sub; epoch = 0 };
+         seq = None;
+       });
+  (match t.recovery with
+  | Some r ->
+      Hashtbl.replace t.next_epoch key 1;
+      let h =
+        Event_queue.push_cancelable t.maint_q
+          ~time:(t.clock +. r.refresh_interval)
+          (Refresh key)
+      in
+      Hashtbl.replace t.refresh_timers key h
+  | None -> ());
   key
 
 let unsubscribe t ~broker:b ~key =
-  (match Hashtbl.find_opt t.client_subs key with
+  match Hashtbl.find_opt t.client_subs key with
   | Some (home, client, _) when home = b ->
       Hashtbl.remove t.client_subs key;
-      schedule t ~time:t.clock
-        { dst = b; origin = Message.Client client; payload = Message.Unsubscribe { key } }
+      Hashtbl.remove t.next_epoch key;
+      (match Hashtbl.find_opt t.refresh_timers key with
+      | Some h ->
+          ignore (Event_queue.cancel t.maint_q h);
+          Hashtbl.remove t.refresh_timers key
+      | None -> ());
+      push_real t ~time:t.clock
+        (Deliver
+           {
+             dst = b;
+             origin = Message.Client client;
+             payload = Message.Unsubscribe { key };
+             seq = None;
+           })
   | Some _ -> invalid_arg "Network.unsubscribe: key issued at another broker"
-  | None -> invalid_arg "Network.unsubscribe: unknown key")
+  | None -> invalid_arg "Network.unsubscribe: unknown key"
 
 let advertise t ~broker:b ~client adv =
   ignore (broker t b);
   let key = t.next_adv_key in
   t.next_adv_key <- key + 1;
-  schedule t ~time:t.clock
-    { dst = b; origin = Message.Client client; payload = Message.Advertise { key; adv } };
+  push_real t ~time:t.clock
+    (Deliver
+       {
+         dst = b;
+         origin = Message.Client client;
+         payload = Message.Advertise { key; adv };
+         seq = None;
+       });
   key
 
 let unadvertise t ~broker:b ~client ~key =
   ignore (broker t b);
-  schedule t ~time:t.clock
-    { dst = b; origin = Message.Client client; payload = Message.Unadvertise { key } }
+  push_real t ~time:t.clock
+    (Deliver
+       {
+         dst = b;
+         origin = Message.Client client;
+         payload = Message.Unadvertise { key };
+         seq = None;
+       })
 
 let publish t ~broker:b pub =
   ignore (broker t b);
   let id = t.next_pub_id in
   t.next_pub_id <- id + 1;
-  schedule t ~time:t.clock
-    { dst = b; origin = Message.Client (-1); payload = Message.Publish { id; pub } };
+  push_real t ~time:t.clock
+    (Deliver
+       {
+         dst = b;
+         origin = Message.Publisher;
+         payload = Message.Publish { id; pub };
+         seq = None;
+       });
   id
 
 let notifications t = List.rev t.notifications

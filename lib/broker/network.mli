@@ -1,4 +1,5 @@
-(** The discrete-event broker-network simulator.
+(** The discrete-event broker-network simulator, with injectable link
+    and broker faults and a lease-based recovery protocol.
 
     Wraps a {!Topology.t} worth of {!Broker_node.t}s around an
     {!Event_queue.t}: every link traversal costs [link_latency]
@@ -7,9 +8,24 @@
     {!unsubscribe}) enqueue at the current simulation time; {!run}
     drains the queue to quiescence.
 
+    Every broker-to-broker hop is routed through a {!Fault_plan}: the
+    hop may be dropped, duplicated, or delayed by jitter, and brokers
+    crash on schedule — discarding in-flight messages and, on restart,
+    all soft state. Client/home-broker interactions are local and
+    fault-free.
+
+    With [recovery] enabled, control traffic (subscribe / unsubscribe /
+    advertise / unadvertise) rides a reliable channel — sequence
+    numbers, link-level acks, exponential-backoff retransmission,
+    receiver-side dedup — and every installed subscription carries a
+    lease that subscriber home brokers periodically refresh. Lost
+    unsubscriptions age out via expiry sweeps; crashed brokers are
+    re-populated by the next refresh wave.
+
     The network also tracks ground truth: which client subscriptions
     {e should} match each publication, so experiments can quantify the
-    deliveries lost to erroneous probabilistic covering (§5). *)
+    deliveries lost to erroneous probabilistic covering (§5) — and so
+    {!Audit} can certify recovery after a fault era. *)
 
 open Probsub_core
 
@@ -23,16 +39,37 @@ type notification = {
   pub_id : int;
 }
 
+type recovery = {
+  lease_ttl : float;  (** Lease duration for installed subscriptions. *)
+  refresh_interval : float;
+      (** Period of subscriber refresh waves and broker expiry sweeps.
+          Must be below [lease_ttl] or live state would flap. *)
+  rto : float;  (** Initial ack timeout before a retransmission. *)
+  max_retries : int;  (** Retransmissions per message before giving up. *)
+}
+
+val default_recovery : recovery
+(** 30 s leases refreshed every 10 s; 4 s initial RTO, 6 retries. *)
+
 val create :
   ?policy:Subscription_store.policy -> ?link_latency:float ->
-  ?use_advertisements:bool -> topology:Topology.t -> arity:int -> seed:int ->
-  unit -> t
-(** @raise Invalid_argument if the latency is not positive. Default
-    policy: pairwise; default latency 1.0. With [use_advertisements]
-    (default false), subscriptions are routed only towards brokers
-    whose publishers advertised intersecting content (Siena-style);
-    publishers must then {!advertise} before their publications can be
-    routed beyond subscribers' own brokers. *)
+  ?use_advertisements:bool -> ?fault_plan:Fault_plan.t ->
+  ?recovery:recovery -> ?dedup_capacity:int -> topology:Topology.t ->
+  arity:int -> seed:int -> unit -> t
+(** Default policy: pairwise; default latency 1.0. With
+    [use_advertisements] (default false), subscriptions are routed only
+    towards brokers whose publishers advertised intersecting content
+    (Siena-style); publishers must then {!advertise} before their
+    publications can be routed beyond subscribers' own brokers.
+    [fault_plan] defaults to {!Fault_plan.zero}; without a plan and
+    without [recovery] the network behaves bit-identically to the
+    fault-free simulator (no extra messages, no RNG draws, identical
+    metrics). [recovery] (default off) enables the reliable control
+    channel, leases, refresh waves and expiry sweeps.
+    [dedup_capacity] bounds each broker's publication dedup window.
+    @raise Invalid_argument if the latency is not positive, the
+    recovery parameters are malformed, or a crash window names a broker
+    outside the topology. *)
 
 val topology : t -> Topology.t
 val now : t -> float
@@ -40,14 +77,19 @@ val metrics : t -> Metrics.t
 val broker : t -> Topology.broker -> Broker_node.t
 (** Direct access for white-box assertions in tests. *)
 
+val broker_down : t -> Topology.broker -> bool
+(** True while the broker is inside a crash window. *)
+
 val subscribe :
   t -> broker:Topology.broker -> client:int -> Subscription.t -> int
 (** Issue a subscription at a broker's local client; returns its
-    network-wide key. Takes effect as the queue drains. *)
+    network-wide key. Takes effect as the queue drains; with recovery
+    on, a refresh timer starts ticking. *)
 
 val unsubscribe : t -> broker:Topology.broker -> key:int -> unit
-(** Cancel a subscription previously issued at that broker.
-    @raise Invalid_argument if [key] was not issued there. *)
+(** Cancel a subscription previously issued at that broker; cancels its
+    refresh timer. @raise Invalid_argument if [key] was not issued
+    there. *)
 
 val advertise :
   t -> broker:Topology.broker -> client:int -> Subscription.t -> int
@@ -60,7 +102,18 @@ val publish : t -> broker:Topology.broker -> Publication.t -> int
 (** Publish at a broker; returns the publication id. *)
 
 val run : t -> unit
-(** Drain all scheduled events (to quiescence). *)
+(** Process queued events until no {e real} work remains: deliveries
+    and retransmission timeouts are drained, while periodic maintenance
+    (lease refreshes, expiry sweeps, scheduled crash windows) stays
+    queued — otherwise a recovery-enabled network would never go
+    quiescent. Terminates even under faults: retransmissions are
+    capped and refresh waves are epoch-deduplicated. *)
+
+val run_until : t -> time:float -> unit
+(** Process every event scheduled at or before [time] — including
+    maintenance — then advance the clock to [time]. This is how
+    simulated wall-time passes: refresh cycles fire, leases expire,
+    crash windows open and close. @raise Invalid_argument on NaN. *)
 
 val notifications : t -> notification list
 (** All client deliveries so far, in delivery order. *)
@@ -68,7 +121,8 @@ val notifications : t -> notification list
 val expected_recipients : t -> Publication.t -> (Topology.broker * int * int) list
 (** Ground truth: [(broker, client, sub_key)] for every live client
     subscription matching the publication — what a loss-free system
-    would deliver. *)
+    would deliver. Sorted. *)
 
 val client_subscriptions : t -> (Topology.broker * int * int * Subscription.t) list
-(** All live client subscriptions as [(broker, client, key, sub)]. *)
+(** All live client subscriptions as [(broker, client, key, sub)].
+    Sorted. *)

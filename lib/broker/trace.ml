@@ -246,6 +246,16 @@ let replay net t =
   let next_ref = ref 0 in
   List.iter
     (fun ev ->
+      (* Advance simulated time to the event's timestamp first, so
+         scheduled maintenance — lease refreshes, expiry sweeps, crash
+         windows — fires where the trace says it should. *)
+      let time =
+        match ev with
+        | Subscribe { time; _ } | Unsubscribe { time; _ } | Publish { time; _ }
+          ->
+            time
+      in
+      Network.run_until net ~time;
       (match ev with
       | Subscribe { broker; client; sub; _ } ->
           let key = Network.subscribe net ~broker ~client sub in
@@ -255,9 +265,9 @@ let replay net t =
           match Hashtbl.find_opt keys sub_ref with
           | Some key -> Network.unsubscribe net ~broker ~key
           | None -> invalid_arg "Trace.replay: dangling sub_ref")
-      | Publish { broker; pub; _ } -> ignore (Network.publish net ~broker pub));
-      Network.run net)
-    t
+      | Publish { broker; pub; _ } -> ignore (Network.publish net ~broker pub)))
+    t;
+  Network.run net
 
 let stats t =
   List.fold_left

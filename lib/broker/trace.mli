@@ -59,11 +59,12 @@ val save : t -> path:string -> unit
 val load : path:string -> (t, string) result
 
 val replay : Network.t -> t -> unit
-(** Run the trace to completion: events are injected in trace order,
-    draining the network to quiescence between events (timestamps
-    define the script order; the network keeps its own hop-based
-    clock). @raise Invalid_argument on arity mismatch with the network,
-    an out-of-range broker, or a dangling [sub_ref]. *)
+(** Run the trace to completion: simulated time is advanced to each
+    event's timestamp ({!Network.run_until}, so lease refreshes, expiry
+    sweeps and scheduled crash windows fire on time), the event is
+    injected, and after the last event the network is drained to
+    quiescence. @raise Invalid_argument on arity mismatch with the
+    network, an out-of-range broker, or a dangling [sub_ref]. *)
 
 val stats : t -> int * int * int
 (** (subscribes, unsubscribes, publishes). *)

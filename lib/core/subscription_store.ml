@@ -10,7 +10,7 @@ type placement = Active | Covered of id list
 type entry = {
   sub : Subscription.t;
   mutable state : placement;
-  expires_at : float; (* infinity = no lease *)
+  mutable expires_at : float; (* infinity = no lease *)
 }
 
 type stats = {
@@ -235,6 +235,13 @@ let add_with_expiry t s ~expires_at = insert t s ~expires_at
 let expiry t id =
   match Hashtbl.find_opt t.entries id with
   | Some e -> e.expires_at
+  | None -> raise Not_found
+
+let renew t id ~expires_at =
+  if Float.is_nan expires_at then
+    invalid_arg "Subscription_store.renew: NaN lease";
+  match Hashtbl.find_opt t.entries id with
+  | Some e -> e.expires_at <- expires_at
   | None -> raise Not_found
 
 (* Re-check the covered subscriptions that recorded one of

@@ -64,6 +64,12 @@ val add_with_expiry : t -> Subscription.t -> expires_at:float -> id * placement
 val expiry : t -> id -> float
 (** [infinity] for unleased subscriptions. @raise Not_found. *)
 
+val renew : t -> id -> expires_at:float -> unit
+(** Replace a subscription's lease deadline — the refresh half of the
+    lease protocol: a home broker re-announcing a subscription extends
+    its life instead of reinstalling it. @raise Not_found on an unknown
+    id, Invalid_argument if [expires_at] is NaN. *)
+
 val expire : t -> now:float -> id list * id list
 (** [expire t ~now] removes every subscription whose lease has run out
     and re-checks coverage for the covered subscriptions that depended

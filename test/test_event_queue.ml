@@ -81,6 +81,93 @@ let test_heap_stress () =
       Alcotest.(check bool) "drain sorted" true (time >= !last);
       last := time)
 
+let test_cancel () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1.0 "a";
+  let h = Event_queue.push_cancelable q ~time:2.0 "b" in
+  Event_queue.push q ~time:3.0 "c";
+  Alcotest.(check int) "size before cancel" 3 (Event_queue.size q);
+  Alcotest.(check bool) "cancel succeeds" true (Event_queue.cancel q h);
+  Alcotest.(check int) "size excludes cancelled" 2 (Event_queue.size q);
+  Alcotest.(check bool) "double cancel fails" false (Event_queue.cancel q h);
+  let out = ref [] in
+  Event_queue.drain q ~f:(fun ~time:_ e -> out := e :: !out);
+  Alcotest.(check (list string)) "cancelled never pops" [ "a"; "c" ]
+    (List.rev !out)
+
+let test_cancel_at_top () =
+  (* A cancelled event sitting at the heap top is skimmed, so peek and
+     pop look straight past it. *)
+  let q = Event_queue.create () in
+  let h = Event_queue.push_cancelable q ~time:1.0 "dead" in
+  Event_queue.push q ~time:2.0 "live";
+  Alcotest.(check bool) "cancelled" true (Event_queue.cancel q h);
+  Alcotest.(check (option (float 1e-9))) "peek skips cancelled" (Some 2.0)
+    (Event_queue.peek_time q);
+  Alcotest.(check (option (pair (float 1e-9) string))) "pop skips cancelled"
+    (Some (2.0, "live"))
+    (Event_queue.pop q);
+  Alcotest.(check bool) "now empty" true (Event_queue.is_empty q)
+
+let test_cancel_after_fire () =
+  let q = Event_queue.create () in
+  let h = Event_queue.push_cancelable q ~time:1.0 () in
+  ignore (Event_queue.pop q);
+  Alcotest.(check bool) "cancel after pop fails" false (Event_queue.cancel q h)
+
+let test_cancel_empty_all () =
+  let q = Event_queue.create () in
+  let hs = List.init 50 (fun i -> Event_queue.push_cancelable q ~time:(float_of_int i) i) in
+  List.iter (fun h -> ignore (Event_queue.cancel q h)) hs;
+  Alcotest.(check int) "all cancelled" 0 (Event_queue.size q);
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Option.is_none (Event_queue.pop q))
+
+(* Model-based property: drain order equals a stable sort by time of
+   the insertion sequence. Times are drawn from a tiny set so ties are
+   the common case, exercising FIFO tie-breaking hard. *)
+let prop_fifo_model =
+  QCheck.Test.make ~count:300 ~name:"drain is a stable sort by time"
+    QCheck.(list (int_bound 5))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri
+        (fun i ti -> Event_queue.push q ~time:(float_of_int ti) (ti, i))
+        times;
+      let out = ref [] in
+      Event_queue.drain q ~f:(fun ~time:_ e -> out := e :: !out);
+      let model =
+        List.stable_sort
+          (fun (ta, _) (tb, _) -> compare ta tb)
+          (List.mapi (fun i ti -> (ti, i)) times)
+      in
+      List.rev !out = model)
+
+(* Cancellation against a model: cancel a pseudo-random subset, drain,
+   and expect exactly the survivors in stable time order. *)
+let prop_cancel_model =
+  QCheck.Test.make ~count:300 ~name:"cancelled events never surface"
+    QCheck.(pair small_int (list (pair (int_bound 5) bool)))
+    (fun (_salt, spec) ->
+      let q = Event_queue.create () in
+      let handles =
+        List.mapi
+          (fun i (ti, dead) ->
+            (Event_queue.push_cancelable q ~time:(float_of_int ti) (ti, i), dead))
+          spec
+      in
+      List.iter (fun (h, dead) -> if dead then ignore (Event_queue.cancel q h)) handles;
+      let out = ref [] in
+      Event_queue.drain q ~f:(fun ~time:_ e -> out := e :: !out);
+      let model =
+        List.stable_sort
+          (fun (ta, _) (tb, _) -> compare ta tb)
+          (List.filteri
+             (fun i _ -> not (snd (List.nth spec i)))
+             (List.mapi (fun i (ti, _) -> (ti, i)) spec))
+      in
+      List.rev !out = model)
+
 let suite =
   [
     Alcotest.test_case "time ordering" `Quick test_ordering;
@@ -90,4 +177,10 @@ let suite =
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "re-entrant drain" `Quick test_drain_reentrant;
     Alcotest.test_case "heap stress" `Quick test_heap_stress;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "cancel at heap top" `Quick test_cancel_at_top;
+    Alcotest.test_case "cancel after fire" `Quick test_cancel_after_fire;
+    Alcotest.test_case "cancel everything" `Quick test_cancel_empty_all;
+    QCheck_alcotest.to_alcotest prop_fifo_model;
+    QCheck_alcotest.to_alcotest prop_cancel_model;
   ]

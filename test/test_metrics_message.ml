@@ -41,7 +41,8 @@ let test_payload_pp () =
   let sub = Subscription.of_bounds [ (0, 9) ] in
   let renders p = Format.asprintf "%a" Message.pp_payload p in
   Alcotest.(check bool) "subscribe renders key" true
-    (String.length (renders (Message.Subscribe { key = 7; sub })) > 0);
+    (String.length (renders (Message.Subscribe { key = 7; sub; epoch = 0 })) > 0);
+  Alcotest.(check string) "ack" "ack seq 9" (renders (Message.Ack { seq = 9 }));
   Alcotest.(check string) "unsubscribe" "unsubscribe #3"
     (renders (Message.Unsubscribe { key = 3 }));
   Alcotest.(check string) "unadvertise" "unadvertise #4"
