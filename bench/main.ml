@@ -131,15 +131,44 @@ let run_kernels () =
     Flat.random_point_into ~rng sbox p;
     assert (Flat.escapes packed p)
   in
-  (* Warm up both paths so one-time setup does not pollute Gc counts. *)
+  (* The parallel path's per-domain inner loop
+     (Rspc_parallel.trials_into), on a covered variant of the same
+     workload: appending s itself as a final row means no point
+     escapes, so every call performs its full budget — no witness
+     copy, no early stop — and must allocate nothing. This is the loop
+     each domain runs under Domain.spawn; measured here single-domain
+     so Gc counters are meaningful. *)
+  let inner_budget = 1000 in
+  let inner_calls = kernel_d / inner_budget in
+  let packed_covered = Flat.pack ~m:kernel_m (Array.append subs [| s |]) in
+  let found : int array option Atomic.t = Atomic.make None in
+  let parallel_inner_batch () =
+    let performed =
+      Rspc_parallel.trials_into ~rng ~sbox ~packed:packed_covered ~found
+        ~budget:inner_budget p
+    in
+    assert (performed = inner_budget)
+  in
+  (* Warm up all paths so one-time setup does not pollute Gc counts. *)
   for _ = 1 to 1000 do
     boxed_trial ();
     flat_trial ()
   done;
+  for _ = 1 to 10 do
+    parallel_inner_batch ()
+  done;
   let boxed_alloc = alloc_words_per_op boxed_trial kernel_d in
   let flat_alloc = alloc_words_per_op flat_trial kernel_d in
+  let parallel_alloc =
+    alloc_words_per_op parallel_inner_batch inner_calls
+    /. float_of_int inner_budget
+  in
   let boxed_ns = time_ns_per_op boxed_trial kernel_d in
   let flat_ns = time_ns_per_op flat_trial kernel_d in
+  let parallel_ns =
+    time_ns_per_op parallel_inner_batch inner_calls
+    /. float_of_int inner_budget
+  in
   let speedup = boxed_ns /. flat_ns in
   let results =
     [
@@ -152,6 +181,13 @@ let run_kernels () =
         op = "escape_trial_flat";
         ns_per_op = flat_ns;
         alloc_words_per_op = flat_alloc;
+      };
+      {
+        (* Per trial, not per call: each call performs inner_budget
+           trials on k+1 rows (the appended covering row). *)
+        op = "escape_trial_parallel_inner";
+        ns_per_op = parallel_ns;
+        alloc_words_per_op = parallel_alloc;
       };
     ]
   in
@@ -170,6 +206,12 @@ let run_kernels () =
   if flat_alloc >= 0.01 then begin
     Printf.eprintf
       "FAIL: flat trial allocates %.4f words/trial (expected 0)\n" flat_alloc;
+    exit 1
+  end;
+  if parallel_alloc >= 0.01 then begin
+    Printf.eprintf
+      "FAIL: parallel inner loop allocates %.4f words/trial (expected 0)\n"
+      parallel_alloc;
     exit 1
   end;
   if speedup < 2.0 then begin

@@ -1,0 +1,7 @@
+(* problint — the project's static-analysis pass.
+
+   Usage: problint [--json] [--list-rules] [DIR-OR-FILE ...]
+   Default scan set: lib bin bench (run from the repo root, or via
+   `dune build @lint`). Exit 0 = clean, 1 = findings, 2 = bad usage. *)
+
+let () = exit (Probsub_lint.Lint_driver.main Sys.argv)

@@ -130,14 +130,18 @@ let out_neighbors t ~origin =
    content. *)
 let neighbor_advertises t ~neighbor sub =
   (not t.use_advertisements)
-  || Hashtbl.fold
-       (fun _ (adv, origin) found ->
-         found
-         || match origin with
-            | Message.Link l ->
-                l = neighbor && Subscription.intersects adv sub
-            | Message.Client _ | Message.Publisher -> false)
-       t.ads false
+  || (Hashtbl.fold
+        (fun _ (adv, origin) found ->
+          found
+          || match origin with
+             | Message.Link l ->
+                 l = neighbor && Subscription.intersects adv sub
+             | Message.Client _ | Message.Publisher -> false)
+        t.ads false
+     [@problint.allow
+       determinism
+         "existence check: boolean OR over all entries is \
+          order-insensitive"])
 
 (* Offer one subscription towards one neighbour: the per-neighbour
    store decides (by policy) whether it actually crosses the link. *)
@@ -273,8 +277,21 @@ let handle_advertise t ~now ~origin ~key ~adv =
       match origin with
       | Message.Client _ | Message.Publisher -> []
       | Message.Link l ->
-          Hashtbl.fold
-            (fun rid sub_origin acc ->
+          (* Collect-then-sort so the offers hit the wire in routing-id
+             order, not hash order: message order is observable in
+             traces and must not depend on table history. *)
+          let pending =
+            (Hashtbl.fold
+               (fun rid sub_origin acc -> (rid, sub_origin) :: acc)
+               t.r_origin []
+            [@problint.allow
+              determinism
+                "order-insensitive collection; the list is sorted by \
+                 routing id on the next line before any effect happens"])
+            |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+          in
+          List.concat_map
+            (fun (rid, sub_origin) ->
               let key' = Hashtbl.find t.r_id_to_key rid in
               let sub = Subscription_store.find t.routing rid in
               let towards_origin =
@@ -288,9 +305,8 @@ let handle_advertise t ~now ~origin ~key ~adv =
               then
                 offer_to_peer t ~now ~neighbor:l ~key:key' ~sub
                   ~epoch:(subscription_epoch t ~key:key')
-                @ acc
-              else acc)
-            t.r_origin []
+              else [])
+            pending
     in
     floods @ back_offers
   end

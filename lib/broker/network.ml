@@ -383,9 +383,14 @@ let process t ~time ev =
       t.metrics.Metrics.crashes <- t.metrics.Metrics.crashes + 1;
       (* The broker's unacked send state dies with it. *)
       let dead =
-        Hashtbl.fold
-          (fun s p acc -> if p.p_src = b then (s, p) :: acc else acc)
-          t.pending []
+        (Hashtbl.fold
+           (fun s p acc -> if p.p_src = b then (s, p) :: acc else acc)
+           t.pending []
+        [@problint.allow
+          determinism
+            "order-insensitive: the collected entries are all removed and \
+             their timers cancelled; neither effect depends on the order \
+             of removal"])
       in
       List.iter
         (fun (s, p) ->
@@ -414,7 +419,12 @@ let run_until t ~time =
     let pop_from q =
       match Event_queue.pop q with
       | Some (et, ev) -> process t ~time:et ev
-      | None -> assert false
+      | None ->
+          (* Only reachable if Event_queue.peek_time returned a time for
+             a queue that then popped empty — a broken queue invariant,
+             not a caller error. *)
+          invalid_arg
+            "Network.run_until: event queue drained between peek and pop"
     in
     match (next_real, next_maint) with
     | Some r, Some m when r <= time && m <= time ->
@@ -513,14 +523,18 @@ let publish t ~broker:b pub =
 let notifications t = List.rev t.notifications
 
 let expected_recipients t pub =
-  Hashtbl.fold
-    (fun key (b, client, sub) acc ->
-      if Publication.matches sub pub then (b, client, key) :: acc else acc)
-    t.client_subs []
+  (Hashtbl.fold
+     (fun key (b, client, sub) acc ->
+       if Publication.matches sub pub then (b, client, key) :: acc else acc)
+     t.client_subs []
+  [@problint.allow
+    determinism "order-insensitive: result is sorted on the next line"])
   |> List.sort compare
 
 let client_subscriptions t =
-  Hashtbl.fold
-    (fun key (b, client, sub) acc -> (b, client, key, sub) :: acc)
-    t.client_subs []
+  (Hashtbl.fold
+     (fun key (b, client, sub) acc -> (b, client, key, sub) :: acc)
+     t.client_subs []
+  [@problint.allow
+    determinism "order-insensitive: result is sorted on the next line"])
   |> List.sort compare

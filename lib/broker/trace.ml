@@ -51,7 +51,12 @@ let generate ?(params = default_params) rng =
   let next_sub_body () =
     match Probsub_workload.Scenario.comparison_stream rng ~m:p.m ~n:1 with
     | [ s ] -> s
-    | _ -> assert false
+    | l ->
+        invalid_arg
+          (Printf.sprintf
+             "Trace.generate: Scenario.comparison_stream ~n:1 returned %d \
+              subscriptions (expected exactly 1)"
+             (List.length l))
   in
   let draw rate =
     if rate <= 0.0 then infinity else Probsub_workload.Dist.exponential rng ~rate
@@ -178,16 +183,17 @@ let of_string contents =
     | "PUB" :: time :: broker :: values ->
         let time = float_of_string_opt time
         and broker = int_of_string_opt broker in
-        let values = List.map int_of_string_opt values in
+        (* Parse totally: any unparseable coordinate shortens the list
+           and fails the length check below — no Option.get needed. *)
+        let parsed = List.filter_map int_of_string_opt values in
         (match (time, broker) with
-        | Some time, Some broker when values <> [] && List.for_all Option.is_some values ->
+        | Some time, Some broker
+          when parsed <> [] && List.length parsed = List.length values ->
             Publish
               {
                 time;
                 broker;
-                pub =
-                  Publication.point
-                    (Array.of_list (List.map Option.get values));
+                pub = Publication.point (Array.of_list parsed);
               }
         | _ -> fail "line %d: bad PUB" lineno)
     | verb :: _ -> fail "line %d: unknown verb %S" lineno verb

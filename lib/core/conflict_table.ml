@@ -18,7 +18,11 @@ let column ~attr ~side = (2 * attr) + match side with Low -> 0 | High -> 1
 
 let[@inline] index ~m ~row ~col = (row * 2 * m) + col
 
-let fill_row ~m ~defined ~bounds ~counts ~row ~slo ~shi ~rlo ~rhi ~attr =
+let[@problint.allow
+     unsafe
+       "index = row*2m + col with row < k and col < 2m by construction, \
+        and [defined] is allocated with exactly k*2m bytes in [build]"] fill_row
+    ~m ~defined ~bounds ~counts ~row ~slo ~shi ~rlo ~rhi ~attr =
   (* s ∧ (x_j < lo_i^j) is satisfiable iff s reaches below si's lower
      bound on attribute j. *)
   if slo < rlo then begin

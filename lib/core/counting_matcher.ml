@@ -49,11 +49,16 @@ let remove t ~id =
 
 let rebuild_attr t attr =
   let entries =
-    Hashtbl.fold
-      (fun id sub acc ->
-        let range = Subscription.range sub attr in
-        if Interval.is_full range then acc else (id, range) :: acc)
-      t.subs []
+    (Hashtbl.fold
+       (fun id sub acc ->
+         let range = Subscription.range sub attr in
+         if Interval.is_full range then acc else (id, range) :: acc)
+       t.subs []
+    [@problint.allow
+      determinism
+        "order-insensitive collection: Interval_index.build centers on \
+         the sorted midpoint median and every query result is re-sorted \
+         before use"])
   in
   t.indexes.(attr) <- Interval_index.build entries;
   t.dirty.(attr) <- false
@@ -75,14 +80,16 @@ let match_point t p =
   done;
   (* A subscription matches when every constrained attribute was hit;
      fully unconstrained subscriptions match by definition. *)
-  Hashtbl.fold
-    (fun id wanted acc ->
-      if wanted = 0 then id :: acc
-      else
-        match Hashtbl.find_opt counts id with
-        | Some got when got = wanted -> id :: acc
-        | Some _ | None -> acc)
-    t.constrained []
+  (Hashtbl.fold
+     (fun id wanted acc ->
+       if wanted = 0 then id :: acc
+       else
+         match Hashtbl.find_opt counts id with
+         | Some got when got = wanted -> id :: acc
+         | Some _ | None -> acc)
+     t.constrained []
+  [@problint.allow
+    determinism "order-insensitive: result is sorted on the next line"])
   |> List.sort Int.compare
 
 let flat_pack t =
@@ -90,7 +97,10 @@ let flat_pack t =
   | Some pack -> pack
   | None ->
       let ids =
-        Hashtbl.fold (fun id _ acc -> id :: acc) t.subs []
+        (Hashtbl.fold (fun id _ acc -> id :: acc) t.subs []
+        [@problint.allow
+          determinism
+            "order-insensitive: key collection is sorted on the next line"])
         |> List.sort Int.compare |> Array.of_list
       in
       let subs = Array.map (fun id -> Hashtbl.find t.subs id) ids in

@@ -34,7 +34,14 @@ let subtract box cut =
       | None -> ());
       match Interval.inter bj cj with
       | Some middle -> current.(j) <- middle
-      | None -> assert false (* box and cut intersect on every axis *)
+      | None ->
+          (* Locally provable: the [Subscription.intersects box cut]
+             guard above means every axis pair overlaps. *)
+          (assert false [@problint.allow
+                          partiality
+                            "guarded by Subscription.intersects box cut at \
+                             function entry: every axis pair overlaps, so \
+                             Interval.inter cannot return None"])
     done;
     !pieces
   end
@@ -73,7 +80,17 @@ let covered_fuel ~fuel s subs =
     | Some cut ->
         if Subscription.covers_sub cut box then ()
         else begin
-          let rest = List.filter (fun si -> si != cut) subs in
+          let rest =
+            List.filter
+              (fun si ->
+                ((si != cut)
+                [@problint.allow
+                  unsafe
+                    "identity, not structure: removes exactly the chosen \
+                     cut from the candidate list; a structurally equal \
+                     duplicate must stay"]))
+              subs
+          in
           let rest = List.filter (fun si -> Subscription.intersects si box) rest in
           List.iter (fun piece -> go piece rest) (subtract box cut)
         end
@@ -86,7 +103,10 @@ let covered_fuel ~fuel s subs =
 let covered s subs =
   match covered_fuel ~fuel:max_int s subs with
   | Some answer -> answer
-  | None -> assert false
+  | None ->
+      invalid_arg
+        "Exact.covered: recursion exhausted a max_int fuel budget — \
+         unreachable for any physically representable input"
 
 let find_witness s subs =
   let m = Subscription.arity s in
@@ -102,7 +122,17 @@ let find_witness s subs =
     | Some cut ->
         if Subscription.covers_sub cut box then ()
         else begin
-          let rest = List.filter (fun si -> si != cut) subs in
+          let rest =
+            List.filter
+              (fun si ->
+                ((si != cut)
+                [@problint.allow
+                  unsafe
+                    "identity, not structure: removes exactly the chosen \
+                     cut from the candidate list; a structurally equal \
+                     duplicate must stay"]))
+              subs
+          in
           let rest = List.filter (fun si -> Subscription.intersects si box) rest in
           List.iter (fun piece -> go piece rest) (subtract box cut)
         end

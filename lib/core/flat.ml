@@ -1,3 +1,8 @@
+[@@@problint.hot]
+(* Hot-path module: the RSPC trial loop lives here. problint permits
+   [Array.unsafe_*] (every index is proved in range by the arity checks
+   at entry) and enforces allocation-free for/while bodies. *)
+
 (* Structure-of-arrays subscription kernels.
 
    A packed set stores all bounds of k subscriptions in ONE int array:
@@ -173,7 +178,11 @@ let intersecting_scan t box =
    binary-searched slice of the rows sorted by lower bound. Each
    intersecting row is counted exactly once per attribute; rows
    counted on all m attributes intersect the box. *)
-let intersecting_indexed t box =
+let[@problint.allow
+     hot_alloc
+       "index-build path, not the trial loop: runs once per query above \
+        the crossover, where building the stabbing structures dominates \
+        the allocation it costs"] intersecting_indexed t box =
   let m = t.m and k = t.k in
   let bounds = t.bounds in
   let km = k * m in

@@ -1,3 +1,7 @@
+[@@@problint.hot]
+(* Hot-path module: every RSPC trial draws from here; problint enforces
+   allocation-free loop bodies. *)
+
 (* Splitmix64 with the 64-bit state stored in an 8-byte buffer instead
    of a boxed [int64] field. Classic ocamlopt unboxes the [Int64]
    locals of [bits64]/[int] once the state load/store goes through

@@ -1,3 +1,8 @@
+[@@@problint.hot]
+(* Hot-path module: the sequential trial loop; problint enforces
+   allocation-free for/while bodies (the witness copy on the exit path
+   is the one allowed allocation). *)
+
 type outcome = Not_covered of int array | Probably_covered
 type run = { outcome : outcome; iterations : int }
 

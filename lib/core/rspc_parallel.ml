@@ -10,6 +10,40 @@ let min_parallel_budget = 2048
    the loop local while still stopping promptly after a witness. *)
 let poll_mask = 63
 
+(* Budget arithmetic, exposed so the regression tests can pin the
+   chunk-boundary cases: budgets are non-negative, bounded by the
+   chunk, and sum to exactly [d] over [0 .. domains-1]. *)
+let chunk_size ~d ~domains = (d + domains - 1) / domains
+
+let budget_for ~d ~domains ~index =
+  let chunk = chunk_size ~d ~domains in
+  min chunk (max 0 (d - (index * chunk)))
+
+(* The per-domain trial loop, shared verbatim between [run]'s workers
+   and the allocation benchmark (bench/main.exe kernels asserts it
+   runs at 0 words/trial). Draws up to [budget] points into the
+   caller's scratch buffer [p]; publishes the first escaping point to
+   [found] (first writer wins) and stops; polls [found] every
+   [poll_mask + 1] trials to stop promptly once any other domain has
+   won. Returns the number of trials actually performed. *)
+let trials_into ~rng ~sbox ~packed ~(found : int array option Atomic.t)
+    ~budget p =
+  let performed = ref 0 in
+  (try
+     for i = 0 to budget - 1 do
+       if i land poll_mask = 0 && Atomic.get found <> None then raise Exit;
+       incr performed;
+       Flat.random_point_into ~rng sbox p;
+       if Flat.escapes packed p then begin
+         (* First writer wins; losers keep their witness to
+            themselves (any witness proves non-coverage). *)
+         ignore (Atomic.compare_and_set found None (Some (Array.copy p)));
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !performed
+
 let run ?(domains = recommended_domains ()) ~rng ~d ~s subs =
   if domains < 1 then invalid_arg "Rspc_parallel.run: domains < 1";
   if d < 0 then invalid_arg "Rspc_parallel.run: negative trial budget";
@@ -27,28 +61,14 @@ let run ?(domains = recommended_domains ()) ~rng ~d ~s subs =
     let sbox = Flat.box_of_sub s in
     let found : int array option Atomic.t = Atomic.make None in
     let total_iterations = Atomic.make 0 in
-    let chunk = (d + domains - 1) / domains in
     let rngs = Array.init domains (fun _ -> Prng.split rng) in
     let worker index () =
       let rng = rngs.(index) in
-      let budget = min chunk (max 0 (d - (index * chunk))) in
+      let budget = budget_for ~d ~domains ~index in
       (* Per-domain scratch point: no sharing, no per-trial allocation. *)
       let p = Array.make m 0 in
-      let performed = ref 0 in
-      (try
-         for i = 0 to budget - 1 do
-           if i land poll_mask = 0 && Atomic.get found <> None then raise Exit;
-           incr performed;
-           Flat.random_point_into ~rng sbox p;
-           if Flat.escapes packed p then begin
-             (* First writer wins; losers keep their witness to
-                themselves (any witness proves non-coverage). *)
-             ignore (Atomic.compare_and_set found None (Some (Array.copy p)));
-             raise Exit
-           end
-         done
-       with Exit -> ());
-      ignore (Atomic.fetch_and_add total_iterations !performed)
+      let performed = trials_into ~rng ~sbox ~packed ~found ~budget p in
+      ignore (Atomic.fetch_and_add total_iterations performed)
     in
     let spawned =
       Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))

@@ -24,6 +24,34 @@
 val recommended_domains : unit -> int
 (** [max 1 (cpu count - 1)], capped at 8. *)
 
+val min_parallel_budget : int
+(** Budgets below this run sequentially even when [domains > 1]:
+    spawning costs more than a few hundred membership tests. *)
+
+val chunk_size : d:int -> domains:int -> int
+(** [ceil (d / domains)] — the per-domain budget before the tail
+    correction. *)
+
+val budget_for : d:int -> domains:int -> index:int -> int
+(** Trial budget of domain [index] in a [d]-trial run over [domains]
+    domains: [min (chunk_size ~d ~domains) (max 0 (d - index *
+    chunk))]. Non-negative, non-increasing in [index], and summing to
+    exactly [d] over [index = 0 .. domains - 1] — the regression tests
+    pin the chunk-boundary cases. *)
+
+val trials_into :
+  rng:Prng.t -> sbox:Flat.box -> packed:Flat.t ->
+  found:int array option Atomic.t -> budget:int -> int array -> int
+(** The per-domain inner loop, shared between {!run}'s workers and the
+    allocation benchmark ([bench/main.exe kernels] asserts it runs at
+    0 words per trial). Draws up to [budget] random points from [sbox]
+    into the scratch buffer [p] (length [m]); on the first point that
+    escapes [packed] it publishes a copy to [found] (first
+    compare-and-set wins) and stops. [found] is also polled every 64
+    trials so the loop stops promptly once another domain has won.
+    Returns the number of trials actually performed: [budget] when no
+    witness was seen and [found] stayed unset, fewer otherwise. *)
+
 val run :
   ?domains:int -> rng:Prng.t -> d:int -> s:Subscription.t ->
   Subscription.t array -> Rspc.run

@@ -1,0 +1,80 @@
+(* A single diagnostic, plus the text and JSON reporters. *)
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  cnum : int;  (** absolute character offset, used for suppression scopes *)
+  message : string;
+}
+
+let make ~rule ~(loc : Ppxlib.Location.t) ~message =
+  let p = loc.loc_start in
+  {
+    rule;
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    cnum = p.pos_cnum;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_text f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+(* Minimal JSON string escaping: control characters, quotes and
+   backslashes; everything else passes through byte-for-byte. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    "{ \"rule\": %s, \"file\": %s, \"line\": %d, \"col\": %d, \"message\": %s \
+     }"
+    (json_string f.rule) (json_string f.file) f.line f.col
+    (json_string f.message)
+
+let report_text findings =
+  String.concat "" (List.map (fun f -> to_text f ^ "\n") findings)
+
+let report_json ~suppressed findings =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (to_json f))
+    findings;
+  if findings <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"count\": %d,\n  \"suppressed\": %d\n}\n"
+       (List.length findings) suppressed);
+  Buffer.contents buf

@@ -1,0 +1,70 @@
+(* Shared AST helpers for the rules: longident matching, identifier
+   heads of applications, and pattern-variable collection. *)
+
+open Ppxlib
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Lapply _ -> []
+
+(* [lid_ends lid ["Hashtbl"; "iter"]] matches [Hashtbl.iter],
+   [Stdlib.Hashtbl.iter], [MoreLabels.Hashtbl.iter], ... — any path
+   whose trailing components equal the suffix. *)
+let lid_ends lid suffix =
+  let parts = flatten_lid lid in
+  let np = List.length parts and ns = List.length suffix in
+  if np < ns then false
+  else
+    let rec drop n l =
+      if n = 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+    in
+    List.equal String.equal (drop (np - ns) parts) suffix
+
+(* The qualified call [M.f] where the last module component is [modname]
+   and the function component satisfies [fn]. *)
+let lid_is_module_fn lid ~modname ~fn =
+  match List.rev (flatten_lid lid) with
+  | f :: m :: _ -> String.equal m modname && fn f
+  | _ -> false
+
+let expr_ident e =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some txt | _ -> None
+
+(* [Some (lid, args)] when [e] is an application whose head is a plain
+   identifier. *)
+let apply_head e =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+      match expr_ident f with Some lid -> Some (lid, args) | None -> None)
+  | _ -> None
+
+let rec pattern_vars p acc =
+  match p.ppat_desc with
+  | Ppat_var v -> v.txt :: acc
+  | Ppat_alias (p, v) -> pattern_vars p (v.txt :: acc)
+  | Ppat_tuple ps -> List.fold_left (fun acc p -> pattern_vars p acc) acc ps
+  | Ppat_construct (_, Some (_, p)) -> pattern_vars p acc
+  | Ppat_variant (_, Some p) -> pattern_vars p acc
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, p) -> pattern_vars p acc) acc fields
+  | Ppat_array ps -> List.fold_left (fun acc p -> pattern_vars p acc) acc ps
+  | Ppat_or (a, b) -> pattern_vars a (pattern_vars b acc)
+  | Ppat_constraint (p, _)
+  | Ppat_lazy p
+  | Ppat_open (_, p)
+  | Ppat_exception p ->
+      pattern_vars p acc
+  | Ppat_any | Ppat_constant _ | Ppat_interval _ | Ppat_construct (_, None)
+  | Ppat_variant (_, None)
+  | Ppat_type _ | Ppat_unpack _ | Ppat_extension _ ->
+      acc
+
+(* Variables bound by the parameter list of a [Pexp_function]. *)
+let param_vars params acc =
+  List.fold_left
+    (fun acc param ->
+      match param.pparam_desc with
+      | Pparam_val (_, _, p) -> pattern_vars p acc
+      | Pparam_newtype _ -> acc)
+    acc params

@@ -1,0 +1,34 @@
+(* Per-file analysis context. The driver classifies files by path; the
+   fixture tests construct contexts directly so each rule can be
+   exercised on snippets that live outside the scanned tree. *)
+
+type t = {
+  file : string;  (** display path, as given to the driver *)
+  core_or_broker : bool;
+      (** under [lib/core] or [lib/broker]: determinism-critical code *)
+  in_lib : bool;  (** under [lib/]: library code, partiality applies *)
+  hot : bool;  (** file carries a floating [\[@@@problint.hot\]] attribute *)
+}
+
+let make ?(core_or_broker = false) ?(in_lib = false) ?(hot = false) ~file () =
+  { file; core_or_broker; in_lib; hot }
+
+(* Path classification for the driver: a file is determinism-critical
+   when it lives under lib/core or lib/broker, and library code when it
+   lives under lib/. Paths are the relative ones handed to the driver
+   (e.g. "lib/core/flat.ml"). *)
+let contains_seg path seg =
+  let path = "/" ^ String.concat "/" (String.split_on_char '\\' path) ^ "/" in
+  let seg = "/" ^ seg ^ "/" in
+  let n = String.length path and m = String.length seg in
+  let rec at i = i + m <= n && (String.sub path i m = seg || at (i + 1)) in
+  at 0
+
+let classify ~file =
+  {
+    file;
+    core_or_broker =
+      contains_seg file "lib/core" || contains_seg file "lib/broker";
+    in_lib = contains_seg file "lib";
+    hot = false (* filled in from the parsed AST by the driver *);
+  }

@@ -1,0 +1,115 @@
+(* The analysis driver: walk source directories, parse every [.ml]
+   with ppxlib's parser, run the registry, and report. Exit status 0
+   means the tree is clean (every finding either fixed or suppressed
+   with a written reason). *)
+
+type result = {
+  findings : Finding.t list;
+  suppressed : int;
+  files_scanned : int;
+}
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Ppxlib.Parse.implementation lexbuf)
+
+let check_file path =
+  match parse_file path with
+  | str ->
+      let ctx = Lint_ctx.classify ~file:path in
+      Registry.check_structure ctx str
+  | exception exn ->
+      ( [
+          {
+            Finding.rule = "parse";
+            file = path;
+            line = 1;
+            col = 0;
+            cnum = 0;
+            message = Printexc.to_string exn;
+          };
+        ],
+        0 )
+
+(* Skip build artifacts and hidden directories; scan only [.ml]
+   implementations (interfaces contain no expressions). *)
+let skip_dir name =
+  String.equal name "_build" || (String.length name > 0 && name.[0] = '.')
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if skip_dir name then acc else walk (Filename.concat path name) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let run ~paths =
+  let files = List.rev (List.fold_left (fun acc p -> walk p acc) [] paths) in
+  let findings, suppressed =
+    List.fold_left
+      (fun (fs, sup) file ->
+        let f, s = check_file file in
+        (f @ fs, sup + s))
+      ([], 0) files
+  in
+  {
+    findings = List.sort Finding.compare findings;
+    suppressed;
+    files_scanned = List.length files;
+  }
+
+let list_rules () =
+  String.concat ""
+    (List.map
+       (fun (r : Rule.t) -> Printf.sprintf "%-12s %s\n" r.name r.doc)
+       Registry.all)
+
+(* CLI entry shared with bin/problint.ml. *)
+let main argv =
+  let json = ref false in
+  let list = ref false in
+  let paths = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | "--list-rules" -> list := true
+        | _ -> paths := arg :: !paths)
+    argv;
+  if !list then begin
+    print_string (list_rules ());
+    0
+  end
+  else begin
+    let paths =
+      match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+    in
+    let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+    match missing with
+    | p :: _ ->
+        Printf.eprintf "problint: no such file or directory: %s\n" p;
+        2
+    | [] ->
+        let r = run ~paths in
+        if !json then print_string (Finding.report_json ~suppressed:r.suppressed r.findings)
+        else begin
+          print_string (Finding.report_text r.findings);
+          Printf.printf
+            "problint: %d finding%s (%d suppressed) in %d file%s\n"
+            (List.length r.findings)
+            (if List.length r.findings = 1 then "" else "s")
+            r.suppressed r.files_scanned
+            (if r.files_scanned = 1 then "" else "s")
+        end;
+        if r.findings = [] then 0 else 1
+  end

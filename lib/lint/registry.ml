@@ -1,0 +1,61 @@
+(* The rule registry. Adding a rule = adding a module exposing
+   [Rule.t] and listing it here; the driver, the fixture tests and the
+   docs all read this list. *)
+
+let all : Rule.t list =
+  [
+    Rule_determinism.rule;
+    Rule_unsafe.rule;
+    Rule_hot_alloc.rule;
+    Rule_domain.rule;
+    Rule_partiality.rule;
+  ]
+
+let known_rule name = List.exists (fun (r : Rule.t) -> String.equal r.name name) all
+
+let find name =
+  List.find_opt (fun (r : Rule.t) -> String.equal r.name name) all
+
+(* Run every rule on a parsed unit, apply suppression scopes, and
+   report suppression hygiene violations (missing reason, unknown rule
+   name, unparseable payload) as findings of the pseudo-rule
+   "suppression". *)
+let check_structure (ctx : Lint_ctx.t) (str : Ppxlib.Parsetree.structure) =
+  let collected = Suppress.collect str in
+  let ctx = { ctx with Lint_ctx.hot = ctx.Lint_ctx.hot || collected.hot } in
+  let raw =
+    List.concat_map (fun (r : Rule.t) -> r.check ctx str) all
+  in
+  let kept, suppressed =
+    List.partition
+      (fun f -> not (Suppress.is_suppressed collected.scopes f))
+      raw
+  in
+  let hygiene =
+    List.filter_map
+      (fun (s : Suppress.scope) ->
+        if not (known_rule s.rule) then
+          Some
+            (Finding.make ~rule:"suppression" ~loc:s.loc
+               ~message:
+                 (Printf.sprintf
+                    "[@problint.allow %s ...] names an unknown rule" s.rule))
+        else if String.length (String.trim s.reason) = 0 then
+          Some
+            (Finding.make ~rule:"suppression" ~loc:s.loc
+               ~message:
+                 (Printf.sprintf
+                    "[@problint.allow %s] must carry a written reason: \
+                     [@problint.allow %s \"why this is sound\"]"
+                    s.rule s.rule))
+        else None)
+      collected.scopes
+    @ List.map
+        (fun loc ->
+          Finding.make ~rule:"suppression" ~loc
+            ~message:
+              "malformed [@problint.allow] payload; expected \
+               [@problint.allow <rule> \"reason\"]")
+        collected.malformed
+  in
+  (List.sort Finding.compare (kept @ hygiene), List.length suppressed)

@@ -1,0 +1,9 @@
+(* A lint rule: a name (the token used in [@problint.allow] payloads),
+   a one-line description for --list-rules and the docs, and a checker
+   over a parsed compilation unit. *)
+
+type t = {
+  name : string;
+  doc : string;
+  check : Lint_ctx.t -> Ppxlib.Parsetree.structure -> Finding.t list;
+}

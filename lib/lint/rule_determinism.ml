@@ -1,0 +1,70 @@
+(* determinism: simulator runs must be bit-identical under a seeded
+   [Prng]. In lib/core and lib/broker this forbids the global [Random]
+   generator, wall-clock reads, and hash-order-dependent traversal of
+   hashtables ([Hashtbl.iter]/[Hashtbl.fold] — iteration order depends
+   on the hash function and table history, not on program logic).
+   Order-insensitive folds (counts, existence checks, collect-then-sort)
+   carry an [\[@problint.allow determinism "..."\]] annotation saying
+   why. *)
+
+open Ppxlib
+
+let name = "determinism"
+
+let doc =
+  "Forbid Random.*, Sys.time, Unix.gettimeofday and \
+   Hashtbl.iter/fold in lib/core and lib/broker; use the seeded Prng \
+   and sorted iteration instead."
+
+let check (ctx : Lint_ctx.t) (str : structure) =
+  if not ctx.core_or_broker then []
+  else begin
+    let out = ref [] in
+    let flag loc message =
+      out := Finding.make ~rule:name ~loc ~message :: !out
+    in
+    let it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_ident { txt = lid; loc } -> (
+              let parts = Lint_ast.flatten_lid lid in
+              (* [Random] as a module component anywhere on the path:
+                 Random.int, Random.State.int, Stdlib.Random.bool, ... *)
+              let uses_random =
+                match List.rev parts with
+                | _fn :: modules -> List.mem "Random" modules
+                | [] -> false
+              in
+              if uses_random then
+                flag loc
+                  "global Random generator; draw from the seeded Prng \
+                   instead (simulator runs must be reproducible)"
+              else if Lint_ast.lid_ends lid [ "Sys"; "time" ] then
+                flag loc
+                  "Sys.time reads the wall clock; simulated time must come \
+                   from the event queue"
+              else if Lint_ast.lid_ends lid [ "Unix"; "gettimeofday" ] then
+                flag loc
+                  "Unix.gettimeofday reads the wall clock; simulated time \
+                   must come from the event queue"
+              else if
+                Lint_ast.lid_ends lid [ "Hashtbl"; "iter" ]
+                || Lint_ast.lid_ends lid [ "Hashtbl"; "fold" ]
+              then
+                flag loc
+                  "hash-order-dependent Hashtbl traversal; iterate in a \
+                   sorted/keyed order, or annotate with [@problint.allow \
+                   determinism \"...\"] if the accumulation is \
+                   order-insensitive")
+          | _ -> ());
+          super#expression e
+      end
+    in
+    it#structure str;
+    !out
+  end
+
+let rule = { Rule.name; doc; check }

@@ -1,0 +1,258 @@
+(* domain-discipline: a heuristic race detector for units that call
+   [Domain.spawn]. Worker closures may share state across domains only
+   through [Atomic] and immutable data; the rule flags syntactic
+   mutation (or racy access) of captured mutable state inside a worker
+   body:
+
+   - [x := e], [!x], [incr x], [decr x] on a ref bound outside the worker
+   - [x.(i) <- e] / [Array.set x ...] / [Bytes.set x ...] / [fill] on a
+     captured array or bytes buffer
+   - [x.f <- e] mutable-field writes on captured values
+   - Hashtbl/Queue/Stack/Buffer operations whose subject is captured
+     (these structures are not domain-safe)
+
+   Worker bodies are found two ways: a [fun]-expression passed directly
+   to [Domain.spawn], and — because workers are usually named, as in
+   [Domain.spawn (worker (i + 1))] — any [let]-bound function whose
+   name occurs free in a spawn argument. [Atomic.*] is always
+   allowed. *)
+
+open Ppxlib
+
+let name = "domain"
+
+let doc =
+  "In units calling Domain.spawn: worker closures must not mutate or \
+   read non-Atomic mutable state captured from the enclosing scope."
+
+module S = Set.Make (String)
+
+(* Shared-structure modules whose every operation on a captured subject
+   is a race. First-argument subject covers the Stdlib signatures. *)
+let shared_modules = [ "Hashtbl"; "Queue"; "Stack"; "Buffer" ]
+let mutator_fns = [ "set"; "unsafe_set"; "fill"; "blit" ]
+
+let check (_ctx : Lint_ctx.t) (str : structure) =
+  let out = ref [] in
+  let flag loc message = out := Finding.make ~rule:name ~loc ~message :: !out in
+  (* Pass 1: expressions passed to Domain.spawn, and the names free in
+     them (so [Domain.spawn (worker i)] pulls in the binding of
+     [worker]). *)
+  let spawn_args = ref [] in
+  let spawn_names = ref S.empty in
+  let collect_names e =
+    let it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Lident n; _ } ->
+              spawn_names := S.add n !spawn_names
+          | _ -> ());
+          super#expression e
+      end
+    in
+    it#expression e
+  in
+  let pass1 =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_apply (f, args)
+          when (match Lint_ast.expr_ident f with
+               | Some lid -> Lint_ast.lid_ends lid [ "Domain"; "spawn" ]
+               | None -> false) ->
+            List.iter
+              (fun (_, a) ->
+                spawn_args := a :: !spawn_args;
+                collect_names a)
+              args
+        | _ -> ());
+        super#expression e
+    end
+  in
+  pass1#structure str;
+  if !spawn_args = [] then []
+  else begin
+    let free bound n = not (S.mem n bound) in
+    let pat_vars bound p = S.union bound (S.of_list (Lint_ast.pattern_vars p [])) in
+    let subject_of args =
+      match args with
+      | (_, a) :: _ -> (
+          match a.pexp_desc with
+          | Pexp_ident { txt = Lident n; _ } -> Some n
+          | _ -> None)
+      | [] -> None
+    in
+    (* Free-variable analysis of a worker body: walk with the set of
+       locally-bound names; flag mutation patterns whose subject is not
+       in the set. *)
+    let rec walk bound e =
+      match e.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt = lid; _ }; pexp_loc = loc; _ }, args)
+        ->
+          let flag_subject kind =
+            match subject_of args with
+            | Some n when free bound n ->
+                flag loc
+                  (Printf.sprintf
+                     "%s on %S captured from outside the worker closure; \
+                      share state through Atomic or give each domain its own \
+                      copy"
+                     kind n)
+            | _ -> ()
+          in
+          (match Lint_ast.flatten_lid lid with
+          | [ (":=" | "!" | "incr" | "decr") ] -> flag_subject "ref operation"
+          | _
+            when List.exists
+                   (fun m ->
+                     Lint_ast.lid_is_module_fn lid ~modname:m ~fn:(fun f ->
+                         List.mem f mutator_fns))
+                   [ "Array"; "Bytes" ] ->
+              flag_subject "in-place write"
+          | _
+            when List.exists
+                   (fun m ->
+                     Lint_ast.lid_is_module_fn lid ~modname:m ~fn:(fun _ ->
+                         true))
+                   shared_modules ->
+              flag_subject "non-domain-safe shared-structure operation"
+          | _ -> ());
+          List.iter (fun (_, a) -> walk bound a) args
+      | Pexp_setfield
+          (({ pexp_desc = Pexp_ident { txt = Lident n; _ }; _ } as r), _, v) ->
+          if free bound n then
+            flag e.pexp_loc
+              (Printf.sprintf
+                 "mutable field write on %S captured from outside the worker \
+                  closure; share state through Atomic or give each domain its \
+                  own copy"
+                 n);
+          walk bound r;
+          walk bound v
+      | Pexp_let (rf, vbs, body) ->
+          let bound' =
+            List.fold_left (fun acc vb -> pat_vars acc vb.pvb_pat) bound vbs
+          in
+          let in_bindings =
+            match rf with Recursive -> bound' | Nonrecursive -> bound
+          in
+          List.iter (fun vb -> walk in_bindings vb.pvb_expr) vbs;
+          walk bound' body
+      | Pexp_function (params, _, fbody) -> (
+          let bound' =
+            S.union bound (S.of_list (Lint_ast.param_vars params []))
+          in
+          List.iter
+            (fun p ->
+              match p.pparam_desc with
+              | Pparam_val (_, Some default, _) -> walk bound default
+              | Pparam_val (_, None, _) | Pparam_newtype _ -> ())
+            params;
+          match fbody with
+          | Pfunction_body b -> walk bound' b
+          | Pfunction_cases (cases, _, _) -> walk_cases bound' cases)
+      | Pexp_match (scrut, cases) ->
+          walk bound scrut;
+          walk_cases bound cases
+      | Pexp_try (body, cases) ->
+          walk bound body;
+          walk_cases bound cases
+      | Pexp_for (pat, lo, hi, _, body) ->
+          walk bound lo;
+          walk bound hi;
+          walk (pat_vars bound pat) body
+      | Pexp_letop { let_; ands; body } ->
+          walk bound let_.pbop_exp;
+          List.iter (fun a -> walk bound a.pbop_exp) ands;
+          let bound' =
+            List.fold_left
+              (fun acc b -> pat_vars acc b.pbop_pat)
+              (pat_vars bound let_.pbop_pat)
+              ands
+          in
+          walk bound' body
+      | Pexp_ident _ | Pexp_constant _ | Pexp_new _ | Pexp_extension _
+      | Pexp_unreachable | Pexp_object _ | Pexp_pack _ ->
+          ()
+      | Pexp_apply (f, args) ->
+          walk bound f;
+          List.iter (fun (_, a) -> walk bound a) args
+      | Pexp_tuple es | Pexp_array es -> List.iter (walk bound) es
+      | Pexp_construct (_, eo) | Pexp_variant (_, eo) ->
+          Option.iter (walk bound) eo
+      | Pexp_record (fields, base) ->
+          List.iter (fun (_, v) -> walk bound v) fields;
+          Option.iter (walk bound) base
+      | Pexp_field (e, _)
+      | Pexp_send (e, _)
+      | Pexp_assert e
+      | Pexp_lazy e
+      | Pexp_constraint (e, _)
+      | Pexp_coerce (e, _, _)
+      | Pexp_newtype (_, e)
+      | Pexp_setinstvar (_, e)
+      | Pexp_open (_, e)
+      | Pexp_poly (e, _)
+      | Pexp_letmodule (_, _, e)
+      | Pexp_letexception (_, e) ->
+          walk bound e
+      | Pexp_setfield (r, _, v) ->
+          walk bound r;
+          walk bound v
+      | Pexp_sequence (a, b) | Pexp_while (a, b) ->
+          walk bound a;
+          walk bound b
+      | Pexp_ifthenelse (c, t, eo) ->
+          walk bound c;
+          walk bound t;
+          Option.iter (walk bound) eo
+      | Pexp_override fields -> List.iter (fun (_, v) -> walk bound v) fields
+    and walk_cases bound cases =
+      List.iter
+        (fun c ->
+          let bound' = pat_vars bound c.pc_lhs in
+          Option.iter (walk bound') c.pc_guard;
+          walk bound' c.pc_rhs)
+        cases
+    in
+    (* Direct fun-arguments to spawn. *)
+    List.iter
+      (fun a ->
+        match a.pexp_desc with
+        | Pexp_function (params, _, Pfunction_body body) ->
+            walk (S.of_list (Lint_ast.param_vars params [])) body
+        | Pexp_function (params, _, Pfunction_cases (cases, _, _)) ->
+            walk_cases (S.of_list (Lint_ast.param_vars params [])) cases
+        | _ -> ())
+      !spawn_args;
+    (* Let-bound functions whose name is referenced from a spawn
+       argument. *)
+    let pass2 =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! value_binding vb =
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt = n; _ } when S.mem n !spawn_names -> (
+              match vb.pvb_expr.pexp_desc with
+              | Pexp_function (params, _, Pfunction_body body) ->
+                  walk (S.add n (S.of_list (Lint_ast.param_vars params []))) body
+              | Pexp_function (params, _, Pfunction_cases (cases, _, _)) ->
+                  walk_cases
+                    (S.add n (S.of_list (Lint_ast.param_vars params [])))
+                    cases
+              | _ -> ())
+          | _ -> ());
+          super#value_binding vb
+      end
+    in
+    pass2#structure str;
+    !out
+  end
+
+let rule = { Rule.name; doc; check }

@@ -1,0 +1,100 @@
+(* hot-path-alloc: inside [\[@@@problint.hot\]] modules (the flat RSPC
+   kernels, the Prng), loop bodies must not allocate — the 2.4x win of
+   the packed trial loop is exactly the absence of minor-heap traffic.
+   The rule flags syntactically-allocating constructs in [for]/[while]
+   bodies: closure creation, tuples, records, array/list literals,
+   constructor applications (including [::] and [Some]), [ref], and
+   the allocating Array/List/String/Bytes functions. Allocation that
+   is genuinely off the trial path (index builds, witness copies on
+   the exit path) carries an allow annotation. *)
+
+open Ppxlib
+
+let name = "hot_alloc"
+
+let doc =
+  "Allocating constructs in for/while loop bodies of [@@@problint.hot] \
+   modules: closures, tuples, records, constructor applications, \
+   array/list literals, ref, Array.copy/append/make/init/sub, List \
+   producers, String/Bytes builders."
+
+let alloc_fns_array =
+  [ "copy"; "append"; "make"; "init"; "sub"; "concat"; "of_list"; "to_list" ]
+
+let alloc_fns_list =
+  [
+    "map"; "mapi"; "map2"; "filter"; "filter_map"; "init"; "append"; "concat";
+    "rev"; "rev_append"; "sort"; "stable_sort"; "fast_sort"; "merge"; "split";
+    "combine"; "of_seq";
+  ]
+
+let alloc_fns_string = [ "make"; "init"; "sub"; "concat"; "cat"; "copy" ]
+let alloc_fns_bytes = [ "make"; "create"; "init"; "sub"; "copy"; "extend" ]
+
+let allocating_apply lid =
+  let in_mod m fns = Lint_ast.lid_is_module_fn lid ~modname:m ~fn:(fun f -> List.mem f fns) in
+  in_mod "Array" alloc_fns_array
+  || in_mod "List" alloc_fns_list
+  || in_mod "String" alloc_fns_string
+  || in_mod "Bytes" alloc_fns_bytes
+(* [ref] is deliberately absent: classic ocamlopt compiles a
+   non-escaping local ref to a mutable variable (the Prng rejection
+   loop and the Flat scan counters rely on this), so a syntactic [ref]
+   in a loop body is usually free. Escaping refs show up through the
+   closures that capture them. *)
+
+let check (ctx : Lint_ctx.t) (str : structure) =
+  if not ctx.hot then []
+  else begin
+    let out = ref [] in
+    let depth = ref 0 in
+    let flag loc message =
+      out := Finding.make ~rule:name ~loc ~message :: !out
+    in
+    let check_alloc e =
+      match e.pexp_desc with
+      | Pexp_function _ -> flag e.pexp_loc "closure created in a hot loop"
+      | Pexp_tuple _ -> flag e.pexp_loc "tuple allocated in a hot loop"
+      | Pexp_record _ -> flag e.pexp_loc "record allocated in a hot loop"
+      | Pexp_array _ -> flag e.pexp_loc "array literal allocated in a hot loop"
+      | Pexp_construct ({ txt = Lident "[]"; _ }, None) -> ()
+      | Pexp_construct ({ txt; _ }, Some _) ->
+          flag e.pexp_loc
+            (Printf.sprintf
+               "constructor %s with payload allocates in a hot loop"
+               (String.concat "." (Lint_ast.flatten_lid txt)))
+      | Pexp_apply (f, _) -> (
+          match Lint_ast.expr_ident f with
+          | Some lid when allocating_apply lid ->
+              flag f.pexp_loc
+                (Printf.sprintf "%s allocates in a hot loop"
+                   (String.concat "." (Lint_ast.flatten_lid lid)))
+          | _ -> ())
+      | _ -> ()
+    in
+    let it =
+      object (self)
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          if !depth > 0 then check_alloc e;
+          match e.pexp_desc with
+          | Pexp_for (_, lo, hi, _, body) ->
+              self#expression lo;
+              self#expression hi;
+              incr depth;
+              self#expression body;
+              decr depth
+          | Pexp_while (cond, body) ->
+              incr depth;
+              self#expression cond;
+              self#expression body;
+              decr depth
+          | _ -> super#expression e
+      end
+    in
+    it#structure str;
+    !out
+  end
+
+let rule = { Rule.name; doc; check }

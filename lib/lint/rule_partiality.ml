@@ -1,0 +1,57 @@
+(* partiality: library code must not fail with anonymous runtime
+   exceptions. [failwith], [assert false], [Option.get] and [List.hd]
+   in lib/ either become typed errors / [invalid_arg] with context, or
+   carry an [\[@problint.allow partiality "..."\]] annotation proving
+   the invariant locally. *)
+
+open Ppxlib
+
+let name = "partiality"
+
+let doc =
+  "failwith, assert false, Option.get and List.hd in lib/ without an \
+   allow annotation."
+
+let check (ctx : Lint_ctx.t) (str : structure) =
+  if not ctx.in_lib then []
+  else begin
+    let out = ref [] in
+    let flag loc message =
+      out := Finding.make ~rule:name ~loc ~message :: !out
+    in
+    let it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_assert
+              {
+                pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None);
+                _;
+              } ->
+              flag e.pexp_loc
+                "assert false carries no context; raise \
+                 invalid_arg/typed error with a message, or prove the \
+                 invariant in an allow annotation"
+          | Pexp_ident { txt = lid; loc } ->
+              if Lint_ast.lid_ends lid [ "failwith" ] then
+                flag loc
+                  "failwith raises an anonymous Failure; use a typed error \
+                   or invalid_arg with context"
+              else if Lint_ast.lid_ends lid [ "Option"; "get" ] then
+                flag loc
+                  "Option.get raises on None with no context; match \
+                   explicitly"
+              else if Lint_ast.lid_ends lid [ "List"; "hd" ] then
+                flag loc
+                  "List.hd raises on [] with no context; match explicitly"
+          | _ -> ());
+          super#expression e
+      end
+    in
+    it#structure str;
+    !out
+  end
+
+let rule = { Rule.name; doc; check }

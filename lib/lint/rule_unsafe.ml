@@ -1,0 +1,58 @@
+(* unsafe: [Obj.magic] is forbidden everywhere. Bounds-check-skipping
+   accessors ([Array.unsafe_*], [Bytes.unsafe_*]) and physical equality
+   ([==]/[!=] — identity, not structure, and famously wrong on boxed
+   values) are confined to modules tagged [\[@@@problint.hot\]], where
+   the proofs live next to the loop. *)
+
+open Ppxlib
+
+let name = "unsafe"
+
+let doc =
+  "Obj.magic anywhere; Array.unsafe_*/Bytes.unsafe_* and physical \
+   equality ==/!= outside [@@@problint.hot] modules."
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let check (ctx : Lint_ctx.t) (str : structure) =
+  let out = ref [] in
+  let flag loc message = out := Finding.make ~rule:name ~loc ~message :: !out in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt = lid; loc } ->
+            if Lint_ast.lid_ends lid [ "Obj"; "magic" ] then
+              flag loc "Obj.magic defeats the type system; no exceptions"
+            else if not ctx.hot then begin
+              let unsafe_in m =
+                Lint_ast.lid_is_module_fn lid ~modname:m
+                  ~fn:(starts_with ~prefix:"unsafe_")
+              in
+              if unsafe_in "Array" || unsafe_in "Bytes" || unsafe_in "String"
+              then
+                flag loc
+                  "bounds-check-skipping accessor outside a \
+                   [@@@problint.hot] module"
+              else
+                match lid with
+                | Lident ("==" | "!=") ->
+                    flag loc
+                      "physical equality on (potentially) structural values \
+                       outside a [@@@problint.hot] module; use =/<> or \
+                       annotate the identity-based use with \
+                       [@problint.allow unsafe \"...\"]"
+                | _ -> ()
+            end
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#structure str;
+  !out
+
+let rule = { Rule.name; doc; check }

@@ -1,0 +1,100 @@
+(* Suppression attributes.
+
+   [\[@@@problint.hot\]] (floating, usually at the top of a file) marks
+   the compilation unit as a hot-path module: the hot-path-allocation
+   rule switches on and the unsafe rule tolerates [Array.unsafe_*] and
+   physical equality.
+
+   [\[@problint.allow <rule> "reason"\]] on an expression and
+   [\[@@problint.allow <rule> "reason"\]] on a structure item / value
+   binding suppress findings of [<rule>] whose location falls inside
+   the annotated node. A floating [\[@@@problint.allow <rule> "reason"\]]
+   suppresses for the rest of the file. Suppressions without a written
+   reason do not suppress anything — the driver reports them. *)
+
+open Ppxlib
+
+type scope = {
+  rule : string;
+  reason : string;
+  start_c : int;
+  end_c : int;
+  loc : Location.t;
+}
+
+type collected = {
+  scopes : scope list;
+  malformed : Location.t list;  (** unparseable [problint.allow] payloads *)
+  hot : bool;
+}
+
+let allow_name = "problint.allow"
+let hot_name = "problint.hot"
+
+let parse_allow_payload (attr : attribute) =
+  match attr.attr_payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+      match e.pexp_desc with
+      | Pexp_ident { txt = Lident rule; _ } -> Some (rule, "")
+      | Pexp_apply
+          ( { pexp_desc = Pexp_ident { txt = Lident rule; _ }; _ },
+            [
+              ( Nolabel,
+                { pexp_desc = Pexp_constant (Pconst_string (reason, _, _)); _ }
+              );
+            ] ) ->
+          Some (rule, reason)
+      | _ -> None)
+  | _ -> None
+
+let collect (str : structure) =
+  let scopes = ref [] in
+  let malformed = ref [] in
+  let hot = ref false in
+  let handle ~(loc : Location.t) ~to_eof (attr : attribute) =
+    if String.equal attr.attr_name.txt hot_name then hot := true
+    else if String.equal attr.attr_name.txt allow_name then
+      match parse_allow_payload attr with
+      | Some (rule, reason) ->
+          scopes :=
+            {
+              rule;
+              reason;
+              start_c = loc.loc_start.pos_cnum;
+              end_c = (if to_eof then max_int else loc.loc_end.pos_cnum);
+              loc = attr.attr_loc;
+            }
+            :: !scopes
+      | None -> malformed := attr.attr_loc :: !malformed
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! structure_item si =
+        (match si.pstr_desc with
+        | Pstr_attribute a -> handle ~loc:si.pstr_loc ~to_eof:true a
+        | _ -> ());
+        super#structure_item si
+
+      method! value_binding vb =
+        List.iter (handle ~loc:vb.pvb_loc ~to_eof:false) vb.pvb_attributes;
+        super#value_binding vb
+
+      method! expression e =
+        List.iter (handle ~loc:e.pexp_loc ~to_eof:false) e.pexp_attributes;
+        super#expression e
+    end
+  in
+  it#structure str;
+  { scopes = !scopes; malformed = !malformed; hot = !hot }
+
+(* A finding is suppressed by a scope for the same rule that encloses
+   its location AND carries a written reason. *)
+let suppresses scope (f : Finding.t) =
+  String.equal scope.rule f.rule
+  && String.length (String.trim scope.reason) > 0
+  && scope.start_c <= f.cnum
+  && f.cnum <= scope.end_c
+
+let is_suppressed scopes f = List.exists (fun s -> suppresses s f) scopes

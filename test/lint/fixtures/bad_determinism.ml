@@ -1,0 +1,9 @@
+(* Lint fixture: every construct the determinism rule forbids. These
+   files are parsed by the fixture tests, never compiled. *)
+
+let roll () = Random.int 6
+let stateful st = Random.State.bool st
+let stamp () = Sys.time ()
+let wall () = Unix.gettimeofday ()
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%d %d\n" k v) tbl

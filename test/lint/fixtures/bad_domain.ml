@@ -1,0 +1,34 @@
+(* Lint fixture: worker closures capturing non-Atomic mutable state,
+   in every shape the domain rule recognises. Expected flags:
+   [counter :=] and [!counter] in the inline closure, the
+   [Hashtbl.replace] in the named worker, the [Array.set] and the
+   mutable-field write — five findings. *)
+
+let counter_race n =
+  let counter = ref 0 in
+  let d =
+    Domain.spawn (fun () ->
+        for _ = 1 to n do
+          counter := !counter + 1
+        done)
+  in
+  Domain.join d
+
+let named_worker_race table seeds =
+  let worker i () =
+    let seed = Array.length seeds + i in
+    Hashtbl.replace table i seed;
+    seed
+  in
+  let doms = List.init 4 (fun i -> Domain.spawn (worker i)) in
+  List.map Domain.join doms
+
+let array_write_race cells =
+  let d = Domain.spawn (fun () -> Array.set cells 0 1) in
+  Domain.join d
+
+type box = { mutable value : int }
+
+let field_race (b : box) =
+  let d = Domain.spawn (fun () -> b.value <- 42) in
+  Domain.join d

@@ -1,0 +1,34 @@
+[@@@problint.hot]
+
+(* Lint fixture: allocating constructs inside for/while bodies of a
+   hot module. Expected flags: the tuple in [tuples], the closure in
+   [closures], the [::] constructor AND its argument tuple in
+   [conses], and [Array.make] in [arrays] — five findings. *)
+
+let tuples n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let pair = (i, i + 1) in
+    acc := !acc + fst pair
+  done;
+  !acc
+
+let closures n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let f = fun x -> x + i in
+    acc := !acc + f i
+  done;
+  !acc
+
+let conses xs =
+  let acc = ref [] in
+  while !acc = [] do
+    acc := 1 :: xs
+  done;
+  !acc
+
+let arrays n =
+  for _ = 0 to n - 1 do
+    ignore (Array.make 4 0)
+  done

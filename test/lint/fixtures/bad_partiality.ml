@@ -1,0 +1,7 @@
+(* Lint fixture: anonymous-failure constructs the partiality rule
+   forbids in library code. *)
+
+let boom () = failwith "nope"
+let first l = List.hd l
+let force o = Option.get o
+let unreachable () = assert false

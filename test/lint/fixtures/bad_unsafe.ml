@@ -1,0 +1,8 @@
+(* Lint fixture: the unsafe rule outside a hot module — Obj.magic,
+   bounds-check-skipping accessors, physical equality. *)
+
+let coerce (x : int) : string = Obj.magic x
+let peek a i = Array.unsafe_get a i
+let poke b i c = Bytes.unsafe_set b i c
+let same a b = a == b
+let diff a b = a != b

@@ -1,0 +1,25 @@
+(* Lint fixture: the disciplined version of bad_domain — all sharing
+   goes through Atomic, per-domain state is created inside the worker.
+   The domain rule must report nothing. *)
+
+let atomic_ok n =
+  let counter = Atomic.make 0 in
+  let d =
+    Domain.spawn (fun () ->
+        for _ = 1 to n do
+          Atomic.incr counter
+        done)
+  in
+  Domain.join d;
+  Atomic.get counter
+
+let private_state_ok n =
+  let worker () =
+    let local = ref 0 in
+    for _ = 1 to n do
+      local := !local + 1
+    done;
+    !local
+  in
+  let d = Domain.spawn worker in
+  Domain.join d

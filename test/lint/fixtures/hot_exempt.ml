@@ -1,0 +1,9 @@
+[@@@problint.hot]
+
+(* Lint fixture: inside a hot module the unsafe rule tolerates
+   unsafe_* accessors and physical equality — but never Obj.magic.
+   Expected: exactly one unsafe finding (the Obj.magic). *)
+
+let peek a i = Array.unsafe_get a i
+let same a b = a == b
+let coerce x = Obj.magic x

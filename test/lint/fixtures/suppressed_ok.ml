@@ -1,0 +1,15 @@
+(* Lint fixture: every finding carries a reasoned allow annotation —
+   expression-level, binding-level and floating. The file must come
+   out clean with suppressed = 3. *)
+
+let keys tbl =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+  [@problint.allow determinism "collected keys are sorted on the next line"])
+  |> List.sort compare
+
+let[@problint.allow partiality "fixture: invariant documented here"] force o =
+  Option.get o
+
+[@@@problint.allow unsafe "fixture: rest-of-file identity comparisons"]
+
+let same a b = a == b

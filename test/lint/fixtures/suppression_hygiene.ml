@@ -1,0 +1,12 @@
+(* Lint fixture: broken suppressions. A reason-less allow, an allow
+   naming an unknown rule, and a malformed payload: none of them
+   suppress, and each is reported under the pseudo-rule
+   "suppression". Expected: 3 suppression findings plus the original
+   partiality / unsafe / determinism findings, suppressed = 0. *)
+
+let force o = (Option.get o [@problint.allow partiality])
+
+let same a b = ((a == b) [@problint.allow nonexistent_rule "not a rule"])
+
+let keys tbl =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] [@problint.allow 42])

@@ -1,0 +1,213 @@
+(* Fixture tests for problint: parse each known-bad snippet under
+   fixtures/ and assert that exactly the expected rules fire, that
+   suppression mechanics behave, and that the reporters are
+   well-formed. Contexts are constructed directly so path-scoped rules
+   (determinism, partiality) can be exercised on files that live
+   outside lib/. *)
+
+open Probsub_lint
+
+let fixture name = Filename.concat "fixtures" name
+
+let check ?(core_or_broker = false) ?(in_lib = false) ?(hot = false) name =
+  let ctx =
+    Lint_ctx.make ~core_or_broker ~in_lib ~hot ~file:(fixture name) ()
+  in
+  Registry.check_structure ctx (Lint_driver.parse_file (fixture name))
+
+let count rule findings =
+  List.length (List.filter (fun f -> String.equal f.Finding.rule rule) findings)
+
+let rules_of findings =
+  List.sort_uniq String.compare (List.map (fun f -> f.Finding.rule) findings)
+
+(* ------------------------------------------------------------------ *)
+(* One test per rule: the known-bad fixture fires, and the rule stays
+   silent outside its scope. *)
+
+let test_determinism () =
+  let findings, suppressed = check ~core_or_broker:true "bad_determinism.ml" in
+  Alcotest.(check int) "six findings" 6 (count "determinism" findings);
+  Alcotest.(check (list string)) "only determinism" [ "determinism" ]
+    (rules_of findings);
+  Alcotest.(check int) "nothing suppressed" 0 suppressed;
+  let outside, _ = check "bad_determinism.ml" in
+  Alcotest.(check int) "scoped to lib/core + lib/broker" 0
+    (count "determinism" outside)
+
+let test_unsafe () =
+  let findings, _ = check "bad_unsafe.ml" in
+  Alcotest.(check int) "five findings" 5 (count "unsafe" findings);
+  let magic =
+    List.filter
+      (fun f -> String.length f.Finding.message >= 9
+                && String.sub f.Finding.message 0 9 = "Obj.magic")
+      findings
+  in
+  Alcotest.(check int) "Obj.magic among them" 1 (List.length magic)
+
+let test_unsafe_hot_exemption () =
+  (* [@@@problint.hot] in the fixture switches the exemption on via
+     Suppress.collect, whatever the constructed context says. *)
+  let findings, _ = check "hot_exempt.ml" in
+  Alcotest.(check int) "only Obj.magic survives in a hot module" 1
+    (count "unsafe" findings)
+
+let test_hot_alloc () =
+  (* Hot flag comes from the fixture's own floating attribute. *)
+  let findings, _ = check "bad_hot_alloc.ml" in
+  Alcotest.(check int) "five findings" 5 (count "hot_alloc" findings);
+  (* A non-hot module with loops never triggers the rule. *)
+  let cold, _ = check "bad_unsafe.ml" in
+  Alcotest.(check int) "silent outside hot modules" 0 (count "hot_alloc" cold)
+
+let test_domain () =
+  let findings, _ = check "bad_domain.ml" in
+  Alcotest.(check int) "five findings" 5 (count "domain" findings);
+  Alcotest.(check (list string)) "only domain" [ "domain" ] (rules_of findings)
+
+let test_domain_clean () =
+  let findings, _ = check "domain_clean.ml" in
+  Alcotest.(check int) "Atomic + worker-local state pass" 0
+    (List.length findings)
+
+let test_partiality () =
+  let findings, _ = check ~in_lib:true "bad_partiality.ml" in
+  Alcotest.(check int) "four findings" 4 (count "partiality" findings);
+  let outside, _ = check "bad_partiality.ml" in
+  Alcotest.(check int) "scoped to lib/" 0 (count "partiality" outside)
+
+(* ------------------------------------------------------------------ *)
+(* Suppression mechanics *)
+
+let test_suppression_valid () =
+  let findings, suppressed =
+    check ~core_or_broker:true ~in_lib:true "suppressed_ok.ml"
+  in
+  Alcotest.(check int) "clean" 0 (List.length findings);
+  Alcotest.(check int) "three suppressed" 3 suppressed
+
+let test_suppression_hygiene () =
+  let findings, suppressed =
+    check ~core_or_broker:true ~in_lib:true "suppression_hygiene.ml"
+  in
+  Alcotest.(check int) "broken allows suppress nothing" 0 suppressed;
+  Alcotest.(check int) "reason-less / unknown-rule / malformed reported" 3
+    (count "suppression" findings);
+  Alcotest.(check int) "partiality kept" 1 (count "partiality" findings);
+  Alcotest.(check int) "unsafe kept" 1 (count "unsafe" findings);
+  Alcotest.(check int) "determinism kept" 1 (count "determinism" findings)
+
+(* ------------------------------------------------------------------ *)
+(* Context classification, registry, reporters, driver walk *)
+
+let test_classify () =
+  let c = Lint_ctx.classify ~file:"lib/core/flat.ml" in
+  Alcotest.(check bool) "core" true c.Lint_ctx.core_or_broker;
+  Alcotest.(check bool) "lib" true c.Lint_ctx.in_lib;
+  let b = Lint_ctx.classify ~file:"lib/broker/network.ml" in
+  Alcotest.(check bool) "broker" true b.Lint_ctx.core_or_broker;
+  let w = Lint_ctx.classify ~file:"lib/workload/dist.ml" in
+  Alcotest.(check bool) "workload not core" false w.Lint_ctx.core_or_broker;
+  Alcotest.(check bool) "workload in lib" true w.Lint_ctx.in_lib;
+  let e = Lint_ctx.classify ~file:"bench/main.ml" in
+  Alcotest.(check bool) "bench not lib" false e.Lint_ctx.in_lib;
+  let bs = Lint_ctx.classify ~file:"lib\\core\\flat.ml" in
+  Alcotest.(check bool) "backslash paths classify too" true
+    bs.Lint_ctx.core_or_broker
+
+let test_registry () =
+  Alcotest.(check int) "five rules" 5 (List.length Registry.all);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s registered" r) true (Registry.known_rule r))
+    [ "determinism"; "unsafe"; "hot_alloc"; "domain"; "partiality" ];
+  Alcotest.(check bool) "unknown rejected" false
+    (Registry.known_rule "nonexistent_rule")
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+let test_reporters () =
+  let loc = Ppxlib.Location.none in
+  let f = Finding.make ~rule:"unsafe" ~loc ~message:"quote \" slash \\ nl \n" in
+  let j = Finding.to_json f in
+  Alcotest.(check bool) "escapes quotes" true (contains ~needle:"\\\"" j);
+  Alcotest.(check bool) "escapes backslash" true (contains ~needle:"\\\\" j);
+  Alcotest.(check bool) "escapes newline" true (contains ~needle:"\\n" j);
+  let report = Finding.report_json ~suppressed:7 [ f; f ] in
+  Alcotest.(check bool) "count field" true
+    (contains ~needle:"\"count\": 2" report);
+  Alcotest.(check bool) "suppressed field" true
+    (contains ~needle:"\"suppressed\": 7" report);
+  let empty = Finding.report_json ~suppressed:0 [] in
+  Alcotest.(check bool) "empty findings array" true
+    (contains ~needle:"\"findings\": []" empty);
+  let text =
+    Finding.to_text
+      { Finding.rule = "r"; file = "f.ml"; line = 3; col = 4; cnum = 0;
+        message = "m" }
+  in
+  Alcotest.(check string) "text shape" "f.ml:3:4: [r] m" text
+
+let test_driver_walk () =
+  (* End-to-end over the whole fixture tree with path-derived contexts
+     ("fixtures/..." is neither lib/ nor lib/core, so only the
+     path-independent rules fire). Pins the full surface: walk order,
+     per-file hot detection, suppression, hygiene. *)
+  let r = Lint_driver.run ~paths:[ "fixtures" ] in
+  Alcotest.(check int) "nine fixtures scanned" 9 r.Lint_driver.files_scanned;
+  Alcotest.(check int) "no parse failures" 0
+    (count "parse" r.Lint_driver.findings);
+  Alcotest.(check int) "unsafe across tree" 7
+    (count "unsafe" r.Lint_driver.findings);
+  Alcotest.(check int) "hot_alloc across tree" 5
+    (count "hot_alloc" r.Lint_driver.findings);
+  Alcotest.(check int) "domain across tree" 5
+    (count "domain" r.Lint_driver.findings);
+  Alcotest.(check int) "hygiene across tree" 3
+    (count "suppression" r.Lint_driver.findings);
+  Alcotest.(check int) "floating allow suppresses across tree" 1
+    r.Lint_driver.suppressed
+
+let test_list_rules () =
+  let s = Lint_driver.list_rules () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r ^ " listed") true (contains ~needle:r s))
+    [ "determinism"; "unsafe"; "hot_alloc"; "domain"; "partiality" ]
+
+let () =
+  Alcotest.run "problint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "determinism fires" `Quick test_determinism;
+          Alcotest.test_case "unsafe fires" `Quick test_unsafe;
+          Alcotest.test_case "unsafe hot exemption" `Quick
+            test_unsafe_hot_exemption;
+          Alcotest.test_case "hot_alloc fires" `Quick test_hot_alloc;
+          Alcotest.test_case "domain fires" `Quick test_domain;
+          Alcotest.test_case "domain clean worker passes" `Quick
+            test_domain_clean;
+          Alcotest.test_case "partiality fires" `Quick test_partiality;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "reasoned allows suppress" `Quick
+            test_suppression_valid;
+          Alcotest.test_case "broken allows reported" `Quick
+            test_suppression_hygiene;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "path classification" `Quick test_classify;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "reporters" `Quick test_reporters;
+          Alcotest.test_case "driver walk" `Quick test_driver_walk;
+          Alcotest.test_case "list rules" `Quick test_list_rules;
+        ] );
+    ]

@@ -63,6 +63,156 @@ let test_budget_split_covers_d () =
         9_973 run.Rspc.iterations)
     [ 2; 3; 4; 7 ]
 
+(* ------------------------------------------------------------------ *)
+(* Determinism regression (PR 3): same seed + same domain count must
+   give the same verdict, run after run; iteration counts are exact
+   when no witness exists and bounded by d when one does; the budget
+   split is pinned at the chunk boundaries. All parallel-path cases
+   use d >= min_parallel_budget, below which run falls back to the
+   sequential engine. *)
+
+let outcome_kind = function
+  | Rspc.Probably_covered -> "covered"
+  | Rspc.Not_covered _ -> "witness"
+
+let test_verdict_deterministic () =
+  (* 1% escape volume: the verdict genuinely depends on the drawn
+     points, so this would flake across reruns if the per-domain
+     streams or budgets were schedule-dependent. *)
+  let s = sub [ (0, 999) ] in
+  let subs = [| sub [ (0, 989) ] |] in
+  for seed = 1 to 6 do
+    let verdict_of () =
+      (Rspc_parallel.run ~domains:3 ~rng:(Prng.of_int seed) ~d:2500 ~s subs)
+        .Rspc.outcome |> outcome_kind
+    in
+    let first = verdict_of () in
+    for _rerun = 1 to 2 do
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d verdict stable" seed)
+        first (verdict_of ())
+    done
+  done
+
+let test_small_budget_matches_sequential () =
+  (* Below min_parallel_budget the fall-back must be bit-identical to
+     Rspc.run, domains notwithstanding. *)
+  Alcotest.(check bool) "threshold is meaningful" true
+    (Rspc_parallel.min_parallel_budget > 0);
+  let s = sub [ (0, 999) ] in
+  let subs = [| sub [ (0, 899) ] |] in
+  let d = Rspc_parallel.min_parallel_budget - 1 in
+  let a = Rspc_parallel.run ~domains:4 ~rng:(Prng.of_int 11) ~d ~s subs in
+  let b = Rspc.run ~rng:(Prng.of_int 11) ~d ~s subs in
+  Alcotest.(check int) "same iterations" b.Rspc.iterations a.Rspc.iterations;
+  Alcotest.(check bool) "same outcome" true (a.Rspc.outcome = b.Rspc.outcome)
+
+let test_iterations_exact_when_covered () =
+  (* No witness exists => no early stop => every domain spends its full
+     budget and the total is exactly d, at every chunk shape. *)
+  let s = sub [ (10, 20) ] in
+  let subs = [| sub [ (0, 99) ] |] in
+  List.iter
+    (fun (d, domains) ->
+      let run = Rspc_parallel.run ~domains ~rng:(Prng.of_int 5) ~d ~s subs in
+      Alcotest.(check string)
+        (Printf.sprintf "covered at d=%d domains=%d" d domains)
+        "covered"
+        (outcome_kind run.Rspc.outcome);
+      Alcotest.(check int)
+        (Printf.sprintf "iterations = d at d=%d domains=%d" d domains)
+        d run.Rspc.iterations)
+    [ (2048, 2); (2048, 3); (2051, 4); (2053, 8) ]
+
+let test_iterations_bounded_with_witness () =
+  (* Witness found => early stop; the total can be anything in
+     [1, d] depending on scheduling, but never more than d. *)
+  let s = sub [ (0, 999) ] in
+  let subs = [| sub [ (0, 899) ] |] in
+  for seed = 1 to 5 do
+    let run =
+      Rspc_parallel.run ~domains:4 ~rng:(Prng.of_int seed) ~d:8192 ~s subs
+    in
+    Alcotest.(check string) "witness found" "witness"
+      (outcome_kind run.Rspc.outcome);
+    Alcotest.(check bool) "iterations within budget" true
+      (run.Rspc.iterations >= 1 && run.Rspc.iterations <= 8192)
+  done
+
+let test_budget_arithmetic () =
+  let budgets ~d ~domains =
+    List.init domains (fun index -> Rspc_parallel.budget_for ~d ~domains ~index)
+  in
+  (* Pinned chunk-boundary cases. *)
+  Alcotest.(check (list int)) "2048 over 3" [ 683; 683; 682 ]
+    (budgets ~d:2048 ~domains:3);
+  Alcotest.(check (list int)) "2051 over 4" [ 513; 513; 513; 512 ]
+    (budgets ~d:2051 ~domains:4);
+  Alcotest.(check (list int)) "4096 over 4 (even split)"
+    [ 1024; 1024; 1024; 1024 ]
+    (budgets ~d:4096 ~domains:4);
+  (* Far more domains than trials per chunk: tail domains get zero. *)
+  let tail = budgets ~d:2100 ~domains:1024 in
+  Alcotest.(check int) "zero-budget tail exists" 0
+    (List.nth tail 1023);
+  (* Structural invariants across assorted shapes. *)
+  List.iter
+    (fun (d, domains) ->
+      let bs = budgets ~d ~domains in
+      let chunk = Rspc_parallel.chunk_size ~d ~domains in
+      Alcotest.(check int)
+        (Printf.sprintf "sum = d for d=%d domains=%d" d domains)
+        d
+        (List.fold_left ( + ) 0 bs);
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "0 <= budget <= chunk" true
+            (0 <= b && b <= chunk))
+        bs;
+      ignore
+        (List.fold_left
+           (fun prev b ->
+             Alcotest.(check bool) "non-increasing" true (b <= prev);
+             b)
+           max_int bs))
+    [ (2048, 2); (2048, 3); (2051, 4); (9973, 7); (2100, 1024); (4096, 1) ]
+
+let test_trials_into () =
+  let s = sub [ (0, 9); (0, 9) ] in
+  let m = 2 in
+  let sbox = Flat.box_of_sub s in
+  let p = Array.make m 0 in
+  (* Zero budget performs zero trials. *)
+  let covered = Flat.pack ~m [| s |] in
+  let found = Atomic.make None in
+  Alcotest.(check int) "zero budget" 0
+    (Rspc_parallel.trials_into ~rng:(Prng.of_int 1) ~sbox ~packed:covered
+       ~found ~budget:0 p);
+  (* A pre-set stop flag halts at the first poll, before any trial. *)
+  let stopped = Atomic.make (Some [| 0; 0 |]) in
+  Alcotest.(check int) "pre-set flag stops immediately" 0
+    (Rspc_parallel.trials_into ~rng:(Prng.of_int 1) ~sbox ~packed:covered
+       ~found:stopped ~budget:512 p);
+  (* Covered: the full budget runs and the flag stays unset. *)
+  let found = Atomic.make None in
+  Alcotest.(check int) "covered spends full budget" 512
+    (Rspc_parallel.trials_into ~rng:(Prng.of_int 1) ~sbox ~packed:covered
+       ~found ~budget:512 p);
+  Alcotest.(check bool) "no witness on covered input" true
+    (Atomic.get found = None);
+  (* Empty candidate set: every point escapes, so exactly one trial
+     runs and publishes a witness inside s. *)
+  let empty = Flat.pack ~m [||] in
+  let found = Atomic.make None in
+  Alcotest.(check int) "first trial wins on empty set" 1
+    (Rspc_parallel.trials_into ~rng:(Prng.of_int 1) ~sbox ~packed:empty
+       ~found ~budget:512 p);
+  (match Atomic.get found with
+  | Some w ->
+      Alcotest.(check bool) "witness inside s" true
+        (Subscription.covers_point s w)
+  | None -> Alcotest.fail "expected a witness")
+
 let test_validation () =
   let s = sub [ (0, 9) ] in
   Alcotest.check_raises "domains validated"
@@ -78,4 +228,13 @@ let suite =
     Alcotest.test_case "witnesses are sound" `Slow test_witness_is_sound;
     Alcotest.test_case "budget split exact" `Quick test_budget_split_covers_d;
     Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "verdict deterministic" `Slow test_verdict_deterministic;
+    Alcotest.test_case "small budget = sequential" `Quick
+      test_small_budget_matches_sequential;
+    Alcotest.test_case "iterations exact when covered" `Slow
+      test_iterations_exact_when_covered;
+    Alcotest.test_case "iterations bounded with witness" `Slow
+      test_iterations_bounded_with_witness;
+    Alcotest.test_case "budget arithmetic" `Quick test_budget_arithmetic;
+    Alcotest.test_case "trials_into inner loop" `Quick test_trials_into;
   ]
