@@ -220,6 +220,218 @@ let run_kernels () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Engine pipeline bench: end-to-end classification throughput through
+   the subscription store under the group policy — sequential vs a
+   shared domain pool vs batched insertion — plus an RSPC-level
+   comparison of pool reuse against per-call domain spawning. Emits
+   BENCH_engine.json. Every parallel mode must reproduce the
+   sequential results bit-for-bit (the stores share a seed); a
+   mismatch is a hard failure, a low speedup is not (this may run on a
+   single-core machine — the JSON records the core count). *)
+
+type engine_params = {
+  fast : bool;
+  ek : int; (* staircase active-set size *)
+  em : int; (* arity *)
+  cap : int; (* RSPC max_iterations *)
+  arrivals : int;
+  workers : int; (* pool workers; domains = workers + 1 *)
+  micro_k : int; (* rows in the RSPC reuse micro *)
+  micro_d : int; (* trial budget of the RSPC reuse micro *)
+  micro_reps : int;
+}
+
+let engine_params ~fast =
+  if fast then
+    { fast; ek = 100; em = 8; cap = 800; arrivals = 40; workers = 3;
+      micro_k = 64; micro_d = 4096; micro_reps = 3 }
+  else
+    { fast; ek = 1000; em = 8; cap = 4000; arrivals = 200; workers = 3;
+      micro_k = 128; micro_d = 16384; micro_reps = 5 }
+
+(* Staircase workload. Base rows overlap in a chain on attribute 0
+   (row i spans [i·g, i·g + 2g], full range elsewhere), so each is
+   active on arrival — not covered by the union of its predecessors —
+   while a later arrival spanning many steps is covered by the group
+   but by no single row: exactly the regime where the engine must
+   spend its RSPC budget. Every fourth arrival instead lands beyond
+   the staircase (no intersecting candidate: an instant active
+   verdict), so batched insertion keeps hitting the
+   snapshot-invalidation path it must handle. *)
+let staircase_base p =
+  let g = 9000 / p.ek in
+  Array.init p.ek (fun i ->
+      Subscription.of_bounds
+        (List.init p.em (fun j ->
+             if j = 0 then (i * g, (i * g) + (2 * g)) else (0, 9999))))
+
+let engine_arrivals p =
+  let g = 9000 / p.ek in
+  let span = 5000 in
+  Array.init p.arrivals (fun j ->
+      Subscription.of_bounds
+        (List.init p.em (fun a ->
+             if a <> 0 then (0, 9999)
+             else if j mod 4 = 3 then (9900, 9999)
+             else begin
+               let lo = g + (j * 37 mod (3800 - g)) in
+               (lo, lo + span)
+             end)))
+
+let time_s f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let placements_equal a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i (id, p) -> if b.(i) <> (id, p) then ok := false) a;
+       !ok
+     end
+
+let run_engine ~fast () =
+  let p = engine_params ~fast in
+  print_endline "=================================================";
+  print_endline " Engine pipeline bench (sequential vs pool vs batch)";
+  print_endline "=================================================";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "k=%d m=%d cap=%d arrivals=%d domains=%d (machine cores: %d)\n"
+    p.ek p.em p.cap p.arrivals (p.workers + 1) cores;
+  let cfg = Engine.config ~delta:1e-6 ~max_iterations:p.cap () in
+  let policy = Subscription_store.Group_policy cfg in
+  let base = staircase_base p in
+  let arrivals = engine_arrivals p in
+  let store_seed = 7 in
+  Domain_pool.with_pool ~workers:p.workers (fun pool ->
+      let seq_store =
+        Subscription_store.create ~policy ~arity:p.em ~seed:store_seed ()
+      in
+      let pooled_store =
+        Subscription_store.create ~policy ~pool ~arity:p.em ~seed:store_seed ()
+      in
+      let batch_store =
+        Subscription_store.create ~policy ~pool ~arity:p.em ~seed:store_seed ()
+      in
+      (* Untimed: install the staircase active set in every store. *)
+      Array.iter
+        (fun s ->
+          ignore (Subscription_store.add seq_store s);
+          ignore (Subscription_store.add pooled_store s);
+          ignore (Subscription_store.add batch_store s))
+        base;
+      (* Timed: classify the arrival stream three ways. *)
+      let add_loop store () =
+        Array.map (fun s -> Subscription_store.add store s) arrivals
+      in
+      let seq_res, seq_t = time_s (add_loop seq_store) in
+      let pooled_res, pooled_t = time_s (add_loop pooled_store) in
+      let batch_res, batch_t =
+        time_s (fun () -> Subscription_store.add_batch batch_store arrivals)
+      in
+      let verdicts_match =
+        placements_equal seq_res pooled_res
+        && placements_equal seq_res batch_res
+        && Subscription_store.active_count seq_store
+           = Subscription_store.active_count pooled_store
+        && Subscription_store.active_count seq_store
+           = Subscription_store.active_count batch_store
+      in
+      let thru t = float_of_int p.arrivals /. t in
+      Printf.printf "%-12s %8.3f s  %10.1f subs/s\n" "sequential" seq_t
+        (thru seq_t);
+      Printf.printf "%-12s %8.3f s  %10.1f subs/s  (x%.2f)\n" "pooled"
+        pooled_t (thru pooled_t) (seq_t /. pooled_t);
+      Printf.printf "%-12s %8.3f s  %10.1f subs/s  (x%.2f)\n" "batched"
+        batch_t (thru batch_t) (seq_t /. batch_t);
+      Printf.printf "parallel results identical to sequential: %b\n"
+        verdicts_match;
+      (* RSPC reuse micro: the same parallel runner, fed per call by a
+         throwaway pool (per-call spawn) versus the shared pool. A
+         final all-containing row keeps every run at its full budget
+         so the three modes do identical work; fresh generators per
+         rep make their outcomes comparable bit-for-bit. *)
+      let micro_subs =
+        Array.init (p.micro_k + 1) (fun i ->
+            Subscription.of_bounds
+              (List.init p.em (fun j ->
+                   if i = p.micro_k || j <> p.em - 1 then (0, 9999)
+                   else (20_000 + i, 30_000 + i))))
+      in
+      let micro_s =
+        Subscription.of_bounds (List.init p.em (fun _ -> (0, 9999)))
+      in
+      let micro_packed = Flat.pack ~m:p.em micro_subs in
+      let micro_sbox = Flat.box_of_sub micro_s in
+      let micro_run ~mode rep =
+        let rng = Prng.of_int (store_seed + (1000 * rep)) in
+        match mode with
+        | `Seq -> Rspc.run_packed ~rng ~d:p.micro_d ~sbox:micro_sbox micro_packed
+        | `Spawn ->
+            Rspc_parallel.run_packed ~domains:(p.workers + 1) ~rng
+              ~d:p.micro_d ~sbox:micro_sbox micro_packed
+        | `Pool ->
+            Rspc_parallel.run_packed ~pool ~rng ~d:p.micro_d ~sbox:micro_sbox
+              micro_packed
+      in
+      let time_mode mode =
+        let runs = ref [] in
+        let _, t =
+          time_s (fun () ->
+              for rep = 1 to p.micro_reps do
+                runs := micro_run ~mode rep :: !runs
+              done)
+        in
+        (List.rev !runs, t *. 1e9 /. float_of_int p.micro_reps)
+      in
+      let seq_runs, seq_ns = time_mode `Seq in
+      let spawn_runs, spawn_ns = time_mode `Spawn in
+      let pool_runs, pool_ns = time_mode `Pool in
+      let micro_match = seq_runs = spawn_runs && seq_runs = pool_runs in
+      let reuse_speedup = spawn_ns /. pool_ns in
+      Printf.printf
+        "rspc micro (k=%d, d=%d): seq %.2e ns, per-call spawn %.2e ns, \
+         shared pool %.2e ns  (reuse x%.2f, identical: %b)\n"
+        p.micro_k p.micro_d seq_ns spawn_ns pool_ns reuse_speedup micro_match;
+      let oc = open_out "BENCH_engine.json" in
+      Printf.fprintf oc "{\n  \"bench\": \"engine_pipeline\",\n";
+      Printf.fprintf oc "  \"fast\": %b,\n  \"cores\": %d,\n" p.fast cores;
+      Printf.fprintf oc
+        "  \"k\": %d,\n  \"m\": %d,\n  \"max_iterations\": %d,\n" p.ek p.em
+        p.cap;
+      Printf.fprintf oc "  \"arrivals\": %d,\n  \"domains\": %d,\n"
+        p.arrivals (p.workers + 1);
+      Printf.fprintf oc "  \"modes\": [\n";
+      List.iteri
+        (fun i (name, t) ->
+          Printf.fprintf oc
+            "    { \"mode\": %S, \"seconds\": %.4f, \"subs_per_sec\": %.1f \
+             }%s\n"
+            name t (thru t)
+            (if i = 2 then "" else ","))
+        [ ("sequential", seq_t); ("pooled", pooled_t); ("batched", batch_t) ];
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc
+        "  \"speedup_pooled\": %.3f,\n  \"speedup_batched\": %.3f,\n"
+        (seq_t /. pooled_t) (seq_t /. batch_t);
+      Printf.fprintf oc
+        "  \"rspc_micro\": { \"k\": %d, \"d\": %d, \"seq_ns\": %.0f, \
+         \"spawn_ns\": %.0f, \"pool_ns\": %.0f, \"pool_reuse_speedup\": \
+         %.3f },\n"
+        p.micro_k p.micro_d seq_ns spawn_ns pool_ns reuse_speedup;
+      Printf.fprintf oc "  \"verdicts_match\": %b\n}\n"
+        (verdicts_match && micro_match);
+      close_out oc;
+      print_endline "wrote BENCH_engine.json";
+      if not (verdicts_match && micro_match) then begin
+        Printf.eprintf
+          "FAIL: parallel classification diverged from the sequential \
+           reference\n";
+        exit 1
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one test per table/figure ingredient. *)
 
 let micro_tests () =
@@ -340,9 +552,12 @@ let run_micro () =
     tests
 
 let () =
-  (* `main.exe kernels` runs only the fast flat-kernel bench; a numeric
+  (* `main.exe kernels` runs only the fast flat-kernel bench;
+     `main.exe engine [fast]` runs only the pipeline bench; a numeric
      argument sets the figure-regeneration run count. *)
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "kernels" then run_kernels ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "engine" then
+    run_engine ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
   else begin
     let runs =
       if Array.length Sys.argv > 1 then

@@ -1,0 +1,130 @@
+(* A fixed set of worker domains fed through a mutex+condition task
+   queue. All cross-domain state lives behind [lock] (the queue and the
+   stop flag) or behind each future's own lock (its result cell); the
+   mutex acquire/release pairs give the OCaml memory model the
+   happens-before edges that make plain mutable reads on either side
+   well-defined. Workers touch shared state exclusively through their
+   [pool] parameter, so the domain-discipline lint sees no captured
+   mutable free variables in the worker body. *)
+
+type task = unit -> unit
+
+type t = {
+  lock : Mutex.t;
+  work_available : Condition.t;
+  tasks : task Queue.t; (* guarded by [lock] *)
+  mutable stopping : bool; (* guarded by [lock] *)
+  mutable workers : unit Domain.t array; (* owner domain only *)
+  mutable shut : bool; (* owner domain only *)
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  future_lock : Mutex.t;
+  completed : Condition.t;
+  mutable state : 'a state; (* guarded by [future_lock] *)
+}
+
+let default_workers () = min 7 (max 0 (Domain.recommended_domain_count () - 1))
+
+(* Pop the next task, blocking while the queue is empty and the pool is
+   still live. [None] means the pool is draining and the queue is dry:
+   time to exit. Queued tasks are always finished before stopping, so
+   [shutdown] never abandons a submitted future. *)
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  let rec next () =
+    if not (Queue.is_empty pool.tasks) then Some (Queue.pop pool.tasks)
+    else if pool.stopping then None
+    else begin
+      Condition.wait pool.work_available pool.lock;
+      next ()
+    end
+  in
+  let job = next () in
+  Mutex.unlock pool.lock;
+  match job with
+  | None -> ()
+  | Some task ->
+      task ();
+      worker_loop pool
+
+let create ?workers () =
+  let workers =
+    match workers with Some w -> w | None -> default_workers ()
+  in
+  if workers < 0 then invalid_arg "Domain_pool.create: workers < 0";
+  let pool =
+    {
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      tasks = Queue.create ();
+      stopping = false;
+      workers = [||];
+      shut = false;
+    }
+  in
+  pool.workers <-
+    Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = Array.length pool.workers
+
+let submit pool f =
+  if pool.shut then invalid_arg "Domain_pool.submit: pool is shut down";
+  let future =
+    {
+      future_lock = Mutex.create ();
+      completed = Condition.create ();
+      state = Pending;
+    }
+  in
+  let task () =
+    (* Capture the exception here, on the worker: [await] re-raises it
+       on the submitting domain instead of killing the worker. *)
+    let outcome = match f () with v -> Done v | exception e -> Failed e in
+    Mutex.lock future.future_lock;
+    future.state <- outcome;
+    Condition.broadcast future.completed;
+    Mutex.unlock future.future_lock
+  in
+  if Array.length pool.workers = 0 then task ()
+  else begin
+    Mutex.lock pool.lock;
+    Queue.push task pool.tasks;
+    Condition.signal pool.work_available;
+    Mutex.unlock pool.lock
+  end;
+  future
+
+let await future =
+  Mutex.lock future.future_lock;
+  let rec wait () =
+    match future.state with
+    | Pending ->
+        Condition.wait future.completed future.future_lock;
+        wait ()
+    | Done v ->
+        Mutex.unlock future.future_lock;
+        v
+    | Failed e ->
+        Mutex.unlock future.future_lock;
+        raise e
+  in
+  wait ()
+
+let shutdown pool =
+  if not pool.shut then begin
+    pool.shut <- true;
+    Mutex.lock pool.lock;
+    pool.stopping <- true;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?workers f =
+  let pool = create ?workers () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,66 @@
+(** A persistent pool of worker domains with future-style task
+    submission.
+
+    [Domain.spawn] costs a fresh OS thread, a minor heap and a stack on
+    every call — far more than the few hundred membership tests of a
+    small RSPC budget. A {!t} pays that cost {e once}: a fixed set of
+    worker domains is created up front and fed through a
+    mutex-and-condition task queue, so the per-task overhead is one
+    queue push and one condition signal. The parallel RSPC runner
+    ({!Rspc_parallel.run_packed}), the batched engine pipeline
+    ({!Engine.check_batch}) and the store's {!Subscription_store.add_batch}
+    all share one pool across an arbitrary number of calls.
+
+    Ownership contract: a pool is driven from the single domain that
+    created it — {!submit}, {!await} and {!shutdown} are not themselves
+    re-entrant from worker tasks. In particular a task must never
+    {!submit} to (or {!await} a future of) its own pool: with every
+    worker blocked on a child future that is still queued behind it,
+    the pool deadlocks. The engine therefore parallelises exactly one
+    layer at a time (across RSPC trial slices, or across batch items —
+    never both). *)
+
+type t
+(** A pool of worker domains. *)
+
+type 'a future
+(** The pending result of a submitted task. *)
+
+val default_workers : unit -> int
+(** [max 0 (cpu count - 1)], capped at 7 workers — together with the
+    submitting domain that saturates eight-way hardware without
+    oversubscribing smaller machines. *)
+
+val create : ?workers:int -> unit -> t
+(** [create ~workers ()] spawns [workers] domains that block on the
+    task queue until {!shutdown}. [workers = 0] is a valid degenerate
+    pool: {!submit} then runs the task inline on the calling domain.
+    Default: {!default_workers}.
+    @raise Invalid_argument if [workers < 0]. *)
+
+val size : t -> int
+(** Number of worker domains (0 after {!shutdown}). Callers that
+    partition work usually split it [size t + 1] ways and keep one
+    share for the submitting domain. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** [submit t f] enqueues [f] for execution on some worker and returns
+    immediately. Tasks are started in submission order. An exception
+    raised by [f] is captured and re-raised by {!await}.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the task has run; return its result or re-raise its
+    exception. [await] may be called more than once (subsequent calls
+    return the memoised result) but only from the pool's owning
+    domain. *)
+
+val shutdown : t -> unit
+(** Finish every task already queued, then stop and join all workers.
+    Idempotent. After shutdown the pool is permanently unusable;
+    {!submit} raises. *)
+
+val with_pool : ?workers:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and guarantees
+    {!shutdown} on every exit path — the per-call-spawn convenience
+    wrapper, and the unit the bench compares against pool reuse. *)

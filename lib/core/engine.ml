@@ -81,7 +81,7 @@ let remap_mcs keep result =
     removed = List.map (fun i -> keep.(i)) result.Mcs.removed;
   }
 
-let check ?(config = default_config) ?packed ~rng s subs =
+let check ?(config = default_config) ?pool ?packed ~rng s subs =
   let k_initial = Array.length subs in
   if k_initial = 0 then
     base_report ~verdict:(Not_covered Empty_set) ~k_initial ~k_pruned:0
@@ -117,22 +117,27 @@ let check ?(config = default_config) ?packed ~rng s subs =
            table we already built) so their verdicts and polyhedron
            witnesses are bit-identical with pruning on or off. *)
         let sbox = Flat.box_of_sub s in
+        (* [None] means "pruning off": the identity mapping, kept
+           symbolic so the unpruned path allocates no index array and
+           skips the gather bookkeeping entirely. *)
         let keep =
-          if config.use_pruning then Flat.intersecting_rows packed sbox
-          else Array.init k_initial Fun.id
+          if config.use_pruning then Some (Flat.intersecting_rows packed sbox)
+          else None
         in
-        let k_pruned = Array.length keep in
+        let k_pruned =
+          match keep with Some rows -> Array.length rows | None -> k_initial
+        in
         if k_pruned = 0 then
           base_report ~verdict:(Not_covered Empty_set) ~k_initial ~k_pruned
             ~k_reduced:0
         else begin
           let pruned_packed, pruned_subs, pruned_table =
-            if k_pruned = k_initial then (packed, subs, table)
-            else begin
-              let pp = Flat.gather packed keep in
-              let ps = Array.map (fun i -> subs.(i)) keep in
-              (pp, ps, Conflict_table.build_flat ~s ~subs:ps pp)
-            end
+            match keep with
+            | Some rows when Array.length rows < k_initial ->
+                let pp = Flat.gather packed rows in
+                let ps = Array.map (fun i -> subs.(i)) rows in
+                (pp, ps, Conflict_table.build_flat ~s ~subs:ps pp)
+            | Some _ | None -> (packed, subs, table)
           in
           let mcs_result, reduced_packed, reduced_subs, reduced_table =
             if config.use_mcs then begin
@@ -148,7 +153,11 @@ let check ?(config = default_config) ?packed ~rng s subs =
             end
             else (None, pruned_packed, pruned_subs, pruned_table)
           in
-          let mcs_report = Option.map (remap_mcs keep) mcs_result in
+          let mcs_report =
+            match keep with
+            | Some rows -> Option.map (remap_mcs rows) mcs_result
+            | None -> mcs_result
+          in
           let k_reduced = Array.length reduced_subs in
           if k_reduced = 0 then
             {
@@ -174,7 +183,13 @@ let check ?(config = default_config) ?packed ~rng s subs =
                   Rho.d_capped rho_estimate ~delta:config.delta
                     ~cap:config.max_iterations
                 in
-                let run = Rspc.run_packed ~rng ~d:d_used ~sbox reduced_packed in
+                let run =
+                  match pool with
+                  | Some pool ->
+                      Rspc_parallel.run_packed ~pool ~rng ~d:d_used ~sbox
+                        reduced_packed
+                  | None -> Rspc.run_packed ~rng ~d:d_used ~sbox reduced_packed
+                in
                 let verdict =
                   match run.Rspc.outcome with
                   | Rspc.Not_covered p -> Not_covered (Point p)
@@ -201,8 +216,38 @@ let check ?(config = default_config) ?packed ~rng s subs =
         end
   end
 
-let check_publication ?config ?packed ~rng pub subs =
-  check ?config ?packed ~rng (Publication.to_sub pub) subs
+let check_publication ?config ?pool ?packed ~rng pub subs =
+  check ?config ?pool ?packed ~rng (Publication.to_sub pub) subs
+
+(* Batch classification: item-level parallelism only. Each item runs
+   the full sequential pipeline (fast decisions, MCS, sequential RSPC)
+   on a pool worker — never the parallel RSPC, which would have worker
+   tasks submitting to their own pool (a deadlock; see the ownership
+   contract in domain_pool.mli). Each item draws from its own caller-
+   provided generator, so the result array is identical to the
+   sequential per-item loop no matter how items land on workers. *)
+let check_batch ?(config = default_config) ?pool ?packed ~rngs ss subs =
+  let n = Array.length ss in
+  if Array.length rngs <> n then
+    invalid_arg "Engine.check_batch: rngs/subscriptions length mismatch";
+  let check_one i = check ~config ?packed ~rng:rngs.(i) ss.(i) subs in
+  match pool with
+  | Some pool when n > 1 && Domain_pool.size pool > 0 ->
+      let parallelism = Domain_pool.size pool + 1 in
+      let slice index =
+        let lo = index * Rspc_parallel.chunk_size ~d:n ~domains:parallelism in
+        (lo, Rspc_parallel.budget_for ~d:n ~domains:parallelism ~index)
+      in
+      let pending =
+        List.init (parallelism - 1) (fun i ->
+            let lo, b = slice (i + 1) in
+            Domain_pool.submit pool (fun () ->
+                Array.init b (fun j -> check_one (lo + j))))
+      in
+      let lo, b = slice 0 in
+      let first = Array.init b (fun j -> check_one (lo + j)) in
+      Array.concat (first :: List.map Domain_pool.await pending)
+  | Some _ | None -> Array.init n check_one
 
 let theoretical_log10_d ?(use_mcs = true) ~delta s subs =
   if Array.length subs = 0 then neg_infinity

@@ -88,12 +88,18 @@ val is_covered : verdict -> bool
 (** [true] on both YES verdicts. *)
 
 val check :
-  ?config:config -> ?packed:Flat.t -> rng:Prng.t -> Subscription.t ->
-  Subscription.t array -> report
+  ?config:config -> ?pool:Domain_pool.t -> ?packed:Flat.t -> rng:Prng.t ->
+  Subscription.t -> Subscription.t array -> report
 (** [check ~rng s subs] answers whether [subs] jointly cover [s].
     Definite answers (NO, pairwise YES) are always correct;
     [Covered_probably] errs with probability at most
     [achieved_delta] (Proposition 1).
+
+    [?pool] parallelises the RSPC stage over the pool's workers via
+    {!Rspc_parallel.run_packed}. The report — verdict, witness,
+    iteration count, every diagnostic — is bit-identical to the
+    sequential engine for the same seed; a pool is purely a
+    performance knob.
 
     [?packed] must be [Flat.pack] of [subs]; callers that check many
     subscriptions against a stable set (the subscription store) pass
@@ -103,13 +109,30 @@ val check :
     disagrees with [subs]. *)
 
 val check_publication :
-  ?config:config -> ?packed:Flat.t -> rng:Prng.t -> Publication.t ->
-  Subscription.t array -> report
+  ?config:config -> ?pool:Domain_pool.t -> ?packed:Flat.t -> rng:Prng.t ->
+  Publication.t -> Subscription.t array -> report
 (** The general subsumption question for a publication (§1 models
     imprecise publications as boxes too): is the publication's box
     covered by the subscription union? A point publication degenerates
     to exact matching; a box publication is where the probabilistic
     machinery pays off. *)
+
+val check_batch :
+  ?config:config -> ?pool:Domain_pool.t -> ?packed:Flat.t ->
+  rngs:Prng.t array -> Subscription.t array -> Subscription.t array ->
+  report array
+(** [check_batch ~rngs ss subs] checks each [ss.(i)] against the same
+    candidate set [subs], giving item [i] its own generator
+    [rngs.(i)]; the result array equals
+    [Array.init n (fun i -> check ~rng:rngs.(i) ss.(i) subs)]
+    exactly. With [?pool], items are checked in parallel across
+    workers — item-level parallelism only: each item runs the
+    sequential RSPC internally, because a worker task must never
+    submit to its own pool (see the {!Domain_pool} ownership
+    contract). Since every item owns its generator, scheduling cannot
+    perturb any result. [?packed] is shared by all items.
+    @raise Invalid_argument if [Array.length rngs <> Array.length ss],
+    or on the per-item conditions of {!check}. *)
 
 val theoretical_log10_d :
   ?use_mcs:bool -> delta:float -> Subscription.t -> Subscription.t array ->

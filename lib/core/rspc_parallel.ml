@@ -1,31 +1,41 @@
 let recommended_domains () =
   min 8 (max 1 (Domain.recommended_domain_count () - 1))
 
-(* Don't spin up domains for trivially small budgets: spawning costs
-   more than a few hundred O(m·k) membership tests. *)
+(* Don't fan out trivially small budgets: queueing tasks (let alone
+   spawning domains) costs more than a few hundred O(m·k) membership
+   tests. *)
 let min_parallel_budget = 2048
 
-(* Polling the shared stop flag on every trial makes each iteration a
+(* Polling shared atomics on every trial makes each iteration a
    cross-domain cache-line read; once per [poll_mask + 1] trials keeps
    the loop local while still stopping promptly after a witness. *)
 let poll_mask = 63
 
-(* Budget arithmetic, exposed so the regression tests can pin the
+(* Trials per deterministic block (see [run_packed]): large enough that
+   a k=1000 slice amortises the task hand-off, small enough that a
+   witness in the first block does not waste much drawing. *)
+let block_size = 512
+
+(* Slice arithmetic, exposed so the regression tests can pin the
    chunk-boundary cases: budgets are non-negative, bounded by the
-   chunk, and sum to exactly [d] over [0 .. domains-1]. *)
+   chunk, and sum to exactly [d] over [0 .. domains-1]. [run_packed]
+   applies it per block, [Engine.check_batch] per item range. *)
 let chunk_size ~d ~domains = (d + domains - 1) / domains
 
 let budget_for ~d ~domains ~index =
   let chunk = chunk_size ~d ~domains in
   min chunk (max 0 (d - (index * chunk)))
 
-(* The per-domain trial loop, shared verbatim between [run]'s workers
-   and the allocation benchmark (bench/main.exe kernels asserts it
-   runs at 0 words/trial). Draws up to [budget] points into the
-   caller's scratch buffer [p]; publishes the first escaping point to
-   [found] (first writer wins) and stops; polls [found] every
-   [poll_mask + 1] trials to stop promptly once any other domain has
-   won. Returns the number of trials actually performed. *)
+(* The split-stream per-domain trial loop of the original
+   fan-out-by-budget runner, kept verbatim: the allocation benchmark
+   (bench/main.exe kernels) asserts it runs at 0 words/trial, and it
+   remains the simplest picture of "independent trials on an
+   independent stream". The production path below no longer uses it —
+   [run_packed] reproduces the *sequential* stream instead so that
+   verdict, witness and iteration count are bit-identical to
+   {!Rspc.run_packed} — but its 0-allocation guarantee carries over:
+   the block kernels ([Flat.random_points_into]/[Flat.escapes_at]) are
+   the same loop bodies over an offset buffer. *)
 let trials_into ~rng ~sbox ~packed ~(found : int array option Atomic.t)
     ~budget p =
   let performed = ref 0 in
@@ -44,42 +54,114 @@ let trials_into ~rng ~sbox ~packed ~(found : int array option Atomic.t)
    with Exit -> ());
   !performed
 
-let run ?(domains = recommended_domains ()) ~rng ~d ~s subs =
-  if domains < 1 then invalid_arg "Rspc_parallel.run: domains < 1";
-  if d < 0 then invalid_arg "Rspc_parallel.run: negative trial budget";
-  if domains = 1 || d < min_parallel_budget then Rspc.run ~rng ~d ~s subs
-  else begin
-    let m = Subscription.arity s in
-    Array.iter
-      (fun si ->
-        if Subscription.arity si <> m then
-          invalid_arg "Rspc_parallel.run: arity mismatch")
-      subs;
-    (* Packed once; the int-array planes are immutable after packing,
-       so all domains share them read-only. *)
-    let packed = Flat.pack ~m subs in
-    let sbox = Flat.box_of_sub s in
-    let found : int array option Atomic.t = Atomic.make None in
-    let total_iterations = Atomic.make 0 in
-    let rngs = Array.init domains (fun _ -> Prng.split rng) in
-    let worker index () =
-      let rng = rngs.(index) in
-      let budget = budget_for ~d ~domains ~index in
-      (* Per-domain scratch point: no sharing, no per-trial allocation. *)
-      let p = Array.make m 0 in
-      let performed = trials_into ~rng ~sbox ~packed ~found ~budget p in
-      ignore (Atomic.fetch_and_add total_iterations performed)
+(* Publish [candidate] as the new minimum of [best] (CAS loop; lock
+   free, called at most once per slice). *)
+let rec publish_min best candidate =
+  let current = Atomic.get best in
+  if candidate < current && not (Atomic.compare_and_set best current candidate)
+  then publish_min best candidate
+
+(* Scan slots [lo, hi) of the shared point buffer for the first
+   escaping point, publishing its index to [best]. A slice may stop as
+   soon as [best <= i]: every slot it could still test has a larger
+   index, so it cannot improve the minimum. The poll runs every
+   [poll_mask + 1] slots to keep cross-domain reads off the inner
+   loop. *)
+let scan_slice ~packed ~(points : int array) ~lo ~hi ~(best : int Atomic.t) =
+  let i = ref lo in
+  let live = ref true in
+  while !live && !i < hi do
+    if !i land poll_mask = 0 && Atomic.get best <= !i then live := false
+    else begin
+      if Flat.escapes_at packed points ~pos:!i then begin
+        publish_min best !i;
+        live := false
+      end;
+      incr i
+    end
+  done
+
+(* The deterministic block engine. Each round draws the next [<=
+   block_size] trials of the *sequential* stream into a shared buffer
+   (serial, cheap: m draws per trial), then fans the O(k·m) escape
+   tests out over the pool; the minimum escaping slot across all
+   slices is exactly the trial at which {!Rspc.run_packed} would have
+   stopped, so outcome, witness point and iteration count are all
+   bit-identical to the sequential runner. The only observable
+   difference is Prng consumption: the block is drawn before it is
+   tested, so up to [block_size - 1] trials beyond the witness have
+   already consumed draws — callers that interleave other draws on the
+   same generator (none do; the engine derives a fresh stream per
+   check) would see the divergence. *)
+let run_blocks pool ~parallelism ~rng ~d ~sbox packed =
+  let m = Flat.m packed in
+  let points = Array.make (block_size * m) 0 in
+  let best = Atomic.make max_int in
+  let result = ref None in
+  let start = ref 0 in
+  while !result = None && !start < d do
+    let b = min block_size (d - !start) in
+    Flat.random_points_into ~rng sbox points ~n:b;
+    Atomic.set best max_int;
+    let slice index =
+      let lo = index * chunk_size ~d:b ~domains:parallelism in
+      (lo, lo + budget_for ~d:b ~domains:parallelism ~index)
     in
-    let spawned =
-      Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    let pending =
+      List.init (parallelism - 1) (fun i ->
+          let lo, hi = slice (i + 1) in
+          Domain_pool.submit pool (fun () ->
+              scan_slice ~packed ~points ~lo ~hi ~best))
     in
-    worker 0 ();
-    Array.iter Domain.join spawned;
-    match Atomic.get found with
-    | Some p ->
-        { Rspc.outcome = Rspc.Not_covered p;
-          iterations = Atomic.get total_iterations }
+    let lo, hi = slice 0 in
+    scan_slice ~packed ~points ~lo ~hi ~best;
+    List.iter Domain_pool.await pending;
+    let w = Atomic.get best in
+    if w < max_int then
+      result :=
+        Some
+          {
+            Rspc.outcome = Rspc.Not_covered (Array.sub points (w * m) m);
+            iterations = !start + w + 1;
+          }
+    else start := !start + b
+  done;
+  match !result with
+  | Some r -> r
+  | None -> { Rspc.outcome = Rspc.Probably_covered; iterations = d }
+
+let run_packed ?pool ?(domains = recommended_domains ()) ~rng ~d ~sbox packed
+    =
+  if domains < 1 then invalid_arg "Rspc_parallel.run_packed: domains < 1";
+  if d < 0 then
+    invalid_arg "Rspc_parallel.run_packed: negative trial budget";
+  if Flat.m packed <> Flat.box_arity sbox then
+    invalid_arg "Rspc_parallel.run_packed: arity mismatch";
+  let parallelism =
+    match pool with Some p -> Domain_pool.size p + 1 | None -> domains
+  in
+  if parallelism = 1 || d < min_parallel_budget then
+    Rspc.run_packed ~rng ~d ~sbox packed
+  else
+    match pool with
+    | Some pool -> run_blocks pool ~parallelism ~rng ~d ~sbox packed
     | None ->
-        { Rspc.outcome = Rspc.Probably_covered;
-          iterations = Atomic.get total_iterations }
-  end
+        (* No pool supplied: pay a per-call spawn, exactly the cost the
+           bench contrasts with pool reuse. *)
+        Domain_pool.with_pool ~workers:(parallelism - 1) (fun pool ->
+            run_blocks pool ~parallelism ~rng ~d ~sbox packed)
+
+let run ?pool ?domains ~rng ~d ~s subs =
+  (match domains with
+  | Some domains when domains < 1 ->
+      invalid_arg "Rspc_parallel.run: domains < 1"
+  | Some _ | None -> ());
+  if d < 0 then invalid_arg "Rspc_parallel.run: negative trial budget";
+  let m = Subscription.arity s in
+  Array.iter
+    (fun si ->
+      if Subscription.arity si <> m then
+        invalid_arg "Rspc_parallel.run: arity mismatch")
+    subs;
+  run_packed ?pool ?domains ~rng ~d ~sbox:(Flat.box_of_sub s)
+    (Flat.pack ~m subs)

@@ -1,61 +1,88 @@
-(** Multicore RSPC: Algorithm 1's trials fanned out over OCaml 5
-    domains.
+(** Multicore RSPC: Algorithm 1's escape tests fanned out over a
+    {!Domain_pool}, with results bit-identical to the sequential
+    engine.
 
-    The trials are independent by construction (Proposition 1 relies on
-    it), so the budget [d] splits into per-domain chunks, each drawing
-    from an independent {!Prng.split} of the caller's generator. The
-    candidate set is packed once ({!Flat.pack}) and shared read-only
-    across domains; every domain owns a scratch point buffer, so the
-    per-trial work allocates nothing. A shared flag stops all domains
-    as soon as any of them finds a point witness; it is polled every 64
-    trials to keep cross-domain cache traffic off the inner loop.
+    The runner draws trials in blocks of {!block_size} from the
+    caller's generator — the {e same} stream, in the same order, as
+    {!Rspc.run_packed} — into a shared point buffer (serial, O(m) per
+    trial), then fans the O(k·m) escape tests over the pool workers in
+    contiguous slices. The minimum escaping slot across slices is
+    exactly the trial at which the sequential loop would have stopped,
+    so the verdict, the witness point {e and} the [iterations] count
+    are all bit-identical to {!Rspc.run_packed} for the same seed: a
+    pool is a pure performance knob, invisible to callers. A shared
+    atomic "best slot so far" lets slices abort early; it is polled
+    every 64 slots to keep cross-domain cache traffic off the inner
+    loop.
 
-    Semantics versus {!Rspc.run}:
-    - soundness is identical — a [Not_covered] answer always carries a
-      verified point witness, and a covered input can never produce one;
-    - the error bound of a [Probably_covered] answer is the same
-      [(1 − ρw)^d] (every one of the [d] trials was performed unless a
-      witness was found);
-    - the {e specific} witness point and the [iterations] count depend
-      on domain scheduling, so they are not bit-reproducible run to run
-      (the sequential engine remains the default everywhere determinism
-      matters). *)
+    Semantics versus {!Rspc.run_packed}:
+    - identical outcome, witness and iteration count for the same
+      [rng] seed, regardless of pool size or scheduling;
+    - identical [(1 − ρw)^d] error bound for [Probably_covered];
+    - the only divergence is Prng {e consumption}: a block is drawn
+      before it is tested, so up to [block_size − 1] draws beyond the
+      witness have already been consumed. The engine derives a fresh
+      stream per check, so no caller observes this. *)
 
 val recommended_domains : unit -> int
 (** [max 1 (cpu count - 1)], capped at 8. *)
 
 val min_parallel_budget : int
-(** Budgets below this run sequentially even when [domains > 1]:
-    spawning costs more than a few hundred membership tests. *)
+(** Budgets below this run sequentially even with a pool: handing out
+    tasks costs more than a few hundred membership tests. *)
+
+val block_size : int
+(** Trials drawn (serially) per parallel scan round. *)
 
 val chunk_size : d:int -> domains:int -> int
-(** [ceil (d / domains)] — the per-domain budget before the tail
+(** [ceil (d / domains)] — the per-slice share before the tail
     correction. *)
 
 val budget_for : d:int -> domains:int -> index:int -> int
-(** Trial budget of domain [index] in a [d]-trial run over [domains]
-    domains: [min (chunk_size ~d ~domains) (max 0 (d - index *
-    chunk))]. Non-negative, non-increasing in [index], and summing to
-    exactly [d] over [index = 0 .. domains - 1] — the regression tests
-    pin the chunk-boundary cases. *)
+(** Share of slice [index] when [d] units split over [domains] slices:
+    [min (chunk_size ~d ~domains) (max 0 (d - index * chunk))].
+    Non-negative, non-increasing in [index], and summing to exactly
+    [d] over [index = 0 .. domains - 1] — the regression tests pin the
+    chunk-boundary cases. {!run_packed} applies it to each trial
+    block; {!Engine.check_batch} to item ranges. *)
 
 val trials_into :
   rng:Prng.t -> sbox:Flat.box -> packed:Flat.t ->
   found:int array option Atomic.t -> budget:int -> int array -> int
-(** The per-domain inner loop, shared between {!run}'s workers and the
-    allocation benchmark ([bench/main.exe kernels] asserts it runs at
-    0 words per trial). Draws up to [budget] random points from [sbox]
-    into the scratch buffer [p] (length [m]); on the first point that
-    escapes [packed] it publishes a copy to [found] (first
-    compare-and-set wins) and stops. [found] is also polled every 64
+(** The split-stream per-domain trial loop of the original fan-out
+    runner, kept as the allocation yardstick ([bench/main.exe kernels]
+    asserts it runs at 0 words per trial). Draws up to [budget] random
+    points from [sbox] into the scratch buffer [p] (length [m]); on
+    the first point escaping [packed] it publishes a copy to [found]
+    (first compare-and-set wins) and stops. [found] is polled every 64
     trials so the loop stops promptly once another domain has won.
-    Returns the number of trials actually performed: [budget] when no
-    witness was seen and [found] stayed unset, fewer otherwise. *)
+    Returns the number of trials actually performed. The production
+    path ({!run_packed}) now uses the block kernels
+    ({!Flat.random_points_into} / {!Flat.escapes_at}) — the same loop
+    bodies over an offset buffer, preserving the 0-words-per-trial
+    guarantee. *)
+
+val run_packed :
+  ?pool:Domain_pool.t -> ?domains:int -> rng:Prng.t -> d:int ->
+  sbox:Flat.box -> Flat.t -> Rspc.run
+(** [run_packed ?pool ~rng ~d ~sbox packed] is {!Rspc.run_packed} on
+    the engine's already-reduced packed set — no re-pack, no arity
+    rescan — parallelised over [pool] when one is given. Parallelism
+    is [Domain_pool.size pool + 1] (the submitting domain scans slice
+    0) or, with no pool, [domains] (default {!recommended_domains})
+    worker domains spawned for this one call — the per-call-spawn
+    baseline the bench contrasts with pool reuse. Falls back to the
+    sequential {!Rspc.run_packed} when the effective parallelism is 1
+    or [d < ]{!min_parallel_budget}; in every case the result is
+    bit-identical to the sequential runner for the same seed.
+    @raise Invalid_argument if [d < 0], [domains < 1], or the arities
+    of [sbox] and [packed] differ. *)
 
 val run :
-  ?domains:int -> rng:Prng.t -> d:int -> s:Subscription.t ->
-  Subscription.t array -> Rspc.run
-(** [run ~domains ~rng ~d ~s subs] behaves like {!Rspc.run}; [domains =
-    1] (or [d] small) falls back to the sequential code path.
-    [iterations] reports the total trials actually executed across
-    domains. @raise Invalid_argument if [domains < 1] or [d < 0]. *)
+  ?pool:Domain_pool.t -> ?domains:int -> rng:Prng.t -> d:int ->
+  s:Subscription.t -> Subscription.t array -> Rspc.run
+(** [run ~rng ~d ~s subs] packs [subs] once and delegates to
+    {!run_packed} — a convenience wrapper for callers without a cached
+    {!Flat.t}. Behaves like {!Rspc.run} (bit-identical for the same
+    seed). @raise Invalid_argument if [domains < 1], [d < 0], or some
+    subscription's arity differs from [s]'s. *)

@@ -26,6 +26,9 @@ type t = {
   policy : policy;
   arity : int;
   rng : Prng.t;
+  pool : Domain_pool.t option;
+      (* Shared worker pool for the group-policy engine calls; the
+         store only borrows it (never shuts it down). *)
   entries : (id, entry) Hashtbl.t;
   (* Algorithm 5's multi-level optimization: active coverer ->
      covered subscriptions recorded under it. A publication only tests
@@ -53,12 +56,14 @@ type t = {
   mutable covered_scans : int;
 }
 
-let create ?(policy = Group_policy Engine.default_config) ~arity ~seed () =
+let create ?(policy = Group_policy Engine.default_config) ?pool ~arity ~seed
+    () =
   if arity < 1 then invalid_arg "Subscription_store.create: arity < 1";
   {
     policy;
     arity;
     rng = Prng.of_int seed;
+    pool;
     entries = Hashtbl.create 64;
     children = Hashtbl.create 64;
     order = Array.make 64 0;
@@ -180,8 +185,28 @@ let unlink_child t ~coverer ~child =
       | [] -> Hashtbl.remove t.children coverer
       | l' -> Hashtbl.replace t.children coverer l')
 
+(* Translate an engine report into a placement, mapping candidate rows
+   back to store ids through the active-set snapshot [ids]. *)
+let placement_of_report ids report =
+  match report.Engine.verdict with
+  | Engine.Covered_pairwise row -> Covered [ ids.(row) ]
+  | Engine.Covered_probably ->
+      (* Record the MCS-reduced candidate set as coverers: exactly
+         the subscriptions whose joint cover classified [s]. *)
+      let coverers =
+        match report.Engine.mcs with
+        | Some m -> List.map (fun row -> ids.(row)) m.Mcs.kept
+        | None -> Array.to_list ids
+      in
+      Covered coverers
+  | Engine.Not_covered _ -> Active
+
 (* Classify a subscription against the current active set according to
-   the store policy. *)
+   the store policy. Under the group policy every classification draws
+   exactly one {!Prng.split} from the store generator and hands the
+   child stream to the engine — a fixed per-classification consumption
+   that {!add_batch} reproduces by pre-splitting one child per item in
+   arrival order. *)
 let classify t s =
   match t.policy with
   | No_coverage -> Active
@@ -190,31 +215,19 @@ let classify t s =
       match Pairwise.find_coverer s subs with
       | Some i -> Covered [ ids.(i) ]
       | None -> Active)
-  | Group_policy config -> (
+  | Group_policy config ->
       let ids, subs = active_arrays t in
       let packed = active_packed t in
-      let report = Engine.check ~config ~packed ~rng:t.rng s subs in
-      match report.Engine.verdict with
-      | Engine.Covered_pairwise row -> Covered [ ids.(row) ]
-      | Engine.Covered_probably ->
-          (* Record the MCS-reduced candidate set as coverers: exactly
-             the subscriptions whose joint cover classified [s]. *)
-          let coverers =
-            match report.Engine.mcs with
-            | Some m -> List.map (fun row -> ids.(row)) m.Mcs.kept
-            | None -> Array.to_list ids
-          in
-          Covered coverers
-      | Engine.Not_covered _ -> Active)
+      let rng = Prng.split t.rng in
+      placement_of_report ids
+        (Engine.check ~config ?pool:t.pool ~packed ~rng s subs)
 
-let insert t s ~expires_at =
-  if Subscription.arity s <> t.arity then
-    invalid_arg "Subscription_store.add: arity mismatch";
-  if Float.is_nan expires_at then
-    invalid_arg "Subscription_store.add_with_expiry: NaN lease";
+(* Bookkeeping half of an insertion: assign the id and record the
+   already-computed placement. Split out from [insert] so [add_batch]
+   can apply placements pre-computed against a snapshot. *)
+let install t s ~state ~expires_at =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let state = classify t s in
   Hashtbl.replace t.entries id { sub = s; state; expires_at };
   order_push t id;
   t.added <- t.added + 1;
@@ -229,8 +242,92 @@ let insert t s ~expires_at =
       invalidate_active t);
   (id, state)
 
+let insert t s ~expires_at =
+  if Subscription.arity s <> t.arity then
+    invalid_arg "Subscription_store.add: arity mismatch";
+  if Float.is_nan expires_at then
+    invalid_arg "Subscription_store.add_with_expiry: NaN lease";
+  let state = classify t s in
+  install t s ~state ~expires_at
+
 let add t s = insert t s ~expires_at:infinity
 let add_with_expiry t s ~expires_at = insert t s ~expires_at
+
+(* Batched insertion. Semantics are defined by the sequential loop
+   [Array.map (add t) subs] in index order; the parallel path is an
+   optimisation that provably reproduces it.
+
+   Round argument: pre-split one child generator per item in arrival
+   order (the exact [t.rng] draws the sequential loop would make).
+   Then, repeatedly: snapshot the active set, pre-classify a window of
+   upcoming items against it in parallel ({!Engine.check_batch}, each
+   item on a fresh {!Prng.copy} of its reserved child), and apply the
+   placements serially in index order. A [Covered] placement never
+   mutates the active set, so the snapshot every later window item was
+   classified against is still the set the sequential loop would have
+   used — its pre-computed placement (and id mapping) is exactly the
+   sequential one. The first [Active] placement is itself computed
+   against a valid snapshot, but invalidates it for the items after
+   it: the round ends there, their pre-computations are discarded, and
+   the next round re-classifies them from fresh copies of the same
+   reserved children — just as the sequential loop would, against the
+   grown active set. Induction over rounds gives bit-identical
+   (id, placement) results, counters and coverer links. *)
+let add_batch t subs =
+  let n = Array.length subs in
+  Array.iter
+    (fun s ->
+      if Subscription.arity s <> t.arity then
+        invalid_arg "Subscription_store.add_batch: arity mismatch")
+    subs;
+  let parallel =
+    match (t.policy, t.pool) with
+    | Group_policy config, Some pool when n > 1 && Domain_pool.size pool > 0
+      ->
+        Some (config, pool)
+    | _ -> None
+  in
+  match parallel with
+  | None ->
+      let results = Array.make n (0, Active) in
+      for i = 0 to n - 1 do
+        results.(i) <- add t subs.(i)
+      done;
+      results
+  | Some (config, pool) ->
+      let results = Array.make n (0, Active) in
+      (* Reserve the per-item generators up front, in arrival order —
+         explicit loop: the split order is the observable effect. *)
+      let rngs = Array.make n t.rng in
+      for i = 0 to n - 1 do
+        rngs.(i) <- Prng.split t.rng
+      done;
+      let window_cap = max 8 (4 * (Domain_pool.size pool + 1)) in
+      let i = ref 0 in
+      while !i < n do
+        let ids, asubs = active_arrays t in
+        let packed = active_packed t in
+        let window = min (n - !i) window_cap in
+        let items = Array.sub subs !i window in
+        let base = !i in
+        let wrngs = Array.init window (fun j -> Prng.copy rngs.(base + j)) in
+        let reports =
+          Engine.check_batch ~config ~pool ~packed ~rngs:wrngs items asubs
+        in
+        let j = ref 0 in
+        let snapshot_valid = ref true in
+        while !snapshot_valid && !j < window do
+          let idx = base + !j in
+          let state = placement_of_report ids reports.(!j) in
+          results.(idx) <- install t subs.(idx) ~state ~expires_at:infinity;
+          (match state with
+          | Active -> snapshot_valid := false
+          | Covered _ -> ());
+          incr j
+        done;
+        i := base + !j
+      done;
+      results
 
 let expiry t id =
   match Hashtbl.find_opt t.entries id with

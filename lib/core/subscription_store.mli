@@ -36,10 +36,19 @@ type placement =
 type t
 (** A mutable store. *)
 
-val create : ?policy:policy -> arity:int -> seed:int -> unit -> t
+val create :
+  ?policy:policy -> ?pool:Domain_pool.t -> arity:int -> seed:int -> unit -> t
 (** [create ~arity ~seed ()] builds an empty store for subscriptions
     with [arity] attributes. [seed] drives the engine's RSPC draws
-    (group policy only). Default policy: [Group_policy
+    (group policy only): each group classification hands the engine a
+    fresh {!Prng.split} of the store generator, so a given seed fixes
+    every verdict regardless of how classifications are executed.
+    [?pool] lends the store a {!Domain_pool} for the group-policy
+    engine calls — {!add} parallelises the RSPC stage, {!add_batch}
+    classifies whole windows of arrivals concurrently; either way the
+    results are bit-identical to the pool-less store with the same
+    seed. The store only borrows the pool: shutting it down remains
+    the caller's job. Default policy: [Group_policy
     Engine.default_config]. *)
 
 val policy : t -> policy
@@ -53,6 +62,23 @@ val covered_count : t -> int
 val add : t -> Subscription.t -> id * placement
 (** [add t s] inserts [s] and reports where it landed.
     @raise Invalid_argument on an arity mismatch. *)
+
+val add_batch : t -> Subscription.t array -> (id * placement) array
+(** [add_batch t subs] inserts the whole batch and returns each item's
+    [(id, placement)], {e defined} as [subs] fed one by one through
+    {!add} in index order — identical ids, placements, coverer lists,
+    counters and final store state. With a pool (group policy), the
+    store exploits the batch: it pre-classifies windows of upcoming
+    arrivals against a stable active-set snapshot in parallel
+    ({!Engine.check_batch}) and applies the results serially, falling
+    back to re-classification from the first arrival that grows the
+    active set (a covered arrival never invalidates the snapshot, so
+    in covered-heavy steady state most of the batch classifies
+    concurrently). Per-item generators are pre-split from the store
+    generator in arrival order, which is what makes the parallel path
+    bit-identical to the sequential loop.
+    @raise Invalid_argument if any item's arity mismatches (checked
+    up front, before any insertion). *)
 
 val add_with_expiry : t -> Subscription.t -> expires_at:float -> id * placement
 (** Like {!add} but the subscription carries a lease: it is removed by

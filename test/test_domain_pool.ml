@@ -1,0 +1,102 @@
+open Probsub_core
+
+let test_submit_await () =
+  Domain_pool.with_pool ~workers:3 (fun pool ->
+      Alcotest.(check int) "size" 3 (Domain_pool.size pool);
+      let f = Domain_pool.submit pool (fun () -> 6 * 7) in
+      Alcotest.(check int) "result" 42 (Domain_pool.await f);
+      (* A future may be awaited again: the result is memoised. *)
+      Alcotest.(check int) "memoised" 42 (Domain_pool.await f))
+
+let test_many_tasks () =
+  (* 100 tasks over 3 workers; every future resolves to its own
+     payload regardless of which worker ran it. *)
+  Domain_pool.with_pool ~workers:3 (fun pool ->
+      let futures =
+        List.init 100 (fun i -> Domain_pool.submit pool (fun () -> i * i))
+      in
+      List.iteri
+        (fun i f ->
+          Alcotest.(check int)
+            (Printf.sprintf "task %d" i)
+            (i * i) (Domain_pool.await f))
+        futures)
+
+let test_exception_propagates () =
+  Domain_pool.with_pool ~workers:2 (fun pool ->
+      let f =
+        Domain_pool.submit pool (fun () : int -> raise (Failure "boom"))
+      in
+      Alcotest.check_raises "worker exception re-raised" (Failure "boom")
+        (fun () -> ignore (Domain_pool.await f));
+      (* The worker survives its task's exception. *)
+      let g = Domain_pool.submit pool (fun () -> 5) in
+      Alcotest.(check int) "pool still works" 5 (Domain_pool.await g))
+
+let test_zero_workers_inline () =
+  Domain_pool.with_pool ~workers:0 (fun pool ->
+      Alcotest.(check int) "size" 0 (Domain_pool.size pool);
+      let ran = ref false in
+      let f =
+        Domain_pool.submit pool (fun () ->
+            ran := true;
+            17)
+      in
+      (* Zero workers: the task ran inline, before submit returned. *)
+      Alcotest.(check bool) "ran inline" true !ran;
+      Alcotest.(check int) "result" 17 (Domain_pool.await f))
+
+let test_shutdown_drains_and_closes () =
+  let pool = Domain_pool.create ~workers:2 () in
+  let futures =
+    List.init 20 (fun i -> Domain_pool.submit pool (fun () -> i + 1))
+  in
+  Domain_pool.shutdown pool;
+  (* Shutdown finishes queued work before joining the workers... *)
+  List.iteri
+    (fun i f ->
+      Alcotest.(check int)
+        (Printf.sprintf "queued task %d survived shutdown" i)
+        (i + 1) (Domain_pool.await f))
+    futures;
+  Alcotest.(check int) "no workers left" 0 (Domain_pool.size pool);
+  (* ...is idempotent, and closes the pool for new work. *)
+  Domain_pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Domain_pool.submit: pool is shut down") (fun () ->
+      ignore (Domain_pool.submit pool (fun () -> 0)))
+
+let test_with_pool_shuts_down_on_raise () =
+  let escaped = ref None in
+  (try
+     Domain_pool.with_pool ~workers:1 (fun pool ->
+         escaped := Some pool;
+         failwith "user error")
+   with Failure _ -> ());
+  match !escaped with
+  | None -> Alcotest.fail "with_pool never ran its body"
+  | Some pool ->
+      Alcotest.(check int) "pool shut down on exception" 0
+        (Domain_pool.size pool)
+
+let test_validation () =
+  Alcotest.check_raises "negative workers"
+    (Invalid_argument "Domain_pool.create: workers < 0") (fun () ->
+      ignore (Domain_pool.create ~workers:(-1) ()));
+  Alcotest.(check bool) "default workers sane" true
+    (let w = Domain_pool.default_workers () in
+     w >= 0 && w <= 7)
+
+let suite =
+  [
+    Alcotest.test_case "submit and await" `Quick test_submit_await;
+    Alcotest.test_case "100 tasks, 3 workers" `Quick test_many_tasks;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "zero workers runs inline" `Quick
+      test_zero_workers_inline;
+    Alcotest.test_case "shutdown drains then closes" `Quick
+      test_shutdown_drains_and_closes;
+    Alcotest.test_case "with_pool cleans up on raise" `Quick
+      test_with_pool_shuts_down_on_raise;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

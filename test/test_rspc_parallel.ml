@@ -213,6 +213,108 @@ let test_trials_into () =
         (Subscription.covers_point s w)
   | None -> Alcotest.fail "expected a witness")
 
+(* ------------------------------------------------------------------ *)
+(* Block-parallel determinism (PR 4): run_packed with a pool must be
+   bit-identical to Rspc.run_packed — outcome, witness point and
+   iteration count — for every pool size, seed and workload shape,
+   because it reproduces the sequential draw stream block by block and
+   takes the minimum escaping slot. *)
+
+let bit_identical_shapes =
+  [
+    (* no witness exists: every trial runs *)
+    ("covered", sub [ (10, 20) ], [| sub [ (0, 99) ] |], 4096);
+    (* 10% escape: witness in the first block *)
+    ("escape10", sub [ (0, 999) ], [| sub [ (0, 899) ] |], 8192);
+    (* 1% escape: witness often past the first slice *)
+    ("escape1", sub [ (0, 999) ], [| sub [ (0, 989) ] |], 4096);
+    (* 0.1% escape: witness typically beyond the first 512-trial block *)
+    ("escape01", sub [ (0, 9999) ], [| sub [ (0, 9989) ] |], 8192);
+  ]
+
+let check_against_sequential label a (b : Rspc.run) =
+  Alcotest.(check int)
+    (label ^ ": iterations")
+    b.Rspc.iterations a.Rspc.iterations;
+  Alcotest.(check bool)
+    (label ^ ": outcome and witness")
+    true
+    (a.Rspc.outcome = b.Rspc.outcome)
+
+let test_pooled_bit_identical () =
+  List.iter
+    (fun workers ->
+      Domain_pool.with_pool ~workers (fun pool ->
+          List.iter
+            (fun (name, s, subs, d) ->
+              let m = Subscription.arity s in
+              let packed = Flat.pack ~m subs in
+              let sbox = Flat.box_of_sub s in
+              for seed = 1 to 3 do
+                let a =
+                  Rspc_parallel.run_packed ~pool ~rng:(Prng.of_int seed) ~d
+                    ~sbox packed
+                in
+                let b = Rspc.run_packed ~rng:(Prng.of_int seed) ~d ~sbox packed in
+                check_against_sequential
+                  (Printf.sprintf "%s workers=%d seed=%d" name workers seed)
+                  a b
+              done)
+            bit_identical_shapes))
+    [ 0; 1; 3; 7 ]
+
+let test_percall_spawn_bit_identical () =
+  (* The pool-less path (per-call spawn) goes through the same block
+     engine: also bit-identical. *)
+  List.iter
+    (fun (name, s, subs, d) ->
+      let m = Subscription.arity s in
+      let packed = Flat.pack ~m subs in
+      let sbox = Flat.box_of_sub s in
+      for seed = 1 to 2 do
+        let a =
+          Rspc_parallel.run_packed ~domains:4 ~rng:(Prng.of_int seed) ~d ~sbox
+            packed
+        in
+        let b = Rspc.run_packed ~rng:(Prng.of_int seed) ~d ~sbox packed in
+        check_against_sequential
+          (Printf.sprintf "%s domains=4 seed=%d" name seed)
+          a b
+      done)
+    bit_identical_shapes
+
+let test_run_wrapper_bit_identical () =
+  (* The boxed wrapper inherits the guarantee from run_packed. *)
+  let s = sub [ (0, 999); (0, 999) ] in
+  let subs = [| sub [ (0, 899); (0, 999) ] |] in
+  for seed = 1 to 3 do
+    let a =
+      Rspc_parallel.run ~domains:4 ~rng:(Prng.of_int seed) ~d:8192 ~s subs
+    in
+    let b = Rspc.run ~rng:(Prng.of_int seed) ~d:8192 ~s subs in
+    check_against_sequential (Printf.sprintf "run seed=%d" seed) a b
+  done
+
+let test_run_packed_validation () =
+  let s = sub [ (0, 9) ] in
+  let packed = Flat.pack ~m:1 [| s |] in
+  let sbox = Flat.box_of_sub s in
+  Alcotest.check_raises "domains validated"
+    (Invalid_argument "Rspc_parallel.run_packed: domains < 1") (fun () ->
+      ignore
+        (Rspc_parallel.run_packed ~domains:0 ~rng:(Prng.of_int 1) ~d:1 ~sbox
+           packed));
+  Alcotest.check_raises "budget validated"
+    (Invalid_argument "Rspc_parallel.run_packed: negative trial budget")
+    (fun () ->
+      ignore
+        (Rspc_parallel.run_packed ~rng:(Prng.of_int 1) ~d:(-1) ~sbox packed));
+  let sbox2 = Flat.box_of_sub (sub [ (0, 9); (0, 9) ]) in
+  Alcotest.check_raises "arity validated"
+    (Invalid_argument "Rspc_parallel.run_packed: arity mismatch") (fun () ->
+      ignore
+        (Rspc_parallel.run_packed ~rng:(Prng.of_int 1) ~d:1 ~sbox:sbox2 packed))
+
 let test_validation () =
   let s = sub [ (0, 9) ] in
   Alcotest.check_raises "domains validated"
@@ -237,4 +339,12 @@ let suite =
       test_iterations_bounded_with_witness;
     Alcotest.test_case "budget arithmetic" `Quick test_budget_arithmetic;
     Alcotest.test_case "trials_into inner loop" `Quick test_trials_into;
+    Alcotest.test_case "pooled run bit-identical" `Slow
+      test_pooled_bit_identical;
+    Alcotest.test_case "per-call spawn bit-identical" `Slow
+      test_percall_spawn_bit_identical;
+    Alcotest.test_case "run wrapper bit-identical" `Quick
+      test_run_wrapper_bit_identical;
+    Alcotest.test_case "run_packed validation" `Quick
+      test_run_packed_validation;
   ]
