@@ -432,6 +432,159 @@ let run_engine ~fast () =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Recovery bench: WAL append overhead per store mutation (in-memory
+   device and real files), replay throughput of Store_log.recover, and
+   snapshot+compact latency. Emits BENCH_recovery.json. Same verdict
+   contract as the engine bench: the recovered store must be
+   equal_state to the live one that wrote the log — at every stage,
+   including after compaction and on re-recovery (the fixpoint) — or
+   the bench hard-fails. *)
+
+let recovery_arity = 4
+let recovery_store_seed = 11
+
+(* Deterministic mixed mutation script: adds with leases, interleaved
+   removes, renews and expiry sweeps. [subs] is pre-drawn so every
+   store sees identical inputs; the live-id bookkeeping evolves
+   identically too because the stores are deterministic. *)
+let recovery_script ~n =
+  let rng = Prng.of_int 99 in
+  Array.init n (fun _ ->
+      Subscription.of_bounds
+        (List.init recovery_arity (fun _ ->
+             let lo = Prng.int rng 1024 in
+             (lo, lo + 1 + Prng.int rng 256))))
+
+let recovery_apply subs store =
+  let live = ref [] in
+  (* newest first *)
+  Array.iteri
+    (fun i sub ->
+      let now = float_of_int i in
+      if i mod 7 = 3 && !live <> [] then begin
+        let id = List.hd !live in
+        live := List.tl !live;
+        ignore (Subscription_store.remove store id)
+      end
+      else if i mod 11 = 5 && !live <> [] then
+        Subscription_store.renew store (List.hd !live)
+          ~expires_at:(now +. 80.0)
+      else if i mod 29 = 17 then begin
+        let expired, _ = Subscription_store.expire store ~now in
+        live := List.filter (fun id -> not (List.mem id expired)) !live
+      end
+      else begin
+        let id, _ =
+          Subscription_store.add_with_expiry store sub
+            ~expires_at:(now +. 40.0)
+        in
+        live := id :: !live
+      end)
+    subs
+
+let run_recovery ~fast () =
+  let module Sl = Probsub_store_log in
+  print_endline "=================================================";
+  print_endline " Recovery bench (WAL append / replay / compact)";
+  print_endline "=================================================";
+  let n = if fast then 500 else 5000 in
+  let policy = Subscription_store.Pairwise_policy in
+  let mk_plain () =
+    Subscription_store.create ~policy ~arity:recovery_arity
+      ~seed:recovery_store_seed ()
+  in
+  let subs = recovery_script ~n in
+  (* Plain store: the no-journal baseline. *)
+  let plain = mk_plain () in
+  let (), plain_t = time_s (fun () -> recovery_apply subs plain) in
+  (* Journaled store over the in-memory device. *)
+  let sim_device, _, _ = Sl.Device.in_memory () in
+  let sim_store, sim_log =
+    Sl.Store_log.fresh ~policy ~device:sim_device ~arity:recovery_arity
+      ~seed:recovery_store_seed ()
+  in
+  let (), sim_t = time_s (fun () -> recovery_apply subs sim_store) in
+  (* Journaled store over real files, fsync-free but flushed per op. *)
+  let fs_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probsub_bench_recovery_%d" (Unix.getpid ()))
+  in
+  let fs_device = Sl.Device.fs ~dir:fs_dir in
+  let fs_store, _ =
+    Sl.Store_log.fresh ~policy ~device:fs_device ~arity:recovery_arity
+      ~seed:recovery_store_seed ()
+  in
+  let (), fs_t = time_s (fun () -> recovery_apply subs fs_store) in
+  let wal_bytes = Sl.Store_log.wal_size sim_log in
+  let wal_records =
+    List.length (Sl.Wal.scan (sim_device.Sl.Device.read_wal ())).Sl.Wal.records
+  in
+  let fail msg =
+    Printf.eprintf "FAIL: %s\n" msg;
+    exit 1
+  in
+  if not (Subscription_store.equal_state plain sim_store) then
+    fail "journaled store diverged from the plain baseline";
+  (* Replay throughput. *)
+  let recover () =
+    match Sl.Store_log.recover ~device:sim_device () with
+    | Ok r -> r
+    | Error msg -> fail ("recovery failed: " ^ msg)
+  in
+  let r1, replay_t = time_s recover in
+  if not (Subscription_store.equal_state sim_store r1.Sl.Store_log.r_store)
+  then fail "recovered store mismatches the live store";
+  if r1.Sl.Store_log.r_repaired then fail "clean log reported as repaired";
+  (* Snapshot + compaction latency, then the post-compact and fixpoint
+     recoveries must land on the same state. *)
+  let (), compact_t =
+    time_s (fun () ->
+        Sl.Store_log.compact r1.Sl.Store_log.r_log r1.Sl.Store_log.r_store
+          ~bindings:[])
+  in
+  let r2, _ = time_s recover in
+  if not (Subscription_store.equal_state sim_store r2.Sl.Store_log.r_store)
+  then fail "post-compaction recovery mismatches the live store";
+  let r3, _ = time_s recover in
+  if not
+       (Subscription_store.equal_state r2.Sl.Store_log.r_store
+          r3.Sl.Store_log.r_store)
+  then fail "re-recovery is not a fixpoint";
+  (* Best-effort cleanup of the fs device's directory. *)
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat fs_dir f))
+       (Sys.readdir fs_dir);
+     Sys.rmdir fs_dir
+   with Sys_error _ -> ());
+  let per_op t = t *. 1e9 /. float_of_int n in
+  let replay_ops_per_sec = float_of_int wal_records /. replay_t in
+  Printf.printf "ops=%d wal=%d bytes (%d records)\n" n wal_bytes wal_records;
+  Printf.printf "%-22s %10.1f ns/op\n" "plain (no journal)" (per_op plain_t);
+  Printf.printf "%-22s %10.1f ns/op  (overhead x%.2f)\n" "journaled (memory)"
+    (per_op sim_t) (sim_t /. plain_t);
+  Printf.printf "%-22s %10.1f ns/op  (overhead x%.2f)\n" "journaled (files)"
+    (per_op fs_t) (fs_t /. plain_t);
+  Printf.printf "replay: %.0f records/s   snapshot+compact: %.3f ms\n"
+    replay_ops_per_sec (compact_t *. 1e3);
+  let oc = open_out "BENCH_recovery.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"recovery\",\n";
+  Printf.fprintf oc "  \"fast\": %b,\n  \"ops\": %d,\n" fast n;
+  Printf.fprintf oc "  \"wal_bytes\": %d,\n  \"wal_records\": %d,\n" wal_bytes
+    wal_records;
+  Printf.fprintf oc "  \"plain_ns_per_op\": %.1f,\n" (per_op plain_t);
+  Printf.fprintf oc "  \"journal_mem_ns_per_op\": %.1f,\n" (per_op sim_t);
+  Printf.fprintf oc "  \"journal_fs_ns_per_op\": %.1f,\n" (per_op fs_t);
+  Printf.fprintf oc "  \"append_overhead_mem\": %.3f,\n" (sim_t /. plain_t);
+  Printf.fprintf oc "  \"append_overhead_fs\": %.3f,\n" (fs_t /. plain_t);
+  Printf.fprintf oc "  \"replay_records_per_sec\": %.1f,\n" replay_ops_per_sec;
+  Printf.fprintf oc "  \"compact_ms\": %.3f,\n" (compact_t *. 1e3);
+  Printf.fprintf oc "  \"verdicts_match\": true\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_recovery.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one test per table/figure ingredient. *)
 
 let micro_tests () =
@@ -553,11 +706,14 @@ let run_micro () =
 
 let () =
   (* `main.exe kernels` runs only the fast flat-kernel bench;
-     `main.exe engine [fast]` runs only the pipeline bench; a numeric
-     argument sets the figure-regeneration run count. *)
+     `main.exe engine [fast]` runs only the pipeline bench;
+     `main.exe recovery [fast]` runs only the WAL/recovery bench; a
+     numeric argument sets the figure-regeneration run count. *)
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "kernels" then run_kernels ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "engine" then
     run_engine ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "recovery" then
+    run_recovery ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
   else begin
     let runs =
       if Array.length Sys.argv > 1 then

@@ -472,7 +472,16 @@ let trace_replay_cmd =
                    TTL seconds, refreshed every TTL/3, with an acked, \
                    retransmitted control channel.")
   in
-  let run file topo policy drop duplicate jitter fault_until crashes lease seed =
+  let wal =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"DIR"
+             ~doc:"Make every broker's routing table durable: per-broker \
+                   write-ahead logs under $(docv)/broker-N. Brokers \
+                   crashed by $(b,--crash) recover their routing state \
+                   from the WAL on restart instead of starting empty.")
+  in
+  let run file topo policy drop duplicate jitter fault_until crashes lease wal
+      seed =
     match Probsub_broker.Trace.load ~path:file with
     | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
     | Ok trace ->
@@ -508,7 +517,16 @@ let trace_replay_cmd =
                 })
               lease
           in
-          Probsub_broker.Network.create ~policy ~fault_plan ?recovery
+          let devices =
+            Option.map
+              (fun dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                Array.init (Probsub_broker.Topology.size topo) (fun i ->
+                    Probsub_store_log.Device.fs
+                      ~dir:(Filename.concat dir (Printf.sprintf "broker-%d" i))))
+              wal
+          in
+          Probsub_broker.Network.create ~policy ~fault_plan ?recovery ?devices
             ~topology:topo ~arity ~seed ()
         with
         | exception Invalid_argument msg -> `Error (false, msg)
@@ -526,12 +544,76 @@ let trace_replay_cmd =
     Term.(
       ret
         (const run $ file $ topo $ policy $ drop $ duplicate $ jitter
-       $ fault_until $ crashes $ lease $ seed_arg))
+       $ fault_until $ crashes $ lease $ wal $ seed_arg))
 
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace" ~doc:"Generate and replay workload traces")
     [ trace_generate_cmd; trace_replay_cmd ]
+
+let store_dir_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"DIR"
+           ~doc:"Directory holding a broker's wal.log / snapshot.bin.")
+
+let store_fsck_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit a machine-readable report for CI.")
+  in
+  let run dir json =
+    if not (Sys.file_exists dir) then
+      `Error (false, dir ^ ": no such directory")
+    else begin
+      let device = Probsub_store_log.Device.fs ~dir in
+      let report = Probsub_store_log.Fsck.run device in
+      if json then print_endline (Probsub_store_log.Fsck.to_json report)
+      else Format.printf "%a" Probsub_store_log.Fsck.pp report;
+      if report.Probsub_store_log.Fsck.clean then `Ok ()
+      else `Error (false, dir ^ ": corruption detected (see report above)")
+    end
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Walk a write-ahead log and snapshot, report a per-record \
+          CRC/length verdict and the recoverable prefix; exit non-zero \
+          when anything is damaged")
+    Term.(ret (const run $ store_dir_arg $ json))
+
+let store_compact_cmd =
+  let run dir =
+    if not (Sys.file_exists dir) then
+      `Error (false, dir ^ ": no such directory")
+    else
+      let device = Probsub_store_log.Device.fs ~dir in
+      match Probsub_store_log.Store_log.recover ~device () with
+      | Error msg -> `Error (false, dir ^ ": " ^ msg)
+      | Ok r ->
+          let open Probsub_store_log in
+          let before = Store_log.wal_size r.Store_log.r_log in
+          Store_log.compact r.Store_log.r_log r.Store_log.r_store
+            ~bindings:r.Store_log.r_bindings;
+          Printf.printf "compacted %s: wal %d -> %d bytes, %d live entries%s\n"
+            dir before
+            (Store_log.wal_size r.Store_log.r_log)
+            (Subscription_store.size r.Store_log.r_store)
+            (if r.Store_log.r_repaired then " (repaired a damaged tail)"
+             else "");
+          `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Recover a store from its write-ahead log (repairing a damaged \
+          tail if needed), write a snapshot and truncate the log")
+    Term.(ret (const run $ store_dir_arg))
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain durable subscription-store logs")
+    [ store_fsck_cmd; store_compact_cmd ]
 
 let main =
   Cmd.group
@@ -539,6 +621,6 @@ let main =
        ~doc:
          "Probabilistic subsumption checking for content-based \
           publish/subscribe (Ouksel et al., Middleware 2006)")
-    [ fig_cmd; demo_cmd; chain_cmd; check_cmd; match_cmd; trace_cmd ]
+    [ fig_cmd; demo_cmd; chain_cmd; check_cmd; match_cmd; trace_cmd; store_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,7 @@
 open Probsub_core
+module Store_log = Probsub_store_log.Store_log
+module Log_codec = Probsub_store_log.Codec
+module Device = Probsub_store_log.Device
 
 type action =
   | Forward of { to_ : Topology.broker; payload : Message.payload }
@@ -17,7 +20,13 @@ type t = {
   neighbors : Topology.broker list;
   use_advertisements : bool;
   lease_ttl : float option;
+  policy : Subscription_store.policy;
+  arity : int;
+  draw_seed : unit -> int;
   fresh_store : unit -> Subscription_store.t;
+  device : Device.t option;
+  (* WAL attached to [routing]; [None] iff [device] is [None]. *)
+  mutable durable : Store_log.t option;
   mutable routing : Subscription_store.t; (* the received table of Alg. 5 *)
   r_key_to_id : (int, Subscription_store.id) Hashtbl.t;
   r_id_to_key : (Subscription_store.id, int) Hashtbl.t;
@@ -34,16 +43,15 @@ type t = {
 }
 
 let create ?(use_advertisements = false) ?lease_ttl ?(dedup_capacity = 4096)
-    ~id ~neighbors ~policy ~arity ~seed () =
+    ?device ~id ~neighbors ~policy ~arity ~seed () =
   (match lease_ttl with
   | Some ttl when not (ttl > 0.0) ->
       invalid_arg "Broker_node.create: lease_ttl must be positive"
   | Some _ | None -> ());
   let rng = Prng.of_int (seed + (id * 7919)) in
+  let draw_seed () = Int64.to_int (Prng.bits64 rng) land 0x3FFFFFFF in
   let fresh_store () =
-    Subscription_store.create ~policy ~arity
-      ~seed:(Int64.to_int (Prng.bits64 rng) land 0x3FFFFFFF)
-      ()
+    Subscription_store.create ~policy ~arity ~seed:(draw_seed ()) ()
   in
   let peers = Hashtbl.create 8 in
   List.iter
@@ -55,13 +63,29 @@ let create ?(use_advertisements = false) ?lease_ttl ?(dedup_capacity = 4096)
           id_to_key = Hashtbl.create 32;
         })
     neighbors;
+  let routing, durable =
+    match device with
+    | None -> (fresh_store (), None)
+    | Some device ->
+        (* Same rng draw as the non-durable path, so a durable broker's
+           pre-crash behaviour is bit-identical to a plain one. *)
+        let store, log =
+          Store_log.fresh ~policy ~device ~arity ~seed:(draw_seed ()) ()
+        in
+        (store, Some log)
+  in
   {
     id;
     neighbors;
     use_advertisements;
     lease_ttl;
+    policy;
+    arity;
+    draw_seed;
     fresh_store;
-    routing = fresh_store ();
+    device;
+    durable;
+    routing;
     r_key_to_id = Hashtbl.create 64;
     r_id_to_key = Hashtbl.create 64;
     r_origin = Hashtbl.create 64;
@@ -81,14 +105,30 @@ let subscription_epoch t ~key =
 let knows_advertisement t ~key = Hashtbl.mem t.ads key
 let routing_table_size t = Subscription_store.size t.routing
 
-(* Crash/restart: all soft state is lost; leases and refreshes
-   reinstall it. *)
-let reset t =
-  t.routing <- t.fresh_store ();
+(* Origin <-> (okind, oarg) for durable bindings; the store-log layer
+   is broker-agnostic and carries plain ints. *)
+let origin_code = function
+  | Message.Client c -> (0, c)
+  | Message.Publisher -> (1, 0)
+  | Message.Link l -> (2, l)
+
+let origin_of_code ~okind ~oarg =
+  match okind with
+  | 0 -> Some (Message.Client oarg)
+  | 1 -> Some Message.Publisher
+  | 2 -> Some (Message.Link oarg)
+  | _ -> None
+
+let reset_routing_maps t =
   Hashtbl.reset t.r_key_to_id;
   Hashtbl.reset t.r_id_to_key;
   Hashtbl.reset t.r_origin;
-  Hashtbl.reset t.r_epoch;
+  Hashtbl.reset t.r_epoch
+
+(* Per-neighbour sent-sets, advertisements and the dedup window are
+   soft state under every crash model: the WAL covers the routing table
+   only, and refresh waves rebuild the rest. *)
+let reset_soft t =
   List.iter
     (fun n ->
       Hashtbl.replace t.peers n
@@ -100,6 +140,84 @@ let reset t =
     t.neighbors;
   Hashtbl.reset t.ads;
   Dedup_window.clear t.seen_pubs
+
+let start_fresh_routing t =
+  match t.device with
+  | None ->
+      t.routing <- t.fresh_store ();
+      t.durable <- None
+  | Some device ->
+      let store, log =
+        Store_log.fresh ~policy:t.policy ~device ~arity:t.arity
+          ~seed:(t.draw_seed ()) ()
+      in
+      t.routing <- store;
+      t.durable <- Some log
+
+(* Crash/restart without durable state: everything is lost; leases and
+   refreshes reinstall it. *)
+let reset t =
+  start_fresh_routing t;
+  reset_routing_maps t;
+  reset_soft t
+
+(* Rebuild the routing maps from recovered bindings. Entries the log
+   cannot fully account for — a torn tail that kept the add but lost
+   its binding, or a binding whose origin no longer decodes — are
+   removed from the store (journalled, so re-recovery agrees) rather
+   than failing the whole recovery. *)
+let install_recovered t store bindings epochs =
+  reset_routing_maps t;
+  let bound = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Log_codec.binding) ->
+      let origin =
+        match
+          origin_of_code ~okind:b.Log_codec.b_okind ~oarg:b.Log_codec.b_oarg
+        with
+        | Some (Message.Link l) when not (List.mem l t.neighbors) -> None
+        | o -> o
+      in
+      match origin with
+      | Some origin ->
+          Hashtbl.replace bound b.Log_codec.b_rid ();
+          Hashtbl.replace t.r_key_to_id b.Log_codec.b_key b.Log_codec.b_rid;
+          Hashtbl.replace t.r_id_to_key b.Log_codec.b_rid b.Log_codec.b_key;
+          Hashtbl.replace t.r_origin b.Log_codec.b_rid origin;
+          Hashtbl.replace t.r_epoch b.Log_codec.b_key b.Log_codec.b_epoch
+      | None -> (
+          try ignore (Subscription_store.remove store b.Log_codec.b_rid)
+          with Not_found -> ()))
+    bindings;
+  List.iter
+    (fun (key, epoch) ->
+      if Hashtbl.mem t.r_key_to_id key then Hashtbl.replace t.r_epoch key epoch)
+    epochs;
+  List.iter
+    (fun (rid, _, _, _) ->
+      if not (Hashtbl.mem bound rid) then
+        ignore (Subscription_store.remove store rid))
+    (Subscription_store.image store).Subscription_store.i_entries
+
+(* Crash/restart with a device: recover the routing table from the
+   WAL + snapshot; only soft state is lost. Falls back to an empty
+   fresh log when the device holds nothing recoverable. *)
+let restart t =
+  (match t.device with
+  | None ->
+      start_fresh_routing t;
+      reset_routing_maps t
+  | Some device -> (
+      match Store_log.recover ~device () with
+      | Error _ ->
+          start_fresh_routing t;
+          reset_routing_maps t
+      | Ok r ->
+          t.routing <- r.Store_log.r_store;
+          t.durable <- Some r.Store_log.r_log;
+          install_recovered t r.Store_log.r_store r.Store_log.r_bindings
+            r.Store_log.r_epochs));
+  reset_soft t
 
 let peer t neighbor =
   match Hashtbl.find_opt t.peers neighbor with
@@ -174,6 +292,18 @@ let handle_subscribe t ~now ~origin ~key ~sub ~epoch =
       Hashtbl.replace t.r_id_to_key rid key;
       Hashtbl.replace t.r_origin rid origin;
       Hashtbl.replace t.r_epoch key epoch;
+      (match t.durable with
+      | Some log ->
+          let okind, oarg = origin_code origin in
+          Store_log.log_binding log
+            {
+              Log_codec.b_rid = rid;
+              b_key = key;
+              b_okind = okind;
+              b_oarg = oarg;
+              b_epoch = epoch;
+            }
+      | None -> ());
       List.concat_map
         (fun n ->
           if neighbor_advertises t ~neighbor:n sub then
@@ -189,6 +319,9 @@ let handle_subscribe t ~now ~origin ~key ~sub ~epoch =
            the key, repair per-peer state the neighbour may have lost,
            and pass the wave down the dissemination tree. *)
         Hashtbl.replace t.r_epoch key epoch;
+        (match t.durable with
+        | Some log -> Store_log.log_epoch log ~key ~epoch
+        | None -> ());
         Subscription_store.renew t.routing rid
           ~expires_at:(lease_end t ~now);
         List.concat_map
@@ -416,3 +549,42 @@ let sweep t ~now =
       t.neighbors
   in
   (!expired_total, actions)
+
+let durable t = Option.is_some t.durable
+let wal_bytes t = Option.map Store_log.wal_size t.durable
+
+(* Current routing bindings, ascending by store id (the image order),
+   for a snapshot. *)
+let collect_bindings t =
+  List.filter_map
+    (fun (rid, _, _, _) ->
+      match Hashtbl.find_opt t.r_id_to_key rid with
+      | None -> None
+      | Some key ->
+          let okind, oarg = origin_code (Hashtbl.find t.r_origin rid) in
+          Some
+            {
+              Log_codec.b_rid = rid;
+              b_key = key;
+              b_okind = okind;
+              b_oarg = oarg;
+              b_epoch = subscription_epoch t ~key;
+            })
+    (Subscription_store.image t.routing).Subscription_store.i_entries
+
+let compact_wal t =
+  match t.durable with
+  | None -> ()
+  | Some log -> Store_log.compact log t.routing ~bindings:(collect_bindings t)
+
+let default_compact_threshold = 32768
+
+let maybe_compact ?(threshold_bytes = default_compact_threshold) t =
+  match t.durable with
+  | None -> false
+  | Some log ->
+      if Store_log.wal_size log > threshold_bytes then begin
+        compact_wal t;
+        true
+      end
+      else false

@@ -30,6 +30,7 @@ type action =
 
 val create :
   ?use_advertisements:bool -> ?lease_ttl:float -> ?dedup_capacity:int ->
+  ?device:Probsub_store_log.Device.t ->
   id:Topology.broker -> neighbors:Topology.broker list ->
   policy:Subscription_store.policy -> arity:int -> seed:int -> unit -> t
 (** One coverage-checking store per outgoing neighbour plus a local
@@ -42,6 +43,12 @@ val create :
     installed subscription on a lease of that many simulated seconds.
     [dedup_capacity] (default 4096) bounds the publication-dedup
     window, so arbitrarily long simulations use constant memory.
+    With a [device], the routing table is durable: every mutation is
+    journalled through a {!Probsub_store_log.Store_log} write-ahead
+    log before the handling call returns, and {!restart} recovers it
+    instead of starting empty. The device is initialised fresh here;
+    rng draws are sequenced so a durable broker behaves bit-identically
+    to a plain one until it crashes.
     @raise Invalid_argument if [lease_ttl] is not positive. *)
 
 val id : t -> Topology.broker
@@ -85,9 +92,34 @@ val sweep : t -> now:float -> int * action list
     crossed the link). *)
 
 val reset : t -> unit
-(** Forget all soft state — routing and peer tables, advertisements,
-    epochs, the publication dedup window. Models a crash/restart; the
-    lease/refresh machinery reinstalls live state. *)
+(** Forget all state — routing and peer tables, advertisements,
+    epochs, the publication dedup window. On a durable broker the
+    device is also re-initialised (a deliberate wipe, not a crash).
+    Models an amnesiac crash/restart; the lease/refresh machinery
+    reinstalls live state. *)
+
+val restart : t -> unit
+(** Come back from a crash. A durable broker recovers its routing
+    table and key/origin/epoch maps from the device's WAL + snapshot —
+    including a WAL damaged by the crash (cut back to the longest
+    valid record prefix, with any entry the surviving log cannot fully
+    account for removed); per-neighbour sent-sets, advertisements and
+    the dedup window are soft state and start empty either way. On a
+    broker without a device this is exactly {!reset}. *)
+
+val durable : t -> bool
+(** True when the broker journals its routing table to a device. *)
+
+val wal_bytes : t -> int option
+(** Current WAL size of a durable broker ([None] otherwise). *)
+
+val compact_wal : t -> unit
+(** Snapshot the routing table (with its key/origin/epoch bindings)
+    and truncate the WAL. No-op on a non-durable broker. *)
+
+val maybe_compact : ?threshold_bytes:int -> t -> bool
+(** {!compact_wal} when the WAL exceeds [threshold_bytes] (default
+    32 KiB); returns whether a compaction ran. *)
 
 val knows_subscription : t -> key:int -> bool
 (** True when [key] is in the routing table. *)

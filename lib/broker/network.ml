@@ -85,9 +85,13 @@ let cancel_retransmit t h = ignore (Event_queue.cancel t.real_q h)
 
 let create ?(policy = Subscription_store.Pairwise_policy) ?(link_latency = 1.0)
     ?(use_advertisements = false) ?(fault_plan = Fault_plan.zero) ?recovery
-    ?dedup_capacity ~topology ~arity ~seed () =
+    ?dedup_capacity ?devices ~topology ~arity ~seed () =
   if not (link_latency > 0.0) then
     invalid_arg "Network.create: latency must be positive";
+  (match devices with
+  | Some d when Array.length d <> Topology.size topology ->
+      invalid_arg "Network.create: one device per broker required"
+  | Some _ | None -> ());
   (match recovery with
   | Some r ->
       if
@@ -101,7 +105,9 @@ let create ?(policy = Subscription_store.Pairwise_policy) ?(link_latency = 1.0)
   let lease_ttl = Option.map (fun r -> r.lease_ttl) recovery in
   let brokers =
     Array.init (Topology.size topology) (fun id ->
-        Broker_node.create ~use_advertisements ?lease_ttl ?dedup_capacity ~id
+        Broker_node.create ~use_advertisements ?lease_ttl ?dedup_capacity
+          ?device:(Option.map (fun d -> d.(id)) devices)
+          ~id
           ~neighbors:(Topology.neighbors topology id)
           ~policy ~arity ~seed ())
   in
@@ -375,7 +381,9 @@ let process t ~time ev =
             let expired, actions = Broker_node.sweep t.brokers.(b) ~now:time in
             t.metrics.Metrics.lease_expiries <-
               t.metrics.Metrics.lease_expiries + expired;
-            apply_actions t ~time ~at:b actions
+            apply_actions t ~time ~at:b actions;
+            (* The sweep tick doubles as the compaction tick. *)
+            ignore (Broker_node.maybe_compact t.brokers.(b))
           end;
           push_maintenance t ~time:(time +. r.refresh_interval) (Sweep b))
   | Crash b ->
@@ -399,7 +407,9 @@ let process t ~time ev =
         dead
   | Restart b ->
       t.down.(b) <- false;
-      Broker_node.reset t.brokers.(b)
+      (* Durable brokers recover their routing table from the WAL;
+         plain brokers come back empty. *)
+      Broker_node.restart t.brokers.(b)
 
 let rec run t =
   match Event_queue.pop t.real_q with

@@ -54,7 +54,8 @@ val default_recovery : recovery
 val create :
   ?policy:Subscription_store.policy -> ?link_latency:float ->
   ?use_advertisements:bool -> ?fault_plan:Fault_plan.t ->
-  ?recovery:recovery -> ?dedup_capacity:int -> topology:Topology.t ->
+  ?recovery:recovery -> ?dedup_capacity:int ->
+  ?devices:Probsub_store_log.Device.t array -> topology:Topology.t ->
   arity:int -> seed:int -> unit -> t
 (** Default policy: pairwise; default latency 1.0. With
     [use_advertisements] (default false), subscriptions are routed only
@@ -67,9 +68,15 @@ val create :
     metrics). [recovery] (default off) enables the reliable control
     channel, leases, refresh waves and expiry sweeps.
     [dedup_capacity] bounds each broker's publication dedup window.
+    [devices] (one per broker, in broker-id order) makes every broker's
+    routing table durable: mutations are journalled to the broker's
+    device, a [Restart] inside a crash window recovers from the WAL
+    instead of starting empty, and the periodic sweep tick compacts
+    oversized WALs into snapshots.
     @raise Invalid_argument if the latency is not positive, the
-    recovery parameters are malformed, or a crash window names a broker
-    outside the topology. *)
+    recovery parameters are malformed, [devices] does not match the
+    topology size, or a crash window names a broker outside the
+    topology. *)
 
 val topology : t -> Topology.t
 val now : t -> float

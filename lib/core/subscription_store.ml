@@ -22,6 +22,27 @@ type stats = {
   covered_scans : int;
 }
 
+(* The store's durable mutation language: each constructor records the
+   *effect* of one mutating call (placements already classified,
+   orphans already re-checked), so replaying an op never re-runs the
+   probabilistic engine — recovery is deterministic and cheap, and the
+   generator stream is reproduced by counting the splits the live
+   classifications consumed. *)
+type op =
+  | Op_add of {
+      id : id;
+      sub : Subscription.t;
+      placement : placement;
+      expires_at : float;
+    }
+  | Op_remove of { id : id; reclassified : (id * placement) list }
+  | Op_renew of { id : id; expires_at : float }
+  | Op_expire of {
+      now : float;
+      expired : id list;
+      reclassified : (id * placement) list;
+    }
+
 type t = {
   policy : policy;
   arity : int;
@@ -48,6 +69,14 @@ type t = {
   mutable active_cache : (id array * Subscription.t array) option;
   mutable packed_cache : Flat.t option;
   mutable next_id : id;
+  (* Prng.split draws consumed by classifications so far. Recovery
+     fast-forwards a fresh seed-rng by this count, so a recovered
+     store's future draws continue the live store's stream. *)
+  mutable splits : int;
+  (* Effect journal: invoked after each completed mutation with the op
+     that reproduces it. [apply_op] never emits (replay must not
+     re-journal). *)
+  mutable journal : (op -> unit) option;
   mutable added : int;
   mutable dropped_covered : int;
   mutable removed_count : int;
@@ -73,6 +102,8 @@ let create ?(policy = Group_policy Engine.default_config) ?pool ~arity ~seed
     active_cache = None;
     packed_cache = None;
     next_id = 0;
+    splits = 0;
+    journal = None;
     added = 0;
     dropped_covered = 0;
     removed_count = 0;
@@ -84,6 +115,11 @@ let create ?(policy = Group_policy Engine.default_config) ?pool ~arity ~seed
 let policy t = t.policy
 let arity t = t.arity
 let size t = Hashtbl.length t.entries
+let set_journal t j = t.journal <- j
+let splits_consumed t = t.splits
+
+let emit t op =
+  match t.journal with None -> () | Some f -> f op
 
 let invalidate_active t =
   t.active_cache <- None;
@@ -218,6 +254,7 @@ let classify t s =
   | Group_policy config ->
       let ids, subs = active_arrays t in
       let packed = active_packed t in
+      t.splits <- t.splits + 1;
       let rng = Prng.split t.rng in
       placement_of_report ids
         (Engine.check ~config ?pool:t.pool ~packed ~rng s subs)
@@ -240,6 +277,7 @@ let install t s ~state ~expires_at =
          cached snapshot stays valid — the common steady-state case. *)
       t.active_n <- t.active_n + 1;
       invalidate_active t);
+  emit t (Op_add { id; sub = s; placement = state; expires_at });
   (id, state)
 
 let insert t s ~expires_at =
@@ -300,6 +338,7 @@ let add_batch t subs =
          explicit loop: the split order is the observable effect. *)
       let rngs = Array.make n t.rng in
       for i = 0 to n - 1 do
+        t.splits <- t.splits + 1;
         rngs.(i) <- Prng.split t.rng
       done;
       let window_cap = max 8 (4 * (Domain_pool.size pool + 1)) in
@@ -334,16 +373,24 @@ let expiry t id =
   | Some e -> e.expires_at
   | None -> raise Not_found
 
+(* Renewing an id the store no longer holds is a no-op, not an error:
+   a refresh can race a sweep that already expired the entry, and the
+   same must hold on replay — a journaled renew whose target was
+   expired earlier in the log must not resurrect anything. *)
 let renew t id ~expires_at =
   if Float.is_nan expires_at then
     invalid_arg "Subscription_store.renew: NaN lease";
   match Hashtbl.find_opt t.entries id with
-  | Some e -> e.expires_at <- expires_at
-  | None -> raise Not_found
+  | Some e ->
+      e.expires_at <- expires_at;
+      emit t (Op_renew { id; expires_at })
+  | None -> ()
 
 (* Re-check the covered subscriptions that recorded one of
    [departed_active] as a coverer; promote those no longer covered.
-   Shared by {!remove} and {!expire} (§5's replacement rule). *)
+   Shared by {!remove} and {!expire} (§5's replacement rule). Returns
+   every re-checked orphan with its new placement (not just the
+   promotions) so the journal can record the full effect. *)
 let reclassify_orphans t ~departed_active =
   let orphans =
     fold_entries t ~init:[] ~f:(fun acc oid oe ->
@@ -354,7 +401,7 @@ let reclassify_orphans t ~departed_active =
         | Covered _ | Active -> acc)
     |> List.rev
   in
-  List.filter_map
+  List.map
     (fun (oid, oe, old_by) ->
       List.iter (fun coverer -> unlink_child t ~coverer ~child:oid) old_by;
       match classify t oe.sub with
@@ -363,12 +410,17 @@ let reclassify_orphans t ~departed_active =
           t.active_n <- t.active_n + 1;
           invalidate_active t;
           t.promoted_count <- t.promoted_count + 1;
-          Some oid
+          (oid, Active)
       | Covered by ->
           oe.state <- Covered by;
           List.iter (fun coverer -> link_child t ~coverer ~child:oid) by;
-          None)
+          (oid, Covered by))
     orphans
+
+let promoted_of_reclassified reclassified =
+  List.filter_map
+    (fun (oid, pl) -> match pl with Active -> Some oid | Covered _ -> None)
+    reclassified
 
 let remove t id =
   let e =
@@ -382,12 +434,15 @@ let remove t id =
   match e.state with
   | Covered by ->
       List.iter (fun coverer -> unlink_child t ~coverer ~child:id) by;
+      emit t (Op_remove { id; reclassified = [] });
       []
   | Active ->
       t.active_n <- t.active_n - 1;
       invalidate_active t;
       Hashtbl.remove t.children id;
-      reclassify_orphans t ~departed_active:[ id ]
+      let reclassified = reclassify_orphans t ~departed_active:[ id ] in
+      emit t (Op_remove { id; reclassified });
+      promoted_of_reclassified reclassified
 
 let expire t ~now =
   let expired =
@@ -414,11 +469,14 @@ let expire t ~now =
         match e.state with Active -> Some id | Covered _ -> None)
       expired
   in
-  let promoted =
+  let reclassified =
     if expired_active = [] then []
     else reclassify_orphans t ~departed_active:expired_active
   in
-  (List.map fst expired, promoted)
+  let expired_ids = List.map fst expired in
+  if expired_ids <> [] then
+    emit t (Op_expire { now; expired = expired_ids; reclassified });
+  (expired_ids, promoted_of_reclassified reclassified)
 
 let match_publication t p =
   let hits = ref [] in
@@ -536,3 +594,177 @@ let stats t =
     active_scans = t.active_scans;
     covered_scans = t.covered_scans;
   }
+
+(* -------------------------------------------------------------------
+   Recovery: replaying journaled effects.
+
+   Equivalence argument. A live mutation is (a) a deterministic state
+   transformation given its recorded outcome, plus (b) a fixed number
+   of [Prng.split] draws — one per group-policy classification. The
+   outcomes are in the op; [consume_split] reproduces the draws. So
+   replaying the journal on a fresh store with the same seed yields
+   the same entries, placements, coverer links, active set, ids and
+   generator state as the live sequence — which equal_state checks and
+   the qcheck crash-point suite asserts for arbitrary op sequences. *)
+
+let consume_split t =
+  match t.policy with
+  | Group_policy _ ->
+      t.splits <- t.splits + 1;
+      ignore (Prng.split t.rng)
+  | No_coverage | Pairwise_policy -> ()
+
+(* Mirror of the tail of [reclassify_orphans], with recorded placements
+   standing in for the classify calls (one split each under group). *)
+let apply_reclassified t reclassified =
+  List.iter
+    (fun (oid, pl) ->
+      consume_split t;
+      match Hashtbl.find_opt t.entries oid with
+      | None -> ()
+      | Some oe ->
+          (match oe.state with
+          | Covered old_by ->
+              List.iter
+                (fun coverer -> unlink_child t ~coverer ~child:oid)
+                old_by
+          | Active -> ());
+          (match pl with
+          | Active ->
+              oe.state <- Active;
+              t.active_n <- t.active_n + 1;
+              invalidate_active t;
+              t.promoted_count <- t.promoted_count + 1
+          | Covered by ->
+              oe.state <- Covered by;
+              List.iter (fun coverer -> link_child t ~coverer ~child:oid) by))
+    reclassified
+
+let drop_entry t id e =
+  Hashtbl.remove t.entries id;
+  order_mark_dead t;
+  t.removed_count <- t.removed_count + 1;
+  match e.state with
+  | Covered by ->
+      List.iter (fun coverer -> unlink_child t ~coverer ~child:id) by
+  | Active ->
+      t.active_n <- t.active_n - 1;
+      invalidate_active t;
+      Hashtbl.remove t.children id
+
+let apply_op t op =
+  match op with
+  | Op_add { id; sub; placement; expires_at } ->
+      if id <> t.next_id then
+        invalid_arg "Subscription_store.apply_op: non-contiguous id";
+      if Subscription.arity sub <> t.arity then
+        invalid_arg "Subscription_store.apply_op: arity mismatch";
+      consume_split t;
+      t.next_id <- id + 1;
+      Hashtbl.replace t.entries id { sub; state = placement; expires_at };
+      order_push t id;
+      t.added <- t.added + 1;
+      (match placement with
+      | Covered by ->
+          t.dropped_covered <- t.dropped_covered + 1;
+          List.iter (fun coverer -> link_child t ~coverer ~child:id) by
+      | Active ->
+          t.active_n <- t.active_n + 1;
+          invalidate_active t)
+  | Op_remove { id; reclassified } ->
+      (match Hashtbl.find_opt t.entries id with
+      | None -> ()
+      | Some e -> drop_entry t id e);
+      apply_reclassified t reclassified
+  | Op_renew { id; expires_at } -> (
+      match Hashtbl.find_opt t.entries id with
+      | Some e -> e.expires_at <- expires_at
+      | None -> ())
+  | Op_expire { now = _; expired; reclassified } ->
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt t.entries id with
+          | None -> ()
+          | Some e -> drop_entry t id e)
+        expired;
+      apply_reclassified t reclassified
+
+type image = {
+  i_next_id : id;
+  i_splits : int;
+  i_entries : (id * Subscription.t * placement * float) list;
+}
+
+let image t =
+  {
+    i_next_id = t.next_id;
+    i_splits = t.splits;
+    i_entries =
+      fold_entries t ~init:[] ~f:(fun acc id e ->
+          (id, e.sub, e.state, e.expires_at) :: acc)
+      |> List.rev;
+  }
+
+let empty_image = { i_next_id = 0; i_splits = 0; i_entries = [] }
+
+let restore ?policy ?pool ~arity ~seed img =
+  let t = create ?policy ?pool ~arity ~seed () in
+  for _ = 1 to img.i_splits do
+    ignore (Prng.split t.rng)
+  done;
+  t.splits <- img.i_splits;
+  let last = ref (-1) in
+  List.iter
+    (fun (id, sub, placement, expires_at) ->
+      if id <= !last then
+        invalid_arg "Subscription_store.recover: image ids not ascending";
+      last := id;
+      if Subscription.arity sub <> t.arity then
+        invalid_arg "Subscription_store.recover: image arity mismatch";
+      Hashtbl.replace t.entries id { sub; state = placement; expires_at };
+      order_push t id;
+      match placement with
+      | Covered by ->
+          List.iter (fun coverer -> link_child t ~coverer ~child:id) by
+      | Active -> t.active_n <- t.active_n + 1)
+    img.i_entries;
+  if img.i_next_id <= !last then
+    invalid_arg "Subscription_store.recover: image next_id too small";
+  t.next_id <- img.i_next_id;
+  t
+
+let recover ?policy ?pool ~arity ~seed ?(image = empty_image) ops =
+  let t = restore ?policy ?pool ~arity ~seed image in
+  List.iter (apply_op t) ops;
+  t
+
+let equal_state a b =
+  let entry_list t =
+    fold_entries t ~init:[] ~f:(fun acc id e -> (id, e) :: acc) |> List.rev
+  in
+  let entry_equal (ida, ea) (idb, eb) =
+    ida = idb
+    && Subscription.equal ea.sub eb.sub
+    && ea.state = eb.state
+    && ea.expires_at = eb.expires_at
+  in
+  let packed_equal pa pb =
+    Flat.k pa = Flat.k pb
+    && Flat.m pa = Flat.m pb
+    &&
+    let ok = ref true in
+    for row = 0 to Flat.k pa - 1 do
+      for attr = 0 to Flat.m pa - 1 do
+        if
+          Flat.lo pa ~row ~attr <> Flat.lo pb ~row ~attr
+          || Flat.hi pa ~row ~attr <> Flat.hi pb ~row ~attr
+        then ok := false
+      done
+    done;
+    !ok
+  in
+  a.arity = b.arity && a.policy = b.policy && a.next_id = b.next_id
+  && a.splits = b.splits
+  && List.equal entry_equal (entry_list a) (entry_list b)
+  && fst (active_arrays a) = fst (active_arrays b)
+  && packed_equal (active_packed a) (active_packed b)

@@ -93,8 +93,11 @@ val expiry : t -> id -> float
 val renew : t -> id -> expires_at:float -> unit
 (** Replace a subscription's lease deadline — the refresh half of the
     lease protocol: a home broker re-announcing a subscription extends
-    its life instead of reinstalling it. @raise Not_found on an unknown
-    id, Invalid_argument if [expires_at] is NaN. *)
+    its life instead of reinstalling it. Renewing an id the store no
+    longer holds (e.g. already reclaimed by {!expire}) is a silent
+    no-op: a refresh that races a sweep must not fail, and a journaled
+    renew must not resurrect an expired entry on replay.
+    @raise Invalid_argument if [expires_at] is NaN. *)
 
 val expire : t -> now:float -> id list * id list
 (** [expire t ~now] removes every subscription whose lease has run out
@@ -164,3 +167,82 @@ val validate : t -> bool
     active, the multi-level child index is the exact inverse of the
     covered-by relation, and (pairwise policy) every recorded coverer
     really covers its child. *)
+
+(** {1 Durability: effect journal and crash recovery}
+
+    The store can journal every completed mutation as an {!op} — an
+    {e effect} record carrying the classified placements, not the
+    inputs — so a write-ahead log replays without re-running the
+    probabilistic engine. Replay is deterministic, and the generator
+    stream is kept aligned by consuming exactly the {!Prng.split}
+    draws the live classifications made (one per group-policy
+    classification; counted in {!splits_consumed}). *)
+
+type op =
+  | Op_add of {
+      id : id;
+      sub : Subscription.t;
+      placement : placement;
+      expires_at : float;
+    }  (** One {!add}/{!add_batch} item or {!add_with_expiry}. *)
+  | Op_remove of { id : id; reclassified : (id * placement) list }
+      (** One {!remove}; [reclassified] lists every orphan re-checked
+          after an active departure, with its new placement. *)
+  | Op_renew of { id : id; expires_at : float }
+      (** One effective {!renew} (no-op renews are not journaled). *)
+  | Op_expire of {
+      now : float;
+      expired : id list;
+      reclassified : (id * placement) list;
+    }  (** One {!expire} that reclaimed at least one lease. *)
+
+val set_journal : t -> (op -> unit) option -> unit
+(** Install (or clear) the journal callback, invoked after each
+    completed mutation. Replay via {!apply_op}/{!recover} never
+    re-journals. *)
+
+val splits_consumed : t -> int
+(** Number of {!Prng.split} draws classifications have consumed so
+    far — the generator fast-forward distance recovery needs. *)
+
+val apply_op : t -> op -> unit
+(** Apply one journaled effect without classification: placements are
+    taken from the record and the implied split draws are consumed, so
+    a replayed store tracks the live store's state {e and} generator.
+    Unknown ids in removals/renewals/expiries are ignored (replay of a
+    prefix must never fail). @raise Invalid_argument if an [Op_add]
+    id is not the store's next id or its arity mismatches — a log that
+    was not produced by this store's journal. *)
+
+type image = {
+  i_next_id : id;
+  i_splits : int;
+  i_entries : (id * Subscription.t * placement * float) list;
+      (** Live entries ascending by id: [(id, sub, placement,
+          expires_at)]. *)
+}
+(** A snapshot of everything {!recover} needs: replaying an image then
+    a journal suffix is equivalent to replaying the full journal. *)
+
+val image : t -> image
+
+val empty_image : image
+(** The image of a freshly created store: no entries, no consumed
+    splits, next id 0. *)
+
+val recover :
+  ?policy:policy -> ?pool:Domain_pool.t -> arity:int -> seed:int ->
+  ?image:image -> op list -> t
+(** [recover ~arity ~seed ops] rebuilds a store from a snapshot image
+    (default: empty) plus a journaled op suffix. [policy], [arity] and
+    [seed] must be those of the original store; the result then
+    satisfies [equal_state original (recover ...)] — same entries,
+    placements, coverer links, active arrays, {!Flat} pack, next id
+    and generator position. @raise Invalid_argument on a malformed
+    image or an [Op_add] inconsistent with the rebuilt state. *)
+
+val equal_state : t -> t -> bool
+(** Logical-state equality: policy, arity, next id, consumed splits,
+    the full entry table (ids, subscriptions, placements, leases), the
+    active id array and the packed {!Flat} planes. Read-path counters
+    ([stats]) are excluded — they are not part of durable state. *)

@@ -5,7 +5,8 @@
 type t = {
   file : string;  (** display path, as given to the driver *)
   core_or_broker : bool;
-      (** under [lib/core] or [lib/broker]: determinism-critical code *)
+      (** under [lib/core], [lib/broker] or [lib/store_log]:
+          determinism-critical code *)
   in_lib : bool;  (** under [lib/]: library code, partiality applies *)
   hot : bool;  (** file carries a floating [\[@@@problint.hot\]] attribute *)
 }
@@ -14,8 +15,11 @@ let make ?(core_or_broker = false) ?(in_lib = false) ?(hot = false) ~file () =
   { file; core_or_broker; in_lib; hot }
 
 (* Path classification for the driver: a file is determinism-critical
-   when it lives under lib/core or lib/broker, and library code when it
-   lives under lib/. Paths are the relative ones handed to the driver
+   when it lives under lib/core, lib/broker or lib/store_log (replaying
+   a WAL must be bit-identical to the run that wrote it, so the durable
+   layer is in scope — audited per-use [@problint.allow] annotations,
+   never a path exemption), and library code when it lives under lib/.
+   Paths are the relative ones handed to the driver
    (e.g. "lib/core/flat.ml"). *)
 let contains_seg path seg =
   let path = "/" ^ String.concat "/" (String.split_on_char '\\' path) ^ "/" in
@@ -28,7 +32,9 @@ let classify ~file =
   {
     file;
     core_or_broker =
-      contains_seg file "lib/core" || contains_seg file "lib/broker";
+      contains_seg file "lib/core"
+      || contains_seg file "lib/broker"
+      || contains_seg file "lib/store_log";
     in_lib = contains_seg file "lib";
     hot = false (* filled in from the parsed AST by the driver *);
   }

@@ -1,11 +1,15 @@
 (* determinism: simulator runs must be bit-identical under a seeded
-   [Prng]. In lib/core and lib/broker this forbids the global [Random]
-   generator, wall-clock reads, and hash-order-dependent traversal of
-   hashtables ([Hashtbl.iter]/[Hashtbl.fold] — iteration order depends
-   on the hash function and table history, not on program logic).
-   Order-insensitive folds (counts, existence checks, collect-then-sort)
-   carry an [\[@problint.allow determinism "..."\]] annotation saying
-   why. *)
+   [Prng]. In lib/core, lib/broker and lib/store_log this forbids the
+   global [Random] generator, wall-clock reads, and
+   hash-order-dependent traversal of hashtables
+   ([Hashtbl.iter]/[Hashtbl.fold] — iteration order depends on the
+   hash function and table history, not on program logic).
+   lib/store_log is in scope deliberately: a WAL frame's bytes are
+   part of the replay contract, so nondeterminism there corrupts
+   recovery equivalence, not just metrics. Order-insensitive folds
+   (counts, existence checks, collect-then-sort) carry an
+   [\[@problint.allow determinism "..."\]] annotation saying why —
+   audited per use, never exempted by path. *)
 
 open Ppxlib
 
@@ -13,8 +17,8 @@ let name = "determinism"
 
 let doc =
   "Forbid Random.*, Sys.time, Unix.gettimeofday and \
-   Hashtbl.iter/fold in lib/core and lib/broker; use the seeded Prng \
-   and sorted iteration instead."
+   Hashtbl.iter/fold in lib/core, lib/broker and lib/store_log; use \
+   the seeded Prng and sorted iteration instead."
 
 let check (ctx : Lint_ctx.t) (str : structure) =
   if not ctx.core_or_broker then []

@@ -1,0 +1,88 @@
+(** Binary codec for durable records, and the checksummed frame format.
+
+    Record payloads are a compact tagged binary encoding (LEB128
+    varints, zigzag for signed values, IEEE-754 bits for floats).
+    On disk every record travels inside a {e frame}:
+
+    {v
+      +----------+----------+---------------------------------+
+      | len u32LE| crc u32LE| payload  =  lsn varint ++ body  |
+      +----------+----------+---------------------------------+
+        4 bytes    4 bytes    len bytes, CRC-32 over payload
+    v}
+
+    [len] counts the payload bytes; [crc] is {!Crc32} of the payload.
+    A reader accepts a frame only if the header is complete, [len]
+    fits in the remaining bytes and is below {!max_frame}, and the
+    checksum matches — so any torn write, truncation or bit flip turns
+    the damaged frame (and everything after it) into a detectable
+    suffix instead of silently corrupt state.
+
+    Decoding is total: {!decode} returns [Error] on malformed bytes
+    and never raises. *)
+
+type meta = {
+  m_arity : int;
+  m_seed : int;
+  m_policy : Probsub_core.Subscription_store.policy;
+}
+(** Everything needed to re-create an empty store identical to the one
+    that wrote the log. *)
+
+type binding = {
+  b_rid : Probsub_core.Subscription_store.id;
+  b_key : int;  (** network-wide subscription key *)
+  b_okind : int;  (** origin constructor: 0 client, 1 publisher, 2 link *)
+  b_oarg : int;  (** client id / link broker id; 0 for publisher *)
+  b_epoch : int;  (** latest refresh epoch seen for the key *)
+}
+(** A broker's routing-table binding for one store id — the key ↔ id ↔
+    origin correspondence that must survive a crash alongside the
+    store itself. Kept store-log-generic (plain ints) so this library
+    does not depend on the broker layer. *)
+
+type record =
+  | Genesis of meta  (** First record of a fresh log. *)
+  | Op of Probsub_core.Subscription_store.op  (** One store mutation. *)
+  | Bind of binding  (** A new routing binding (brokers only). *)
+  | Epoch_note of { key : int; epoch : int }
+      (** A refresh bumped the key's epoch without restating the
+          binding. *)
+  | Snapshot of {
+      meta : meta;
+      last_lsn : int;
+      image : Probsub_core.Subscription_store.image;
+      bindings : binding list;
+    }
+      (** A compaction point: the full store image plus live bindings
+          as of [last_lsn]; WAL records with lsn <= [last_lsn] are
+          superseded. *)
+
+val encode : record -> string
+(** Payload bytes (unframed). *)
+
+val decode : string -> (record, string) result
+(** Total inverse of {!encode}; [Error reason] on any malformed
+    input. *)
+
+val max_frame : int
+(** Upper bound on an accepted payload length; a longer [len] field is
+    treated as corruption rather than a gigantic allocation. *)
+
+val frame : lsn:int -> string -> string
+(** [frame ~lsn payload] wraps an {!encode}d payload in the on-disk
+    frame. @raise Invalid_argument if [lsn < 0] or the payload exceeds
+    {!max_frame}. *)
+
+type frame_result =
+  | Frame of { lsn : int; payload : string; next : int }
+      (** A valid frame; [next] is the offset just past it. *)
+  | Frame_truncated  (** Clean end of data, or a frame cut short. *)
+  | Frame_bad_length  (** [len] exceeds {!max_frame}. *)
+  | Frame_bad_crc  (** Complete frame whose checksum mismatches. *)
+  | Frame_undecodable of string
+      (** Checksum valid but the payload failed varint/lsn parsing. *)
+
+val read_frame : string -> pos:int -> frame_result
+(** Parse one frame at [pos]; never raises. [pos = length] yields
+    [Frame_truncated] (the clean-EOF case). *)

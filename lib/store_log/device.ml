@@ -1,0 +1,94 @@
+type t = {
+  read_wal : unit -> string;
+  append_wal : string -> unit;
+  reset_wal : string -> unit;
+  read_snapshot : unit -> string option;
+  write_snapshot : string -> unit;
+  clear_snapshot : unit -> unit;
+}
+
+let of_sim ~wal ~snapshot =
+  {
+    read_wal = (fun () -> Sim_file.contents wal);
+    append_wal = (fun s -> Sim_file.append wal s);
+    reset_wal =
+      (fun s ->
+        Sim_file.clear wal;
+        Sim_file.append wal s);
+    read_snapshot =
+      (fun () ->
+        if Sim_file.length snapshot = 0 then None
+        else Some (Sim_file.contents snapshot));
+    write_snapshot = (fun s -> Sim_file.store snapshot s);
+    clear_snapshot = (fun () -> Sim_file.clear snapshot);
+  }
+
+let in_memory () =
+  let wal = Sim_file.create () and snapshot = Sim_file.create () in
+  (of_sim ~wal ~snapshot, wal, snapshot)
+
+let read_file path =
+  if not (Sys.file_exists path) then ""
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let fs ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let wal_path = Filename.concat dir "wal.log" in
+  let snap_path = Filename.concat dir "snapshot.bin" in
+  (* One persistent append channel, (re)opened lazily and flushed per
+     record; reset closes it so the rewrite is visible to readers. *)
+  let chan = ref None in
+  let close_chan () =
+    match !chan with
+    | Some oc ->
+        close_out oc;
+        chan := None
+    | None -> ()
+  in
+  let append_chan () =
+    match !chan with
+    | Some oc -> oc
+    | None ->
+        let oc =
+          open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ]
+            0o644 wal_path
+        in
+        chan := Some oc;
+        oc
+  in
+  {
+    read_wal =
+      (fun () ->
+        close_chan ();
+        read_file wal_path);
+    append_wal =
+      (fun s ->
+        let oc = append_chan () in
+        output_string oc s;
+        flush oc);
+    reset_wal =
+      (fun s ->
+        close_chan ();
+        write_file wal_path s);
+    read_snapshot =
+      (fun () ->
+        match read_file snap_path with "" -> None | bytes -> Some bytes);
+    write_snapshot =
+      (fun s ->
+        let tmp = snap_path ^ ".tmp" in
+        write_file tmp s;
+        Sys.rename tmp snap_path);
+    clear_snapshot =
+      (fun () -> if Sys.file_exists snap_path then Sys.remove snap_path);
+  }

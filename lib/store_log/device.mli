@@ -1,0 +1,30 @@
+(** A durable backing device: one WAL stream plus one snapshot slot.
+
+    The interface is the minimal contract recovery needs — append and
+    bulk-read for the log, atomic whole-blob replace for the snapshot —
+    implemented over real files ({!fs}) or over fault-injectable
+    {!Sim_file}s ({!of_sim}/{!in_memory}) so crash-point tests run
+    without touching the filesystem. *)
+
+type t = {
+  read_wal : unit -> string;  (** Entire current WAL bytes. *)
+  append_wal : string -> unit;  (** Append and flush. *)
+  reset_wal : string -> unit;  (** Replace the WAL contents. *)
+  read_snapshot : unit -> string option;  (** [None] when absent/empty. *)
+  write_snapshot : string -> unit;  (** Atomic whole-blob replace. *)
+  clear_snapshot : unit -> unit;  (** Drop the snapshot slot. *)
+}
+
+val of_sim : wal:Sim_file.t -> snapshot:Sim_file.t -> t
+(** Back the device with caller-owned sim files — the caller keeps the
+    handles to inject faults and to survive a simulated broker crash
+    (the sim files model the disk, which outlives the process). *)
+
+val in_memory : unit -> t * Sim_file.t * Sim_file.t
+(** [of_sim] over two fresh sim files, returning them. *)
+
+val fs : dir:string -> t
+(** Files [wal.log] and [snapshot.bin] under [dir] (created if
+    missing). Appends go through a persistent channel and are flushed
+    per record; snapshots are written to a temp file and renamed into
+    place. *)

@@ -1,0 +1,175 @@
+module Store = Probsub_core.Subscription_store
+
+type verdict = {
+  v_offset : int;
+  v_bytes : int;
+  v_lsn : int option;
+  v_kind : string;
+  v_status : string;
+}
+
+type report = {
+  wal_total : int;
+  wal_valid : int;
+  wal_records : verdict list;
+  wal_stop : string;
+  snapshot_present : bool;
+  snapshot_ok : bool;
+  snapshot_detail : string;
+  recoverable : bool;
+  clean : bool;
+}
+
+let record_kind = function
+  | Codec.Genesis _ -> "genesis"
+  | Codec.Op (Store.Op_add _) -> "op:add"
+  | Codec.Op (Store.Op_remove _) -> "op:remove"
+  | Codec.Op (Store.Op_renew _) -> "op:renew"
+  | Codec.Op (Store.Op_expire _) -> "op:expire"
+  | Codec.Bind _ -> "bind"
+  | Codec.Epoch_note _ -> "epoch-note"
+  | Codec.Snapshot _ -> "snapshot"
+
+let stop_verdict (scanned : Wal.scanned) =
+  match scanned.Wal.stop with
+  | Wal.Clean -> None
+  | Wal.Truncated n ->
+      Some
+        {
+          v_offset = scanned.Wal.valid_bytes;
+          v_bytes = n;
+          v_lsn = None;
+          v_kind = "?";
+          v_status = "truncated";
+        }
+  | Wal.Corrupt { offset; reason } ->
+      let status =
+        match reason with
+        | "bad crc" -> "bad-crc"
+        | "bad length" -> "bad-length"
+        | _ -> "undecodable"
+      in
+      Some
+        {
+          v_offset = offset;
+          v_bytes = 0;
+          v_lsn = None;
+          v_kind = "?";
+          v_status = status;
+        }
+
+let run (device : Device.t) =
+  let wal_bytes = device.Device.read_wal () in
+  let scanned = Wal.scan wal_bytes in
+  let ok_verdicts =
+    List.map
+      (fun (e : Wal.entry) ->
+        {
+          v_offset = e.Wal.e_offset;
+          v_bytes = e.Wal.e_bytes;
+          v_lsn = Some e.Wal.e_lsn;
+          v_kind = record_kind e.Wal.e_record;
+          v_status = "ok";
+        })
+      scanned.Wal.records
+  in
+  let wal_records =
+    match stop_verdict scanned with
+    | None -> ok_verdicts
+    | Some v -> ok_verdicts @ [ v ]
+  in
+  let wal_stop =
+    match scanned.Wal.stop with
+    | Wal.Clean -> "clean"
+    | Wal.Truncated _ -> "truncated"
+    | Wal.Corrupt _ -> "corrupt"
+  in
+  let snapshot_present, snapshot_ok, snapshot_detail =
+    match device.Device.read_snapshot () with
+    | None -> (false, true, "absent")
+    | Some bytes -> (
+        match Codec.read_frame bytes ~pos:0 with
+        | Codec.Frame { payload; next; _ } -> (
+            if next <> String.length bytes then
+              (true, false, "trailing bytes after snapshot frame")
+            else
+              match Codec.decode payload with
+              | Ok (Codec.Snapshot { last_lsn; image; _ }) ->
+                  ( true,
+                    true,
+                    Printf.sprintf "ok (last_lsn %d, %d entries)" last_lsn
+                      (List.length image.Store.i_entries) )
+              | Ok r ->
+                  (true, false, "unexpected record kind: " ^ record_kind r)
+              | Error reason -> (true, false, reason))
+        | Codec.Frame_truncated -> (true, false, "truncated frame")
+        | Codec.Frame_bad_length -> (true, false, "bad length")
+        | Codec.Frame_bad_crc -> (true, false, "bad crc")
+        | Codec.Frame_undecodable reason -> (true, false, reason))
+  in
+  let wal_has_genesis =
+    match scanned.Wal.records with
+    | { Wal.e_record = Codec.Genesis _; _ } :: _ -> true
+    | _ -> false
+  in
+  let recoverable = (snapshot_present && snapshot_ok) || wal_has_genesis in
+  let clean =
+    scanned.Wal.stop = Wal.Clean
+    && snapshot_ok
+    && (recoverable || (scanned.Wal.records = [] && not snapshot_present))
+  in
+  {
+    wal_total = scanned.Wal.total_bytes;
+    wal_valid = scanned.Wal.valid_bytes;
+    wal_records;
+    wal_stop;
+    snapshot_present;
+    snapshot_ok;
+    snapshot_detail;
+    recoverable;
+    clean;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "snapshot: %s%s@."
+    (if r.snapshot_present then "present" else "absent")
+    (if r.snapshot_present then ", " ^ r.snapshot_detail else "");
+  Format.fprintf fmt "wal: %d bytes, %d valid, stop=%s@." r.wal_total
+    r.wal_valid r.wal_stop;
+  List.iter
+    (fun v ->
+      Format.fprintf fmt "  @[%8d  %-10s %-9s%s@]@." v.v_offset v.v_kind
+        v.v_status
+        (match v.v_lsn with
+        | Some lsn -> Printf.sprintf "  lsn=%d" lsn
+        | None -> ""))
+    r.wal_records;
+  Format.fprintf fmt "recoverable: %b@.clean: %b@." r.recoverable r.clean
+
+let to_json r =
+  let buf = Buffer.create 512 in
+  let verdict v =
+    Printf.sprintf
+      "{\"offset\":%d,\"bytes\":%d,\"lsn\":%s,\"kind\":%S,\"status\":%S}"
+      v.v_offset v.v_bytes
+      (match v.v_lsn with Some l -> string_of_int l | None -> "null")
+      v.v_kind v.v_status
+  in
+  Buffer.add_string buf "{";
+  Buffer.add_string buf
+    (Printf.sprintf "\"wal_total\":%d,\"wal_valid\":%d,\"wal_stop\":%S,"
+       r.wal_total r.wal_valid r.wal_stop);
+  Buffer.add_string buf "\"wal_records\":[";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (verdict v))
+    r.wal_records;
+  Buffer.add_string buf "],";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"snapshot_present\":%b,\"snapshot_ok\":%b,\"snapshot_detail\":%S,"
+       r.snapshot_present r.snapshot_ok r.snapshot_detail);
+  Buffer.add_string buf
+    (Printf.sprintf "\"recoverable\":%b,\"clean\":%b}" r.recoverable r.clean);
+  Buffer.contents buf

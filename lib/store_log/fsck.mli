@@ -1,0 +1,39 @@
+(** Offline integrity check over a device — the engine behind
+    [probsub store fsck]. Walks the snapshot and every WAL frame,
+    reports per-record verdicts, and says whether the state is
+    recoverable and whether it is fully clean. Never raises on damaged
+    input. *)
+
+type verdict = {
+  v_offset : int;
+  v_bytes : int;  (** Frame size when known, 0 otherwise. *)
+  v_lsn : int option;
+  v_kind : string;  (** "genesis", "op:add", ... or "?" when unknown. *)
+  v_status : string;  (** "ok", "bad-crc", "bad-length", "truncated",
+                          "undecodable". *)
+}
+
+type report = {
+  wal_total : int;
+  wal_valid : int;  (** Longest valid prefix, in bytes. *)
+  wal_records : verdict list;
+  wal_stop : string;  (** "clean", "truncated", "corrupt". *)
+  snapshot_present : bool;
+  snapshot_ok : bool;  (** Vacuously true when absent. *)
+  snapshot_detail : string;
+  recoverable : bool;
+      (** A usable state exists: a good snapshot, or a WAL prefix that
+          starts with a genesis record. *)
+  clean : bool;  (** No damage anywhere. *)
+}
+
+val run : Device.t -> report
+
+val record_kind : Codec.record -> string
+(** The [v_kind] string for a decoded record. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable multi-line rendering. *)
+
+val to_json : report -> string
+(** Machine-readable rendering for CI. *)

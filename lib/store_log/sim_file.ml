@@ -1,0 +1,60 @@
+type t = {
+  mutable data : Bytes.t;
+  mutable len : int;
+  mutable write_limit : int option;
+}
+
+let create () = { data = Bytes.create 64; len = 0; write_limit = None }
+let contents t = Bytes.sub_string t.data 0 t.len
+let length t = t.len
+
+let ensure t cap =
+  if cap > Bytes.length t.data then begin
+    let bigger = Bytes.create (max cap (2 * Bytes.length t.data)) in
+    Bytes.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end
+
+let append t s =
+  let want = String.length s in
+  let allowed =
+    match t.write_limit with
+    | None -> want
+    | Some cap -> min want (max 0 (cap - t.len))
+  in
+  if allowed > 0 then begin
+    ensure t (t.len + allowed);
+    Bytes.blit_string s 0 t.data t.len allowed;
+    t.len <- t.len + allowed
+  end
+
+let store t s =
+  let fits =
+    match t.write_limit with
+    | None -> true
+    | Some cap -> String.length s <= cap
+  in
+  if fits then begin
+    ensure t (String.length s);
+    Bytes.blit_string s 0 t.data 0 (String.length s);
+    t.len <- String.length s
+  end
+
+let clear t = t.len <- 0
+
+let set_write_limit t limit =
+  (match limit with
+  | Some n when n < 0 -> invalid_arg "Sim_file.set_write_limit: negative cap"
+  | Some _ | None -> ());
+  t.write_limit <- limit
+
+let truncate t n =
+  if n < 0 then invalid_arg "Sim_file.truncate: negative length";
+  if n < t.len then t.len <- n
+
+let flip_bit t ~byte ~bit =
+  if byte < 0 || byte >= t.len then
+    invalid_arg "Sim_file.flip_bit: byte out of range";
+  if bit < 0 || bit > 7 then invalid_arg "Sim_file.flip_bit: bit out of range";
+  Bytes.set t.data byte
+    (Char.chr (Char.code (Bytes.get t.data byte) lxor (1 lsl bit)))

@@ -1,0 +1,48 @@
+(** In-memory fault-injectable byte store — the I/O analogue of the
+    broker layer's [Fault_plan].
+
+    A {!t} models one file. Crash points are injected by capping the
+    total bytes that ever reach "disk" ({!set_write_limit}): an append
+    that runs into the cap lands only a prefix (a torn write), later
+    appends land nothing — exactly the state a real log is left in
+    when the process dies mid-write. Post-hoc damage (sector rot,
+    manual truncation) is modelled by {!truncate} and {!flip_bit}.
+    Recovery code reads through {!contents} and must treat every
+    reachable state as a valid input: the qcheck crash-point suite
+    drives arbitrary op sequences through arbitrary caps, cuts and
+    flips and asserts recovery never raises. *)
+
+type t
+
+val create : unit -> t
+(** An empty, unlimited file. *)
+
+val contents : t -> string
+val length : t -> int
+
+val append : t -> string -> unit
+(** Append, honouring the write limit: only the bytes that fit below
+    the cap land, the rest vanish (a torn tail write). *)
+
+val store : t -> string -> unit
+(** Atomically replace the contents (the tmp-file + rename idiom of
+    snapshot writes): the file either fully changes or — if the new
+    contents would cross the write limit — keeps its old bytes.
+    Rename is atomic, so there is no torn middle state. *)
+
+val clear : t -> unit
+(** Reset to empty (ignores the write limit; modelled as a successful
+    O_TRUNC open). *)
+
+val set_write_limit : t -> int option -> unit
+(** [set_write_limit t (Some n)] caps the file at [n] total bytes:
+    the crash point. [None] lifts the cap. @raise Invalid_argument on
+    a negative cap. *)
+
+val truncate : t -> int -> unit
+(** Cut the file to its first [n] bytes ([n] past the end is a no-op).
+    @raise Invalid_argument on a negative length. *)
+
+val flip_bit : t -> byte:int -> bit:int -> unit
+(** Flip one bit in place. @raise Invalid_argument if [byte] is out of
+    range or [bit] is outside [0, 7]. *)

@@ -1,0 +1,65 @@
+type stop =
+  | Clean
+  | Truncated of int
+  | Corrupt of { offset : int; reason : string }
+
+type entry = {
+  e_offset : int;
+  e_bytes : int;
+  e_lsn : int;
+  e_record : Codec.record;
+}
+
+type scanned = {
+  records : entry list;
+  valid_bytes : int;
+  total_bytes : int;
+  stop : stop;
+}
+
+let scan s =
+  let total = String.length s in
+  let rec go pos last_lsn acc =
+    if pos >= total then
+      { records = List.rev acc; valid_bytes = pos; total_bytes = total;
+        stop = Clean }
+    else
+      let finish stop =
+        { records = List.rev acc; valid_bytes = pos; total_bytes = total;
+          stop }
+      in
+      match Codec.read_frame s ~pos with
+      | Codec.Frame_truncated -> finish (Truncated (total - pos))
+      | Codec.Frame_bad_length ->
+          finish (Corrupt { offset = pos; reason = "bad length" })
+      | Codec.Frame_bad_crc ->
+          finish (Corrupt { offset = pos; reason = "bad crc" })
+      | Codec.Frame_undecodable reason ->
+          finish (Corrupt { offset = pos; reason })
+      | Codec.Frame { lsn; payload; next } -> (
+          if lsn <= last_lsn then
+            finish (Corrupt { offset = pos; reason = "lsn regression" })
+          else
+            match Codec.decode payload with
+            | Error reason -> finish (Corrupt { offset = pos; reason })
+            | Ok record ->
+                let e =
+                  { e_offset = pos; e_bytes = next - pos; e_lsn = lsn;
+                    e_record = record }
+                in
+                go next lsn (e :: acc))
+  in
+  go 0 (-1) []
+
+type t = { device : Device.t; mutable next : int }
+
+let attach ~device ~next_lsn =
+  if next_lsn < 0 then invalid_arg "Wal.attach: negative next_lsn";
+  { device; next = next_lsn }
+
+let append t record =
+  let frame = Codec.frame ~lsn:t.next (Codec.encode record) in
+  t.device.Device.append_wal frame;
+  t.next <- t.next + 1
+
+let next_lsn t = t.next

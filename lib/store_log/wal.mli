@@ -1,0 +1,42 @@
+(** Append-side and scan-side of the write-ahead log.
+
+    A WAL file is a sequence of {!Codec} frames with strictly
+    increasing LSNs. {!scan} is total: whatever bytes it is handed, it
+    returns the longest valid record prefix and a verdict about what
+    stopped it — it never raises on corrupt input. *)
+
+type stop =
+  | Clean  (** The file ends exactly at a frame boundary. *)
+  | Truncated of int
+      (** A torn tail: the last [n] bytes are a partial frame. *)
+  | Corrupt of { offset : int; reason : string }
+      (** A frame at [offset] is damaged (bad CRC, bad length,
+          undecodable payload, or LSN regression). *)
+
+type entry = {
+  e_offset : int;  (** Byte offset of the frame header. *)
+  e_bytes : int;  (** Total frame size, header included. *)
+  e_lsn : int;
+  e_record : Codec.record;
+}
+
+type scanned = {
+  records : entry list;  (** Valid prefix, in file order. *)
+  valid_bytes : int;  (** Length of the longest valid prefix. *)
+  total_bytes : int;
+  stop : stop;
+}
+
+val scan : string -> scanned
+
+type t
+(** An open log positioned for appending. *)
+
+val attach : device:Device.t -> next_lsn:int -> t
+(** @raise Invalid_argument if [next_lsn < 0]. *)
+
+val append : t -> Codec.record -> unit
+(** Frame the record at the current LSN, append it through the device
+    (flushed), and advance the LSN. *)
+
+val next_lsn : t -> int

@@ -79,6 +79,50 @@ let test_with_pool_shuts_down_on_raise () =
       Alcotest.(check int) "pool shut down on exception" 0
         (Domain_pool.size pool)
 
+let test_with_pool_raise_with_queued_tasks () =
+  (* The raise path must drain the queue like a normal shutdown: every
+     future submitted before the exception still resolves. *)
+  let escaped = ref None in
+  let futures = ref [] in
+  (try
+     Domain_pool.with_pool ~workers:2 (fun pool ->
+         escaped := Some pool;
+         futures := List.init 50 (fun i -> Domain_pool.submit pool (fun () -> i * 3));
+         failwith "user error")
+   with Failure _ -> ());
+  (match !escaped with
+  | None -> Alcotest.fail "with_pool never ran its body"
+  | Some pool -> Alcotest.(check int) "workers joined" 0 (Domain_pool.size pool));
+  List.iteri
+    (fun i f ->
+      Alcotest.(check int)
+        (Printf.sprintf "queued task %d resolved" i)
+        (i * 3) (Domain_pool.await f))
+    !futures;
+  (* An explicit extra shutdown after with_pool's own is the
+     idempotent case. *)
+  match !escaped with
+  | Some pool -> Domain_pool.shutdown pool
+  | None -> ()
+
+let test_zero_worker_shutdown_idempotent () =
+  let pool = Domain_pool.create ~workers:0 () in
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Domain_pool.submit: pool is shut down") (fun () ->
+      ignore (Domain_pool.submit pool (fun () -> 0)))
+
+let test_shutdown_inside_with_pool () =
+  (* The body shuts the pool down itself; with_pool's final shutdown
+     must then be the idempotent second call, not an error. *)
+  Domain_pool.with_pool ~workers:2 (fun pool ->
+      let f = Domain_pool.submit pool (fun () -> 11) in
+      Domain_pool.shutdown pool;
+      Alcotest.(check int) "result before double shutdown" 11
+        (Domain_pool.await f);
+      Alcotest.(check int) "workers joined" 0 (Domain_pool.size pool))
+
 let test_validation () =
   Alcotest.check_raises "negative workers"
     (Invalid_argument "Domain_pool.create: workers < 0") (fun () ->
@@ -98,5 +142,11 @@ let suite =
       test_shutdown_drains_and_closes;
     Alcotest.test_case "with_pool cleans up on raise" `Quick
       test_with_pool_shuts_down_on_raise;
+    Alcotest.test_case "with_pool raise drains queued tasks" `Quick
+      test_with_pool_raise_with_queued_tasks;
+    Alcotest.test_case "zero-worker shutdown is idempotent" `Quick
+      test_zero_worker_shutdown_idempotent;
+    Alcotest.test_case "shutdown inside with_pool" `Quick
+      test_shutdown_inside_with_pool;
     Alcotest.test_case "validation" `Quick test_validation;
   ]

@@ -366,7 +366,7 @@ let test_crash_window_outside_topology_rejected () =
 (* Full chaos: drops + duplicates + jitter + a crash, churn throughout,
    then convergence certified by the audit oracle. *)
 
-let chaos ~topology ~crash_broker ~seed () =
+let chaos ?(durable = false) ~topology ~crash_broker ~seed () =
   let n = Topology.size topology in
   let plan =
     Fault_plan.create ~drop:0.2 ~duplicate:0.15 ~jitter:1.5
@@ -376,8 +376,17 @@ let chaos ~topology ~crash_broker ~seed () =
   let recovery =
     { Network.lease_ttl = 30.0; refresh_interval = 10.0; rto = 2.0; max_retries = 6 }
   in
+  let devices =
+    if durable then
+      Some
+        (Array.init n (fun _ ->
+             let d, _, _ = Probsub_store_log.Device.in_memory () in
+             d))
+    else None
+  in
   let net =
-    Network.create ~fault_plan:plan ~recovery ~topology ~arity:1 ~seed ()
+    Network.create ?devices ~fault_plan:plan ~recovery ~topology ~arity:1 ~seed
+      ()
   in
   let sub_at b lo hi =
     (b, Network.subscribe net ~broker:b ~client:(100 + b) (sub lo hi))
@@ -424,12 +433,70 @@ let chaos ~topology ~crash_broker ~seed () =
     (m.Metrics.lease_renewals > 0);
   Alcotest.(check bool) "acks flowed" true (m.Metrics.ack_msgs > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Durable restart: a broker that crashes inside the window comes back
+   from its WAL instead of empty. The probe fires before the first
+   refresh wave, so nothing but the WAL can have repaired the restarted
+   broker's routing table — the empty restart must miss the delivery,
+   the durable one must not. *)
+
+let durable_restart_report ~durable () =
+  let plan = Fault_plan.create ~crashes:[ (1, 5.0, 20.5) ] ~seed:31 () in
+  let recovery =
+    {
+      Network.lease_ttl = 100.0;
+      refresh_interval = 60.0;
+      rto = 2.0;
+      max_retries = 4;
+    }
+  in
+  let devices =
+    if durable then
+      Some
+        (Array.init 3 (fun _ ->
+             let d, _, _ = Probsub_store_log.Device.in_memory () in
+             d))
+    else None
+  in
+  let net =
+    Network.create ?devices ~fault_plan:plan ~recovery
+      ~topology:(Topology.chain 3) ~arity:1 ~seed:31 ()
+  in
+  ignore (Network.subscribe net ~broker:0 ~client:1 (sub 0 50));
+  Network.run net;
+  Network.run_until net ~time:21.0;
+  Network.run net;
+  let audit = Audit.create () in
+  let p = pub 25 in
+  let pid = Network.publish net ~broker:2 p in
+  Audit.expect audit net ~pub_id:pid p;
+  Network.run net;
+  Audit.report audit net
+
+let test_durable_restart_beats_empty () =
+  let durable = durable_restart_report ~durable:true () in
+  let empty = durable_restart_report ~durable:false () in
+  Alcotest.(check bool) "durable restart is clean" true
+    (Audit.is_clean durable);
+  Alcotest.(check int) "durable restart misses nothing" 0
+    (List.length durable.Audit.missed);
+  Alcotest.(check int) "empty restart misses the delivery" 1
+    (List.length empty.Audit.missed);
+  Alcotest.(check bool) "strictly fewer false negatives when durable" true
+    (List.length durable.Audit.missed < List.length empty.Audit.missed)
+
 let test_chaos_chain () = chaos ~topology:(Topology.chain 6) ~crash_broker:3 ~seed:21 ()
 let test_chaos_star () = chaos ~topology:(Topology.star 6) ~crash_broker:0 ~seed:22 ()
 
 let test_chaos_tree () =
   chaos ~topology:(Topology.balanced_tree ~branching:2 ~depth:2) ~crash_broker:1
     ~seed:23 ()
+
+(* The same chaos scenario with durable brokers: the restart path now
+   goes through WAL recovery (plus the soft-state reset), and the
+   audit must stay just as clean. *)
+let test_chaos_chain_durable () =
+  chaos ~durable:true ~topology:(Topology.chain 6) ~crash_broker:3 ~seed:21 ()
 
 let suite =
   [
@@ -457,7 +524,11 @@ let suite =
       test_without_recovery_audit_catches_loss;
     Alcotest.test_case "crash window validation" `Quick
       test_crash_window_outside_topology_rejected;
+    Alcotest.test_case "durable restart beats empty restart" `Quick
+      test_durable_restart_beats_empty;
     Alcotest.test_case "chaos on a chain" `Quick test_chaos_chain;
     Alcotest.test_case "chaos on a star" `Quick test_chaos_star;
     Alcotest.test_case "chaos on a tree" `Quick test_chaos_tree;
+    Alcotest.test_case "chaos on a durable chain" `Quick
+      test_chaos_chain_durable;
   ]

@@ -1,0 +1,681 @@
+(* Durable store tests: codec roundtrips, sim-file fault semantics,
+   WAL scanning on damaged bytes, fsck verdicts, recovery equivalence
+   (live store = snapshot + suffix replay), compaction crash windows,
+   and the qcheck crash-point property — for any op sequence and any
+   cut or bit flip, recovery never raises and lands exactly on the
+   longest valid record prefix, and re-recovery is a fixpoint. *)
+
+open Probsub_core
+open Probsub_store_log
+
+let sub lo hi = Subscription.of_bounds [ (lo, hi) ]
+let pairwise = Subscription_store.Pairwise_policy
+
+let group_cfg =
+  Engine.config ~delta:1e-3 ~max_iterations:60 ()
+
+(* ------------------------------------------------------------------ *)
+(* Codec roundtrips *)
+
+let roundtrip r =
+  match Codec.decode (Codec.encode r) with
+  | Ok r' -> r' = r
+  | Error _ -> false
+
+let meta_pairwise = { Codec.m_arity = 3; m_seed = 42; m_policy = pairwise }
+
+let sample_image =
+  {
+    Subscription_store.i_next_id = 3;
+    i_splits = 5;
+    i_entries =
+      [
+        (0, sub 0 10, Subscription_store.Active, 25.0);
+        (2, sub 2 8, Subscription_store.Covered [ 0 ], infinity);
+      ];
+  }
+
+let sample_binding =
+  { Codec.b_rid = 2; b_key = 17; b_okind = 2; b_oarg = 1; b_epoch = 4 }
+
+let test_codec_roundtrips () =
+  let records =
+    [
+      Codec.Genesis meta_pairwise;
+      Codec.Genesis
+        { Codec.m_arity = 1; m_seed = 0; m_policy = Subscription_store.No_coverage };
+      Codec.Genesis
+        {
+          Codec.m_arity = 8;
+          m_seed = 123456789;
+          m_policy = Subscription_store.Group_policy group_cfg;
+        };
+      Codec.Op
+        (Subscription_store.Op_add
+           {
+             id = 0;
+             sub = sub (-50) 1_000_000;
+             placement = Subscription_store.Active;
+             expires_at = infinity;
+           });
+      Codec.Op
+        (Subscription_store.Op_add
+           {
+             id = 7;
+             sub = Subscription.of_bounds [ (0, 9); (3, 4); (1, 2) ];
+             placement = Subscription_store.Covered [ 1; 4; 6 ];
+             expires_at = 12.5;
+           });
+      Codec.Op
+        (Subscription_store.Op_remove
+           {
+             id = 4;
+             reclassified =
+               [ (5, Subscription_store.Active); (6, Subscription_store.Covered [ 2 ]) ];
+           });
+      Codec.Op (Subscription_store.Op_remove { id = 0; reclassified = [] });
+      Codec.Op (Subscription_store.Op_renew { id = 3; expires_at = 99.25 });
+      Codec.Op
+        (Subscription_store.Op_expire
+           {
+             now = 40.0;
+             expired = [ 1; 2 ];
+             reclassified = [ (3, Subscription_store.Active) ];
+           });
+      Codec.Bind sample_binding;
+      Codec.Epoch_note { key = 9; epoch = 12 };
+      Codec.Snapshot
+        {
+          meta = meta_pairwise;
+          last_lsn = 77;
+          image = sample_image;
+          bindings = [ sample_binding; { sample_binding with Codec.b_rid = 0 } ];
+        };
+    ]
+  in
+  List.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d roundtrips" i)
+        true (roundtrip r))
+    records
+
+let test_codec_rejects_garbage () =
+  let bad s =
+    match Codec.decode s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "unknown tag" true (bad "\xff");
+  Alcotest.(check bool) "truncated varint" true (bad "\x01\x80");
+  Alcotest.(check bool) "trailing bytes" true
+    (bad (Codec.encode (Codec.Epoch_note { key = 1; epoch = 2 }) ^ "x"))
+
+let test_frame_roundtrip_and_bounds () =
+  let payload = Codec.encode (Codec.Epoch_note { key = 3; epoch = 9 }) in
+  let framed = Codec.frame ~lsn:5 payload in
+  (match Codec.read_frame framed ~pos:0 with
+  | Codec.Frame { lsn; payload = p; next } ->
+      Alcotest.(check int) "lsn" 5 lsn;
+      Alcotest.(check string) "payload" payload p;
+      Alcotest.(check int) "next" (String.length framed) next
+  | _ -> Alcotest.fail "frame did not read back");
+  (match Codec.read_frame "" ~pos:0 with
+  | Codec.Frame_truncated -> ()
+  | _ -> Alcotest.fail "empty input should be truncated");
+  (match Codec.read_frame (String.sub framed 0 5) ~pos:0 with
+  | Codec.Frame_truncated -> ()
+  | _ -> Alcotest.fail "partial header should be truncated");
+  Alcotest.check_raises "negative lsn"
+    (Invalid_argument "Codec.frame: negative lsn") (fun () ->
+      ignore (Codec.frame ~lsn:(-1) payload))
+
+(* ------------------------------------------------------------------ *)
+(* Sim_file fault semantics *)
+
+let test_sim_file_semantics () =
+  let f = Sim_file.create () in
+  Sim_file.append f "hello";
+  Alcotest.(check string) "append" "hello" (Sim_file.contents f);
+  (* Torn write: only the bytes below the cap land. *)
+  Sim_file.set_write_limit f (Some 8);
+  Sim_file.append f "world";
+  Alcotest.(check string) "torn append" "hellowor" (Sim_file.contents f);
+  Sim_file.append f "more";
+  Alcotest.(check string) "post-crash appends vanish" "hellowor"
+    (Sim_file.contents f);
+  (* Atomic store: all-or-keep-old under the cap. *)
+  Sim_file.store f "tiny";
+  Alcotest.(check string) "store under cap replaces" "tiny"
+    (Sim_file.contents f);
+  Sim_file.store f "waytoolongforthecap";
+  Alcotest.(check string) "store over cap keeps old" "tiny"
+    (Sim_file.contents f);
+  Sim_file.set_write_limit f None;
+  Sim_file.store f "0123456789";
+  Sim_file.truncate f 4;
+  Alcotest.(check string) "truncate" "0123" (Sim_file.contents f);
+  Sim_file.truncate f 400;
+  Alcotest.(check string) "truncate past end is a no-op" "0123"
+    (Sim_file.contents f);
+  Sim_file.flip_bit f ~byte:0 ~bit:0;
+  Alcotest.(check string) "flip bit" "1123" (Sim_file.contents f);
+  Alcotest.check_raises "flip out of range"
+    (Invalid_argument "Sim_file.flip_bit: byte out of range") (fun () ->
+      Sim_file.flip_bit f ~byte:99 ~bit:0);
+  Alcotest.check_raises "negative cap"
+    (Invalid_argument "Sim_file.set_write_limit: negative cap") (fun () ->
+      Sim_file.set_write_limit f (Some (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* WAL scanning on crafted damage *)
+
+let frames_of records =
+  String.concat ""
+    (List.mapi (fun i r -> Codec.frame ~lsn:i (Codec.encode r)) records)
+
+let three_records =
+  [
+    Codec.Epoch_note { key = 1; epoch = 1 };
+    Codec.Bind sample_binding;
+    Codec.Epoch_note { key = 2; epoch = 5 };
+  ]
+
+let test_wal_scan_clean () =
+  let s = frames_of three_records in
+  let sc = Wal.scan s in
+  Alcotest.(check int) "all records" 3 (List.length sc.Wal.records);
+  Alcotest.(check int) "valid = total" sc.Wal.total_bytes sc.Wal.valid_bytes;
+  Alcotest.(check bool) "clean" true (sc.Wal.stop = Wal.Clean);
+  List.iteri
+    (fun i (e : Wal.entry) ->
+      Alcotest.(check int) (Printf.sprintf "lsn %d" i) i e.Wal.e_lsn)
+    sc.Wal.records
+
+let test_wal_scan_truncated () =
+  let s = frames_of three_records in
+  let cut = String.sub s 0 (String.length s - 3) in
+  let sc = Wal.scan cut in
+  Alcotest.(check int) "prefix records" 2 (List.length sc.Wal.records);
+  (match sc.Wal.stop with
+  | Wal.Truncated n -> Alcotest.(check bool) "tail bytes" true (n > 0)
+  | _ -> Alcotest.fail "expected Truncated");
+  Alcotest.(check bool) "valid < total" true
+    (sc.Wal.valid_bytes < sc.Wal.total_bytes)
+
+let test_wal_scan_bad_crc () =
+  let s = frames_of three_records in
+  let first = String.length (Codec.frame ~lsn:0 (Codec.encode (List.hd three_records))) in
+  let b = Bytes.of_string s in
+  (* Flip a payload byte of the second frame: CRC must catch it. *)
+  Bytes.set b (first + 8) (Char.chr (Char.code (Bytes.get b (first + 8)) lxor 1));
+  let sc = Wal.scan (Bytes.to_string b) in
+  Alcotest.(check int) "only the first survives" 1 (List.length sc.Wal.records);
+  (match sc.Wal.stop with
+  | Wal.Corrupt { offset; reason } ->
+      Alcotest.(check int) "at the damaged frame" first offset;
+      Alcotest.(check string) "crc verdict" "bad crc" reason
+  | _ -> Alcotest.fail "expected Corrupt");
+  Alcotest.(check int) "valid prefix ends before damage" first
+    sc.Wal.valid_bytes
+
+let test_wal_scan_lsn_regression () =
+  let f r lsn = Codec.frame ~lsn (Codec.encode r) in
+  let s =
+    f (Codec.Epoch_note { key = 1; epoch = 1 }) 0
+    ^ f (Codec.Epoch_note { key = 2; epoch = 2 }) 0
+  in
+  let sc = Wal.scan s in
+  Alcotest.(check int) "first record kept" 1 (List.length sc.Wal.records);
+  match sc.Wal.stop with
+  | Wal.Corrupt { reason; _ } ->
+      Alcotest.(check string) "reason" "lsn regression" reason
+  | _ -> Alcotest.fail "expected Corrupt"
+
+(* ------------------------------------------------------------------ *)
+(* Scripted op mix shared by the recovery tests *)
+
+type script_op = Add of int * int | Remove of int | Renew of int | Expire
+
+let apply_one store live i op =
+  let now = float_of_int i in
+  match op with
+  | Add (lo, w) ->
+      let id, _ =
+        Subscription_store.add_with_expiry store (sub lo (lo + w))
+          ~expires_at:(now +. 12.0)
+      in
+      id :: live
+  | Remove j -> (
+      match live with
+      | [] -> live
+      | _ ->
+          let id = List.nth live (j mod List.length live) in
+          ignore (Subscription_store.remove store id);
+          List.filter (fun x -> x <> id) live)
+  | Renew j -> (
+      match live with
+      | [] -> live
+      | _ ->
+          let id = List.nth live (j mod List.length live) in
+          Subscription_store.renew store id ~expires_at:(now +. 30.0);
+          live)
+  | Expire ->
+      let expired, _ = Subscription_store.expire store ~now in
+      List.filter (fun x -> not (List.mem x expired)) live
+
+let apply_script ?(limit = max_int) ?on_op store script =
+  let live = ref [] in
+  List.iteri
+    (fun i op ->
+      if i < limit then begin
+        live := apply_one store !live i op;
+        match on_op with Some f -> f i | None -> ()
+      end)
+    script
+
+let demo_script =
+  [
+    Add (0, 10);
+    Add (2, 5);
+    Add (20, 9);
+    Renew 1;
+    Remove 0;
+    Add (3, 4);
+    Expire;
+    Add (50, 10);
+    Remove 2;
+    Renew 0;
+    Add (0, 99);
+    Expire;
+  ]
+
+let fresh_with_script ?(policy = pairwise) ?(arity = 1) ?(seed = 5) script =
+  let device, wal_file, snap_file = Device.in_memory () in
+  let store, log = Store_log.fresh ~policy ~device ~arity ~seed () in
+  apply_script store script;
+  (device, wal_file, snap_file, store, log)
+
+let recover_ok device =
+  match Store_log.recover ~device () with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "recovery failed: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Recovery equivalence on clean logs *)
+
+let test_recover_equals_live () =
+  let device, _, _, store, _ = fresh_with_script demo_script in
+  let r = recover_ok device in
+  Alcotest.(check bool) "clean log not repaired" false r.Store_log.r_repaired;
+  Alcotest.(check bool) "recovered = live" true
+    (Subscription_store.equal_state store r.Store_log.r_store)
+
+let test_recover_group_policy_generator_alignment () =
+  let policy = Subscription_store.Group_policy group_cfg in
+  let device, _, _ = Device.in_memory () in
+  let store, _ = Store_log.fresh ~policy ~device ~arity:2 ~seed:17 () in
+  (* Overlapping boxes so classification exercises the engine (and
+     consumes generator splits). *)
+  let boxes =
+    [
+      [ (0, 30); (0, 30) ];
+      [ (5, 20); (5, 20) ];
+      [ (0, 9); (0, 9) ];
+      [ (10, 40); (0, 40) ];
+      [ (6, 8); (6, 8) ];
+    ]
+  in
+  List.iteri
+    (fun i b ->
+      ignore
+        (Subscription_store.add_with_expiry store (Subscription.of_bounds b)
+           ~expires_at:(float_of_int i +. 50.0)))
+    boxes;
+  let r = recover_ok device in
+  Alcotest.(check bool) "recovered = live" true
+    (Subscription_store.equal_state store r.Store_log.r_store);
+  Alcotest.(check int) "same split position"
+    (Subscription_store.splits_consumed store)
+    (Subscription_store.splits_consumed r.Store_log.r_store);
+  (* Generator alignment: the next classification must agree between
+     the live store and the recovered one. *)
+  let next = Subscription.of_bounds [ (2, 9); (2, 9) ] in
+  let id_a, p_a = Subscription_store.add_with_expiry store next ~expires_at:99.0 in
+  let id_b, p_b =
+    Subscription_store.add_with_expiry r.Store_log.r_store next ~expires_at:99.0
+  in
+  Alcotest.(check int) "same id" id_a id_b;
+  Alcotest.(check bool) "same placement" true (p_a = p_b);
+  Alcotest.(check bool) "still equal after the add" true
+    (Subscription_store.equal_state store r.Store_log.r_store)
+
+(* Satellite: renewing an id that a sweep already expired must be a
+   silent no-op — live, in the journal, and after replay. *)
+let test_renew_after_sweep_is_noop_replayed () =
+  let device, wal_file, _ = Device.in_memory () in
+  let store, _ = Store_log.fresh ~policy:pairwise ~device ~arity:1 ~seed:3 () in
+  let dead, _ =
+    Subscription_store.add_with_expiry store (sub 0 10) ~expires_at:10.0
+  in
+  let kept, _ =
+    Subscription_store.add_with_expiry store (sub 50 60) ~expires_at:100.0
+  in
+  let expired, _ = Subscription_store.expire store ~now:20.0 in
+  Alcotest.(check (list int)) "sweep reclaimed the short lease" [ dead ]
+    expired;
+  (* Dead renewal: silent no-op. Live renewal: journalled. *)
+  Subscription_store.renew store dead ~expires_at:500.0;
+  Subscription_store.renew store kept ~expires_at:200.0;
+  let renew_records =
+    List.filter
+      (fun (e : Wal.entry) ->
+        match e.Wal.e_record with
+        | Codec.Op (Subscription_store.Op_renew _) -> true
+        | _ -> false)
+      (Wal.scan (Sim_file.contents wal_file)).Wal.records
+  in
+  Alcotest.(check int) "only the live renew was journalled" 1
+    (List.length renew_records);
+  let r = recover_ok device in
+  Alcotest.(check bool) "replayed = live across renew/sweep/renew" true
+    (Subscription_store.equal_state store r.Store_log.r_store);
+  Alcotest.(check int) "dead id stayed dead" 1
+    (Subscription_store.size r.Store_log.r_store);
+  (* And a renew/sweep/renew tail replays identically too. *)
+  Subscription_store.renew store kept ~expires_at:300.0;
+  let _ = Subscription_store.expire store ~now:250.0 in
+  Subscription_store.renew store kept ~expires_at:400.0;
+  let r2 = recover_ok device in
+  Alcotest.(check bool) "tail replays identically" true
+    (Subscription_store.equal_state store r2.Store_log.r_store)
+
+(* ------------------------------------------------------------------ *)
+(* Bindings and epochs through recovery *)
+
+let test_bindings_follow_store_lifecycle () =
+  let device, _, _ = Device.in_memory () in
+  let store, log = Store_log.fresh ~policy:pairwise ~device ~arity:1 ~seed:9 () in
+  let id0, _ = Subscription_store.add_with_expiry store (sub 0 10) ~expires_at:50.0 in
+  Store_log.log_binding log
+    { Codec.b_rid = id0; b_key = 7; b_okind = 2; b_oarg = 1; b_epoch = 3 };
+  let id1, _ = Subscription_store.add_with_expiry store (sub 40 60) ~expires_at:60.0 in
+  Store_log.log_binding log
+    { Codec.b_rid = id1; b_key = 9; b_okind = 0; b_oarg = 12; b_epoch = 1 };
+  Store_log.log_epoch log ~key:9 ~epoch:4;
+  ignore (Subscription_store.remove store id0);
+  let r = recover_ok device in
+  Alcotest.(check int) "removed id's binding dropped" 1
+    (List.length r.Store_log.r_bindings);
+  let b = List.hd r.Store_log.r_bindings in
+  Alcotest.(check int) "surviving binding rid" id1 b.Codec.b_rid;
+  Alcotest.(check (list (pair int int))) "epoch note applied" [ (9, 4) ]
+    r.Store_log.r_epochs;
+  (* Bindings survive a compaction snapshot. *)
+  Store_log.compact r.Store_log.r_log r.Store_log.r_store
+    ~bindings:r.Store_log.r_bindings;
+  let r2 = recover_ok device in
+  Alcotest.(check int) "binding survived the snapshot" 1
+    (List.length r2.Store_log.r_bindings);
+  Alcotest.(check int) "same rid" id1
+    (List.hd r2.Store_log.r_bindings).Codec.b_rid;
+  Alcotest.(check (list (pair int int))) "epoch survived" [ (9, 4) ]
+    r2.Store_log.r_epochs
+
+(* ------------------------------------------------------------------ *)
+(* Compaction: normal path and both crash windows *)
+
+let test_compact_then_recover () =
+  let device, wal_file, snap_file, store, log = fresh_with_script demo_script in
+  Store_log.compact log store ~bindings:[];
+  Alcotest.(check int) "wal truncated" 0 (Sim_file.length wal_file);
+  Alcotest.(check bool) "snapshot written" true (Sim_file.length snap_file > 0);
+  let r = recover_ok device in
+  Alcotest.(check bool) "snapshot replays to the live state" true
+    (Subscription_store.equal_state store r.Store_log.r_store);
+  (* The recovered store keeps journalling: more ops, recover again. *)
+  apply_script r.Store_log.r_store [ Add (7, 7); Remove 0; Add (1, 2) ];
+  let r2 = recover_ok device in
+  Alcotest.(check bool) "snapshot + suffix replays" true
+    (Subscription_store.equal_state r.Store_log.r_store r2.Store_log.r_store)
+
+let test_compact_crash_before_wal_reset () =
+  (* Crash window: the snapshot landed (atomically) but the WAL was
+     never truncated. Its records all have lsn <= the snapshot's
+     last_lsn and must be skipped, not double-applied. *)
+  let device, wal_file, _, store, log = fresh_with_script demo_script in
+  let old_wal = Sim_file.contents wal_file in
+  Store_log.compact log store ~bindings:[];
+  Sim_file.clear wal_file;
+  Sim_file.append wal_file old_wal;
+  let r = recover_ok device in
+  Alcotest.(check bool) "stale wal records skipped" true
+    (Subscription_store.equal_state store r.Store_log.r_store)
+
+let test_compact_crash_torn_snapshot () =
+  (* Crash window: the snapshot blob is damaged (a torn or bit-rotted
+     write). It is treated as absent and the untouched WAL — which
+     still holds genesis + every op — remains the source of truth. *)
+  let device, wal_file, snap_file, store, log = fresh_with_script demo_script in
+  let old_wal = Sim_file.contents wal_file in
+  Store_log.compact log store ~bindings:[];
+  Sim_file.clear wal_file;
+  Sim_file.append wal_file old_wal;
+  Sim_file.flip_bit snap_file ~byte:(Sim_file.length snap_file / 2) ~bit:3;
+  let r = recover_ok device in
+  Alcotest.(check bool) "wal wins over a damaged snapshot" true
+    (Subscription_store.equal_state store r.Store_log.r_store)
+
+let test_corrupt_snapshot_and_empty_wal_is_error () =
+  let device, wal_file, snap_file, _, log =
+    fresh_with_script [ Add (0, 5); Add (10, 20) ]
+  in
+  Store_log.compact log (recover_ok device).Store_log.r_store ~bindings:[];
+  ignore wal_file;
+  Sim_file.flip_bit snap_file ~byte:10 ~bit:0;
+  (match Store_log.recover ~device () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "recovery from nothing should be an Error");
+  let report = Fsck.run device in
+  Alcotest.(check bool) "fsck agrees: unrecoverable" false
+    report.Fsck.recoverable;
+  Alcotest.(check bool) "fsck agrees: not clean" false report.Fsck.clean
+
+(* ------------------------------------------------------------------ *)
+(* Fsck verdicts *)
+
+let test_fsck_clean_and_corrupt () =
+  let device, wal_file, _, _, _ = fresh_with_script demo_script in
+  let clean = Fsck.run device in
+  Alcotest.(check bool) "clean" true clean.Fsck.clean;
+  Alcotest.(check bool) "recoverable" true clean.Fsck.recoverable;
+  Alcotest.(check string) "stop" "clean" clean.Fsck.wal_stop;
+  Alcotest.(check bool) "every verdict ok" true
+    (List.for_all (fun v -> v.Fsck.v_status = "ok") clean.Fsck.wal_records);
+  Alcotest.(check bool) "genesis first" true
+    (match clean.Fsck.wal_records with
+    | v :: _ -> v.Fsck.v_kind = "genesis"
+    | [] -> false);
+  (* Damage a mid-log payload byte: bad-crc verdict, still recoverable,
+     no longer clean. *)
+  let glen =
+    match clean.Fsck.wal_records with
+    | _ :: second :: _ -> second.Fsck.v_offset
+    | _ -> Alcotest.fail "expected at least two records"
+  in
+  Sim_file.flip_bit wal_file ~byte:(glen + 8) ~bit:0;
+  let bad = Fsck.run device in
+  Alcotest.(check bool) "not clean" false bad.Fsck.clean;
+  Alcotest.(check bool) "still recoverable" true bad.Fsck.recoverable;
+  Alcotest.(check string) "stop" "corrupt" bad.Fsck.wal_stop;
+  Alcotest.(check int) "valid prefix ends at the damage" glen
+    bad.Fsck.wal_valid;
+  (match List.rev bad.Fsck.wal_records with
+  | last :: _ -> Alcotest.(check string) "verdict" "bad-crc" last.Fsck.v_status
+  | [] -> Alcotest.fail "no verdicts");
+  let json = Fsck.to_json bad in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec go i = i + nl <= hl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json mentions %s" needle)
+        true (contains needle))
+    [ "\"wal_stop\":\"corrupt\""; "\"status\":\"bad-crc\""; "\"clean\":false" ]
+
+(* ------------------------------------------------------------------ *)
+(* The crash-point property *)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun lo w -> Add (lo, w)) (int_bound 40) (int_bound 25));
+        (2, map (fun j -> Remove j) (int_bound 50));
+        (2, map (fun j -> Renew j) (int_bound 50));
+        (1, return Expire);
+      ])
+
+let pp_op = function
+  | Add (lo, w) -> Printf.sprintf "Add(%d,%d)" lo w
+  | Remove j -> Printf.sprintf "Remove %d" j
+  | Renew j -> Printf.sprintf "Renew %d" j
+  | Expire -> "Expire"
+
+let scenario_arb =
+  QCheck.make
+    QCheck.Gen.(
+      let* script = list_size (int_range 1 40) op_gen in
+      let* cut = bool in
+      let* a = int_bound 1_000_000 in
+      let* b = int_bound 7 in
+      return (script, cut, a, b))
+    ~print:(fun (script, cut, a, b) ->
+      Printf.sprintf "[%s] %s a=%d b=%d"
+        (String.concat "; " (List.map pp_op script))
+        (if cut then "cut" else "flip")
+        a b)
+
+let prop_crash_point =
+  QCheck.Test.make ~count:120
+    ~name:"recovery = longest valid prefix; total; fixpoint" scenario_arb
+    (fun (script, cut, a, b) ->
+      let device, wal_file, _ = Device.in_memory () in
+      let store, log =
+        Store_log.fresh ~policy:pairwise ~device ~arity:1 ~seed:5 ()
+      in
+      (* Boundaries: (wal length, ops applied) after genesis and after
+         every op. Frame boundaries coincide with op boundaries because
+         each op journals at most one record. *)
+      let boundaries = ref [ (Store_log.wal_size log, 0) ] in
+      apply_script store script ~on_op:(fun i ->
+          boundaries := (Store_log.wal_size log, i + 1) :: !boundaries);
+      let total = Sim_file.length wal_file in
+      if cut then Sim_file.truncate wal_file (a mod (total + 1))
+      else if total > 0 then
+        Sim_file.flip_bit wal_file ~byte:(a mod total) ~bit:b;
+      let genesis_len =
+        List.fold_left (fun acc (l, _) -> min acc l) max_int !boundaries
+      in
+      match Store_log.recover ~device () with
+      | Error _ ->
+          (* Legal only when the genesis record itself was destroyed. *)
+          (Wal.scan (Sim_file.contents wal_file)).Wal.valid_bytes < genesis_len
+      | Ok r ->
+          (* recover repaired the device in place: its wal is now
+             exactly the longest valid prefix. *)
+          let v = Sim_file.length wal_file in
+          let on_boundary = List.exists (fun (l, _) -> l = v) !boundaries in
+          let k =
+            List.fold_left
+              (fun acc (l, i) -> if l <= v then max acc i else acc)
+              0 !boundaries
+          in
+          let oracle =
+            Subscription_store.create ~policy:pairwise ~arity:1 ~seed:5 ()
+          in
+          apply_script oracle script ~limit:k;
+          let fixpoint =
+            match Store_log.recover ~device () with
+            | Error _ -> false
+            | Ok r2 ->
+                (not r2.Store_log.r_repaired)
+                && Subscription_store.equal_state r.Store_log.r_store
+                     r2.Store_log.r_store
+          in
+          on_boundary
+          && Subscription_store.equal_state oracle r.Store_log.r_store
+          && fixpoint)
+
+(* Same property through the torn-write crash model: cap the total
+   bytes the "disk" accepts and run the whole script; the tail of the
+   log simply never lands. *)
+let prop_torn_write =
+  QCheck.Test.make ~count:80 ~name:"torn-write crash recovers the landed prefix"
+    scenario_arb
+    (fun (script, _, a, _) ->
+      let device, wal_file, _ = Device.in_memory () in
+      let store, log =
+        Store_log.fresh ~policy:pairwise ~device ~arity:1 ~seed:6 ()
+      in
+      let boundaries = ref [ (Store_log.wal_size log, 0) ] in
+      apply_script store script ~on_op:(fun i ->
+          boundaries := (Store_log.wal_size log, i + 1) :: !boundaries);
+      let total = Sim_file.length wal_file in
+      (* Re-run the same script against a capped device. *)
+      let device2, wal2, _ = Device.in_memory () in
+      let cap = a mod (total + 1) in
+      let store2, _ =
+        Store_log.fresh ~policy:pairwise ~device:device2 ~arity:1 ~seed:6 ()
+      in
+      Sim_file.set_write_limit wal2 (Some cap);
+      apply_script store2 script;
+      Sim_file.set_write_limit wal2 None;
+      ignore store;
+      match Store_log.recover ~device:device2 () with
+      | Error _ -> (Wal.scan (Sim_file.contents wal2)).Wal.valid_bytes = 0
+      | Ok r ->
+          let v = Sim_file.length wal2 in
+          let k =
+            List.fold_left
+              (fun acc (l, i) -> if l <= v then max acc i else acc)
+              0 !boundaries
+          in
+          let oracle =
+            Subscription_store.create ~policy:pairwise ~arity:1 ~seed:6 ()
+          in
+          apply_script oracle script ~limit:k;
+          Subscription_store.equal_state oracle r.Store_log.r_store)
+
+let suite =
+  [
+    Alcotest.test_case "codec roundtrips" `Quick test_codec_roundtrips;
+    Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
+    Alcotest.test_case "frame roundtrip and bounds" `Quick
+      test_frame_roundtrip_and_bounds;
+    Alcotest.test_case "sim file fault semantics" `Quick test_sim_file_semantics;
+    Alcotest.test_case "wal scan: clean" `Quick test_wal_scan_clean;
+    Alcotest.test_case "wal scan: truncated tail" `Quick test_wal_scan_truncated;
+    Alcotest.test_case "wal scan: bad crc" `Quick test_wal_scan_bad_crc;
+    Alcotest.test_case "wal scan: lsn regression" `Quick
+      test_wal_scan_lsn_regression;
+    Alcotest.test_case "recover equals live" `Quick test_recover_equals_live;
+    Alcotest.test_case "group policy generator alignment" `Quick
+      test_recover_group_policy_generator_alignment;
+    Alcotest.test_case "renew after sweep replays as a no-op" `Quick
+      test_renew_after_sweep_is_noop_replayed;
+    Alcotest.test_case "bindings follow the store lifecycle" `Quick
+      test_bindings_follow_store_lifecycle;
+    Alcotest.test_case "compact then recover" `Quick test_compact_then_recover;
+    Alcotest.test_case "compaction crash: wal not yet reset" `Quick
+      test_compact_crash_before_wal_reset;
+    Alcotest.test_case "compaction crash: torn snapshot" `Quick
+      test_compact_crash_torn_snapshot;
+    Alcotest.test_case "nothing recoverable is an Error" `Quick
+      test_corrupt_snapshot_and_empty_wal_is_error;
+    Alcotest.test_case "fsck verdicts" `Quick test_fsck_clean_and_corrupt;
+    QCheck_alcotest.to_alcotest prop_crash_point;
+    QCheck_alcotest.to_alcotest prop_torn_write;
+  ]
