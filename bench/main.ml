@@ -222,9 +222,11 @@ let run_kernels () =
 (* ------------------------------------------------------------------ *)
 (* Engine pipeline bench: end-to-end classification throughput through
    the subscription store under the group policy — sequential vs a
-   shared domain pool vs batched insertion — plus an RSPC-level
-   comparison of pool reuse against per-call domain spawning. Emits
-   BENCH_engine.json. Every parallel mode must reproduce the
+   shared domain pool — plus an RSPC-level comparison of pool reuse
+   against per-call domain spawning. (Item-parallel batching is
+   benched on the sharded store, `shard`, where routing bounds the
+   snapshot invalidation that sank the flat store's batch path.)
+   Emits BENCH_engine.json. Every parallel mode must reproduce the
    sequential results bit-for-bit (the stores share a seed); a
    mismatch is a hard failure, a low speedup is not (this may run on a
    single-core machine — the JSON records the core count). *)
@@ -256,8 +258,7 @@ let engine_params ~fast =
    but by no single row: exactly the regime where the engine must
    spend its RSPC budget. Every fourth arrival instead lands beyond
    the staircase (no intersecting candidate: an instant active
-   verdict), so batched insertion keeps hitting the
-   snapshot-invalidation path it must handle. *)
+   verdict), mixing instant and budget-bound classifications. *)
 let staircase_base p =
   let g = 9000 / p.ek in
   Array.init p.ek (fun i ->
@@ -294,7 +295,7 @@ let placements_equal a b =
 let run_engine ~fast () =
   let p = engine_params ~fast in
   print_endline "=================================================";
-  print_endline " Engine pipeline bench (sequential vs pool vs batch)";
+  print_endline " Engine pipeline bench (sequential vs pool)";
   print_endline "=================================================";
   let cores = Domain.recommended_domain_count () in
   Printf.printf "k=%d m=%d cap=%d arrivals=%d domains=%d (machine cores: %d)\n"
@@ -311,40 +312,28 @@ let run_engine ~fast () =
       let pooled_store =
         Subscription_store.create ~policy ~pool ~arity:p.em ~seed:store_seed ()
       in
-      let batch_store =
-        Subscription_store.create ~policy ~pool ~arity:p.em ~seed:store_seed ()
-      in
       (* Untimed: install the staircase active set in every store. *)
       Array.iter
         (fun s ->
           ignore (Subscription_store.add seq_store s);
-          ignore (Subscription_store.add pooled_store s);
-          ignore (Subscription_store.add batch_store s))
+          ignore (Subscription_store.add pooled_store s))
         base;
-      (* Timed: classify the arrival stream three ways. *)
+      (* Timed: classify the arrival stream both ways. *)
       let add_loop store () =
         Array.map (fun s -> Subscription_store.add store s) arrivals
       in
       let seq_res, seq_t = time_s (add_loop seq_store) in
       let pooled_res, pooled_t = time_s (add_loop pooled_store) in
-      let batch_res, batch_t =
-        time_s (fun () -> Subscription_store.add_batch batch_store arrivals)
-      in
       let verdicts_match =
         placements_equal seq_res pooled_res
-        && placements_equal seq_res batch_res
         && Subscription_store.active_count seq_store
            = Subscription_store.active_count pooled_store
-        && Subscription_store.active_count seq_store
-           = Subscription_store.active_count batch_store
       in
       let thru t = float_of_int p.arrivals /. t in
       Printf.printf "%-12s %8.3f s  %10.1f subs/s\n" "sequential" seq_t
         (thru seq_t);
       Printf.printf "%-12s %8.3f s  %10.1f subs/s  (x%.2f)\n" "pooled"
         pooled_t (thru pooled_t) (seq_t /. pooled_t);
-      Printf.printf "%-12s %8.3f s  %10.1f subs/s  (x%.2f)\n" "batched"
-        batch_t (thru batch_t) (seq_t /. batch_t);
       Printf.printf "parallel results identical to sequential: %b\n"
         verdicts_match;
       (* RSPC reuse micro: the same parallel runner, fed per call by a
@@ -409,12 +398,10 @@ let run_engine ~fast () =
             "    { \"mode\": %S, \"seconds\": %.4f, \"subs_per_sec\": %.1f \
              }%s\n"
             name t (thru t)
-            (if i = 2 then "" else ","))
-        [ ("sequential", seq_t); ("pooled", pooled_t); ("batched", batch_t) ];
+            (if i = 1 then "" else ","))
+        [ ("sequential", seq_t); ("pooled", pooled_t) ];
       Printf.fprintf oc "  ],\n";
-      Printf.fprintf oc
-        "  \"speedup_pooled\": %.3f,\n  \"speedup_batched\": %.3f,\n"
-        (seq_t /. pooled_t) (seq_t /. batch_t);
+      Printf.fprintf oc "  \"speedup_pooled\": %.3f,\n" (seq_t /. pooled_t);
       Printf.fprintf oc
         "  \"rspc_micro\": { \"k\": %d, \"d\": %d, \"seq_ns\": %.0f, \
          \"spawn_ns\": %.0f, \"pool_ns\": %.0f, \"pool_reuse_speedup\": \
@@ -704,16 +691,367 @@ let run_micro () =
         analyzed)
     tests
 
+
+(* ------------------------------------------------------------------ *)
+(* Sharded fabric bench: the sharded store against the flat store on
+   identical workloads, then shard-only growth to very large sizes
+   (100k stored subscriptions by default, 1M with --full, small with
+   `fast` for CI). Emits BENCH_shard.json. Three phases:
+
+   1. Equivalence + flat comparison at a size the flat store can
+      handle: both stores absorb the same seed set and classify the
+      same arrival stream under the same store seed; ids, placements,
+      coverer lists, final active/covered sets, match sets and
+      publication reports must all agree (hard failure otherwise), and
+      the sharded add throughput is recorded against the flat store's
+      at several pool worker counts.
+   2. Scale: grow a sharded store to the target size via add_batch at
+      each worker count; placements must be identical across worker
+      counts (the pre-split generator discipline) and the digests are
+      compared to enforce it.
+   3. Matching at scale: publication fan-out throughput and the
+      per-publication active-scan cost, spot-checked against the
+      exhaustive scan.
+
+   Low speedups are tolerated on starved machines (the JSON records
+   the core count); divergent verdicts never are. *)
+
+type shard_params = {
+  label : string;
+  sm : int; (* arity *)
+  sk0 : int; (* equivalence-phase seed size (flat-feasible) *)
+  s_arrivals : int; (* equivalence-phase timed arrivals *)
+  target : int; (* scale-phase stored subscriptions *)
+  sshards : int; (* shard count at scale *)
+  s_workers : int list; (* pool worker counts swept (0 = no pool) *)
+  s_pubs : int; (* publications timed at scale *)
+}
+
+let shard_params = function
+  | `Fast ->
+      { label = "fast"; sm = 4; sk0 = 1200; s_arrivals = 300; target = 20_000;
+        sshards = 64; s_workers = [ 0; 1; 3 ]; s_pubs = 200 }
+  | `Default ->
+      { label = "default"; sm = 4; sk0 = 8000; s_arrivals = 2000;
+        target = 100_000; sshards = 128; s_workers = [ 0; 1; 3 ];
+        s_pubs = 1000 }
+  | `Full ->
+      { label = "full"; sm = 4; sk0 = 20_000; s_arrivals = 4000;
+        target = 1_000_000; sshards = 256; s_workers = [ 0; 1; 3 ];
+        s_pubs = 1000 }
+
+let shard_domain0 = Interval.make ~lo:0 ~hi:999_999
+
+(* Index-hashed workload, no RNG: subscription [i] is narrow on
+   attribute 0 (width 50 at a scrambled position — the stripe router's
+   bread and butter) and moderate elsewhere. Every 10th is a shrunk
+   copy of the 9th-previous one, guaranteed covered on arrival, so the
+   coverage machinery runs at every scale; every 97th is unconstrained
+   on attribute 0 and routes to the fallback shard. *)
+let shard_sub ~m i =
+  if i mod 10 = 9 then begin
+    let b = i - 9 in
+    let pos = b * 2654435761 land 0xFFFFFFF mod 999_000 in
+    Subscription.of_bounds
+      (List.init m (fun j ->
+           if j = 0 then (pos + 10, pos + 39)
+           else begin
+             let v = ((b * 31) + (j * 977)) mod 99_000 in
+             (v + 100, v + 899)
+           end))
+  end
+  else
+    Subscription.of_bounds
+      (List.init m (fun j ->
+           if j = 0 then
+             if i mod 97 = 13 then (0, 999_999)
+             else begin
+               let pos = i * 2654435761 land 0xFFFFFFF mod 999_000 in
+               (pos, pos + 49)
+             end
+           else begin
+             let v = ((i * 31) + (j * 977)) mod 99_000 in
+             (v, v + 999)
+           end))
+
+let shard_pub ~m i =
+  let pos = i * 40503 land 0xFFFFF mod 999_999 in
+  Publication.point
+    (Array.init m (fun j ->
+         if j = 0 then pos else (pos + (j * 977)) mod 99_000))
+
+(* Order- and content-sensitive fold over a result array; cheap to
+   compare across worker counts without retaining 1M-entry arrays. *)
+let shard_digest acc rs =
+  Array.fold_left
+    (fun acc (id, pl) ->
+      let c =
+        match pl with
+        | Subscription_store.Active -> 17
+        | Subscription_store.Covered by ->
+            31 + List.fold_left ( + ) (List.length by) by
+      in
+      (acc * 1_000_003) + id + c)
+    acc rs
+
+let run_shard ~mode () =
+  let p = shard_params mode in
+  print_endline "=================================================";
+  print_endline " Sharded fabric bench (shard store vs flat store)";
+  print_endline "=================================================";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "mode=%s m=%d k0=%d target=%d shards=%d (machine cores: %d)\n"
+    p.label p.sm p.sk0 p.target p.sshards cores;
+  let cfg = Engine.config ~delta:1e-6 ~max_iterations:2000 () in
+  let policy = Subscription_store.Group_policy cfg in
+  let store_seed = 7 in
+  let all_ok = ref true in
+  let note ok msg =
+    if not ok then begin
+      all_ok := false;
+      Printf.eprintf "FAIL: %s\n" msg
+    end
+  in
+  let with_workers workers f =
+    if workers = 0 then f None
+    else Domain_pool.with_pool ~workers (fun pool -> f (Some pool))
+  in
+  (* --- Phase 1: equivalence + flat comparison --------------------- *)
+  let seed_subs = Array.init p.sk0 (fun i -> shard_sub ~m:p.sm i) in
+  let arrivals =
+    Array.init p.s_arrivals (fun i -> shard_sub ~m:p.sm (p.sk0 + i))
+  in
+  let flat =
+    Subscription_store.create ~policy ~arity:p.sm ~seed:store_seed ()
+  in
+  Array.iter (fun s -> ignore (Subscription_store.add flat s)) seed_subs;
+  let flat_res, flat_t =
+    time_s (fun () -> Array.map (Subscription_store.add flat) arrivals)
+  in
+  let eq_rows =
+    List.map
+      (fun workers ->
+        with_workers workers (fun pool ->
+            let t =
+              Shard_store.create ~policy ?pool ~shards:p.sshards
+                ~domain0:shard_domain0 ~arity:p.sm ~seed:store_seed ()
+            in
+            ignore (Shard_store.add_batch t seed_subs);
+            let res, dt = time_s (fun () -> Shard_store.add_batch t arrivals) in
+            note (res = flat_res)
+              (Printf.sprintf
+                 "sharded placements diverge from flat (workers=%d)" workers);
+            if workers = 0 then begin
+              note
+                (Subscription_store.active flat = Shard_store.active t
+                && Subscription_store.covered flat = Shard_store.covered t)
+                "sharded final state diverges from flat";
+              note
+                (Subscription_store.splits_consumed flat
+                = Shard_store.splits_consumed t)
+                "sharded split stream diverges from flat";
+              (* Publication agreement: match sets exactly; reports up
+                 to row indexing (rows index each store's candidate
+                 array; full fidelity is property-tested). *)
+              for i = 0 to 19 do
+                let pub = shard_pub ~m:p.sm (i * 131) in
+                note
+                  (Subscription_store.match_publication flat pub
+                  = Shard_store.match_publication t pub)
+                  (Printf.sprintf "match sets diverge on publication %d" i);
+                let ra =
+                  Subscription_store.check_publication flat
+                    ~rng:(Prng.of_int (900 + i)) pub
+                in
+                let rb =
+                  Shard_store.check_publication t
+                    ~rng:(Prng.of_int (900 + i)) pub
+                in
+                note
+                  (Engine.is_covered ra.Engine.verdict
+                   = Engine.is_covered rb.Engine.verdict
+                  && ra.Engine.k_pruned = rb.Engine.k_pruned
+                  && ra.Engine.k_reduced = rb.Engine.k_reduced
+                  && ra.Engine.d_used = rb.Engine.d_used
+                  && ra.Engine.iterations = rb.Engine.iterations)
+                  (Printf.sprintf "check reports diverge on publication %d" i)
+              done
+            end;
+            (workers, dt)))
+      p.s_workers
+  in
+  let thru n t = float_of_int n /. t in
+  Printf.printf "equivalence phase: k0=%d arrivals=%d\n" p.sk0 p.s_arrivals;
+  Printf.printf "%-18s %8.3f s  %10.1f adds/s\n" "flat" flat_t
+    (thru p.s_arrivals flat_t);
+  List.iter
+    (fun (w, dt) ->
+      Printf.printf "%-18s %8.3f s  %10.1f adds/s  (x%.2f vs flat)\n"
+        (Printf.sprintf "sharded (w=%d)" w)
+        dt
+        (thru p.s_arrivals dt)
+        (flat_t /. dt))
+    eq_rows;
+  let beats_flat =
+    List.exists (fun (w, dt) -> w >= 1 && dt < flat_t) eq_rows
+  in
+  note beats_flat "sharded add throughput does not beat flat at >= 2 domains";
+  (* --- Phase 2: scale --------------------------------------------- *)
+  let scale_store = ref None in
+  let scale_rows =
+    List.map
+      (fun workers ->
+        with_workers workers (fun pool ->
+            let t =
+              Shard_store.create ~policy ?pool ~shards:p.sshards
+                ~domain0:shard_domain0 ~arity:p.sm ~seed:store_seed ()
+            in
+            let digest = ref 0 in
+            let chunk = 10_000 in
+            let _, dt =
+              time_s (fun () ->
+                  let i = ref 0 in
+                  while !i < p.target do
+                    let b = min chunk (p.target - !i) in
+                    let batch =
+                      Array.init b (fun j -> shard_sub ~m:p.sm (!i + j))
+                    in
+                    digest := shard_digest !digest (Shard_store.add_batch t batch);
+                    i := !i + b
+                  done)
+            in
+            (* Keep the no-pool store for the matching phase: it must
+               outlive this closure, and a pooled store would hold a
+               pool that with_pool is about to shut down. *)
+            if workers = 0 then scale_store := Some t;
+            (workers, dt, !digest, Shard_store.active_count t)))
+      p.s_workers
+  in
+  Printf.printf "scale phase: %d stored subscriptions\n" p.target;
+  List.iter
+    (fun (w, dt, _, actives) ->
+      Printf.printf "%-18s %8.3f s  %10.1f adds/s  (%d active)\n"
+        (Printf.sprintf "grow (w=%d)" w)
+        dt
+        (thru p.target dt)
+        actives)
+    scale_rows;
+  let consistent =
+    match scale_rows with
+    | [] -> true
+    | (_, _, d0, a0) :: rest ->
+        List.for_all (fun (_, _, d, a) -> d = d0 && a = a0) rest
+  in
+  note consistent "scale-phase placements diverge across worker counts";
+  (* --- Phase 3: matching at scale ---------------------------------- *)
+  let t =
+    match !scale_store with
+    | Some t -> t
+    | None ->
+        (* Unreachable: s_workers always contains 0. *)
+        Shard_store.create ~policy ~shards:p.sshards ~domain0:shard_domain0
+          ~arity:p.sm ~seed:store_seed ()
+  in
+  let scans_before = (Shard_store.stats t).Subscription_store.active_scans in
+  let hits = ref 0 in
+  let _, match_t =
+    time_s (fun () ->
+        for i = 0 to p.s_pubs - 1 do
+          hits :=
+            !hits + List.length (Shard_store.match_publication t (shard_pub ~m:p.sm i))
+        done)
+  in
+  let scans_after = (Shard_store.stats t).Subscription_store.active_scans in
+  let avg_scans =
+    float_of_int (scans_after - scans_before) /. float_of_int p.s_pubs
+  in
+  for i = 0 to 4 do
+    let pub = shard_pub ~m:p.sm (i * 211) in
+    note
+      (Shard_store.match_publication t pub
+      = Shard_store.match_publication_exhaustive t pub)
+      (Printf.sprintf "match spot-check %d diverges from exhaustive scan" i)
+  done;
+  Printf.printf
+    "matching: %d pubs, %.1f pubs/s, %.1f active scans/pub (of %d active), \
+     %d hits\n"
+    p.s_pubs
+    (thru p.s_pubs match_t)
+    avg_scans
+    (Shard_store.active_count t)
+    !hits;
+  (* --- Emit -------------------------------------------------------- *)
+  let oc = open_out "BENCH_shard.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"shard_fabric\",\n";
+  Printf.fprintf oc "  \"mode\": %S,\n  \"cores\": %d,\n" p.label cores;
+  Printf.fprintf oc
+    "  \"m\": %d,\n  \"shards\": %d,\n  \"stored\": %d,\n" p.sm p.sshards
+    p.target;
+  Printf.fprintf oc
+    "  \"equivalence\": {\n    \"k0\": %d,\n    \"arrivals\": %d,\n\
+    \    \"flat_seconds\": %.4f,\n    \"flat_adds_per_sec\": %.1f,\n\
+    \    \"sharded\": [\n"
+    p.sk0 p.s_arrivals flat_t (thru p.s_arrivals flat_t);
+  List.iteri
+    (fun i (w, dt) ->
+      Printf.fprintf oc
+        "      { \"workers\": %d, \"domains\": %d, \"seconds\": %.4f, \
+         \"adds_per_sec\": %.1f, \"speedup_vs_flat\": %.3f }%s\n"
+        w (w + 1) dt
+        (thru p.s_arrivals dt)
+        (flat_t /. dt)
+        (if i = List.length eq_rows - 1 then "" else ","))
+    eq_rows;
+  Printf.fprintf oc "    ]\n  },\n";
+  Printf.fprintf oc "  \"sharded_beats_flat_at_2_domains\": %b,\n" beats_flat;
+  Printf.fprintf oc "  \"scale\": {\n    \"stored\": %d,\n    \"runs\": [\n"
+    p.target;
+  List.iteri
+    (fun i (w, dt, _, actives) ->
+      Printf.fprintf oc
+        "      { \"workers\": %d, \"domains\": %d, \"seconds\": %.4f, \
+         \"adds_per_sec\": %.1f, \"active\": %d }%s\n"
+        w (w + 1) dt (thru p.target dt) actives
+        (if i = List.length scale_rows - 1 then "" else ","))
+    scale_rows;
+  Printf.fprintf oc
+    "    ],\n    \"consistent_across_workers\": %b\n  },\n" consistent;
+  Printf.fprintf oc
+    "  \"matching\": { \"publications\": %d, \"pubs_per_sec\": %.1f, \
+     \"avg_active_scans_per_pub\": %.1f, \"active\": %d, \"hits\": %d },\n"
+    p.s_pubs
+    (thru p.s_pubs match_t)
+    avg_scans
+    (Shard_store.active_count t)
+    !hits;
+  Printf.fprintf oc "  \"verdicts_match\": %b\n}\n" !all_ok;
+  close_out oc;
+  print_endline "wrote BENCH_shard.json";
+  if not !all_ok then begin
+    Printf.eprintf "FAIL: sharded fabric diverged from the reference\n";
+    exit 1
+  end
+
 let () =
   (* `main.exe kernels` runs only the fast flat-kernel bench;
      `main.exe engine [fast]` runs only the pipeline bench;
-     `main.exe recovery [fast]` runs only the WAL/recovery bench; a
-     numeric argument sets the figure-regeneration run count. *)
+     `main.exe recovery [fast]` runs only the WAL/recovery bench;
+     `main.exe shard [fast|--full]` runs only the sharded-fabric
+     bench; a numeric argument sets the figure-regeneration run
+     count. *)
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "kernels" then run_kernels ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "engine" then
     run_engine ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "recovery" then
     run_recovery ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "shard" then begin
+    let mode =
+      if Array.length Sys.argv > 2 && Sys.argv.(2) = "fast" then `Fast
+      else if Array.length Sys.argv > 2 && Sys.argv.(2) = "--full" then `Full
+      else `Default
+    in
+    run_shard ~mode ()
+  end
   else begin
     let runs =
       if Array.length Sys.argv > 1 then

@@ -114,6 +114,31 @@ let await future =
   in
   wait ()
 
+(* Contiguous-slice fan-out shared by the item-parallel batch paths
+   (Engine.check_batch, Shard_store.add_batch). The submitting domain
+   computes slice 0 itself while the workers run the rest, so a pool
+   of w workers yields w+1-way parallelism; results land at their
+   index, so the output is independent of scheduling. *)
+let map_slices pool ~n ~f =
+  if n < 0 then invalid_arg "Domain_pool.map_slices: n < 0";
+  if n = 0 then [||]
+  else begin
+    let parallelism = min n (Array.length pool.workers + 1) in
+    let chunk = (n + parallelism - 1) / parallelism in
+    let slice index =
+      let lo = index * chunk in
+      (lo, max 0 (min chunk (n - lo)))
+    in
+    let pending =
+      List.init (parallelism - 1) (fun i ->
+          let lo, b = slice (i + 1) in
+          submit pool (fun () -> Array.init b (fun j -> f (lo + j))))
+    in
+    let lo, b = slice 0 in
+    let first = Array.init b (fun j -> f (lo + j)) in
+    Array.concat (first :: List.map await pending)
+  end
+
 let shutdown pool =
   if not pool.shut then begin
     pool.shut <- true;

@@ -55,6 +55,16 @@ val await : 'a future -> 'a
     return the memoised result) but only from the pool's owning
     domain. *)
 
+val map_slices : t -> n:int -> f:(int -> 'a) -> 'a array
+(** [map_slices pool ~n ~f] evaluates [f 0 .. f (n-1)] across the
+    workers and the calling domain in contiguous slices and returns
+    the results in index order, exactly [Array.init n f] up to
+    evaluation order. [f] runs as a worker task and is therefore bound
+    by the ownership contract above: it must not submit to or await on
+    this pool, and any shared state it touches must be safe to read
+    from several domains. With zero workers everything runs on the
+    calling domain. @raise Invalid_argument if [n < 0]. *)
+
 val shutdown : t -> unit
 (** Finish every task already queued, then stop and join all workers.
     Idempotent. After shutdown the pool is permanently unusable;

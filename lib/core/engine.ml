@@ -96,49 +96,62 @@ let check ?(config = default_config) ?pool ?packed ~rng s subs =
           p
       | None -> Flat.pack ~m subs
     in
-    let table = Conflict_table.build_flat ~s ~subs packed in
-    let fast =
-      if config.use_fast_decisions then Fast_decision.decide table
-      else Fast_decision.Unknown
+    (* Candidate pruning runs FIRST: a subscription that does not
+       intersect s contains no point of s, so it can neither contribute
+       to a cover nor invalidate a witness — dropping it shrinks k for
+       the conflict table, the fast decisions, MCS, rho and every RSPC
+       trial without changing the answer. Pruning before the fast
+       decisions makes the whole report a function of (s, the ordered
+       intersecting subset, rng) alone: a caller that pre-confines the
+       candidate set to the subscriptions intersecting s (the sharded
+       store) gets a bit-identical report to one that passes the full
+       set. Corollary 1 is insensitive to the reorder (an all-undefined
+       row is a coverer, hence intersects s, hence survives the prune
+       in the same relative position); Corollary 3 only gains coverage
+       (removing rows preserves the Hall-style condition). *)
+    let sbox = Flat.box_of_sub s in
+    (* [None] means "pruning off": the identity mapping, kept symbolic
+       so the unpruned path allocates no index array and skips the
+       gather bookkeeping entirely. *)
+    let keep =
+      if config.use_pruning then Some (Flat.intersecting_rows packed sbox)
+      else None
     in
-    match fast with
-    | Fast_decision.Covered_pairwise row ->
-        base_report ~verdict:(Covered_pairwise row) ~k_initial
-          ~k_pruned:k_initial ~k_reduced:k_initial
-    | Fast_decision.Not_covered_witness w ->
-        base_report ~verdict:(Not_covered (Polyhedron w)) ~k_initial
-          ~k_pruned:k_initial ~k_reduced:k_initial
-    | Fast_decision.Unknown ->
-        (* Candidate pruning: a subscription that does not intersect s
-           contains no point of s, so it can neither contribute to a
-           cover nor invalidate a witness — dropping it shrinks k for
-           MCS, rho and every RSPC trial without changing the answer.
-           It runs after the fast decisions (which are O(m·k) on the
-           table we already built) so their verdicts and polyhedron
-           witnesses are bit-identical with pruning on or off. *)
-        let sbox = Flat.box_of_sub s in
-        (* [None] means "pruning off": the identity mapping, kept
-           symbolic so the unpruned path allocates no index array and
-           skips the gather bookkeeping entirely. *)
-        let keep =
-          if config.use_pruning then Some (Flat.intersecting_rows packed sbox)
-          else None
-        in
-        let k_pruned =
-          match keep with Some rows -> Array.length rows | None -> k_initial
-        in
-        if k_pruned = 0 then
-          base_report ~verdict:(Not_covered Empty_set) ~k_initial ~k_pruned
-            ~k_reduced:0
-        else begin
-          let pruned_packed, pruned_subs, pruned_table =
-            match keep with
-            | Some rows when Array.length rows < k_initial ->
-                let pp = Flat.gather packed rows in
-                let ps = Array.map (fun i -> subs.(i)) rows in
-                (pp, ps, Conflict_table.build_flat ~s ~subs:ps pp)
-            | Some _ | None -> (packed, subs, table)
-          in
+    let k_pruned =
+      match keep with Some rows -> Array.length rows | None -> k_initial
+    in
+    if k_pruned = 0 then
+      base_report ~verdict:(Not_covered Empty_set) ~k_initial ~k_pruned
+        ~k_reduced:0
+    else begin
+      let pruned_packed, pruned_subs =
+        match keep with
+        | Some rows when Array.length rows < k_initial ->
+            (Flat.gather packed rows, Array.map (fun i -> subs.(i)) rows)
+        | Some _ | None -> (packed, subs)
+      in
+      let pruned_table =
+        Conflict_table.build_flat ~s ~subs:pruned_subs pruned_packed
+      in
+      (* Fast-decision rows index the pruned candidate array; report
+         them relative to the caller's original array so store-level
+         consumers can translate rows to ids regardless of pruning. *)
+      let remap_row row =
+        match keep with Some rows -> rows.(row) | None -> row
+      in
+      let fast =
+        if config.use_fast_decisions then Fast_decision.decide pruned_table
+        else Fast_decision.Unknown
+      in
+      match fast with
+      | Fast_decision.Covered_pairwise row ->
+          base_report
+            ~verdict:(Covered_pairwise (remap_row row))
+            ~k_initial ~k_pruned ~k_reduced:k_pruned
+      | Fast_decision.Not_covered_witness w ->
+          base_report ~verdict:(Not_covered (Polyhedron w)) ~k_initial
+            ~k_pruned ~k_reduced:k_pruned
+      | Fast_decision.Unknown ->
           let mcs_result, reduced_packed, reduced_subs, reduced_table =
             if config.use_mcs then begin
               let result = Mcs.run pruned_table in
@@ -223,31 +236,32 @@ let check_publication ?config ?pool ?packed ~rng pub subs =
    the full sequential pipeline (fast decisions, MCS, sequential RSPC)
    on a pool worker — never the parallel RSPC, which would have worker
    tasks submitting to their own pool (a deadlock; see the ownership
-   contract in domain_pool.mli). Each item draws from its own caller-
-   provided generator, so the result array is identical to the
-   sequential per-item loop no matter how items land on workers. *)
-let check_batch ?(config = default_config) ?pool ?packed ~rngs ss subs =
+   contract in domain_pool.mli). Item i draws the i-th split of [rng],
+   so the result array is identical to the sequential per-item loop no
+   matter how items land on workers. The rng array is materialised
+   only when the parallel path actually engages (pool present, with
+   workers, more than one item); the sequential fallthrough splits
+   lazily per item and carries no per-item pre-split overhead. *)
+let check_batch ?(config = default_config) ?pool ?packed ~rng ss subs =
   let n = Array.length ss in
-  if Array.length rngs <> n then
-    invalid_arg "Engine.check_batch: rngs/subscriptions length mismatch";
-  let check_one i = check ~config ?packed ~rng:rngs.(i) ss.(i) subs in
   match pool with
   | Some pool when n > 1 && Domain_pool.size pool > 0 ->
-      let parallelism = Domain_pool.size pool + 1 in
-      let slice index =
-        let lo = index * Rspc_parallel.chunk_size ~d:n ~domains:parallelism in
-        (lo, Rspc_parallel.budget_for ~d:n ~domains:parallelism ~index)
-      in
-      let pending =
-        List.init (parallelism - 1) (fun i ->
-            let lo, b = slice (i + 1) in
-            Domain_pool.submit pool (fun () ->
-                Array.init b (fun j -> check_one (lo + j))))
-      in
-      let lo, b = slice 0 in
-      let first = Array.init b (fun j -> check_one (lo + j)) in
-      Array.concat (first :: List.map Domain_pool.await pending)
-  | Some _ | None -> Array.init n check_one
+      let rngs = Array.make n rng in
+      for i = 0 to n - 1 do
+        rngs.(i) <- Prng.split rng
+      done;
+      Domain_pool.map_slices pool ~n ~f:(fun i ->
+          check ~config ?packed ~rng:rngs.(i) ss.(i) subs)
+  | Some _ | None ->
+      if n = 0 then [||]
+      else begin
+        let first = check ~config ?packed ~rng:(Prng.split rng) ss.(0) subs in
+        let out = Array.make n first in
+        for i = 1 to n - 1 do
+          out.(i) <- check ~config ?packed ~rng:(Prng.split rng) ss.(i) subs
+        done;
+        out
+      end
 
 let theoretical_log10_d ?(use_mcs = true) ~delta s subs =
   if Array.length subs = 0 then neg_infinity

@@ -3,7 +3,9 @@
     Given a new subscription [s] and the existing set [S], the engine
     runs, in order:
 
-    + conflict-table construction — O(m·k);
+    + intersection pruning — drop candidates disjoint from [s]
+      (an empty remainder is a definite NO);
+    + conflict-table construction on the pruned set — O(m·k);
     + fast deterministic decisions — Corollary 1 (pairwise YES) and
       Corollary 3 (polyhedron-witness NO);
     + MCS — reduce [S] to the non-reducible candidate set [S'];
@@ -27,11 +29,18 @@ type config = {
           off to keep the measured behaviour aligned with the paper;
           see the ablation experiment for its effect). *)
   use_pruning : bool;
-      (** Drop candidates that do not intersect [s] before MCS/RSPC
-          (sound: a non-intersecting subscription contains no point of
-          [s], so it cannot contribute to a cover or invalidate a
-          witness). Runs {e after} the fast decisions so Corollary 1/3
-          verdicts are identical with pruning on or off; default on. *)
+      (** Drop candidates that do not intersect [s] before every other
+          stage (sound: a non-intersecting subscription contains no
+          point of [s], so it cannot contribute to a cover or
+          invalidate a witness). Pruning runs {e first}, so with it on
+          the whole report is a function of (s, the ordered
+          intersecting candidate subset, rng): callers that pre-confine
+          the candidate set to the subscriptions intersecting [s] — the
+          sharded store — obtain bit-identical reports. Corollary 1
+          verdicts are unaffected by pruning either way (a pairwise
+          coverer always intersects [s]); Corollary 3 can only {e gain}
+          witnesses from pruning, since removing rows preserves its
+          Hall-style condition. Default on. *)
   max_iterations : int;
       (** Hard cap on RSPC trials; the theoretical [d] can reach 10^50
           (Fig. 7), so covered instances must stop somewhere. When the
@@ -67,7 +76,7 @@ type report = {
   k_initial : int;  (** |S| before any reduction. *)
   k_pruned : int;
       (** Candidates left after intersection pruning (= k_initial when
-          pruning is off or a fast decision fired first). *)
+          pruning is off). *)
   k_reduced : int;  (** |S'| checked by RSPC (= k_pruned if MCS off). *)
   mcs : Mcs.result option;
       (** MCS trace, when it ran — row indices remapped to positions in
@@ -118,21 +127,23 @@ val check_publication :
     machinery pays off. *)
 
 val check_batch :
-  ?config:config -> ?pool:Domain_pool.t -> ?packed:Flat.t ->
-  rngs:Prng.t array -> Subscription.t array -> Subscription.t array ->
-  report array
-(** [check_batch ~rngs ss subs] checks each [ss.(i)] against the same
-    candidate set [subs], giving item [i] its own generator
-    [rngs.(i)]; the result array equals
-    [Array.init n (fun i -> check ~rng:rngs.(i) ss.(i) subs)]
+  ?config:config -> ?pool:Domain_pool.t -> ?packed:Flat.t -> rng:Prng.t ->
+  Subscription.t array -> Subscription.t array -> report array
+(** [check_batch ~rng ss subs] checks each [ss.(i)] against the same
+    candidate set [subs], giving item [i] the i-th [Prng.split] of
+    [rng]; the result array equals the sequential loop
+    [check ~rng:(Prng.split rng) ss.(i) subs] over ascending [i]
     exactly. With [?pool], items are checked in parallel across
     workers — item-level parallelism only: each item runs the
     sequential RSPC internally, because a worker task must never
     submit to its own pool (see the {!Domain_pool} ownership
-    contract). Since every item owns its generator, scheduling cannot
-    perturb any result. [?packed] is shared by all items.
-    @raise Invalid_argument if [Array.length rngs <> Array.length ss],
-    or on the per-item conditions of {!check}. *)
+    contract). The per-item generators are pre-split into an array
+    only when that parallel path engages (a pool with workers and more
+    than one item); otherwise the call falls through to the sequential
+    loop, splitting lazily per item with no pre-split overhead. Since
+    every item owns its split, scheduling cannot perturb any result.
+    [?packed] is shared by all items.
+    @raise Invalid_argument on the per-item conditions of {!check}. *)
 
 val theoretical_log10_d :
   ?use_mcs:bool -> delta:float -> Subscription.t -> Subscription.t array ->

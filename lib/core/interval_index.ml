@@ -109,3 +109,65 @@ let count_stab t v =
   let n = ref 0 in
   iter_stab t v ~f:(fun _ -> incr n);
   !n
+
+(* Range generalisation of the stabbing walk. A stored [a, b] overlaps
+   the query [qlo, qhi] iff a <= qhi && qlo <= b. At a node whose
+   center lies inside the query, every crossing interval overlaps (it
+   contains the center) and both subtrees may hold answers. A query
+   entirely left of the center only needs the crossing intervals with
+   a <= qhi (their b >= center > qhi guarantees the other bound) and
+   the left subtree — intervals to the right all start past the
+   center, hence past the query. Symmetrically on the right. *)
+let iter_overlapping t q ~f =
+  let qlo = Interval.lo q and qhi = Interval.hi q in
+  let rec visit = function
+    | None -> ()
+    | Some node ->
+        if qhi < node.center then begin
+          let arr = node.by_lo in
+          let n = Array.length arr in
+          let i = ref 0 in
+          while
+            !i < n
+            &&
+            let id, range = arr.(!i) in
+            if Interval.lo range <= qhi then begin
+              f id;
+              true
+            end
+            else false
+          do
+            incr i
+          done;
+          visit node.left
+        end
+        else if qlo > node.center then begin
+          let arr = node.by_hi in
+          let n = Array.length arr in
+          let i = ref 0 in
+          while
+            !i < n
+            &&
+            let id, range = arr.(!i) in
+            if Interval.hi range >= qlo then begin
+              f id;
+              true
+            end
+            else false
+          do
+            incr i
+          done;
+          visit node.right
+        end
+        else begin
+          Array.iter (fun (id, _) -> f id) node.by_lo;
+          visit node.left;
+          visit node.right
+        end
+  in
+  visit t.root
+
+let overlapping t q =
+  let acc = ref [] in
+  iter_overlapping t q ~f:(fun id -> acc := id :: !acc);
+  !acc

@@ -29,3 +29,14 @@ val iter_stab : t -> int -> f:(int -> unit) -> unit
 
 val count_stab : t -> int -> int
 (** Number of intervals containing [v]. *)
+
+val overlapping : t -> Interval.t -> int list
+(** [overlapping t q] lists the ids of all stored intervals sharing at
+    least one point with [q], in unspecified order, in
+    O(log n + answers) — the range generalisation of {!stab} ({!stab}
+    [v] = [overlapping] on the degenerate interval [v,v]). The sharded
+    store's shard map uses it to find every stripe a subscription or a
+    box publication can overlap. *)
+
+val iter_overlapping : t -> Interval.t -> f:(int -> unit) -> unit
+(** Allocation-light variant of {!overlapping}. *)

@@ -1,0 +1,770 @@
+(* Sharded subscription fabric. The global bookkeeping (entries,
+   coverer->children index, insertion order, counters) is shared with
+   the flat store's design — coverer links may cross shards (a
+   fallback full-range subscription can cover striped ones), so those
+   structures stay global. Only the *active* set is partitioned: each
+   shard holds the ascending ids, boxed subscriptions and cached
+   {!Flat} pack of the actives homed in its region, and a covering
+   check gathers candidates from the consulted shards alone. The
+   equivalence argument with the flat store lives in the interface
+   and in DESIGN.md "Sharded matching fabric". *)
+
+type id = int
+
+type entry = {
+  sub : Subscription.t;
+  mutable state : Subscription_store.placement;
+  mutable expires_at : float; (* infinity = no lease *)
+  home : int; (* static: the stripe map never changes *)
+}
+
+type shard = {
+  region : Interval.t;
+  (* Parallel arrays over the used prefix [0, an): active ids in
+     strictly ascending order and their boxed subscriptions. *)
+  mutable aids : int array;
+  mutable asubs : Subscription.t array;
+  mutable an : int;
+  (* Cached pack of [asubs] prefix, rebuilt lazily after a mutation of
+     this shard — the sharded analogue of the flat store's
+     [packed_cache], invalidated per shard instead of per store. *)
+  mutable pack : Flat.t option;
+}
+
+type t = {
+  policy : Subscription_store.policy;
+  arity : int;
+  rng : Prng.t;
+  pool : Domain_pool.t option;
+  shards : shard array; (* stripes 0..n-2, fallback at n-1 *)
+  stripe_index : Interval_index.t; (* stripe regions, for fan-out *)
+  stripe_lo : int array; (* stripe lower bounds, for routing *)
+  entries : (id, entry) Hashtbl.t;
+  children : (id, id list) Hashtbl.t;
+  mutable order : id array;
+  mutable order_n : int;
+  mutable order_dead : int;
+  mutable active_n : int;
+  mutable next_id : id;
+  mutable splits : int;
+  mutable added : int;
+  mutable dropped_covered : int;
+  mutable removed_count : int;
+  mutable promoted_count : int;
+  mutable active_scans : int;
+  mutable covered_scans : int;
+}
+
+(* Stripe regions: [domain0] cut into [nstripes] near-equal pieces,
+   the outer pieces extended to the unbounded sentinels so every
+   bounded first-attribute interval falls inside some stripe's span.
+   Subscriptions whose interval crosses a cut (or lies outside the
+   extended span entirely) route to the fallback. *)
+let make_regions ~nstripes ~domain0 =
+  if nstripes = 0 then [||]
+  else begin
+    let dlo = Interval.lo domain0 and dhi = Interval.hi domain0 in
+    let span = dhi - dlo + 1 in
+    let base = span / nstripes and rem = span mod nstripes in
+    let regions = Array.make nstripes Interval.full in
+    let cur = ref dlo in
+    for i = 0 to nstripes - 1 do
+      let w = base + if i < rem then 1 else 0 in
+      let lo = !cur and hi = !cur + w - 1 in
+      cur := hi + 1;
+      let lo = if i = 0 then min lo Interval.unbounded_lo else lo in
+      let hi = if i = nstripes - 1 then max hi Interval.unbounded_hi else hi in
+      regions.(i) <- Interval.make ~lo ~hi
+    done;
+    regions
+  end
+
+let create ?(policy = Subscription_store.Group_policy Engine.default_config)
+    ?pool ?(shards = 8) ?(domain0 = Interval.full) ~arity ~seed () =
+  if arity < 1 then invalid_arg "Shard_store.create: arity < 1";
+  if shards < 1 then invalid_arg "Shard_store.create: shards < 1";
+  let nstripes = shards - 1 in
+  if nstripes > 0 then begin
+    let span = Interval.hi domain0 - Interval.lo domain0 + 1 in
+    if span <= 0 then invalid_arg "Shard_store.create: domain0 span overflows";
+    if span < nstripes then
+      invalid_arg "Shard_store.create: domain0 narrower than the stripe count"
+  end;
+  (* Shard confinement *is* intersection pruning (see the interface):
+     the group engine must keep pruning on for the flat-store
+     equivalence to hold, so normalise the config here. *)
+  let policy =
+    match policy with
+    | Subscription_store.Group_policy config ->
+        Subscription_store.Group_policy
+          { config with Engine.use_pruning = true }
+    | (Subscription_store.No_coverage | Subscription_store.Pairwise_policy) as
+      p ->
+        p
+  in
+  let regions = make_regions ~nstripes ~domain0 in
+  let mk_shard region =
+    { region; aids = [||]; asubs = [||]; an = 0; pack = None }
+  in
+  let shards =
+    Array.init shards (fun i ->
+        if i < nstripes then mk_shard regions.(i) else mk_shard Interval.full)
+  in
+  {
+    policy;
+    arity;
+    rng = Prng.of_int seed;
+    pool;
+    shards;
+    stripe_index =
+      Interval_index.build (List.init nstripes (fun i -> (i, regions.(i))));
+    stripe_lo = Array.map Interval.lo regions;
+    entries = Hashtbl.create 64;
+    children = Hashtbl.create 64;
+    order = Array.make 64 0;
+    order_n = 0;
+    order_dead = 0;
+    active_n = 0;
+    next_id = 0;
+    splits = 0;
+    added = 0;
+    dropped_covered = 0;
+    removed_count = 0;
+    promoted_count = 0;
+    active_scans = 0;
+    covered_scans = 0;
+  }
+
+let policy t = t.policy
+let arity t = t.arity
+let size t = Hashtbl.length t.entries
+let active_count t = t.active_n
+let covered_count t = size t - active_count t
+let shard_count t = Array.length t.shards
+let fallback_shard t = Array.length t.shards - 1
+let shard_actives t = Array.map (fun sh -> sh.an) t.shards
+let splits_consumed t = t.splits
+
+(* {2 Routing} *)
+
+(* The unique stripe whose region fully contains the subscription's
+   first-attribute interval; the fallback when it spans a cut or lies
+   below the extended span. Regions are contiguous, so the candidate
+   stripe is the last one starting at or below the interval. *)
+let home_of t s =
+  let nstripes = Array.length t.shards - 1 in
+  if nstripes = 0 then 0
+  else begin
+    let iv = Subscription.range s 0 in
+    let vlo = Interval.lo iv in
+    if vlo < t.stripe_lo.(0) then nstripes
+    else begin
+      (* Largest i with stripe_lo.(i) <= vlo. *)
+      let lo = ref 0 and hi = ref (nstripes - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if t.stripe_lo.(mid) <= vlo then lo := mid else hi := mid - 1
+      done;
+      if Interval.subset iv t.shards.(!lo).region then !lo else nstripes
+    end
+  end
+
+(* Shards a box with first-attribute interval [q0] can overlap: the
+   stripes sharing a point with [q0] (ascending), then the fallback.
+   Actives in any other stripe are disjoint from the box on attribute
+   0 — exactly what the engine's pruning would discard. *)
+let consult_of_q0 t q0 =
+  let stripes =
+    List.sort_uniq Int.compare (Interval_index.overlapping t.stripe_index q0)
+  in
+  stripes @ [ Array.length t.shards - 1 ]
+
+let consult_of_sub t s = consult_of_q0 t (Subscription.range s 0)
+
+(* {2 Per-shard active arrays} *)
+
+let shard_pack t sh =
+  match sh.pack with
+  | Some p -> p
+  | None ->
+      let p = Flat.pack ~m:t.arity (Array.sub sh.asubs 0 sh.an) in
+      sh.pack <- Some p;
+      p
+
+let ensure_capacity sh s =
+  if sh.an = Array.length sh.aids then begin
+    let cap = max 8 (2 * sh.an) in
+    let aids = Array.make cap 0 in
+    Array.blit sh.aids 0 aids 0 sh.an;
+    sh.aids <- aids;
+    let asubs = Array.make cap s in
+    Array.blit sh.asubs 0 asubs 0 sh.an;
+    sh.asubs <- asubs
+  end
+
+(* First index in the used prefix with aids.(i) >= id. *)
+let lower_bound sh id =
+  let lo = ref 0 and hi = ref sh.an in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if sh.aids.(mid) < id then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Fresh arrivals carry the largest id so far: append keeps the array
+   sorted. *)
+let shard_append sh id s =
+  ensure_capacity sh s;
+  sh.aids.(sh.an) <- id;
+  sh.asubs.(sh.an) <- s;
+  sh.an <- sh.an + 1;
+  sh.pack <- None
+
+(* Promotions re-activate an old id: sorted insert. *)
+let shard_insert sh id s =
+  ensure_capacity sh s;
+  let pos = lower_bound sh id in
+  Array.blit sh.aids pos sh.aids (pos + 1) (sh.an - pos);
+  Array.blit sh.asubs pos sh.asubs (pos + 1) (sh.an - pos);
+  sh.aids.(pos) <- id;
+  sh.asubs.(pos) <- s;
+  sh.an <- sh.an + 1;
+  sh.pack <- None
+
+let shard_delete sh id =
+  let pos = lower_bound sh id in
+  Array.blit sh.aids (pos + 1) sh.aids pos (sh.an - pos - 1);
+  Array.blit sh.asubs (pos + 1) sh.asubs pos (sh.an - pos - 1);
+  sh.an <- sh.an - 1;
+  sh.pack <- None
+
+(* {2 Global bookkeeping (mirrors the flat store)} *)
+
+let order_push t id =
+  if t.order_n = Array.length t.order then begin
+    let bigger = Array.make (2 * t.order_n) 0 in
+    Array.blit t.order 0 bigger 0 t.order_n;
+    t.order <- bigger
+  end;
+  t.order.(t.order_n) <- id;
+  t.order_n <- t.order_n + 1
+
+let order_compact t =
+  let n = ref 0 in
+  for i = 0 to t.order_n - 1 do
+    let id = t.order.(i) in
+    if Hashtbl.mem t.entries id then begin
+      t.order.(!n) <- id;
+      incr n
+    end
+  done;
+  t.order_n <- !n;
+  t.order_dead <- 0
+
+let order_mark_dead t =
+  t.order_dead <- t.order_dead + 1;
+  if t.order_dead > t.order_n - t.order_dead then order_compact t
+
+let fold_entries t ~init ~f =
+  (* Insertion order = ascending id: deterministic without sorting. *)
+  let acc = ref init in
+  for i = 0 to t.order_n - 1 do
+    let id = t.order.(i) in
+    match Hashtbl.find_opt t.entries id with
+    | Some e -> acc := f !acc id e
+    | None -> ()
+  done;
+  !acc
+
+let active t =
+  fold_entries t ~init:[] ~f:(fun acc id e ->
+      match e.state with
+      | Subscription_store.Active -> (id, e.sub) :: acc
+      | Subscription_store.Covered _ -> acc)
+  |> List.rev
+
+let covered t =
+  fold_entries t ~init:[] ~f:(fun acc id e ->
+      match e.state with
+      | Subscription_store.Active -> acc
+      | Subscription_store.Covered by -> (id, e.sub, by) :: acc)
+  |> List.rev
+
+let find t id =
+  match Hashtbl.find_opt t.entries id with
+  | Some e -> e.sub
+  | None -> raise Not_found
+
+let is_active t id =
+  match Hashtbl.find_opt t.entries id with
+  | Some e -> (
+      match e.state with
+      | Subscription_store.Active -> true
+      | Subscription_store.Covered _ -> false)
+  | None -> raise Not_found
+
+let home_shard t id =
+  match Hashtbl.find_opt t.entries id with
+  | Some e -> e.home
+  | None -> raise Not_found
+
+let link_child t ~coverer ~child =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.children coverer) in
+  if not (List.mem child cur) then
+    Hashtbl.replace t.children coverer (child :: cur)
+
+let unlink_child t ~coverer ~child =
+  match Hashtbl.find_opt t.children coverer with
+  | None -> ()
+  | Some l -> (
+      match List.filter (fun c -> c <> child) l with
+      | [] -> Hashtbl.remove t.children coverer
+      | l' -> Hashtbl.replace t.children coverer l')
+
+(* {2 Classification} *)
+
+(* Gather the candidates an arrival can interact with: the actives of
+   the consulted shards that intersect its box, merged into ascending
+   id order — exactly the subset the flat store's engine run would
+   retain after pruning, in the same order, which is what makes the
+   sharded verdicts bit-identical (prune-first contract,
+   {!Engine.check}). *)
+let gather_from t consult sbox =
+  let cands = ref [] in
+  List.iter
+    (fun si ->
+      let sh = t.shards.(si) in
+      if sh.an > 0 then begin
+        let rows = Flat.intersecting_rows (shard_pack t sh) sbox in
+        for i = Array.length rows - 1 downto 0 do
+          let r = rows.(i) in
+          cands := (sh.aids.(r), sh.asubs.(r)) :: !cands
+        done
+      end)
+    consult;
+  let arr = Array.of_list !cands in
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
+  (Array.map fst arr, Array.map snd arr)
+
+let gather t s = gather_from t (consult_of_sub t s) (Flat.box_of_sub s)
+
+(* Engine rows index the gathered candidate array (the engine's
+   internal prune keeps all of them — they all intersect s). The
+   MCS-less fallback records every gathered candidate, which equals
+   the flat store's intersection-filtered list. *)
+let placement_of_report cids report =
+  match report.Engine.verdict with
+  | Engine.Covered_pairwise row -> Subscription_store.Covered [ cids.(row) ]
+  | Engine.Covered_probably ->
+      let coverers =
+        match report.Engine.mcs with
+        | Some m -> List.map (fun row -> cids.(row)) m.Mcs.kept
+        | None -> Array.to_list cids
+      in
+      Subscription_store.Covered coverers
+  | Engine.Not_covered _ -> Subscription_store.Active
+
+let classify_group t ?pool config s ~rng =
+  let cids, csubs = gather t s in
+  placement_of_report cids (Engine.check ~config ?pool ~rng s csubs)
+
+(* One {!Prng.split} per group classification, in arrival /
+   reclassification order — the flat store's exact stream. *)
+let classify t s =
+  match t.policy with
+  | Subscription_store.No_coverage -> Subscription_store.Active
+  | Subscription_store.Pairwise_policy -> (
+      let cids, csubs = gather t s in
+      (* A pairwise coverer contains s, hence intersects it, hence is
+         gathered; candidates keep ascending id order, so the first
+         coverer here is the first the flat store's full scan finds. *)
+      match Pairwise.find_coverer s csubs with
+      | Some i -> Subscription_store.Covered [ cids.(i) ]
+      | None -> Subscription_store.Active)
+  | Subscription_store.Group_policy config ->
+      t.splits <- t.splits + 1;
+      let rng = Prng.split t.rng in
+      classify_group t ?pool:t.pool config s ~rng
+
+let install t s ~state ~expires_at =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let home = home_of t s in
+  Hashtbl.replace t.entries id { sub = s; state; expires_at; home };
+  order_push t id;
+  t.added <- t.added + 1;
+  (match state with
+  | Subscription_store.Covered by ->
+      t.dropped_covered <- t.dropped_covered + 1;
+      List.iter (fun coverer -> link_child t ~coverer ~child:id) by
+  | Subscription_store.Active ->
+      t.active_n <- t.active_n + 1;
+      shard_append t.shards.(home) id s);
+  (id, state)
+
+let insert t s ~expires_at =
+  if Subscription.arity s <> t.arity then
+    invalid_arg "Shard_store.add: arity mismatch";
+  if Float.is_nan expires_at then
+    invalid_arg "Shard_store.add_with_expiry: NaN lease";
+  let state = classify t s in
+  install t s ~state ~expires_at
+
+let add t s = insert t s ~expires_at:infinity
+let add_with_expiry t s ~expires_at = insert t s ~expires_at
+
+(* Batched insertion, defined as the sequential [add] loop. The
+   parallel path reserves one child generator per item up front (the
+   sequential stream), gathers each window item's candidates against
+   the current state, classifies the window concurrently on the pool
+   (each item sequential-engine on a {e copy} of its reserved child),
+   then applies serially while tracking which shards received an
+   active. An item's pre-computed placement is valid unless some
+   earlier arrival turned active in a shard the item consults: a
+   covered arrival never mutates the active set, and an active landing
+   in a non-consulted stripe is disjoint from the item on attribute 0,
+   so the engine's prune-first contract makes its report — hence the
+   placement and coverer ids — identical. Invalidated items
+   re-classify inline against the fully-updated store from a fresh
+   copy of the same child, exactly as the sequential loop would. *)
+let add_batch t subs =
+  let n = Array.length subs in
+  Array.iter
+    (fun s ->
+      if Subscription.arity s <> t.arity then
+        invalid_arg "Shard_store.add_batch: arity mismatch")
+    subs;
+  let parallel =
+    match (t.policy, t.pool) with
+    | Subscription_store.Group_policy config, Some pool
+      when n > 1 && Domain_pool.size pool > 0 ->
+        Some (config, pool)
+    | _ -> None
+  in
+  match parallel with
+  | None ->
+      let results = Array.make n (0, Subscription_store.Active) in
+      for i = 0 to n - 1 do
+        results.(i) <- add t subs.(i)
+      done;
+      results
+  | Some (config, pool) ->
+      let results = Array.make n (0, Subscription_store.Active) in
+      (* Reserve per-item generators in arrival order — explicit loop:
+         the split order is the observable effect. *)
+      let rngs = Array.make n t.rng in
+      for i = 0 to n - 1 do
+        t.splits <- t.splits + 1;
+        rngs.(i) <- Prng.split t.rng
+      done;
+      let nshards = Array.length t.shards in
+      let window_cap = max 16 (8 * (Domain_pool.size pool + 1)) in
+      let base = ref 0 in
+      while !base < n do
+        let b = !base in
+        let window = min (n - b) window_cap in
+        let consults =
+          Array.init window (fun j -> consult_of_sub t subs.(b + j))
+        in
+        let cands =
+          Array.init window (fun j ->
+              gather_from t consults.(j) (Flat.box_of_sub subs.(b + j)))
+        in
+        let pre =
+          Domain_pool.map_slices pool ~n:window ~f:(fun j ->
+              let cids, csubs = cands.(j) in
+              let rng = Prng.copy rngs.(b + j) in
+              placement_of_report cids
+                (Engine.check ~config ~rng subs.(b + j) csubs))
+        in
+        let dirty = Array.make nshards false in
+        let any_dirty = ref false in
+        for j = 0 to window - 1 do
+          let idx = b + j in
+          let state =
+            if !any_dirty && List.exists (fun si -> dirty.(si)) consults.(j)
+            then
+              classify_group t ?pool:t.pool config subs.(idx)
+                ~rng:(Prng.copy rngs.(idx))
+            else pre.(j)
+          in
+          results.(idx) <- install t subs.(idx) ~state ~expires_at:infinity;
+          match state with
+          | Subscription_store.Active ->
+              dirty.(home_of t subs.(idx)) <- true;
+              any_dirty := true
+          | Subscription_store.Covered _ -> ()
+        done;
+        base := b + window
+      done;
+      results
+
+(* {2 Leases, removal, reclassification} *)
+
+let expiry t id =
+  match Hashtbl.find_opt t.entries id with
+  | Some e -> e.expires_at
+  | None -> raise Not_found
+
+let renew t id ~expires_at =
+  if Float.is_nan expires_at then invalid_arg "Shard_store.renew: NaN lease";
+  match Hashtbl.find_opt t.entries id with
+  | Some e -> e.expires_at <- expires_at
+  | None -> ()
+
+(* Same orphan selection and ascending-id order as the flat store, so
+   the re-classification split stream lines up; promotions re-enter
+   their home shard by sorted insert. *)
+let reclassify_orphans t ~departed_active =
+  let orphans =
+    fold_entries t ~init:[] ~f:(fun acc oid oe ->
+        match oe.state with
+        | Subscription_store.Covered by
+          when List.exists (fun id -> List.mem id by) departed_active ->
+            (oid, oe, by) :: acc
+        | Subscription_store.Covered _ | Subscription_store.Active -> acc)
+    |> List.rev
+  in
+  List.map
+    (fun (oid, oe, old_by) ->
+      List.iter (fun coverer -> unlink_child t ~coverer ~child:oid) old_by;
+      match classify t oe.sub with
+      | Subscription_store.Active ->
+          oe.state <- Subscription_store.Active;
+          t.active_n <- t.active_n + 1;
+          shard_insert t.shards.(oe.home) oid oe.sub;
+          t.promoted_count <- t.promoted_count + 1;
+          (oid, Subscription_store.Active)
+      | Subscription_store.Covered by ->
+          oe.state <- Subscription_store.Covered by;
+          List.iter (fun coverer -> link_child t ~coverer ~child:oid) by;
+          (oid, Subscription_store.Covered by))
+    orphans
+
+let promoted_of_reclassified reclassified =
+  List.filter_map
+    (fun (oid, pl) ->
+      match pl with
+      | Subscription_store.Active -> Some oid
+      | Subscription_store.Covered _ -> None)
+    reclassified
+
+let remove t id =
+  let e =
+    match Hashtbl.find_opt t.entries id with
+    | Some e -> e
+    | None -> raise Not_found
+  in
+  Hashtbl.remove t.entries id;
+  order_mark_dead t;
+  t.removed_count <- t.removed_count + 1;
+  match e.state with
+  | Subscription_store.Covered by ->
+      List.iter (fun coverer -> unlink_child t ~coverer ~child:id) by;
+      []
+  | Subscription_store.Active ->
+      t.active_n <- t.active_n - 1;
+      shard_delete t.shards.(e.home) id;
+      Hashtbl.remove t.children id;
+      promoted_of_reclassified (reclassify_orphans t ~departed_active:[ id ])
+
+let expire t ~now =
+  let expired =
+    fold_entries t ~init:[] ~f:(fun acc id e ->
+        if e.expires_at <= now then (id, e) :: acc else acc)
+    |> List.rev
+  in
+  List.iter
+    (fun (id, e) ->
+      Hashtbl.remove t.entries id;
+      order_mark_dead t;
+      t.removed_count <- t.removed_count + 1;
+      match e.state with
+      | Subscription_store.Covered by ->
+          List.iter (fun coverer -> unlink_child t ~coverer ~child:id) by
+      | Subscription_store.Active ->
+          t.active_n <- t.active_n - 1;
+          shard_delete t.shards.(e.home) id;
+          Hashtbl.remove t.children id)
+    expired;
+  let expired_active =
+    List.filter_map
+      (fun (id, e) ->
+        match e.state with
+        | Subscription_store.Active -> Some id
+        | Subscription_store.Covered _ -> None)
+      expired
+  in
+  let reclassified =
+    if expired_active = [] then []
+    else reclassify_orphans t ~departed_active:expired_active
+  in
+  (List.map fst expired, promoted_of_reclassified reclassified)
+
+(* {2 Matching} *)
+
+(* First-attribute footprint of a publication, for shard fan-out. A
+   malformed (zero-length) publication consults everything, which
+   degrades to flat-store behaviour rather than missing hits. *)
+let q0_of_pub p =
+  match p with
+  | Publication.Point values ->
+      if Array.length values = 0 then Interval.full
+      else Interval.point values.(0)
+  | Publication.Box s ->
+      if Subscription.arity s = 0 then Interval.full else Subscription.range s 0
+
+let match_publication t p =
+  let hits = ref [] in
+  let matched_actives = ref [] in
+  (* Actives outside the consulted shards are disjoint from the
+     publication on attribute 0, so they cannot match: the hit list is
+     the flat store's, for a fraction of the scans. *)
+  List.iter
+    (fun si ->
+      let sh = t.shards.(si) in
+      for i = 0 to sh.an - 1 do
+        t.active_scans <- t.active_scans + 1;
+        if Publication.matches sh.asubs.(i) p then begin
+          matched_actives := sh.aids.(i) :: !matched_actives;
+          hits := sh.aids.(i) :: !hits
+        end
+      done)
+    (consult_of_q0 t (q0_of_pub p));
+  (* Multi-level descent, identical to the flat store: only children
+     recorded under a matched coverer can match. *)
+  let tested = Hashtbl.create 16 in
+  List.iter
+    (fun coverer ->
+      List.iter
+        (fun child ->
+          if not (Hashtbl.mem tested child) then begin
+            Hashtbl.replace tested child ();
+            t.covered_scans <- t.covered_scans + 1;
+            match Hashtbl.find_opt t.entries child with
+            | Some e -> if Publication.matches e.sub p then hits := child :: !hits
+            | None -> ()
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt t.children coverer)))
+    !matched_actives;
+  List.sort Int.compare !hits
+
+let match_publication_exhaustive t p =
+  fold_entries t ~init:[] ~f:(fun acc id e ->
+      if Publication.matches e.sub p then id :: acc else acc)
+  |> List.sort Int.compare
+
+let check_publication t ~rng p =
+  let s = Publication.to_sub p in
+  let config =
+    match t.policy with
+    | Subscription_store.Group_policy config -> config
+    | Subscription_store.No_coverage | Subscription_store.Pairwise_policy ->
+        Engine.default_config
+  in
+  let _, csubs = gather t s in
+  Engine.check ~config ?pool:t.pool ~rng s csubs
+
+let stats t =
+  {
+    Subscription_store.added = t.added;
+    dropped_covered = t.dropped_covered;
+    removed = t.removed_count;
+    promoted = t.promoted_count;
+    active_scans = t.active_scans;
+    covered_scans = t.covered_scans;
+  }
+
+let[@problint.allow
+     determinism
+       "test-only invariant check: every Hashtbl traversal here \
+        accumulates a boolean AND, so visit order cannot change the \
+        verdict"] validate t =
+  let ok = ref true in
+  (* Flat-store coverage invariants: coverer references live and
+     active, non-empty coverer lists, pairwise coverers really cover. *)
+  Hashtbl.iter
+    (fun _id e ->
+      match e.state with
+      | Subscription_store.Active -> ()
+      | Subscription_store.Covered by ->
+          if by = [] then ok := false;
+          List.iter
+            (fun c ->
+              match Hashtbl.find_opt t.entries c with
+              | Some ce ->
+                  (match ce.state with
+                  | Subscription_store.Active -> ()
+                  | Subscription_store.Covered _ -> ok := false);
+                  (match t.policy with
+                  | Subscription_store.Pairwise_policy ->
+                      if not (Subscription.covers_sub ce.sub e.sub) then
+                        ok := false
+                  | Subscription_store.No_coverage
+                  | Subscription_store.Group_policy _ ->
+                      ())
+              | None -> ok := false)
+            by)
+    t.entries;
+  (* Child index is the exact inverse of the covered-by relation. *)
+  Hashtbl.iter
+    (fun coverer children ->
+      List.iter
+        (fun child ->
+          match Hashtbl.find_opt t.entries child with
+          | Some ce -> (
+              match ce.state with
+              | Subscription_store.Covered by ->
+                  if not (List.mem coverer by) then ok := false
+              | Subscription_store.Active -> ok := false)
+          | None -> ok := false)
+        children)
+    t.children;
+  (* Shard map invariants. *)
+  let total = Array.fold_left (fun acc sh -> acc + sh.an) 0 t.shards in
+  if total <> t.active_n then ok := false;
+  Array.iteri
+    (fun si sh ->
+      for i = 0 to sh.an - 1 do
+        if i > 0 && sh.aids.(i - 1) >= sh.aids.(i) then ok := false;
+        (match Hashtbl.find_opt t.entries sh.aids.(i) with
+        | Some e ->
+            (match e.state with
+            | Subscription_store.Active -> ()
+            | Subscription_store.Covered _ -> ok := false);
+            if e.home <> si then ok := false;
+            if
+              not
+                ((e.sub == sh.asubs.(i))
+                [@problint.allow
+                  unsafe
+                    "identity check is the invariant: the shard array must \
+                     alias the entry's subscription, not merely equal it"])
+            then ok := false;
+            if home_of t e.sub <> si then ok := false
+        | None -> ok := false);
+        (match sh.pack with
+        | None -> ()
+        | Some p ->
+            if Flat.k p <> sh.an || Flat.m p <> t.arity then ok := false
+            else
+              for j = 0 to t.arity - 1 do
+                let iv = Subscription.range sh.asubs.(i) j in
+                if
+                  Flat.lo p ~row:i ~attr:j <> Interval.lo iv
+                  || Flat.hi p ~row:i ~attr:j <> Interval.hi iv
+                then ok := false
+              done)
+      done)
+    t.shards;
+  (* Every active entry is present in its home shard. *)
+  Hashtbl.iter
+    (fun id e ->
+      match e.state with
+      | Subscription_store.Covered _ -> ()
+      | Subscription_store.Active ->
+          let sh = t.shards.(e.home) in
+          let pos = lower_bound sh id in
+          if pos >= sh.an || sh.aids.(pos) <> id then ok := false)
+    t.entries;
+  !ok

@@ -223,16 +223,26 @@ let unlink_child t ~coverer ~child =
 
 (* Translate an engine report into a placement, mapping candidate rows
    back to store ids through the active-set snapshot [ids]. *)
-let placement_of_report ids report =
+let placement_of_report ~s ids subs report =
   match report.Engine.verdict with
   | Engine.Covered_pairwise row -> Covered [ ids.(row) ]
   | Engine.Covered_probably ->
       (* Record the MCS-reduced candidate set as coverers: exactly
-         the subscriptions whose joint cover classified [s]. *)
+         the subscriptions whose joint cover classified [s]. Without
+         an MCS trace, fall back to the candidates intersecting [s] —
+         a superset of any true cover (a disjoint candidate covers no
+         point of [s]), and the same list the engine's own pruning
+         pass retains, so the sharded store records identical links. *)
       let coverers =
         match report.Engine.mcs with
         | Some m -> List.map (fun row -> ids.(row)) m.Mcs.kept
-        | None -> Array.to_list ids
+        | None ->
+            let acc = ref [] in
+            for row = Array.length ids - 1 downto 0 do
+              if Subscription.intersects s subs.(row) then
+                acc := ids.(row) :: !acc
+            done;
+            !acc
       in
       Covered coverers
   | Engine.Not_covered _ -> Active
@@ -241,8 +251,8 @@ let placement_of_report ids report =
    the store policy. Under the group policy every classification draws
    exactly one {!Prng.split} from the store generator and hands the
    child stream to the engine — a fixed per-classification consumption
-   that {!add_batch} reproduces by pre-splitting one child per item in
-   arrival order. *)
+   that the sharded store mirrors split-for-split (see
+   {!Shard_store}). *)
 let classify t s =
   match t.policy with
   | No_coverage -> Active
@@ -256,12 +266,12 @@ let classify t s =
       let packed = active_packed t in
       t.splits <- t.splits + 1;
       let rng = Prng.split t.rng in
-      placement_of_report ids
+      placement_of_report ~s ids subs
         (Engine.check ~config ?pool:t.pool ~packed ~rng s subs)
 
 (* Bookkeeping half of an insertion: assign the id and record the
-   already-computed placement. Split out from [insert] so [add_batch]
-   can apply placements pre-computed against a snapshot. *)
+   already-computed placement. Split out from [insert] so replay and
+   batch paths can apply placements computed elsewhere. *)
 let install t s ~state ~expires_at =
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -291,26 +301,15 @@ let insert t s ~expires_at =
 let add t s = insert t s ~expires_at:infinity
 let add_with_expiry t s ~expires_at = insert t s ~expires_at
 
-(* Batched insertion. Semantics are defined by the sequential loop
-   [Array.map (add t) subs] in index order; the parallel path is an
-   optimisation that provably reproduces it.
-
-   Round argument: pre-split one child generator per item in arrival
-   order (the exact [t.rng] draws the sequential loop would make).
-   Then, repeatedly: snapshot the active set, pre-classify a window of
-   upcoming items against it in parallel ({!Engine.check_batch}, each
-   item on a fresh {!Prng.copy} of its reserved child), and apply the
-   placements serially in index order. A [Covered] placement never
-   mutates the active set, so the snapshot every later window item was
-   classified against is still the set the sequential loop would have
-   used — its pre-computed placement (and id mapping) is exactly the
-   sequential one. The first [Active] placement is itself computed
-   against a valid snapshot, but invalidates it for the items after
-   it: the round ends there, their pre-computations are discarded, and
-   the next round re-classifies them from fresh copies of the same
-   reserved children — just as the sequential loop would, against the
-   grown active set. Induction over rounds gives bit-identical
-   (id, placement) results, counters and coverer links. *)
+(* Batched insertion: the sequential loop [Array.map (add t) subs] in
+   index order, after validating every arity up front so a mid-batch
+   failure cannot leave a prefix installed. The earlier item-parallel
+   snapshot-round path was retired: its rounds discarded every
+   pre-classification after the first [Active] arrival, which made it
+   an outright regression on active-heavy workloads (0.63x in
+   BENCH_engine.json). Item-parallel batching lives in {!Shard_store},
+   whose per-shard routing bounds invalidation to the shards an
+   arrival actually dirtied. *)
 let add_batch t subs =
   let n = Array.length subs in
   Array.iter
@@ -318,55 +317,11 @@ let add_batch t subs =
       if Subscription.arity s <> t.arity then
         invalid_arg "Subscription_store.add_batch: arity mismatch")
     subs;
-  let parallel =
-    match (t.policy, t.pool) with
-    | Group_policy config, Some pool when n > 1 && Domain_pool.size pool > 0
-      ->
-        Some (config, pool)
-    | _ -> None
-  in
-  match parallel with
-  | None ->
-      let results = Array.make n (0, Active) in
-      for i = 0 to n - 1 do
-        results.(i) <- add t subs.(i)
-      done;
-      results
-  | Some (config, pool) ->
-      let results = Array.make n (0, Active) in
-      (* Reserve the per-item generators up front, in arrival order —
-         explicit loop: the split order is the observable effect. *)
-      let rngs = Array.make n t.rng in
-      for i = 0 to n - 1 do
-        t.splits <- t.splits + 1;
-        rngs.(i) <- Prng.split t.rng
-      done;
-      let window_cap = max 8 (4 * (Domain_pool.size pool + 1)) in
-      let i = ref 0 in
-      while !i < n do
-        let ids, asubs = active_arrays t in
-        let packed = active_packed t in
-        let window = min (n - !i) window_cap in
-        let items = Array.sub subs !i window in
-        let base = !i in
-        let wrngs = Array.init window (fun j -> Prng.copy rngs.(base + j)) in
-        let reports =
-          Engine.check_batch ~config ~pool ~packed ~rngs:wrngs items asubs
-        in
-        let j = ref 0 in
-        let snapshot_valid = ref true in
-        while !snapshot_valid && !j < window do
-          let idx = base + !j in
-          let state = placement_of_report ids reports.(!j) in
-          results.(idx) <- install t subs.(idx) ~state ~expires_at:infinity;
-          (match state with
-          | Active -> snapshot_valid := false
-          | Covered _ -> ());
-          incr j
-        done;
-        i := base + !j
-      done;
-      results
+  let results = Array.make n (0, Active) in
+  for i = 0 to n - 1 do
+    results.(i) <- add t subs.(i)
+  done;
+  results
 
 let expiry t id =
   match Hashtbl.find_opt t.entries id with
@@ -512,6 +467,20 @@ let match_publication_exhaustive t p =
   fold_entries t ~init:[] ~f:(fun acc id e ->
       if Publication.matches e.sub p then id :: acc else acc)
   |> List.sort Int.compare
+
+(* Read-only subsumption query against the active set. The caller
+   supplies the generator: a query must never draw from the store's
+   own stream, or interleaving queries with arrivals would perturb
+   later placements. *)
+let check_publication t ~rng p =
+  let _, subs = active_arrays t in
+  let packed = active_packed t in
+  let config =
+    match t.policy with
+    | Group_policy config -> config
+    | No_coverage | Pairwise_policy -> Engine.default_config
+  in
+  Engine.check_publication ~config ?pool:t.pool ~packed ~rng p subs
 
 let[@problint.allow
      determinism

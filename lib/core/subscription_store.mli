@@ -44,12 +44,10 @@ val create :
     fresh {!Prng.split} of the store generator, so a given seed fixes
     every verdict regardless of how classifications are executed.
     [?pool] lends the store a {!Domain_pool} for the group-policy
-    engine calls — {!add} parallelises the RSPC stage, {!add_batch}
-    classifies whole windows of arrivals concurrently; either way the
-    results are bit-identical to the pool-less store with the same
-    seed. The store only borrows the pool: shutting it down remains
-    the caller's job. Default policy: [Group_policy
-    Engine.default_config]. *)
+    engine calls — {!add} parallelises the RSPC stage; the results are
+    bit-identical to the pool-less store with the same seed. The store
+    only borrows the pool: shutting it down remains the caller's job.
+    Default policy: [Group_policy Engine.default_config]. *)
 
 val policy : t -> policy
 val arity : t -> int
@@ -65,18 +63,12 @@ val add : t -> Subscription.t -> id * placement
 
 val add_batch : t -> Subscription.t array -> (id * placement) array
 (** [add_batch t subs] inserts the whole batch and returns each item's
-    [(id, placement)], {e defined} as [subs] fed one by one through
-    {!add} in index order — identical ids, placements, coverer lists,
-    counters and final store state. With a pool (group policy), the
-    store exploits the batch: it pre-classifies windows of upcoming
-    arrivals against a stable active-set snapshot in parallel
-    ({!Engine.check_batch}) and applies the results serially, falling
-    back to re-classification from the first arrival that grows the
-    active set (a covered arrival never invalidates the snapshot, so
-    in covered-heavy steady state most of the batch classifies
-    concurrently). Per-item generators are pre-split from the store
-    generator in arrival order, which is what makes the parallel path
-    bit-identical to the sequential loop.
+    [(id, placement)]: [subs] fed one by one through {!add} in index
+    order. (The earlier item-parallel snapshot-round path was retired
+    as a measured regression — its rounds discarded every
+    pre-classification after the first [Active] arrival. Item-parallel
+    batching lives in {!Shard_store.add_batch}, where shard routing
+    bounds the invalidation.)
     @raise Invalid_argument if any item's arity mismatches (checked
     up front, before any insertion). *)
 
@@ -149,6 +141,15 @@ val match_publication : t -> Publication.t -> id list
 val match_publication_exhaustive : t -> Publication.t -> id list
 (** Ground truth: match against {e every} live subscription, bypassing
     the two-level structure; used to quantify losses. *)
+
+val check_publication : t -> rng:Prng.t -> Publication.t -> Engine.report
+(** The general subsumption question against the {e active} set: is
+    the publication's box covered by the union of active
+    subscriptions? Read-only — the caller supplies [rng] (queries must
+    never draw from the store's own generator, or interleaving them
+    with arrivals would perturb later placements). Runs under the
+    group-policy config when the store has one,
+    {!Engine.default_config} otherwise. *)
 
 type stats = {
   added : int;

@@ -19,8 +19,11 @@ let make ?(core_or_broker = false) ?(in_lib = false) ?(hot = false) ~file () =
    a WAL must be bit-identical to the run that wrote it, so the durable
    layer is in scope — audited per-use [@problint.allow] annotations,
    never a path exemption), and library code when it lives under lib/.
-   Paths are the relative ones handed to the driver
-   (e.g. "lib/core/flat.ml"). *)
+   The sharded fabric (lib/core/shard_store.ml) sits squarely inside
+   the core scope on purpose: its flat-store equivalence contract is a
+   determinism claim, so Hashtbl-order and partiality findings there
+   are never waved through by path. Paths are the relative ones handed
+   to the driver (e.g. "lib/core/flat.ml"). *)
 let contains_seg path seg =
   let path = "/" ^ String.concat "/" (String.split_on_char '\\' path) ^ "/" in
   let seg = "/" ^ seg ^ "/" in

@@ -234,27 +234,30 @@ let test_check_batch_matches_loop () =
         else if i mod 3 = 1 then sub [ (i * 11, 4000 + (i * 13)) ] (* covered *)
         else sub [ (0, 9999) ] (* witness *))
   in
-  let mk_rngs () = Array.init 10 (fun i -> Prng.of_int (100 + i)) in
+  (* The contract: item i draws the i-th split of the batch rng, so
+     the batch equals the sequential split-per-item loop. *)
   let reference =
-    Array.init 10 (fun i ->
-        Engine.check ~config:pool_cfg ~rng:(Prng.of_int (100 + i)) items.(i)
-          subs)
+    let master = Prng.of_int 100 in
+    let acc = ref [] in
+    for i = 0 to 9 do
+      acc :=
+        Engine.check ~config:pool_cfg ~rng:(Prng.split master) items.(i) subs
+        :: !acc
+    done;
+    Array.of_list (List.rev !acc)
   in
   Domain_pool.with_pool ~workers:3 (fun pool ->
       let batched =
-        Engine.check_batch ~config:pool_cfg ~pool ~rngs:(mk_rngs ()) items subs
+        Engine.check_batch ~config:pool_cfg ~pool ~rng:(Prng.of_int 100) items
+          subs
       in
       Alcotest.(check bool) "pooled batch = sequential loop" true
         (batched = reference));
   let unpooled =
-    Engine.check_batch ~config:pool_cfg ~rngs:(mk_rngs ()) items subs
+    Engine.check_batch ~config:pool_cfg ~rng:(Prng.of_int 100) items subs
   in
   Alcotest.(check bool) "pool-less batch = sequential loop" true
-    (unpooled = reference);
-  Alcotest.check_raises "length mismatch rejected"
-    (Invalid_argument "Engine.check_batch: rngs/subscriptions length mismatch")
-    (fun () ->
-      ignore (Engine.check_batch ~rngs:(Array.make 3 (Prng.of_int 1)) items subs))
+    (unpooled = reference)
 
 let test_pruning_off_reports_full_k () =
   (* With pruning off the identity mapping is symbolic: k_pruned must

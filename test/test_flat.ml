@@ -228,13 +228,16 @@ let verdict_equal a b =
       false
 
 let test_pruned_engine_equivalent () =
-  (* Under the default MCS-on pipeline, MCS removes every
-     non-intersecting row anyway (its full-range strip cell is always
-     conflict-free), so pruning must change nothing observable: same
-     verdict, same witness, same reduced set, same trial count. *)
+  (* Pruning runs first, so with the fast decisions disabled the
+     probabilistic tail of the pipeline cannot see it: MCS removes
+     every non-intersecting row anyway (its full-range strip cell is
+     always conflict-free), so pruning must change nothing observable —
+     same verdict, same witness, same reduced set, same trial count. *)
   let gen = Prng.of_int 19 in
-  let with_pruning = Engine.config () in
-  let without = Engine.config ~use_pruning:false () in
+  let with_pruning = Engine.config ~use_fast_decisions:false () in
+  let without =
+    Engine.config ~use_fast_decisions:false ~use_pruning:false ()
+  in
   for _ = 1 to 150 do
     let m = 1 + Prng.int gen 3 in
     let k = Prng.int gen 12 in
@@ -254,6 +257,35 @@ let test_pruned_engine_equivalent () =
       r1.Engine.iterations;
     Alcotest.(check bool) "k_pruned <= k_initial" true
       (r1.Engine.k_pruned <= r1.Engine.k_initial)
+  done
+
+let test_pruned_pairwise_invariant () =
+  (* With the fast decisions on, pruning the table can only help
+     Corollary 3 (removing rows preserves its Hall-style condition),
+     but Corollary 1 must be untouched in both directions: an
+     all-undefined row is a coverer of s, hence intersects s, hence
+     survives the prune in the same relative position. The reported
+     row (remapped to the original array) must therefore be identical
+     with pruning on or off. *)
+  let gen = Prng.of_int 23 in
+  let with_pruning = Engine.config () in
+  let without = Engine.config ~use_pruning:false () in
+  for _ = 1 to 150 do
+    let m = 1 + Prng.int gen 3 in
+    let k = Prng.int gen 12 in
+    let s, subs = dist_problem gen ~m ~k in
+    let seed = Prng.int gen 1_000_000 in
+    let r1 =
+      Engine.check ~config:with_pruning ~rng:(Prng.of_int seed) s subs
+    in
+    let r2 = Engine.check ~config:without ~rng:(Prng.of_int seed) s subs in
+    let pairwise r =
+      match r.Engine.verdict with
+      | Engine.Covered_pairwise i -> Some i
+      | Engine.Covered_probably | Engine.Not_covered _ -> None
+    in
+    Alcotest.(check (option int))
+      "pairwise verdicts identical under pruning" (pairwise r2) (pairwise r1)
   done
 
 let test_pruned_engine_sound () =
@@ -307,6 +339,8 @@ let suite =
     Alcotest.test_case "superset rows = brute" `Quick test_superset_rows_agree;
     Alcotest.test_case "engine: pruning invisible" `Quick
       test_pruned_engine_equivalent;
+    Alcotest.test_case "engine: pruning keeps pairwise" `Quick
+      test_pruned_pairwise_invariant;
     Alcotest.test_case "engine: pruned NO sound" `Quick
       test_pruned_engine_sound;
     Alcotest.test_case "engine: deterministic" `Quick test_engine_deterministic;

@@ -56,6 +56,32 @@ let test_against_naive () =
     done
   done
 
+let test_overlapping_against_naive () =
+  (* [overlapping] generalises [stab] to a query interval; the shard
+     store's fan-out depends on it being exhaustive. *)
+  let rng = Prng.of_int 29 in
+  for _ = 1 to 30 do
+    let n = 1 + Prng.int rng 150 in
+    let entries =
+      List.init n (fun i ->
+          let lo = Prng.int rng 1000 in
+          (i, iv lo (lo + Prng.int rng 200)))
+    in
+    let t = Interval_index.build entries in
+    for _ = 1 to 50 do
+      let qlo = Prng.int rng 1300 in
+      let q = iv qlo (qlo + Prng.int rng 300) in
+      let naive =
+        List.filter_map
+          (fun (id, r) -> if Interval.intersects q r then Some id else None)
+          entries
+        |> List.sort Int.compare
+      in
+      Alcotest.(check (list int)) "matches naive overlap scan" naive
+        (List.sort Int.compare (Interval_index.overlapping t q))
+    done
+  done
+
 let test_nested_intervals () =
   (* Deep nesting stresses the crossing lists. *)
   let entries = List.init 100 (fun i -> (i, iv i (199 - i))) in
@@ -72,5 +98,7 @@ let suite =
     Alcotest.test_case "boundaries inclusive" `Quick test_boundaries;
     Alcotest.test_case "duplicates and points" `Quick test_duplicates_and_points;
     Alcotest.test_case "randomized vs naive" `Quick test_against_naive;
+    Alcotest.test_case "overlapping vs naive" `Quick
+      test_overlapping_against_naive;
     Alcotest.test_case "nested intervals" `Quick test_nested_intervals;
   ]

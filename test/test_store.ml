@@ -207,9 +207,9 @@ let test_arity_guard () =
 
 let batch_base = [| sub [ (0, 49); (0, 99) ]; sub [ (50, 99); (0, 99) ] |]
 
-(* A mix of group-covered, pairwise-covered and active arrivals; the
-   active ones keep forcing add_batch through its snapshot-restart
-   path. *)
+(* A mix of group-covered, pairwise-covered and active arrivals, so
+   the batch keeps interleaving installs that change the active set
+   with checks against it. *)
 let batch_stream n =
   Array.init n (fun i ->
       match i mod 4 with
