@@ -1032,6 +1032,55 @@ let run_shard ~mode () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Serve bench: the real multi-process broker fleet under the kill -9
+   chaos scenario (lib/server/harness.ml). Closed-loop throughput and
+   match-latency percentiles before the kill and after WAL recovery,
+   plus the recovery time itself. Emits BENCH_serve.json. The verdict
+   contract matches the other benches: loadgen's delivered verdicts
+   must be byte-identical to the in-process matching engine, before
+   and after the kill, or the bench hard-fails. *)
+
+let run_serve ~fast () =
+  let module H = Probsub_server.Harness in
+  let module L = Probsub_server.Loadgen in
+  print_endline "=================================================";
+  print_endline " Serve bench (real sockets, kill -9 recovery)";
+  print_endline "=================================================";
+  let cc =
+    if fast then H.config ~seed ~pubs:20 ()
+    else
+      H.config ~seed ~brokers:4 ~clients_per_broker:3 ~subs_per_client:6
+        ~pubs:100 ()
+  in
+  Printf.printf "brokers=%d clients=%d subs/client=%d pubs/phase=%d\n"
+    cc.H.brokers
+    (cc.H.brokers * cc.H.clients_per_broker)
+    cc.H.subs_per_client cc.H.pubs;
+  let r = H.run cc in
+  Format.printf "@[<v>%a@]@." H.pp_result r;
+  let post = r.H.post in
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"serve\",\n  \"fast\": %b,\n" fast;
+  Printf.fprintf oc "  \"brokers\": %d,\n  \"connections\": %d,\n" cc.H.brokers
+    r.H.connections;
+  Printf.fprintf oc "  \"pubs_per_phase\": %d,\n" cc.H.pubs;
+  Printf.fprintf oc
+    "  \"pre\": { \"pubs_per_sec\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f \
+     },\n"
+    r.H.pre.L.pubs_per_sec r.H.pre.L.p50_ms r.H.pre.L.p99_ms;
+  Printf.fprintf oc
+    "  \"pubs_per_sec\": %.1f,\n  \"p50_ms\": %.3f,\n  \"p99_ms\": %.3f,\n"
+    post.L.pubs_per_sec post.L.p50_ms post.L.p99_ms;
+  Printf.fprintf oc "  \"recovery_seconds\": %.3f,\n" r.H.recovery_seconds;
+  Printf.fprintf oc "  \"verdicts_match\": %b\n}\n" r.H.clean;
+  close_out oc;
+  print_endline "wrote BENCH_serve.json";
+  if not r.H.clean then begin
+    Printf.eprintf "FAIL: chaos audit failed after kill -9 recovery\n";
+    exit 1
+  end
+
 let () =
   (* `main.exe kernels` runs only the fast flat-kernel bench;
      `main.exe engine [fast]` runs only the pipeline bench;
@@ -1044,6 +1093,8 @@ let () =
     run_engine ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "recovery" then
     run_recovery ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then
+    run_serve ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "shard" then begin
     let mode =
       if Array.length Sys.argv > 2 && Sys.argv.(2) = "fast" then `Fast

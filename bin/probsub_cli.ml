@@ -19,6 +19,13 @@ let runs_arg =
 
 let scale_of runs = { Exp_common.runs }
 
+(* A command that parsed fine but failed at runtime raises this; the
+   driver at the bottom maps it to exit code 1, distinct from usage
+   errors (2) and internal errors (3). *)
+exception Runtime_error of string
+
+let runtime_errorf fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
 (* ------------------------------------------------------------------ *)
 (* fig command *)
 
@@ -254,7 +261,7 @@ let check_cmd =
       let* set = load_set codec set_path in
       Ok (codec, sub, set)
     with
-    | Error e -> `Error (false, e)
+    | Error e -> runtime_errorf "%s" e
     | Ok (_, _, _) when domains < 1 -> `Error (false, "--domains must be >= 1")
     | Ok (codec, sub, set) ->
         let config = Engine.config ~delta ~use_probes:probes () in
@@ -325,7 +332,7 @@ let match_cmd =
       let* set = load_set codec set_path in
       Ok (codec, pub, set)
     with
-    | Error e -> `Error (false, e)
+    | Error e -> runtime_errorf "%s" e
     | Ok (codec, pub, set) ->
         let matcher = Counting_matcher.create ~arity:(Domain_codec.arity codec) () in
         Array.iteri (fun i sub -> Counting_matcher.add matcher ~id:(i + 1) sub) set;
@@ -483,7 +490,7 @@ let trace_replay_cmd =
   let run file topo policy drop duplicate jitter fault_until crashes lease wal
       seed =
     match Probsub_broker.Trace.load ~path:file with
-    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+    | Error e -> runtime_errorf "%s: %s" file e
     | Ok trace ->
         let arity =
           match
@@ -563,15 +570,13 @@ let store_fsck_cmd =
   in
   let run dir json =
     if not (Sys.file_exists dir) then
-      `Error (false, dir ^ ": no such directory")
-    else begin
-      let device = Probsub_store_log.Device.fs ~dir in
-      let report = Probsub_store_log.Fsck.run device in
-      if json then print_endline (Probsub_store_log.Fsck.to_json report)
-      else Format.printf "%a" Probsub_store_log.Fsck.pp report;
-      if report.Probsub_store_log.Fsck.clean then `Ok ()
-      else `Error (false, dir ^ ": corruption detected (see report above)")
-    end
+      runtime_errorf "%s: no such directory" dir;
+    let device = Probsub_store_log.Device.fs ~dir in
+    let report = Probsub_store_log.Fsck.run device in
+    if json then print_endline (Probsub_store_log.Fsck.to_json report)
+    else Format.printf "%a" Probsub_store_log.Fsck.pp report;
+    if not report.Probsub_store_log.Fsck.clean then
+      runtime_errorf "%s: corruption detected (see report above)" dir
   in
   Cmd.v
     (Cmd.info "fsck"
@@ -579,35 +584,33 @@ let store_fsck_cmd =
          "Walk a write-ahead log and snapshot, report a per-record \
           CRC/length verdict and the recoverable prefix; exit non-zero \
           when anything is damaged")
-    Term.(ret (const run $ store_dir_arg $ json))
+    Term.(const run $ store_dir_arg $ json)
 
 let store_compact_cmd =
   let run dir =
     if not (Sys.file_exists dir) then
-      `Error (false, dir ^ ": no such directory")
-    else
-      let device = Probsub_store_log.Device.fs ~dir in
-      match Probsub_store_log.Store_log.recover ~device () with
-      | Error msg -> `Error (false, dir ^ ": " ^ msg)
-      | Ok r ->
-          let open Probsub_store_log in
-          let before = Store_log.wal_size r.Store_log.r_log in
-          Store_log.compact r.Store_log.r_log r.Store_log.r_store
-            ~bindings:r.Store_log.r_bindings;
-          Printf.printf "compacted %s: wal %d -> %d bytes, %d live entries%s\n"
-            dir before
-            (Store_log.wal_size r.Store_log.r_log)
-            (Subscription_store.size r.Store_log.r_store)
-            (if r.Store_log.r_repaired then " (repaired a damaged tail)"
-             else "");
-          `Ok ()
+      runtime_errorf "%s: no such directory" dir;
+    let device = Probsub_store_log.Device.fs ~dir in
+    match Probsub_store_log.Store_log.recover ~device () with
+    | Error msg -> runtime_errorf "%s: %s" dir msg
+    | Ok r ->
+        let open Probsub_store_log in
+        let before = Store_log.wal_size r.Store_log.r_log in
+        Store_log.compact r.Store_log.r_log r.Store_log.r_store
+          ~bindings:r.Store_log.r_bindings;
+        Printf.printf "compacted %s: wal %d -> %d bytes, %d live entries%s\n"
+          dir before
+          (Store_log.wal_size r.Store_log.r_log)
+          (Subscription_store.size r.Store_log.r_store)
+          (if r.Store_log.r_repaired then " (repaired a damaged tail)"
+           else "")
   in
   Cmd.v
     (Cmd.info "compact"
        ~doc:
          "Recover a store from its write-ahead log (repairing a damaged \
           tail if needed), write a snapshot and truncate the log")
-    Term.(ret (const run $ store_dir_arg))
+    Term.(const run $ store_dir_arg)
 
 let store_cmd =
   Cmd.group
@@ -615,12 +618,312 @@ let store_cmd =
        ~doc:"Inspect and maintain durable subscription-store logs")
     [ store_fsck_cmd; store_compact_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen / chaos: the real broker fleet over Unix sockets *)
+
+let sock_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "sock-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory of the fleet's Unix-domain sockets \
+           ($(i,broker-N.sock)); brokers create their own socket here, \
+           clients dial into it.")
+
+let serve_cmd =
+  let id =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "id" ] ~docv:"N" ~doc:"This broker's id.")
+  in
+  let neighbors =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "neighbors" ] ~docv:"IDS"
+          ~doc:"Comma-separated neighbour broker ids to dial.")
+  in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:
+            "Journal the routing table under $(docv); an existing \
+             directory is recovered, not wiped, so a kill -9'd broker \
+             restarted on the same $(docv) resumes with its state.")
+  in
+  let arity =
+    Arg.(value & opt int 2 & info [ "arity" ] ~docv:"M" ~doc:"Attributes.")
+  in
+  let refresh =
+    Arg.(
+      value
+      & opt float 10.0
+      & info [ "refresh" ] ~docv:"SECONDS" ~doc:"Lease refresh interval.")
+  in
+  let lease =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "lease" ] ~docv:"SECONDS" ~doc:"Subscription lease TTL.")
+  in
+  let run id neighbors sock_dir wal arity refresh lease seed =
+    match
+      Probsub_server.Broker_server.config ~id ~neighbors ~sock_dir ~arity ~seed
+        ~wal_dir:wal ~refresh_interval:refresh ~lease_ttl:lease ()
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | cfg ->
+        (try Probsub_server.Broker_server.run cfg
+         with Unix.Unix_error (e, fn, arg) ->
+           runtime_errorf "serve: %s %s: %s" fn arg (Unix.error_message e));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run one broker process: a select loop serving the broker \
+          protocol on a Unix-domain socket, with retry/backoff links to \
+          its neighbours and optional WAL durability")
+    Term.(
+      ret
+        (const run $ id $ neighbors $ sock_dir_arg $ wal $ arity $ refresh
+       $ lease $ seed_arg))
+
+let now_wall = Unix.gettimeofday
+
+let pump_clients clients seconds =
+  let t0 = now_wall () in
+  while now_wall () -. t0 < seconds do
+    Probsub_server.Loadgen.poll_all clients;
+    try Unix.sleepf 0.002 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let loadgen_json (r : Probsub_server.Loadgen.result) =
+  let open Probsub_server.Loadgen in
+  Printf.sprintf
+    "{\n\
+    \  \"connections\": %d,\n\
+    \  \"subscriptions\": %d,\n\
+    \  \"pubs\": %d,\n\
+    \  \"expected\": %d,\n\
+    \  \"delivered\": %d,\n\
+    \  \"pubs_per_sec\": %.1f,\n\
+    \  \"p50_ms\": %.3f,\n\
+    \  \"p99_ms\": %.3f,\n\
+    \  \"verdicts_match\": %b,\n\
+    \  \"audit_clean\": %b\n\
+     }"
+    r.clients r.subscriptions r.pubs r.expected r.delivered r.pubs_per_sec
+    r.p50_ms r.p99_ms r.verdicts_match
+    (Probsub_broker.Audit.is_clean r.audit)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let print_loadgen_result (r : Probsub_server.Loadgen.result) =
+  let open Probsub_server.Loadgen in
+  Printf.printf
+    "clients=%d subscriptions=%d pubs=%d expected=%d delivered=%d\n\
+     %.1f pubs/s, match latency p50=%.3fms p99=%.3fms\n\
+     verdicts byte-identical to in-process engine: %b\n"
+    r.clients r.subscriptions r.pubs r.expected r.delivered r.pubs_per_sec
+    r.p50_ms r.p99_ms r.verdicts_match
+
+let loadgen_cmd =
+  let brokers =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "brokers" ] ~docv:"N"
+          ~doc:"Fleet size; clients attach to brokers 0..N-1.")
+  in
+  let clients_per =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "clients-per-broker" ] ~docv:"K" ~doc:"Clients per broker.")
+  in
+  let subs =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "subs-per-client" ] ~docv:"J"
+          ~doc:"Random box subscriptions installed per client.")
+  in
+  let pubs =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "pubs" ] ~docv:"P" ~doc:"Publications in the closed loop.")
+  in
+  let arity =
+    Arg.(value & opt int 2 & info [ "arity" ] ~docv:"M" ~doc:"Attributes.")
+  in
+  let warmup =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "warmup" ] ~docv:"SECONDS"
+          ~doc:
+            "Pump this long after installing subscriptions so refresh \
+             waves flood them to every broker before measuring.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float 3.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-publication deadline.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the result as JSON.")
+  in
+  let run sock_dir brokers clients_per subs pubs arity warmup timeout json seed
+      =
+    if brokers < 1 || clients_per < 1 || subs < 1 || pubs < 1 then
+      `Error (false, "loadgen: empty workload")
+    else begin
+      let module L = Probsub_server.Loadgen in
+      let rng = Prng.of_int seed in
+      let clients =
+        List.concat
+          (List.init brokers (fun b ->
+               List.init clients_per (fun j ->
+                   L.connect_client ~sock_dir ~broker:b
+                     ~client:((b * 100) + j + 1)
+                     ~seed:((seed * 7919) + (b * 100) + j)
+                     ())))
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter L.close_client clients)
+        (fun () ->
+          if not (L.wait_connected clients) then
+            runtime_errorf "loadgen: fleet at %s never accepted every client"
+              sock_dir;
+          let w = L.install ~rng ~arity ~subs_per_client:subs clients in
+          if not (L.wait_acked clients) then
+            runtime_errorf "loadgen: subscriptions were never acked";
+          pump_clients clients warmup;
+          let r = L.drive ~rng ~arity ~pubs ~per_pub_timeout:timeout w in
+          print_loadgen_result r;
+          Option.iter (fun path -> write_file path (loadgen_json r)) json;
+          if not (Probsub_broker.Audit.is_clean r.L.audit && r.L.verdicts_match)
+          then
+            runtime_errorf
+              "loadgen: delivery audit failed (expected=%d delivered=%d \
+               verdicts_match=%b)"
+              r.L.expected r.L.delivered r.L.verdicts_match);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive an already-running broker fleet with real clients: \
+          install a workload, run an audited closed publication loop, \
+          report throughput and match-latency percentiles; exits \
+          non-zero unless delivery verdicts are byte-identical to the \
+          in-process engine")
+    Term.(
+      ret
+        (const run $ sock_dir_arg $ brokers $ clients_per $ subs $ pubs $ arity
+       $ warmup $ timeout $ json $ seed_arg))
+
+let chaos_cmd =
+  let pubs =
+    Arg.(
+      value
+      & opt int 30
+      & info [ "pubs" ] ~docv:"P" ~doc:"Publications per audited phase.")
+  in
+  let brokers =
+    Arg.(
+      value & opt int 3 & info [ "brokers" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the result as JSON (the BENCH_serve schema).")
+  in
+  let run pubs brokers json seed =
+    let module H = Probsub_server.Harness in
+    match H.config ~seed ~pubs ~brokers () with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | cc ->
+        let r = try H.run cc with H.Error msg -> runtime_errorf "chaos: %s" msg in
+        Format.printf "@[<v>%a@]@." H.pp_result r;
+        Option.iter
+          (fun path ->
+            write_file path
+              (Printf.sprintf
+                 "{\n\
+                 \  \"connections\": %d,\n\
+                 \  \"pubs_per_sec\": %.1f,\n\
+                 \  \"p50_ms\": %.3f,\n\
+                 \  \"p99_ms\": %.3f,\n\
+                 \  \"recovery_seconds\": %.3f,\n\
+                 \  \"verdicts_match\": %b,\n\
+                 \  \"clean\": %b\n\
+                  }"
+                 r.H.connections r.H.post.Probsub_server.Loadgen.pubs_per_sec
+                 r.H.post.Probsub_server.Loadgen.p50_ms
+                 r.H.post.Probsub_server.Loadgen.p99_ms r.H.recovery_seconds
+                 r.H.post.Probsub_server.Loadgen.verdicts_match r.H.clean))
+          json;
+        if not r.H.clean then
+          runtime_errorf
+            "chaos: audit failed after kill -9 recovery (seed %d)" seed;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Spawn a real broker fleet, kill -9 an interior broker \
+          mid-refresh-wave, restart it from its WAL, and audit that the \
+          recovered fleet misses nothing")
+    Term.(ret (const run $ pubs $ brokers $ json $ seed_arg))
+
 let main =
   Cmd.group
-    (Cmd.info "probsub" ~version:"1.0.0"
+    (Cmd.info "probsub" ~version:Version.version
        ~doc:
          "Probabilistic subsumption checking for content-based \
           publish/subscribe (Ouksel et al., Middleware 2006)")
-    [ fig_cmd; demo_cmd; chain_cmd; check_cmd; match_cmd; trace_cmd; store_cmd ]
+    [
+      fig_cmd; demo_cmd; chain_cmd; check_cmd; match_cmd; trace_cmd; store_cmd;
+      serve_cmd; loadgen_cmd; chaos_cmd;
+    ]
 
-let () = exit (Cmd.eval main)
+(* Exit-code contract (documented in DESIGN.md, relied on by CI):
+   0 success; 1 runtime failure inside a well-formed invocation
+   (commands raise Runtime_error — I/O failures, corruption, audit
+   failures); 2 usage error (anything cmdliner rejects, including our
+   `Error ret terms — cmdliner 1.3 reports argv parse errors as `Term,
+   so both eval_error cases are usage here); 3 unexpected exception. *)
+let () =
+  let code =
+    try
+      match Cmd.eval_value ~catch:false main with
+      | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+      | Error (`Parse | `Term) -> 2
+      | Error `Exn -> 3
+    with
+    | Runtime_error msg ->
+        Format.eprintf "probsub: %s@." msg;
+        1
+    | e ->
+        Format.eprintf "probsub: internal error: %s@." (Printexc.to_string e);
+        3
+  in
+  exit code

@@ -16,12 +16,15 @@ type report = {
 
 let create () = { expectations = [] }
 
-let expect t net ~pub_id pub =
+let expect_recipients t ~pub_id recipients =
   if List.exists (fun e -> e.pub_id = pub_id) t.expectations then
     invalid_arg "Audit.expect: publication already registered";
   t.expectations <-
-    { pub_id; recipients = Network.expected_recipients net pub }
+    { pub_id; recipients = List.sort_uniq compare recipients }
     :: t.expectations
+
+let expect t net ~pub_id pub =
+  expect_recipients t ~pub_id (Network.expected_recipients net pub)
 
 (* Multiset difference and duplicate extraction over sorted lists. *)
 let rec diff xs ys =
@@ -38,16 +41,15 @@ let rec dups = function
   | x :: (y :: _ as rest) -> if x = y then x :: dups rest else dups rest
   | [ _ ] | [] -> []
 
-let report t net =
+let report_delivered t deliveries =
   let actual_by_pub = Hashtbl.create 64 in
   List.iter
-    (fun (n : Network.notification) ->
+    (fun (pub_id, recipient) ->
       let prev =
-        Option.value ~default:[] (Hashtbl.find_opt actual_by_pub n.pub_id)
+        Option.value ~default:[] (Hashtbl.find_opt actual_by_pub pub_id)
       in
-      Hashtbl.replace actual_by_pub n.pub_id
-        ((n.broker, n.client, n.sub_key) :: prev))
-    (Network.notifications net);
+      Hashtbl.replace actual_by_pub pub_id (recipient :: prev))
+    deliveries;
   let r =
     List.fold_left
       (fun acc e ->
@@ -85,6 +87,13 @@ let report t net =
     spurious = List.sort compare r.spurious;
     duplicates = List.sort compare r.duplicates;
   }
+
+let report t net =
+  report_delivered t
+    (List.map
+       (fun (n : Network.notification) ->
+         (n.pub_id, (n.broker, n.client, n.sub_key)))
+       (Network.notifications net))
 
 let is_clean r = r.missed = [] && r.spurious = [] && r.duplicates = []
 

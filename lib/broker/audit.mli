@@ -26,6 +26,21 @@ type report = {
 
 val create : unit -> t
 
+val expect_recipients :
+  t -> pub_id:int -> (Topology.broker * int * int) list -> unit
+(** Transport-agnostic registration: snapshot an explicit ground-truth
+    recipient list [(broker, client, sub_key)] for [pub_id] (sorted and
+    deduped here). The real-process harness computes the list from its
+    own client table and audits socket traffic with the same oracle the
+    simulator uses. @raise Invalid_argument if [pub_id] was already
+    registered. *)
+
+val report_delivered : t -> (int * (Topology.broker * int * int)) list -> report
+(** Transport-agnostic comparison: [(pub_id, (broker, client,
+    sub_key))] deliveries observed by any transport, duplicates
+    included, order irrelevant. Deliveries for unregistered
+    publications are ignored. *)
+
 val expect : t -> Network.t -> pub_id:int -> Probsub_core.Publication.t -> unit
 (** Register a publication for auditing, snapshotting its expected
     recipients {e now} — call at publish time, before running the

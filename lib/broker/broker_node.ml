@@ -42,60 +42,6 @@ type t = {
   link_mark : (int, unit) Hashtbl.t;
 }
 
-let create ?(use_advertisements = false) ?lease_ttl ?(dedup_capacity = 4096)
-    ?device ~id ~neighbors ~policy ~arity ~seed () =
-  (match lease_ttl with
-  | Some ttl when not (ttl > 0.0) ->
-      invalid_arg "Broker_node.create: lease_ttl must be positive"
-  | Some _ | None -> ());
-  let rng = Prng.of_int (seed + (id * 7919)) in
-  let draw_seed () = Int64.to_int (Prng.bits64 rng) land 0x3FFFFFFF in
-  let fresh_store () =
-    Subscription_store.create ~policy ~arity ~seed:(draw_seed ()) ()
-  in
-  let peers = Hashtbl.create 8 in
-  List.iter
-    (fun n ->
-      Hashtbl.replace peers n
-        {
-          store = fresh_store ();
-          key_to_id = Hashtbl.create 32;
-          id_to_key = Hashtbl.create 32;
-        })
-    neighbors;
-  let routing, durable =
-    match device with
-    | None -> (fresh_store (), None)
-    | Some device ->
-        (* Same rng draw as the non-durable path, so a durable broker's
-           pre-crash behaviour is bit-identical to a plain one. *)
-        let store, log =
-          Store_log.fresh ~policy ~device ~arity ~seed:(draw_seed ()) ()
-        in
-        (store, Some log)
-  in
-  {
-    id;
-    neighbors;
-    use_advertisements;
-    lease_ttl;
-    policy;
-    arity;
-    draw_seed;
-    fresh_store;
-    device;
-    durable;
-    routing;
-    r_key_to_id = Hashtbl.create 64;
-    r_id_to_key = Hashtbl.create 64;
-    r_origin = Hashtbl.create 64;
-    r_epoch = Hashtbl.create 64;
-    peers;
-    ads = Hashtbl.create 16;
-    seen_pubs = Dedup_window.create ~capacity:dedup_capacity;
-    link_mark = Hashtbl.create 8;
-  }
-
 let id t = t.id
 let knows_subscription t ~key = Hashtbl.mem t.r_key_to_id key
 
@@ -218,6 +164,82 @@ let restart t =
           install_recovered t r.Store_log.r_store r.Store_log.r_bindings
             r.Store_log.r_epochs));
   reset_soft t
+
+let create ?(use_advertisements = false) ?lease_ttl ?(dedup_capacity = 4096)
+    ?device ?(recover = false) ~id ~neighbors ~policy ~arity ~seed () =
+  (match lease_ttl with
+  | Some ttl when not (ttl > 0.0) ->
+      invalid_arg "Broker_node.create: lease_ttl must be positive"
+  | Some _ | None -> ());
+  let rng = Prng.of_int (seed + (id * 7919)) in
+  let draw_seed () = Int64.to_int (Prng.bits64 rng) land 0x3FFFFFFF in
+  let fresh_store () =
+    Subscription_store.create ~policy ~arity ~seed:(draw_seed ()) ()
+  in
+  let peers = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace peers n
+        {
+          store = fresh_store ();
+          key_to_id = Hashtbl.create 32;
+          id_to_key = Hashtbl.create 32;
+        })
+    neighbors;
+  let routing, durable, recovered =
+    match device with
+    | None -> (fresh_store (), None, None)
+    | Some device -> (
+        let start_fresh () =
+          (* Same rng draw as the non-durable path, so a durable
+             broker's pre-crash behaviour is bit-identical to a plain
+             one. *)
+          let store, log =
+            Store_log.fresh ~policy ~device ~arity ~seed:(draw_seed ()) ()
+          in
+          (store, Some log, None)
+        in
+        if not recover then start_fresh ()
+        else
+          (* A process restarting over an existing device (the real
+             server's kill -9 path): recover instead of wiping. The
+             seed draw still happens so the rng sequence matches a
+             fresh start. *)
+          match Store_log.recover ~device () with
+          | Error _ -> start_fresh ()
+          | Ok r ->
+              let (_ : int) = draw_seed () in
+              ( r.Store_log.r_store,
+                Some r.Store_log.r_log,
+                Some (r.Store_log.r_bindings, r.Store_log.r_epochs) ))
+  in
+  let t =
+    {
+      id;
+      neighbors;
+      use_advertisements;
+      lease_ttl;
+      policy;
+      arity;
+      draw_seed;
+      fresh_store;
+      device;
+      durable;
+      routing;
+      r_key_to_id = Hashtbl.create 64;
+      r_id_to_key = Hashtbl.create 64;
+      r_origin = Hashtbl.create 64;
+      r_epoch = Hashtbl.create 64;
+      peers;
+      ads = Hashtbl.create 16;
+      seen_pubs = Dedup_window.create ~capacity:dedup_capacity;
+      link_mark = Hashtbl.create 8;
+    }
+  in
+  (match recovered with
+  | Some (bindings, epochs) -> install_recovered t t.routing bindings epochs
+  | None -> ());
+  t
 
 let peer t neighbor =
   match Hashtbl.find_opt t.peers neighbor with
@@ -552,6 +574,20 @@ let sweep t ~now =
 
 let durable t = Option.is_some t.durable
 let wal_bytes t = Option.map Store_log.wal_size t.durable
+
+(* Routing-table entries owed to locally connected clients, ascending
+   by key. On a durable broker this survives a crash — it is the ground
+   truth a restarted server resumes its lease-refresh waves from. *)
+let client_subscriptions t =
+  List.filter_map
+    (fun (rid, sub, _, _) ->
+      match
+        (Hashtbl.find_opt t.r_id_to_key rid, Hashtbl.find_opt t.r_origin rid)
+      with
+      | Some key, Some (Message.Client c) -> Some (key, c, sub)
+      | _ -> None)
+    (Subscription_store.image t.routing).Subscription_store.i_entries
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 (* Current routing bindings, ascending by store id (the image order),
    for a snapshot. *)

@@ -30,7 +30,7 @@ type action =
 
 val create :
   ?use_advertisements:bool -> ?lease_ttl:float -> ?dedup_capacity:int ->
-  ?device:Probsub_store_log.Device.t ->
+  ?device:Probsub_store_log.Device.t -> ?recover:bool ->
   id:Topology.broker -> neighbors:Topology.broker list ->
   policy:Subscription_store.policy -> arity:int -> seed:int -> unit -> t
 (** One coverage-checking store per outgoing neighbour plus a local
@@ -46,8 +46,12 @@ val create :
     With a [device], the routing table is durable: every mutation is
     journalled through a {!Probsub_store_log.Store_log} write-ahead
     log before the handling call returns, and {!restart} recovers it
-    instead of starting empty. The device is initialised fresh here;
-    rng draws are sequenced so a durable broker behaves bit-identically
+    instead of starting empty. The device is initialised fresh here
+    unless [recover] (default false) is set {e and} the device holds
+    recoverable state, in which case the routing table, bindings and
+    epochs are rebuilt from it — the path a real server process takes
+    when it comes back from kill -9 over its surviving WAL directory.
+    Rng draws are sequenced so a durable broker behaves bit-identically
     to a plain one until it crashes.
     @raise Invalid_argument if [lease_ttl] is not positive. *)
 
@@ -123,6 +127,12 @@ val maybe_compact : ?threshold_bytes:int -> t -> bool
 
 val knows_subscription : t -> key:int -> bool
 (** True when [key] is in the routing table. *)
+
+val client_subscriptions : t -> (int * int * Subscription.t) list
+(** Routing-table entries installed by locally connected clients, as
+    [(key, client, sub)] ascending by key. On a durable broker this is
+    recovered from the WAL by {!restart}, so a real server can resume
+    driving lease-refresh waves for its clients after a crash. *)
 
 val subscription_epoch : t -> key:int -> int
 (** Latest refresh epoch seen for [key] (0 if unknown or never

@@ -40,14 +40,12 @@ type event =
   | Crash of Topology.broker
   | Restart of Topology.broker
 
-(* An unacked control message on a link, awaiting retransmission. *)
-type pending_send = {
-  p_src : Topology.broker;
-  p_dst : Topology.broker;
-  p_payload : Message.payload;
-  mutable p_retries : int;
-  mutable p_rto : float;
-  mutable p_timer : Event_queue.handle;
+(* What one unacked link transmission must remember to be resendable;
+   retry counts, backoff and timers live in [Reliable_link]. *)
+type link_item = {
+  li_src : Topology.broker;
+  li_dst : Topology.broker;
+  li_payload : Message.payload;
 }
 
 type t = {
@@ -68,9 +66,9 @@ type t = {
   (* key -> (broker, client, sub); removed on unsubscribe. *)
   client_subs : (int, Topology.broker * int * Subscription.t) Hashtbl.t;
   mutable next_link_seq : int;
-  pending : (int, pending_send) Hashtbl.t;
+  link_sender : (link_item, Event_queue.handle) Reliable_link.sender;
   (* Receiver-side (src, dst) link dedup of the acked channel. *)
-  link_seen : (Topology.broker * Topology.broker, Dedup_window.t) Hashtbl.t;
+  link_seen : (Topology.broker * Topology.broker, Reliable_link.receiver) Hashtbl.t;
   refresh_timers : (int, Event_queue.handle) Hashtbl.t;
   next_epoch : (int, int) Hashtbl.t;
 }
@@ -129,7 +127,12 @@ let create ?(policy = Subscription_store.Pairwise_policy) ?(link_latency = 1.0)
       notifications = [];
       client_subs = Hashtbl.create 64;
       next_link_seq = 0;
-      pending = Hashtbl.create 64;
+      link_sender =
+        Reliable_link.sender
+          (match recovery with
+          | Some r ->
+              { Reliable_link.rto = r.rto; max_retries = r.max_retries }
+          | None -> Reliable_link.default_config);
       link_seen = Hashtbl.create 16;
       refresh_timers = Hashtbl.create 64;
       next_epoch = Hashtbl.create 64;
@@ -204,15 +207,9 @@ let send_link t ~time ~src ~dst payload =
         let s = t.next_link_seq in
         t.next_link_seq <- s + 1;
         let timer = push_retransmit t ~time:(time +. r.rto) s in
-        Hashtbl.replace t.pending s
-          {
-            p_src = src;
-            p_dst = dst;
-            p_payload = payload;
-            p_retries = 0;
-            p_rto = r.rto;
-            p_timer = timer;
-          };
+        Reliable_link.track t.link_sender ~seq:s
+          ~item:{ li_src = src; li_dst = dst; li_payload = payload }
+          ~timer;
         Some s
     | Some _ | None -> None
   in
@@ -276,17 +273,15 @@ let process_broker t ~time ~dst ~origin ~payload =
   apply_actions t ~time ~at:dst actions
 
 let handle_ack t seq =
-  match Hashtbl.find_opt t.pending seq with
+  match Reliable_link.ack t.link_sender ~seq with
   | None -> () (* late duplicate ack *)
-  | Some p ->
-      Hashtbl.remove t.pending seq;
-      cancel_retransmit t p.p_timer
+  | Some timer -> cancel_retransmit t timer
 
 let link_seen_window t ~src ~dst =
   match Hashtbl.find_opt t.link_seen (src, dst) with
   | Some w -> w
   | None ->
-      let w = Dedup_window.create ~capacity:1024 in
+      let w = Reliable_link.receiver ~capacity:1024 () in
       Hashtbl.replace t.link_seen (src, dst) w;
       w
 
@@ -304,15 +299,12 @@ let process_deliver t ~time ~dst ~origin ~payload ~seq =
              duplicates must not be processed twice. *)
           send_link t ~time ~src:dst ~dst:src (Message.Ack { seq = s });
           let win = link_seen_window t ~src ~dst in
-          if Dedup_window.mem win s then begin
-            t.metrics.Metrics.duplicate_drops <-
-              t.metrics.Metrics.duplicate_drops + 1;
-            false
-          end
-          else begin
-            Dedup_window.add win s;
-            true
-          end
+          (match Reliable_link.admit win ~seq:s with
+          | `Duplicate ->
+              t.metrics.Metrics.duplicate_drops <-
+                t.metrics.Metrics.duplicate_drops + 1;
+              false
+          | `Fresh -> true)
       | _ -> true
     in
     if fresh then
@@ -331,24 +323,23 @@ let process t ~time ev =
   | Deliver { dst; origin; payload; seq } ->
       process_deliver t ~time ~dst ~origin ~payload ~seq
   | Retransmit seq -> (
-      match (Hashtbl.find_opt t.pending seq, t.recovery) with
-      | None, _ | _, None -> ()
-      | Some p, Some r ->
-          if p.p_retries >= r.max_retries then
-            (* Retry budget exhausted: give up; lease refresh (or
-               expiry) repairs whatever this message would have
-               installed (or removed). *)
-            Hashtbl.remove t.pending seq
-          else begin
-            p.p_retries <- p.p_retries + 1;
-            p.p_rto <- p.p_rto *. 2.0;
-            t.metrics.Metrics.retransmissions <-
-              t.metrics.Metrics.retransmissions + 1;
-            count_link_message t p.p_payload;
-            transmit_link t ~time ~src:p.p_src ~dst:p.p_dst
-              ~payload:p.p_payload ~seq:(Some seq);
-            p.p_timer <- push_retransmit t ~time:(time +. p.p_rto) seq
-          end)
+      match t.recovery with
+      | None -> ()
+      | Some _ -> (
+          match Reliable_link.on_timeout t.link_sender ~seq with
+          | Reliable_link.Not_tracked | Reliable_link.Give_up ->
+              (* Acked meanwhile, or retry budget exhausted; in the
+                 latter case lease refresh (or expiry) repairs whatever
+                 this message would have installed (or removed). *)
+              ()
+          | Reliable_link.Retransmit { item; rto } ->
+              t.metrics.Metrics.retransmissions <-
+                t.metrics.Metrics.retransmissions + 1;
+              count_link_message t item.li_payload;
+              transmit_link t ~time ~src:item.li_src ~dst:item.li_dst
+                ~payload:item.li_payload ~seq:(Some seq);
+              Reliable_link.set_timer t.link_sender ~seq
+                (push_retransmit t ~time:(time +. rto) seq)))
   | Refresh key -> (
       match (Hashtbl.find_opt t.client_subs key, t.recovery) with
       | Some (home, client, sub), Some r ->
@@ -390,21 +381,9 @@ let process t ~time ev =
       t.down.(b) <- true;
       t.metrics.Metrics.crashes <- t.metrics.Metrics.crashes + 1;
       (* The broker's unacked send state dies with it. *)
-      let dead =
-        (Hashtbl.fold
-           (fun s p acc -> if p.p_src = b then (s, p) :: acc else acc)
-           t.pending []
-        [@problint.allow
-          determinism
-            "order-insensitive: the collected entries are all removed and \
-             their timers cancelled; neither effect depends on the order \
-             of removal"])
-      in
       List.iter
-        (fun (s, p) ->
-          Hashtbl.remove t.pending s;
-          cancel_retransmit t p.p_timer)
-        dead
+        (fun (_, timer) -> cancel_retransmit t timer)
+        (Reliable_link.drop_where t.link_sender (fun i -> i.li_src = b))
   | Restart b ->
       t.down.(b) <- false;
       (* Durable brokers recover their routing table from the WAL;

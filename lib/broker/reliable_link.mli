@@ -1,0 +1,93 @@
+(** Transport-agnostic reliable-channel state: the at-least-once sender
+    (retransmission buffer with exponential backoff and a retry cap)
+    and the exactly-once receiver (bounded dedup window) that PR 2
+    proved out inside the simulator, factored so the real socket
+    transport ({!Probsub_server}) runs the {e same} loss/duplicate/
+    reorder machinery rather than a reimplementation.
+
+    The module owns no clock and no wire: the caller allocates sequence
+    numbers, delivers bytes, and arms timers (of whatever type ['timer]
+    its event loop uses — a simulator queue handle, a deadline float).
+    On an ack, {!ack} returns the timer to cancel; when a timer fires,
+    {!on_timeout} decides between giving up (the lease/refresh layer
+    repairs whatever the message would have installed) and
+    retransmitting with a doubled timeout.
+
+    Invariant (property-tested in [test_reliable_link.ml]): over a link
+    that drops, duplicates and reorders, every tracked item is either
+    acked or given up after at most [max_retries] retransmissions, and
+    a receiver admits each sequence number exactly once while its
+    window spans the reorder horizon. *)
+
+type config = { rto : float; max_retries : int }
+(** Initial retransmission timeout (doubles on every retry) and how
+    many retransmissions are attempted before giving up. *)
+
+val default_config : config
+(** [{ rto = 4.0; max_retries = 6 }] — the simulator's defaults. *)
+
+(** {1 Sender} *)
+
+type ('item, 'timer) sender
+(** Unacked ['item]s keyed by sequence number, each with a caller-owned
+    ['timer]. *)
+
+val sender : config -> ('item, 'timer) sender
+(** @raise Invalid_argument if [rto <= 0] or [max_retries < 0]. *)
+
+val config : ('item, 'timer) sender -> config
+val in_flight : ('item, 'timer) sender -> int
+val tracked : ('item, 'timer) sender -> seq:int -> bool
+
+val track :
+  ('item, 'timer) sender -> seq:int -> item:'item -> timer:'timer -> unit
+(** Start tracking a freshly sent item. @raise Invalid_argument if
+    [seq] is already in flight. *)
+
+val ack : ('item, 'timer) sender -> seq:int -> 'timer option
+(** Ack arrival: stop tracking [seq] and return the timer the caller
+    must cancel; [None] for a late duplicate ack. *)
+
+type 'item timeout_decision =
+  | Not_tracked  (** Stale timer — the item was acked meanwhile. *)
+  | Give_up
+      (** Retry budget exhausted; the entry has been dropped. Recovery
+          is the lease layer's job now. *)
+  | Retransmit of { item : 'item; rto : float }
+      (** Send [item] again and re-arm a timer [rto] (already doubled)
+          from now, registering it with {!set_timer}. *)
+
+val on_timeout : ('item, 'timer) sender -> seq:int -> 'item timeout_decision
+
+val set_timer : ('item, 'timer) sender -> seq:int -> 'timer -> unit
+(** Replace the timer after a retransmission. @raise Invalid_argument
+    if [seq] is not in flight. *)
+
+val drop_where :
+  ('item, 'timer) sender -> ('item -> bool) -> (int * 'timer) list
+(** Remove every in-flight entry matching the predicate (a crashed
+    source, a torn-down connection), returning the dropped [(seq,
+    timer)] pairs ascending by sequence number so the caller can cancel
+    the timers. *)
+
+val unacked : ('item, 'timer) sender -> (int * 'item) list
+(** Everything still in flight, ascending by sequence number — what a
+    reconnecting session retransmits after resume. *)
+
+(** {1 Receiver} *)
+
+type receiver
+(** Per-peer (or per-session) duplicate suppression over sequence
+    numbers. *)
+
+val receiver : ?capacity:int -> unit -> receiver
+(** [capacity] (default 1024) bounds the window, as in
+    {!Dedup_window}. *)
+
+val admit : receiver -> seq:int -> [ `Fresh | `Duplicate ]
+(** [`Fresh] exactly once per sequence number within the window;
+    remembers the number as a side effect. *)
+
+val reset_receiver : receiver -> unit
+(** Forget everything — a new session epoch starts its numbering
+    afresh. *)

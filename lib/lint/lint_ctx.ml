@@ -5,8 +5,8 @@
 type t = {
   file : string;  (** display path, as given to the driver *)
   core_or_broker : bool;
-      (** under [lib/core], [lib/broker] or [lib/store_log]:
-          determinism-critical code *)
+      (** under [lib/core], [lib/broker], [lib/store_log] or
+          [lib/server]: determinism-critical code *)
   in_lib : bool;  (** under [lib/]: library code, partiality applies *)
   hot : bool;  (** file carries a floating [\[@@@problint.hot\]] attribute *)
 }
@@ -22,8 +22,11 @@ let make ?(core_or_broker = false) ?(in_lib = false) ?(hot = false) ~file () =
    The sharded fabric (lib/core/shard_store.ml) sits squarely inside
    the core scope on purpose: its flat-store equivalence contract is a
    determinism claim, so Hashtbl-order and partiality findings there
-   are never waved through by path. Paths are the relative ones handed
-   to the driver (e.g. "lib/core/flat.ml"). *)
+   are never waved through by path. lib/server is in scope too, even
+   though a socket server is clock-driven by nature: confining the wall
+   clock to the single audited read in clock.ml is exactly the property
+   the rule enforces there. Paths are the relative ones handed to the
+   driver (e.g. "lib/core/flat.ml"). *)
 let contains_seg path seg =
   let path = "/" ^ String.concat "/" (String.split_on_char '\\' path) ^ "/" in
   let seg = "/" ^ seg ^ "/" in
@@ -37,7 +40,8 @@ let classify ~file =
     core_or_broker =
       contains_seg file "lib/core"
       || contains_seg file "lib/broker"
-      || contains_seg file "lib/store_log";
+      || contains_seg file "lib/store_log"
+      || contains_seg file "lib/server";
     in_lib = contains_seg file "lib";
     hot = false (* filled in from the parsed AST by the driver *);
   }

@@ -1,0 +1,30 @@
+open Probsub_core
+
+type t = {
+  base : float;
+  cap : float;
+  max_attempts : int;
+  jitter : Prng.t;
+  mutable attempts : int;
+}
+
+let create ?(base = 0.05) ?(cap = 2.0) ?(max_attempts = 0) ~seed () =
+  if not (base > 0.0) then invalid_arg "Backoff.create: base must be positive";
+  if not (cap >= base) then invalid_arg "Backoff.create: cap below base";
+  if max_attempts < 0 then
+    invalid_arg "Backoff.create: max_attempts must be non-negative";
+  { base; cap; max_attempts; jitter = Prng.of_int seed; attempts = 0 }
+
+let attempts t = t.attempts
+let reset t = t.attempts <- 0
+
+let next_delay t =
+  if t.max_attempts > 0 && t.attempts >= t.max_attempts then None
+  else begin
+    let exp = Float.min 30.0 (float_of_int t.attempts) in
+    t.attempts <- t.attempts + 1;
+    let raw = Float.min t.cap (t.base *. (2.0 ** exp)) in
+    (* Multiplicative jitter in [0.75, 1.25): seeded, so a whole fleet
+       restarting together still fans out deterministically per id. *)
+    Some (raw *. (0.75 +. (0.5 *. Prng.float t.jitter)))
+  end

@@ -1,0 +1,28 @@
+(** Exponential reconnect backoff with a cap, a retry budget and
+    seeded jitter.
+
+    Delays double from [base] up to [cap], each multiplied by a jitter
+    factor in [0.75, 1.25) drawn from a {!Probsub_core.Prng} seeded at
+    creation — deterministic for a given seed (so tests replay
+    exactly), yet de-synchronized across differently-seeded brokers
+    after a common-mode failure. *)
+
+type t
+
+val create :
+  ?base:float -> ?cap:float -> ?max_attempts:int -> seed:int -> unit -> t
+(** [base] (default 0.05 s) first delay; [cap] (default 2 s) upper
+    bound before jitter; [max_attempts] (default 0 = unbounded) budget
+    before {!next_delay} refuses. @raise Invalid_argument on a
+    non-positive base, a cap below base, or a negative budget. *)
+
+val next_delay : t -> float option
+(** Delay to wait before the next attempt, advancing the attempt
+    counter; [None] once the budget is exhausted. *)
+
+val reset : t -> unit
+(** Call after a successful connection: the next failure starts from
+    [base] again. *)
+
+val attempts : t -> int
+(** Attempts consumed since the last {!reset}. *)

@@ -1,0 +1,613 @@
+open Probsub_core
+module Message = Probsub_broker.Message
+module Broker_node = Probsub_broker.Broker_node
+module Reliable_link = Probsub_broker.Reliable_link
+module Event_queue = Probsub_broker.Event_queue
+module Device = Probsub_store_log.Device
+
+type config = {
+  id : int;
+  neighbors : int list;
+  sock_dir : string;
+  wal_dir : string option;
+  arity : int;
+  seed : int;
+  policy : Subscription_store.policy;
+  lease_ttl : float;
+  refresh_interval : float;
+  rto : float;
+  max_retries : int;
+  max_queue_bytes : int;
+  backoff_base : float;
+  backoff_cap : float;
+}
+
+let config ?(wal_dir = None) ?(policy = Subscription_store.Pairwise_policy)
+    ?(lease_ttl = 30.0) ?(refresh_interval = 10.0) ?(rto = 4.0)
+    ?(max_retries = 6) ?(max_queue_bytes = 1 lsl 20) ?(backoff_base = 0.05)
+    ?(backoff_cap = 2.0) ~id ~neighbors ~sock_dir ~arity ~seed () =
+  if id < 0 then invalid_arg "Broker_server.config: negative broker id";
+  if List.mem id neighbors then
+    invalid_arg "Broker_server.config: broker cannot neighbor itself";
+  if
+    not
+      (lease_ttl > 0.0
+      && refresh_interval > 0.0
+      && refresh_interval < lease_ttl
+      && rto > 0.0 && max_retries >= 0)
+  then invalid_arg "Broker_server.config: bad recovery parameters";
+  {
+    id;
+    neighbors;
+    sock_dir;
+    wal_dir;
+    arity;
+    seed;
+    policy;
+    lease_ttl;
+    refresh_interval;
+    rto;
+    max_retries;
+    max_queue_bytes;
+    backoff_base;
+    backoff_cap;
+  }
+
+let socket_path ~sock_dir id =
+  Filename.concat sock_dir (Printf.sprintf "broker-%d.sock" id)
+
+let now = Clock.now
+
+type timer =
+  | T_retransmit of int * int  (* peer id, sequence number *)
+  | T_refresh  (* drive a lease-refresh wave for local client subs *)
+  | T_sweep  (* lease expiry + WAL compaction tick *)
+  | T_reconnect of int  (* peer id whose backoff delay elapsed *)
+
+(* Outgoing link to one neighbour. The Reliable_link sender and the
+   sequence counter belong to our process session and survive
+   reconnects; the Conn dies and is remade under backoff. *)
+type peer = {
+  p_id : int;
+  backoff : Backoff.t;
+  sender : (Message.payload, Event_queue.handle) Reliable_link.sender;
+  mutable p_conn : Conn.t option;
+  mutable welcomed : bool;  (* Welcome received: resume done, may send *)
+  mutable next_seq : int;
+  mutable reconnect_armed : bool;
+}
+
+(* Receive-side state per remote identity — NOT per connection: the
+   dedup window and high-water mark must survive the remote's
+   reconnects within one remote session, and reset when its session
+   changes. *)
+type recv_state = {
+  mutable r_session : int;
+  r_window : Reliable_link.receiver;
+  mutable r_last_seen : int;
+}
+
+type who = Unknown | From_peer of int | From_client of int
+
+type inbound = {
+  conn : Conn.t;
+  mutable who : who;
+  mutable in_seq : int;  (* our outbound seq on this connection *)
+}
+
+type stats = {
+  mutable accepted : int;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable retransmits : int;
+  mutable gave_up : int;
+  mutable refresh_waves : int;
+  mutable sweeps : int;
+  mutable sheds : int;
+  mutable corrupt_conns : int;
+}
+
+type t = {
+  cfg : config;
+  node : Broker_node.t;
+  session : int;
+  listen_fd : Unix.file_descr;
+  timers : timer Event_queue.t;
+  peers : peer array;
+  mutable inbound : inbound list;
+  peer_recv : (int, recv_state) Hashtbl.t;
+  client_recv : (int, recv_state) Hashtbl.t;
+  client_conn : (int, inbound) Hashtbl.t;
+  stats : stats;
+}
+
+let find_peer t id =
+  let rec go i =
+    if i >= Array.length t.peers then None
+    else if t.peers.(i).p_id = id then Some t.peers.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let recv_state_for table id =
+  match Hashtbl.find_opt table id with
+  | Some rs -> rs
+  | None ->
+      let rs =
+        {
+          r_session = -1;
+          r_window = Reliable_link.receiver ~capacity:1024 ();
+          r_last_seen = 0;
+        }
+      in
+      Hashtbl.replace table id rs;
+      rs
+
+let arm t ~delay timer = Event_queue.push t.timers ~time:(now () +. delay) timer
+
+let arm_cancelable t ~delay timer =
+  Event_queue.push_cancelable t.timers ~time:(now () +. delay) timer
+
+(* Send one message to a peer. Acked messages are tracked for
+   retransmission whether or not the link is up — if it is down, the
+   retry budget burns against the outage and the refresh waves repair
+   whatever gives up, exactly the simulator's semantics. *)
+let send_peer t peer msg =
+  let seq = peer.next_seq in
+  peer.next_seq <- seq + 1;
+  if Wire.acked msg then begin
+    let payload =
+      match msg with
+      | Wire.Payload p -> p
+      | Wire.Hello _ | Wire.Welcome _ | Wire.Notify _ | Wire.Frame_ack _
+      | Wire.Bye ->
+          invalid_arg "Broker_server.send_peer: only payloads are acked"
+    in
+    Reliable_link.track peer.sender ~seq ~item:payload
+      ~timer:(arm_cancelable t ~delay:t.cfg.rto (T_retransmit (peer.p_id, seq)))
+  end;
+  match peer.p_conn with
+  | Some c when peer.welcomed || not (Wire.acked msg) ->
+      t.stats.frames_out <- t.stats.frames_out + 1;
+      t.stats.sheds <- t.stats.sheds + Conn.send_msg c ~seq msg
+  | Some _ | None -> ()
+
+let send_inbound t ic msg =
+  let seq = ic.in_seq in
+  ic.in_seq <- seq + 1;
+  t.stats.frames_out <- t.stats.frames_out + 1;
+  t.stats.sheds <- t.stats.sheds + Conn.send_msg ic.conn ~seq msg
+
+let apply_actions t actions =
+  List.iter
+    (fun action ->
+      match action with
+      | Broker_node.Forward { to_; payload } -> (
+          match find_peer t to_ with
+          | Some peer -> send_peer t peer (Wire.Payload payload)
+          | None -> () (* topology drift: drop rather than crash *))
+      | Broker_node.Notify { client; key; pub_id } -> (
+          match Hashtbl.find_opt t.client_conn client with
+          | Some ic -> send_inbound t ic (Wire.Notify { client; key; pub_id })
+          | None -> () (* client not connected; notification is lost *)))
+    actions
+
+let handle_payload t ~origin payload =
+  apply_actions t (Broker_node.handle t.node ~now:(now ()) ~origin payload)
+
+(* Connect attempt to one neighbour; failure re-arms the backoff
+   timer. Unix-domain connects either succeed immediately or fail —
+   there is no long in-progress window to track. *)
+let try_connect t peer =
+  peer.reconnect_armed <- false;
+  let path = socket_path ~sock_dir:t.cfg.sock_dir peer.p_id in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+      let c = Conn.create ~max_queue_bytes:t.cfg.max_queue_bytes fd in
+      peer.p_conn <- Some c;
+      peer.welcomed <- false;
+      (* Hello rides seq 0 outside the acked space. *)
+      t.stats.frames_out <- t.stats.frames_out + 1;
+      t.stats.sheds <-
+        t.stats.sheds
+        + Conn.send_msg c ~seq:0
+            (Wire.Hello
+               {
+                 role = Wire.Peer_role t.cfg.id;
+                 session = t.session;
+                 last_seen = 0;
+               })
+  | exception Unix.Unix_error (_, _, _) -> (
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match Backoff.next_delay peer.backoff with
+      | Some delay ->
+          peer.reconnect_armed <- true;
+          arm t ~delay (T_reconnect peer.p_id)
+      | None -> () (* budget exhausted: the peer stays down *))
+
+let drop_peer_conn t peer =
+  (match peer.p_conn with Some c -> Conn.close c | None -> ());
+  peer.p_conn <- None;
+  peer.welcomed <- false;
+  if not peer.reconnect_armed then begin
+    match Backoff.next_delay peer.backoff with
+    | Some delay ->
+        peer.reconnect_armed <- true;
+        arm t ~delay (T_reconnect peer.p_id)
+    | None -> ()
+  end
+
+(* Welcome on an outgoing link: the peer told us the highest seq it
+   processed from our current session. Everything at or below it is
+   as-good-as-acked; everything above must go out again, in order. *)
+let handle_welcome t peer ~last_seen =
+  peer.welcomed <- true;
+  Backoff.reset peer.backoff;
+  List.iter
+    (fun (seq, payload) ->
+      if seq <= last_seen then begin
+        match Reliable_link.ack peer.sender ~seq with
+        | Some h -> ignore (Event_queue.cancel t.timers h)
+        | None -> ()
+      end
+      else
+        match peer.p_conn with
+        | Some c ->
+            t.stats.frames_out <- t.stats.frames_out + 1;
+            t.stats.sheds <-
+              t.stats.sheds + Conn.send_msg c ~seq (Wire.Payload payload)
+        | None -> ())
+    (Reliable_link.unacked peer.sender)
+
+(* An acked frame arriving on an inbound connection: always re-ack
+   (the previous ack may have been lost with the old connection), then
+   dedup against the sender's session window. *)
+let admit_acked t ic rs ~seq =
+  send_inbound t ic (Wire.Frame_ack { seq });
+  match Reliable_link.admit rs.r_window ~seq with
+  | `Duplicate -> false
+  | `Fresh ->
+      if seq > rs.r_last_seen then rs.r_last_seen <- seq;
+      true
+
+let handle_msg t ic (seq, msg) =
+  t.stats.frames_in <- t.stats.frames_in + 1;
+  match (ic.who, msg) with
+  | Unknown, Wire.Hello { role; session; last_seen = _ } ->
+      let table, id =
+        match role with
+        | Wire.Peer_role p -> (t.peer_recv, p)
+        | Wire.Client_role c -> (t.client_recv, c)
+      in
+      let rs = recv_state_for table id in
+      if rs.r_session <> session then begin
+        (* New remote session: its numbering restarts, so stale seqs
+           must not suppress fresh frames. *)
+        rs.r_session <- session;
+        rs.r_last_seen <- 0;
+        Reliable_link.reset_receiver rs.r_window
+      end;
+      (match role with
+      | Wire.Peer_role p -> ic.who <- From_peer p
+      | Wire.Client_role c ->
+          ic.who <- From_client c;
+          Hashtbl.replace t.client_conn c ic);
+      send_inbound t ic
+        (Wire.Welcome { session = t.session; last_seen = rs.r_last_seen })
+  | Unknown, _ -> () (* pre-handshake noise: ignore until Hello *)
+  | From_peer p, Wire.Payload payload ->
+      let process =
+        if Wire.acked msg then
+          admit_acked t ic (recv_state_for t.peer_recv p) ~seq
+        else true
+      in
+      if process then handle_payload t ~origin:(Message.Link p) payload
+  | From_client c, Wire.Payload payload ->
+      let process =
+        if Wire.acked msg then
+          admit_acked t ic (recv_state_for t.client_recv c) ~seq
+        else true
+      in
+      if process then handle_payload t ~origin:(Message.Client c) payload
+  | From_peer p, Wire.Frame_ack { seq = acked } -> (
+      (* The remote acks what we sent on OUR outgoing link to it. *)
+      match find_peer t p with
+      | Some peer -> (
+          match Reliable_link.ack peer.sender ~seq:acked with
+          | Some h -> ignore (Event_queue.cancel t.timers h)
+          | None -> ())
+      | None -> ())
+  | From_peer p, Wire.Welcome { last_seen; session = _ } -> (
+      (* Welcome answered on the socket we opened: the accept side of
+         this conn object is their reply channel. *)
+      match find_peer t p with
+      | Some peer -> handle_welcome t peer ~last_seen
+      | None -> ())
+  | _, Wire.Bye -> Conn.close ic.conn
+  | _, (Wire.Hello _ | Wire.Welcome _ | Wire.Notify _ | Wire.Frame_ack _) ->
+      () (* role mismatch or client-bound traffic: drop *)
+
+let fire_timer t timer =
+  match timer with
+  | T_retransmit (pid, seq) -> (
+      match find_peer t pid with
+      | None -> ()
+      | Some peer -> (
+          match Reliable_link.on_timeout peer.sender ~seq with
+          | Reliable_link.Not_tracked -> ()
+          | Reliable_link.Give_up -> t.stats.gave_up <- t.stats.gave_up + 1
+          | Reliable_link.Retransmit { item; rto } ->
+              t.stats.retransmits <- t.stats.retransmits + 1;
+              (match peer.p_conn with
+              | Some c when peer.welcomed ->
+                  t.stats.frames_out <- t.stats.frames_out + 1;
+                  t.stats.sheds <-
+                    t.stats.sheds + Conn.send_msg c ~seq (Wire.Payload item)
+              | Some _ | None -> ());
+              Reliable_link.set_timer peer.sender ~seq
+                (arm_cancelable t ~delay:rto (T_retransmit (pid, seq)))))
+  | T_refresh ->
+      t.stats.refresh_waves <- t.stats.refresh_waves + 1;
+      List.iter
+        (fun (key, client, sub) ->
+          let epoch = Broker_node.subscription_epoch t.node ~key + 1 in
+          handle_payload t ~origin:(Message.Client client)
+            (Message.Subscribe { key; sub; epoch }))
+        (Broker_node.client_subscriptions t.node);
+      arm t ~delay:t.cfg.refresh_interval T_refresh
+  | T_sweep ->
+      t.stats.sweeps <- t.stats.sweeps + 1;
+      let _expired, actions = Broker_node.sweep t.node ~now:(now ()) in
+      apply_actions t actions;
+      ignore (Broker_node.maybe_compact t.node);
+      arm t ~delay:t.cfg.refresh_interval T_sweep
+  | T_reconnect pid -> (
+      match find_peer t pid with
+      | Some peer when peer.p_conn = None -> try_connect t peer
+      | Some _ | None -> ())
+
+let fire_due_timers t =
+  let rec go () =
+    match Event_queue.peek_time t.timers with
+    | Some time when time <= now () -> (
+        match Event_queue.pop t.timers with
+        | Some (_, timer) ->
+            fire_timer t timer;
+            go ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  go ()
+
+let create cfg =
+  let device =
+    Option.map (fun dir -> Device.fs ~dir) cfg.wal_dir
+  in
+  let node =
+    Broker_node.create ?device ~recover:true ~lease_ttl:cfg.lease_ttl
+      ~id:cfg.id ~neighbors:cfg.neighbors ~policy:cfg.policy ~arity:cfg.arity
+      ~seed:cfg.seed ()
+  in
+  let session = Clock.session_id () in
+  let path = socket_path ~sock_dir:cfg.sock_dir cfg.id in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let t =
+    {
+      cfg;
+      node;
+      session;
+      listen_fd;
+      timers = Event_queue.create ();
+      peers =
+        Array.of_list
+          (List.map
+             (fun p_id ->
+               {
+                 p_id;
+                 backoff =
+                   Backoff.create ~base:cfg.backoff_base ~cap:cfg.backoff_cap
+                     ~seed:(cfg.seed + (cfg.id * 65599) + p_id)
+                     ();
+                 sender =
+                   Reliable_link.sender
+                     { Reliable_link.rto = cfg.rto;
+                       max_retries = cfg.max_retries };
+                 p_conn = None;
+                 welcomed = false;
+                 next_seq = 1;
+                 reconnect_armed = false;
+               })
+             cfg.neighbors);
+      inbound = [];
+      peer_recv = Hashtbl.create 8;
+      client_recv = Hashtbl.create 64;
+      client_conn = Hashtbl.create 64;
+      stats =
+        {
+          accepted = 0;
+          frames_in = 0;
+          frames_out = 0;
+          retransmits = 0;
+          gave_up = 0;
+          refresh_waves = 0;
+          sweeps = 0;
+          sheds = 0;
+          corrupt_conns = 0;
+        };
+    }
+  in
+  Array.iter (fun peer -> try_connect t peer) t.peers;
+  arm t ~delay:cfg.refresh_interval T_refresh;
+  arm t ~delay:cfg.refresh_interval T_sweep;
+  t
+
+let accept_ready t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        t.stats.accepted <- t.stats.accepted + 1;
+        let c = Conn.create ~max_queue_bytes:t.cfg.max_queue_bytes fd in
+        t.inbound <- { conn = c; who = Unknown; in_seq = 0 } :: t.inbound;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ()
+
+(* Drain every decoded frame from one connection; returns false when
+   the connection must be torn down. *)
+let drain_conn t ic =
+  let rec go () =
+    match Conn.next ic.conn with
+    | `Msg (seq, msg) ->
+        handle_msg t ic (seq, msg);
+        if Conn.closed ic.conn then false else go ()
+    | `Pending -> true
+    | `Corrupt _ ->
+        t.stats.corrupt_conns <- t.stats.corrupt_conns + 1;
+        false
+  in
+  go ()
+
+let read_conn t ic =
+  match Conn.recv ic.conn with
+  | `Data _ -> drain_conn t ic
+  | `Blocked -> true
+  | `Eof -> false
+
+(* Read the reply direction of a link we opened: Welcome and acks. The
+   throwaway inbound view only routes dispatch; nothing acked arrives
+   here, so its seq counter is never consulted. *)
+let read_outgoing t peer c =
+  read_conn t { conn = c; who = From_peer peer.p_id; in_seq = 0 }
+
+(* Forget a dead inbound connection; receive state stays for resume. *)
+let reap_inbound t ic =
+  Conn.close ic.conn;
+  (match ic.who with
+  | From_client c -> (
+      match Hashtbl.find_opt t.client_conn c with
+      | Some cur
+        when (cur == ic)
+             [@problint.allow
+               unsafe
+                 "identity, not structure: unregister the client only if \
+                  the registered connection is this very one — a \
+                  reconnected client may already own the slot"] ->
+          Hashtbl.remove t.client_conn c
+      | Some _ | None -> ())
+  | From_peer _ | Unknown -> ());
+  t.inbound <-
+    List.filter
+      (fun other ->
+        not
+          ((other == ic)
+          [@problint.allow
+            unsafe
+              "identity, not structure: drop exactly this connection \
+               record from the inbound list"]))
+      t.inbound
+
+let step t =
+  fire_due_timers t;
+  let peer_list = Array.to_list t.peers in
+  let read_fds =
+    (t.listen_fd :: List.map (fun ic -> Conn.fd ic.conn) t.inbound)
+    @ List.filter_map (fun peer -> Option.map Conn.fd peer.p_conn) peer_list
+  in
+  let write_fds =
+    List.filter_map
+      (fun ic ->
+        if Conn.wants_write ic.conn then Some (Conn.fd ic.conn) else None)
+      t.inbound
+    @ List.filter_map
+        (fun peer ->
+          match peer.p_conn with
+          | Some c when Conn.wants_write c -> Some (Conn.fd c)
+          | Some _ | None -> None)
+        peer_list
+  in
+  let timeout =
+    let horizon =
+      match Event_queue.peek_time t.timers with
+      | Some time -> Float.max 0.0 (time -. now ())
+      | None -> 0.25
+    in
+    Float.min horizon 0.25
+  in
+  let readable, writable =
+    match Unix.select read_fds write_fds [] timeout with
+    | r, w, _ -> (r, w)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [])
+  in
+  if List.mem t.listen_fd readable then accept_ready t;
+  (* Peers: flush writes, read replies, reap dead links into backoff. *)
+  Array.iter
+    (fun peer ->
+      match peer.p_conn with
+      | None -> ()
+      | Some c ->
+          let ok_w =
+            if List.mem (Conn.fd c) writable then Conn.flush c = `Ok else true
+          in
+          let ok_r =
+            if ok_w && List.mem (Conn.fd c) readable then read_outgoing t peer c
+            else ok_w
+          in
+          if (not ok_r) || Conn.closed c then drop_peer_conn t peer)
+    t.peers;
+  List.iter
+    (fun ic ->
+      if Conn.closed ic.conn then reap_inbound t ic
+      else begin
+        let ok_w =
+          if List.mem (Conn.fd ic.conn) writable then Conn.flush ic.conn = `Ok
+          else true
+        in
+        let ok_r =
+          if ok_w && List.mem (Conn.fd ic.conn) readable then read_conn t ic
+          else ok_w
+        in
+        if not ok_r then reap_inbound t ic
+      end)
+    t.inbound;
+  (* Opportunistic flush of everything still queued. *)
+  Array.iter
+    (fun peer ->
+      match peer.p_conn with
+      | Some c when Conn.wants_write c ->
+          if Conn.flush c = `Closed then drop_peer_conn t peer
+      | Some _ | None -> ())
+    t.peers;
+  List.iter
+    (fun ic ->
+      if Conn.wants_write ic.conn && Conn.flush ic.conn = `Closed then
+        reap_inbound t ic)
+    t.inbound
+
+let shutdown t =
+  Array.iter
+    (fun peer -> match peer.p_conn with Some c -> Conn.close c | None -> ())
+    t.peers;
+  List.iter (fun ic -> Conn.close ic.conn) t.inbound;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink (socket_path ~sock_dir:t.cfg.sock_dir t.cfg.id)
+  with Unix.Unix_error _ -> ()
+
+let run ?(on_ready = fun () -> ()) ?(should_stop = fun () -> false) cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t = create cfg in
+  on_ready ();
+  let rec loop () = if should_stop () then shutdown t else (step t; loop ()) in
+  loop ()
+
+let node t = t.node
+let session t = t.session
+let stats t = t.stats

@@ -1,0 +1,105 @@
+(** A real broker process: a {!Unix.select} event loop serving the
+    broker protocol over Unix-domain sockets.
+
+    One listening socket per broker at [sock_dir/broker-<id>.sock].
+    The broker dials every neighbour (so each ordered pair of
+    neighbours has its own connection carrying that direction's data,
+    with handshake replies and acks flowing back on it) and accepts
+    connections from peers and clients. All state transitions run
+    through the {e same} transport-agnostic machinery the simulator
+    uses — {!Probsub_broker.Broker_node} for routing/covering/leases,
+    {!Probsub_broker.Reliable_link} for retransmission and dedup — so
+    the network semantics proven in the fault-injection suite carry
+    over verbatim; only the byte transport and the clock are new.
+
+    Durability: with a [wal_dir], the broker journals its routing table
+    through the PR 5 WAL/snapshot device, {e recovering} from an
+    existing directory at startup (kill -9 restart) rather than wiping
+    it. Lease-refresh waves for locally attached clients are driven
+    from the recovered table, which is the recovery guarantee the chaos
+    harness audits: after restart plus one refresh interval, routing
+    state lost by peers to give-ups or the outage is repaired.
+
+    Maintenance mirrors the simulator: a refresh wave and a lease sweep
+    every [refresh_interval], the sweep doubling as the WAL compaction
+    tick. *)
+
+type config = {
+  id : int;
+  neighbors : int list;
+  sock_dir : string;
+  wal_dir : string option;  (** durable routing table when present *)
+  arity : int;
+  seed : int;
+  policy : Probsub_core.Subscription_store.policy;
+  lease_ttl : float;
+  refresh_interval : float;
+  rto : float;  (** initial retransmission timeout, doubles per retry *)
+  max_retries : int;
+  max_queue_bytes : int;  (** per-connection write budget before shed *)
+  backoff_base : float;  (** first reconnect delay *)
+  backoff_cap : float;  (** reconnect delay ceiling before jitter *)
+}
+
+val config :
+  ?wal_dir:string option ->
+  ?policy:Probsub_core.Subscription_store.policy ->
+  ?lease_ttl:float ->
+  ?refresh_interval:float ->
+  ?rto:float ->
+  ?max_retries:int ->
+  ?max_queue_bytes:int ->
+  ?backoff_base:float ->
+  ?backoff_cap:float ->
+  id:int ->
+  neighbors:int list ->
+  sock_dir:string ->
+  arity:int ->
+  seed:int ->
+  unit ->
+  config
+(** Validated constructor; defaults mirror the simulator's recovery
+    record (lease 30 s, refresh 10 s, rto 4 s, 6 retries).
+    @raise Invalid_argument on a negative id, a self-neighbour, or
+    recovery parameters the simulator would also reject. *)
+
+val socket_path : sock_dir:string -> int -> string
+
+type t
+
+type stats = {
+  mutable accepted : int;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable retransmits : int;
+  mutable gave_up : int;
+  mutable refresh_waves : int;
+  mutable sweeps : int;
+  mutable sheds : int;
+  mutable corrupt_conns : int;
+}
+
+val create : config -> t
+(** Bind the listening socket, recover (or initialise) the node, dial
+    every neighbour, arm the maintenance timers. @raise Unix.Unix_error
+    if the listening socket cannot be bound. *)
+
+val step : t -> unit
+(** One event-loop iteration: fire due timers, select (bounded at
+    250 ms), accept, read, write, reap. Never raises on connection
+    errors — they feed the backoff machinery. *)
+
+val shutdown : t -> unit
+(** Close every connection and the listening socket, removing the
+    socket file. *)
+
+val run : ?on_ready:(unit -> unit) -> ?should_stop:(unit -> bool) -> config -> unit
+(** [create] then {!step} until [should_stop ()] (polled once per
+    iteration), then {!shutdown}. [on_ready] fires once the listening
+    socket is accepting — fork-based harnesses signal their parent
+    from it. Ignores SIGPIPE process-wide (dead-socket writes surface
+    as [EPIPE] and feed reconnect). *)
+
+val node : t -> Probsub_broker.Broker_node.t
+val session : t -> int
+val stats : t -> stats

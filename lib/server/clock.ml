@@ -1,0 +1,8 @@
+let now () =
+  (Unix.gettimeofday ()
+  [@problint.allow
+    determinism
+      "the server layer is clock-driven by nature; every deadline in \
+       lib/server derives from this single audited read"])
+
+let session_id () = int_of_float (now () *. 1e6) land max_int

@@ -1,0 +1,12 @@
+(** The server layer's only window onto the wall clock. Confining the
+    read here keeps the determinism lint's scope argument honest:
+    everything else in [lib/server] computes deadlines from values this
+    module returned. *)
+
+val now : unit -> float
+(** [Unix.gettimeofday], in seconds. *)
+
+val session_id : unit -> int
+(** Wall-clock microseconds — strictly increasing across process
+    restarts spaced more than a microsecond apart, which is all the
+    session-resume protocol needs from it. *)

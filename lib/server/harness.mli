@@ -1,0 +1,74 @@
+(** The kill -9 chaos harness: a real multi-process broker fleet,
+    exercised end to end and audited with the simulator's oracle.
+
+    {!run} forks [brokers] child processes on a line topology (each
+    running {!Broker_server.run} with a WAL directory), connects real
+    {!Loadgen} clients over the Unix sockets, installs a random
+    workload, and then:
+
+    + drives an audited closed-loop publication phase on the healthy
+      fleet;
+    + SIGKILLs an interior broker {e mid-refresh-wave} (the kill is
+      phase-aligned just after a wave tick, while the wave's Subscribe
+      forwards and acks are in flight);
+    + restarts it on the same WAL directory — {!Broker_server.create}
+      recovers rather than wipes — and measures the wall time until a
+      probe publication round-trips across the whole line through the
+      restarted broker;
+    + drives a second audited phase, which must be spotless: every
+      expected delivery exactly once, verdicts byte-identical to the
+      in-process engine.
+
+    Both the chaos test (pass/fail across seeds) and the serve bench
+    (pubs/sec, latency percentiles, recovery time for
+    [BENCH_serve.json]) are this one scenario with different knobs. *)
+
+exception Error of string
+(** Environmental failure (a broker that never came up, a probe that
+    never round-tripped) — distinct from an audit failure, which is
+    reported in {!result}. *)
+
+type config = {
+  seed : int;
+  brokers : int;
+  clients_per_broker : int;
+  subs_per_client : int;
+  arity : int;
+  pubs : int;  (** per measured phase (before and after the kill) *)
+  refresh_interval : float;
+  per_pub_timeout : float;
+}
+
+val config :
+  ?brokers:int ->
+  ?clients_per_broker:int ->
+  ?subs_per_client:int ->
+  ?arity:int ->
+  ?pubs:int ->
+  ?refresh_interval:float ->
+  ?per_pub_timeout:float ->
+  seed:int ->
+  unit ->
+  config
+(** Defaults: 3 brokers, 2 clients each, 4 subscriptions per client,
+    arity 2, 30 publications per phase, 0.5 s refresh interval, 3 s
+    per-publication deadline. @raise Invalid_argument on fewer than 2
+    brokers or an empty workload. *)
+
+type result = {
+  victim : int;
+  connections : int;  (** client connections across the fleet *)
+  recovery_seconds : float;
+      (** restart initiation to the first publication round-tripping
+          through the restarted broker *)
+  pre : Loadgen.result;  (** closed-loop phase before the kill *)
+  post : Loadgen.result;  (** closed-loop phase after recovery *)
+  clean : bool;
+      (** both phases audit clean with byte-identical verdicts *)
+}
+
+val run : config -> result
+(** Execute the scenario, always reaping the children and removing the
+    temp directories. @raise Error on environmental failure. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,206 @@
+open Probsub_core
+module Message = Probsub_broker.Message
+module Codec = Probsub_store_log.Codec
+module Prim = Codec.Prim
+
+type role = Peer_role of int | Client_role of int
+
+type msg =
+  | Hello of { role : role; session : int; last_seen : int }
+  | Welcome of { session : int; last_seen : int }
+  | Payload of Message.payload
+  | Notify of { client : int; key : int; pub_id : int }
+  | Frame_ack of { seq : int }
+  | Bye
+
+type cls = Control | Sheddable
+
+let class_of = function
+  | Hello _ | Welcome _ | Frame_ack _ | Bye -> Control
+  | Payload p -> if Message.is_control p then Control else Sheddable
+  | Notify _ -> Sheddable
+
+let acked = function
+  | Payload p -> Message.is_control p
+  | Hello _ | Welcome _ | Notify _ | Frame_ack _ | Bye -> false
+
+(* Tags. Top level: 0 Hello, 1 Welcome, 2 Payload, 3 Notify,
+   4 Frame_ack, 5 Bye. Payload: 0 Subscribe, 1 Unsubscribe,
+   2 Advertise, 3 Unadvertise, 4 Publish, 5 Ack. Publication:
+   0 Point, 1 Box. Role: 0 peer, 1 client. *)
+
+let w_role b = function
+  | Peer_role id ->
+      Prim.write_uv b 0;
+      Prim.write_uv b id
+  | Client_role id ->
+      Prim.write_uv b 1;
+      Prim.write_uv b id
+
+let w_publication b = function
+  | Publication.Point values ->
+      Prim.write_uv b 0;
+      Prim.write_uv b (Array.length values);
+      Array.iter (Prim.write_sv b) values
+  | Publication.Box s ->
+      Prim.write_uv b 1;
+      Prim.write_subscription b s
+
+let w_payload b = function
+  | Message.Subscribe { key; sub; epoch } ->
+      Prim.write_uv b 0;
+      Prim.write_uv b key;
+      Prim.write_uv b epoch;
+      Prim.write_subscription b sub
+  | Message.Unsubscribe { key } ->
+      Prim.write_uv b 1;
+      Prim.write_uv b key
+  | Message.Advertise { key; adv } ->
+      Prim.write_uv b 2;
+      Prim.write_uv b key;
+      Prim.write_subscription b adv
+  | Message.Unadvertise { key } ->
+      Prim.write_uv b 3;
+      Prim.write_uv b key
+  | Message.Publish { id; pub } ->
+      Prim.write_uv b 4;
+      Prim.write_uv b id;
+      w_publication b pub
+  | Message.Ack { seq } ->
+      Prim.write_uv b 5;
+      Prim.write_uv b seq
+
+let encode msg =
+  let b = Buffer.create 64 in
+  (match msg with
+  | Hello { role; session; last_seen } ->
+      Prim.write_uv b 0;
+      w_role b role;
+      Prim.write_uv b session;
+      Prim.write_uv b last_seen
+  | Welcome { session; last_seen } ->
+      Prim.write_uv b 1;
+      Prim.write_uv b session;
+      Prim.write_uv b last_seen
+  | Payload p ->
+      Prim.write_uv b 2;
+      w_payload b p
+  | Notify { client; key; pub_id } ->
+      Prim.write_uv b 3;
+      Prim.write_uv b client;
+      Prim.write_uv b key;
+      Prim.write_uv b pub_id
+  | Frame_ack { seq } ->
+      Prim.write_uv b 4;
+      Prim.write_uv b seq
+  | Bye -> Prim.write_uv b 5);
+  Buffer.contents b
+
+(* Total decoding: result-chained reads, and the message must consume
+   the payload exactly — trailing bytes are a framing bug upstream. *)
+
+let ( let* ) = Result.bind
+
+let r_role s ~pos =
+  let* tag, pos = Prim.read_uv s ~pos in
+  let* id, pos = Prim.read_uv s ~pos in
+  match tag with
+  | 0 -> Ok (Peer_role id, pos)
+  | 1 -> Ok (Client_role id, pos)
+  | _ -> Error "unknown role tag"
+
+let r_publication s ~pos =
+  let* tag, pos = Prim.read_uv s ~pos in
+  match tag with
+  | 0 ->
+      let* n, pos = Prim.read_uv s ~pos in
+      if n < 1 || n > 4096 then Error "bad publication arity"
+      else
+        let values = Array.make n 0 in
+        let rec go i pos =
+          if i = n then Ok (Publication.Point values, pos)
+          else
+            let* v, pos = Prim.read_sv s ~pos in
+            values.(i) <- v;
+            go (i + 1) pos
+        in
+        go 0 pos
+  | 1 ->
+      let* sub, pos = Prim.read_subscription s ~pos in
+      Ok (Publication.Box sub, pos)
+  | _ -> Error "unknown publication tag"
+
+let r_payload s ~pos =
+  let* tag, pos = Prim.read_uv s ~pos in
+  match tag with
+  | 0 ->
+      let* key, pos = Prim.read_uv s ~pos in
+      let* epoch, pos = Prim.read_uv s ~pos in
+      let* sub, pos = Prim.read_subscription s ~pos in
+      Ok (Message.Subscribe { key; sub; epoch }, pos)
+  | 1 ->
+      let* key, pos = Prim.read_uv s ~pos in
+      Ok (Message.Unsubscribe { key }, pos)
+  | 2 ->
+      let* key, pos = Prim.read_uv s ~pos in
+      let* adv, pos = Prim.read_subscription s ~pos in
+      Ok (Message.Advertise { key; adv }, pos)
+  | 3 ->
+      let* key, pos = Prim.read_uv s ~pos in
+      Ok (Message.Unadvertise { key }, pos)
+  | 4 ->
+      let* id, pos = Prim.read_uv s ~pos in
+      let* pub, pos = r_publication s ~pos in
+      Ok (Message.Publish { id; pub }, pos)
+  | 5 ->
+      let* seq, pos = Prim.read_uv s ~pos in
+      Ok (Message.Ack { seq }, pos)
+  | _ -> Error "unknown payload tag"
+
+let decode s =
+  let* msg, pos =
+    let* tag, pos = Prim.read_uv s ~pos:0 in
+    match tag with
+    | 0 ->
+        let* role, pos = r_role s ~pos in
+        let* session, pos = Prim.read_uv s ~pos in
+        let* last_seen, pos = Prim.read_uv s ~pos in
+        Ok (Hello { role; session; last_seen }, pos)
+    | 1 ->
+        let* session, pos = Prim.read_uv s ~pos in
+        let* last_seen, pos = Prim.read_uv s ~pos in
+        Ok (Welcome { session; last_seen }, pos)
+    | 2 ->
+        let* p, pos = r_payload s ~pos in
+        Ok (Payload p, pos)
+    | 3 ->
+        let* client, pos = Prim.read_uv s ~pos in
+        let* key, pos = Prim.read_uv s ~pos in
+        let* pub_id, pos = Prim.read_uv s ~pos in
+        Ok (Notify { client; key; pub_id }, pos)
+    | 4 ->
+        let* seq, pos = Prim.read_uv s ~pos in
+        Ok (Frame_ack { seq }, pos)
+    | 5 -> Ok (Bye, 1)
+    | _ -> Error "unknown message tag"
+  in
+  if pos <> String.length s then Error "trailing bytes after message"
+  else Ok msg
+
+let frame ~seq msg = Codec.frame ~lsn:seq (encode msg)
+
+let pp_role ppf = function
+  | Peer_role id -> Format.fprintf ppf "peer %d" id
+  | Client_role id -> Format.fprintf ppf "client %d" id
+
+let pp ppf = function
+  | Hello { role; session; last_seen } ->
+      Format.fprintf ppf "Hello(%a, session %d, last_seen %d)" pp_role role
+        session last_seen
+  | Welcome { session; last_seen } ->
+      Format.fprintf ppf "Welcome(session %d, last_seen %d)" session last_seen
+  | Payload p -> Format.fprintf ppf "Payload(%a)" Message.pp_payload p
+  | Notify { client; key; pub_id } ->
+      Format.fprintf ppf "Notify(client %d, key %d, pub %d)" client key pub_id
+  | Frame_ack { seq } -> Format.fprintf ppf "Frame_ack(%d)" seq
+  | Bye -> Format.fprintf ppf "Bye"

@@ -1,0 +1,61 @@
+(** The broker wire protocol: what travels inside {!Probsub_store_log.Codec}
+    frames on broker-to-broker and client-to-broker sockets.
+
+    Every frame is [Codec.frame ~lsn:seq (encode msg)] — the same
+    [len ++ crc ++ varint-lsn ++ body] format the WAL uses, with the
+    lsn slot carrying the sender's per-connection-direction sequence
+    number. Field encodings come from {!Codec.Prim}, so the wire and
+    the log cannot drift.
+
+    Sessions and resume: each process picks a session id at startup and
+    opens every outgoing connection with {!Hello}. The accepting side
+    answers {!Welcome}[{ last_seen }] — the highest sequence number it
+    has {e processed} from this peer within the peer's current session
+    (0 for a new session, which also resets its dedup window). The
+    reconnecting sender treats everything at or below [last_seen] as
+    acked and retransmits the rest, making resume idempotent: the
+    receiver's window drops what it already saw, and [Broker_node]
+    drops a known key at an unchanged epoch. *)
+
+type role = Peer_role of int | Client_role of int
+
+type msg =
+  | Hello of { role : role; session : int; last_seen : int }
+      (** Connection opener. [last_seen] mirrors what this sender has
+          processed from the {e accepting} side, unused (0) on
+          client connections. *)
+  | Welcome of { session : int; last_seen : int }
+      (** Handshake answer; [session] echoes the acceptor's own session
+          id. *)
+  | Payload of Probsub_broker.Message.payload
+      (** A broker-protocol message; the origin is implied by the
+          connection's authenticated role. *)
+  | Notify of { client : int; key : int; pub_id : int }
+      (** Broker-to-client delivery of a matched publication. *)
+  | Frame_ack of { seq : int }
+      (** Acknowledges the control frame that crossed this connection
+          with sequence number [seq]. *)
+  | Bye  (** Graceful close. *)
+
+type cls = Control | Sheddable
+
+val class_of : msg -> cls
+(** Backpressure class: {!Sheddable} only for publication forwards and
+    notifications — control traffic is never shed. *)
+
+val acked : msg -> bool
+(** True for messages that ride the acked/retransmitted channel
+    (control payloads). Handshake and sheddable data are not acked. *)
+
+val encode : msg -> string
+(** Payload bytes, unframed. *)
+
+val decode : string -> (msg, string) result
+(** Total inverse of {!encode}: [Error] on any malformed or trailing
+    bytes, never raises. *)
+
+val frame : seq:int -> msg -> string
+(** Wrap in the checksummed on-wire frame. *)
+
+val pp : Format.formatter -> msg -> unit
+val pp_role : Format.formatter -> role -> unit

@@ -414,6 +414,132 @@ type frame_result =
   | Frame_bad_crc
   | Frame_undecodable of string
 
+(* ---------------- primitive re-exports ---------------- *)
+
+(* The wire protocol (lib/server) speaks the same primitive encodings
+   as the durable records, so the codec exposes them behind a total
+   API instead of having the transport grow a parallel implementation
+   that could drift. *)
+module Prim = struct
+  let write_uv = w_uv
+  let write_sv = w_sv
+  let write_f64 = w_f64
+  let write_subscription = w_sub
+
+  let total f s ~pos =
+    match f s pos with
+    | v -> Ok v
+    | exception Bad reason -> Error reason
+    | exception Invalid_argument reason -> Error reason
+
+  let read_uv s ~pos = total r_uv s ~pos
+  let read_sv s ~pos = total r_sv s ~pos
+  let read_f64 s ~pos = total r_f64 s ~pos
+  let read_subscription s ~pos = total r_sub s ~pos
+end
+
+(* ---------------- incremental decoder ---------------- *)
+
+(* Streaming counterpart of [read_frame]: a socket read loop feeds
+   whatever chunk arrived and pops whole frames, with the partial tail
+   retained across calls — no whole-message buffering on the caller's
+   side, and torn frames simply wait for the missing bytes. The flat
+   [bytes] window is compacted in place: [pos] walks forward as frames
+   are consumed and the live suffix is blitted back to the front
+   before a refill would grow the buffer. *)
+module Decoder = struct
+  type item =
+    | D_frame of { lsn : int; payload : string }
+    | D_need_more
+    | D_corrupt of string
+
+  type t = {
+    mutable buf : bytes;
+    mutable pos : int;  (* start of unconsumed bytes *)
+    mutable len : int;  (* unconsumed byte count *)
+    mutable dead : string option;  (* sticky corruption verdict *)
+  }
+
+  let create () = { buf = Bytes.create 4096; pos = 0; len = 0; dead = None }
+  let buffered t = t.len
+
+  let compact t =
+    if t.pos > 0 then begin
+      Bytes.blit t.buf t.pos t.buf 0 t.len;
+      t.pos <- 0
+    end
+
+  let reserve t extra =
+    let need = t.len + extra in
+    if t.pos + need > Bytes.length t.buf then begin
+      compact t;
+      if need > Bytes.length t.buf then begin
+        let cap = ref (Bytes.length t.buf * 2) in
+        while !cap < need do
+          cap := !cap * 2
+        done;
+        let fresh = Bytes.create !cap in
+        Bytes.blit t.buf 0 fresh 0 t.len;
+        t.buf <- fresh
+      end
+    end
+
+  let feed t src ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length src then
+      invalid_arg "Codec.Decoder.feed: bad slice";
+    reserve t len;
+    Bytes.blit src pos t.buf (t.pos + t.len) len;
+    t.len <- t.len + len
+
+  let feed_string t s =
+    feed t
+      (Bytes.unsafe_of_string s
+      [@problint.allow
+        unsafe
+          "zero-copy read-only view: feed only blits out of the source \
+           slice, never writes it"])
+      ~pos:0 ~len:(String.length s)
+
+  let get_u32b b pos =
+    Char.code (Bytes.get b pos)
+    lor (Char.code (Bytes.get b (pos + 1)) lsl 8)
+    lor (Char.code (Bytes.get b (pos + 2)) lsl 16)
+    lor (Char.code (Bytes.get b (pos + 3)) lsl 24)
+
+  let next t =
+    match t.dead with
+    | Some reason -> D_corrupt reason
+    | None ->
+        if t.len < 8 then D_need_more
+        else begin
+          let flen = get_u32b t.buf t.pos in
+          if flen > max_frame then begin
+            t.dead <- Some "frame length exceeds max_frame";
+            D_corrupt "frame length exceeds max_frame"
+          end
+          else if t.len < 8 + flen then D_need_more
+          else begin
+            let crc = get_u32b t.buf (t.pos + 4) in
+            let full = Bytes.sub_string t.buf (t.pos + 8) flen in
+            if Crc32.string_crc full ~pos:0 ~len:flen <> crc then begin
+              t.dead <- Some "frame checksum mismatch";
+              D_corrupt "frame checksum mismatch"
+            end
+            else
+              match r_uv full 0 with
+              | lsn, p ->
+                  t.pos <- t.pos + 8 + flen;
+                  t.len <- t.len - (8 + flen);
+                  if t.len = 0 then t.pos <- 0;
+                  D_frame
+                    { lsn; payload = String.sub full p (String.length full - p) }
+              | exception Bad reason ->
+                  t.dead <- Some reason;
+                  D_corrupt reason
+          end
+        end
+end
+
 let read_frame s ~pos =
   let n = String.length s in
   if pos < 0 || pos > n then Frame_truncated

@@ -86,3 +86,65 @@ type frame_result =
 val read_frame : string -> pos:int -> frame_result
 (** Parse one frame at [pos]; never raises. [pos = length] yields
     [Frame_truncated] (the clean-EOF case). *)
+
+(** Primitive field encodings (LEB128 varints, zigzag, IEEE-754 bits),
+    shared with the wire protocol of {!Probsub_server} so the two
+    layers cannot drift. Reads are total. *)
+module Prim : sig
+  val write_uv : Buffer.t -> int -> unit
+  (** Unsigned LEB128. @raise Invalid_argument on a negative value. *)
+
+  val write_sv : Buffer.t -> int -> unit
+  (** Zigzag-encoded signed varint. *)
+
+  val write_f64 : Buffer.t -> float -> unit
+  (** IEEE-754 bits, little-endian. *)
+
+  val write_subscription : Buffer.t -> Probsub_core.Subscription.t -> unit
+  (** Arity, then each range as two signed varints. *)
+
+  val read_uv : string -> pos:int -> (int * int, string) result
+  (** Value and the position just past it; [Error] on truncation or
+      overflow — never raises. *)
+
+  val read_sv : string -> pos:int -> (int * int, string) result
+  val read_f64 : string -> pos:int -> (float * int, string) result
+
+  val read_subscription :
+    string -> pos:int -> (Probsub_core.Subscription.t * int, string) result
+end
+
+(** Incremental frame decoder for byte streams: feed whatever chunk a
+    socket read produced, pop whole frames, and the partial tail stays
+    buffered until its bytes arrive — so transports never need
+    whole-frame reads. Agrees with {!read_frame} on every split of the
+    same byte string (fuzzed). Unlike WAL recovery, a stream has no
+    longest-valid-prefix to fall back to: the first damaged frame
+    poisons the decoder permanently ([D_corrupt] is sticky) and the
+    connection must be torn down and re-established. *)
+module Decoder : sig
+  type t
+
+  type item =
+    | D_frame of { lsn : int; payload : string }
+        (** One complete frame, CRC-verified. *)
+    | D_need_more  (** The buffered tail is a clean prefix of a frame. *)
+    | D_corrupt of string
+        (** Bad length, checksum or lsn; sticky — every later {!next}
+            returns it again. *)
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> pos:int -> len:int -> unit
+  (** Append a chunk (copied out of [src] immediately, so the caller
+      may reuse its read buffer). @raise Invalid_argument on a bad
+      slice. *)
+
+  val feed_string : t -> string -> unit
+
+  val next : t -> item
+  (** Pop the next complete frame, if the buffer holds one. *)
+
+  val buffered : t -> int
+  (** Bytes held for the partial tail (0 when fully drained). *)
+end

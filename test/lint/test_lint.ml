@@ -107,6 +107,9 @@ let test_classify () =
   Alcotest.(check bool) "lib" true c.Lint_ctx.in_lib;
   let b = Lint_ctx.classify ~file:"lib/broker/network.ml" in
   Alcotest.(check bool) "broker" true b.Lint_ctx.core_or_broker;
+  let sv = Lint_ctx.classify ~file:"lib/server/broker_server.ml" in
+  Alcotest.(check bool) "server is determinism-critical" true
+    sv.Lint_ctx.core_or_broker;
   let w = Lint_ctx.classify ~file:"lib/workload/dist.ml" in
   Alcotest.(check bool) "workload not core" false w.Lint_ctx.core_or_broker;
   Alcotest.(check bool) "workload in lib" true w.Lint_ctx.in_lib;

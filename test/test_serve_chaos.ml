@@ -1,0 +1,215 @@
+(* lib/server end-to-end: wire-codec totality and roundtrips, the
+   reconnect backoff policy, and the multi-process kill -9 chaos
+   scenario (fork a fleet, SIGKILL a broker mid-refresh-wave, restart
+   it from its WAL, audit that the recovered fleet misses nothing).
+
+   The chaos seed comes from PROBSUB_CHAOS_SEED when set, so CI can
+   sweep a seed matrix over the same binary; locally it defaults to
+   42. *)
+
+open Probsub_core
+module Wire = Probsub_server.Wire
+module Backoff = Probsub_server.Backoff
+module Harness = Probsub_server.Harness
+module Loadgen = Probsub_server.Loadgen
+module Message = Probsub_broker.Message
+module Audit = Probsub_broker.Audit
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let sample_msgs =
+  [
+    Wire.Hello { role = Wire.Peer_role 3; session = 123_456_789; last_seen = 0 };
+    Wire.Hello { role = Wire.Client_role 42; session = 1; last_seen = 17 };
+    Wire.Welcome { session = 99; last_seen = 5 };
+    Wire.Payload
+      (Message.Subscribe
+         {
+           key = 7;
+           sub = Subscription.of_bounds [ (1, 5); (2, 9) ];
+           epoch = 3;
+         });
+    Wire.Payload (Message.Unsubscribe { key = 9 });
+    Wire.Payload
+      (Message.Advertise
+         { key = 4; adv = Subscription.of_bounds [ (0, 100); (5, 6) ] });
+    Wire.Payload (Message.Unadvertise { key = 4 });
+    Wire.Payload (Message.Publish { id = 31; pub = Publication.point [| 3; 4 |] });
+    Wire.Payload
+      (Message.Publish
+         { id = 32; pub = Publication.box (Subscription.of_bounds [ (1, 2) ]) });
+    Wire.Payload (Message.Ack { seq = 12 });
+    Wire.Notify { client = 5; key = 7; pub_id = 31 };
+    Wire.Frame_ack { seq = 44 };
+    Wire.Bye;
+  ]
+
+(* Wire.msg holds abstract Subscription/Publication values; encoding is
+   deterministic, so byte-equality of encodings is a faithful equality
+   on messages. *)
+let test_wire_roundtrip () =
+  List.iter
+    (fun msg ->
+      let bytes = Wire.encode msg in
+      match Wire.decode bytes with
+      | Error e -> Alcotest.failf "decode failed: %s (%a)" e Wire.pp msg
+      | Ok msg' ->
+          Alcotest.(check string)
+            (Format.asprintf "%a" Wire.pp msg)
+            bytes (Wire.encode msg'))
+    sample_msgs
+
+let test_wire_rejects_trailing () =
+  List.iter
+    (fun msg ->
+      match Wire.decode (Wire.encode msg ^ "\x00") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "trailing byte accepted (%a)" Wire.pp msg)
+    sample_msgs
+
+let test_wire_rejects_truncation () =
+  List.iter
+    (fun msg ->
+      let bytes = Wire.encode msg in
+      for cut = 0 to String.length bytes - 1 do
+        match Wire.decode (String.sub bytes 0 cut) with
+        | Error _ -> ()
+        | Ok _ ->
+            (* A proper prefix may still decode iff it is itself a
+               complete message of another shape — but our tags pin the
+               length, so it must not. *)
+            Alcotest.failf "truncation to %d bytes accepted (%a)" cut Wire.pp
+              msg
+      done)
+    sample_msgs
+
+let test_wire_classes () =
+  let sheddable m = Wire.class_of m = Wire.Sheddable in
+  Alcotest.(check bool)
+    "publish is sheddable" true
+    (sheddable
+       (Wire.Payload (Message.Publish { id = 1; pub = Publication.point [| 0 |] })));
+  Alcotest.(check bool)
+    "notify is sheddable" true
+    (sheddable (Wire.Notify { client = 1; key = 1; pub_id = 1 }));
+  Alcotest.(check bool)
+    "subscribe is control" false
+    (sheddable
+       (Wire.Payload
+          (Message.Subscribe
+             { key = 1; sub = Subscription.of_bounds [ (0, 1) ]; epoch = 0 })));
+  Alcotest.(check bool) "hello is control" false (sheddable (Wire.Bye));
+  (* Only control-plane payloads ride the acked channel. *)
+  Alcotest.(check bool)
+    "subscribe is acked" true
+    (Wire.acked
+       (Wire.Payload
+          (Message.Subscribe
+             { key = 1; sub = Subscription.of_bounds [ (0, 1) ]; epoch = 0 })));
+  Alcotest.(check bool)
+    "publish is not acked" false
+    (Wire.acked
+       (Wire.Payload (Message.Publish { id = 1; pub = Publication.point [| 0 |] })));
+  Alcotest.(check bool)
+    "welcome is not acked" false
+    (Wire.acked (Wire.Welcome { session = 1; last_seen = 0 }))
+
+let prop_decode_total =
+  QCheck.Test.make ~count:500 ~name:"Wire.decode is total on arbitrary bytes"
+    QCheck.(string_of_size (Gen.int_bound 64))
+    (fun s ->
+      match Wire.decode s with Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Backoff *)
+
+let test_backoff_bounds () =
+  let base = 0.05 and cap = 2.0 in
+  let b = Backoff.create ~base ~cap ~seed:7 () in
+  for attempt = 0 to 12 do
+    match Backoff.next_delay b with
+    | None -> Alcotest.fail "unbounded budget refused"
+    | Some d ->
+        let ideal = Float.min cap (base *. (2.0 ** float_of_int attempt)) in
+        if d < ideal *. 0.75 || d >= ideal *. 1.25 then
+          Alcotest.failf "attempt %d: delay %g outside [%g, %g)" attempt d
+            (ideal *. 0.75) (ideal *. 1.25)
+  done
+
+let test_backoff_budget_and_reset () =
+  let b = Backoff.create ~base:0.01 ~cap:0.1 ~max_attempts:3 ~seed:1 () in
+  Alcotest.(check bool) "1st" true (Backoff.next_delay b <> None);
+  Alcotest.(check bool) "2nd" true (Backoff.next_delay b <> None);
+  Alcotest.(check bool) "3rd" true (Backoff.next_delay b <> None);
+  Alcotest.(check bool) "exhausted" true (Backoff.next_delay b = None);
+  Alcotest.(check bool) "still exhausted" true (Backoff.next_delay b = None);
+  Backoff.reset b;
+  Alcotest.(check int) "attempts reset" 0 (Backoff.attempts b);
+  match Backoff.next_delay b with
+  | None -> Alcotest.fail "budget not restored by reset"
+  | Some d ->
+      Alcotest.(check bool)
+        "restarts from base" true
+        (d >= 0.01 *. 0.75 && d < 0.01 *. 1.25)
+
+let test_backoff_deterministic () =
+  let seq seed =
+    let b = Backoff.create ~seed () in
+    List.init 8 (fun _ -> Backoff.next_delay b)
+  in
+  Alcotest.(check bool) "same seed, same delays" true (seq 33 = seq 33);
+  Alcotest.(check bool) "different seeds diverge" true (seq 33 <> seq 34)
+
+(* ------------------------------------------------------------------ *)
+(* The kill -9 chaos scenario *)
+
+let chaos_seed () =
+  match Option.bind (Sys.getenv_opt "PROBSUB_CHAOS_SEED") int_of_string_opt with
+  | Some seed -> seed
+  | None -> 42
+
+let test_chaos_kill9_recovery () =
+  let seed = chaos_seed () in
+  let cc = Harness.config ~seed ~pubs:10 () in
+  let r = Harness.run cc in
+  let phase name (p : Loadgen.result) =
+    let report = p.Loadgen.audit in
+    if not (Audit.is_clean report) then
+      Alcotest.failf "%s phase (seed %d): %a" name seed Audit.pp report;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s phase verdicts byte-identical (seed %d)" name seed)
+      true p.Loadgen.verdicts_match;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s phase delivered everything (seed %d)" name seed)
+      true
+      (p.Loadgen.expected = p.Loadgen.delivered)
+  in
+  phase "pre-kill" r.Harness.pre;
+  phase "post-recovery" r.Harness.post;
+  Alcotest.(check bool)
+    (Printf.sprintf "audit clean across kill -9 recovery (seed %d)" seed)
+    true r.Harness.clean;
+  Alcotest.(check bool)
+    (Printf.sprintf "recovered promptly (%.3fs, seed %d)" r.Harness.recovery_seconds
+       seed)
+    true
+    (r.Harness.recovery_seconds < 30.0)
+
+let suite =
+  [
+    Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire rejects trailing bytes" `Quick
+      test_wire_rejects_trailing;
+    Alcotest.test_case "wire rejects truncation" `Quick
+      test_wire_rejects_truncation;
+    Alcotest.test_case "wire classes and ack channel" `Quick test_wire_classes;
+    QCheck_alcotest.to_alcotest prop_decode_total;
+    Alcotest.test_case "backoff bounds" `Quick test_backoff_bounds;
+    Alcotest.test_case "backoff budget and reset" `Quick
+      test_backoff_budget_and_reset;
+    Alcotest.test_case "backoff deterministic per seed" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "kill -9 chaos: durable restart misses nothing" `Slow
+      test_chaos_kill9_recovery;
+  ]

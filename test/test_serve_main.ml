@@ -1,0 +1,6 @@
+(* The serve_chaos suite lives in its own executable: the chaos
+   harness forks broker processes, and OCaml 5 forbids [Unix.fork] in
+   any process that has ever spawned a domain — which the main test
+   binary does (domain-pool, parallel-RSPC and shard suites). This
+   process creates no domains, so fork-without-exec stays legal. *)
+let () = Alcotest.run "probsub-serve" [ ("serve_chaos", Test_serve_chaos.suite) ]
