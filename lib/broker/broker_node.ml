@@ -43,6 +43,16 @@ type t = {
 }
 
 let id t = t.id
+
+(* The interned-id tables (key<->id, id->origin) are kept in lockstep
+   with the stores; a missing entry is a broken internal invariant.
+   Report it with context instead of leaking a bare Not_found out of a
+   handler. *)
+let table_get tbl k ~what =
+  match Hashtbl.find_opt tbl k with
+  | Some v -> v
+  | None -> invalid_arg ("Broker_node: lockstep table missing " ^ what)
+
 let knows_subscription t ~key = Hashtbl.mem t.r_key_to_id key
 
 let subscription_epoch t ~key =
@@ -397,7 +407,7 @@ let handle_unsubscribe t ~origin ~key =
               let promotions =
                 List.map
                   (fun pid' ->
-                    let key' = Hashtbl.find p.id_to_key pid' in
+                    let key' = table_get p.id_to_key pid' ~what:"peer key for promoted id" in
                     let sub' = Subscription_store.find p.store pid' in
                     Forward
                       {
@@ -447,7 +457,7 @@ let handle_advertise t ~now ~origin ~key ~adv =
           in
           List.concat_map
             (fun (rid, sub_origin) ->
-              let key' = Hashtbl.find t.r_id_to_key rid in
+              let key' = table_get t.r_id_to_key rid ~what:"routing key for pending id" in
               let sub = Subscription_store.find t.routing rid in
               let towards_origin =
                 match sub_origin with
@@ -485,8 +495,8 @@ let handle_publish t ~origin ~pub_id ~pub =
     (* first-seen order, O(1) membership *)
     List.iter
       (fun rid ->
-        let key = Hashtbl.find t.r_id_to_key rid in
-        match Hashtbl.find t.r_origin rid with
+        let key = table_get t.r_id_to_key rid ~what:"routing key for matched id" in
+        match table_get t.r_origin rid ~what:"origin for matched id" with
         | Message.Client c ->
             notifications := Notify { client = c; key; pub_id } :: !notifications
         | Message.Publisher -> ()
@@ -558,7 +568,7 @@ let sweep t ~now =
           expired;
         List.map
           (fun pid ->
-            let key = Hashtbl.find p.id_to_key pid in
+            let key = table_get p.id_to_key pid ~what:"peer key for promoted id" in
             let sub = Subscription_store.find p.store pid in
             Forward
               {
@@ -597,7 +607,7 @@ let collect_bindings t =
       match Hashtbl.find_opt t.r_id_to_key rid with
       | None -> None
       | Some key ->
-          let okind, oarg = origin_code (Hashtbl.find t.r_origin rid) in
+          let okind, oarg = origin_code (table_get t.r_origin rid ~what:"origin for snapshot id") in
           Some
             {
               Log_codec.b_rid = rid;

@@ -103,7 +103,14 @@ let flat_pack t =
             "order-insensitive: key collection is sorted on the next line"])
         |> List.sort Int.compare |> Array.of_list
       in
-      let subs = Array.map (fun id -> Hashtbl.find t.subs id) ids in
+      let subs =
+        Array.map
+          (fun id ->
+            match Hashtbl.find_opt t.subs id with
+            | Some sub -> sub
+            | None -> invalid_arg "Counting_matcher.flat_pack: id vanished")
+          ids
+      in
       let pack = (ids, Flat.pack ~m:t.arity subs) in
       t.flat <- Some pack;
       pack

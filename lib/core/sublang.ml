@@ -17,7 +17,11 @@ type token =
 
 exception Error of string
 
-let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let fail fmt =
+  (Format.kasprintf (fun s -> raise (Error s)) fmt
+  [@problint.allow exn_flow
+    "documented typed parse-error contract: Sublang.Error is the module's \
+     public error channel and parse entry points document raising it"])
 
 let is_ident_char c =
   match c with

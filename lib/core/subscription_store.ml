@@ -456,8 +456,12 @@ let match_publication t p =
           if not (Hashtbl.mem tested child) then begin
             Hashtbl.replace tested child ();
             t.covered_scans <- t.covered_scans + 1;
-            let e = Hashtbl.find t.entries child in
-            if Publication.matches e.sub p then hits := child :: !hits
+            match Hashtbl.find_opt t.entries child with
+            | None ->
+                invalid_arg
+                  "Subscription_store.match_publication: dangling child"
+            | Some e ->
+                if Publication.matches e.sub p then hits := child :: !hits
           end)
         (Option.value ~default:[] (Hashtbl.find_opt t.children coverer)))
     !matched_actives;

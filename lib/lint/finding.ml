@@ -1,4 +1,17 @@
-(* A single diagnostic, plus the text and JSON reporters. *)
+(* A single diagnostic, plus the text and JSON reporters.
+
+   Interprocedural findings carry a [chain]: the call path from the
+   entry point down to the offending expression, one step per hop.
+   Syntactic findings have an empty chain. The JSON report is
+   versioned ([schema_version]) so downstream CI tooling can rely on
+   the shape; bump it on any incompatible change. *)
+
+type step = {
+  s_name : string;  (** qualified symbol, e.g. ["Broker_server.step"] *)
+  s_file : string;
+  s_line : int;
+  s_col : int;
+}
 
 type t = {
   rule : string;
@@ -7,9 +20,23 @@ type t = {
   col : int;
   cnum : int;  (** absolute character offset, used for suppression scopes *)
   message : string;
+  chain : step list;
+      (** entry point first, offending expression last; [] for
+          per-file syntactic findings *)
 }
 
-let make ~rule ~(loc : Ppxlib.Location.t) ~message =
+let schema_version = 2
+
+let step ~name ~(loc : Ppxlib.Location.t) =
+  let p = loc.loc_start in
+  {
+    s_name = name;
+    s_file = p.pos_fname;
+    s_line = p.pos_lnum;
+    s_col = p.pos_cnum - p.pos_bol;
+  }
+
+let make ?(chain = []) ~rule ~(loc : Ppxlib.Location.t) ~message () =
   let p = loc.loc_start in
   {
     rule;
@@ -18,6 +45,7 @@ let make ~rule ~(loc : Ppxlib.Location.t) ~message =
     col = p.pos_cnum - p.pos_bol;
     cnum = p.pos_cnum;
     message;
+    chain;
   }
 
 let compare a b =
@@ -31,7 +59,17 @@ let compare a b =
       if c <> 0 then c else String.compare a.rule b.rule
 
 let to_text f =
-  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+  let head = Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message in
+  match f.chain with
+  | [] -> head
+  | chain ->
+      String.concat "\n"
+        (head
+        :: List.mapi
+             (fun i s ->
+               Printf.sprintf "    %d. %s (%s:%d:%d)" (i + 1) s.s_name
+                 s.s_file s.s_line s.s_col)
+             chain)
 
 (* Minimal JSON string escaping: control characters, quotes and
    backslashes; everything else passes through byte-for-byte. *)
@@ -53,19 +91,30 @@ let json_string s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+let step_to_json s =
+  Printf.sprintf "{ \"name\": %s, \"file\": %s, \"line\": %d, \"col\": %d }"
+    (json_string s.s_name) (json_string s.s_file) s.s_line s.s_col
+
 let to_json f =
   Printf.sprintf
-    "{ \"rule\": %s, \"file\": %s, \"line\": %d, \"col\": %d, \"message\": %s \
-     }"
+    "{ \"rule\": %s, \"file\": %s, \"line\": %d, \"col\": %d, \"message\": %s, \
+     \"chain\": [%s] }"
     (json_string f.rule) (json_string f.file) f.line f.col
     (json_string f.message)
+    (String.concat ", " (List.map step_to_json f.chain))
 
 let report_text findings =
   String.concat "" (List.map (fun f -> to_text f ^ "\n") findings)
 
-let report_json ~suppressed findings =
+(* The versioned machine-readable report. [suppressed] counts findings
+   silenced by reasoned allow annotations in this run; [scopes] counts
+   the allow annotations themselves (the suppression budget CI gates
+   on). *)
+let report_json ~suppressed ~scopes findings =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"findings\": [";
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"schema_version\": %d,\n  \"findings\": ["
+       schema_version);
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char buf ',';
@@ -75,6 +124,7 @@ let report_json ~suppressed findings =
   if findings <> [] then Buffer.add_string buf "\n  ";
   Buffer.add_string buf "],\n";
   Buffer.add_string buf
-    (Printf.sprintf "  \"count\": %d,\n  \"suppressed\": %d\n}\n"
-       (List.length findings) suppressed);
+    (Printf.sprintf
+       "  \"count\": %d,\n  \"suppressed\": %d,\n  \"scopes\": %d\n}\n"
+       (List.length findings) suppressed scopes);
   Buffer.contents buf

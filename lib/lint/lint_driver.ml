@@ -1,11 +1,23 @@
-(* The analysis driver: walk source directories, parse every [.ml]
-   with ppxlib's parser, run the registry, and report. Exit status 0
-   means the tree is clean (every finding either fixed or suppressed
-   with a written reason). *)
+(* The two-phase analysis driver.
+
+   Phase 1 walks the source directories, parses every [.ml] with
+   ppxlib's parser, and builds the whole-repo [Model] (module table,
+   definitions, call graph, suppression scopes).
+
+   Phase 2 runs the five per-file syntactic rules on each unit and the
+   three interprocedural passes on the model, applies suppression
+   scopes globally (recording which scopes earned their keep), appends
+   suppression-hygiene findings, and finally reports every well-formed
+   allow annotation that suppressed nothing in the run — suppressions
+   must not rot as the code under them changes.
+
+   Exit status 0 means the tree is clean (every finding either fixed
+   or suppressed with a written reason). *)
 
 type result = {
   findings : Finding.t list;
   suppressed : int;
+  scopes : int;  (** total [@problint.allow] annotations seen (CI budget) *)
   files_scanned : int;
 }
 
@@ -18,23 +30,29 @@ let parse_file path =
       Lexing.set_filename lexbuf path;
       Ppxlib.Parse.implementation lexbuf)
 
-let check_file path =
-  match parse_file path with
-  | str ->
-      let ctx = Lint_ctx.classify ~file:path in
-      Registry.check_structure ctx str
-  | exception exn ->
-      ( [
-          {
-            Finding.rule = "parse";
-            file = path;
-            line = 1;
-            col = 0;
-            cnum = 0;
-            message = Printexc.to_string exn;
-          };
-        ],
-        0 )
+(* A parse failure reports the real syntax-error position when the
+   exception carries one (ppxlib wraps compiler syntax errors in a
+   located error); the fallback is the top of the file. *)
+let parse_failure_finding path exn =
+  let loc, message =
+    match Ppxlib.Location.Error.of_exn exn with
+    | Some err ->
+        ( Ppxlib.Location.Error.get_location err,
+          Ppxlib.Location.Error.message err )
+    | None ->
+        ( { Ppxlib.Location.none with
+            loc_start = { pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+          },
+          Printexc.to_string exn )
+  in
+  let loc =
+    (* The error location may come from the lexbuf with the right
+       position but no filename, or vice versa; force the display path. *)
+    { loc with
+      Ppxlib.Location.loc_start = { loc.Ppxlib.Location.loc_start with pos_fname = path }
+    }
+  in
+  Finding.make ~rule:"parse" ~loc ~message ()
 
 (* Skip build artifacts and hidden directories; scan only [.ml]
    implementations (interfaces contain no expressions). *)
@@ -52,18 +70,108 @@ let rec walk path acc =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
+let load_unit path =
+  match parse_file path with
+  | str ->
+      let collected = Suppress.collect str in
+      let ctx = Lint_ctx.classify ~file:path in
+      let ctx =
+        { ctx with Lint_ctx.hot = ctx.Lint_ctx.hot || collected.Suppress.hot }
+      in
+      Ok
+        {
+          Model.u_file = path;
+          u_module = Model.module_name_of_file path;
+          u_ctx = ctx;
+          u_str = str;
+          u_collected = collected;
+          u_aliases = Model.aliases_of str;
+        }
+  | exception exn -> Error (parse_failure_finding path exn)
+
+(* Apply suppression scopes to a finding batch, marking every scope
+   that suppresses something as used in the model's ledger. *)
+let apply_suppressions (model : Model.t) by_file findings =
+  let suppressed = ref 0 in
+  let kept =
+    List.filter
+      (fun (f : Finding.t) ->
+        match Hashtbl.find_opt by_file f.Finding.file with
+        | None -> true
+        | Some (collected : Suppress.collected) -> (
+            match
+              List.find_opt
+                (fun s -> Suppress.suppresses s f)
+                collected.Suppress.scopes
+            with
+            | Some s ->
+                Model.mark_used model s;
+                incr suppressed;
+                false
+            | None -> true))
+      findings
+  in
+  (kept, !suppressed)
+
 let run ~paths =
   let files = List.rev (List.fold_left (fun acc p -> walk p acc) [] paths) in
-  let findings, suppressed =
+  let units, parse_findings =
     List.fold_left
-      (fun (fs, sup) file ->
-        let f, s = check_file file in
-        (f @ fs, sup + s))
-      ([], 0) files
+      (fun (us, pf) file ->
+        match load_unit file with
+        | Ok u -> (u :: us, pf)
+        | Error f -> (us, f :: pf))
+      ([], []) files
+  in
+  let units = List.rev units in
+  let model = Model.build units in
+  let by_file = Hashtbl.create 64 in
+  List.iter
+    (fun (u : Model.unit_info) ->
+      Hashtbl.replace by_file u.Model.u_file u.Model.u_collected)
+    units;
+  let syntactic =
+    List.concat_map
+      (fun (u : Model.unit_info) ->
+        List.concat_map
+          (fun (r : Rule.t) -> r.check u.Model.u_ctx u.Model.u_str)
+          Registry.rules)
+      units
+  in
+  let interprocedural =
+    List.concat_map (fun (p : Pass.t) -> p.Pass.check model) Registry.passes
+  in
+  let kept, suppressed =
+    apply_suppressions model by_file (syntactic @ interprocedural)
+  in
+  let hygiene =
+    List.concat_map
+      (fun (u : Model.unit_info) ->
+        Registry.hygiene_findings u.Model.u_collected)
+      units
+  in
+  let unused =
+    List.concat_map
+      (fun (u : Model.unit_info) ->
+        List.filter_map
+          (fun (s : Suppress.scope) ->
+            if Registry.scope_well_formed s && not (Model.scope_used model s)
+            then Some (Registry.unused_finding s)
+            else None)
+          u.Model.u_collected.Suppress.scopes)
+      units
+  in
+  let scopes =
+    List.fold_left
+      (fun n (u : Model.unit_info) ->
+        n + List.length u.Model.u_collected.Suppress.scopes)
+      0 units
   in
   {
-    findings = List.sort Finding.compare findings;
+    findings =
+      List.sort Finding.compare (parse_findings @ kept @ hygiene @ unused);
     suppressed;
+    scopes;
     files_scanned = List.length files;
   }
 
@@ -71,7 +179,11 @@ let list_rules () =
   String.concat ""
     (List.map
        (fun (r : Rule.t) -> Printf.sprintf "%-12s %s\n" r.name r.doc)
-       Registry.all)
+       Registry.rules
+    @ List.map
+        (fun (p : Pass.t) ->
+          Printf.sprintf "%-12s %s\n" p.Pass.name p.Pass.doc)
+        Registry.passes)
 
 (* CLI entry shared with bin/problint.ml. *)
 let main argv =
@@ -101,14 +213,17 @@ let main argv =
         2
     | [] ->
         let r = run ~paths in
-        if !json then print_string (Finding.report_json ~suppressed:r.suppressed r.findings)
+        if !json then
+          print_string
+            (Finding.report_json ~suppressed:r.suppressed ~scopes:r.scopes
+               r.findings)
         else begin
           print_string (Finding.report_text r.findings);
           Printf.printf
-            "problint: %d finding%s (%d suppressed) in %d file%s\n"
+            "problint: %d finding%s (%d suppressed, %d scopes) in %d file%s\n"
             (List.length r.findings)
             (if List.length r.findings = 1 then "" else "s")
-            r.suppressed r.files_scanned
+            r.suppressed r.scopes r.files_scanned
             (if r.files_scanned = 1 then "" else "s")
         end;
         if r.findings = [] then 0 else 1

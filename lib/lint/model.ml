@@ -1,0 +1,312 @@
+(* Phase 1 of the two-phase driver: the whole-repo model.
+
+   Every [.ml] under the scanned paths is parsed once; from the parse
+   trees we build
+
+   - a module table (capitalized basename -> compilation unit, with
+     per-file [module X = Path.To.M] aliases expanded, so [Message.f]
+     inside lib/server resolves through [module Message =
+     Probsub_broker.Message] to lib/broker/message.ml);
+   - per-module top-level value definitions, including values nested
+     in [module Sub = struct ... end] (recorded as ["Sub.f"]);
+   - a cross-module call graph: an edge per resolvable identifier
+     reference inside a definition body (reference anywhere, not just
+     application heads, so first-class uses like [List.iter Conn.close]
+     keep their effects);
+   - absorption regions: character ranges lexically under [try ... with]
+     or under the scrutinee of a [match] that has [exception] branches.
+     Raise effects do not propagate out of an absorbed region; blocking
+     effects always do (catching an exception does not unblock a
+     syscall);
+   - the suppression scopes of every file, with a shared used-scope
+     ledger so the driver can report allow annotations that suppressed
+     nothing in the whole run.
+
+   Known approximations, on purpose (this is a lint, not a verifier):
+   references are resolved by module basename and one level of local
+   alias; [open]-based unqualified cross-module references and
+   closures passed through record fields are not tracked — effects of
+   closures are attributed to the function that defines them. *)
+
+open Ppxlib
+
+type unit_info = {
+  u_file : string;
+  u_module : string;  (** capitalized basename, e.g. ["Conn"] *)
+  u_ctx : Lint_ctx.t;
+  u_str : structure;
+  u_collected : Suppress.collected;
+  u_aliases : (string * string) list;
+      (** local [module X = ...M] aliases: X -> M *)
+}
+
+type def = {
+  d_index : int;
+  d_qual : string;  (** display name, e.g. ["Broker_server.step"] *)
+  d_name : string;  (** name within the unit, e.g. ["step"] or ["Sub.f"] *)
+  d_unit : unit_info;
+  d_loc : Location.t;
+  d_body : expression;
+}
+
+type call = {
+  c_caller : int;
+  c_callee : int;
+  c_loc : Location.t;  (** the reference site, inside the caller *)
+  c_absorbed : bool;  (** reference sits inside an absorption region *)
+}
+
+type t = {
+  units : unit_info list;
+  defs : def array;
+  by_module : (string, unit_info) Hashtbl.t;
+  def_lookup : (string * string, int) Hashtbl.t;  (** (module, name) -> index *)
+  calls : call list array;  (** outgoing, per def *)
+  callers : call list array;  (** incoming, per def *)
+  absorb : (int, (int * int) list) Hashtbl.t;  (** def -> absorbed cnum ranges *)
+  used_scopes : (string * int, unit) Hashtbl.t;  (** (file, attr cnum) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let module_name_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let rec last_component = function
+  | Longident.Lident s -> Some s
+  | Ldot (_, s) -> Some s
+  | Lapply (_, l) -> last_component l
+
+let aliases_of (str : structure) =
+  List.filter_map
+    (fun si ->
+      match si.pstr_desc with
+      | Pstr_module
+          {
+            pmb_name = { txt = Some alias; _ };
+            pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
+            _;
+          } ->
+          Option.map (fun target -> (alias, target)) (last_component txt)
+      | _ -> None)
+    str
+
+(* Top-level value definitions, descending into [module Sub = struct]
+   substructures with a dotted prefix. A later binding of the same
+   name shadows the earlier one in the lookup table (the common case:
+   references after the second definition). *)
+let defs_of_unit u =
+  let out = ref [] in
+  let rec structure prefix str =
+    List.iter
+      (fun si ->
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                let rec name_of p =
+                  match p.ppat_desc with
+                  | Ppat_var v -> Some v.txt
+                  | Ppat_constraint (p, _) -> name_of p
+                  | _ -> None
+                in
+                match name_of vb.pvb_pat with
+                | Some name ->
+                    let d_name = prefix ^ name in
+                    out :=
+                      {
+                        d_index = 0 (* assigned later *);
+                        d_qual = u.u_module ^ "." ^ d_name;
+                        d_name;
+                        d_unit = u;
+                        d_loc = vb.pvb_loc;
+                        d_body = vb.pvb_expr;
+                      }
+                      :: !out
+                | None -> ())
+              vbs
+        | Pstr_module
+            {
+              pmb_name = { txt = Some sub; _ };
+              pmb_expr = { pmod_desc = Pmod_structure inner; _ };
+              _;
+            } ->
+            structure (prefix ^ sub ^ ".") inner
+        | _ -> ())
+      str
+  in
+  structure "" u.u_str;
+  List.rev !out
+
+(* Character ranges (within one definition body) whose raise effects
+   are locally handled: bodies of [try], and scrutinees of a [match]
+   that carries at least one [exception] branch. *)
+let absorb_ranges_of_body body =
+  let ranges = ref [] in
+  let add (e : expression) =
+    ranges := (e.pexp_loc.loc_start.pos_cnum, e.pexp_loc.loc_end.pos_cnum) :: !ranges
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_try (body, _) -> add body
+        | Pexp_match (scrut, cases) ->
+            let has_exn_case =
+              List.exists
+                (fun c ->
+                  match c.pc_lhs.ppat_desc with
+                  | Ppat_exception _ -> true
+                  | _ -> false)
+                cases
+            in
+            if has_exn_case then add scrut
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression body;
+  !ranges
+
+let in_ranges ranges cnum =
+  List.exists (fun (lo, hi) -> lo <= cnum && cnum <= hi) ranges
+
+let absorbed_at t ~def ~(loc : Location.t) =
+  match Hashtbl.find_opt t.absorb def with
+  | Some ranges -> in_ranges ranges loc.loc_start.pos_cnum
+  | None -> false
+
+(* Resolve an identifier reference made inside unit [u] to a known
+   definition. Unqualified names resolve within the same unit;
+   qualified names resolve their last module component through the
+   local alias table and then the repo-wide module table. *)
+let resolve t (u : unit_info) lid =
+  let lookup m name = Hashtbl.find_opt t.def_lookup (m, name) in
+  match Lint_ast.flatten_lid lid with
+  | [] -> None
+  | [ name ] -> lookup u.u_module name
+  | parts -> (
+      let name = List.nth parts (List.length parts - 1) in
+      let modname = List.nth parts (List.length parts - 2) in
+      let modname =
+        match List.assoc_opt modname u.u_aliases with
+        | Some target -> target
+        | None -> modname
+      in
+      match Hashtbl.find_opt t.by_module modname with
+      | Some target -> lookup target.u_module name
+      | None -> None)
+
+let build (units : unit_info list) =
+  let by_module = Hashtbl.create 64 in
+  let ambiguous = Hashtbl.create 4 in
+  List.iter
+    (fun u ->
+      if Hashtbl.mem by_module u.u_module then
+        Hashtbl.replace ambiguous u.u_module ()
+      else Hashtbl.replace by_module u.u_module u)
+    units;
+  (* A duplicated basename cannot be resolved soundly: drop it from the
+     module table rather than guess. *)
+  Hashtbl.iter (fun m () -> Hashtbl.remove by_module m) ambiguous;
+  let defs =
+    Array.of_list (List.concat_map defs_of_unit units)
+  in
+  Array.iteri (fun i d -> defs.(i) <- { d with d_index = i }) defs;
+  let def_lookup = Hashtbl.create 256 in
+  Array.iter
+    (fun d -> Hashtbl.replace def_lookup (d.d_unit.u_module, d.d_name) d.d_index)
+    defs;
+  let absorb = Hashtbl.create 64 in
+  Array.iter
+    (fun d ->
+      match absorb_ranges_of_body d.d_body with
+      | [] -> ()
+      | ranges -> Hashtbl.replace absorb d.d_index ranges)
+    defs;
+  let t =
+    {
+      units;
+      defs;
+      by_module;
+      def_lookup;
+      calls = Array.make (Array.length defs) [];
+      callers = Array.make (Array.length defs) [];
+      absorb;
+      used_scopes = Hashtbl.create 64;
+    }
+  in
+  (* Call edges: every resolvable identifier reference, deduplicated
+     per (caller, callee) keeping the first (chain-stable) site. *)
+  Array.iter
+    (fun d ->
+      let seen = Hashtbl.create 8 in
+      let edges = ref [] in
+      let it =
+        object
+          inherit Ast_traverse.iter as super
+
+          method! expression e =
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc } -> (
+                match resolve t d.d_unit txt with
+                | Some callee when callee <> d.d_index ->
+                    if not (Hashtbl.mem seen callee) then begin
+                      Hashtbl.replace seen callee ();
+                      edges :=
+                        {
+                          c_caller = d.d_index;
+                          c_callee = callee;
+                          c_loc = loc;
+                          c_absorbed = absorbed_at t ~def:d.d_index ~loc;
+                        }
+                        :: !edges
+                    end
+                | _ -> ())
+            | _ -> ());
+            super#expression e
+        end
+      in
+      it#expression d.d_body;
+      t.calls.(d.d_index) <- List.rev !edges)
+    defs;
+  Array.iter
+    (fun d ->
+      List.iter
+        (fun c -> t.callers.(c.c_callee) <- c :: t.callers.(c.c_callee))
+        t.calls.(d.d_index))
+    defs;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Suppression queries shared by the passes *)
+
+let scope_key (s : Suppress.scope) =
+  (s.loc.loc_start.pos_fname, s.loc.loc_start.pos_cnum)
+
+let mark_used t (s : Suppress.scope) = Hashtbl.replace t.used_scopes (scope_key s) ()
+let scope_used t (s : Suppress.scope) = Hashtbl.mem t.used_scopes (scope_key s)
+
+(* Is there a reasoned [@problint.allow rule "..."] covering character
+   [cnum] of [file]? Marks the scope used on a hit: preventing a seed
+   from propagating is a real use. *)
+let allowed t ~rule ~(u : unit_info) ~cnum =
+  let hit =
+    List.find_opt
+      (fun (s : Suppress.scope) ->
+        String.equal s.rule rule
+        && String.length (String.trim s.reason) > 0
+        && s.start_c <= cnum && cnum <= s.end_c)
+      u.u_collected.Suppress.scopes
+  in
+  match hit with
+  | Some s ->
+      mark_used t s;
+      true
+  | None -> false
+
+let find_def t ~modname ~name =
+  Option.map (fun i -> t.defs.(i)) (Hashtbl.find_opt t.def_lookup (modname, name))

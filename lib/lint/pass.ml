@@ -1,0 +1,9 @@
+(* An interprocedural pass: runs once over the whole-repo model (phase
+   2 of the driver), in contrast to [Rule.t] which runs per file over a
+   single parse tree. Passes may emit findings with a call [chain]. *)
+
+type t = {
+  name : string;  (** the rule name used in findings and allow scopes *)
+  doc : string;
+  check : Model.t -> Finding.t list;
+}

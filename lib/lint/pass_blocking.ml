@@ -1,0 +1,64 @@
+(* Event-loop blocking taint.
+
+   Roots are the top-level definitions of every module that carries a
+   floating [\[@@@problint.event_loop\]] attribute (the select loop in
+   Broker_server and the per-connection handlers in Conn). Seeds are
+   blocking primitives (see [Summary.blocking_seeds]): sleeps,
+   synchronous waits, [Unix.connect], wall-clock reads outside [Clock],
+   stdout/stderr formatting, channel I/O, and raw fd I/O in modules
+   that never establish the [Unix.set_nonblock] discipline.
+
+   Blocking propagates through every call edge — absorption is
+   irrelevant, catching an exception does not unblock a syscall. One
+   finding per seed, at the root with the shortest chain: a blocking
+   primitive stalls every connection on the loop regardless of how many
+   roots can reach it. *)
+
+let name = "blocking"
+
+let doc =
+  "a blocking primitive (sleep, connect, wall-clock read outside Clock, \
+   stdout formatting, channel or raw-fd I/O without the set_nonblock \
+   discipline) is reachable from an [@@@problint.event_loop] module"
+
+let is_root (d : Model.def) =
+  d.Model.d_unit.Model.u_collected.Suppress.event_loop
+
+let check (model : Model.t) =
+  let prop =
+    Summary.propagate model
+      ~own_seeds:(fun d -> Summary.blocking_seeds model d)
+      ~respect_absorption:false
+  in
+  let best = Hashtbl.create 32 in
+  Array.iter
+    (fun (d : Model.def) ->
+      if is_root d then
+        List.iter
+          (fun (key, (r : Summary.reach)) ->
+            match Hashtbl.find_opt best key with
+            | Some (_, (r' : Summary.reach), qual')
+              when r'.Summary.r_depth < r.Summary.r_depth
+                   || (r'.Summary.r_depth = r.Summary.r_depth
+                      && String.compare qual' d.Model.d_qual <= 0) ->
+                ()
+            | _ ->
+                Hashtbl.replace best key
+                  (d.Model.d_index, r, d.Model.d_qual))
+          (Summary.reaches_of prop ~def:d.Model.d_index))
+    model.Model.defs;
+  Hashtbl.fold
+    (fun key (def, (r : Summary.reach), _) acc ->
+      let seed = Hashtbl.find prop.Summary.seeds key in
+      let d = model.Model.defs.(def) in
+      let chain = Summary.chain model prop ~def ~key in
+      let message =
+        Printf.sprintf
+          "event-loop root %s can block: %s at %s:%d (%d-step chain)"
+          d.Model.d_qual seed.Summary.sd_desc
+          seed.Summary.sd_loc.loc_start.pos_fname
+          seed.Summary.sd_loc.loc_start.pos_lnum r.Summary.r_depth
+      in
+      Finding.make ~chain ~rule:name ~loc:d.Model.d_loc ~message () :: acc)
+    best []
+  |> List.sort Finding.compare

@@ -1,0 +1,91 @@
+(* Interprocedural exception flow.
+
+   Seeds are raising expressions (see [Summary.raise_seeds]): partial
+   primitives, [raise] of a named repo exception, and [Hashtbl.find].
+   Seeds propagate caller-ward along unabsorbed call edges; a finding
+   is emitted at the *entry point* — a definition in the
+   determinism-critical scope (lib/core, lib/broker, lib/server) that
+   can reach the seed — with the full call chain down to the raising
+   expression.
+
+   One finding per seed: the entry at minimal chain depth (ties broken
+   by qualified name) speaks for all entries that reach the seed, which
+   keeps a single partial helper from flooding the report through every
+   caller. Partial-primitive seeds only report at depth >= 2 — at depth
+   1 (the seed's own definition) the syntactic partiality rule already
+   owns the diagnosis, and this pass exists for what that rule cannot
+   see. Named raises and [Hashtbl.find] report at any depth: they are
+   invisible to the syntactic rules entirely.
+
+   The WAL layer (lib/store_log) is excluded from entry points: its
+   typed [Bad]-exception decode contract is absorbed at the recovery
+   boundary and is audited by its own tests. *)
+
+let name = "exn_flow"
+
+let doc =
+  "a raising expression (failwith, assert false, Option.get, raise of a \
+   typed exception, Hashtbl.find) is reachable from lib/core / lib/broker \
+   / lib/server through the call graph; the finding carries the full call \
+   chain"
+
+let is_entry (d : Model.def) =
+  let ctx = d.Model.d_unit.Model.u_ctx in
+  ctx.Lint_ctx.core_or_broker
+  && not (Lint_ctx.contains_seg ctx.Lint_ctx.file "lib/store_log")
+
+let min_depth_report prop ~candidates =
+  (* candidates: (seed key, def index, reach) for entry defs only;
+     keep, per seed, the entry with the smallest depth. *)
+  let best = Hashtbl.create 32 in
+  List.iter
+    (fun (key, def, (r : Summary.reach), qual) ->
+      match Hashtbl.find_opt best key with
+      | Some (_, r', qual')
+        when r'.Summary.r_depth < r.Summary.r_depth
+             || (r'.Summary.r_depth = r.Summary.r_depth
+                && String.compare qual' qual <= 0) ->
+          ()
+      | _ -> Hashtbl.replace best key (def, r, qual))
+    candidates;
+  ignore prop;
+  Hashtbl.fold (fun key (def, r, _) acc -> (key, def, r) :: acc) best []
+
+let check (model : Model.t) =
+  let prop =
+    Summary.propagate model
+      ~own_seeds:(fun d -> Summary.raise_seeds model d)
+      ~respect_absorption:true
+  in
+  let candidates = ref [] in
+  Array.iter
+    (fun (d : Model.def) ->
+      if is_entry d then
+        List.iter
+          (fun (key, (r : Summary.reach)) ->
+            let seed = Hashtbl.find prop.Summary.seeds key in
+            let deep_enough =
+              match seed.Summary.sd_kind with
+              | "partial" -> r.Summary.r_depth >= 2
+              | _ -> r.Summary.r_depth >= 1
+            in
+            if deep_enough then
+              candidates :=
+                (key, d.Model.d_index, r, d.Model.d_qual) :: !candidates)
+          (Summary.reaches_of prop ~def:d.Model.d_index))
+    model.Model.defs;
+  let reported = min_depth_report prop ~candidates:!candidates in
+  List.map
+    (fun (key, def, (r : Summary.reach)) ->
+      let seed = Hashtbl.find prop.Summary.seeds key in
+      let d = model.Model.defs.(def) in
+      let chain = Summary.chain model prop ~def ~key in
+      let message =
+        Printf.sprintf "%s can raise: %s at %s:%d (%d-step chain)"
+          d.Model.d_qual seed.Summary.sd_desc
+          seed.Summary.sd_loc.loc_start.pos_fname
+          seed.Summary.sd_loc.loc_start.pos_lnum r.Summary.r_depth
+      in
+      Finding.make ~chain ~rule:name ~loc:d.Model.d_loc ~message ())
+    reported
+  |> List.sort Finding.compare

@@ -1,0 +1,591 @@
+(* Resource discipline: every acquired fd / channel must reach a close,
+   an ownership transfer, or a guard on every path — including the
+   raising ones (the fd-per-retry leak class in reconnect/backoff
+   code).
+
+   For each let- or match-bound acquisition ([Unix.socket],
+   [Unix.openfile], [Unix.pipe], [Unix.accept], [open_in*],
+   [open_out*], ...) the pass walks the continuation in source order,
+   tracking an abstract state per bound name:
+
+   - a *safe event* ends the obligation on that path: an explicit close
+     ([Unix.close], [close_in], [close_out], or a call to a function
+     whose name says it consumes — [close]/[close_*]/[shutdown]/
+     [stop]/[release]); an ownership *transfer* (the name stored in a
+     constructor/record/ref, returned, or passed to a callee whose
+     parameters escape); or a *guard* ([Fun.protect] whose [~finally]
+     mentions the name, or a [with_*] combinator).
+   - a *may-raise event* is a call that can raise before the obligation
+     is met: a raising primitive, any [Unix.*] call (except the closes),
+     channel reads (End_of_file), or a call to a definition whose
+     interprocedural may-raise summary is set. Events inside absorption
+     regions ([try] bodies, [match ... with exception] scrutinees) do
+     not count.
+
+   Two findings, both at the acquisition site: "never released" (no
+   safe event anywhere in the continuation) and "leaks on a raising
+   path" (some path hits a may-raise event before its first safe
+   event). Branches of [match]/[if]/[function] are alternatives: the
+   obligation must be met on all of them.
+
+   The may-raise and parameter-escape summaries are interprocedural —
+   a helper that raises (or stores its argument) two modules away still
+   poisons (or discharges) the obligation here. Transfer-first policy:
+   a call that both transfers the name and may raise counts the
+   transfer first — handing the fd to [Conn.create] is a transfer even
+   though [Conn.create] can raise.
+
+   Known approximation: source order stands in for evaluation order,
+   and closures are walked inline where they are defined. This is a
+   lint for the leak *class*, not an escape analysis. *)
+
+open Ppxlib
+
+let name = "resource"
+
+let doc =
+  "an acquired fd or channel (Unix.socket/openfile/pipe/accept, \
+   open_in*/open_out*) must reach a close, an ownership transfer, or a \
+   Fun.protect/with_* guard on every path, including raising ones"
+
+(* ------------------------------------------------------------------ *)
+(* Head classification *)
+
+let last_of lid =
+  match List.rev (Lint_ast.flatten_lid lid) with x :: _ -> Some x | [] -> None
+
+let is_unix lid = List.mem "Unix" (Lint_ast.flatten_lid lid)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let is_release_head lid =
+  match last_of lid with
+  | Some last ->
+      String.equal last "close" || starts_with "close_" last
+      || String.equal last "shutdown" || String.equal last "stop"
+      || String.equal last "release"
+  | None -> false
+
+let is_guard_head lid =
+  match last_of lid with Some last -> starts_with "with_" last | None -> false
+
+(* A call that ends the process image: the path cannot leak in the
+   caller's sense (fork children that exec or exit hand their fds to
+   the OS / the new image deliberately). *)
+let is_terminator_head lid =
+  match last_of lid with
+  | Some last ->
+      String.equal last "exit" || String.equal last "_exit"
+      || starts_with "execv" last
+  | None -> false
+
+(* Raw primitives that merely *use* a handle: passing a tracked name to
+   them is neither a transfer nor a release. *)
+let whitelist_last =
+  [
+    "ignore"; "fst"; "snd"; "not"; "compare"; "min"; "max"; "=" ; "<>"; "==";
+    "!="; "<"; ">"; "<="; ">="; "input_line"; "input"; "really_input";
+    "really_input_string"; "input_char"; "input_byte"; "output_string";
+    "output_bytes"; "output"; "output_char"; "output_byte"; "flush";
+    "seek_in"; "seek_out"; "pos_in"; "pos_out"; "in_channel_length";
+    "out_channel_length"; "set_binary_mode_in"; "set_binary_mode_out";
+  ]
+
+let is_whitelist_head lid =
+  is_unix lid
+  ||
+  match last_of lid with
+  | Some last -> List.mem last whitelist_last
+  | None -> false
+
+(* Channel reads raise End_of_file / Sys_error. *)
+let raising_channel_last =
+  [
+    "input_line"; "input"; "really_input"; "really_input_string";
+    "input_char"; "input_byte";
+  ]
+
+let is_raising_prim_head lid =
+  match Lint_ast.flatten_lid lid with
+  | [ ("failwith" | "invalid_arg" | "raise" | "raise_notrace") ] -> true
+  | _ ->
+      Lint_ast.lid_ends lid [ "Option"; "get" ]
+      || Lint_ast.lid_ends lid [ "List"; "hd" ]
+      || Lint_ast.lid_ends lid [ "Hashtbl"; "find" ]
+      || (match last_of lid with
+         | Some last -> List.mem last raising_channel_last
+         | None -> false)
+      || (is_unix lid && not (is_release_head lid))
+
+let acquisition_prims =
+  [
+    [ "Unix"; "socket" ]; [ "Unix"; "openfile" ]; [ "Unix"; "pipe" ];
+    [ "Unix"; "socketpair" ]; [ "Unix"; "accept" ]; [ "open_in" ];
+    [ "open_in_bin" ]; [ "open_in_gen" ]; [ "open_out" ]; [ "open_out_bin" ];
+    [ "open_out_gen" ];
+  ]
+
+let acquisition_of e =
+  match Lint_ast.apply_head e with
+  | Some (lid, _) ->
+      if List.exists (fun p -> Lint_ast.lid_ends lid p) acquisition_prims then
+        last_of lid
+      else None
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural summaries *)
+
+(* Does this definition body contain a direct, unabsorbed may-raise
+   site? (The Summary fixpoint lifts this through the call graph.) *)
+let direct_may_raise (model : Model.t) (d : Model.def) =
+  let found = ref None in
+  let absorbed loc = Model.absorbed_at model ~def:d.Model.d_index ~loc in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (if !found = None then
+           match e.pexp_desc with
+           | Pexp_assert _ when not (absorbed e.pexp_loc) ->
+               found := Some e.pexp_loc
+           | Pexp_ident { txt; loc }
+             when is_raising_prim_head txt && not (absorbed loc) ->
+               found := Some loc
+           | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression d.Model.d_body;
+  !found
+
+let may_raise_summary (model : Model.t) =
+  let prop =
+    Summary.propagate model
+      ~own_seeds:(fun d ->
+        match direct_may_raise model d with
+        | Some loc ->
+            [
+              {
+                Summary.sd_def = d.Model.d_index;
+                sd_loc = loc;
+                sd_desc = "may raise";
+                sd_kind = "may_raise";
+              };
+            ]
+        | None -> [])
+      ~respect_absorption:true
+  in
+  let n = Array.length model.Model.defs in
+  let arr = Array.make n false in
+  Hashtbl.iter
+    (fun (def, _) _ -> if def < n then arr.(def) <- true)
+    prop.Summary.reaches;
+  arr
+
+(* ------------------------------------------------------------------ *)
+(* The ordered event walker *)
+
+module SM = Map.Make (String)
+
+type st = { safe : bool (* a safe event happened earlier on this path *) }
+
+type env = {
+  model : Model.t;
+  def : Model.def;
+  may_raise : bool array;
+  escapes : bool array;
+  ever_safe : (string, unit) Hashtbl.t;  (** any safe event, any path *)
+  ever_leaky : (string, unit) Hashtbl.t;
+      (** a may-raise hit some path before that path's first safe event *)
+}
+
+let mark_safe env nm sts =
+  Hashtbl.replace env.ever_safe nm ();
+  SM.update nm (Option.map (fun _ -> { safe = true })) sts
+
+let may_raise_event env ~(loc : Location.t) sts =
+  if Model.absorbed_at env.model ~def:env.def.Model.d_index ~loc then sts
+  else begin
+    SM.iter
+      (fun nm st -> if not st.safe then Hashtbl.replace env.ever_leaky nm ())
+      sts;
+    sts
+  end
+
+let tracked_ident sts e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident x; _ } when SM.mem x sts -> Some x
+  | _ -> None
+
+let rec walk env sts e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident x; _ } when SM.mem x sts ->
+      (* Bare use in an unknown context: stored, returned, captured —
+         ownership moves. *)
+      mark_safe env x sts
+  | Pexp_apply (head, args) -> walk_apply env sts e head args
+  | Pexp_assert _ -> may_raise_event env ~loc:e.pexp_loc sts
+  | Pexp_let (_, vbs, body) ->
+      let sts = List.fold_left (fun sts vb -> walk env sts vb.pvb_expr) sts vbs in
+      walk env sts body
+  | Pexp_sequence (a, b) -> walk env (walk env sts a) b
+  | Pexp_ifthenelse (c, t, eo) ->
+      let sts = walk env sts c in
+      let branches = t :: Option.to_list eo in
+      join env sts (List.map (fun b -> walk env sts b) branches)
+        ~total:(eo <> None)
+  | Pexp_match (scrut, cases) ->
+      let sts = walk env sts scrut in
+      join env sts (List.map (fun c -> walk_case env sts c) cases) ~total:true
+  | Pexp_try (body, cases) ->
+      (* Handlers continue from the after-body state: the [try
+         Unix.close fd with Unix_error -> ()] idiom is a best-effort
+         close and discharges the obligation on both outcomes. (A raise
+         striking before a release inside the body is already invisible
+         here — the body is an absorption region.) *)
+      let after_body = walk env sts body in
+      join env after_body
+        (after_body :: List.map (fun c -> walk_case env after_body c) cases)
+        ~total:true
+  | Pexp_function (_, _, Pfunction_body b) -> walk env sts b
+  | Pexp_function (_, _, Pfunction_cases (cases, _, _)) ->
+      join env sts (List.map (fun c -> walk_case env sts c) cases) ~total:true
+  | Pexp_tuple es | Pexp_array es ->
+      List.fold_left (fun sts e -> walk env sts e) sts es
+  | Pexp_construct (_, Some a)
+  | Pexp_variant (_, Some a)
+  | Pexp_field (a, _)
+  | Pexp_lazy a
+  | Pexp_constraint (a, _)
+  | Pexp_coerce (a, _, _)
+  | Pexp_newtype (_, a)
+  | Pexp_open (_, a)
+  | Pexp_letmodule (_, _, a)
+  | Pexp_letexception (_, a) ->
+      walk env sts a
+  | Pexp_setfield (a, _, b) | Pexp_while (a, b) ->
+      walk env (walk env sts a) b
+  | Pexp_for (_, a, b, _, c) -> walk env (walk env (walk env sts a) b) c
+  | Pexp_record (fields, base) ->
+      let sts =
+        match base with Some b -> walk env sts b | None -> sts
+      in
+      List.fold_left (fun sts (_, e) -> walk env sts e) sts fields
+  | _ -> sts
+
+and walk_case env sts (c : case) =
+  let sts =
+    match c.pc_guard with Some g -> walk env sts g | None -> sts
+  in
+  walk env sts c.pc_rhs
+
+(* Alternatives: the continuation is safe for a name only if every
+   branch secured it. [total] is false when a missing else branch can
+   fall through with nothing secured. *)
+and join env pre branch_sts ~total =
+  ignore env;
+  let all = if total then branch_sts else pre :: branch_sts in
+  SM.mapi
+    (fun nm _ ->
+      { safe = List.for_all (fun sts -> (SM.find nm sts).safe) all })
+    pre
+
+and walk_apply env sts whole head args =
+  let loc = whole.pexp_loc in
+  match Lint_ast.expr_ident head with
+  | None ->
+      let sts = walk env sts head in
+      List.fold_left (fun sts (_, a) -> walk env sts a) sts args
+  | Some lid ->
+      if is_terminator_head lid then begin
+        let sts =
+          List.fold_left (fun sts (_, a) -> walk env sts a) sts args
+        in
+        SM.fold (fun nm _ sts -> mark_safe env nm sts) sts sts
+      end
+      else if Lint_ast.lid_ends lid [ "Fun"; "protect" ] then begin
+        (* Guard every tracked name the ~finally thunk mentions, then
+           walk the protected thunk normally. *)
+        let finally, rest =
+          List.partition
+            (fun (lbl, _) ->
+              match lbl with Labelled "finally" -> true | _ -> false)
+            args
+        in
+        let sts =
+          List.fold_left
+            (fun sts (_, fin) ->
+              SM.fold
+                (fun nm _ sts ->
+                  if expr_mentions fin nm then mark_safe env nm sts else sts)
+                sts sts)
+            sts finally
+        in
+        List.fold_left (fun sts (_, a) -> walk env sts a) sts rest
+      end
+      else if is_release_head lid then
+        List.fold_left
+          (fun sts (_, a) ->
+            match tracked_ident sts a with
+            | Some x -> mark_safe env x sts
+            | None -> walk env sts a)
+          sts args
+      else if is_guard_head lid then
+        List.fold_left
+          (fun sts (_, a) ->
+            match tracked_ident sts a with
+            | Some x -> mark_safe env x sts
+            | None -> walk env sts a)
+          sts args
+      else if is_whitelist_head lid then begin
+        (* A raw use: no transfer. May still raise. *)
+        let sts =
+          List.fold_left
+            (fun sts (_, a) ->
+              match tracked_ident sts a with
+              | Some _ -> sts
+              | None -> walk env sts a)
+            sts args
+        in
+        if is_raising_prim_head lid then may_raise_event env ~loc sts else sts
+      end
+      else if is_raising_prim_head lid then begin
+        let sts =
+          List.fold_left (fun sts (_, a) -> walk env sts a) sts args
+        in
+        may_raise_event env ~loc sts
+      end
+      else begin
+        match Model.resolve env.model env.def.Model.d_unit lid with
+        | Some callee ->
+            (* Transfer-first: ownership moves into the callee before
+               anything it does can raise. *)
+            let param_escape = env.escapes.(callee) in
+            let sts =
+              List.fold_left
+                (fun sts (_, a) ->
+                  match tracked_ident sts a with
+                  | Some x -> if param_escape then mark_safe env x sts else sts
+                  | None -> walk env sts a)
+                sts args
+            in
+            if env.may_raise.(callee) then may_raise_event env ~loc sts
+            else sts
+        | None ->
+            (* Unknown callee: assume it keeps what it is handed. *)
+            List.fold_left
+              (fun sts (_, a) ->
+                match tracked_ident sts a with
+                | Some x -> mark_safe env x sts
+                | None -> walk env sts a)
+              sts args
+      end
+
+and expr_mentions e nm =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt = Lident x; _ } when String.equal x nm ->
+            found := true
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression e;
+  !found
+
+let run_walker ~model ~may_raise ~escapes (d : Model.def) ~names cont =
+  let env =
+    {
+      model;
+      def = d;
+      may_raise;
+      escapes;
+      ever_safe = Hashtbl.create 4;
+      ever_leaky = Hashtbl.create 4;
+    }
+  in
+  let sts =
+    List.fold_left (fun m nm -> SM.add nm { safe = false } m) SM.empty names
+  in
+  ignore (walk env sts cont);
+  ( (fun nm -> Hashtbl.mem env.ever_safe nm),
+    fun nm -> Hashtbl.mem env.ever_leaky nm )
+
+(* ------------------------------------------------------------------ *)
+(* Parameter-escape summaries *)
+
+let params_and_body (d : Model.def) =
+  match d.Model.d_body.pexp_desc with
+  | Pexp_function (params, _, Pfunction_body b) ->
+      (Lint_ast.param_vars params [], Some b)
+  | _ -> ([], None)
+
+(* A definition's parameters "escape" when its body releases,
+   transfers or guards them: callers handing a tracked handle to it
+   have discharged the obligation. Computed to fixpoint because escape
+   flows through calls (f passes its parameter to g which stores it). *)
+let escape_summary (model : Model.t) ~may_raise =
+  let n = Array.length model.Model.defs in
+  let escapes = Array.make n false in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 10 do
+    changed := false;
+    incr rounds;
+    Array.iter
+      (fun (d : Model.def) ->
+        if not escapes.(d.Model.d_index) then
+          match params_and_body d with
+          | params, Some body when params <> [] ->
+              let safe, _ =
+                run_walker ~model ~may_raise ~escapes d ~names:params body
+              in
+              if List.exists safe params then begin
+                escapes.(d.Model.d_index) <- true;
+                changed := true
+              end
+          | _ -> ())
+      model.Model.defs
+  done;
+  escapes
+
+(* ------------------------------------------------------------------ *)
+(* Acquisition sites *)
+
+type acq = {
+  a_names : string list;
+  a_cont : expression;
+  a_loc : Location.t;
+  a_prim : string;
+}
+
+let acquisitions_of_body body =
+  let out = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_let (_, vbs, cont) ->
+            List.iter
+              (fun vb ->
+                match acquisition_of vb.pvb_expr with
+                | Some prim ->
+                    let rec vars p =
+                      match p.ppat_desc with
+                      | Ppat_var v -> Some [ v.txt ]
+                      | Ppat_constraint (p, _) -> vars p
+                      | Ppat_tuple ps ->
+                          let each =
+                            List.map
+                              (fun p ->
+                                match p.ppat_desc with
+                                | Ppat_var v -> Some v.txt
+                                | _ -> None)
+                              ps
+                          in
+                          if List.for_all Option.is_some each then
+                            Some (List.filter_map Fun.id each)
+                          else None
+                      | _ -> None
+                    in
+                    Option.iter
+                      (fun names ->
+                        out :=
+                          {
+                            a_names = names;
+                            a_cont = cont;
+                            a_loc = vb.pvb_expr.pexp_loc;
+                            a_prim = prim;
+                          }
+                          :: !out)
+                      (vars vb.pvb_pat)
+                | None -> ())
+              vbs
+        | Pexp_match (scrut, cases) -> (
+            match acquisition_of scrut with
+            | None -> ()
+            | Some prim ->
+                List.iter
+              (fun c ->
+                match c.pc_lhs.ppat_desc with
+                | Ppat_exception _ -> ()
+                | _ ->
+                    let names = Lint_ast.pattern_vars c.pc_lhs [] in
+                    if names <> [] then
+                      out :=
+                        {
+                          a_names = names;
+                          a_cont = c.pc_rhs;
+                          a_loc = scrut.pexp_loc;
+                          a_prim = prim;
+                        }
+                        :: !out)
+                  cases)
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression body;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+
+let check (model : Model.t) =
+  let may_raise = may_raise_summary model in
+  let escapes = escape_summary model ~may_raise in
+  let findings = ref [] in
+  Array.iter
+    (fun (d : Model.def) ->
+      let u = d.Model.d_unit in
+      if u.Model.u_ctx.Lint_ctx.in_lib then
+        List.iter
+          (fun acq ->
+            if
+              not
+                (Model.allowed model ~rule:name ~u
+                   ~cnum:acq.a_loc.loc_start.pos_cnum)
+            then begin
+              let safe, leaky =
+                run_walker ~model ~may_raise ~escapes d ~names:acq.a_names
+                  acq.a_cont
+              in
+              List.iter
+                (fun nm ->
+                  if not (safe nm) then
+                    findings :=
+                      Finding.make ~rule:name ~loc:acq.a_loc
+                        ~message:
+                          (Printf.sprintf
+                             "%s acquired by %s in %s is never closed, \
+                              transferred, or guarded"
+                             nm acq.a_prim d.Model.d_qual)
+                        ()
+                      :: !findings
+                  else if leaky nm then
+                    findings :=
+                      Finding.make ~rule:name ~loc:acq.a_loc
+                        ~message:
+                          (Printf.sprintf
+                             "%s acquired by %s in %s leaks if an exception \
+                              is raised before its close/transfer (wrap in \
+                              Fun.protect or add a match ... exception \
+                              branch that closes it)"
+                             nm acq.a_prim d.Model.d_qual)
+                        ()
+                      :: !findings)
+                acq.a_names
+            end)
+          (acquisitions_of_body d.Model.d_body))
+    model.Model.defs;
+  List.sort Finding.compare !findings

@@ -1,8 +1,9 @@
-(* The rule registry. Adding a rule = adding a module exposing
-   [Rule.t] and listing it here; the driver, the fixture tests and the
-   docs all read this list. *)
+(* The rule and pass registry. Adding a rule = adding a module exposing
+   [Rule.t] (per-file, syntactic) or [Pass.t] (whole-repo,
+   interprocedural) and listing it here; the driver, the fixture tests
+   and the docs all read these lists. *)
 
-let all : Rule.t list =
+let rules : Rule.t list =
   [
     Rule_determinism.rule;
     Rule_unsafe.rule;
@@ -11,51 +12,87 @@ let all : Rule.t list =
     Rule_partiality.rule;
   ]
 
-let known_rule name = List.exists (fun (r : Rule.t) -> String.equal r.name name) all
+let passes : Pass.t list =
+  [
+    { Pass.name = Pass_exn_flow.name; doc = Pass_exn_flow.doc;
+      check = Pass_exn_flow.check };
+    { Pass.name = Pass_blocking.name; doc = Pass_blocking.doc;
+      check = Pass_blocking.check };
+    { Pass.name = Pass_resource.name; doc = Pass_resource.doc;
+      check = Pass_resource.check };
+  ]
+
+(* Kept under its historical name: the per-file rule list. *)
+let all = rules
+
+let known_rule name =
+  List.exists (fun (r : Rule.t) -> String.equal r.name name) rules
+  || List.exists (fun (p : Pass.t) -> String.equal p.Pass.name name) passes
 
 let find name =
-  List.find_opt (fun (r : Rule.t) -> String.equal r.name name) all
+  List.find_opt (fun (r : Rule.t) -> String.equal r.name name) rules
 
-(* Run every rule on a parsed unit, apply suppression scopes, and
-   report suppression hygiene violations (missing reason, unknown rule
-   name, unparseable payload) as findings of the pseudo-rule
-   "suppression". *)
+(* Suppression hygiene violations (missing reason, unknown rule name,
+   unparseable payload), as findings of the pseudo-rule "suppression".
+   Shared between the per-file entry point below and the two-phase
+   driver. *)
+let hygiene_findings (collected : Suppress.collected) =
+  List.filter_map
+    (fun (s : Suppress.scope) ->
+      if not (known_rule s.rule) then
+        Some
+          (Finding.make ~rule:"suppression" ~loc:s.loc
+             ~message:
+               (Printf.sprintf
+                  "[@problint.allow %s ...] names an unknown rule" s.rule)
+             ())
+      else if String.length (String.trim s.reason) = 0 then
+        Some
+          (Finding.make ~rule:"suppression" ~loc:s.loc
+             ~message:
+               (Printf.sprintf
+                  "[@problint.allow %s] must carry a written reason: \
+                   [@problint.allow %s \"why this is sound\"]"
+                  s.rule s.rule)
+             ())
+      else None)
+    collected.Suppress.scopes
+  @ List.map
+      (fun loc ->
+        Finding.make ~rule:"suppression" ~loc
+          ~message:
+            "malformed [@problint.allow] payload; expected \
+             [@problint.allow <rule> \"reason\"]"
+          ())
+      collected.Suppress.malformed
+
+(* A well-formed scope is eligible for the unused-suppression check;
+   malformed / unknown / reason-less scopes are already hygiene
+   findings and are not double-reported. *)
+let scope_well_formed (s : Suppress.scope) =
+  known_rule s.rule && String.length (String.trim s.reason) > 0
+
+let unused_finding (s : Suppress.scope) =
+  Finding.make ~rule:"suppression" ~loc:s.loc
+    ~message:
+      (Printf.sprintf
+         "[@problint.allow %s] suppresses nothing in this run; drop it or \
+          fix the reason"
+         s.rule)
+    ()
+
+(* Run every per-file rule on a parsed unit, apply suppression scopes,
+   and append hygiene findings. This is the single-file entry point
+   used by the unit tests; the driver runs the same rules but applies
+   suppression globally so it can also report unused scopes. *)
 let check_structure (ctx : Lint_ctx.t) (str : Ppxlib.Parsetree.structure) =
   let collected = Suppress.collect str in
   let ctx = { ctx with Lint_ctx.hot = ctx.Lint_ctx.hot || collected.hot } in
-  let raw =
-    List.concat_map (fun (r : Rule.t) -> r.check ctx str) all
-  in
+  let raw = List.concat_map (fun (r : Rule.t) -> r.check ctx str) rules in
   let kept, suppressed =
     List.partition
       (fun f -> not (Suppress.is_suppressed collected.scopes f))
       raw
   in
-  let hygiene =
-    List.filter_map
-      (fun (s : Suppress.scope) ->
-        if not (known_rule s.rule) then
-          Some
-            (Finding.make ~rule:"suppression" ~loc:s.loc
-               ~message:
-                 (Printf.sprintf
-                    "[@problint.allow %s ...] names an unknown rule" s.rule))
-        else if String.length (String.trim s.reason) = 0 then
-          Some
-            (Finding.make ~rule:"suppression" ~loc:s.loc
-               ~message:
-                 (Printf.sprintf
-                    "[@problint.allow %s] must carry a written reason: \
-                     [@problint.allow %s \"why this is sound\"]"
-                    s.rule s.rule))
-        else None)
-      collected.scopes
-    @ List.map
-        (fun loc ->
-          Finding.make ~rule:"suppression" ~loc
-            ~message:
-              "malformed [@problint.allow] payload; expected \
-               [@problint.allow <rule> \"reason\"]")
-        collected.malformed
-  in
-  (List.sort Finding.compare (kept @ hygiene), List.length suppressed)
+  ( List.sort Finding.compare (kept @ hygiene_findings collected),
+    List.length suppressed )

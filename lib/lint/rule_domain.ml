@@ -34,7 +34,7 @@ let mutator_fns = [ "set"; "unsafe_set"; "fill"; "blit" ]
 
 let check (_ctx : Lint_ctx.t) (str : structure) =
   let out = ref [] in
-  let flag loc message = out := Finding.make ~rule:name ~loc ~message :: !out in
+  let flag loc message = out := Finding.make ~rule:name ~loc ~message () :: !out in
   (* Pass 1: expressions passed to Domain.spawn, and the names free in
      them (so [Domain.spawn (worker i)] pulls in the binding of
      [worker]). *)

@@ -49,7 +49,7 @@ let check (ctx : Lint_ctx.t) (str : structure) =
     let out = ref [] in
     let depth = ref 0 in
     let flag loc message =
-      out := Finding.make ~rule:name ~loc ~message :: !out
+      out := Finding.make ~rule:name ~loc ~message () :: !out
     in
     let check_alloc e =
       match e.pexp_desc with

@@ -17,7 +17,7 @@ let check (ctx : Lint_ctx.t) (str : structure) =
   else begin
     let out = ref [] in
     let flag loc message =
-      out := Finding.make ~rule:name ~loc ~message :: !out
+      out := Finding.make ~rule:name ~loc ~message () :: !out
     in
     let it =
       object

@@ -18,7 +18,7 @@ let starts_with ~prefix s =
 
 let check (ctx : Lint_ctx.t) (str : structure) =
   let out = ref [] in
-  let flag loc message = out := Finding.make ~rule:name ~loc ~message :: !out in
+  let flag loc message = out := Finding.make ~rule:name ~loc ~message () :: !out in
   let it =
     object
       inherit Ast_traverse.iter as super

@@ -1,0 +1,398 @@
+(* Per-function effect summaries and their propagation along the call
+   graph — the shared engine behind the interprocedural passes.
+
+   A seed is a syntactic effect source inside one definition body (a
+   raising primitive, a blocking primitive). [propagate] pushes seeds
+   from callee to caller until fixpoint, keeping for every
+   (definition, seed) pair the length of the shortest call chain and
+   the next hop along it, so passes can reconstruct and print the full
+   entry-point-to-seed path. Depth 1 means the definition contains the
+   seed directly; depth n>1 means it is n-1 calls away.
+
+   Raise effects respect absorption (a call made under [try]/[match
+   ... exception] does not propagate its callee's raises); blocking
+   effects do not (catching an exception does not unblock a syscall). *)
+
+open Ppxlib
+
+type seed = {
+  sd_def : int;  (** definition containing the seed *)
+  sd_loc : Location.t;
+  sd_desc : string;  (** e.g. ["failwith raises Failure"] *)
+  sd_kind : string;  (** pass-specific tag, e.g. ["partial"]/["named"] *)
+}
+
+let seed_key (s : seed) =
+  (s.sd_loc.loc_start.pos_fname, s.sd_loc.loc_start.pos_cnum)
+
+type reach = {
+  r_depth : int;  (** defs on the chain, including both ends *)
+  r_via : (int * Location.t) option;
+      (** next callee + reference site; [None] at the seed's own def *)
+}
+
+type propagation = {
+  seeds : (string * int, seed) Hashtbl.t;  (** key -> seed *)
+  reaches : (int * (string * int), reach) Hashtbl.t;
+      (** (def, seed key) -> shortest chain info *)
+}
+
+let propagate (model : Model.t) ~(own_seeds : Model.def -> seed list)
+    ~(respect_absorption : bool) =
+  let seeds = Hashtbl.create 64 in
+  let reaches = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  Array.iter
+    (fun (d : Model.def) ->
+      let ss = own_seeds d in
+      List.iter
+        (fun s ->
+          let key = seed_key s in
+          Hashtbl.replace seeds key s;
+          Hashtbl.replace reaches (d.Model.d_index, key)
+            { r_depth = 1; r_via = None })
+        ss;
+      if ss <> [] then Queue.add d.Model.d_index queue)
+    model.Model.defs;
+  (* Monotone worklist: depths only decrease, keys only appear, so the
+     loop terminates. *)
+  while not (Queue.is_empty queue) do
+    let callee = Queue.pop queue in
+    let callee_entries =
+      Hashtbl.fold
+        (fun (d, key) r acc -> if d = callee then (key, r) :: acc else acc)
+        reaches []
+    in
+    List.iter
+      (fun (c : Model.call) ->
+        if not (respect_absorption && c.Model.c_absorbed) then begin
+          let caller = c.Model.c_caller in
+          let improved = ref false in
+          List.iter
+            (fun (key, (r : reach)) ->
+              let cand = r.r_depth + 1 in
+              let better =
+                match Hashtbl.find_opt reaches (caller, key) with
+                | Some cur -> cand < cur.r_depth
+                | None -> true
+              in
+              if better then begin
+                Hashtbl.replace reaches (caller, key)
+                  { r_depth = cand; r_via = Some (callee, c.Model.c_loc) };
+                improved := true
+              end)
+            callee_entries;
+          if !improved then Queue.add caller queue
+        end)
+      model.Model.callers.(callee)
+  done;
+  { seeds; reaches }
+
+let reaches_of prop ~def =
+  Hashtbl.fold
+    (fun (d, key) r acc -> if d = def then (key, r) :: acc else acc)
+    prop.reaches []
+
+let reach prop ~def ~key = Hashtbl.find_opt prop.reaches (def, key)
+
+(* The full call chain from [def] down to the seed, as reporter steps:
+   the entry definition at its own location, then one step per hop at
+   the reference site, then the seed itself. *)
+let chain (model : Model.t) prop ~def ~key =
+  let seed = Hashtbl.find_opt prop.seeds key in
+  let rec walk d acc =
+    let entry = Hashtbl.find_opt prop.reaches (d, key) in
+    match entry with
+    | None -> List.rev acc
+    | Some { r_via = None; _ } -> List.rev acc
+    | Some { r_via = Some (next, loc); _ } ->
+        let name = model.Model.defs.(next).Model.d_qual in
+        walk next (Finding.step ~name ~loc :: acc)
+  in
+  let head =
+    Finding.step ~name:model.Model.defs.(def).Model.d_qual
+      ~loc:model.Model.defs.(def).Model.d_loc
+  in
+  let hops = walk def [] in
+  let tail =
+    match seed with
+    | Some s -> [ Finding.step ~name:s.sd_desc ~loc:s.sd_loc ]
+    | None -> []
+  in
+  (head :: hops) @ tail
+
+(* ------------------------------------------------------------------ *)
+(* Raise seeds (exception-flow pass; also feeds the resource pass's
+   unsafe-window analysis). *)
+
+(* Exceptions that are sanctioned or pure control flow and therefore
+   never seed: contextful contract violations (Invalid_argument), the
+   Unix error channel (always handled at call sites by pattern), and
+   the compiler's own assertion channel (assert false is seeded
+   separately as a partial primitive). An *explicit* [raise Not_found]
+   is also benign — it is a deliberate, visible stdlib-style [find]
+   contract (the store layers mirror [Hashtbl.find] on purpose); the
+   dangerous case is the *implicit* Not_found smuggled in by calling
+   [Hashtbl.find] itself, which stays a seed of its own kind. *)
+let benign_exception = function
+  | "Invalid_argument" | "Unix_error" | "Assert_failure" | "Exit"
+  | "Not_found" ->
+      true
+  | _ -> false
+
+(* Single-component prims are Stdlib names: match only the bare or
+   [Stdlib.]-qualified ident, NOT an arbitrary [Module.flush] — a
+   repo-defined [Conn.flush] is a non-blocking drain, not the channel
+   primitive. Multi-component suffixes keep the permissive match. *)
+let matches_prim lid suffix =
+  match suffix with
+  | [ single ] -> (
+      match Lint_ast.flatten_lid lid with
+      | [ n ] | [ "Stdlib"; n ] -> String.equal n single
+      | _ -> false)
+  | _ -> Lint_ast.lid_ends lid suffix
+
+(* Exceptions declared with [let exception E in ...] inside the body
+   are local control flow (raised and caught within the definition):
+   their raises never seed. *)
+let local_exceptions_of_body body =
+  let names = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_letexception (ec, _) -> names := ec.pext_name.txt :: !names
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression body;
+  !names
+
+(* Raise seeds of one definition body. [partials_allowed] consults the
+   suppression ledger: a partial primitive under a reasoned partiality
+   (or exn_flow) allow is an audited local invariant and does not
+   propagate. Sites inside absorption regions never seed. *)
+let raise_seeds (model : Model.t) (d : Model.def) =
+  let u = d.Model.d_unit in
+  let locals = local_exceptions_of_body d.Model.d_body in
+  let out = ref [] in
+  let absorbed loc = Model.absorbed_at model ~def:d.Model.d_index ~loc in
+  let allowed_any rules (loc : Location.t) =
+    List.exists
+      (fun rule -> Model.allowed model ~rule ~u ~cnum:loc.loc_start.pos_cnum)
+      rules
+  in
+  let seed ~loc ~desc ~kind =
+    out :=
+      { sd_def = d.Model.d_index; sd_loc = loc; sd_desc = desc; sd_kind = kind }
+      :: !out
+  in
+  let partial ~loc name =
+    if (not (absorbed loc)) && not (allowed_any [ "partiality"; "exn_flow" ] loc)
+    then seed ~loc ~desc:(name ^ " (partial primitive)") ~kind:"partial"
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_assert
+            {
+              pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None);
+              _;
+            } ->
+            partial ~loc:e.pexp_loc "assert false"
+        | Pexp_ident { txt = lid; loc } ->
+            if matches_prim lid [ "failwith" ] then partial ~loc "failwith"
+            else if Lint_ast.lid_ends lid [ "Option"; "get" ] then
+              partial ~loc "Option.get"
+            else if Lint_ast.lid_ends lid [ "List"; "hd" ] then
+              partial ~loc "List.hd"
+            else if Lint_ast.lid_ends lid [ "Hashtbl"; "find" ] then begin
+              if
+                (not (absorbed loc))
+                && not
+                     (Model.allowed model ~rule:"exn_flow" ~u
+                        ~cnum:loc.loc_start.pos_cnum)
+              then
+                seed ~loc ~desc:"Hashtbl.find (raises Not_found)" ~kind:"find"
+            end
+        | Pexp_apply
+            ({ pexp_desc = Pexp_ident { txt = Lident "raise"; _ }; _ }, args)
+          -> (
+            let exn_name =
+              match args with
+              | [ (Nolabel, arg) ] -> (
+                  match arg.pexp_desc with
+                  | Pexp_construct ({ txt; _ }, _) -> (
+                      match List.rev (Lint_ast.flatten_lid txt) with
+                      | name :: _ -> Some name
+                      | [] -> None)
+                  | _ -> None)
+              | _ -> None
+            in
+            match exn_name with
+            | Some name
+              when (not (benign_exception name))
+                   && (not (List.mem name locals))
+                   && (not (absorbed e.pexp_loc))
+                   && not
+                        (Model.allowed model ~rule:"exn_flow" ~u
+                           ~cnum:e.pexp_loc.loc_start.pos_cnum) ->
+                seed ~loc:e.pexp_loc ~desc:("raise " ^ name) ~kind:"named"
+            | Some _ | None -> ())
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression d.Model.d_body;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Blocking seeds (event-loop taint pass). *)
+
+(* Primitives that always (potentially) park the calling thread. The
+   event loop's own [Unix.select] is the sanctioned wait point and is
+   deliberately absent. *)
+let always_blocking =
+  [
+    ([ "Unix"; "sleep" ], "Unix.sleep blocks the whole process");
+    ([ "Unix"; "sleepf" ], "Unix.sleepf blocks the whole process");
+    ([ "Unix"; "system" ], "Unix.system forks and waits synchronously");
+    ([ "Unix"; "wait" ], "Unix.wait blocks until a child exits");
+    ([ "Unix"; "waitpid" ], "Unix.waitpid can block until a child exits");
+    ( [ "Unix"; "connect" ],
+      "Unix.connect can block in the TCP handshake / backlog" );
+    ([ "print_string" ], "stdout write can block on a slow consumer");
+    ([ "print_endline" ], "stdout write can block on a slow consumer");
+    ([ "print_newline" ], "stdout write can block on a slow consumer");
+    ([ "print_int" ], "stdout write can block on a slow consumer");
+    ([ "print_char" ], "stdout write can block on a slow consumer");
+    ([ "print_float" ], "stdout write can block on a slow consumer");
+    ([ "prerr_endline" ], "stderr write can block on a slow consumer");
+    ([ "prerr_string" ], "stderr write can block on a slow consumer");
+    ([ "Printf"; "printf" ], "stdout formatting can block on a slow consumer");
+    ([ "Printf"; "eprintf" ], "stderr formatting can block on a slow consumer");
+    ([ "Format"; "printf" ], "stdout formatting can block on a slow consumer");
+    ([ "Format"; "eprintf" ], "stderr formatting can block on a slow consumer");
+    ([ "open_in" ], "file open is blocking I/O");
+    ([ "open_in_bin" ], "file open is blocking I/O");
+    ([ "open_in_gen" ], "file open is blocking I/O");
+    ([ "open_out" ], "file open is blocking I/O");
+    ([ "open_out_bin" ], "file open is blocking I/O");
+    ([ "open_out_gen" ], "file open is blocking I/O");
+    ([ "Unix"; "openfile" ], "file open is blocking I/O");
+    ([ "input_line" ], "channel read is blocking I/O");
+    ([ "input" ], "channel read is blocking I/O");
+    ([ "really_input" ], "channel read is blocking I/O");
+    ([ "really_input_string" ], "channel read is blocking I/O");
+    ([ "input_char" ], "channel read is blocking I/O");
+    ([ "input_byte" ], "channel read is blocking I/O");
+    ([ "in_channel_length" ], "channel metadata read is blocking I/O");
+    ([ "output_string" ], "channel write is blocking I/O");
+    ([ "output_bytes" ], "channel write is blocking I/O");
+    ([ "output" ], "channel write is blocking I/O");
+    ([ "output_char" ], "channel write is blocking I/O");
+    ([ "flush" ], "channel flush is blocking I/O");
+  ]
+
+(* Wall-clock reads: blocking seeds everywhere except inside the
+   audited [Clock] wrapper (the one sanctioned read). *)
+let clock_reads =
+  [
+    ([ "Unix"; "gettimeofday" ], "Unix.gettimeofday outside Clock");
+    ([ "Unix"; "time" ], "Unix.time outside Clock");
+    ([ "Sys"; "time" ], "Sys.time outside Clock");
+  ]
+
+(* Raw fd I/O: a blocking seed unless the enclosing module establishes
+   the non-blocking discipline (it calls [Unix.set_nonblock]
+   somewhere). Per-fd proof is beyond a syntactic model; the
+   module-level discipline is the audited unit. *)
+let fd_io =
+  [
+    ([ "Unix"; "read" ], "Unix.read on an fd not provably non-blocking");
+    ([ "Unix"; "write" ], "Unix.write on an fd not provably non-blocking");
+    ( [ "Unix"; "write_substring" ],
+      "Unix.write_substring on an fd not provably non-blocking" );
+    ( [ "Unix"; "single_write" ],
+      "Unix.single_write on an fd not provably non-blocking" );
+    ([ "Unix"; "accept" ], "Unix.accept on an fd not provably non-blocking");
+    ([ "Unix"; "recv" ], "Unix.recv on an fd not provably non-blocking");
+    ([ "Unix"; "send" ], "Unix.send on an fd not provably non-blocking");
+  ]
+
+let unit_sets_nonblock (u : Model.unit_info) =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ }
+          when Lint_ast.lid_ends txt [ "Unix"; "set_nonblock" ] ->
+            found := true
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#structure u.u_str;
+  !found
+
+let blocking_seeds (model : Model.t) (d : Model.def) =
+  let u = d.Model.d_unit in
+  let nonblock_module = unit_sets_nonblock u in
+  let in_clock = String.equal u.Model.u_module "Clock" in
+  let out = ref [] in
+  let seed ~loc ~desc =
+    if
+      not
+        (Model.allowed model ~rule:"blocking" ~u ~cnum:loc.loc_start.pos_cnum)
+    then
+      out :=
+        {
+          sd_def = d.Model.d_index;
+          sd_loc = loc;
+          sd_desc = desc;
+          sd_kind = "blocking";
+        }
+        :: !out
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt = lid; loc } -> (
+            (* A bare name that resolves to a repo definition shadows
+               the Stdlib prim ([let rec flush t = ...] is this module's
+               flush, not the channel primitive). *)
+            let matches (suffix, _) =
+              matches_prim lid suffix
+              && not
+                   (match lid with
+                   | Lident _ -> Model.resolve model u lid <> None
+                   | _ -> false)
+            in
+            match List.find_opt matches always_blocking with
+            | Some (_, desc) -> seed ~loc ~desc
+            | None -> (
+                match List.find_opt matches clock_reads with
+                | Some (_, desc) -> if not in_clock then seed ~loc ~desc
+                | None -> (
+                    match List.find_opt matches fd_io with
+                    | Some (_, desc) ->
+                        if not nonblock_module then seed ~loc ~desc
+                    | None -> ())))
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression d.Model.d_body;
+  List.rev !out

@@ -26,10 +26,15 @@ type collected = {
   scopes : scope list;
   malformed : Location.t list;  (** unparseable [problint.allow] payloads *)
   hot : bool;
+  event_loop : bool;
+      (** file carries [\[@@@problint.event_loop\]]: its functions are
+          roots for the blocking-taint pass — nothing they reach may
+          block outside the select call itself *)
 }
 
 let allow_name = "problint.allow"
 let hot_name = "problint.hot"
+let event_loop_name = "problint.event_loop"
 
 let parse_allow_payload (attr : attribute) =
   match attr.attr_payload with
@@ -51,8 +56,11 @@ let collect (str : structure) =
   let scopes = ref [] in
   let malformed = ref [] in
   let hot = ref false in
+  let event_loop = ref false in
   let handle ~(loc : Location.t) ~to_eof (attr : attribute) =
     if String.equal attr.attr_name.txt hot_name then hot := true
+    else if String.equal attr.attr_name.txt event_loop_name then
+      event_loop := true
     else if String.equal attr.attr_name.txt allow_name then
       match parse_allow_payload attr with
       | Some (rule, reason) ->
@@ -87,7 +95,12 @@ let collect (str : structure) =
     end
   in
   it#structure str;
-  { scopes = !scopes; malformed = !malformed; hot = !hot }
+  {
+    scopes = !scopes;
+    malformed = !malformed;
+    hot = !hot;
+    event_loop = !event_loop;
+  }
 
 (* A finding is suppressed by a scope for the same rule that encloses
    its location AND carries a written reason. *)

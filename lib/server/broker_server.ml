@@ -1,3 +1,9 @@
+(* Everything a broker process does runs on the single select loop in
+   [run]/[step]: any blocking call anywhere below stalls every
+   connection. The attribute makes this module's definitions roots of
+   the blocking-taint pass. *)
+[@@@problint.event_loop]
+
 open Probsub_core
 module Message = Probsub_broker.Message
 module Broker_node = Probsub_broker.Broker_node
@@ -202,7 +208,13 @@ let try_connect t peer =
   peer.reconnect_armed <- false;
   let path = socket_path ~sock_dir:t.cfg.sock_dir peer.p_id in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  match
+    (Unix.connect fd (Unix.ADDR_UNIX path)
+    [@problint.allow blocking
+      "UNIX-domain connects either succeed or fail immediately against \
+       the listener backlog; there is no TCP-style in-progress window to \
+       wait out"])
+  with
   | () ->
       let c = Conn.create ~max_queue_bytes:t.cfg.max_queue_bytes fd in
       peer.p_conn <- Some c;
@@ -393,9 +405,17 @@ let create cfg =
   let path = socket_path ~sock_dir:cfg.sock_dir cfg.id in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX path);
-  Unix.listen listen_fd 64;
-  Unix.set_nonblock listen_fd;
+  (match
+     Unix.bind listen_fd (Unix.ADDR_UNIX path);
+     Unix.listen listen_fd 64;
+     Unix.set_nonblock listen_fd
+   with
+  | () -> ()
+  | exception e ->
+      (* EADDRINUSE / permission failures must not leak the socket:
+         create is retried by the harness after a crashed broker. *)
+      Unix.close listen_fd;
+      raise e);
   let t =
     {
       cfg;

@@ -1,3 +1,9 @@
+(* Connection handlers run inside the broker's select loop; they must
+   never block (all fds are non-blocking, EAGAIN is a normal return).
+   The attribute makes this module's definitions roots of the
+   blocking-taint pass. *)
+[@@@problint.event_loop]
+
 module Codec = Probsub_store_log.Codec
 
 type entry = { cls : Wire.cls; bytes : string }

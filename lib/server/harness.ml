@@ -3,7 +3,12 @@ module Audit = Probsub_broker.Audit
 
 exception Error of string
 
-let failf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+let failf fmt =
+  (Printf.ksprintf (fun s -> raise (Error s)) fmt
+  [@problint.allow exn_flow
+    "documented typed-failure contract: every harness entry point reports \
+     scenario failure as Harness.Error, and the chaos tests catch it at \
+     the top level"])
 
 (* ------------------------------------------------------------------ *)
 (* Process fleet *)
@@ -25,6 +30,12 @@ let spawn fleet i =
   let cfg = fleet.f_configs.(i) in
   let r, w = Unix.pipe () in
   match Unix.fork () with
+  | exception e ->
+      (* EAGAIN under process pressure is exactly when a chaos harness
+         forks; without this branch both pipe ends leak per retry. *)
+      Unix.close r;
+      Unix.close w;
+      raise e
   | 0 ->
       (try Unix.close r with Unix.Unix_error _ -> ());
       (try

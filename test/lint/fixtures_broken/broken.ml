@@ -1,0 +1,5 @@
+let ok = 1
+
+let broken = ) 2
+
+let after = 3

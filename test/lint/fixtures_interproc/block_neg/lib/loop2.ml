@@ -1,0 +1,4 @@
+(* Event-loop root calling a non-blocking helper: no finding. *)
+[@@@problint.event_loop]
+
+let tick fds = Poller.pause fds

@@ -1,0 +1,2 @@
+(* Unix.select is the loop's own scheduling point, never a seed. *)
+let pause fds = Unix.select fds [] [] 0.01

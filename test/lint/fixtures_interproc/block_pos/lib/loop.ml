@@ -1,0 +1,6 @@
+(* Event-loop module: every definition here is a blocking-taint root.
+   The sleep is two modules away, so only the interprocedural pass can
+   see that tick stalls the loop. *)
+[@@@problint.event_loop]
+
+let tick () = Waiter.pause ()

@@ -1,0 +1,2 @@
+(* The blocking primitive lives here, outside any event-loop module. *)
+let pause () = Unix.sleepf 0.25

@@ -1,0 +1,3 @@
+(* ...but the cross-module call sits inside a try, so the raise is
+   absorbed before it escapes the entry point: no finding. *)
+let go n = try Shield.boom n + 1 with Failure _ -> 0

@@ -1,0 +1,2 @@
+(* Same partial helper as the positive fixture... *)
+let boom x = if x > 0 then x else failwith "shield: non-positive"

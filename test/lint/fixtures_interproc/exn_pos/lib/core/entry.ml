@@ -1,0 +1,4 @@
+(* Entry point: contains no partial primitive itself.  The defect is
+   only visible interprocedurally -- Helper.boom can raise Failure and
+   nothing on this path absorbs it. *)
+let go n = Helper.boom n + 1

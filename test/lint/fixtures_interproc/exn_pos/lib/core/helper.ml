@@ -1,0 +1,4 @@
+(* Depth-1 wrapper around a partial primitive: the partial seed lives
+   here, but exn_flow only reports partial seeds at depth >= 2, so the
+   finding must surface at the cross-module caller, not here. *)
+let boom x = if x > 0 then x else failwith "helper: non-positive"

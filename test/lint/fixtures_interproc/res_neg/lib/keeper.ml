@@ -1,0 +1,2 @@
+(* Stores the channel it is handed: callers transfer ownership. *)
+let keep ic = Some ic

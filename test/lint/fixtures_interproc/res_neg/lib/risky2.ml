@@ -1,0 +1,1 @@
+let validate n = if n < 0 then failwith "risky2: negative" else n

@@ -1,0 +1,14 @@
+(* Two distinct leaks:
+   - copy releases ic on the normal path but Risky.validate can raise
+     first, so the raising path leaks (interprocedural: this file
+     alone cannot know validate raises);
+   - drop never releases ic at all. *)
+let copy path n =
+  let ic = open_in_bin path in
+  let v = Risky.validate n in
+  close_in ic;
+  v
+
+let drop path =
+  let ic = open_in_bin path in
+  String.length (input_line ic)

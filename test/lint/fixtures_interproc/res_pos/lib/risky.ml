@@ -1,0 +1,4 @@
+(* A validator that can raise: the owner module below opens a channel
+   and calls this before closing it.  Whether the call can raise is
+   only knowable from this module's body. *)
+let validate n = if n < 0 then failwith "risky: negative" else n

@@ -1,0 +1,6 @@
+(* One live suppression (unsafe fires on Obj.magic and is silenced)
+   and one dead one (determinism never fires here). *)
+let live : int = (Obj.magic 1 [@problint.allow unsafe "boundary cast, audited"])
+
+let dead x =
+  (x + 1 [@problint.allow determinism "stale: nothing here folds a hashtable"])

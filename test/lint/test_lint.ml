@@ -3,11 +3,17 @@
    suppression mechanics behave, and that the reporters are
    well-formed. Contexts are constructed directly so path-scoped rules
    (determinism, partiality) can be exercised on files that live
-   outside lib/. *)
+   outside lib/.
+
+   The interprocedural passes are exercised end-to-end through
+   [Lint_driver.run] over the multi-file trees in fixtures_interproc/:
+   each positive fixture places the defect in one module and the
+   reporting point in another, so a per-file analysis cannot see it. *)
 
 open Probsub_lint
 
 let fixture name = Filename.concat "fixtures" name
+let interproc name = Filename.concat "fixtures_interproc" name
 
 let check ?(core_or_broker = false) ?(in_lib = false) ?(hot = false) name =
   let ctx =
@@ -20,6 +26,11 @@ let count rule findings =
 
 let rules_of findings =
   List.sort_uniq String.compare (List.map (fun f -> f.Finding.rule) findings)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
 
 (* ------------------------------------------------------------------ *)
 (* One test per rule: the known-bad fixture fires, and the rule stays
@@ -98,6 +109,175 @@ let test_suppression_hygiene () =
   Alcotest.(check int) "unsafe kept" 1 (count "unsafe" findings);
   Alcotest.(check int) "determinism kept" 1 (count "determinism" findings)
 
+let test_unused_suppression () =
+  (* fixtures_unused/unused.ml carries one live allow (unsafe, fires
+     and is silenced) and one dead allow (determinism, fires nowhere):
+     the dead one must itself become a finding. *)
+  let r = Lint_driver.run ~paths:[ "fixtures_unused" ] in
+  Alcotest.(check int) "dead allow reported" 1
+    (count "suppression" r.Lint_driver.findings);
+  let f =
+    List.find
+      (fun f -> String.equal f.Finding.rule "suppression")
+      r.Lint_driver.findings
+  in
+  Alcotest.(check bool) "message says it suppresses nothing" true
+    (contains ~needle:"suppresses nothing" f.Finding.message);
+  Alcotest.(check bool) "message names the rule" true
+    (contains ~needle:"determinism" f.Finding.message);
+  Alcotest.(check int) "live allow still silences unsafe" 0
+    (count "unsafe" r.Lint_driver.findings);
+  Alcotest.(check int) "one suppressed" 1 r.Lint_driver.suppressed;
+  Alcotest.(check int) "both scopes counted in the budget" 2
+    r.Lint_driver.scopes
+
+(* ------------------------------------------------------------------ *)
+(* Parse failures carry the real syntax-error location *)
+
+let test_parse_location () =
+  let r = Lint_driver.run ~paths:[ "fixtures_broken" ] in
+  Alcotest.(check int) "one file scanned" 1 r.Lint_driver.files_scanned;
+  Alcotest.(check int) "one parse finding" 1
+    (count "parse" r.Lint_driver.findings);
+  let f =
+    List.find
+      (fun f -> String.equal f.Finding.rule "parse")
+      r.Lint_driver.findings
+  in
+  Alcotest.(check bool) "finding names the file" true
+    (contains ~needle:"broken.ml" f.Finding.file);
+  (* The ')' sits on line 3 column 13 -- not the historical hardcoded
+     line 1, col 0. *)
+  Alcotest.(check int) "real error line" 3 f.Finding.line;
+  Alcotest.(check int) "real error column" 13 f.Finding.col
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: the whole-repo model resolves cross-module references *)
+
+let load path =
+  match Lint_driver.load_unit path with
+  | Ok u -> u
+  | Error _ -> Alcotest.fail ("fixture failed to parse: " ^ path)
+
+let test_model () =
+  let dir = Filename.concat (interproc "exn_pos") (Filename.concat "lib" "core") in
+  let m =
+    Model.build
+      [ load (Filename.concat dir "entry.ml");
+        load (Filename.concat dir "helper.ml") ]
+  in
+  (match Model.find_def m ~modname:"Entry" ~name:"go" with
+  | None -> Alcotest.fail "Entry.go missing from model"
+  | Some d ->
+      let out = m.Model.calls.(d.Model.d_index) in
+      Alcotest.(check int) "one outgoing edge from Entry.go" 1
+        (List.length out);
+      let callee = m.Model.defs.((List.hd out).Model.c_callee) in
+      Alcotest.(check string) "edge resolves across modules" "Helper.boom"
+        callee.Model.d_qual;
+      Alcotest.(check bool) "call site not absorbed" false
+        (List.hd out).Model.c_absorbed);
+  match Model.find_def m ~modname:"Helper" ~name:"boom" with
+  | None -> Alcotest.fail "Helper.boom missing from model"
+  | Some d ->
+      Alcotest.(check int) "reverse edge present" 1
+        (List.length m.Model.callers.(d.Model.d_index))
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: interprocedural passes over multi-file fixture trees *)
+
+let test_exn_flow_positive () =
+  let r = Lint_driver.run ~paths:[ interproc "exn_pos" ] in
+  let exn =
+    List.filter
+      (fun f -> String.equal f.Finding.rule "exn_flow")
+      r.Lint_driver.findings
+  in
+  Alcotest.(check int) "one exn_flow finding" 1 (List.length exn);
+  let f = List.hd exn in
+  (* Reported at the entry point, not at the module holding the seed. *)
+  Alcotest.(check bool) "reported at the entry point" true
+    (contains ~needle:"entry.ml" f.Finding.file);
+  Alcotest.(check bool) "message names the partial primitive" true
+    (contains ~needle:"failwith" f.Finding.message);
+  Alcotest.(check bool) "message states the chain depth" true
+    (contains ~needle:"2-step chain" f.Finding.message);
+  Alcotest.(check int) "chain: entry, hop, seed" 3
+    (List.length f.Finding.chain);
+  (match f.Finding.chain with
+  | first :: _ ->
+      Alcotest.(check string) "chain starts at the entry" "Entry.go"
+        first.Finding.s_name
+  | [] -> Alcotest.fail "chain is empty");
+  (match List.rev f.Finding.chain with
+  | last :: _ ->
+      Alcotest.(check bool) "chain ends at the seed file" true
+        (contains ~needle:"helper.ml" last.Finding.s_file)
+  | [] -> ());
+  let text = Finding.to_text f in
+  Alcotest.(check bool) "text report renders numbered chain" true
+    (contains ~needle:"    1. Entry.go" text)
+
+let test_exn_flow_negative () =
+  (* Same partial helper, but the cross-module call sits under a try:
+     the absorbed edge must stop propagation. *)
+  let r = Lint_driver.run ~paths:[ interproc "exn_neg" ] in
+  Alcotest.(check int) "absorbed call: no exn_flow finding" 0
+    (count "exn_flow" r.Lint_driver.findings)
+
+let test_blocking_positive () =
+  let r = Lint_driver.run ~paths:[ interproc "block_pos" ] in
+  let blk =
+    List.filter
+      (fun f -> String.equal f.Finding.rule "blocking")
+      r.Lint_driver.findings
+  in
+  Alcotest.(check int) "one blocking finding" 1 (List.length blk);
+  let f = List.hd blk in
+  Alcotest.(check bool) "reported at the event-loop root" true
+    (contains ~needle:"loop.ml" f.Finding.file);
+  Alcotest.(check bool) "message names the blocking primitive" true
+    (contains ~needle:"Unix.sleepf" f.Finding.message);
+  Alcotest.(check int) "chain: root, hop, seed" 3 (List.length f.Finding.chain)
+
+let test_blocking_negative () =
+  (* Unix.select is the loop's own scheduling point, never a seed; and
+     without the event_loop attribute there are no roots at all. *)
+  let r = Lint_driver.run ~paths:[ interproc "block_neg" ] in
+  Alcotest.(check int) "select-based helper: no blocking finding" 0
+    (count "blocking" r.Lint_driver.findings)
+
+let test_resource_positive () =
+  let r = Lint_driver.run ~paths:[ interproc "res_pos" ] in
+  let res =
+    List.filter
+      (fun f -> String.equal f.Finding.rule "resource")
+      r.Lint_driver.findings
+  in
+  Alcotest.(check int) "two resource findings" 2 (List.length res);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "reported at the acquisition site" true
+        (contains ~needle:"owner.ml" f.Finding.file))
+    res;
+  Alcotest.(check int) "raising path leak (callee raises, close after)" 1
+    (List.length
+       (List.filter
+          (fun f -> contains ~needle:"exception" f.Finding.message)
+          res));
+  Alcotest.(check int) "never-released leak" 1
+    (List.length
+       (List.filter
+          (fun f -> contains ~needle:"never closed" f.Finding.message)
+          res))
+
+let test_resource_negative () =
+  (* match-exception absorption with close on both outcomes, and
+     ownership transfer to a callee whose parameter escapes. *)
+  let r = Lint_driver.run ~paths:[ interproc "res_neg" ] in
+  Alcotest.(check int) "guarded + transferred: no resource finding" 0
+    (count "resource" r.Lint_driver.findings)
+
 (* ------------------------------------------------------------------ *)
 (* Context classification, registry, reporters, driver walk *)
 
@@ -120,47 +300,94 @@ let test_classify () =
     bs.Lint_ctx.core_or_broker
 
 let test_registry () =
-  Alcotest.(check int) "five rules" 5 (List.length Registry.all);
+  Alcotest.(check int) "five rules" 5 (List.length Registry.rules);
+  Alcotest.(check int) "three passes" 3 (List.length Registry.passes);
   List.iter
     (fun r ->
       Alcotest.(check bool)
         (Printf.sprintf "%s registered" r) true (Registry.known_rule r))
-    [ "determinism"; "unsafe"; "hot_alloc"; "domain"; "partiality" ];
+    [ "determinism"; "unsafe"; "hot_alloc"; "domain"; "partiality";
+      "exn_flow"; "blocking"; "resource" ];
   Alcotest.(check bool) "unknown rejected" false
     (Registry.known_rule "nonexistent_rule")
 
-let contains ~needle hay =
-  let n = String.length needle and h = String.length hay in
-  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
-  at 0
-
 let test_reporters () =
   let loc = Ppxlib.Location.none in
-  let f = Finding.make ~rule:"unsafe" ~loc ~message:"quote \" slash \\ nl \n" in
+  let f =
+    Finding.make ~rule:"unsafe" ~loc ~message:"quote \" slash \\ nl \n" ()
+  in
   let j = Finding.to_json f in
   Alcotest.(check bool) "escapes quotes" true (contains ~needle:"\\\"" j);
   Alcotest.(check bool) "escapes backslash" true (contains ~needle:"\\\\" j);
   Alcotest.(check bool) "escapes newline" true (contains ~needle:"\\n" j);
-  let report = Finding.report_json ~suppressed:7 [ f; f ] in
+  let report = Finding.report_json ~suppressed:7 ~scopes:9 [ f; f ] in
   Alcotest.(check bool) "count field" true
     (contains ~needle:"\"count\": 2" report);
   Alcotest.(check bool) "suppressed field" true
     (contains ~needle:"\"suppressed\": 7" report);
-  let empty = Finding.report_json ~suppressed:0 [] in
-  Alcotest.(check bool) "empty findings array" true
-    (contains ~needle:"\"findings\": []" empty);
+  Alcotest.(check bool) "scopes field" true
+    (contains ~needle:"\"scopes\": 9" report);
+  Alcotest.(check bool) "schema version field" true
+    (contains ~needle:"\"schema_version\": 2" report);
   let text =
     Finding.to_text
       { Finding.rule = "r"; file = "f.ml"; line = 3; col = 4; cnum = 0;
-        message = "m" }
+        message = "m"; chain = [] }
   in
   Alcotest.(check string) "text shape" "f.ml:3:4: [r] m" text
+
+let test_json_golden () =
+  (* Character-for-character pin of schema v2: a chain-bearing finding
+     and the empty report. Downstream CI parses this with jq; any
+     shape change must bump [Finding.schema_version] and this test. *)
+  let loc file line col =
+    let p =
+      { Lexing.pos_fname = file; pos_lnum = line; pos_bol = 0; pos_cnum = col }
+    in
+    { Ppxlib.Location.loc_start = p; loc_end = p; loc_ghost = false }
+  in
+  let chain =
+    [ Finding.step ~name:"Entry.go" ~loc:(loc "entry.ml" 4 0);
+      Finding.step ~name:"Helper.boom" ~loc:(loc "helper.ml" 4 10) ]
+  in
+  let f =
+    Finding.make ~chain ~rule:"exn_flow" ~loc:(loc "entry.ml" 4 4)
+      ~message:"Entry.go can raise" ()
+  in
+  let expected =
+    "{\n\
+    \  \"schema_version\": 2,\n\
+    \  \"findings\": [\n\
+    \    { \"rule\": \"exn_flow\", \"file\": \"entry.ml\", \"line\": 4, \
+     \"col\": 4, \"message\": \"Entry.go can raise\", \"chain\": [{ \
+     \"name\": \"Entry.go\", \"file\": \"entry.ml\", \"line\": 4, \"col\": \
+     0 }, { \"name\": \"Helper.boom\", \"file\": \"helper.ml\", \"line\": \
+     4, \"col\": 10 }] }\n\
+    \  ],\n\
+    \  \"count\": 1,\n\
+    \  \"suppressed\": 4,\n\
+    \  \"scopes\": 6\n\
+     }\n"
+  in
+  Alcotest.(check string) "chain-bearing report" expected
+    (Finding.report_json ~suppressed:4 ~scopes:6 [ f ]);
+  let empty_expected =
+    "{\n\
+    \  \"schema_version\": 2,\n\
+    \  \"findings\": [],\n\
+    \  \"count\": 0,\n\
+    \  \"suppressed\": 0,\n\
+    \  \"scopes\": 0\n\
+     }\n"
+  in
+  Alcotest.(check string) "empty report" empty_expected
+    (Finding.report_json ~suppressed:0 ~scopes:0 [])
 
 let test_driver_walk () =
   (* End-to-end over the whole fixture tree with path-derived contexts
      ("fixtures/..." is neither lib/ nor lib/core, so only the
      path-independent rules fire). Pins the full surface: walk order,
-     per-file hot detection, suppression, hygiene. *)
+     per-file hot detection, suppression, hygiene, unused scopes. *)
   let r = Lint_driver.run ~paths:[ "fixtures" ] in
   Alcotest.(check int) "nine fixtures scanned" 9 r.Lint_driver.files_scanned;
   Alcotest.(check int) "no parse failures" 0
@@ -171,17 +398,23 @@ let test_driver_walk () =
     (count "hot_alloc" r.Lint_driver.findings);
   Alcotest.(check int) "domain across tree" 5
     (count "domain" r.Lint_driver.findings);
-  Alcotest.(check int) "hygiene across tree" 3
+  (* Three hygiene findings plus one unused scope: suppressed_ok.ml's
+     determinism allow covers a rule that never fires outside
+     lib/core, so the global driver reports it as dead. (Its
+     partiality allow IS used: it blocks an exn_flow seed.) *)
+  Alcotest.(check int) "hygiene + unused across tree" 4
     (count "suppression" r.Lint_driver.findings);
   Alcotest.(check int) "floating allow suppresses across tree" 1
-    r.Lint_driver.suppressed
+    r.Lint_driver.suppressed;
+  Alcotest.(check int) "five scopes in the budget" 5 r.Lint_driver.scopes
 
 let test_list_rules () =
   let s = Lint_driver.list_rules () in
   List.iter
     (fun r ->
       Alcotest.(check bool) (r ^ " listed") true (contains ~needle:r s))
-    [ "determinism"; "unsafe"; "hot_alloc"; "domain"; "partiality" ]
+    [ "determinism"; "unsafe"; "hot_alloc"; "domain"; "partiality";
+      "exn_flow"; "blocking"; "resource" ]
 
 let () =
   Alcotest.run "problint"
@@ -204,12 +437,30 @@ let () =
             test_suppression_valid;
           Alcotest.test_case "broken allows reported" `Quick
             test_suppression_hygiene;
+          Alcotest.test_case "unused allows reported" `Quick
+            test_unused_suppression;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "cross-module call graph" `Quick test_model;
+          Alcotest.test_case "parse failure location" `Quick
+            test_parse_location;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "exn_flow positive" `Quick test_exn_flow_positive;
+          Alcotest.test_case "exn_flow negative" `Quick test_exn_flow_negative;
+          Alcotest.test_case "blocking positive" `Quick test_blocking_positive;
+          Alcotest.test_case "blocking negative" `Quick test_blocking_negative;
+          Alcotest.test_case "resource positive" `Quick test_resource_positive;
+          Alcotest.test_case "resource negative" `Quick test_resource_negative;
         ] );
       ( "infrastructure",
         [
           Alcotest.test_case "path classification" `Quick test_classify;
           Alcotest.test_case "registry" `Quick test_registry;
           Alcotest.test_case "reporters" `Quick test_reporters;
+          Alcotest.test_case "json golden" `Quick test_json_golden;
           Alcotest.test_case "driver walk" `Quick test_driver_walk;
           Alcotest.test_case "list rules" `Quick test_list_rules;
         ] );
