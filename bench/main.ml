@@ -952,7 +952,7 @@ let run_shard ~mode () =
         Shard_store.create ~policy ~shards:p.sshards ~domain0:shard_domain0
           ~arity:p.sm ~seed:store_seed ()
   in
-  let scans_before = (Shard_store.stats t).Subscription_store.active_scans in
+  let st0 = Shard_store.stats t in
   let hits = ref 0 in
   let _, match_t =
     time_s (fun () ->
@@ -961,9 +961,19 @@ let run_shard ~mode () =
             !hits + List.length (Shard_store.match_publication t (shard_pub ~m:p.sm i))
         done)
   in
-  let scans_after = (Shard_store.stats t).Subscription_store.active_scans in
+  let st1 = Shard_store.stats t in
+  let per_pub c = float_of_int c /. float_of_int p.s_pubs in
+  (* One-by-one Publication.matches tests (zero on the indexed active
+     path; covered descent only) vs counting-index hits processed. *)
   let avg_scans =
-    float_of_int (scans_after - scans_before) /. float_of_int p.s_pubs
+    per_pub
+      (st1.Subscription_store.active_scans + st1.Subscription_store.covered_scans
+      - st0.Subscription_store.active_scans
+      - st0.Subscription_store.covered_scans)
+  in
+  let avg_index_hits =
+    per_pub
+      (st1.Subscription_store.index_hits - st0.Subscription_store.index_hits)
   in
   for i = 0 to 4 do
     let pub = shard_pub ~m:p.sm (i * 211) in
@@ -973,11 +983,11 @@ let run_shard ~mode () =
       (Printf.sprintf "match spot-check %d diverges from exhaustive scan" i)
   done;
   Printf.printf
-    "matching: %d pubs, %.1f pubs/s, %.1f active scans/pub (of %d active), \
-     %d hits\n"
+    "matching: %d pubs, %.1f pubs/s, %.1f scans/pub + %.1f index hits/pub \
+     (of %d active), %d hits\n"
     p.s_pubs
     (thru p.s_pubs match_t)
-    avg_scans
+    avg_scans avg_index_hits
     (Shard_store.active_count t)
     !hits;
   (* --- Emit -------------------------------------------------------- *)
@@ -1015,13 +1025,16 @@ let run_shard ~mode () =
         (if i = List.length scale_rows - 1 then "" else ","))
     scale_rows;
   Printf.fprintf oc
-    "    ],\n    \"consistent_across_workers\": %b\n  },\n" consistent;
+    "    ],\n    \"batch_inline_threshold\": %d,\n\
+    \    \"consistent_across_workers\": %b\n  },\n"
+    Shard_store.batch_inline_threshold consistent;
   Printf.fprintf oc
     "  \"matching\": { \"publications\": %d, \"pubs_per_sec\": %.1f, \
-     \"avg_active_scans_per_pub\": %.1f, \"active\": %d, \"hits\": %d },\n"
+     \"avg_scans_per_pub\": %.1f, \"avg_index_hits_per_pub\": %.1f, \
+     \"active\": %d, \"hits\": %d },\n"
     p.s_pubs
     (thru p.s_pubs match_t)
-    avg_scans
+    avg_scans avg_index_hits
     (Shard_store.active_count t)
     !hits;
   Printf.fprintf oc "  \"verdicts_match\": %b\n}\n" !all_ok;
@@ -1029,6 +1042,195 @@ let run_shard ~mode () =
   print_endline "wrote BENCH_shard.json";
   if not !all_ok then begin
     Printf.eprintf "FAIL: sharded fabric diverged from the reference\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Match bench: the counting-index data plane against the exhaustive
+   Publication.matches oracle over the same stored set. Emits
+   BENCH_match.json. Two stores absorb the target subscription count —
+   the flat store and the sharded fabric (attribute-0 stripe routing
+   composed with per-shard counting indexes) — and both match an
+   identical publication stream (9/10 points, 1/10 small boxes).
+   Every indexed hit list must be identical to the oracle's, or the
+   bench hard-fails. The headline number is the reduction in
+   one-by-one Publication.matches scans per publication: the oracle
+   tests every stored subscription, the indexed path tests only the
+   covered-descent candidates (zero under No_coverage), and the
+   conservative "work" ratio also charges the index one unit per
+   counting hit. The acceptance gate requires >= 5x. *)
+
+type match_params = {
+  mlabel : string;
+  mm : int; (* arity *)
+  mn : int; (* stored subscriptions *)
+  m_pubs : int; (* timed publications *)
+  m_shards : int; (* shard count for the fabric store *)
+}
+
+let match_params = function
+  | `Fast ->
+      { mlabel = "fast"; mm = 4; mn = 20_000; m_pubs = 200; m_shards = 64 }
+  | `Default ->
+      { mlabel = "default"; mm = 4; mn = 100_000; m_pubs = 1000;
+        m_shards = 128 }
+  | `Full ->
+      { mlabel = "full"; mm = 4; mn = 1_000_000; m_pubs = 1000;
+        m_shards = 256 }
+
+(* Same index-hashed stream as the shard bench, with every 10th
+   publication widened into a small box (the imprecise-source case:
+   containment queries instead of stabbing queries). *)
+let match_pub ~m i =
+  if i mod 10 = 7 then
+    let pos = i * 40503 land 0xFFFFF mod 999_000 in
+    Publication.box
+      (Subscription.of_bounds
+         (List.init m (fun j ->
+              if j = 0 then (pos, pos + 3)
+              else begin
+                let v = (pos + (j * 977)) mod 99_000 in
+                (v, v + 3)
+              end)))
+  else shard_pub ~m i
+
+let run_match ~mode () =
+  let p = match_params mode in
+  print_endline "=================================================";
+  print_endline " Match bench (counting index vs exhaustive oracle)";
+  print_endline "=================================================";
+  Printf.printf "mode=%s m=%d stored=%d pubs=%d shards=%d\n" p.mlabel p.mm
+    p.mn p.m_pubs p.m_shards;
+  let all_ok = ref true in
+  let note ok msg =
+    if not ok then begin
+      all_ok := false;
+      Printf.eprintf "FAIL: %s\n" msg
+    end
+  in
+  (* The data plane is policy-independent; No_coverage keeps every
+     subscription active, so the counting index faces the full stored
+     set — the worst case the covering control plane would otherwise
+     soften (and the regime where the old linear scan was paying
+     [mn] Publication.matches tests per publication). *)
+  let policy = Subscription_store.No_coverage in
+  let flat = Subscription_store.create ~policy ~arity:p.mm ~seed:11 () in
+  let (), flat_build_t =
+    time_s (fun () ->
+        for i = 0 to p.mn - 1 do
+          ignore (Subscription_store.add flat (shard_sub ~m:p.mm i))
+        done)
+  in
+  let shard =
+    Shard_store.create ~policy ~shards:p.m_shards ~domain0:shard_domain0
+      ~arity:p.mm ~seed:11 ()
+  in
+  let (), shard_build_t =
+    time_s (fun () ->
+        let chunk = 10_000 in
+        let i = ref 0 in
+        while !i < p.mn do
+          let b = min chunk (p.mn - !i) in
+          ignore
+            (Shard_store.add_batch shard
+               (Array.init b (fun j -> shard_sub ~m:p.mm (!i + j))));
+          i := !i + b
+        done)
+  in
+  Printf.printf "build: flat %.2fs, sharded %.2fs\n" flat_build_t
+    shard_build_t;
+  let pubs = Array.init p.m_pubs (fun i -> match_pub ~m:p.mm i) in
+  (* Oracle pass: timed, hit lists retained for the equality gate. *)
+  let oracle = Array.make p.m_pubs [] in
+  let (), oracle_t =
+    time_s (fun () ->
+        Array.iteri
+          (fun i pub ->
+            oracle.(i) <- Subscription_store.match_publication_exhaustive flat pub)
+          pubs)
+  in
+  let per_pub c = float_of_int c /. float_of_int p.m_pubs in
+  let oracle_scans = float_of_int p.mn in
+  (* Indexed passes; stats deltas attribute the work. *)
+  let indexed store_name match_pub_fn stats_fn =
+    let st0 = stats_fn () in
+    let hits = Array.make p.m_pubs [] in
+    let (), dt =
+      time_s (fun () ->
+          Array.iteri (fun i pub -> hits.(i) <- match_pub_fn pub) pubs)
+    in
+    let st1 = stats_fn () in
+    Array.iteri
+      (fun i h ->
+        note (h = oracle.(i))
+          (Printf.sprintf "%s hit list %d diverges from the oracle"
+             store_name i))
+      hits;
+    let scans =
+      per_pub
+        (st1.Subscription_store.active_scans
+        + st1.Subscription_store.covered_scans
+        - st0.Subscription_store.active_scans
+        - st0.Subscription_store.covered_scans)
+    in
+    let idx_hits =
+      per_pub
+        (st1.Subscription_store.index_hits - st0.Subscription_store.index_hits)
+    in
+    (dt, scans, idx_hits)
+  in
+  let flat_t, flat_scans, flat_idx =
+    indexed "flat"
+      (Subscription_store.match_publication flat)
+      (fun () -> Subscription_store.stats flat)
+  in
+  let shard_t, shard_scans, shard_idx =
+    indexed "sharded"
+      (Shard_store.match_publication shard)
+      (fun () -> Shard_store.stats shard)
+  in
+  let thru t = float_of_int p.m_pubs /. t in
+  let reduction scans = oracle_scans /. Float.max scans 1.0 in
+  let work_reduction scans idx = oracle_scans /. Float.max (scans +. idx) 1.0 in
+  let flat_work_red = work_reduction flat_scans flat_idx in
+  let shard_work_red = work_reduction shard_scans shard_idx in
+  Printf.printf "%-10s %10s %14s %14s %10s\n" "store" "pubs/s" "scans/pub"
+    "idx hits/pub" "work red.";
+  Printf.printf "%-10s %10.1f %14.1f %14s %10s\n" "oracle" (thru oracle_t)
+    oracle_scans "-" "1.0x";
+  Printf.printf "%-10s %10.1f %14.1f %14.1f %9.1fx\n" "flat" (thru flat_t)
+    flat_scans flat_idx flat_work_red;
+  Printf.printf "%-10s %10.1f %14.1f %14.1f %9.1fx\n" "sharded" (thru shard_t)
+    shard_scans shard_idx shard_work_red;
+  (* The acceptance gate is on Publication.matches scans; gate on the
+     conservative work ratio, which implies it. *)
+  note (flat_work_red >= 5.0)
+    "flat indexed matching does not reduce per-pub work by >= 5x";
+  note (shard_work_red >= 5.0)
+    "sharded indexed matching does not reduce per-pub work by >= 5x";
+  let oc = open_out "BENCH_match.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"match\",\n  \"mode\": %S,\n" p.mlabel;
+  Printf.fprintf oc
+    "  \"m\": %d,\n  \"stored\": %d,\n  \"publications\": %d,\n\
+    \  \"shards\": %d,\n"
+    p.mm p.mn p.m_pubs p.m_shards;
+  Printf.fprintf oc
+    "  \"oracle\": { \"pubs_per_sec\": %.1f, \"avg_scans_per_pub\": %.1f },\n"
+    (thru oracle_t) oracle_scans;
+  let emit_store name dt scans idx =
+    Printf.fprintf oc
+      "  %S: { \"pubs_per_sec\": %.1f, \"avg_scans_per_pub\": %.1f, \
+       \"avg_index_hits_per_pub\": %.1f, \"scan_reduction_x\": %.1f, \
+       \"work_reduction_x\": %.1f },\n"
+      name (thru dt) scans idx (reduction scans) (work_reduction scans idx)
+  in
+  emit_store "flat" flat_t flat_scans flat_idx;
+  emit_store "sharded" shard_t shard_scans shard_idx;
+  Printf.fprintf oc "  \"hit_lists_identical\": %b\n}\n" !all_ok;
+  close_out oc;
+  print_endline "wrote BENCH_match.json";
+  if not !all_ok then begin
+    Printf.eprintf "FAIL: indexed matching diverged from the oracle\n";
     exit 1
   end
 
@@ -1086,8 +1288,9 @@ let () =
      `main.exe engine [fast]` runs only the pipeline bench;
      `main.exe recovery [fast]` runs only the WAL/recovery bench;
      `main.exe shard [fast|--full]` runs only the sharded-fabric
-     bench; a numeric argument sets the figure-regeneration run
-     count. *)
+     bench; `main.exe match [fast|--full]` runs only the counting-index
+     matching bench; a numeric argument sets the figure-regeneration
+     run count. *)
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "kernels" then run_kernels ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "engine" then
     run_engine ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
@@ -1102,6 +1305,14 @@ let () =
       else `Default
     in
     run_shard ~mode ()
+  end
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "match" then begin
+    let mode =
+      if Array.length Sys.argv > 2 && Sys.argv.(2) = "fast" then `Fast
+      else if Array.length Sys.argv > 2 && Sys.argv.(2) = "--full" then `Full
+      else `Default
+    in
+    run_match ~mode ()
   end
   else begin
     let runs =

@@ -61,6 +61,11 @@ let subscription_epoch t ~key =
 let knows_advertisement t ~key = Hashtbl.mem t.ads key
 let routing_table_size t = Subscription_store.size t.routing
 
+let match_counters t =
+  let st = Subscription_store.stats t.routing in
+  ( st.Subscription_store.active_scans + st.Subscription_store.covered_scans,
+    st.Subscription_store.index_hits )
+
 (* Origin <-> (okind, oarg) for durable bindings; the store-log layer
    is broker-agnostic and carries plain ints. *)
 let origin_code = function

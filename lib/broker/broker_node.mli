@@ -143,6 +143,13 @@ val knows_advertisement : t -> key:int -> bool
 val routing_table_size : t -> int
 (** Live entries in the routing table. *)
 
+val match_counters : t -> int * int
+(** [(scans, index_hits)] accumulated by the routing store since
+    creation: one-by-one [Publication.matches] tests (covered-set
+    descent plus any non-indexed active scans) and counting-index hits
+    processed on the indexed match path. Monotone; diff around a
+    [handle] call to attribute matching work to one message. *)
+
 val active_towards : t -> neighbor:Topology.broker -> int
 (** Subscriptions actually sent (active) towards a neighbour — the
     per-link subscription state whose growth the covering machinery

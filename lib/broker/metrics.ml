@@ -13,6 +13,8 @@ type t = {
   mutable lease_renewals : int;
   mutable lease_expiries : int;
   mutable crashes : int;
+  mutable match_scans : int;
+  mutable match_index_hits : int;
 }
 
 let create () =
@@ -31,6 +33,8 @@ let create () =
     lease_renewals = 0;
     lease_expiries = 0;
     crashes = 0;
+    match_scans = 0;
+    match_index_hits = 0;
   }
 
 let reset t =
@@ -47,7 +51,9 @@ let reset t =
   t.retransmissions <- 0;
   t.lease_renewals <- 0;
   t.lease_expiries <- 0;
-  t.crashes <- 0
+  t.crashes <- 0;
+  t.match_scans <- 0;
+  t.match_index_hits <- 0
 
 let total_messages t =
   t.subscribe_msgs + t.unsubscribe_msgs + t.advertise_msgs + t.publish_msgs
@@ -59,11 +65,12 @@ let pp ppf t =
      publish msgs:    %d@,ack msgs:        %d@,notifications:   %d@,\
      suppressed subs: %d@,duplicate drops: %d@,dropped msgs:    %d@,\
      duplicated msgs: %d@,retransmissions: %d@,lease renewals:  %d@,\
-     lease expiries:  %d@,crashes:         %d@]"
+     lease expiries:  %d@,crashes:         %d@,match scans:     %d@,\
+     match idx hits:  %d@]"
     t.subscribe_msgs t.unsubscribe_msgs t.advertise_msgs t.publish_msgs
     t.ack_msgs t.notifications t.suppressed_subscriptions t.duplicate_drops
     t.dropped_msgs t.duplicated_msgs t.retransmissions t.lease_renewals
-    t.lease_expiries t.crashes
+    t.lease_expiries t.crashes t.match_scans t.match_index_hits
 
 let equal a b =
   a.subscribe_msgs = b.subscribe_msgs
@@ -80,3 +87,5 @@ let equal a b =
   && a.lease_renewals = b.lease_renewals
   && a.lease_expiries = b.lease_expiries
   && a.crashes = b.crashes
+  && a.match_scans = b.match_scans
+  && a.match_index_hits = b.match_index_hits

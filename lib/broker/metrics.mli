@@ -29,6 +29,14 @@ type t = {
       (** Leased entries reclaimed by broker sweeps (stranded state
           self-healing). *)
   mutable crashes : int;  (** Broker crash events. *)
+  mutable match_scans : int;
+      (** One-by-one [Publication.matches] tests performed by routing
+          stores while matching publications (covered-set descent plus
+          any non-indexed active scans). *)
+  mutable match_index_hits : int;
+      (** Counting-index hits processed by routing stores while
+          matching publications — the indexed data plane's unit of
+          work, the quantity that replaces linear active scans. *)
 }
 
 val create : unit -> t

@@ -243,7 +243,13 @@ let process_broker t ~time ~dst ~origin ~payload =
     | Message.Unadvertise _ | Message.Ack _ ->
         false
   in
+  let scans0, hits0 = Broker_node.match_counters node in
   let actions = Broker_node.handle node ~now:time ~origin payload in
+  let scans1, hits1 = Broker_node.match_counters node in
+  t.metrics.Metrics.match_scans <-
+    t.metrics.Metrics.match_scans + (scans1 - scans0);
+  t.metrics.Metrics.match_index_hits <-
+    t.metrics.Metrics.match_index_hits + (hits1 - hits0);
   (match payload with
   | Message.Subscribe _ when duplicate ->
       t.metrics.Metrics.duplicate_drops <- t.metrics.Metrics.duplicate_drops + 1

@@ -4,17 +4,21 @@
 
     Instead of testing each subscription against a publication
     (O(m·k)), the matcher indexes every {e constrained} range in a
-    per-attribute {!Interval_index}; a publication stabs each index
+    per-attribute {!Interval_index.Dyn}; a publication stabs each index
     once and counts, per subscription, how many of its predicates were
     satisfied. A subscription matches iff the count equals its number
     of constrained attributes. Cost per publication:
     O(Σ_j (log k + hits_j)) — sub-linear in k when selectivity is
     decent.
 
-    The structure is mutable (add/remove) with lazy per-attribute
-    rebuilds: mutations mark attributes dirty; the next match call
-    rebuilds only the dirty indexes. This matches pub/sub reality —
-    publication rates dwarf subscription-change rates (§2). *)
+    The structure is fully incremental: add/remove maintain the
+    per-attribute indexes directly (amortized compaction rides the
+    mutation path), and the match path allocates no scratch state —
+    hit counters live in preallocated slot-indexed [int array]s reset
+    in O(1) per publication by a generation stamp, and slots recycled
+    across removals carry fresh stamps so stale index entries can
+    never score. Box publications run the same counting scheme with a
+    per-attribute {e containment} query instead of a stab. *)
 
 type t
 
@@ -25,10 +29,13 @@ val arity : t -> int
 val size : t -> int
 
 val add : t -> id:int -> Subscription.t -> unit
-(** @raise Invalid_argument on an arity mismatch or a duplicate id. *)
+(** O(#constrained) amortized.
+    @raise Invalid_argument on an arity mismatch or a duplicate id. *)
 
 val remove : t -> id:int -> unit
-(** @raise Not_found for an unknown id. *)
+(** O(#constrained) amortized; the subscription's index entries are
+    retired lazily (filtered on the query path, reclaimed by the next
+    compaction). @raise Not_found for an unknown id. *)
 
 val mem : t -> id:int -> bool
 
@@ -37,12 +44,22 @@ val match_point : t -> int array -> int list
     @raise Invalid_argument on an arity mismatch. *)
 
 val match_publication : t -> Publication.t -> int list
-(** Point publications use the counting path; box publications need
-    containment, not stabbing, and scan a lazily-rebuilt {!Flat} pack
-    of the whole set — a linear walk over packed bounds instead of a
-    hashtable traversal chasing boxed intervals.
-    @raise Invalid_argument on an arity mismatch (box publications). *)
+(** Point publications stab each per-attribute index; box publications
+    ask each index for the stored ranges {e containing} the box's
+    range — both pure counting, both allocation-free up to the result
+    list. @raise Invalid_argument on an arity mismatch. *)
+
+val iter_matches : t -> Publication.t -> f:(int -> unit) -> unit
+(** [iter_matches t pub ~f] calls [f id] once per matching
+    subscription, in unspecified order, without building the result
+    list — the stores' hot entry point. Not reentrant: the callback
+    must not call back into [t]. *)
+
+val inspections : t -> int
+(** Monotone count of per-attribute index hits processed by match
+    calls since creation — the matcher's unit of work, the counting
+    analogue of the stores' scan counters. *)
 
 val rebuild : t -> unit
-(** Force all dirty indexes to rebuild now (e.g. before a latency
-    measurement). Matching calls do this lazily anyway. *)
+(** Force-compact every per-attribute index now (e.g. before a latency
+    measurement). Matching never compacts; mutations do, amortized. *)

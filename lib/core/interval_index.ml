@@ -171,3 +171,156 @@ let overlapping t q =
   let acc = ref [] in
   iter_overlapping t q ~f:(fun id -> acc := id :: !acc);
   !acc
+
+(* ------------------------------------------------------------------- *)
+
+module Dyn = struct
+  (* Incremental index: a compacted static tree over *positions* into
+     parallel payload arrays, plus a small linear pending buffer for
+     fresh appends and a liveness oracle that filters entries whose
+     (key, stamp) pair the owner has since retired. Mutations never
+     touch the tree; amortized compaction folds the pending buffer in
+     and drops dead entries once either grows past its threshold —
+     queries stay a pure tree walk plus a short array scan, with no
+     rebuild work on the match path. *)
+
+  type dyn = {
+    live : key:int -> stamp:int -> bool;
+    (* Compacted entries: tree payload = index into these arrays. *)
+    mutable tree : t;
+    mutable tkey : int array;
+    mutable tstamp : int array;
+    mutable tlo : int array;
+    mutable thi : int array;
+    mutable tn : int;
+    (* Appends since the last compaction, scanned linearly. *)
+    mutable pkey : int array;
+    mutable pstamp : int array;
+    mutable plo : int array;
+    mutable phi : int array;
+    mutable pn : int;
+    (* Retirements noted since the last compaction. *)
+    mutable dead : int;
+  }
+
+  type t = dyn
+
+  let create ~live () =
+    {
+      live;
+      tree = empty;
+      tkey = [||];
+      tstamp = [||];
+      tlo = [||];
+      thi = [||];
+      tn = 0;
+      pkey = Array.make 8 0;
+      pstamp = Array.make 8 0;
+      plo = Array.make 8 0;
+      phi = Array.make 8 0;
+      pn = 0;
+      dead = 0;
+    }
+
+  let size t = t.tn + t.pn - t.dead
+
+  let compact t =
+    let entries = ref [] in
+    let keys = ref [] and stamps = ref [] in
+    let n = ref 0 in
+    let keep key stamp lo hi =
+      if t.live ~key ~stamp then begin
+        let pos = !n in
+        incr n;
+        keys := key :: !keys;
+        stamps := stamp :: !stamps;
+        entries := (pos, Interval.make ~lo ~hi) :: !entries
+      end
+    in
+    for i = 0 to t.tn - 1 do
+      keep t.tkey.(i) t.tstamp.(i) t.tlo.(i) t.thi.(i)
+    done;
+    for i = 0 to t.pn - 1 do
+      keep t.pkey.(i) t.pstamp.(i) t.plo.(i) t.phi.(i)
+    done;
+    let n = !n in
+    let tkey = Array.make (max n 1) 0
+    and tstamp = Array.make (max n 1) 0
+    and tlo = Array.make (max n 1) 0
+    and thi = Array.make (max n 1) 0 in
+    (* [keys]/[stamps] are accumulated newest-first; positions count up
+       from the oldest, so position [pos] sits at list index
+       [n - 1 - pos]. *)
+    List.iteri (fun i k -> tkey.(n - 1 - i) <- k) !keys;
+    List.iteri (fun i s -> tstamp.(n - 1 - i) <- s) !stamps;
+    List.iter
+      (fun (pos, iv) ->
+        tlo.(pos) <- Interval.lo iv;
+        thi.(pos) <- Interval.hi iv)
+      !entries;
+    t.tree <- build !entries;
+    t.tkey <- tkey;
+    t.tstamp <- tstamp;
+    t.tlo <- tlo;
+    t.thi <- thi;
+    t.tn <- n;
+    t.pn <- 0;
+    t.dead <- 0
+
+  (* Pending stays a small constant fraction of the compacted set, so
+     the linear scan never dominates the tree walk; compactions are
+     O(n log n) but amortize against the Ω(n/8) appends (or n/2
+     retirements) that triggered them. *)
+  let maybe_compact t =
+    if t.pn > 64 + (t.tn / 8) || t.dead > (t.tn + t.pn) / 2 then compact t
+
+  let add t ~key ~stamp iv =
+    if t.pn = Array.length t.pkey then begin
+      let cap = 2 * t.pn in
+      let grow a = let b = Array.make cap 0 in Array.blit a 0 b 0 t.pn; b in
+      t.pkey <- grow t.pkey;
+      t.pstamp <- grow t.pstamp;
+      t.plo <- grow t.plo;
+      t.phi <- grow t.phi
+    end;
+    t.pkey.(t.pn) <- key;
+    t.pstamp.(t.pn) <- stamp;
+    t.plo.(t.pn) <- Interval.lo iv;
+    t.phi.(t.pn) <- Interval.hi iv;
+    t.pn <- t.pn + 1;
+    maybe_compact t
+
+  let note_dead t =
+    t.dead <- t.dead + 1;
+    maybe_compact t
+
+  let static_stab = iter_stab
+
+  let iter_stab t v ~f =
+    static_stab t.tree v ~f:(fun pos ->
+        if t.live ~key:t.tkey.(pos) ~stamp:t.tstamp.(pos) then f t.tkey.(pos));
+    for i = 0 to t.pn - 1 do
+      if
+        t.plo.(i) <= v
+        && v <= t.phi.(i)
+        && t.live ~key:t.pkey.(i) ~stamp:t.pstamp.(i)
+      then f t.pkey.(i)
+    done
+
+  let iter_containing t q ~f =
+    let qlo = Interval.lo q and qhi = Interval.hi q in
+    (* A stored [a, b] contains [qlo, qhi] iff a <= qlo && b >= qhi:
+       stab the tree at qlo and filter on the hi bound. *)
+    static_stab t.tree qlo ~f:(fun pos ->
+        if
+          t.thi.(pos) >= qhi
+          && t.live ~key:t.tkey.(pos) ~stamp:t.tstamp.(pos)
+        then f t.tkey.(pos));
+    for i = 0 to t.pn - 1 do
+      if
+        t.plo.(i) <= qlo
+        && t.phi.(i) >= qhi
+        && t.live ~key:t.pkey.(i) ~stamp:t.pstamp.(i)
+      then f t.pkey.(i)
+    done
+end

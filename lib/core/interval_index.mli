@@ -40,3 +40,54 @@ val overlapping : t -> Interval.t -> int list
 
 val iter_overlapping : t -> Interval.t -> f:(int -> unit) -> unit
 (** Allocation-light variant of {!overlapping}. *)
+
+(** Incremental index for the matcher's data plane.
+
+    The static tree above is rebuilt wholesale by its callers; [Dyn]
+    instead absorbs mutations as they happen: additions land in a small
+    pending buffer scanned linearly by queries, removals are mere
+    counters (the owner's [live] oracle filters retired entries out of
+    query results), and an amortized compaction folds both back into a
+    fresh static tree before either can degrade query cost. Queries
+    therefore never trigger a rebuild — all compaction work rides on
+    the {e mutation} path, keeping publication matching latency flat.
+
+    Entries are identified by a [(key, stamp)] pair chosen by the
+    owner. Keys may be reused (the counting matcher recycles slot
+    numbers across lease expiry sweeps); stamps must be unique per
+    insertion, so a stale index entry for a recycled key fails the
+    [live ~key ~stamp] check instead of resurrecting. *)
+module Dyn : sig
+  type t
+
+  val create : live:(key:int -> stamp:int -> bool) -> unit -> t
+  (** [create ~live ()] builds an empty index. [live] must answer, for
+      any [(key, stamp)] ever inserted, whether that insertion is still
+      current; it is consulted on the query path and must be cheap and
+      non-allocating. *)
+
+  val add : t -> key:int -> stamp:int -> Interval.t -> unit
+  (** Insert an interval under [(key, stamp)]. Amortized O(log n):
+      usually a buffer append, occasionally a compaction. *)
+
+  val note_dead : t -> unit
+  (** Tell the index one of its entries was retired (its [live] check
+      now fails). Triggers compaction once retirees outnumber half the
+      entries. *)
+
+  val size : t -> int
+  (** Live entries (assuming every retirement was noted). *)
+
+  val iter_stab : t -> int -> f:(int -> unit) -> unit
+  (** [iter_stab t v ~f] calls [f key] for every live interval
+      containing [v]; at most once per (key, stamp) insertion, in
+      unspecified order. Allocation-free. *)
+
+  val iter_containing : t -> Interval.t -> f:(int -> unit) -> unit
+  (** [iter_containing t q ~f] calls [f key] for every live interval
+      that {e contains} the whole query interval [q] — the box-matching
+      dual of {!iter_stab}. Allocation-free. *)
+
+  val compact : t -> unit
+  (** Force a compaction now (e.g. before a latency measurement). *)
+end

@@ -29,6 +29,12 @@ type shard = {
      this shard — the sharded analogue of the flat store's
      [packed_cache], invalidated per shard instead of per store. *)
   mutable pack : Flat.t option;
+  (* Counting index over this shard's actives, maintained by the
+     append/insert/delete primitives below: a consulted shard answers
+     a publication through its index instead of scanning [asubs].
+     Composes with the stripe routing — each index only ever sees the
+     actives homed in its own shard. *)
+  matcher : Counting_matcher.t;
 }
 
 type t = {
@@ -104,7 +110,14 @@ let create ?(policy = Subscription_store.Group_policy Engine.default_config)
   in
   let regions = make_regions ~nstripes ~domain0 in
   let mk_shard region =
-    { region; aids = [||]; asubs = [||]; an = 0; pack = None }
+    {
+      region;
+      aids = [||];
+      asubs = [||];
+      an = 0;
+      pack = None;
+      matcher = Counting_matcher.create ~arity ();
+    }
   in
   let shards =
     Array.init shards (fun i ->
@@ -218,6 +231,7 @@ let shard_append sh id s =
   sh.aids.(sh.an) <- id;
   sh.asubs.(sh.an) <- s;
   sh.an <- sh.an + 1;
+  Counting_matcher.add sh.matcher ~id s;
   sh.pack <- None
 
 (* Promotions re-activate an old id: sorted insert. *)
@@ -229,6 +243,7 @@ let shard_insert sh id s =
   sh.aids.(pos) <- id;
   sh.asubs.(pos) <- s;
   sh.an <- sh.an + 1;
+  Counting_matcher.add sh.matcher ~id s;
   sh.pack <- None
 
 let shard_delete sh id =
@@ -236,6 +251,7 @@ let shard_delete sh id =
   Array.blit sh.aids (pos + 1) sh.aids pos (sh.an - pos - 1);
   Array.blit sh.asubs (pos + 1) sh.asubs pos (sh.an - pos - 1);
   sh.an <- sh.an - 1;
+  Counting_matcher.remove sh.matcher ~id;
   sh.pack <- None
 
 (* {2 Global bookkeeping (mirrors the flat store)} *)
@@ -427,6 +443,14 @@ let add_with_expiry t s ~expires_at = insert t s ~expires_at
    placement and coverer ids — identical. Invalidated items
    re-classify inline against the fully-updated store from a fresh
    copy of the same child, exactly as the sequential loop would. *)
+(* Below this batch size the window machinery (per-window consult and
+   gather arrays, pool dispatch, dirty tracking) costs more than it
+   saves — BENCH_shard.json's scale phase showed pooled add_batch
+   *losing* to one domain on small windows. Such batches run the
+   sequential loop inline; the split pre-reservation makes the streams
+   identical either way, so the cutover is observationally invisible. *)
+let batch_inline_threshold = 32
+
 let add_batch t subs =
   let n = Array.length subs in
   Array.iter
@@ -437,7 +461,7 @@ let add_batch t subs =
   let parallel =
     match (t.policy, t.pool) with
     | Subscription_store.Group_policy config, Some pool
-      when n > 1 && Domain_pool.size pool > 0 ->
+      when n > batch_inline_threshold && Domain_pool.size pool > 0 ->
         Some (config, pool)
     | _ -> None
   in
@@ -619,17 +643,14 @@ let match_publication t p =
   let matched_actives = ref [] in
   (* Actives outside the consulted shards are disjoint from the
      publication on attribute 0, so they cannot match: the hit list is
-     the flat store's, for a fraction of the scans. *)
+     the flat store's, for a fraction of the work. Each consulted
+     shard answers through its counting index — no per-active
+     [Publication.matches] scan at all. *)
   List.iter
     (fun si ->
-      let sh = t.shards.(si) in
-      for i = 0 to sh.an - 1 do
-        t.active_scans <- t.active_scans + 1;
-        if Publication.matches sh.asubs.(i) p then begin
-          matched_actives := sh.aids.(i) :: !matched_actives;
-          hits := sh.aids.(i) :: !hits
-        end
-      done)
+      Counting_matcher.iter_matches t.shards.(si).matcher p ~f:(fun id ->
+          matched_actives := id :: !matched_actives;
+          hits := id :: !hits))
     (consult_of_q0 t (q0_of_pub p));
   (* Multi-level descent, identical to the flat store: only children
      recorded under a matched coverer can match. *)
@@ -673,6 +694,10 @@ let stats t =
     promoted = t.promoted_count;
     active_scans = t.active_scans;
     covered_scans = t.covered_scans;
+    index_hits =
+      Array.fold_left
+        (fun acc sh -> acc + Counting_matcher.inspections sh.matcher)
+        0 t.shards;
   }
 
 let[@problint.allow
@@ -725,7 +750,12 @@ let[@problint.allow
   if total <> t.active_n then ok := false;
   Array.iteri
     (fun si sh ->
+      (* The per-shard counting index shadows exactly this shard's
+         actives. *)
+      if Counting_matcher.size sh.matcher <> sh.an then ok := false;
       for i = 0 to sh.an - 1 do
+        if not (Counting_matcher.mem sh.matcher ~id:sh.aids.(i)) then
+          ok := false;
         if i > 0 && sh.aids.(i - 1) >= sh.aids.(i) then ok := false;
         (match Hashtbl.find_opt t.entries sh.aids.(i) with
         | Some e ->

@@ -108,17 +108,26 @@ val add : t -> Subscription.t -> id * Subscription_store.placement
 (** As {!Subscription_store.add}, confined to the consulted shards.
     @raise Invalid_argument on an arity mismatch. *)
 
+val batch_inline_threshold : int
+(** Batches of at most this many items run the sequential {!add} loop
+    even when a pool is available: window setup and pool dispatch cost
+    more than they save on small batches (the worker-scaling
+    regression in BENCH_shard.json's scale phase). The cutover is
+    observationally invisible — pre-reserved splits make both paths
+    produce identical streams and states. *)
+
 val add_batch :
   t -> Subscription.t array -> (id * Subscription_store.placement) array
 (** [add_batch t subs] inserts the whole batch, {e defined} as [subs]
     fed one by one through {!add} in index order — identical ids,
     placements, coverer lists, counters and final state. With a pool
-    (group policy), windows of items are classified concurrently, one
-    pre-split child generator per item in arrival order; an item is
-    re-classified serially (from a fresh copy of its reserved child)
-    only when an earlier item of its window turned active in a shard
-    it consults, so a batch loses at most the items whose candidate
-    sets an arrival actually changed.
+    (group policy) and more than {!batch_inline_threshold} items,
+    windows of items are classified concurrently, one pre-split child
+    generator per item in arrival order; an item is re-classified
+    serially (from a fresh copy of its reserved child) only when an
+    earlier item of its window turned active in a shard it consults,
+    so a batch loses at most the items whose candidate sets an arrival
+    actually changed.
     @raise Invalid_argument if any item's arity mismatches (checked up
     front, before any insertion). *)
 
@@ -159,8 +168,9 @@ val match_publication : t -> Publication.t -> id list
 (** Algorithm 5 with multi-level descent, fanned out through the shard
     map: only the shards whose region overlaps the publication's
     first-attribute value (or box range) — plus the fallback — are
-    scanned, which is where the active-scan saving comes from. The hit
-    list is identical to the flat store's. *)
+    consulted, and each consulted shard answers through its per-shard
+    counting index ({!Counting_matcher}) rather than a linear scan of
+    its actives. The hit list is identical to the flat store's. *)
 
 val match_publication_exhaustive : t -> Publication.t -> id list
 (** Ground truth against every live subscription, bypassing both the
@@ -174,10 +184,11 @@ val check_publication : t -> rng:Prng.t -> Publication.t -> Engine.report
     store generator. *)
 
 val stats : t -> Subscription_store.stats
-(** Monotone counters since creation. [active_scans] counts only the
-    consulted shards' actives — compare it against a flat store's to
-    measure the fan-out saving; all other counters match the flat
-    store's exactly under the same seed and op sequence. *)
+(** Monotone counters since creation. [index_hits] sums the consulted
+    shards' counting-index work — compare it against a flat store's to
+    measure the fan-out saving; [active_scans] stays zero on the
+    indexed match path; all other counters match the flat store's
+    exactly under the same seed and op sequence. *)
 
 val validate : t -> bool
 (** Structural invariants, for tests: the flat store's coverage

@@ -20,6 +20,7 @@ type stats = {
   promoted : int;
   active_scans : int;
   covered_scans : int;
+  index_hits : int;
 }
 
 (* The store's durable mutation language: each constructor records the
@@ -68,6 +69,11 @@ type t = {
      active-set mutation invalidates it. *)
   mutable active_cache : (id array * Subscription.t array) option;
   mutable packed_cache : Flat.t option;
+  (* Counting index over the active set, maintained incrementally at
+     every active-set mutation (not rebuilt): publication matching
+     queries it instead of scanning the actives. Derived state — not
+     journaled, not part of [equal_state]. *)
+  matcher : Counting_matcher.t;
   mutable next_id : id;
   (* Prng.split draws consumed by classifications so far. Recovery
      fast-forwards a fresh seed-rng by this count, so a recovered
@@ -101,6 +107,7 @@ let create ?(policy = Group_policy Engine.default_config) ?pool ~arity ~seed
     active_n = 0;
     active_cache = None;
     packed_cache = None;
+    matcher = Counting_matcher.create ~arity ();
     next_id = 0;
     splits = 0;
     journal = None;
@@ -286,6 +293,7 @@ let install t s ~state ~expires_at =
       (* A covered arrival leaves the active set untouched, so the
          cached snapshot stays valid — the common steady-state case. *)
       t.active_n <- t.active_n + 1;
+      Counting_matcher.add t.matcher ~id s;
       invalidate_active t);
   emit t (Op_add { id; sub = s; placement = state; expires_at });
   (id, state)
@@ -363,6 +371,7 @@ let reclassify_orphans t ~departed_active =
       | Active ->
           oe.state <- Active;
           t.active_n <- t.active_n + 1;
+          Counting_matcher.add t.matcher ~id:oid oe.sub;
           invalidate_active t;
           t.promoted_count <- t.promoted_count + 1;
           (oid, Active)
@@ -393,6 +402,7 @@ let remove t id =
       []
   | Active ->
       t.active_n <- t.active_n - 1;
+      Counting_matcher.remove t.matcher ~id;
       invalidate_active t;
       Hashtbl.remove t.children id;
       let reclassified = reclassify_orphans t ~departed_active:[ id ] in
@@ -415,6 +425,7 @@ let expire t ~now =
           List.iter (fun coverer -> unlink_child t ~coverer ~child:id) by
       | Active ->
           t.active_n <- t.active_n - 1;
+          Counting_matcher.remove t.matcher ~id;
           invalidate_active t;
           Hashtbl.remove t.children id)
     expired;
@@ -436,15 +447,12 @@ let expire t ~now =
 let match_publication t p =
   let hits = ref [] in
   let matched_actives = ref [] in
-  fold_entries t ~init:() ~f:(fun () id e ->
-      match e.state with
-      | Active ->
-          t.active_scans <- t.active_scans + 1;
-          if Publication.matches e.sub p then begin
-            matched_actives := id :: !matched_actives;
-            hits := id :: !hits
-          end
-      | Covered _ -> ());
+  (* The counting index answers the active-set question exactly — no
+     per-active [Publication.matches] scan ([active_scans] stays
+     flat; the index work shows up in [index_hits]). *)
+  Counting_matcher.iter_matches t.matcher p ~f:(fun id ->
+      matched_actives := id :: !matched_actives;
+      hits := id :: !hits);
   (* Multi-level descent: only the covered subscriptions recorded under
      a matched coverer can match (a point in a covered subscription
      lies in one of its coverers). *)
@@ -547,6 +555,15 @@ let[@problint.allow
       t.entries 0
   in
   if t.active_n <> ground_active then ok := false;
+  (* The counting index shadows exactly the active set. *)
+  if Counting_matcher.size t.matcher <> ground_active then ok := false;
+  Hashtbl.iter
+    (fun id e ->
+      match e.state with
+      | Active -> if not (Counting_matcher.mem t.matcher ~id) then ok := false
+      | Covered _ ->
+          if Counting_matcher.mem t.matcher ~id then ok := false)
+    t.entries;
   let seen = ref (-1) in
   let live_in_order = ref 0 in
   for i = 0 to t.order_n - 1 do
@@ -566,6 +583,7 @@ let stats t =
     promoted = t.promoted_count;
     active_scans = t.active_scans;
     covered_scans = t.covered_scans;
+    index_hits = Counting_matcher.inspections t.matcher;
   }
 
 (* -------------------------------------------------------------------
@@ -606,6 +624,7 @@ let apply_reclassified t reclassified =
           | Active ->
               oe.state <- Active;
               t.active_n <- t.active_n + 1;
+              Counting_matcher.add t.matcher ~id:oid oe.sub;
               invalidate_active t;
               t.promoted_count <- t.promoted_count + 1
           | Covered by ->
@@ -622,6 +641,7 @@ let drop_entry t id e =
       List.iter (fun coverer -> unlink_child t ~coverer ~child:id) by
   | Active ->
       t.active_n <- t.active_n - 1;
+      Counting_matcher.remove t.matcher ~id;
       invalidate_active t;
       Hashtbl.remove t.children id
 
@@ -643,6 +663,7 @@ let apply_op t op =
           List.iter (fun coverer -> link_child t ~coverer ~child:id) by
       | Active ->
           t.active_n <- t.active_n + 1;
+          Counting_matcher.add t.matcher ~id sub;
           invalidate_active t)
   | Op_remove { id; reclassified } ->
       (match Hashtbl.find_opt t.entries id with
@@ -699,7 +720,9 @@ let restore ?policy ?pool ~arity ~seed img =
       match placement with
       | Covered by ->
           List.iter (fun coverer -> link_child t ~coverer ~child:id) by
-      | Active -> t.active_n <- t.active_n + 1)
+      | Active ->
+          t.active_n <- t.active_n + 1;
+          Counting_matcher.add t.matcher ~id sub)
     img.i_entries;
   if img.i_next_id <= !last then
     invalid_arg "Subscription_store.recover: image next_id too small";

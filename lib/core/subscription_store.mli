@@ -156,8 +156,16 @@ type stats = {
   dropped_covered : int;  (** Arrivals classified as covered. *)
   removed : int;
   promoted : int;
-  active_scans : int;  (** Subscriptions touched in active-set scans. *)
+  active_scans : int;
+      (** Subscriptions tested one-by-one ([Publication.matches])
+          against the active set. Zero on the indexed match path — the
+          counting index replaces the scan; the index's work is
+          {!field-index_hits}. *)
   covered_scans : int;  (** Subscriptions touched in covered-set scans. *)
+  index_hits : int;
+      (** Per-attribute counting-index hits processed by
+          {!match_publication} — the indexed path's unit of work
+          ({!Counting_matcher.inspections}). *)
 }
 
 val stats : t -> stats

@@ -184,7 +184,17 @@ let send_inbound t ic msg =
   t.stats.frames_out <- t.stats.frames_out + 1;
   t.stats.sheds <- t.stats.sheds + Conn.send_msg ic.conn ~seq msg
 
+(* Notify fan-out is batched per connection: one matched publication
+   can notify many subscriptions of the same client, and queuing each
+   frame separately costs one write-queue append + shed pass per
+   subscriber. Frames are coalesced into a per-client buffer (seqs
+   assigned at collection time, so the numbering is identical to the
+   unbatched path) and appended as a single sheddable write-queue
+   entry per connection. Forwards keep their per-peer path — they ride
+   the reliable link and must be tracked frame-by-frame. *)
 let apply_actions t actions =
+  let batches = ref [] in
+  (* (client, conn, frames, count), first-seen order, reversed. *)
   List.iter
     (fun action ->
       match action with
@@ -194,9 +204,31 @@ let apply_actions t actions =
           | None -> () (* topology drift: drop rather than crash *))
       | Broker_node.Notify { client; key; pub_id } -> (
           match Hashtbl.find_opt t.client_conn client with
-          | Some ic -> send_inbound t ic (Wire.Notify { client; key; pub_id })
+          | Some ic ->
+              let _, _, buf, count =
+                match
+                  List.find_opt (fun (c, _, _, _) -> c = client) !batches
+                with
+                | Some b -> b
+                | None ->
+                    let b = (client, ic, Buffer.create 256, ref 0) in
+                    batches := b :: !batches;
+                    b
+              in
+              let seq = ic.in_seq in
+              ic.in_seq <- seq + 1;
+              Buffer.add_string buf
+                (Wire.frame ~seq (Wire.Notify { client; key; pub_id }));
+              incr count
           | None -> () (* client not connected; notification is lost *)))
-    actions
+    actions;
+  List.iter
+    (fun (_, ic, buf, count) ->
+      t.stats.frames_out <- t.stats.frames_out + !count;
+      t.stats.sheds <-
+        t.stats.sheds
+        + Conn.send ic.conn ~cls:Wire.Sheddable (Buffer.contents buf))
+    (List.rev !batches)
 
 let handle_payload t ~origin payload =
   apply_actions t (Broker_node.handle t.node ~now:(now ()) ~origin payload)

@@ -91,6 +91,142 @@ let test_nested_intervals () =
   Alcotest.(check int) "outermost only" 1 (Interval_index.count_stab t 0);
   Alcotest.(check int) "half at 50" 51 (Interval_index.count_stab t 50)
 
+(* ------------------------------------------------------------------ *)
+(* Dyn: the mutable wrapper the counting matcher builds per attribute. *)
+
+(* A reference liveness table: key -> current stamp. An entry is live
+   iff its stamp is still the key's current one, which is exactly the
+   counting matcher's slot-generation discipline. *)
+let mk_live () =
+  let tbl = Hashtbl.create 16 in
+  let live ~key ~stamp =
+    match Hashtbl.find_opt tbl key with
+    | Some s -> s = stamp
+    | None -> false
+  in
+  (tbl, live)
+
+let collect_stab d v =
+  let acc = ref [] in
+  Interval_index.Dyn.iter_stab d v ~f:(fun k -> acc := k :: !acc);
+  List.sort Int.compare !acc
+
+let collect_containing d q =
+  let acc = ref [] in
+  Interval_index.Dyn.iter_containing d q ~f:(fun k -> acc := k :: !acc);
+  List.sort Int.compare !acc
+
+let test_dyn_basic () =
+  let tbl, live = mk_live () in
+  let d = Interval_index.Dyn.create ~live () in
+  Hashtbl.replace tbl 1 10;
+  Interval_index.Dyn.add d ~key:1 ~stamp:10 (iv 0 10);
+  Hashtbl.replace tbl 2 11;
+  Interval_index.Dyn.add d ~key:2 ~stamp:11 (iv 5 15);
+  Alcotest.(check int) "size" 2 (Interval_index.Dyn.size d);
+  Alcotest.(check (list int)) "stab 7" [ 1; 2 ] (collect_stab d 7);
+  Alcotest.(check (list int)) "stab 0" [ 1 ] (collect_stab d 0);
+  Alcotest.(check (list int)) "containing [6,9]" [ 1; 2 ]
+    (collect_containing d (iv 6 9));
+  Alcotest.(check (list int)) "containing [3,12]" []
+    (collect_containing d (iv 3 12));
+  (* Kill key 1: flip the oracle, note the death. The entry becomes
+     invisible immediately, before any compaction. *)
+  Hashtbl.remove tbl 1;
+  Interval_index.Dyn.note_dead d;
+  Alcotest.(check int) "size after death" 1 (Interval_index.Dyn.size d);
+  Alcotest.(check (list int)) "stab 7 after death" [ 2 ] (collect_stab d 7);
+  Interval_index.Dyn.compact d;
+  Alcotest.(check int) "size after compact" 1 (Interval_index.Dyn.size d);
+  Alcotest.(check (list int)) "stab 7 after compact" [ 2 ] (collect_stab d 7)
+
+let test_dyn_stale_stamp () =
+  (* Slot reuse: the same key re-added with a newer stamp while its
+     dead incarnation still sits in the structure must stab exactly
+     once, whichever arrays the two incarnations live in. *)
+  let tbl, live = mk_live () in
+  let d = Interval_index.Dyn.create ~live () in
+  Hashtbl.replace tbl 7 1;
+  Interval_index.Dyn.add d ~key:7 ~stamp:1 (iv 0 100);
+  Hashtbl.remove tbl 7;
+  Interval_index.Dyn.note_dead d;
+  Hashtbl.replace tbl 7 2;
+  Interval_index.Dyn.add d ~key:7 ~stamp:2 (iv 50 60);
+  Alcotest.(check (list int)) "only the new incarnation" [ 7 ]
+    (collect_stab d 55);
+  Alcotest.(check (list int)) "old range no longer stabs" []
+    (collect_stab d 10);
+  Interval_index.Dyn.compact d;
+  Alcotest.(check (list int)) "same after compact" [ 7 ] (collect_stab d 55);
+  Alcotest.(check (list int)) "old range gone after compact" []
+    (collect_stab d 10)
+
+let test_dyn_vs_naive () =
+  (* Random add/kill streams large enough to cross the amortised
+     compaction thresholds repeatedly; every query must agree with a
+     scan of the reference table. *)
+  let rng = Prng.of_int 43 in
+  let tbl, live = mk_live () in
+  let d = Interval_index.Dyn.create ~live () in
+  let ranges = Hashtbl.create 16 in
+  let next_stamp = ref 1 in
+  let next_key = ref 0 in
+  for _ = 1 to 2000 do
+    (match Prng.int rng 3 with
+    | 0 | 1 ->
+        let key =
+          (* Mostly fresh keys, sometimes reuse of a dead one. *)
+          if Prng.int rng 4 = 0 && !next_key > 0 then Prng.int rng !next_key
+          else begin
+            incr next_key;
+            !next_key - 1
+          end
+        in
+        if Hashtbl.mem tbl key then begin
+          (* Key currently live: kill it first (slot churn). *)
+          Hashtbl.remove tbl key;
+          Hashtbl.remove ranges key;
+          Interval_index.Dyn.note_dead d
+        end;
+        let stamp = !next_stamp in
+        incr next_stamp;
+        let lo = Prng.int rng 1000 in
+        let r = iv lo (lo + Prng.int rng 120) in
+        Hashtbl.replace tbl key stamp;
+        Hashtbl.replace ranges key r;
+        Interval_index.Dyn.add d ~key ~stamp r
+    | _ ->
+        let lives = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+        if lives <> [] then begin
+          let k = List.nth lives (Prng.int rng (List.length lives)) in
+          Hashtbl.remove tbl k;
+          Hashtbl.remove ranges k;
+          Interval_index.Dyn.note_dead d
+        end);
+    Alcotest.(check int) "size tracks reference" (Hashtbl.length tbl)
+      (Interval_index.Dyn.size d);
+    if Prng.int rng 10 = 0 then begin
+      let v = Prng.int rng 1200 in
+      let naive_stab =
+        Hashtbl.fold
+          (fun k r acc -> if Interval.mem v r then k :: acc else acc)
+          ranges []
+        |> List.sort Int.compare
+      in
+      Alcotest.(check (list int)) "stab vs naive" naive_stab (collect_stab d v);
+      let qlo = Prng.int rng 1200 in
+      let q = iv qlo (qlo + Prng.int rng 60) in
+      let naive_cont =
+        Hashtbl.fold
+          (fun k r acc -> if Interval.subset q r then k :: acc else acc)
+          ranges []
+        |> List.sort Int.compare
+      in
+      Alcotest.(check (list int)) "containing vs naive" naive_cont
+        (collect_containing d q)
+    end
+  done
+
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;
@@ -101,4 +237,8 @@ let suite =
     Alcotest.test_case "overlapping vs naive" `Quick
       test_overlapping_against_naive;
     Alcotest.test_case "nested intervals" `Quick test_nested_intervals;
+    Alcotest.test_case "dyn basic" `Quick test_dyn_basic;
+    Alcotest.test_case "dyn stale stamp on slot reuse" `Quick
+      test_dyn_stale_stamp;
+    Alcotest.test_case "dyn randomized vs naive" `Quick test_dyn_vs_naive;
   ]
