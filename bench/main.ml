@@ -1281,6 +1281,137 @@ let run_serve ~fast () =
   if not r.H.clean then begin
     Printf.eprintf "FAIL: chaos audit failed after kill -9 recovery\n";
     exit 1
+  end;
+  (* Regression gate: with the peer backoff cap at 0.5 s the fleet
+     re-links as soon as the victim is back; recovery dominated by an
+     accumulated backoff delay is a bug, not load. *)
+  if r.H.recovery_seconds > 1.0 then begin
+    Printf.eprintf "FAIL: recovery took %.3fs (budget 1.0s)\n"
+      r.H.recovery_seconds;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Failover bench. Phase A exercises the replication plane in-process:
+   a primary store journalling through a Ship tap, every drained event
+   applied to a standby device, and after every mutation batch the
+   standby device is recovered and must be equal_state to the live
+   primary — the shipped-LSN-prefix correctness bar, checked at real
+   compaction boundaries. Phase B is the multi-process scenario: a hot
+   standby, SIGKILL the primary mid-refresh-wave, measure detection
+   and outage. Emits BENCH_failover.json; hard-fails on any equal_state
+   mismatch or unclean audit. *)
+
+let run_failover ~fast () =
+  let module H = Probsub_server.Harness in
+  let module L = Probsub_server.Loadgen in
+  let module Repl = Probsub_server.Repl in
+  let module Device = Probsub_store_log.Device in
+  let module Store_log = Probsub_store_log.Store_log in
+  print_endline "=================================================";
+  print_endline " Failover bench (WAL shipping, epoch-fenced takeover)";
+  print_endline "=================================================";
+  (* Phase A: shipped-prefix state equivalence. *)
+  let muts = if fast then 400 else 4000 in
+  let primary_dev, _, _ = Device.in_memory () in
+  let ship, wrapped = Repl.Ship.tap primary_dev in
+  let store, log =
+    Store_log.fresh ~policy:Subscription_store.Pairwise_policy ~device:wrapped
+      ~arity:2 ~seed ()
+  in
+  let standby_dev, _, _ = Device.in_memory () in
+  let apply = Repl.Apply.create ~device:standby_dev in
+  let rng = Prng.of_int (seed + 17) in
+  let live = ref [] in
+  let checks = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to muts do
+    (match Prng.int_in rng ~lo:0 ~hi:10 with
+    | r when r < 7 || !live = [] ->
+        let lo = Prng.int_in rng ~lo:0 ~hi:80 in
+        let sub =
+          Subscription.of_bounds
+            [ (lo, lo + 10); (Prng.int_in rng ~lo:0 ~hi:80, 95) ]
+        in
+        let id, _ = Subscription_store.add store sub in
+        live := id :: !live
+    | _ -> (
+        match !live with
+        | id :: rest ->
+            ignore (Subscription_store.remove store id);
+            live := rest
+        | [] -> ()));
+    if i mod 37 = 0 then Store_log.compact log store ~bindings:[];
+    if i mod 25 = 0 || i = muts then begin
+      List.iter
+        (fun e ->
+          match Repl.Apply.apply apply e with
+          | Ok _ -> ()
+          | Error m ->
+              Printf.eprintf "FAIL: replication apply at mutation %d: %s\n" i m;
+              exit 1)
+        (Repl.Ship.drain ship);
+      incr checks;
+      match Store_log.recover ~device:standby_dev () with
+      | Error m ->
+          Printf.eprintf "FAIL: standby recovery at mutation %d: %s\n" i m;
+          exit 1
+      | Ok r ->
+          if
+            not (Subscription_store.equal_state store r.Store_log.r_store)
+          then begin
+            Printf.eprintf
+              "FAIL: standby diverged from primary at mutation %d (lsn %d)\n"
+              i (Repl.Apply.next_lsn apply);
+            exit 1
+          end
+    end
+  done;
+  let ship_dt = Unix.gettimeofday () -. t0 in
+  let frames = Repl.Ship.frames_shipped ship in
+  Printf.printf
+    "phase A: %d mutations, %d frames shipped, %d equal_state checks, %.2fs\n"
+    muts frames !checks ship_dt;
+  (* Phase B: the multi-process failover scenario. *)
+  let cc =
+    if fast then H.config ~seed ~pubs:20 ()
+    else
+      H.config ~seed ~brokers:4 ~clients_per_broker:3 ~subs_per_client:6
+        ~pubs:100 ()
+  in
+  Printf.printf "brokers=%d clients=%d subs/client=%d pubs/phase=%d\n"
+    cc.H.brokers
+    (cc.H.brokers * cc.H.clients_per_broker)
+    cc.H.subs_per_client cc.H.pubs;
+  let r = H.run_failover cc in
+  Format.printf "@[<v>%a@]@." H.pp_failover_result r;
+  let post = r.H.post in
+  let oc = open_out "BENCH_failover.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"failover\",\n  \"fast\": %b,\n" fast;
+  Printf.fprintf oc
+    "  \"ship_mutations\": %d,\n  \"frames_shipped\": %d,\n\
+    \  \"equal_state_checks\": %d,\n"
+    muts frames !checks;
+  Printf.fprintf oc "  \"brokers\": %d,\n  \"connections\": %d,\n" cc.H.brokers
+    r.H.connections;
+  Printf.fprintf oc "  \"pubs_per_phase\": %d,\n" cc.H.pubs;
+  Printf.fprintf oc
+    "  \"pre\": { \"pubs_per_sec\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f \
+     },\n"
+    r.H.pre.L.pubs_per_sec r.H.pre.L.p50_ms r.H.pre.L.p99_ms;
+  Printf.fprintf oc
+    "  \"pubs_per_sec\": %.1f,\n  \"p50_ms\": %.3f,\n  \"p99_ms\": %.3f,\n"
+    post.L.pubs_per_sec post.L.p50_ms post.L.p99_ms;
+  Printf.fprintf oc
+    "  \"detection_seconds\": %.3f,\n  \"outage_seconds\": %.3f,\n"
+    r.H.detection_seconds r.H.outage_seconds;
+  Printf.fprintf oc "  \"failover_reconnects\": %d,\n" r.H.failover_reconnects;
+  Printf.fprintf oc "  \"verdicts_match\": %b\n}\n" r.H.clean;
+  close_out oc;
+  print_endline "wrote BENCH_failover.json";
+  if not r.H.clean then begin
+    Printf.eprintf "FAIL: chaos audit failed after failover\n";
+    exit 1
   end
 
 let () =
@@ -1289,8 +1420,9 @@ let () =
      `main.exe recovery [fast]` runs only the WAL/recovery bench;
      `main.exe shard [fast|--full]` runs only the sharded-fabric
      bench; `main.exe match [fast|--full]` runs only the counting-index
-     matching bench; a numeric argument sets the figure-regeneration
-     run count. *)
+     matching bench; `main.exe failover [fast]` runs only the
+     replication/failover bench; a numeric argument sets the
+     figure-regeneration run count. *)
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "kernels" then run_kernels ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "engine" then
     run_engine ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
@@ -1298,6 +1430,8 @@ let () =
     run_recovery ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then
     run_serve ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "failover" then
+    run_failover ~fast:(Array.length Sys.argv > 2 && Sys.argv.(2) = "fast") ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "shard" then begin
     let mode =
       if Array.length Sys.argv > 2 && Sys.argv.(2) = "fast" then `Fast

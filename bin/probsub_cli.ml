@@ -670,10 +670,41 @@ let serve_cmd =
       & opt float 30.0
       & info [ "lease" ] ~docv:"SECONDS" ~doc:"Subscription lease TTL.")
   in
-  let run id neighbors sock_dir wal arity refresh lease seed =
+  let standby_of =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "standby-of" ] ~docv:"SOCKET"
+          ~doc:
+            "Run as a hot standby of the primary listening on $(docv) \
+             (same broker id): stream its WAL into this process's \
+             $(b,--wal) directory and take over — raising the fence \
+             epoch and binding the primary's socket path — when its \
+             heartbeats stop. Requires $(b,--wal).")
+  in
+  let hb_interval =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "repl-hb-interval" ] ~docv:"SECONDS"
+          ~doc:"Primary-to-standby replication heartbeat period.")
+  in
+  let hb_timeout =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "repl-hb-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Heartbeat silence after which a standby declares its \
+             primary dead and promotes itself.")
+  in
+  let run id neighbors sock_dir wal arity refresh lease standby_of hb_interval
+      hb_timeout seed =
     match
       Probsub_server.Broker_server.config ~id ~neighbors ~sock_dir ~arity ~seed
-        ~wal_dir:wal ~refresh_interval:refresh ~lease_ttl:lease ()
+        ~wal_dir:wal ~refresh_interval:refresh ~lease_ttl:lease
+        ~standby_of ~repl_hb_interval:hb_interval ~repl_hb_timeout:hb_timeout
+        ()
     with
     | exception Invalid_argument msg -> `Error (false, msg)
     | cfg ->
@@ -687,11 +718,12 @@ let serve_cmd =
        ~doc:
          "Run one broker process: a select loop serving the broker \
           protocol on a Unix-domain socket, with retry/backoff links to \
-          its neighbours and optional WAL durability")
+          its neighbours, optional WAL durability, and optional \
+          hot-standby replication")
     Term.(
       ret
         (const run $ id $ neighbors $ sock_dir_arg $ wal $ arity $ refresh
-       $ lease $ seed_arg))
+       $ lease $ standby_of $ hb_interval $ hb_timeout $ seed_arg))
 
 let now_wall = Unix.gettimeofday
 
@@ -815,6 +847,15 @@ let loadgen_cmd =
           pump_clients clients warmup;
           let r = L.drive ~rng ~arity ~pubs ~per_pub_timeout:timeout w in
           print_loadgen_result r;
+          let reconnects =
+            List.fold_left (fun n c -> n + L.failover_reconnects c) 0 clients
+          in
+          let top_epoch =
+            List.fold_left (fun e c -> max e (L.epoch_seen c)) 0 clients
+          in
+          if reconnects > 0 || top_epoch > 0 then
+            Printf.printf "failover reconnects=%d at epoch %d\n" reconnects
+              top_epoch;
           Option.iter (fun path -> write_file path (loadgen_json r)) json;
           if not (Probsub_broker.Audit.is_clean r.L.audit && r.L.verdicts_match)
           then
@@ -854,12 +895,54 @@ let chaos_cmd =
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Also write the result as JSON (the BENCH_serve schema).")
+          ~doc:
+            "Also write the result as JSON (the BENCH_serve schema, or \
+             BENCH_failover with $(b,--failover)).")
   in
-  let run pubs brokers json seed =
+  let failover =
+    Arg.(
+      value & flag
+      & info [ "failover" ]
+          ~doc:
+            "Instead of restarting the killed broker from its WAL, give \
+             it a hot standby and never restart it: the standby must \
+             detect the death, promote over the replicated WAL, raise \
+             the fence epoch and take over the socket.")
+  in
+  let run pubs brokers failover json seed =
     let module H = Probsub_server.Harness in
     match H.config ~seed ~pubs ~brokers () with
     | exception Invalid_argument msg -> `Error (false, msg)
+    | cc when failover ->
+        let r =
+          try H.run_failover cc
+          with H.Error msg -> runtime_errorf "chaos: %s" msg
+        in
+        Format.printf "@[<v>%a@]@." H.pp_failover_result r;
+        Option.iter
+          (fun path ->
+            write_file path
+              (Printf.sprintf
+                 "{\n\
+                 \  \"connections\": %d,\n\
+                 \  \"pubs_per_sec\": %.1f,\n\
+                 \  \"p50_ms\": %.3f,\n\
+                 \  \"p99_ms\": %.3f,\n\
+                 \  \"detection_seconds\": %.3f,\n\
+                 \  \"outage_seconds\": %.3f,\n\
+                 \  \"failover_reconnects\": %d,\n\
+                 \  \"verdicts_match\": %b,\n\
+                 \  \"clean\": %b\n\
+                  }"
+                 r.H.connections r.H.post.Probsub_server.Loadgen.pubs_per_sec
+                 r.H.post.Probsub_server.Loadgen.p50_ms
+                 r.H.post.Probsub_server.Loadgen.p99_ms r.H.detection_seconds
+                 r.H.outage_seconds r.H.failover_reconnects
+                 r.H.post.Probsub_server.Loadgen.verdicts_match r.H.clean))
+          json;
+        if not r.H.clean then
+          runtime_errorf "chaos: audit failed after failover (seed %d)" seed;
+        `Ok ()
     | cc ->
         let r = try H.run cc with H.Error msg -> runtime_errorf "chaos: %s" msg in
         Format.printf "@[<v>%a@]@." H.pp_result r;
@@ -890,9 +973,10 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:
          "Spawn a real broker fleet, kill -9 an interior broker \
-          mid-refresh-wave, restart it from its WAL, and audit that the \
-          recovered fleet misses nothing")
-    Term.(ret (const run $ pubs $ brokers $ json $ seed_arg))
+          mid-refresh-wave, and audit that the fleet misses nothing — \
+          restarting the victim from its WAL, or with $(b,--failover) \
+          promoting its hot standby instead")
+    Term.(ret (const run $ pubs $ brokers $ failover $ json $ seed_arg))
 
 let main =
   Cmd.group

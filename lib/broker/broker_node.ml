@@ -40,6 +40,16 @@ type t = {
   (* Scratch set for handle_publish's forward-link dedup; always empty
      between calls. *)
   link_mark : (int, unit) Hashtbl.t;
+  (* Replication fence: the highest failover epoch this broker identity
+     has committed to. On a durable broker it is journalled, so a
+     restarted ex-primary remembers it was superseded. *)
+  mutable fence : int;
+  (* Replication observability counters; monotone, diffed by the
+     metrics layer exactly like [match_counters]. *)
+  mutable c_failovers : int;
+  mutable c_repl_frames : int;
+  mutable c_repl_lag : int; (* high-water mark, hence monotone *)
+  mutable c_reconnects : int;
 }
 
 let id t = t.id
@@ -65,6 +75,15 @@ let match_counters t =
   let st = Subscription_store.stats t.routing in
   ( st.Subscription_store.active_scans + st.Subscription_store.covered_scans,
     st.Subscription_store.index_hits )
+
+let repl_counters t =
+  (t.c_failovers, t.c_repl_frames, t.c_repl_lag, t.c_reconnects)
+
+let note_failover t = t.c_failovers <- t.c_failovers + 1
+let note_repl_frames t ~n = t.c_repl_frames <- t.c_repl_frames + n
+let note_repl_lag t ~lag = if lag > t.c_repl_lag then t.c_repl_lag <- lag
+let note_failover_reconnect t = t.c_reconnects <- t.c_reconnects + 1
+let fence_epoch t = t.fence
 
 (* Origin <-> (okind, oarg) for durable bindings; the store-log layer
    is broker-agnostic and carries plain ints. *)
@@ -120,7 +139,8 @@ let start_fresh_routing t =
 let reset t =
   start_fresh_routing t;
   reset_routing_maps t;
-  reset_soft t
+  reset_soft t;
+  t.fence <- 0
 
 (* Rebuild the routing maps from recovered bindings. Entries the log
    cannot fully account for — a torn tail that kept the add but lost
@@ -172,10 +192,12 @@ let restart t =
       match Store_log.recover ~device () with
       | Error _ ->
           start_fresh_routing t;
-          reset_routing_maps t
+          reset_routing_maps t;
+          t.fence <- 0
       | Ok r ->
           t.routing <- r.Store_log.r_store;
           t.durable <- Some r.Store_log.r_log;
+          t.fence <- r.Store_log.r_fence;
           install_recovered t r.Store_log.r_store r.Store_log.r_bindings
             r.Store_log.r_epochs));
   reset_soft t
@@ -201,9 +223,9 @@ let create ?(use_advertisements = false) ?lease_ttl ?(dedup_capacity = 4096)
           id_to_key = Hashtbl.create 32;
         })
     neighbors;
-  let routing, durable, recovered =
+  let routing, durable, recovered, fence =
     match device with
-    | None -> (fresh_store (), None, None)
+    | None -> (fresh_store (), None, None, 0)
     | Some device -> (
         let start_fresh () =
           (* Same rng draw as the non-durable path, so a durable
@@ -212,7 +234,7 @@ let create ?(use_advertisements = false) ?lease_ttl ?(dedup_capacity = 4096)
           let store, log =
             Store_log.fresh ~policy ~device ~arity ~seed:(draw_seed ()) ()
           in
-          (store, Some log, None)
+          (store, Some log, None, 0)
         in
         if not recover then start_fresh ()
         else
@@ -226,7 +248,8 @@ let create ?(use_advertisements = false) ?lease_ttl ?(dedup_capacity = 4096)
               let (_ : int) = draw_seed () in
               ( r.Store_log.r_store,
                 Some r.Store_log.r_log,
-                Some (r.Store_log.r_bindings, r.Store_log.r_epochs) ))
+                Some (r.Store_log.r_bindings, r.Store_log.r_epochs),
+                r.Store_log.r_fence ))
   in
   let t =
     {
@@ -249,6 +272,11 @@ let create ?(use_advertisements = false) ?lease_ttl ?(dedup_capacity = 4096)
       ads = Hashtbl.create 16;
       seen_pubs = Dedup_window.create ~capacity:dedup_capacity;
       link_mark = Hashtbl.create 8;
+      fence;
+      c_failovers = 0;
+      c_repl_frames = 0;
+      c_repl_lag = 0;
+      c_reconnects = 0;
     }
   in
   (match recovered with
@@ -627,6 +655,14 @@ let compact_wal t =
   match t.durable with
   | None -> ()
   | Some log -> Store_log.compact log t.routing ~bindings:(collect_bindings t)
+
+let raise_fence t ~epoch =
+  if epoch > t.fence then begin
+    t.fence <- epoch;
+    match t.durable with
+    | Some log -> Store_log.log_fence log ~epoch
+    | None -> ()
+  end
 
 let default_compact_threshold = 32768
 

@@ -26,12 +26,17 @@ type config = {
   max_queue_bytes : int;
   backoff_base : float;
   backoff_cap : float;
+  standby_of : string option;
+      (* socket path of the primary this process shadows; None = primary *)
+  repl_hb_interval : float;
+  repl_hb_timeout : float;
 }
 
 let config ?(wal_dir = None) ?(policy = Subscription_store.Pairwise_policy)
     ?(lease_ttl = 30.0) ?(refresh_interval = 10.0) ?(rto = 4.0)
     ?(max_retries = 6) ?(max_queue_bytes = 1 lsl 20) ?(backoff_base = 0.05)
-    ?(backoff_cap = 2.0) ~id ~neighbors ~sock_dir ~arity ~seed () =
+    ?(backoff_cap = 2.0) ?(standby_of = None) ?(repl_hb_interval = 0.5)
+    ?(repl_hb_timeout = 2.0) ~id ~neighbors ~sock_dir ~arity ~seed () =
   if id < 0 then invalid_arg "Broker_server.config: negative broker id";
   if List.mem id neighbors then
     invalid_arg "Broker_server.config: broker cannot neighbor itself";
@@ -42,6 +47,10 @@ let config ?(wal_dir = None) ?(policy = Subscription_store.Pairwise_policy)
       && refresh_interval < lease_ttl
       && rto > 0.0 && max_retries >= 0)
   then invalid_arg "Broker_server.config: bad recovery parameters";
+  if not (repl_hb_interval > 0.0 && repl_hb_timeout > repl_hb_interval) then
+    invalid_arg "Broker_server.config: bad replication heartbeat parameters";
+  if standby_of <> None && wal_dir = None then
+    invalid_arg "Broker_server.config: a standby needs a wal_dir to replicate into";
   {
     id;
     neighbors;
@@ -57,6 +66,9 @@ let config ?(wal_dir = None) ?(policy = Subscription_store.Pairwise_policy)
     max_queue_bytes;
     backoff_base;
     backoff_cap;
+    standby_of;
+    repl_hb_interval;
+    repl_hb_timeout;
   }
 
 let socket_path ~sock_dir id =
@@ -69,6 +81,15 @@ type timer =
   | T_refresh  (* drive a lease-refresh wave for local client subs *)
   | T_sweep  (* lease expiry + WAL compaction tick *)
   | T_reconnect of int  (* peer id whose backoff delay elapsed *)
+  | T_repl_hb  (* primary → standby replication heartbeat *)
+  | T_standby_check  (* standby watchdog: redial and failover detection *)
+
+(* The failover role state machine. A broker starts [Primary] (possibly
+   after finding its socket free) or [Standby] (configured with
+   [standby_of]); a standby that stops hearing heartbeats promotes
+   itself to [Primary]; a primary greeted with a higher epoch for its
+   own identity demotes to [Fenced] and never acks a write again. *)
+type role = Primary | Standby | Fenced
 
 (* Outgoing link to one neighbour. The Reliable_link sender and the
    sequence counter belong to our process session and survive
@@ -93,7 +114,7 @@ type recv_state = {
   mutable r_last_seen : int;
 }
 
-type who = Unknown | From_peer of int | From_client of int
+type who = Unknown | From_peer of int | From_client of int | From_standby
 
 type inbound = {
   conn : Conn.t;
@@ -115,9 +136,9 @@ type stats = {
 
 type t = {
   cfg : config;
-  node : Broker_node.t;
+  mutable node : Broker_node.t;
   session : int;
-  listen_fd : Unix.file_descr;
+  mutable listen_fd : Unix.file_descr option;
   timers : timer Event_queue.t;
   peers : peer array;
   mutable inbound : inbound list;
@@ -125,6 +146,22 @@ type t = {
   client_recv : (int, recv_state) Hashtbl.t;
   client_conn : (int, inbound) Hashtbl.t;
   stats : stats;
+  (* Failover state. [epoch] is this identity's fencing epoch as this
+     process believes it; [raw_device] is the untapped durable device
+     (the standby applies into it, and promotion recovers from it). *)
+  mutable role : role;
+  mutable epoch : int;
+  raw_device : Device.t option;
+  (* Primary side: the WAL shipper and the attached standby. *)
+  mutable ship : Repl.Ship.t option;
+  mutable standby : inbound option;
+  mutable standby_synced : bool;
+  mutable last_shipped : int;
+  (* Standby side: the dialed link to the primary and the applier. *)
+  mutable up_conn : Conn.t option;
+  mutable up_seq : int;
+  mutable apply : Repl.Apply.t option;
+  mutable last_contact : float;
 }
 
 let find_peer t id =
@@ -166,7 +203,7 @@ let send_peer t peer msg =
       match msg with
       | Wire.Payload p -> p
       | Wire.Hello _ | Wire.Welcome _ | Wire.Notify _ | Wire.Frame_ack _
-      | Wire.Bye ->
+      | Wire.Repl_stream _ | Wire.Bye ->
           invalid_arg "Broker_server.send_peer: only payloads are acked"
     in
     Reliable_link.track peer.sender ~seq ~item:payload
@@ -233,12 +270,9 @@ let apply_actions t actions =
 let handle_payload t ~origin payload =
   apply_actions t (Broker_node.handle t.node ~now:(now ()) ~origin payload)
 
-(* Connect attempt to one neighbour; failure re-arms the backoff
-   timer. Unix-domain connects either succeed immediately or fail —
-   there is no long in-progress window to track. *)
-let try_connect t peer =
-  peer.reconnect_armed <- false;
-  let path = socket_path ~sock_dir:t.cfg.sock_dir peer.p_id in
+(* One UNIX-domain connect attempt, shared by peer links, the standby's
+   uplink, and the startup socket probe. *)
+let connect_unix path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match
     (Unix.connect fd (Unix.ADDR_UNIX path)
@@ -247,7 +281,19 @@ let try_connect t peer =
        the listener backlog; there is no TCP-style in-progress window to \
        wait out"])
   with
-  | () ->
+  | () -> Some fd
+  | exception Unix.Unix_error (_, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+
+(* Connect attempt to one neighbour; failure re-arms the backoff
+   timer. Unix-domain connects either succeed immediately or fail —
+   there is no long in-progress window to track. *)
+let try_connect t peer =
+  peer.reconnect_armed <- false;
+  let path = socket_path ~sock_dir:t.cfg.sock_dir peer.p_id in
+  match connect_unix path with
+  | Some fd ->
       let c = Conn.create ~max_queue_bytes:t.cfg.max_queue_bytes fd in
       peer.p_conn <- Some c;
       peer.welcomed <- false;
@@ -261,9 +307,9 @@ let try_connect t peer =
                  role = Wire.Peer_role t.cfg.id;
                  session = t.session;
                  last_seen = 0;
+                 epoch = 0;
                })
-  | exception Unix.Unix_error (_, _, _) -> (
-      (try Unix.close fd with Unix.Unix_error _ -> ());
+  | None -> (
       match Backoff.next_delay peer.backoff with
       | Some delay ->
           peer.reconnect_armed <- true;
@@ -315,31 +361,107 @@ let admit_acked t ic rs ~seq =
       if seq > rs.r_last_seen then rs.r_last_seen <- seq;
       true
 
+(* A Hello or heartbeat carrying a higher epoch for OUR identity means
+   a standby of ours was promoted while we were (presumed) dead: we are
+   the stale half of a split brain. Persist the fence, stop listening,
+   drop every connection, and never ack a write again. The successor
+   owns the socket path now (or is about to take it), so the path is
+   not unlinked here. *)
+let demote t ~epoch =
+  Broker_node.raise_fence t.node ~epoch;
+  t.epoch <- epoch;
+  t.role <- Fenced;
+  (match t.listen_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.listen_fd <- None;
+  Array.iter
+    (fun peer ->
+      (match peer.p_conn with Some c -> Conn.close c | None -> ());
+      peer.p_conn <- None;
+      peer.welcomed <- false)
+    t.peers;
+  List.iter (fun ic -> Conn.close ic.conn) t.inbound;
+  t.inbound <- [];
+  Hashtbl.reset t.client_conn;
+  t.standby <- None;
+  t.standby_synced <- false
+
+let event_to_msg = function
+  | Repl.E_frames bytes -> Wire.Repl_stream (Wire.R_frames { bytes })
+  | Repl.E_snapshot { snap; wal; next_lsn } ->
+      Wire.Repl_stream (Wire.R_snapshot { snap; wal; next_lsn })
+
+(* Replication traffic arriving on an accepted standby connection
+   (primary side): the opening resume request and the applied acks. *)
+let handle_standby_repl t ic repl =
+  match (t.ship, repl) with
+  | Some ship, Wire.R_hello { from_lsn } ->
+      List.iter
+        (fun ev -> send_inbound t ic (event_to_msg ev))
+        (Repl.Ship.resume ship ~from_lsn);
+      t.standby <- Some ic;
+      t.standby_synced <- true;
+      send_inbound t ic
+        (Wire.Repl_stream
+           (Wire.R_heartbeat
+              { epoch = t.epoch; next_lsn = Repl.Ship.next_lsn ship }))
+  | Some ship, Wire.R_ack { applied_lsn } ->
+      Broker_node.note_repl_lag t.node
+        ~lag:(max 0 (Repl.Ship.next_lsn ship - applied_lsn))
+  | None, (Wire.R_hello _ | Wire.R_ack _)
+  | _, (Wire.R_frames _ | Wire.R_snapshot _ | Wire.R_heartbeat _) ->
+      () (* no shipper (no wal_dir), or stream traffic sent the wrong way *)
+
 let handle_msg t ic (seq, msg) =
   t.stats.frames_in <- t.stats.frames_in + 1;
   match (ic.who, msg) with
-  | Unknown, Wire.Hello { role; session; last_seen = _ } ->
-      let table, id =
-        match role with
-        | Wire.Peer_role p -> (t.peer_recv, p)
-        | Wire.Client_role c -> (t.client_recv, c)
-      in
-      let rs = recv_state_for table id in
-      if rs.r_session <> session then begin
-        (* New remote session: its numbering restarts, so stale seqs
-           must not suppress fresh frames. *)
-        rs.r_session <- session;
-        rs.r_last_seen <- 0;
-        Reliable_link.reset_receiver rs.r_window
-      end;
-      (match role with
-      | Wire.Peer_role p -> ic.who <- From_peer p
-      | Wire.Client_role c ->
-          ic.who <- From_client c;
-          Hashtbl.replace t.client_conn c ic);
-      send_inbound t ic
-        (Wire.Welcome { session = t.session; last_seen = rs.r_last_seen })
+  | Unknown, Wire.Hello { role; session; last_seen = _; epoch } -> (
+      (* The fence: any same-identity greeter (standby probe or client)
+         that has seen a higher epoch proves we were superseded. Peer
+         epochs belong to other broker identities and are ignored. *)
+      match role with
+      | (Wire.Client_role _ | Wire.Standby_role _) when epoch > t.epoch ->
+          demote t ~epoch
+      | Wire.Standby_role sid ->
+          if sid = t.cfg.id && t.role = Primary then begin
+            ic.who <- From_standby;
+            send_inbound t ic
+              (Wire.Welcome
+                 { session = t.session; last_seen = 0; epoch = t.epoch })
+          end
+          else Conn.close ic.conn (* a standby for someone else: refuse *)
+      | Wire.Peer_role _ | Wire.Client_role _ ->
+          let table, id =
+            match role with
+            | Wire.Peer_role p -> (t.peer_recv, p)
+            | Wire.Client_role c | Wire.Standby_role c -> (t.client_recv, c)
+          in
+          let rs = recv_state_for table id in
+          if rs.r_session <> session then begin
+            (* New remote session: its numbering restarts, so stale seqs
+               must not suppress fresh frames. *)
+            rs.r_session <- session;
+            rs.r_last_seen <- 0;
+            Reliable_link.reset_receiver rs.r_window
+          end;
+          (match role with
+          | Wire.Peer_role p -> ic.who <- From_peer p
+          | Wire.Client_role c ->
+              ic.who <- From_client c;
+              Hashtbl.replace t.client_conn c ic;
+              (* A client that last spoke to a lower epoch is resuming
+                 across a failover. *)
+              if Broker_node.fence_epoch t.node > 0 && epoch < t.epoch then
+                Broker_node.note_failover_reconnect t.node
+          | Wire.Standby_role _ -> ());
+          send_inbound t ic
+            (Wire.Welcome
+               { session = t.session; last_seen = rs.r_last_seen;
+                 epoch = t.epoch }))
   | Unknown, _ -> () (* pre-handshake noise: ignore until Hello *)
+  | From_standby, Wire.Repl_stream repl -> handle_standby_repl t ic repl
+  | From_standby, _ -> () (* only replication traffic on a standby conn *)
   | From_peer p, Wire.Payload payload ->
       let process =
         if Wire.acked msg then
@@ -362,15 +484,137 @@ let handle_msg t ic (seq, msg) =
           | Some h -> ignore (Event_queue.cancel t.timers h)
           | None -> ())
       | None -> ())
-  | From_peer p, Wire.Welcome { last_seen; session = _ } -> (
+  | From_peer p, Wire.Welcome { last_seen; session = _; epoch = _ } -> (
       (* Welcome answered on the socket we opened: the accept side of
-         this conn object is their reply channel. *)
+         this conn object is their reply channel. The peer's epoch
+         belongs to its own identity and is not compared with ours. *)
       match find_peer t p with
       | Some peer -> handle_welcome t peer ~last_seen
       | None -> ())
   | _, Wire.Bye -> Conn.close ic.conn
-  | _, (Wire.Hello _ | Wire.Welcome _ | Wire.Notify _ | Wire.Frame_ack _) ->
+  | ( _,
+      ( Wire.Hello _ | Wire.Welcome _ | Wire.Notify _ | Wire.Frame_ack _
+      | Wire.Repl_stream _ ) ) ->
       () (* role mismatch or client-bound traffic: drop *)
+
+(* ---- standby side: uplink to the primary, and promotion ---- *)
+
+let send_up t c msg =
+  let seq = t.up_seq in
+  t.up_seq <- seq + 1;
+  t.stats.frames_out <- t.stats.frames_out + 1;
+  t.stats.sheds <- t.stats.sheds + Conn.send_msg c ~seq msg
+
+let drop_up t =
+  (match t.up_conn with Some c -> Conn.close c | None -> ());
+  t.up_conn <- None
+
+let dial_primary t path =
+  match connect_unix path with
+  | Some fd ->
+      let c = Conn.create ~max_queue_bytes:t.cfg.max_queue_bytes fd in
+      t.up_conn <- Some c;
+      t.up_seq <- 0;
+      send_up t c
+        (Wire.Hello
+           {
+             role = Wire.Standby_role t.cfg.id;
+             session = t.session;
+             last_seen = 0;
+             epoch = t.epoch;
+           })
+  | None -> () (* primary down; the watchdog tick redials *)
+
+(* Feed one replication event into the standby's device; ack progress,
+   or tear the uplink down on stream-position disagreement so the
+   re-handshake resumes from our durable position. *)
+let apply_up_event t event =
+  match t.apply with
+  | None -> ()
+  | Some apply -> (
+      match Repl.Apply.apply apply event with
+      | Ok applied_lsn -> (
+          t.last_contact <- now ();
+          match t.up_conn with
+          | Some c -> send_up t c (Wire.Repl_stream (Wire.R_ack { applied_lsn }))
+          | None -> ())
+      | Error _ -> drop_up t)
+
+(* Everything the standby hears on its uplink: the Welcome that opens
+   the stream, then frames/rebases to apply and heartbeats to feed the
+   failover detector. *)
+let handle_up_msg t (_seq, msg) =
+  t.stats.frames_in <- t.stats.frames_in + 1;
+  match msg with
+  | Wire.Welcome { epoch; _ } -> (
+      t.last_contact <- now ();
+      if epoch > t.epoch then t.epoch <- epoch;
+      match (t.up_conn, t.apply) with
+      | Some c, Some apply ->
+          send_up t c
+            (Wire.Repl_stream
+               (Wire.R_hello { from_lsn = Repl.Apply.next_lsn apply }))
+      | _ -> ())
+  | Wire.Repl_stream (Wire.R_heartbeat { epoch; next_lsn = _ }) ->
+      t.last_contact <- now ();
+      if epoch > t.epoch then t.epoch <- epoch
+  | Wire.Repl_stream (Wire.R_frames { bytes }) ->
+      apply_up_event t (Repl.E_frames bytes)
+  | Wire.Repl_stream (Wire.R_snapshot { snap; wal; next_lsn }) ->
+      apply_up_event t (Repl.E_snapshot { snap; wal; next_lsn })
+  | Wire.Bye -> drop_up t
+  | Wire.Hello _ | Wire.Payload _ | Wire.Notify _ | Wire.Frame_ack _
+  | Wire.Repl_stream (Wire.R_hello _ | Wire.R_ack _) ->
+      () (* not primary→standby traffic *)
+
+let bind_listen path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    Unix.set_nonblock fd
+  with
+  | () -> fd
+  | exception e ->
+      (* EADDRINUSE / permission failures must not leak the socket:
+         create is retried by the harness after a crashed broker. *)
+      Unix.close fd;
+      raise e
+
+(* The standby stopped hearing from its primary: take over. Recover a
+   full broker from the replicated device, commit to a strictly higher
+   epoch (journalled before anything is served), bind the primary's
+   socket path so clients and peers reconnect transparently, and start
+   acting as the primary — including accepting a future standby. *)
+let promote t =
+  drop_up t;
+  t.apply <- None;
+  (match t.raw_device with
+  | None -> () (* unreachable: standby config requires a wal_dir *)
+  | Some raw ->
+      let ship, wrapped = Repl.Ship.tap raw in
+      let node =
+        Broker_node.create ~device:wrapped ~recover:true
+          ~lease_ttl:t.cfg.lease_ttl ~id:t.cfg.id ~neighbors:t.cfg.neighbors
+          ~policy:t.cfg.policy ~arity:t.cfg.arity ~seed:t.cfg.seed ()
+      in
+      let epoch = max t.epoch (Broker_node.fence_epoch node) + 1 in
+      Broker_node.raise_fence node ~epoch;
+      Broker_node.note_failover node;
+      (* Recovery-time rewrites and the fence append are local history,
+         not stream traffic for a (not yet attached) next standby. *)
+      ignore (Repl.Ship.drain ship);
+      t.node <- node;
+      t.ship <- Some ship;
+      t.last_shipped <- Repl.Ship.frames_shipped ship;
+      t.epoch <- epoch);
+  t.listen_fd <- Some (bind_listen (socket_path ~sock_dir:t.cfg.sock_dir t.cfg.id));
+  t.role <- Primary;
+  Array.iter (fun peer -> try_connect t peer) t.peers;
+  arm t ~delay:t.cfg.refresh_interval T_refresh;
+  arm t ~delay:t.cfg.refresh_interval T_sweep;
+  arm t ~delay:t.cfg.repl_hb_interval T_repl_hb
 
 let fire_timer t timer =
   match timer with
@@ -392,24 +636,48 @@ let fire_timer t timer =
               Reliable_link.set_timer peer.sender ~seq
                 (arm_cancelable t ~delay:rto (T_retransmit (pid, seq)))))
   | T_refresh ->
-      t.stats.refresh_waves <- t.stats.refresh_waves + 1;
-      List.iter
-        (fun (key, client, sub) ->
-          let epoch = Broker_node.subscription_epoch t.node ~key + 1 in
-          handle_payload t ~origin:(Message.Client client)
-            (Message.Subscribe { key; sub; epoch }))
-        (Broker_node.client_subscriptions t.node);
-      arm t ~delay:t.cfg.refresh_interval T_refresh
+      if t.role = Primary then begin
+        t.stats.refresh_waves <- t.stats.refresh_waves + 1;
+        List.iter
+          (fun (key, client, sub) ->
+            let epoch = Broker_node.subscription_epoch t.node ~key + 1 in
+            handle_payload t ~origin:(Message.Client client)
+              (Message.Subscribe { key; sub; epoch }))
+          (Broker_node.client_subscriptions t.node);
+        arm t ~delay:t.cfg.refresh_interval T_refresh
+      end
   | T_sweep ->
-      t.stats.sweeps <- t.stats.sweeps + 1;
-      let _expired, actions = Broker_node.sweep t.node ~now:(now ()) in
-      apply_actions t actions;
-      ignore (Broker_node.maybe_compact t.node);
-      arm t ~delay:t.cfg.refresh_interval T_sweep
+      if t.role = Primary then begin
+        t.stats.sweeps <- t.stats.sweeps + 1;
+        let _expired, actions = Broker_node.sweep t.node ~now:(now ()) in
+        apply_actions t actions;
+        ignore (Broker_node.maybe_compact t.node);
+        arm t ~delay:t.cfg.refresh_interval T_sweep
+      end
   | T_reconnect pid -> (
-      match find_peer t pid with
-      | Some peer when peer.p_conn = None -> try_connect t peer
-      | Some _ | None -> ())
+      if t.role = Primary then
+        match find_peer t pid with
+        | Some peer when peer.p_conn = None -> try_connect t peer
+        | Some _ | None -> ())
+  | T_repl_hb ->
+      if t.role = Primary then begin
+        (match (t.ship, t.standby) with
+        | Some ship, Some ic when t.standby_synced ->
+            send_inbound t ic
+              (Wire.Repl_stream
+                 (Wire.R_heartbeat
+                    { epoch = t.epoch; next_lsn = Repl.Ship.next_lsn ship }))
+        | _ -> ());
+        arm t ~delay:t.cfg.repl_hb_interval T_repl_hb
+      end
+  | T_standby_check ->
+      if t.role = Standby then begin
+        (match (t.up_conn, t.cfg.standby_of) with
+        | None, Some path -> dial_primary t path
+        | _ -> ());
+        if now () -. t.last_contact > t.cfg.repl_hb_timeout then promote t
+        else arm t ~delay:t.cfg.repl_hb_interval T_standby_check
+      end
 
 let fire_due_timers t =
   let rec go () =
@@ -424,37 +692,102 @@ let fire_due_timers t =
   in
   go ()
 
+(* Pre-bind probe: does a live same-identity broker already serve our
+   socket path? The probe speaks the ordinary handshake as a standby of
+   that identity carrying our recovered fence epoch, so the two
+   processes compare epochs through the normal fencing rule: a live
+   owner at our epoch or above answers Welcome (we must fence
+   ourselves); an owner at a lower epoch demotes itself on our Hello
+   and hangs up (the path is ours to take). *)
+let probe_socket ~path ~id ~session ~epoch =
+  match connect_unix path with
+  | None -> `Free (* no socket file, or nobody listening behind it *)
+  | Some fd -> (
+      let c = Conn.create fd in
+      ignore
+        (Conn.send_msg c ~seq:0
+           (Wire.Hello
+              {
+                role = Wire.Standby_role id;
+                session;
+                last_seen = 0;
+                epoch;
+              }));
+      let deadline = now () +. 1.0 in
+      let rec await () =
+        if Conn.closed c || now () > deadline then `Free
+        else begin
+          (match Conn.flush c with `Ok | `Closed -> ());
+          match Unix.select [ fd ] [] [] 0.05 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> `Free
+          | [], _, _ -> await ()
+          | _ :: _, _, _ -> (
+              match Conn.recv c with
+              | `Eof -> `Free
+              | `Blocked | `Data _ -> (
+                  match Conn.next c with
+                  | `Msg (_, Wire.Welcome { epoch = e; _ }) -> `Owned e
+                  | `Msg _ | `Pending -> await ()
+                  | `Corrupt _ -> `Free))
+        end
+      in
+      match await () with
+      | verdict ->
+          Conn.close c;
+          verdict)
+
 let create cfg =
-  let device =
-    Option.map (fun dir -> Device.fs ~dir) cfg.wal_dir
+  let raw_device = Option.map (fun dir -> Device.fs ~dir) cfg.wal_dir in
+  let is_standby = cfg.standby_of <> None in
+  let ship, node_device =
+    if is_standby then (None, None)
+    else
+      match raw_device with
+      | None -> (None, None)
+      | Some raw ->
+          let s, wrapped = Repl.Ship.tap raw in
+          (Some s, Some wrapped)
   in
   let node =
-    Broker_node.create ?device ~recover:true ~lease_ttl:cfg.lease_ttl
-      ~id:cfg.id ~neighbors:cfg.neighbors ~policy:cfg.policy ~arity:cfg.arity
-      ~seed:cfg.seed ()
+    if is_standby then
+      (* Placeholder until promotion: a standby must not open the
+         replicated device with a broker of its own — creating one
+         would wipe it. The real node is recovered when we take over. *)
+      Broker_node.create ~lease_ttl:cfg.lease_ttl ~id:cfg.id
+        ~neighbors:cfg.neighbors ~policy:cfg.policy ~arity:cfg.arity
+        ~seed:cfg.seed ()
+    else
+      Broker_node.create ?device:node_device ~recover:true
+        ~lease_ttl:cfg.lease_ttl ~id:cfg.id ~neighbors:cfg.neighbors
+        ~policy:cfg.policy ~arity:cfg.arity ~seed:cfg.seed ()
   in
+  (* Startup journal writes (genesis or recovery repair) are local
+     history, not stream traffic. *)
+  (match ship with Some s -> ignore (Repl.Ship.drain s) | None -> ());
   let session = Clock.session_id () in
-  let path = socket_path ~sock_dir:cfg.sock_dir cfg.id in
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (match
-     Unix.bind listen_fd (Unix.ADDR_UNIX path);
-     Unix.listen listen_fd 64;
-     Unix.set_nonblock listen_fd
-   with
-  | () -> ()
-  | exception e ->
-      (* EADDRINUSE / permission failures must not leak the socket:
-         create is retried by the harness after a crashed broker. *)
-      Unix.close listen_fd;
-      raise e);
   let t =
     {
       cfg;
       node;
       session;
-      listen_fd;
+      listen_fd = None;
       timers = Event_queue.create ();
+      role = (if is_standby then Standby else Primary);
+      epoch = (if is_standby then 0 else Broker_node.fence_epoch node);
+      raw_device;
+      ship;
+      standby = None;
+      standby_synced = false;
+      last_shipped =
+        (match ship with Some s -> Repl.Ship.frames_shipped s | None -> 0);
+      up_conn = None;
+      up_seq = 0;
+      apply =
+        (if is_standby then
+           Option.map (fun d -> Repl.Apply.create ~device:d) raw_device
+         else None);
+      last_contact = now ();
       peers =
         Array.of_list
           (List.map
@@ -493,14 +826,31 @@ let create cfg =
         };
     }
   in
-  Array.iter (fun peer -> try_connect t peer) t.peers;
-  arm t ~delay:cfg.refresh_interval T_refresh;
-  arm t ~delay:cfg.refresh_interval T_sweep;
+  (match cfg.standby_of with
+  | Some primary_path ->
+      dial_primary t primary_path;
+      arm t ~delay:cfg.repl_hb_interval T_standby_check
+  | None -> (
+      let path = socket_path ~sock_dir:cfg.sock_dir cfg.id in
+      match probe_socket ~path ~id:cfg.id ~session ~epoch:t.epoch with
+      | `Owned e ->
+          (* A live owner with our identity answered: we are the stale
+             twin. Remember the highest epoch and refuse to serve. *)
+          let e = max e t.epoch in
+          Broker_node.raise_fence t.node ~epoch:e;
+          t.epoch <- e;
+          t.role <- Fenced
+      | `Free ->
+          t.listen_fd <- Some (bind_listen path);
+          Array.iter (fun peer -> try_connect t peer) t.peers;
+          arm t ~delay:cfg.refresh_interval T_refresh;
+          arm t ~delay:cfg.refresh_interval T_sweep;
+          arm t ~delay:cfg.repl_hb_interval T_repl_hb));
   t
 
-let accept_ready t =
+let accept_ready t listen_fd =
   let rec go () =
-    match Unix.accept t.listen_fd with
+    match Unix.accept listen_fd with
     | fd, _ ->
         t.stats.accepted <- t.stats.accepted + 1;
         let c = Conn.create ~max_queue_bytes:t.cfg.max_queue_bytes fd in
@@ -542,6 +892,17 @@ let read_outgoing t peer c =
 (* Forget a dead inbound connection; receive state stays for resume. *)
 let reap_inbound t ic =
   Conn.close ic.conn;
+  (match t.standby with
+  | Some s
+    when (s == ic)
+         [@problint.allow
+           unsafe
+             "identity, not structure: detach the standby only if the \
+              registered replication connection is this very one — a \
+              reconnected standby may already own the slot"] ->
+      t.standby <- None;
+      t.standby_synced <- false
+  | Some _ | None -> ());
   (match ic.who with
   | From_client c -> (
       match Hashtbl.find_opt t.client_conn c with
@@ -554,7 +915,7 @@ let reap_inbound t ic =
                   reconnected client may already own the slot"] ->
           Hashtbl.remove t.client_conn c
       | Some _ | None -> ())
-  | From_peer _ | Unknown -> ());
+  | From_peer _ | From_standby | Unknown -> ());
   t.inbound <-
     List.filter
       (fun other ->
@@ -566,11 +927,32 @@ let reap_inbound t ic =
                record from the inbound list"]))
       t.inbound
 
+(* Stream everything the node's journal produced since the last step to
+   the attached standby; without one, drop it (the standby's R_hello
+   resume replays whatever it missed from the WAL itself). *)
+let pump_repl t =
+  match t.ship with
+  | None -> ()
+  | Some ship ->
+      let events = Repl.Ship.drain ship in
+      (match t.standby with
+      | Some ic when t.standby_synced && not (Conn.closed ic.conn) ->
+          List.iter (fun ev -> send_inbound t ic (event_to_msg ev)) events
+      | Some _ | None -> ());
+      let shipped = Repl.Ship.frames_shipped ship in
+      if shipped > t.last_shipped then begin
+        Broker_node.note_repl_frames t.node ~n:(shipped - t.last_shipped);
+        t.last_shipped <- shipped
+      end
+
 let step t =
   fire_due_timers t;
+  pump_repl t;
   let peer_list = Array.to_list t.peers in
   let read_fds =
-    (t.listen_fd :: List.map (fun ic -> Conn.fd ic.conn) t.inbound)
+    (match t.listen_fd with Some fd -> [ fd ] | None -> [])
+    @ (match t.up_conn with Some c -> [ Conn.fd c ] | None -> [])
+    @ List.map (fun ic -> Conn.fd ic.conn) t.inbound
     @ List.filter_map (fun peer -> Option.map Conn.fd peer.p_conn) peer_list
   in
   let write_fds =
@@ -578,6 +960,9 @@ let step t =
       (fun ic ->
         if Conn.wants_write ic.conn then Some (Conn.fd ic.conn) else None)
       t.inbound
+    @ (match t.up_conn with
+      | Some c when Conn.wants_write c -> [ Conn.fd c ]
+      | Some _ | None -> [])
     @ List.filter_map
         (fun peer ->
           match peer.p_conn with
@@ -599,7 +984,37 @@ let step t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
     | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [])
   in
-  if List.mem t.listen_fd readable then accept_ready t;
+  (match t.listen_fd with
+  | Some fd when List.mem fd readable -> accept_ready t fd
+  | Some _ | None -> ());
+  (* Standby uplink: flush, read the stream, redial on loss (via the
+     watchdog tick — an immediate redial here would spin). *)
+  (match t.up_conn with
+  | None -> ()
+  | Some c ->
+      let ok_w =
+        if List.mem (Conn.fd c) writable then Conn.flush c = `Ok else true
+      in
+      let ok_r =
+        if ok_w && List.mem (Conn.fd c) readable then (
+          match Conn.recv c with
+          | `Eof -> false
+          | `Blocked -> true
+          | `Data _ ->
+              let rec drain () =
+                match Conn.next c with
+                | `Msg m ->
+                    handle_up_msg t m;
+                    if t.up_conn = None || Conn.closed c then false else drain ()
+                | `Pending -> true
+                | `Corrupt _ ->
+                    t.stats.corrupt_conns <- t.stats.corrupt_conns + 1;
+                    false
+              in
+              drain ())
+        else ok_w
+      in
+      if (not ok_r) || Conn.closed c then drop_up t);
   (* Peers: flush writes, read replies, reap dead links into backoff. *)
   Array.iter
     (fun peer ->
@@ -631,6 +1046,7 @@ let step t =
       end)
     t.inbound;
   (* Opportunistic flush of everything still queued. *)
+  pump_repl t;
   Array.iter
     (fun peer ->
       match peer.p_conn with
@@ -638,6 +1054,10 @@ let step t =
           if Conn.flush c = `Closed then drop_peer_conn t peer
       | Some _ | None -> ())
     t.peers;
+  (match t.up_conn with
+  | Some c when Conn.wants_write c ->
+      if Conn.flush c = `Closed then drop_up t
+  | Some _ | None -> ());
   List.iter
     (fun ic ->
       if Conn.wants_write ic.conn && Conn.flush ic.conn = `Closed then
@@ -649,9 +1069,13 @@ let shutdown t =
     (fun peer -> match peer.p_conn with Some c -> Conn.close c | None -> ())
     t.peers;
   List.iter (fun ic -> Conn.close ic.conn) t.inbound;
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  try Unix.unlink (socket_path ~sock_dir:t.cfg.sock_dir t.cfg.id)
-  with Unix.Unix_error _ -> ()
+  drop_up t;
+  match t.listen_fd with
+  | None -> () (* never bound (standby) or fenced: the path is not ours *)
+  | Some fd -> (
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Unix.unlink (socket_path ~sock_dir:t.cfg.sock_dir t.cfg.id)
+      with Unix.Unix_error _ -> ())
 
 let run ?(on_ready = fun () -> ()) ?(should_stop = fun () -> false) cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -663,3 +1087,5 @@ let run ?(on_ready = fun () -> ()) ?(should_stop = fun () -> false) cfg =
 let node t = t.node
 let session t = t.session
 let stats t = t.stats
+let role t = t.role
+let epoch t = t.epoch

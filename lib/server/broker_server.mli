@@ -22,7 +22,21 @@
 
     Maintenance mirrors the simulator: a refresh wave and a lease sweep
     every [refresh_interval], the sweep doubling as the WAL compaction
-    tick. *)
+    tick.
+
+    Replication: with [standby_of], the process runs as a hot standby
+    of the broker with the same id — it opens no listening socket,
+    dials the primary's socket path, and streams the primary's WAL
+    into its own [wal_dir] through {!Repl}, staying a bounded number
+    of LSNs behind. When [repl_hb_timeout] passes without hearing the
+    primary, the standby recovers a full broker from the replicated
+    device, raises the identity's {e fence epoch} (journalled before
+    anything is served), binds the primary's socket path and serves in
+    its place; clients and peers reconnect transparently and session
+    resume makes redelivery idempotent. The epoch rides every
+    handshake, so a superseded ex-primary that ever hears a higher
+    epoch for its own identity demotes to a fenced state and never
+    acks a write again — at most one writable primary per identity. *)
 
 type config = {
   id : int;
@@ -39,6 +53,12 @@ type config = {
   max_queue_bytes : int;  (** per-connection write budget before shed *)
   backoff_base : float;  (** first reconnect delay *)
   backoff_cap : float;  (** reconnect delay ceiling before jitter *)
+  standby_of : string option;
+      (** Socket path of the primary this process shadows; [None] runs
+          a normal primary. *)
+  repl_hb_interval : float;  (** primary → standby heartbeat period *)
+  repl_hb_timeout : float;
+      (** silence after which the standby declares the primary dead *)
 }
 
 val config :
@@ -51,6 +71,9 @@ val config :
   ?max_queue_bytes:int ->
   ?backoff_base:float ->
   ?backoff_cap:float ->
+  ?standby_of:string option ->
+  ?repl_hb_interval:float ->
+  ?repl_hb_timeout:float ->
   id:int ->
   neighbors:int list ->
   sock_dir:string ->
@@ -59,13 +82,24 @@ val config :
   unit ->
   config
 (** Validated constructor; defaults mirror the simulator's recovery
-    record (lease 30 s, refresh 10 s, rto 4 s, 6 retries).
-    @raise Invalid_argument on a negative id, a self-neighbour, or
-    recovery parameters the simulator would also reject. *)
+    record (lease 30 s, refresh 10 s, rto 4 s, 6 retries); replication
+    heartbeats every 0.5 s with a 2 s failover timeout.
+    @raise Invalid_argument on a negative id, a self-neighbour,
+    recovery parameters the simulator would also reject, heartbeat
+    parameters out of order, or a standby without a [wal_dir]. *)
 
 val socket_path : sock_dir:string -> int -> string
 
 type t
+
+type role = Primary | Standby | Fenced
+(** Where the process stands in the failover state machine. [Primary]
+    serves clients and peers (and streams its WAL to an attached
+    standby); [Standby] applies the stream and watches heartbeats;
+    [Fenced] is a superseded ex-primary that holds no socket and never
+    acks a write. Transitions: a standby promotes to primary on
+    heartbeat loss; a primary demotes to fenced when any same-identity
+    handshake carries a higher epoch. *)
 
 type stats = {
   mutable accepted : int;
@@ -80,9 +114,12 @@ type stats = {
 }
 
 val create : config -> t
-(** Bind the listening socket, recover (or initialise) the node, dial
-    every neighbour, arm the maintenance timers. @raise Unix.Unix_error
-    if the listening socket cannot be bound. *)
+(** Primary: recover (or initialise) the node, probe the socket path
+    for a live same-identity owner (entering {!Fenced} instead of
+    binding when one answers), bind, dial every neighbour, arm the
+    maintenance timers. Standby ([standby_of]): open no socket, dial
+    the primary and start replicating. @raise Unix.Unix_error if the
+    listening socket cannot be bound. *)
 
 val step : t -> unit
 (** One event-loop iteration: fire due timers, select (bounded at
@@ -103,3 +140,8 @@ val run : ?on_ready:(unit -> unit) -> ?should_stop:(unit -> bool) -> config -> u
 val node : t -> Probsub_broker.Broker_node.t
 val session : t -> int
 val stats : t -> stats
+
+val role : t -> role
+val epoch : t -> int
+(** Current fencing epoch for this broker identity (0 = never
+    fenced). *)

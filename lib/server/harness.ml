@@ -25,9 +25,9 @@ let sleepf s = try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
 (* Fork without exec: the child becomes a broker process running the
    select loop forever (the parent stops it with a signal), signalling
-   readiness over a pipe so the parent never races the bind. *)
-let spawn fleet i =
-  let cfg = fleet.f_configs.(i) in
+   readiness over a pipe so the parent never races the bind (a standby
+   signals after [create], i.e. once it is dialling its primary). *)
+let fork_server cfg =
   let r, w = Unix.pipe () in
   match Unix.fork () with
   | exception e ->
@@ -53,21 +53,27 @@ let spawn fleet i =
       let buf = Bytes.create 1 in
       let n = try Unix.read r buf 0 1 with Unix.Unix_error _ -> 0 in
       Unix.close r;
-      fleet.f_spawned.(i) <- Clock.now ();
-      fleet.f_pids.(i) <- Some pid;
       if n <> 1 then begin
         (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
         ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0));
-        fleet.f_pids.(i) <- None;
-        failf "broker %d failed to come up" i
-      end
+        failf "broker %d failed to come up" cfg.Broker_server.id
+      end;
+      pid
+
+let spawn fleet i =
+  let pid = fork_server fleet.f_configs.(i) in
+  fleet.f_spawned.(i) <- Clock.now ();
+  fleet.f_pids.(i) <- Some pid
+
+let kill_pid pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
 
 let kill9 fleet i =
   match fleet.f_pids.(i) with
   | None -> ()
   | Some pid ->
-      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-      ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0));
+      kill_pid pid;
       fleet.f_pids.(i) <- None
 
 let stop_fleet fleet = Array.iteri (fun i _ -> kill9 fleet i) fleet.f_pids
@@ -91,11 +97,15 @@ let make_fleet ~seed ~brokers ~arity ~refresh_interval ~sock_dir ~wal_root =
           @ (if i < brokers - 1 then [ i + 1 ] else [])
         in
         let wal_dir = Filename.concat wal_root (Printf.sprintf "broker-%d" i) in
+        (* Peer-reconnect cap 0.5 s, not the server default 2 s: during
+           an outage longer than one doubling the accumulated delay
+           otherwise dominates recovery_seconds — the fleet would sit
+           out a ~2 s backoff after the victim is already back. *)
         Broker_server.config ~id:i ~neighbors ~sock_dir ~arity
           ~seed:(seed + (i * 1009))
           ~wal_dir:(Some wal_dir) ~refresh_interval
           ~lease_ttl:(refresh_interval *. 6.0)
-          ~rto:0.2 ~max_retries:8 ())
+          ~rto:0.2 ~max_retries:8 ~backoff_cap:0.5 ())
   in
   {
     f_sock_dir = sock_dir;
@@ -334,3 +344,176 @@ let pp_result ppf r =
     r.pre.Loadgen.p50_ms r.pre.Loadgen.p99_ms (phase_clean r.pre)
     r.post.Loadgen.pubs_per_sec r.post.Loadgen.p50_ms r.post.Loadgen.p99_ms
     (phase_clean r.post)
+
+(* ------------------------------------------------------------------ *)
+(* The failover scenario: same fleet, but the victim has a hot standby
+   and is never restarted — the standby must take over. *)
+
+(* A standby shadowing [victim]: same broker identity and neighbours
+   (it inherits the victim's place in the topology on promotion),
+   replicating into its own WAL directory, with tight heartbeats so
+   failover detection is sub-second. *)
+let standby_config fleet ~victim =
+  let cfg = fleet.f_configs.(victim) in
+  let wal_dir =
+    Filename.concat fleet.f_wal_root (Printf.sprintf "broker-%d-standby" victim)
+  in
+  Broker_server.config ~id:cfg.Broker_server.id
+    ~neighbors:cfg.Broker_server.neighbors ~sock_dir:fleet.f_sock_dir
+    ~arity:cfg.Broker_server.arity
+    ~seed:(cfg.Broker_server.seed + 500_009)
+    ~wal_dir:(Some wal_dir)
+    ~refresh_interval:cfg.Broker_server.refresh_interval
+    ~lease_ttl:cfg.Broker_server.lease_ttl ~rto:0.2 ~max_retries:8
+    ~backoff_cap:0.5
+    ~standby_of:
+      (Some (Broker_server.socket_path ~sock_dir:fleet.f_sock_dir victim))
+    ~repl_hb_interval:0.1 ~repl_hb_timeout:0.5 ()
+
+(* Poll-connect the victim's socket path (5 ms cadence, pumping the
+   clients between attempts) until somebody accepts again — the moment
+   the promoted standby has bound it. *)
+let wait_takeover clients ~path ~since ~deadline =
+  let rec go () =
+    if Clock.now () >= deadline then
+      failf "standby never took over the socket"
+    else begin
+      Loadgen.poll_all clients;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let up =
+        match
+          (Unix.connect fd (Unix.ADDR_UNIX path)
+           [@problint.allow blocking
+             "a Unix-domain connect to a listening (or absent) socket \
+              returns immediately; this is the harness's takeover \
+              detector, polled at 5 ms"])
+        with
+        | () -> true
+        | exception Unix.Unix_error (_, _, _) -> false
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if up then Clock.now () -. since
+      else begin
+        sleepf 0.005;
+        go ()
+      end
+    end
+  in
+  go ()
+
+type failover_result = {
+  victim : int;
+  connections : int;  (** client connections across the fleet *)
+  detection_seconds : float;
+      (** SIGKILL to the promoted standby accepting on the victim's
+          socket path *)
+  outage_seconds : float;
+      (** SIGKILL to the first publication round-tripping through the
+          promoted standby *)
+  failover_reconnects : int;
+      (** clients that re-handshook at the raised epoch *)
+  pre : Loadgen.result;
+  post : Loadgen.result;
+  clean : bool;
+}
+
+let run_failover cc =
+  let sock_dir = Filename.temp_dir "probsub-sock" "" in
+  let wal_root = Filename.temp_dir "probsub-wal" "" in
+  let fleet =
+    make_fleet ~seed:cc.seed ~brokers:cc.brokers ~arity:cc.arity
+      ~refresh_interval:cc.refresh_interval ~sock_dir ~wal_root
+  in
+  let victim = cc.brokers / 2 in
+  let standby_pid = ref None in
+  let clients = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Loadgen.close_client !clients;
+      (match !standby_pid with Some pid -> kill_pid pid | None -> ());
+      stop_fleet fleet;
+      rm_rf sock_dir;
+      rm_rf wal_root)
+    (fun () ->
+      Array.iteri (fun i _ -> spawn fleet i) fleet.f_configs;
+      standby_pid := Some (fork_server (standby_config fleet ~victim));
+      let rng = Prng.of_int cc.seed in
+      clients :=
+        List.concat
+          (List.init cc.brokers (fun b ->
+               List.init cc.clients_per_broker (fun j ->
+                   Loadgen.connect_client ~sock_dir ~broker:b
+                     ~client:((b * 100) + j + 1)
+                     ~seed:((cc.seed * 7919) + (b * 100) + j)
+                     ())));
+      let clients = !clients in
+      if not (Loadgen.wait_connected clients) then
+        failf "clients failed to connect";
+      let w =
+        Loadgen.install ~rng ~arity:cc.arity
+          ~subs_per_client:cc.subs_per_client clients
+      in
+      if not (Loadgen.wait_acked clients) then
+        failf "subscriptions were never acked";
+      let last = cc.brokers - 1 in
+      let deadline = Clock.now () +. 30.0 in
+      let p_fwd, pub_fwd = cross_line_probe w clients ~src:0 ~dst:last in
+      let (_ : float) =
+        probe_until ~w ~clients ~publisher:p_fwd ~pub_base:2_000_000
+          ~pub:pub_fwd ~since:(Clock.now ()) ~deadline
+      in
+      let p_bwd, pub_bwd = cross_line_probe w clients ~src:last ~dst:0 in
+      let (_ : float) =
+        probe_until ~w ~clients ~publisher:p_bwd ~pub_base:2_100_000
+          ~pub:pub_bwd ~since:(Clock.now ()) ~deadline
+      in
+      (* Phase 1: healthy fleet, standby streaming alongside. *)
+      let pre =
+        Loadgen.drive ~pub_base:1_000_000 ~rng ~arity:cc.arity ~pubs:cc.pubs
+          ~per_pub_timeout:cc.per_pub_timeout w
+      in
+      (* SIGKILL the primary mid-refresh-wave; never restart it. The
+         standby's heartbeat watchdog must notice, promote over the
+         replicated WAL, raise the fence epoch and take the socket. *)
+      align_mid_wave fleet clients ~victim ~interval:cc.refresh_interval;
+      kill9 fleet victim;
+      let t_kill = Clock.now () in
+      let path = Broker_server.socket_path ~sock_dir victim in
+      let detection_seconds =
+        wait_takeover clients ~path ~since:t_kill ~deadline:(t_kill +. 30.0)
+      in
+      let outage_seconds =
+        probe_until ~w ~clients ~publisher:p_fwd ~pub_base:2_300_000
+          ~pub:pub_fwd ~since:t_kill
+          ~deadline:(t_kill +. 60.0)
+      in
+      (* One refresh wave re-synchronizes lease epochs through the new
+         primary; then the audited phase must be spotless. *)
+      pump_for clients cc.refresh_interval;
+      let post =
+        Loadgen.drive ~pub_base:3_000_000 ~rng ~arity:cc.arity ~pubs:cc.pubs
+          ~per_pub_timeout:cc.per_pub_timeout w
+      in
+      {
+        victim;
+        connections = List.length clients;
+        detection_seconds;
+        outage_seconds;
+        failover_reconnects =
+          List.fold_left
+            (fun n c -> n + Loadgen.failover_reconnects c)
+            0 clients;
+        pre;
+        post;
+        clean = phase_clean pre && phase_clean post;
+      })
+
+let pp_failover_result ppf r =
+  Format.fprintf ppf
+    "victim=%d connections=%d detection=%.3fs outage=%.3fs reconnects=%d@ \
+     pre: %.1f pubs/s p50=%.2fms p99=%.2fms clean=%b@ post: %.1f pubs/s \
+     p50=%.2fms p99=%.2fms clean=%b"
+    r.victim r.connections r.detection_seconds r.outage_seconds
+    r.failover_reconnects r.pre.Loadgen.pubs_per_sec r.pre.Loadgen.p50_ms
+    r.pre.Loadgen.p99_ms (phase_clean r.pre) r.post.Loadgen.pubs_per_sec
+    r.post.Loadgen.p50_ms r.post.Loadgen.p99_ms (phase_clean r.post)

@@ -72,3 +72,37 @@ val run : config -> result
     temp directories. @raise Error on environmental failure. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Failover chaos}
+
+    Same fleet and workload, but the interior victim runs with a hot
+    standby (same broker identity, own WAL directory, 0.1 s/0.5 s
+    replication heartbeats) and is {e never restarted}: the SIGKILL —
+    still aligned mid-refresh-wave — must be detected by the standby's
+    heartbeat watchdog, which promotes over the replicated WAL, raises
+    the fence epoch, binds the victim's socket path and serves in its
+    place. *)
+
+type failover_result = {
+  victim : int;
+  connections : int;  (** client connections across the fleet *)
+  detection_seconds : float;
+      (** SIGKILL to the promoted standby accepting on the victim's
+          socket path *)
+  outage_seconds : float;
+      (** SIGKILL to the first publication round-tripping through the
+          promoted standby *)
+  failover_reconnects : int;
+      (** clients that re-handshook at the raised epoch *)
+  pre : Loadgen.result;
+  post : Loadgen.result;
+  clean : bool;
+      (** both phases audit clean with byte-identical verdicts *)
+}
+
+val run_failover : config -> failover_result
+(** Execute the failover scenario (the victim is [brokers / 2], as in
+    {!run}). @raise Error on environmental failure, including a
+    standby that never takes over. *)
+
+val pp_failover_result : Format.formatter -> failover_result -> unit

@@ -26,6 +26,8 @@ type client = {
   mutable next_seq : int;
   mutable reconnect_at : float;
   mutable received : notification list;  (* newest first *)
+  mutable epoch_seen : int;  (* highest fence epoch welcomed at; -1 = never *)
+  mutable failover_reconnects : int;
 }
 
 let connect_client ?(rto = 0.5) ?(max_retries = 10) ~sock_dir ~broker ~client
@@ -44,6 +46,8 @@ let connect_client ?(rto = 0.5) ?(max_retries = 10) ~sock_dir ~broker ~client
     next_seq = 1;
     reconnect_at = 0.0;
     received = [];
+    epoch_seen = -1;
+    failover_reconnects = 0;
   }
 
 let connected t = t.conn <> None && t.welcomed
@@ -51,6 +55,9 @@ let in_flight t = Reliable_link.in_flight t.sender
 let notifications t = List.rev t.received
 let home t = t.home
 let client_id t = t.client_id
+let backoff_attempts t = Backoff.attempts t.backoff
+let epoch_seen t = max t.epoch_seen 0
+let failover_reconnects t = t.failover_reconnects
 
 let drop_conn t =
   (match t.conn with Some c -> Conn.close c | None -> ());
@@ -76,6 +83,7 @@ let try_connect t =
                 role = Wire.Client_role t.client_id;
                 session = t.session;
                 last_seen = 0;
+                epoch = max t.epoch_seen 0;
               }))
   | exception Unix.Unix_error (_, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -113,7 +121,15 @@ let publish t ~id pub =
 
 let handle_client_msg t msg =
   match msg with
-  | Wire.Welcome { last_seen; session = _ } ->
+  | Wire.Welcome { last_seen = _; session = _; epoch }
+    when epoch < t.epoch_seen ->
+      (* A stale primary (about to be fenced — our Hello carried the
+         higher epoch): hang up and redial, landing on the successor. *)
+      drop_conn t
+  | Wire.Welcome { last_seen; session = _; epoch } ->
+      if t.epoch_seen >= 0 && epoch > t.epoch_seen then
+        t.failover_reconnects <- t.failover_reconnects + 1;
+      t.epoch_seen <- epoch;
       t.welcomed <- true;
       Backoff.reset t.backoff;
       List.iter
@@ -133,7 +149,7 @@ let handle_client_msg t msg =
       t.received <-
         { n_pub = pub_id; n_key = key; n_at = Clock.now () } :: t.received
   | Wire.Bye -> drop_conn t
-  | Wire.Hello _ | Wire.Payload _ -> ()
+  | Wire.Hello _ | Wire.Payload _ | Wire.Repl_stream _ -> ()
 
 let poll t =
   let now = Clock.now () in

@@ -67,6 +67,21 @@ val notifications : client -> notification list
 val home : client -> int
 val client_id : client -> int
 
+val backoff_attempts : client -> int
+(** Reconnect attempts consumed since the last successful handshake —
+    0 right after a Welcome (the backoff resets so the {e next} outage
+    starts from the base delay again, not the accumulated cap). *)
+
+val epoch_seen : client -> int
+(** Highest fence epoch any Welcome carried (0 before the first
+    handshake). Echoed in later Hellos, which is what demotes a stale
+    ex-primary the client happens to reach first. *)
+
+val failover_reconnects : client -> int
+(** Times this client re-handshook at a {e higher} epoch than it was
+    previously welcomed at — i.e. resumed its session against a
+    freshly promoted standby. *)
+
 val close_client : client -> unit
 (** Send [Bye] best-effort and close the socket. *)
 

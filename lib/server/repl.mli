@@ -1,0 +1,71 @@
+(** WAL shipping between a primary broker and its hot standby.
+
+    The primary wraps its durable {!Probsub_store_log.Device.t} in a
+    {!Ship.tap}; every WAL append and every compaction rebase is
+    captured as an {!event} to stream to the standby. The standby
+    feeds events through {!Apply}, which writes the identical bytes to
+    its own device — so recovering the standby's device at any shipped
+    prefix yields a store
+    {!Probsub_core.Subscription_store.equal_state} to the primary's at
+    that LSN.
+
+    Events are idempotent on the apply side (stale frames are skipped
+    by LSN), which makes retransmission after reconnect safe. *)
+
+module Device := Probsub_store_log.Device
+
+type event =
+  | E_frames of string
+      (** Raw WAL frame bytes, contiguous LSNs, verbatim from the
+          primary's log. *)
+  | E_snapshot of { snap : string option; wal : string; next_lsn : int }
+      (** Full rebase: replace the standby's snapshot slot and WAL
+          wholesale (after compaction, or when the standby's resume
+          point predates the primary's retained tail). [next_lsn] is
+          the LSN the primary's next append will carry. *)
+
+(** Primary side: capture appends and rebases from the live device. *)
+module Ship : sig
+  type t
+
+  val tap : Device.t -> t * Device.t
+  (** [tap inner] returns the shipper plus a wrapped device that
+      forwards every call to [inner] while recording replication
+      events. Hand the wrapped device to {!Probsub_store_log} in place
+      of [inner]. *)
+
+  val drain : t -> event list
+  (** Pending events since the last drain, oldest first. Adjacent
+      frame appends are coalesced into one chunk; a rebase supersedes
+      (drops) everything captured before it. *)
+
+  val resume : t -> from_lsn:int -> event list
+  (** Catch-up stream for a standby whose next expected LSN is
+      [from_lsn]: the exact WAL byte suffix when the tail is still
+      retained, a full rebase otherwise, and [[]] when the standby is
+      already current. *)
+
+  val next_lsn : t -> int
+  val frames_shipped : t -> int
+end
+
+(** Standby side: apply shipped events to the local device. *)
+module Apply : sig
+  type t
+
+  val create : device:Device.t -> t
+  (** Attach to the standby's device. A torn tail left by a standby
+      crash is cut back to the longest valid prefix first, so
+      {!next_lsn} is always a resume point the primary can serve. *)
+
+  val apply : t -> event -> (int, string) result
+  (** Apply one event; returns the new next-expected LSN. Frames below
+      the current position are skipped (idempotent); a gap above it is
+      an error — the caller should tear down and re-handshake with its
+      current {!next_lsn}. Errors leave the device unchanged except
+      for a failed rebase consistency check, after which the caller
+      must re-handshake anyway. *)
+
+  val next_lsn : t -> int
+  val frames_applied : t -> int
+end

@@ -3,31 +3,46 @@ module Message = Probsub_broker.Message
 module Codec = Probsub_store_log.Codec
 module Prim = Codec.Prim
 
-type role = Peer_role of int | Client_role of int
+type role = Peer_role of int | Client_role of int | Standby_role of int
+
+type repl =
+  | R_hello of { from_lsn : int }
+  | R_frames of { bytes : string }
+  | R_snapshot of { snap : string option; wal : string; next_lsn : int }
+  | R_heartbeat of { epoch : int; next_lsn : int }
+  | R_ack of { applied_lsn : int }
 
 type msg =
-  | Hello of { role : role; session : int; last_seen : int }
-  | Welcome of { session : int; last_seen : int }
+  | Hello of { role : role; session : int; last_seen : int; epoch : int }
+  | Welcome of { session : int; last_seen : int; epoch : int }
   | Payload of Message.payload
   | Notify of { client : int; key : int; pub_id : int }
   | Frame_ack of { seq : int }
+  | Repl_stream of repl
   | Bye
 
 type cls = Control | Sheddable
 
 let class_of = function
-  | Hello _ | Welcome _ | Frame_ack _ | Bye -> Control
+  | Hello _ | Welcome _ | Frame_ack _ | Repl_stream _ | Bye -> Control
   | Payload p -> if Message.is_control p then Control else Sheddable
   | Notify _ -> Sheddable
 
 let acked = function
   | Payload p -> Message.is_control p
-  | Hello _ | Welcome _ | Notify _ | Frame_ack _ | Bye -> false
+  | Hello _ | Welcome _ | Notify _ | Frame_ack _ | Repl_stream _ | Bye -> false
 
 (* Tags. Top level: 0 Hello, 1 Welcome, 2 Payload, 3 Notify,
-   4 Frame_ack, 5 Bye. Payload: 0 Subscribe, 1 Unsubscribe,
-   2 Advertise, 3 Unadvertise, 4 Publish, 5 Ack. Publication:
-   0 Point, 1 Box. Role: 0 peer, 1 client. *)
+   4 Frame_ack, 5 Bye, 6 Repl_stream. Payload: 0 Subscribe,
+   1 Unsubscribe, 2 Advertise, 3 Unadvertise, 4 Publish, 5 Ack.
+   Publication: 0 Point, 1 Box. Role: 0 peer, 1 client, 2 standby.
+   Repl: 0 hello, 1 frames, 2 snapshot, 3 heartbeat, 4 ack. *)
+
+(* Length-prefixed byte strings — only the replication stream carries
+   them, so the helper lives here rather than in [Codec.Prim]. *)
+let w_bytes b s =
+  Prim.write_uv b (String.length s);
+  Buffer.add_string b s
 
 let w_role b = function
   | Peer_role id ->
@@ -36,6 +51,33 @@ let w_role b = function
   | Client_role id ->
       Prim.write_uv b 1;
       Prim.write_uv b id
+  | Standby_role id ->
+      Prim.write_uv b 2;
+      Prim.write_uv b id
+
+let w_repl b = function
+  | R_hello { from_lsn } ->
+      Prim.write_uv b 0;
+      Prim.write_uv b from_lsn
+  | R_frames { bytes } ->
+      Prim.write_uv b 1;
+      w_bytes b bytes
+  | R_snapshot { snap; wal; next_lsn } ->
+      Prim.write_uv b 2;
+      (match snap with
+      | None -> Prim.write_uv b 0
+      | Some s ->
+          Prim.write_uv b 1;
+          w_bytes b s);
+      w_bytes b wal;
+      Prim.write_uv b next_lsn
+  | R_heartbeat { epoch; next_lsn } ->
+      Prim.write_uv b 3;
+      Prim.write_uv b epoch;
+      Prim.write_uv b next_lsn
+  | R_ack { applied_lsn } ->
+      Prim.write_uv b 4;
+      Prim.write_uv b applied_lsn
 
 let w_publication b = function
   | Publication.Point values ->
@@ -73,15 +115,17 @@ let w_payload b = function
 let encode msg =
   let b = Buffer.create 64 in
   (match msg with
-  | Hello { role; session; last_seen } ->
+  | Hello { role; session; last_seen; epoch } ->
       Prim.write_uv b 0;
       w_role b role;
       Prim.write_uv b session;
-      Prim.write_uv b last_seen
-  | Welcome { session; last_seen } ->
+      Prim.write_uv b last_seen;
+      Prim.write_uv b epoch
+  | Welcome { session; last_seen; epoch } ->
       Prim.write_uv b 1;
       Prim.write_uv b session;
-      Prim.write_uv b last_seen
+      Prim.write_uv b last_seen;
+      Prim.write_uv b epoch
   | Payload p ->
       Prim.write_uv b 2;
       w_payload b p
@@ -93,7 +137,10 @@ let encode msg =
   | Frame_ack { seq } ->
       Prim.write_uv b 4;
       Prim.write_uv b seq
-  | Bye -> Prim.write_uv b 5);
+  | Bye -> Prim.write_uv b 5
+  | Repl_stream r ->
+      Prim.write_uv b 6;
+      w_repl b r);
   Buffer.contents b
 
 (* Total decoding: result-chained reads, and the message must consume
@@ -107,7 +154,44 @@ let r_role s ~pos =
   match tag with
   | 0 -> Ok (Peer_role id, pos)
   | 1 -> Ok (Client_role id, pos)
+  | 2 -> Ok (Standby_role id, pos)
   | _ -> Error "unknown role tag"
+
+let r_bytes s ~pos =
+  let* n, pos = Prim.read_uv s ~pos in
+  if n < 0 || pos + n > String.length s then Error "byte string overruns frame"
+  else Ok (String.sub s pos n, pos + n)
+
+let r_repl s ~pos =
+  let* tag, pos = Prim.read_uv s ~pos in
+  match tag with
+  | 0 ->
+      let* from_lsn, pos = Prim.read_uv s ~pos in
+      Ok (R_hello { from_lsn }, pos)
+  | 1 ->
+      let* bytes, pos = r_bytes s ~pos in
+      Ok (R_frames { bytes }, pos)
+  | 2 ->
+      let* snap_tag, pos = Prim.read_uv s ~pos in
+      let* snap, pos =
+        match snap_tag with
+        | 0 -> Ok (None, pos)
+        | 1 ->
+            let* snap, pos = r_bytes s ~pos in
+            Ok (Some snap, pos)
+        | _ -> Error "unknown snapshot presence tag"
+      in
+      let* wal, pos = r_bytes s ~pos in
+      let* next_lsn, pos = Prim.read_uv s ~pos in
+      Ok (R_snapshot { snap; wal; next_lsn }, pos)
+  | 3 ->
+      let* epoch, pos = Prim.read_uv s ~pos in
+      let* next_lsn, pos = Prim.read_uv s ~pos in
+      Ok (R_heartbeat { epoch; next_lsn }, pos)
+  | 4 ->
+      let* applied_lsn, pos = Prim.read_uv s ~pos in
+      Ok (R_ack { applied_lsn }, pos)
+  | _ -> Error "unknown repl tag"
 
 let r_publication s ~pos =
   let* tag, pos = Prim.read_uv s ~pos in
@@ -165,11 +249,13 @@ let decode s =
         let* role, pos = r_role s ~pos in
         let* session, pos = Prim.read_uv s ~pos in
         let* last_seen, pos = Prim.read_uv s ~pos in
-        Ok (Hello { role; session; last_seen }, pos)
+        let* epoch, pos = Prim.read_uv s ~pos in
+        Ok (Hello { role; session; last_seen; epoch }, pos)
     | 1 ->
         let* session, pos = Prim.read_uv s ~pos in
         let* last_seen, pos = Prim.read_uv s ~pos in
-        Ok (Welcome { session; last_seen }, pos)
+        let* epoch, pos = Prim.read_uv s ~pos in
+        Ok (Welcome { session; last_seen; epoch }, pos)
     | 2 ->
         let* p, pos = r_payload s ~pos in
         Ok (Payload p, pos)
@@ -182,6 +268,9 @@ let decode s =
         let* seq, pos = Prim.read_uv s ~pos in
         Ok (Frame_ack { seq }, pos)
     | 5 -> Ok (Bye, 1)
+    | 6 ->
+        let* r, pos = r_repl s ~pos in
+        Ok (Repl_stream r, pos)
     | _ -> Error "unknown message tag"
   in
   if pos <> String.length s then Error "trailing bytes after message"
@@ -192,15 +281,32 @@ let frame ~seq msg = Codec.frame ~lsn:seq (encode msg)
 let pp_role ppf = function
   | Peer_role id -> Format.fprintf ppf "peer %d" id
   | Client_role id -> Format.fprintf ppf "client %d" id
+  | Standby_role id -> Format.fprintf ppf "standby %d" id
+
+let pp_repl ppf = function
+  | R_hello { from_lsn } -> Format.fprintf ppf "R_hello(from %d)" from_lsn
+  | R_frames { bytes } ->
+      Format.fprintf ppf "R_frames(%d bytes)" (String.length bytes)
+  | R_snapshot { snap; wal; next_lsn } ->
+      Format.fprintf ppf "R_snapshot(snap %s, wal %d bytes, next %d)"
+        (match snap with
+        | Some s -> string_of_int (String.length s) ^ " bytes"
+        | None -> "absent")
+        (String.length wal) next_lsn
+  | R_heartbeat { epoch; next_lsn } ->
+      Format.fprintf ppf "R_heartbeat(epoch %d, next %d)" epoch next_lsn
+  | R_ack { applied_lsn } -> Format.fprintf ppf "R_ack(applied %d)" applied_lsn
 
 let pp ppf = function
-  | Hello { role; session; last_seen } ->
-      Format.fprintf ppf "Hello(%a, session %d, last_seen %d)" pp_role role
-        session last_seen
-  | Welcome { session; last_seen } ->
-      Format.fprintf ppf "Welcome(session %d, last_seen %d)" session last_seen
+  | Hello { role; session; last_seen; epoch } ->
+      Format.fprintf ppf "Hello(%a, session %d, last_seen %d, epoch %d)"
+        pp_role role session last_seen epoch
+  | Welcome { session; last_seen; epoch } ->
+      Format.fprintf ppf "Welcome(session %d, last_seen %d, epoch %d)" session
+        last_seen epoch
   | Payload p -> Format.fprintf ppf "Payload(%a)" Message.pp_payload p
   | Notify { client; key; pub_id } ->
       Format.fprintf ppf "Notify(client %d, key %d, pub %d)" client key pub_id
   | Frame_ack { seq } -> Format.fprintf ppf "Frame_ack(%d)" seq
+  | Repl_stream r -> Format.fprintf ppf "Repl_stream(%a)" pp_repl r
   | Bye -> Format.fprintf ppf "Bye"

@@ -17,16 +17,43 @@
     receiver's window drops what it already saw, and [Broker_node]
     drops a known key at an unchanged epoch. *)
 
-type role = Peer_role of int | Client_role of int
+type role =
+  | Peer_role of int
+  | Client_role of int
+  | Standby_role of int
+      (** A hot standby for the broker with this id — the same durable
+          identity, so its epoch is comparable with the acceptor's. *)
+
+(** Replication sub-protocol carried by {!Repl_stream}. The standby
+    opens with [R_hello] naming its next expected LSN; the primary
+    answers with frame chunks or a full snapshot rebase, then keeps
+    streaming as the log grows, interleaving heartbeats. *)
+type repl =
+  | R_hello of { from_lsn : int }
+      (** Standby → primary: start (or restart) shipping from here. *)
+  | R_frames of { bytes : string }
+      (** Primary → standby: verbatim WAL frame bytes, contiguous
+          LSNs. *)
+  | R_snapshot of { snap : string option; wal : string; next_lsn : int }
+      (** Primary → standby: full rebase of snapshot slot and WAL. *)
+  | R_heartbeat of { epoch : int; next_lsn : int }
+      (** Primary → standby liveness: current epoch and log head. *)
+  | R_ack of { applied_lsn : int }
+      (** Standby → primary: everything below [applied_lsn] is durable
+          on the standby (the primary's replication-lag input). *)
 
 type msg =
-  | Hello of { role : role; session : int; last_seen : int }
+  | Hello of { role : role; session : int; last_seen : int; epoch : int }
       (** Connection opener. [last_seen] mirrors what this sender has
           processed from the {e accepting} side, unused (0) on
-          client connections. *)
-  | Welcome of { session : int; last_seen : int }
+          client connections. [epoch] is the sender's view of the
+          fencing epoch for the {e destination} broker identity — the
+          failover fence: a broker greeted with an epoch above its own
+          knows it was superseded and must stop acking writes. *)
+  | Welcome of { session : int; last_seen : int; epoch : int }
       (** Handshake answer; [session] echoes the acceptor's own session
-          id. *)
+          id and [epoch] its current fencing epoch (clients remember it
+          to detect failovers; a standby adopts it). *)
   | Payload of Probsub_broker.Message.payload
       (** A broker-protocol message; the origin is implied by the
           connection's authenticated role. *)
@@ -35,6 +62,9 @@ type msg =
   | Frame_ack of { seq : int }
       (** Acknowledges the control frame that crossed this connection
           with sequence number [seq]. *)
+  | Repl_stream of repl
+      (** Replication traffic between a primary and its standby.
+          Control class — never shed. *)
   | Bye  (** Graceful close. *)
 
 type cls = Control | Sheddable

@@ -25,6 +25,7 @@ type record =
       image : Subscription_store.image;
       bindings : binding list;
     }
+  | Fence of { epoch : int }
 
 let max_frame = 1 lsl 26 (* 64 MiB: far above any real record *)
 
@@ -165,7 +166,10 @@ let encode record =
       w_uv b last_lsn;
       w_image b image;
       w_uv b (List.length bindings);
-      List.iter (w_binding b) bindings);
+      List.iter (w_binding b) bindings
+  | Fence { epoch } ->
+      w_uv b 6;
+      w_uv b epoch);
   Buffer.contents b
 
 (* ---------------- reader ---------------- *)
@@ -366,6 +370,9 @@ let decode_exn s =
           pr := p'
         done;
         (Snapshot { meta; last_lsn; image; bindings = List.rev !bindings }, !pr)
+    | 6 ->
+        let epoch, p = r_uv s p in
+        (Fence { epoch }, p)
     | _ -> raise (Bad "record: unknown tag")
   in
   if p <> String.length s then raise (Bad "record: trailing bytes");

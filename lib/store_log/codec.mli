@@ -57,6 +57,13 @@ type record =
       (** A compaction point: the full store image plus live bindings
           as of [last_lsn]; WAL records with lsn <= [last_lsn] are
           superseded. *)
+  | Fence of { epoch : int }
+      (** A replication fence: this broker identity's monotone epoch
+          was raised to [epoch] (a standby promoted itself, or an
+          ex-primary acknowledged a newer writer). Recovery keeps the
+          highest fence seen, and compaction re-journals it into the
+          fresh WAL so the fence survives truncation — an ex-primary
+          can never come back believing it still owns an old epoch. *)
 
 val encode : record -> string
 (** Payload bytes (unframed). *)

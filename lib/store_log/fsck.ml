@@ -29,6 +29,7 @@ let record_kind = function
   | Codec.Bind _ -> "bind"
   | Codec.Epoch_note _ -> "epoch-note"
   | Codec.Snapshot _ -> "snapshot"
+  | Codec.Fence _ -> "fence"
 
 let stop_verdict (scanned : Wal.scanned) =
   match scanned.Wal.stop with

@@ -1,7 +1,12 @@
 module Store = Probsub_core.Subscription_store
 module IntMap = Map.Make (Int)
 
-type t = { dev : Device.t; wal : Wal.t; meta : Codec.meta }
+type t = {
+  dev : Device.t;
+  wal : Wal.t;
+  meta : Codec.meta;
+  mutable fence : int;
+}
 
 let attach_journal t store =
   Store.set_journal store (Some (fun op -> Wal.append t.wal (Codec.Op op)))
@@ -15,7 +20,7 @@ let fresh ?policy ?pool ~device ~arity ~seed () =
   device.Device.reset_wal "";
   let wal = Wal.attach ~device ~next_lsn:0 in
   Wal.append wal (Codec.Genesis meta);
-  let t = { dev = device; wal; meta } in
+  let t = { dev = device; wal; meta; fence = 0 } in
   attach_journal t store;
   (store, t)
 
@@ -24,6 +29,7 @@ type recovered = {
   r_store : Store.t;
   r_bindings : Codec.binding list;
   r_epochs : (int * int) list;
+  r_fence : int;
   r_repaired : bool;
 }
 
@@ -88,10 +94,12 @@ let recover ?pool ~device () =
             epochs := IntMap.remove b.Codec.b_key !epochs
       in
       let foreign = ref None in
+      let fence = ref 0 in
       let ops = ref [] in
       List.iter
         (fun (e : Wal.entry) ->
           match e.Wal.e_record with
+          | Codec.Fence { epoch } -> fence := max !fence epoch
           | Codec.Op op ->
               ops := op :: !ops;
               (match op with
@@ -135,7 +143,7 @@ let recover ?pool ~device () =
               in
               let next_lsn = max snap_lsn last_wal_lsn + 1 in
               let wal = Wal.attach ~device ~next_lsn in
-              let t = { dev = device; wal; meta } in
+              let t = { dev = device; wal; meta; fence = !fence } in
               attach_journal t store;
               Ok
                 {
@@ -143,11 +151,20 @@ let recover ?pool ~device () =
                   r_store = store;
                   r_bindings = List.map snd (IntMap.bindings !bindings);
                   r_epochs = IntMap.bindings !epochs;
+                  r_fence = !fence;
                   r_repaired = repaired;
                 }))
 
 let log_binding t b = Wal.append t.wal (Codec.Bind b)
 let log_epoch t ~key ~epoch = Wal.append t.wal (Codec.Epoch_note { key; epoch })
+
+let log_fence t ~epoch =
+  if epoch > t.fence then begin
+    t.fence <- epoch;
+    Wal.append t.wal (Codec.Fence { epoch })
+  end
+
+let fence t = t.fence
 
 let compact t store ~bindings =
   let last_lsn = Wal.next_lsn t.wal - 1 in
@@ -156,7 +173,10 @@ let compact t store ~bindings =
     Codec.encode (Codec.Snapshot { meta = t.meta; last_lsn; image; bindings })
   in
   t.dev.Device.write_snapshot (Codec.frame ~lsn:last_lsn payload);
-  t.dev.Device.reset_wal ""
+  t.dev.Device.reset_wal "";
+  (* The snapshot record does not carry the fence; re-journal it so a
+     recovery after compaction still sees the highest epoch. *)
+  if t.fence > 0 then Wal.append t.wal (Codec.Fence { epoch = t.fence })
 
 let wal_size t = String.length (t.dev.Device.read_wal ())
 let next_lsn t = Wal.next_lsn t.wal

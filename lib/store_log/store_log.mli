@@ -37,6 +37,9 @@ type recovered = {
           [b_epoch] already reflects the latest epoch note, so the
           list can be handed straight back to {!compact}. *)
   r_epochs : (int * int) list;  (** [(key, epoch)] for live bindings. *)
+  r_fence : int;
+      (** Highest replication fence epoch journalled in the surviving
+          log (0 when none was ever raised). *)
   r_repaired : bool;
       (** The WAL held damaged bytes that were cut back to the longest
           valid prefix. *)
@@ -58,6 +61,14 @@ val log_binding : t -> Codec.binding -> unit
 
 val log_epoch : t -> key:int -> epoch:int -> unit
 (** Journal a refresh-epoch bump for an already-bound key. *)
+
+val log_fence : t -> epoch:int -> unit
+(** Journal a replication fence: the broker identity's monotone epoch
+    was raised to [epoch]. Monotone — a fence at or below the current
+    one is a no-op, so replaying a fence is idempotent. *)
+
+val fence : t -> int
+(** Highest fence epoch journalled so far (0 when none). *)
 
 val compact : t -> Store.t -> bindings:Codec.binding list -> unit
 (** Write a snapshot of the store image and [bindings], then truncate

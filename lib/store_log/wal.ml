@@ -17,7 +17,9 @@ type scanned = {
   stop : stop;
 }
 
-let scan s =
+let scan_from s ~pos ~last_lsn =
+  if pos < 0 || pos > String.length s then
+    invalid_arg "Wal.scan_from: position outside the byte string";
   let total = String.length s in
   let rec go pos last_lsn acc =
     if pos >= total then
@@ -49,7 +51,9 @@ let scan s =
                 in
                 go next lsn (e :: acc))
   in
-  go 0 (-1) []
+  go pos last_lsn []
+
+let scan s = scan_from s ~pos:0 ~last_lsn:(-1)
 
 type t = { device : Device.t; mutable next : int }
 

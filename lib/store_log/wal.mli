@@ -29,6 +29,17 @@ type scanned = {
 
 val scan : string -> scanned
 
+val scan_from : string -> pos:int -> last_lsn:int -> scanned
+(** Incremental scan resuming mid-stream: parse frames starting at
+    byte offset [pos], enforcing that the first LSN exceeds
+    [last_lsn]. [scan s] is [scan_from s ~pos:0 ~last_lsn:(-1)], and
+    for any entry [e] of a full scan, resuming at [e.e_offset] with
+    the preceding entry's LSN yields exactly the remaining suffix —
+    the WAL-tail streaming contract the replication shipper relies
+    on. [valid_bytes] is the absolute offset where the scan stopped
+    (not a count relative to [pos]). @raise Invalid_argument if
+    [pos] lies outside the byte string. *)
+
 type t
 (** An open log positioned for appending. *)
 

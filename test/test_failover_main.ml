@@ -1,0 +1,11 @@
+(* The failover suite lives in its own executable for the same reason
+   serve_chaos does: the chaos scenario forks broker processes, and
+   OCaml 5 forbids [Unix.fork] in any process that has ever spawned a
+   domain. This process creates no domains, so fork-without-exec stays
+   legal. *)
+(* The in-process server tests drive Broker_server.step directly
+   (without Broker_server.run, which installs this handler itself), so
+   writes to freshly dead sockets must surface as EPIPE, not kill the
+   test binary. *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+let () = Alcotest.run "probsub-failover" [ ("failover", Test_failover.suite) ]

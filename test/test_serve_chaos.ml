@@ -20,9 +20,21 @@ module Audit = Probsub_broker.Audit
 
 let sample_msgs =
   [
-    Wire.Hello { role = Wire.Peer_role 3; session = 123_456_789; last_seen = 0 };
-    Wire.Hello { role = Wire.Client_role 42; session = 1; last_seen = 17 };
-    Wire.Welcome { session = 99; last_seen = 5 };
+    Wire.Hello
+      { role = Wire.Peer_role 3; session = 123_456_789; last_seen = 0; epoch = 0 };
+    Wire.Hello
+      { role = Wire.Client_role 42; session = 1; last_seen = 17; epoch = 2 };
+    Wire.Hello
+      { role = Wire.Standby_role 7; session = 55; last_seen = 0; epoch = 3 };
+    Wire.Welcome { session = 99; last_seen = 5; epoch = 0 };
+    Wire.Welcome { session = 100; last_seen = 0; epoch = 4 };
+    Wire.Repl_stream (Wire.R_hello { from_lsn = 12 });
+    Wire.Repl_stream (Wire.R_frames { bytes = "\x01\x02\x03raw" });
+    Wire.Repl_stream
+      (Wire.R_snapshot { snap = Some "snapbytes"; wal = "walbytes"; next_lsn = 9 });
+    Wire.Repl_stream (Wire.R_snapshot { snap = None; wal = ""; next_lsn = 0 });
+    Wire.Repl_stream (Wire.R_heartbeat { epoch = 6; next_lsn = 14 });
+    Wire.Repl_stream (Wire.R_ack { applied_lsn = 41 });
     Wire.Payload
       (Message.Subscribe
          {
@@ -113,7 +125,10 @@ let test_wire_classes () =
        (Wire.Payload (Message.Publish { id = 1; pub = Publication.point [| 0 |] })));
   Alcotest.(check bool)
     "welcome is not acked" false
-    (Wire.acked (Wire.Welcome { session = 1; last_seen = 0 }))
+    (Wire.acked (Wire.Welcome { session = 1; last_seen = 0; epoch = 0 }));
+  Alcotest.(check bool)
+    "repl stream is not acked" false
+    (Wire.acked (Wire.Repl_stream (Wire.R_frames { bytes = "x" })))
 
 let prop_decode_total =
   QCheck.Test.make ~count:500 ~name:"Wire.decode is total on arbitrary bytes"
